@@ -1,0 +1,258 @@
+//! Distance metrics between visualizations — the functional primitive
+//! `D(f, f')` of thesis §3.8. "For example, this might mean calculating
+//! the Earth Mover's Distance or the Kullback-Leibler Divergence between
+//! the induced probability distributions"; the prototype shipped
+//! Euclidean (ℓ2) and dynamic time warping (§10.1), so all four are here.
+
+use crate::series::{align, normalize, Normalize, Series};
+
+/// Which metric `D` uses.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum DistanceKind {
+    /// ℓ2 distance on aligned y vectors — the prototype default (§7.2
+    /// "with ℓ2 as a distance metric D").
+    Euclidean,
+    /// Dynamic time warping with an optional Sakoe-Chiba band.
+    Dtw { window: Option<usize> },
+    /// Symmetrised Kullback-Leibler divergence on induced distributions.
+    KlDivergence,
+    /// 1-D Earth Mover's Distance on induced distributions.
+    EarthMovers,
+}
+
+impl Default for DistanceKind {
+    fn default() -> Self {
+        DistanceKind::Euclidean
+    }
+}
+
+/// Distance between two equal-length vectors.
+pub fn vec_distance(kind: DistanceKind, a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "vec_distance requires equal lengths");
+    if a.is_empty() {
+        return 0.0;
+    }
+    match kind {
+        DistanceKind::Euclidean => euclidean(a, b),
+        DistanceKind::Dtw { window } => dtw(a, b, window),
+        DistanceKind::KlDivergence => sym_kl(&induced_distribution(a), &induced_distribution(b)),
+        DistanceKind::EarthMovers => emd1d(&induced_distribution(a), &induced_distribution(b)),
+    }
+}
+
+/// Distance between two series: align on the union x-grid, normalize,
+/// then apply the metric.
+pub fn series_distance(kind: DistanceKind, norm: Normalize, a: &Series, b: &Series) -> f64 {
+    let (mut ya, mut yb) = align(a, b);
+    if ya.is_empty() {
+        // One side has no data: maximally dissimilar unless both empty.
+        return if a.is_empty() && b.is_empty() { 0.0 } else { f64::INFINITY };
+    }
+    normalize(&mut ya, norm);
+    normalize(&mut yb, norm);
+    vec_distance(kind, &ya, &yb)
+}
+
+pub fn euclidean(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
+}
+
+pub fn squared_euclidean(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>()
+}
+
+/// Dynamic time warping with |a-b| local cost. `window` bounds the
+/// warping path's deviation from the diagonal (Sakoe-Chiba).
+pub fn dtw(a: &[f64], b: &[f64], window: Option<usize>) -> f64 {
+    let (n, m) = (a.len(), b.len());
+    if n == 0 || m == 0 {
+        return if n == m { 0.0 } else { f64::INFINITY };
+    }
+    let w = window.unwrap_or(n.max(m)).max(n.abs_diff(m));
+    // Two-row DP to keep memory O(m).
+    let mut prev = vec![f64::INFINITY; m + 1];
+    let mut cur = vec![f64::INFINITY; m + 1];
+    prev[0] = 0.0;
+    for i in 1..=n {
+        cur[0] = f64::INFINITY;
+        let j_lo = i.saturating_sub(w).max(1);
+        let j_hi = (i + w).min(m);
+        for j in 1..=m {
+            cur[j] = f64::INFINITY;
+        }
+        for j in j_lo..=j_hi {
+            let cost = (a[i - 1] - b[j - 1]).abs();
+            let best = prev[j].min(cur[j - 1]).min(prev[j - 1]);
+            cur[j] = cost + best;
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[m]
+}
+
+/// Turn arbitrary y values into a probability distribution: shift to be
+/// non-negative, add ε smoothing, normalize to sum 1.
+pub fn induced_distribution(ys: &[f64]) -> Vec<f64> {
+    const EPS: f64 = 1e-9;
+    let lo = ys.iter().copied().fold(f64::INFINITY, f64::min);
+    let shifted: Vec<f64> = ys.iter().map(|&y| y - lo + EPS).collect();
+    let total: f64 = shifted.iter().sum();
+    shifted.into_iter().map(|v| v / total).collect()
+}
+
+/// Symmetrised KL divergence `(KL(p‖q) + KL(q‖p)) / 2`.
+pub fn sym_kl(p: &[f64], q: &[f64]) -> f64 {
+    let kl = |p: &[f64], q: &[f64]| -> f64 {
+        p.iter()
+            .zip(q)
+            .map(|(&pi, &qi)| if pi > 0.0 { pi * (pi / qi).ln() } else { 0.0 })
+            .sum::<f64>()
+    };
+    (kl(p, q) + kl(q, p)) / 2.0
+}
+
+/// 1-D Earth Mover's Distance = ℓ1 distance of CDFs.
+pub fn emd1d(p: &[f64], q: &[f64]) -> f64 {
+    let mut cp = 0.0;
+    let mut cq = 0.0;
+    let mut total = 0.0;
+    for (&pi, &qi) in p.iter().zip(q) {
+        cp += pi;
+        cq += qi;
+        total += (cp - cq).abs();
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn euclidean_basics() {
+        assert_eq!(euclidean(&[0.0, 0.0], &[3.0, 4.0]), 5.0);
+        assert_eq!(euclidean(&[1.0], &[1.0]), 0.0);
+        assert_eq!(squared_euclidean(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+    }
+
+    #[test]
+    fn dtw_handles_phase_shift_better_than_l2() {
+        // Same shape shifted by one step: DTW should be near zero while
+        // L2 is large.
+        let a: Vec<f64> = (0..20).map(|i| ((i as f64) / 3.0).sin()).collect();
+        let b: Vec<f64> = (0..20).map(|i| ((i as f64 - 1.0) / 3.0).sin()).collect();
+        let d_dtw = dtw(&a, &b, None);
+        let d_l2 = euclidean(&a, &b);
+        assert!(d_dtw < d_l2, "dtw {d_dtw} should beat l2 {d_l2} on shifted series");
+    }
+
+    #[test]
+    fn dtw_identity_and_symmetry() {
+        let a = [1.0, 2.0, 3.0, 2.0];
+        let b = [2.0, 2.0, 4.0, 1.0];
+        assert_eq!(dtw(&a, &a, None), 0.0);
+        assert!((dtw(&a, &b, None) - dtw(&b, &a, None)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dtw_with_band_at_least_unbanded() {
+        let a: Vec<f64> = (0..30).map(|i| (i as f64).sin()).collect();
+        let b: Vec<f64> = (0..30).map(|i| (i as f64 * 1.1).cos()).collect();
+        let unbanded = dtw(&a, &b, None);
+        let banded = dtw(&a, &b, Some(2));
+        assert!(banded >= unbanded - 1e-12);
+    }
+
+    #[test]
+    fn dtw_different_lengths() {
+        let a = [0.0, 1.0, 2.0];
+        let b = [0.0, 0.5, 1.0, 1.5, 2.0];
+        let d = dtw(&a, &b, None);
+        assert!(d.is_finite());
+        assert!(d < 2.0);
+    }
+
+    #[test]
+    fn induced_distribution_is_probability() {
+        let d = induced_distribution(&[-5.0, 0.0, 5.0]);
+        assert!((d.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(d.iter().all(|&p| p > 0.0));
+    }
+
+    #[test]
+    fn kl_zero_iff_equal() {
+        let p = induced_distribution(&[1.0, 2.0, 3.0]);
+        let q = induced_distribution(&[3.0, 2.0, 1.0]);
+        assert_eq!(sym_kl(&p, &p), 0.0);
+        assert!(sym_kl(&p, &q) > 0.0);
+    }
+
+    #[test]
+    fn emd_moves_mass_proportionally_to_displacement() {
+        let p = [1.0, 0.0, 0.0];
+        let q_near = [0.0, 1.0, 0.0];
+        let q_far = [0.0, 0.0, 1.0];
+        assert!(emd1d(&p, &q_far) > emd1d(&p, &q_near));
+        assert_eq!(emd1d(&p, &p), 0.0);
+    }
+
+    #[test]
+    fn series_distance_aligns_and_normalizes() {
+        use crate::series::Series;
+        // Same shape at wildly different scales → zero z-scored distance.
+        let a = Series::new(vec![(0.0, 1.0), (1.0, 2.0), (2.0, 3.0)]);
+        let b = Series::new(vec![(0.0, 100.0), (1.0, 200.0), (2.0, 300.0)]);
+        let d = series_distance(DistanceKind::Euclidean, Normalize::ZScore, &a, &b);
+        assert!(d < 1e-9, "shape-equal series should have ~0 distance, got {d}");
+        // Without normalization the scales matter.
+        let d_raw = series_distance(DistanceKind::Euclidean, Normalize::None, &a, &b);
+        assert!(d_raw > 100.0);
+    }
+
+    #[test]
+    fn series_distance_empty_semantics() {
+        use crate::series::Series;
+        let a = Series::new(vec![(0.0, 1.0)]);
+        let empty = Series::default();
+        assert_eq!(
+            series_distance(DistanceKind::Euclidean, Normalize::ZScore, &empty, &empty),
+            0.0
+        );
+        assert!(series_distance(DistanceKind::Euclidean, Normalize::ZScore, &a, &empty)
+            .is_infinite());
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn prop_metrics_nonnegative_and_reflexive(
+            a in proptest::collection::vec(-100.0f64..100.0, 1..30),
+            b in proptest::collection::vec(-100.0f64..100.0, 1..30),
+        ) {
+            let n = a.len().min(b.len());
+            let (a, b) = (&a[..n], &b[..n]);
+            for kind in [
+                DistanceKind::Euclidean,
+                DistanceKind::Dtw { window: None },
+                DistanceKind::KlDivergence,
+                DistanceKind::EarthMovers,
+            ] {
+                let d = vec_distance(kind, a, b);
+                proptest::prop_assert!(d >= -1e-12, "{kind:?} gave negative distance {d}");
+                let dd = vec_distance(kind, a, a);
+                proptest::prop_assert!(dd.abs() < 1e-9, "{kind:?} not reflexive: {dd}");
+            }
+        }
+
+        #[test]
+        fn prop_euclidean_triangle_inequality(
+            a in proptest::collection::vec(-10.0f64..10.0, 5),
+            b in proptest::collection::vec(-10.0f64..10.0, 5),
+            c in proptest::collection::vec(-10.0f64..10.0, 5),
+        ) {
+            let ab = euclidean(&a, &b);
+            let bc = euclidean(&b, &c);
+            let ac = euclidean(&a, &c);
+            proptest::prop_assert!(ac <= ab + bc + 1e-9);
+        }
+    }
+}

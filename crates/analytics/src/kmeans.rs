@@ -1,0 +1,255 @@
+//! Lloyd's k-means with k-means++ seeding — the engine behind the
+//! functional primitive `R` ("run k-means clustering on the given set of
+//! visualizations and return the k centroids", thesis §3.8) and the
+//! recommendation service's diverse-trend search (§6.2, k = 5).
+
+use crate::distance::squared_euclidean;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Result of a clustering run.
+#[derive(Clone, Debug)]
+pub struct KMeansResult {
+    /// `k` centroids, each with the input dimensionality.
+    pub centroids: Vec<Vec<f64>>,
+    /// Cluster id per input point.
+    pub assignments: Vec<usize>,
+    /// Sum of squared distances to assigned centroids.
+    pub inertia: f64,
+    /// Lloyd iterations executed.
+    pub iterations: usize,
+}
+
+/// Parameters for [`kmeans`].
+#[derive(Clone, Copy, Debug)]
+pub struct KMeansConfig {
+    pub k: usize,
+    pub max_iterations: usize,
+    pub seed: u64,
+    /// Stop when inertia improves by less than this fraction.
+    pub tolerance: f64,
+}
+
+impl KMeansConfig {
+    pub fn new(k: usize, seed: u64) -> Self {
+        KMeansConfig { k, max_iterations: 100, seed, tolerance: 1e-6 }
+    }
+}
+
+/// Cluster `points` (all of equal dimension) into `config.k` groups.
+///
+/// If there are fewer points than clusters, every point becomes its own
+/// centroid. Empty clusters are re-seeded with the point farthest from
+/// its assigned centroid.
+pub fn kmeans(points: &[Vec<f64>], config: KMeansConfig) -> KMeansResult {
+    assert!(config.k > 0, "k must be positive");
+    let n = points.len();
+    if n == 0 {
+        return KMeansResult {
+            centroids: Vec::new(),
+            assignments: Vec::new(),
+            inertia: 0.0,
+            iterations: 0,
+        };
+    }
+    let dim = points[0].len();
+    debug_assert!(points.iter().all(|p| p.len() == dim), "inconsistent dimensions");
+    let k = config.k.min(n);
+
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut centroids = plus_plus_init(points, k, &mut rng);
+    let mut assignments = vec![0usize; n];
+    let mut inertia = f64::INFINITY;
+    let mut iterations = 0;
+
+    for it in 0..config.max_iterations {
+        iterations = it + 1;
+        // Assignment step.
+        let mut new_inertia = 0.0;
+        for (i, p) in points.iter().enumerate() {
+            let (best, d) = nearest(p, &centroids);
+            assignments[i] = best;
+            new_inertia += d;
+        }
+        // Update step.
+        let mut sums = vec![vec![0.0; dim]; k];
+        let mut counts = vec![0usize; k];
+        for (p, &a) in points.iter().zip(&assignments) {
+            counts[a] += 1;
+            for (s, &v) in sums[a].iter_mut().zip(p) {
+                *s += v;
+            }
+        }
+        for (c, (sum, &count)) in centroids.iter_mut().zip(sums.iter().zip(&counts)) {
+            if count > 0 {
+                for (cv, &sv) in c.iter_mut().zip(sum) {
+                    *cv = sv / count as f64;
+                }
+            }
+        }
+        // Re-seed empty clusters with the worst-fit point.
+        for (cluster, &count) in counts.iter().enumerate() {
+            if count == 0 {
+                if let Some((worst, _)) = points
+                    .iter()
+                    .enumerate()
+                    .map(|(i, p)| (i, squared_euclidean(p, &centroids[assignments[i]])))
+                    .max_by(|a, b| a.1.total_cmp(&b.1))
+                {
+                    centroids[cluster] = points[worst].clone();
+                }
+            }
+        }
+        let improved = inertia - new_inertia;
+        inertia = new_inertia;
+        if improved >= 0.0 && improved <= config.tolerance * inertia.max(f64::EPSILON) {
+            break;
+        }
+    }
+
+    KMeansResult { centroids, assignments, inertia, iterations }
+}
+
+/// k-means++ seeding: each next centroid is sampled proportionally to its
+/// squared distance from the nearest already-chosen centroid.
+fn plus_plus_init(points: &[Vec<f64>], k: usize, rng: &mut StdRng) -> Vec<Vec<f64>> {
+    let n = points.len();
+    let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
+    centroids.push(points[rng.gen_range(0..n)].clone());
+    let mut d2: Vec<f64> = points.iter().map(|p| squared_euclidean(p, &centroids[0])).collect();
+    while centroids.len() < k {
+        let total: f64 = d2.iter().sum();
+        let next = if total <= 0.0 {
+            rng.gen_range(0..n)
+        } else {
+            let mut target = rng.gen_range(0.0..total);
+            let mut chosen = n - 1;
+            for (i, &d) in d2.iter().enumerate() {
+                if target < d {
+                    chosen = i;
+                    break;
+                }
+                target -= d;
+            }
+            chosen
+        };
+        centroids.push(points[next].clone());
+        for (i, p) in points.iter().enumerate() {
+            let d = squared_euclidean(p, centroids.last().unwrap());
+            if d < d2[i] {
+                d2[i] = d;
+            }
+        }
+    }
+    centroids
+}
+
+/// Index and squared distance of the nearest centroid.
+pub fn nearest(point: &[f64], centroids: &[Vec<f64>]) -> (usize, f64) {
+    let mut best = 0;
+    let mut best_d = f64::INFINITY;
+    for (i, c) in centroids.iter().enumerate() {
+        let d = squared_euclidean(point, c);
+        if d < best_d {
+            best = i;
+            best_d = d;
+        }
+    }
+    (best, best_d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn three_blobs() -> Vec<Vec<f64>> {
+        let mut pts = Vec::new();
+        for i in 0..10 {
+            let j = i as f64 * 0.01;
+            pts.push(vec![0.0 + j, 0.0]);
+            pts.push(vec![10.0 + j, 10.0]);
+            pts.push(vec![-10.0 + j, 10.0]);
+        }
+        pts
+    }
+
+    #[test]
+    fn separates_well_separated_blobs() {
+        let pts = three_blobs();
+        let res = kmeans(&pts, KMeansConfig::new(3, 42));
+        assert_eq!(res.centroids.len(), 3);
+        // Every blob's points land in one cluster.
+        for blob in 0..3 {
+            let ids: Vec<usize> =
+                (0..10).map(|i| res.assignments[i * 3 + blob]).collect();
+            assert!(ids.iter().all(|&c| c == ids[0]), "blob {blob} split across clusters");
+        }
+        // Low inertia: points are within 0.1 of their blob center.
+        assert!(res.inertia < 1.0, "inertia {}", res.inertia);
+    }
+
+    #[test]
+    fn deterministic_under_fixed_seed() {
+        let pts = three_blobs();
+        let a = kmeans(&pts, KMeansConfig::new(3, 7));
+        let b = kmeans(&pts, KMeansConfig::new(3, 7));
+        assert_eq!(a.assignments, b.assignments);
+        assert_eq!(a.centroids, b.centroids);
+    }
+
+    #[test]
+    fn k_larger_than_n_clamps() {
+        let pts = vec![vec![0.0], vec![1.0]];
+        let res = kmeans(&pts, KMeansConfig::new(5, 1));
+        assert_eq!(res.centroids.len(), 2);
+        assert!(res.inertia < 1e-12);
+    }
+
+    #[test]
+    fn empty_input() {
+        let res = kmeans(&[], KMeansConfig::new(3, 1));
+        assert!(res.centroids.is_empty());
+        assert!(res.assignments.is_empty());
+    }
+
+    #[test]
+    fn identical_points_single_effective_cluster() {
+        let pts = vec![vec![2.0, 2.0]; 8];
+        let res = kmeans(&pts, KMeansConfig::new(3, 9));
+        assert!(res.inertia < 1e-12);
+        assert!(res.assignments.iter().all(|&a| a < 3));
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(32))]
+        #[test]
+        fn prop_inertia_nonincreasing_in_k(
+            raw in proptest::collection::vec(
+                proptest::collection::vec(-100.0f64..100.0, 3),
+                8..40,
+            ),
+            seed in 0u64..1000,
+        ) {
+            let k1 = kmeans(&raw, KMeansConfig::new(1, seed));
+            let k3 = kmeans(&raw, KMeansConfig::new(3, seed));
+            // k-means is a heuristic, but k=1 has a closed-form optimum
+            // (the mean), so more clusters can't be worse than optimal-1.
+            proptest::prop_assert!(k3.inertia <= k1.inertia + 1e-6);
+        }
+
+        #[test]
+        fn prop_assignments_in_range(
+            raw in proptest::collection::vec(
+                proptest::collection::vec(-10.0f64..10.0, 2),
+                1..30,
+            ),
+            k in 1usize..6,
+            seed in 0u64..100,
+        ) {
+            let res = kmeans(&raw, KMeansConfig::new(k, seed));
+            let kk = k.min(raw.len());
+            proptest::prop_assert_eq!(res.centroids.len(), kk);
+            proptest::prop_assert!(res.assignments.iter().all(|&a| a < kk));
+        }
+    }
+}

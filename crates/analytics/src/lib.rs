@@ -1,0 +1,33 @@
+//! # zv-analytics
+//!
+//! The analytical toolkit behind ZQL's functional primitives (thesis
+//! §3.8) and the Chapter 8 measurement pipeline:
+//!
+//! * [`trend`] — `T(f)`: least-squares trend estimation;
+//! * [`distance`] — `D(f, f')`: ℓ2, DTW, KL, and Earth Mover's metrics
+//!   on aligned, normalized series;
+//! * [`kmeans`] / [`representative`] — `R(k, v, f)`: k-representative
+//!   selection and the outlier search derived from it;
+//! * [`series`] — alignment, interpolation, resampling, normalization;
+//! * [`stats`] — ANOVA, Tukey HSD (studentized range by numerical
+//!   integration), χ², Kendall's τ, and the special functions they need.
+//!
+//! This crate is deliberately storage-agnostic: everything operates on
+//! plain `f64` series so it can be tested and benchmarked in isolation.
+
+pub mod distance;
+pub mod kmeans;
+pub mod representative;
+pub mod series;
+pub mod stats;
+pub mod trend;
+
+pub use distance::{series_distance, vec_distance, DistanceKind};
+pub use kmeans::{kmeans, KMeansConfig, KMeansResult};
+pub use representative::{
+    auto_k, auto_representatives, embed, embed_normalized, outlier_scores, representatives,
+    top_outliers, EMBED_DIM,
+};
+pub use series::{align, normalize, Normalize, Series};
+pub use stats::{one_way_anova, ptukey, ptukey_sf, tukey_hsd, Anova, TukeyComparison};
+pub use trend::{linear_fit, normalized_trend, trend, LinearFit};

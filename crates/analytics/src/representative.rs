@@ -1,0 +1,281 @@
+//! The functional primitive `R(k, v, f)` (thesis §3.8) — k-representative
+//! selection — and the outlier search built on top of it (§7.2: "we first
+//! apply the representative search task, and then return the k
+//! visualizations for which the minimum distance D to the representative
+//! trends is maximized").
+
+use crate::kmeans::{kmeans, nearest, KMeansConfig};
+use crate::series::Series;
+
+/// Dimensionality visualizations are resampled to before clustering.
+pub const EMBED_DIM: usize = 32;
+
+/// Embed a set of series into a common vector space (resample onto
+/// [`EMBED_DIM`] points).
+pub fn embed(series: &[Series]) -> Vec<Vec<f64>> {
+    series.iter().map(|s| s.resample(EMBED_DIM)).collect()
+}
+
+/// Shape embedding: resample then z-normalize each vector, so clustering
+/// compares *trends* rather than magnitudes (the same normalization the
+/// default distance primitive `D` applies). Preferred input for
+/// [`auto_k`], whose silhouette criterion assumes clusters of comparable
+/// scale.
+pub fn embed_normalized(series: &[Series]) -> Vec<Vec<f64>> {
+    series
+        .iter()
+        .map(|s| {
+            let mut v = s.resample(EMBED_DIM);
+            crate::series::normalize(&mut v, crate::series::Normalize::ZScore);
+            v
+        })
+        .collect()
+}
+
+/// Select the indices of `k` representative members: run k-means and take
+/// the member closest to each centroid (so the answer is always an actual
+/// visualization, as `R`'s return value is "the set of axis variable
+/// values which produced the representative visualizations").
+pub fn representatives(points: &[Vec<f64>], k: usize, seed: u64) -> Vec<usize> {
+    if points.is_empty() || k == 0 {
+        return Vec::new();
+    }
+    let res = kmeans(points, KMeansConfig::new(k, seed));
+    let mut reps = Vec::with_capacity(res.centroids.len());
+    for c in &res.centroids {
+        let (best, _) = nearest(c, &points.iter().cloned().collect::<Vec<_>>());
+        if !reps.contains(&best) {
+            reps.push(best);
+        }
+    }
+    // Deduplication can shrink the set below k when clusters collapse;
+    // top up with the points farthest from the chosen representatives.
+    while reps.len() < k.min(points.len()) {
+        let next = (0..points.len())
+            .filter(|i| !reps.contains(i))
+            .max_by(|&a, &b| {
+                min_dist_to(points, &reps, a).total_cmp(&min_dist_to(points, &reps, b))
+            });
+        match next {
+            Some(i) => reps.push(i),
+            None => break,
+        }
+    }
+    reps
+}
+
+fn min_dist_to(points: &[Vec<f64>], chosen: &[usize], i: usize) -> f64 {
+    chosen
+        .iter()
+        .map(|&c| crate::distance::squared_euclidean(&points[i], &points[c]))
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// Choose the number of representatives from the data itself — the
+/// thesis's §10.1 future-work item ("when the actual number of
+/// representative [trends] is different than the pre-defined k, the
+/// quality of results is poor ... automatically figure out the right
+/// number of representative trends based on data characteristics").
+///
+/// Uses the *mean silhouette coefficient*: for each candidate `k` in
+/// `2..=k_max`, cluster and score how well-separated the clusters are;
+/// return the best-scoring `k`. Falls back to 1 when even the best
+/// split is worse than no split (silhouette ≤ 0.25, a standard "no
+/// substantial structure" threshold).
+pub fn auto_k(points: &[Vec<f64>], k_max: usize, seed: u64) -> usize {
+    if points.len() < 3 {
+        return points.len().max(1);
+    }
+    let k_max = k_max.min(points.len() - 1).max(2);
+    let mut best = (1usize, 0.25f64); // (k, silhouette floor)
+    for k in 2..=k_max {
+        let res = kmeans(points, KMeansConfig::new(k, seed));
+        let score = mean_silhouette(points, &res.assignments, k);
+        if score > best.1 {
+            best = (k, score);
+        }
+    }
+    best.0
+}
+
+/// Representatives with the cluster count chosen by [`auto_k`].
+pub fn auto_representatives(points: &[Vec<f64>], k_max: usize, seed: u64) -> Vec<usize> {
+    representatives(points, auto_k(points, k_max, seed), seed)
+}
+
+/// Mean silhouette coefficient over all points: `(b − a) / max(a, b)`
+/// where `a` is the mean intra-cluster distance and `b` the mean
+/// distance to the nearest other cluster. In [−1, 1]; higher = better
+/// separated.
+fn mean_silhouette(points: &[Vec<f64>], assignments: &[usize], k: usize) -> f64 {
+    let n = points.len();
+    let mut total = 0.0;
+    let mut counted = 0usize;
+    for i in 0..n {
+        let own = assignments[i];
+        // mean distance to every cluster
+        let mut sums = vec![0.0f64; k];
+        let mut counts = vec![0usize; k];
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            let d = crate::distance::euclidean(&points[i], &points[j]);
+            sums[assignments[j]] += d;
+            counts[assignments[j]] += 1;
+        }
+        if counts[own] == 0 {
+            continue; // singleton cluster: silhouette undefined, skip
+        }
+        let a = sums[own] / counts[own] as f64;
+        let b = (0..k)
+            .filter(|&c| c != own && counts[c] > 0)
+            .map(|c| sums[c] / counts[c] as f64)
+            .fold(f64::INFINITY, f64::min);
+        if !b.is_finite() {
+            continue;
+        }
+        let denom = a.max(b);
+        if denom > 0.0 {
+            total += (b - a) / denom;
+            counted += 1;
+        }
+    }
+    if counted == 0 {
+        0.0
+    } else {
+        total / counted as f64
+    }
+}
+
+/// Per-point outlier score: distance to the nearest of `k_reps`
+/// representative centroids (higher = more anomalous).
+pub fn outlier_scores(points: &[Vec<f64>], k_reps: usize, seed: u64) -> Vec<f64> {
+    if points.is_empty() {
+        return Vec::new();
+    }
+    let res = kmeans(points, KMeansConfig::new(k_reps.max(1), seed));
+    points.iter().map(|p| nearest(p, &res.centroids).1.sqrt()).collect()
+}
+
+/// Indices of the `k` most anomalous points, sorted by decreasing score.
+pub fn top_outliers(points: &[Vec<f64>], k_reps: usize, k_out: usize, seed: u64) -> Vec<usize> {
+    let scores = outlier_scores(points, k_reps, seed);
+    let mut idx: Vec<usize> = (0..points.len()).collect();
+    idx.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]).then(a.cmp(&b)));
+    idx.truncate(k_out);
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clustered_series() -> Vec<Series> {
+        let mut out = Vec::new();
+        // 8 increasing, 8 decreasing, 1 spike (outlier)
+        for i in 0..8 {
+            let o = i as f64 * 0.1;
+            out.push(Series::from_ys(&[0.0 + o, 1.0 + o, 2.0 + o, 3.0 + o]));
+        }
+        for i in 0..8 {
+            let o = i as f64 * 0.1;
+            out.push(Series::from_ys(&[3.0 + o, 2.0 + o, 1.0 + o, 0.0 + o]));
+        }
+        // A moderate anomaly: far from both shapes, but not so extreme
+        // that k-means dedicates a centroid to it (in which case it would
+        // become a *representative*, not an outlier — a known property of
+        // the paper's outlier-search definition).
+        out.push(Series::from_ys(&[0.0, 5.0, -5.0, 0.0]));
+        out
+    }
+
+    #[test]
+    fn representatives_cover_both_clusters() {
+        let series = clustered_series();
+        let pts = embed(&series[..16]); // exclude the spike
+        let reps = representatives(&pts, 2, 11);
+        assert_eq!(reps.len(), 2);
+        let one_up = reps.iter().any(|&r| r < 8);
+        let one_down = reps.iter().any(|&r| r >= 8);
+        assert!(one_up && one_down, "representatives {reps:?} should span both shapes");
+    }
+
+    #[test]
+    fn representatives_are_member_indices() {
+        let pts = embed(&clustered_series());
+        let reps = representatives(&pts, 3, 5);
+        assert!(reps.iter().all(|&r| r < pts.len()));
+        // no duplicates
+        let mut sorted = reps.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), reps.len());
+    }
+
+    #[test]
+    fn k_zero_and_empty_inputs() {
+        assert!(representatives(&[], 3, 0).is_empty());
+        assert!(representatives(&[vec![1.0]], 0, 0).is_empty());
+        assert!(outlier_scores(&[], 3, 0).is_empty());
+        assert!(top_outliers(&[], 3, 2, 0).is_empty());
+    }
+
+    #[test]
+    fn spike_is_top_outlier() {
+        let series = clustered_series();
+        let pts = embed(&series);
+        let out = top_outliers(&pts, 2, 1, 13);
+        assert_eq!(out, vec![16], "the spike series should be the #1 outlier");
+    }
+
+    #[test]
+    fn outlier_scores_rank_spike_highest() {
+        let series = clustered_series();
+        let pts = embed(&series);
+        let scores = outlier_scores(&pts, 2, 13);
+        let max_idx =
+            (0..scores.len()).max_by(|&a, &b| scores[a].total_cmp(&scores[b])).unwrap();
+        assert_eq!(max_idx, 16);
+    }
+
+    #[test]
+    fn auto_k_recovers_planted_cluster_count() {
+        // Two clean shape clusters → auto_k should find 2.
+        let series = clustered_series();
+        let pts = embed_normalized(&series[..16]); // 8 up + 8 down
+        assert_eq!(auto_k(&pts, 6, 3), 2);
+        let reps = auto_representatives(&pts, 6, 3);
+        assert_eq!(reps.len(), 2);
+        // Add a third distinct *shape* cluster (zig-zag) → 3.
+        let mut three = series[..16].to_vec();
+        for i in 0..8 {
+            let o = i as f64 * 0.02;
+            three.push(Series::from_ys(&[0.0 + o, 3.0 + o, 0.0 + o, 3.0 + o]));
+        }
+        assert_eq!(auto_k(&embed_normalized(&three), 6, 3), 3);
+    }
+
+    #[test]
+    fn auto_k_degenerate_inputs() {
+        // No structure at all: identical points → silhouette degenerates
+        // to 0 everywhere → k = 1. (For merely *near*-uniform data the
+        // silhouette criterion, like all scale-free criteria, may still
+        // split — the gap statistic would be the next refinement.)
+        let blob: Vec<Vec<f64>> = (0..12).map(|_| vec![1.0, 2.0]).collect();
+        assert_eq!(auto_k(&blob, 5, 0), 1);
+        // Tiny inputs clamp sensibly.
+        assert_eq!(auto_k(&[vec![1.0]], 5, 0), 1);
+        assert_eq!(auto_k(&[vec![1.0], vec![2.0]], 5, 0), 2);
+        assert_eq!(auto_representatives(&blob, 5, 0).len(), 1);
+    }
+
+    #[test]
+    fn representative_topup_when_clusters_collapse() {
+        // All identical points: k-means centroids coincide; top-up must
+        // still return min(k, n) distinct indices.
+        let pts = vec![vec![1.0, 1.0]; 5];
+        let reps = representatives(&pts, 3, 0);
+        assert_eq!(reps.len(), 3);
+    }
+}

@@ -1,0 +1,258 @@
+//! Numeric series: the data behind a visualization once axes are fixed.
+//!
+//! Distance computations (thesis §3.8, functional primitive `D`) need the
+//! two operand visualizations on a common x-grid; this module provides
+//! alignment via linear interpolation (the thesis's future-work item
+//! "use interpolation techniques to populate the missing [points] for
+//! better comparisons" — implemented here), plus the normalizations
+//! applied before comparing shapes.
+
+/// A visualization's data: `(x, y)` points sorted by `x`.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct Series {
+    points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Build from points; sorts by x and averages duplicate x values.
+    pub fn new(mut points: Vec<(f64, f64)>) -> Self {
+        points.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let mut dedup: Vec<(f64, f64)> = Vec::with_capacity(points.len());
+        let mut i = 0;
+        while i < points.len() {
+            let x = points[i].0;
+            let mut sum = 0.0;
+            let mut n = 0usize;
+            while i < points.len() && points[i].0 == x {
+                sum += points[i].1;
+                n += 1;
+                i += 1;
+            }
+            dedup.push((x, sum / n as f64));
+        }
+        Series { points: dedup }
+    }
+
+    /// Build from y values on an implicit 0..n x-grid.
+    pub fn from_ys(ys: &[f64]) -> Self {
+        Series { points: ys.iter().enumerate().map(|(i, &y)| (i as f64, y)).collect() }
+    }
+
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    pub fn xs(&self) -> impl Iterator<Item = f64> + '_ {
+        self.points.iter().map(|p| p.0)
+    }
+
+    pub fn ys(&self) -> Vec<f64> {
+        self.points.iter().map(|p| p.1).collect()
+    }
+
+    /// Linearly interpolated value at `x`; clamps beyond the domain.
+    pub fn value_at(&self, x: f64) -> f64 {
+        assert!(!self.is_empty(), "value_at on empty series");
+        let pts = &self.points;
+        if x <= pts[0].0 {
+            return pts[0].1;
+        }
+        if x >= pts[pts.len() - 1].0 {
+            return pts[pts.len() - 1].1;
+        }
+        // Find the segment containing x.
+        let mut hi = pts.partition_point(|p| p.0 < x);
+        if pts[hi].0 == x {
+            return pts[hi].1;
+        }
+        let lo = hi - 1;
+        if pts[hi].0 == pts[lo].0 {
+            hi = lo;
+        }
+        let (x0, y0) = pts[lo];
+        let (x1, y1) = pts[hi];
+        y0 + (y1 - y0) * (x - x0) / (x1 - x0)
+    }
+
+    /// Resample onto `n` evenly spaced x positions spanning the domain.
+    /// Used to embed variable-length visualizations into a fixed-dimension
+    /// vector space for k-means (functional primitive `R`).
+    pub fn resample(&self, n: usize) -> Vec<f64> {
+        assert!(n >= 1);
+        if self.is_empty() {
+            return vec![0.0; n];
+        }
+        let x0 = self.points[0].0;
+        let x1 = self.points[self.points.len() - 1].0;
+        if n == 1 || x1 == x0 {
+            return vec![self.points[0].1; n];
+        }
+        (0..n).map(|i| self.value_at(x0 + (x1 - x0) * i as f64 / (n - 1) as f64)).collect()
+    }
+}
+
+/// Pre-distance normalization of y values.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Normalize {
+    /// Compare raw magnitudes.
+    None,
+    /// Zero mean, unit variance — compares *shapes*, the zenvisage
+    /// default for trend similarity.
+    #[default]
+    ZScore,
+    /// Scale into [0, 1].
+    MinMax,
+}
+
+/// Apply a normalization in place.
+pub fn normalize(ys: &mut [f64], mode: Normalize) {
+    match mode {
+        Normalize::None => {}
+        Normalize::ZScore => {
+            let n = ys.len() as f64;
+            if ys.is_empty() {
+                return;
+            }
+            let mean = ys.iter().sum::<f64>() / n;
+            let var = ys.iter().map(|y| (y - mean) * (y - mean)).sum::<f64>() / n;
+            let sd = var.sqrt();
+            if sd > 0.0 {
+                for y in ys.iter_mut() {
+                    *y = (*y - mean) / sd;
+                }
+            } else {
+                for y in ys.iter_mut() {
+                    *y = 0.0;
+                }
+            }
+        }
+        Normalize::MinMax => {
+            let lo = ys.iter().copied().fold(f64::INFINITY, f64::min);
+            let hi = ys.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            if hi > lo {
+                for y in ys.iter_mut() {
+                    *y = (*y - lo) / (hi - lo);
+                }
+            } else {
+                for y in ys.iter_mut() {
+                    *y = 0.0;
+                }
+            }
+        }
+    }
+}
+
+/// Put two series on the union of their x-grids via linear interpolation,
+/// returning aligned y vectors.
+pub fn align(a: &Series, b: &Series) -> (Vec<f64>, Vec<f64>) {
+    if a.is_empty() || b.is_empty() {
+        return (Vec::new(), Vec::new());
+    }
+    let mut grid: Vec<f64> = a.xs().chain(b.xs()).collect();
+    grid.sort_by(|x, y| x.total_cmp(y));
+    grid.dedup();
+    let ya = grid.iter().map(|&x| a.value_at(x)).collect();
+    let yb = grid.iter().map(|&x| b.value_at(x)).collect();
+    (ya, yb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_sorts_and_merges_duplicates() {
+        let s = Series::new(vec![(2.0, 4.0), (1.0, 1.0), (2.0, 6.0)]);
+        assert_eq!(s.points(), &[(1.0, 1.0), (2.0, 5.0)]);
+    }
+
+    #[test]
+    fn interpolation_and_clamping() {
+        let s = Series::new(vec![(0.0, 0.0), (10.0, 10.0)]);
+        assert_eq!(s.value_at(5.0), 5.0);
+        assert_eq!(s.value_at(-3.0), 0.0);
+        assert_eq!(s.value_at(42.0), 10.0);
+        assert_eq!(s.value_at(0.0), 0.0);
+        assert_eq!(s.value_at(10.0), 10.0);
+    }
+
+    #[test]
+    fn resample_even_grid() {
+        let s = Series::new(vec![(0.0, 0.0), (4.0, 8.0)]);
+        assert_eq!(s.resample(5), vec![0.0, 2.0, 4.0, 6.0, 8.0]);
+        assert_eq!(s.resample(1), vec![0.0]);
+        let flat = Series::new(vec![(3.0, 7.0)]);
+        assert_eq!(flat.resample(3), vec![7.0, 7.0, 7.0]);
+    }
+
+    #[test]
+    fn align_on_union_grid() {
+        let a = Series::new(vec![(0.0, 0.0), (2.0, 2.0)]);
+        let b = Series::new(vec![(1.0, 10.0), (3.0, 30.0)]);
+        let (ya, yb) = align(&a, &b);
+        // union grid: 0,1,2,3
+        assert_eq!(ya, vec![0.0, 1.0, 2.0, 2.0]);
+        assert_eq!(yb, vec![10.0, 10.0, 20.0, 30.0]);
+    }
+
+    #[test]
+    fn align_empty_is_empty() {
+        let a = Series::new(vec![(0.0, 1.0)]);
+        let (ya, yb) = align(&a, &Series::default());
+        assert!(ya.is_empty() && yb.is_empty());
+    }
+
+    #[test]
+    fn zscore_normalization() {
+        let mut ys = vec![1.0, 2.0, 3.0];
+        normalize(&mut ys, Normalize::ZScore);
+        let mean: f64 = ys.iter().sum::<f64>() / 3.0;
+        assert!(mean.abs() < 1e-12);
+        let var: f64 = ys.iter().map(|y| y * y).sum::<f64>() / 3.0;
+        assert!((var - 1.0).abs() < 1e-12);
+        // constant series normalizes to zeros, not NaN
+        let mut flat = vec![5.0, 5.0];
+        normalize(&mut flat, Normalize::ZScore);
+        assert_eq!(flat, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn minmax_normalization() {
+        let mut ys = vec![2.0, 4.0, 6.0];
+        normalize(&mut ys, Normalize::MinMax);
+        assert_eq!(ys, vec![0.0, 0.5, 1.0]);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn prop_resample_preserves_endpoints(
+            ys in proptest::collection::vec(-100.0f64..100.0, 2..20),
+            n in 2usize..50,
+        ) {
+            let s = Series::from_ys(&ys);
+            let r = s.resample(n);
+            proptest::prop_assert!((r[0] - ys[0]).abs() < 1e-9);
+            proptest::prop_assert!((r[n-1] - ys[ys.len()-1]).abs() < 1e-9);
+        }
+
+        #[test]
+        fn prop_value_at_within_bounds(
+            ys in proptest::collection::vec(-100.0f64..100.0, 1..20),
+            x in -50.0f64..50.0,
+        ) {
+            let s = Series::from_ys(&ys);
+            let v = s.value_at(x);
+            let lo = ys.iter().copied().fold(f64::INFINITY, f64::min);
+            let hi = ys.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            proptest::prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Trend estimation — the functional primitive `T(f)` of thesis §3.8:
+//! "measure the slope of a linear fit to the given input visualization".
+
+use crate::series::Series;
+
+/// Ordinary-least-squares fit of `y = slope·x + intercept`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LinearFit {
+    pub slope: f64,
+    pub intercept: f64,
+    /// Coefficient of determination in [0, 1].
+    pub r_squared: f64,
+}
+
+/// Fit a line through `(x, y)` points. A series with fewer than two
+/// distinct x values has zero slope by convention.
+pub fn linear_fit(points: &[(f64, f64)]) -> LinearFit {
+    let n = points.len() as f64;
+    if points.len() < 2 {
+        let y = points.first().map(|p| p.1).unwrap_or(0.0);
+        return LinearFit { slope: 0.0, intercept: y, r_squared: 1.0 };
+    }
+    let mean_x = points.iter().map(|p| p.0).sum::<f64>() / n;
+    let mean_y = points.iter().map(|p| p.1).sum::<f64>() / n;
+    let mut sxx = 0.0;
+    let mut sxy = 0.0;
+    let mut syy = 0.0;
+    for &(x, y) in points {
+        let dx = x - mean_x;
+        let dy = y - mean_y;
+        sxx += dx * dx;
+        sxy += dx * dy;
+        syy += dy * dy;
+    }
+    if sxx == 0.0 {
+        return LinearFit { slope: 0.0, intercept: mean_y, r_squared: 1.0 };
+    }
+    let slope = sxy / sxx;
+    let intercept = mean_y - slope * mean_x;
+    let r_squared = if syy == 0.0 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
+    LinearFit { slope, intercept, r_squared }
+}
+
+/// The default `T`: positive for growth, negative for decline (the slope
+/// of the least-squares line).
+pub fn trend(series: &Series) -> f64 {
+    linear_fit(series.points()).slope
+}
+
+/// `T` normalized by the y scale, so trends are comparable across
+/// measures with different magnitudes (used when ranking by slope across
+/// heterogeneous visualizations).
+pub fn normalized_trend(series: &Series) -> f64 {
+    let pts = series.points();
+    if pts.len() < 2 {
+        return 0.0;
+    }
+    let fit = linear_fit(pts);
+    let mean_y = pts.iter().map(|p| p.1).sum::<f64>() / pts.len() as f64;
+    if mean_y.abs() < f64::EPSILON {
+        fit.slope
+    } else {
+        fit.slope / mean_y.abs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line_recovered() {
+        let pts: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, 3.0 * i as f64 + 2.0)).collect();
+        let fit = linear_fit(&pts);
+        assert!((fit.slope - 3.0).abs() < 1e-12);
+        assert!((fit.intercept - 2.0).abs() < 1e-12);
+        assert!((fit.r_squared - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trend_sign_detects_growth_and_decline() {
+        let up = Series::from_ys(&[1.0, 2.0, 2.5, 4.0]);
+        let down = Series::from_ys(&[4.0, 3.0, 2.5, 1.0]);
+        let flat = Series::from_ys(&[2.0, 2.0, 2.0]);
+        assert!(trend(&up) > 0.0);
+        assert!(trend(&down) < 0.0);
+        assert_eq!(trend(&flat), 0.0);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(linear_fit(&[]).slope, 0.0);
+        assert_eq!(linear_fit(&[(1.0, 5.0)]).intercept, 5.0);
+        // vertical stack of points: zero slope by convention
+        let fit = linear_fit(&[(2.0, 1.0), (2.0, 9.0)]);
+        assert_eq!(fit.slope, 0.0);
+        assert_eq!(fit.intercept, 5.0);
+    }
+
+    #[test]
+    fn r_squared_decreases_with_noise() {
+        let clean: Vec<(f64, f64)> = (0..20).map(|i| (i as f64, i as f64)).collect();
+        let noisy: Vec<(f64, f64)> = (0..20)
+            .map(|i| (i as f64, i as f64 + if i % 2 == 0 { 4.0 } else { -4.0 }))
+            .collect();
+        assert!(linear_fit(&clean).r_squared > linear_fit(&noisy).r_squared);
+    }
+
+    #[test]
+    fn normalized_trend_is_scale_free() {
+        let small = Series::from_ys(&[1.0, 2.0, 3.0]);
+        let big = Series::from_ys(&[100.0, 200.0, 300.0]);
+        assert!((normalized_trend(&small) - normalized_trend(&big)).abs() < 1e-12);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn prop_slope_invariant_to_y_shift(
+            ys in proptest::collection::vec(-50.0f64..50.0, 3..30),
+            shift in -100.0f64..100.0,
+        ) {
+            let base = Series::from_ys(&ys);
+            let shifted = Series::from_ys(&ys.iter().map(|y| y + shift).collect::<Vec<_>>());
+            proptest::prop_assert!((trend(&base) - trend(&shifted)).abs() < 1e-6);
+        }
+
+        #[test]
+        fn prop_r_squared_bounded(ys in proptest::collection::vec(-50.0f64..50.0, 2..30)) {
+            let fit = linear_fit(&Series::from_ys(&ys).points().to_vec());
+            proptest::prop_assert!(fit.r_squared >= -1e-9 && fit.r_squared <= 1.0 + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! Ablation: dense-array vs hash-map group lookup (DESIGN.md §5) — the
+//! mechanism behind the Figure 7.5 crossover at 100% selectivity.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+use zv_datagen::{sales, SalesConfig};
+use zv_storage::{
+    BitmapDb, BitmapDbConfig, Database, SelectQuery, XSpec, YSpec,
+};
+
+fn bench_group_strategies(c: &mut Criterion) {
+    let table = sales::generate(&SalesConfig {
+        rows: 200_000,
+        products: 2_000,
+        ..Default::default()
+    });
+    // Same engine, forced into each strategy.
+    let dense = BitmapDb::with_config(
+        table.clone(),
+        BitmapDbConfig { dense_group_limit: u128::MAX, ..Default::default() },
+    );
+    let hash = BitmapDb::with_config(
+        Arc::clone(&table),
+        BitmapDbConfig { dense_group_limit: 0, ..Default::default() },
+    );
+    let q = SelectQuery::new(XSpec::raw("year"), vec![YSpec::sum("sales")]).with_z("product");
+    let groups = 2_000 * 7;
+
+    let mut group = c.benchmark_group("group_lookup");
+    group.sample_size(20);
+    group.bench_with_input(BenchmarkId::new("dense_array", groups), &groups, |bencher, _| {
+        bencher.iter(|| black_box(dense.execute(&q).unwrap()).groups.len())
+    });
+    group.bench_with_input(BenchmarkId::new("hash_map", groups), &groups, |bencher, _| {
+        bencher.iter(|| black_box(hash.execute(&q).unwrap()).groups.len())
+    });
+    group.finish();
+}
+
+fn bench_selection_paths(c: &mut Criterion) {
+    // Bitmap-index selection vs compiled-predicate scan on the same data.
+    let table = sales::generate(&SalesConfig {
+        rows: 200_000,
+        products: 100,
+        ..Default::default()
+    });
+    let bitmap = BitmapDb::new(table.clone());
+    let scan = zv_storage::ScanDb::new(table);
+    let q = SelectQuery::new(XSpec::raw("year"), vec![YSpec::sum("sales")])
+        .with_predicate(zv_storage::Predicate::cat_eq("product", "stapler"));
+
+    let mut group = c.benchmark_group("selection_1pct");
+    group.sample_size(20);
+    group.bench_function("bitmap_index", |bencher| {
+        bencher.iter(|| black_box(bitmap.execute(&q).unwrap()))
+    });
+    group.bench_function("predicate_scan", |bencher| {
+        bencher.iter(|| black_box(scan.execute(&q).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_group_strategies, bench_selection_paths);
+criterion_main!(benches);

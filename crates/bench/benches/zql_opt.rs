@@ -1,0 +1,66 @@
+//! End-to-end ZQL execution at each of the four §5.2 optimization levels
+//! (the criterion companion to the fig7_1 harness).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+use zql::{OptLevel, ZqlEngine};
+use zv_datagen::{sales, SalesConfig};
+use zv_storage::{BitmapDb, DynDatabase, Value};
+
+const QUERY: &str = "name | x | y | z | constraints | viz | process\n\
+    f1 | 'year' | 'sales' | v1 <- 'product'.P | location='US' | bar.(y=agg('sum')) | v2 <- argany(v1)[t > 0] T(f1)\n\
+    f2 | 'year' | 'sales' | v1 | location='UK' | bar.(y=agg('sum')) | v3 <- argany(v1)[t < 0] T(f2)\n\
+    *f3 | 'year' | 'profit' | v4 <- (v2.range | v3.range) | | bar.(y=agg('sum')) |";
+
+fn bench_opt_levels(c: &mut Criterion) {
+    let db: DynDatabase = Arc::new(BitmapDb::new(sales::generate(&SalesConfig {
+        rows: 200_000,
+        products: 100,
+        ..Default::default()
+    })));
+    let products: Vec<Value> = (0..20).map(|p| Value::str(sales::product_name(p))).collect();
+
+    let mut group = c.benchmark_group("table_5_1_query");
+    group.sample_size(10);
+    for opt in [OptLevel::NoOpt, OptLevel::IntraLine, OptLevel::IntraTask, OptLevel::InterTask] {
+        let mut engine = ZqlEngine::with_opt_level(db.clone(), opt);
+        engine.registry_mut().register_value_set("P", products.clone());
+        group.bench_with_input(
+            BenchmarkId::new("opt", format!("{opt:?}")),
+            &opt,
+            |bencher, _| {
+                bencher.iter(|| {
+                    black_box(engine.execute_text(QUERY).unwrap()).visualizations.len()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_tasks(c: &mut Criterion) {
+    use zql::{representative_search, similarity_search, TaskSpec};
+    use zv_analytics::Series;
+    let db: DynDatabase = Arc::new(BitmapDb::new(sales::generate(&SalesConfig {
+        rows: 200_000,
+        products: 200,
+        ..Default::default()
+    })));
+    let engine = ZqlEngine::new(db);
+    let spec = TaskSpec::new("year", "sales", "product");
+    let sketch = Series::from_ys(&[0.0, 1.0, 2.0, 3.0, 4.0, 5.0]);
+
+    let mut group = c.benchmark_group("task_processors");
+    group.sample_size(10);
+    group.bench_function("similarity_200", |bencher| {
+        bencher.iter(|| similarity_search(&engine, &spec, &sketch, 5).unwrap().visualizations)
+    });
+    group.bench_function("representative_200", |bencher| {
+        bencher.iter(|| representative_search(&engine, &spec, 10).unwrap().visualizations)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_opt_levels, bench_tasks);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Runs every evaluation experiment (Figures 7.1–7.5, Chapter 8) and
+//! writes each report under bench_results/. Pass --full-scale for the
+//! paper's dataset sizes.
+fn main() {
+    let scale = zv_bench::Scale::from_args();
+    let figures: [(&str, fn(&zv_bench::Scale) -> String); 6] = [
+        ("fig7_1", zv_bench::figures::fig7_1),
+        ("fig7_2", zv_bench::figures::fig7_2),
+        ("fig7_3", zv_bench::figures::fig7_3),
+        ("fig7_4", zv_bench::figures::fig7_4),
+        ("fig7_5", zv_bench::figures::fig7_5),
+        ("study8", zv_bench::figures::study8),
+    ];
+    for (name, f) in figures {
+        println!("=== {name} ===");
+        let (report, took) = zv_bench::time_it(|| f(&scale));
+        print!("{report}");
+        println!("[{name} finished in {}]\n", zv_bench::fmt_dur(took));
+        zv_bench::write_result(name, &report).expect("write result");
+    }
+}

@@ -1,0 +1,419 @@
+//! One function per evaluation figure/table. See DESIGN.md §5 for the
+//! experiment index and EXPERIMENTS.md for paper-vs-measured results.
+
+use crate::{fmt_dur, request_overhead, Scale};
+use std::fmt::Write as _;
+use std::sync::Arc;
+use zql::{
+    outlier_search, representative_search, similarity_search, OptLevel, TaskSpec, ZqlEngine,
+};
+use zv_analytics::Series;
+use zv_datagen::{airline, census, sales, AirlineConfig, CensusConfig, SalesConfig};
+use zv_storage::{
+    Agg, BitmapDb, BitmapDbConfig, CatColumn, Column, Database, DataType, DynDatabase, Field,
+    Predicate, ScanDb, Schema, SelectQuery, Table, Value, XSpec, YSpec,
+};
+
+const OPT_LEVELS: [OptLevel; 4] =
+    [OptLevel::NoOpt, OptLevel::IntraLine, OptLevel::IntraTask, OptLevel::InterTask];
+
+fn sales_db(scale: &Scale) -> DynDatabase {
+    let cfg = SalesConfig {
+        rows: scale.pick(1_000_000, 10_000_000),
+        products: scale.pick(200, 1000),
+        ..Default::default()
+    };
+    Arc::new(BitmapDb::with_config(
+        sales::generate(&cfg),
+        BitmapDbConfig { request_overhead: request_overhead(), ..Default::default() },
+    ))
+}
+
+fn airline_db(scale: &Scale) -> DynDatabase {
+    let cfg = AirlineConfig {
+        rows: scale.pick(1_000_000, 15_000_000),
+        airports: scale.pick(60, 300),
+        ..Default::default()
+    };
+    Arc::new(BitmapDb::with_config(
+        airline::generate(&cfg),
+        BitmapDbConfig { request_overhead: request_overhead(), ..Default::default() },
+    ))
+}
+
+fn census_db(scale: &Scale) -> DynDatabase {
+    let cfg = CensusConfig { rows: scale.pick(50_000, 300_000), ..Default::default() };
+    Arc::new(BitmapDb::new(census::generate(&cfg)))
+}
+
+fn run_at_levels(db: &DynDatabase, label: &str, text: &str, setup: impl Fn(&mut ZqlEngine)) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{label}");
+    let _ = writeln!(out, "  {:<12} {:>10} {:>14} {:>14}", "level", "runtime", "sql queries", "sql requests");
+    for opt in OPT_LEVELS {
+        let mut engine = ZqlEngine::with_opt_level(db.clone(), opt);
+        setup(&mut engine);
+        let result = engine.execute_text(text).expect("query runs");
+        let _ = writeln!(
+            out,
+            "  {:<12} {:>10} {:>14} {:>14}",
+            format!("{opt:?}"),
+            fmt_dur(result.report.total_time),
+            result.report.sql_queries,
+            result.report.requests
+        );
+    }
+    out
+}
+
+/// Figure 7.1: runtimes and SQL-request counts for the Table 5.1 (top)
+/// and Table 5.2 (bottom) queries on the synthetic sales dataset, at each
+/// optimization level.
+pub fn fig7_1(scale: &Scale) -> String {
+    let db = sales_db(scale);
+    let products: Vec<Value> =
+        (0..20).map(|p| Value::str(sales::product_name(p))).collect();
+    let register = move |e: &mut ZqlEngine| {
+        e.registry_mut().register_value_set("P", products.clone());
+    };
+
+    let table_5_1 = "name | x | y | z | constraints | viz | process\n\
+        f1 | 'year' | 'sales' | v1 <- 'product'.P | location='US' | bar.(y=agg('sum')) | v2 <- argany(v1)[t > 0] T(f1)\n\
+        f2 | 'year' | 'sales' | v1 | location='UK' | bar.(y=agg('sum')) | v3 <- argany(v1)[t < 0] T(f2)\n\
+        *f3 | 'year' | 'profit' | v4 <- (v2.range | v3.range) | | bar.(y=agg('sum')) |";
+    let table_5_2 = "name | x | y | z | constraints | viz | process\n\
+        f1 | 'city' | 'sales' | v1 <- 'product'.P | year=2010 | bar.(y=agg('sum')) |\n\
+        f2 | 'city' | 'sales' | v1 | year=2015 | bar.(y=agg('sum')) | v2 <- argmax(v1)[k=10] D(f1, f2)\n\
+        *f3 | 'city' | 'profit' | v2 | year=2010 | bar.(y=agg('sum')) |\n\
+        *f4 | 'city' | 'profit' | v2 | year=2015 | bar.(y=agg('sum')) |";
+
+    let mut out = String::from("Figure 7.1 — query-optimization effect (synthetic sales)\n");
+    let _ = writeln!(
+        out,
+        "rows={}, |P|=20, request overhead={:?}\n",
+        db.table().num_rows(),
+        request_overhead()
+    );
+    out += &run_at_levels(&db, "(top) Table 5.1 — +US/-UK trend filter:", table_5_1, &register);
+    out.push('\n');
+    out +=
+        &run_at_levels(&db, "(bottom) Table 5.2 — 2010 vs 2015 discrepancy:", table_5_2, &register);
+    out
+}
+
+/// Figure 7.2: the Table 7.1 (left) and Table 7.2 (right) queries on the
+/// airline dataset.
+pub fn fig7_2(scale: &Scale) -> String {
+    let db = airline_db(scale);
+    let airports: Vec<Value> =
+        (0..10).map(|a| Value::str(airline::airport_name(a))).collect();
+    let register = move |e: &mut ZqlEngine| {
+        e.registry_mut().register_value_set("OA", airports.clone());
+        e.registry_mut().register_value_set("DA", airports.clone());
+    };
+
+    // Table 7.1: airports where avg departure OR weather delay increases.
+    let table_7_1 = "name | x | y | z | viz | process\n\
+        f1 | 'year' | 'dep_delay' | v1 <- 'origin'.OA | bar.(y=agg('avg')) | v2 <- argany(v1)[t > 0] T(f1)\n\
+        f2 | 'year' | 'weather_delay' | v1 | bar.(y=agg('avg')) | v3 <- argany(v1)[t > 0] T(f2)\n\
+        *f3 | 'year' | y3 <- {'dep_delay', 'weather_delay'} | v4 <- (v2.range | v3.range) | bar.(y=agg('avg')) |";
+    // Table 7.2: airports whose June vs December arrival delays differ most.
+    let table_7_2 = "name | x | y | z | constraints | viz | process\n\
+        f1 | 'day' | 'arr_delay' | v1 <- 'origin'.DA | month=6 | bar.(y=agg('avg')) |\n\
+        f2 | 'day' | 'arr_delay' | v1 | month=12 | bar.(y=agg('avg')) | v2 <- argmax(v1)[k=10] D(f1, f2)\n\
+        *f3 | 'month' | y1 <- {'arr_delay', 'weather_delay'} | v2 | | bar.(y=agg('avg')) |";
+
+    let mut out = String::from("Figure 7.2 — query-optimization effect (airline)\n");
+    let _ = writeln!(
+        out,
+        "rows={}, |OA|=|DA|=10, request overhead={:?}\n",
+        db.table().num_rows(),
+        request_overhead()
+    );
+    out += &run_at_levels(&db, "(left) Table 7.1 — increasing delays:", table_7_1, &register);
+    out.push('\n');
+    out += &run_at_levels(&db, "(right) Table 7.2 — June vs December:", table_7_2, &register);
+    out
+}
+
+fn run_tasks(engine: &ZqlEngine, spec: &TaskSpec, sketch: &Series) -> [zql::ExecReport; 3] {
+    let sim = similarity_search(engine, spec, sketch, 1).expect("similarity").report;
+    let rep = representative_search(engine, spec, 10).expect("representative").report;
+    let out = outlier_search(engine, spec, 10, 10).expect("outlier").report;
+    [sim, rep, out]
+}
+
+fn task_table(reports: &[zql::ExecReport; 3]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "  {:<16} {:>12} {:>14} {:>14}",
+        "task", "total", "computation", "query exec"
+    );
+    for (name, r) in ["similarity", "representative", "outlier"].iter().zip(reports) {
+        let _ = writeln!(
+            out,
+            "  {:<16} {:>12} {:>14} {:>14}",
+            name,
+            fmt_dur(r.total_time),
+            fmt_dur(r.compute_time),
+            fmt_dur(r.db_time)
+        );
+    }
+    out
+}
+
+/// Figure 7.3: task-processor performance on the two "real-world"
+/// datasets (census and airline synthetic twins).
+pub fn fig7_3(scale: &Scale) -> String {
+    let mut out = String::from("Figure 7.3 — task processors on real-world data\n\n");
+    let sketch = Series::from_ys(&[0.0, 1.0, 2.0, 3.0, 4.0, 5.0]);
+
+    let census = census_db(scale);
+    let engine = ZqlEngine::new(census.clone());
+    let spec = TaskSpec::new("age", "wage_per_hour", "occupation").with_agg(Agg::Avg);
+    let _ = writeln!(out, "census-data (rows={}):", census.table().num_rows());
+    out += &task_table(&run_tasks(&engine, &spec, &sketch));
+
+    // No simulated round-trip here: this experiment measures the task
+    // processors themselves.
+    let airline: DynDatabase = Arc::new(BitmapDb::new(airline::generate(&AirlineConfig {
+        rows: scale.pick(1_000_000, 15_000_000),
+        airports: scale.pick(60, 300),
+        ..Default::default()
+    })));
+    let engine = ZqlEngine::new(airline.clone());
+    let spec = TaskSpec::new("year", "dep_delay", "origin").with_agg(Agg::Avg);
+    let _ = writeln!(out, "\nairline (rows={}):", airline.table().num_rows());
+    out += &task_table(&run_tasks(&engine, &spec, &sketch));
+    out
+}
+
+/// Figure 7.4: task performance as the number of groups (x-distinct ×
+/// z-distinct) grows, on the synthetic sales dataset.
+pub fn fig7_4(scale: &Scale) -> String {
+    let mut out = String::from(
+        "Figure 7.4 — task processors vs number of groups (synthetic sales)\n\
+         groups = |years| × |products| (7 × products)\n\n",
+    );
+    let rows = scale.pick(1_000_000, 10_000_000);
+    let sketch = Series::from_ys(&[0.0, 1.0, 2.0, 3.0, 4.0, 5.0]);
+    for groups in [1_000usize, 10_000, 50_000, 100_000] {
+        let products = (groups / 7).max(1);
+        let table = sales::generate(&SalesConfig {
+            rows,
+            products,
+            cities: 10,
+            locations: 4,
+            ..Default::default()
+        });
+        let engine = ZqlEngine::new(Arc::new(BitmapDb::new(table)));
+        let spec = TaskSpec::new("year", "sales", "product");
+        let reports = run_tasks(&engine, &spec, &sketch);
+        let _ = writeln!(out, "groups={groups} (products={products}, rows={rows}):");
+        out += &task_table(&reports);
+        out.push('\n');
+    }
+    out
+}
+
+/// The Figure 7.5 microbenchmark table: columns g20..g100k (the GROUP BY
+/// targets), p1/p2 (predicates, 10% selectivity each value), measure m.
+fn fig7_5_table(rows: usize, seed: u64) -> Arc<Table> {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    let group_cards = [10usize, 50, 5_000, 25_000, 50_000];
+    let mut cats: Vec<CatColumn> = group_cards
+        .iter()
+        .map(|&card| {
+            let mut c = CatColumn::new();
+            for v in 0..card {
+                c.intern(&format!("v{v}"));
+            }
+            c
+        })
+        .collect();
+    let mut x2 = CatColumn::new();
+    x2.intern("a");
+    x2.intern("b");
+    let mut p1 = CatColumn::new();
+    let mut p2 = CatColumn::new();
+    for v in 0..10 {
+        p1.intern(&format!("p{v}"));
+        p2.intern(&format!("q{v}"));
+    }
+    let mut m: Vec<f64> = Vec::with_capacity(rows);
+    for _ in 0..rows {
+        for (c, &card) in cats.iter_mut().zip(&group_cards) {
+            c.push_code(rng.gen_range(0..card) as u32);
+        }
+        x2.push_code(rng.gen_range(0..2u32));
+        p1.push_code(rng.gen_range(0..10u32));
+        p2.push_code(rng.gen_range(0..10u32));
+        m.push(rng.gen_range(0.0..100.0));
+    }
+    let mut fields: Vec<Field> = group_cards
+        .iter()
+        .map(|&card| Field::new(format!("g{}", card * 2), DataType::Cat))
+        .collect();
+    fields.push(Field::new("x2", DataType::Cat));
+    fields.push(Field::new("p1", DataType::Cat));
+    fields.push(Field::new("p2", DataType::Cat));
+    fields.push(Field::new("m", DataType::Float));
+    let mut columns: Vec<Column> = cats.into_iter().map(Column::Cat).collect();
+    columns.push(Column::Cat(x2));
+    columns.push(Column::Cat(p1));
+    columns.push(Column::Cat(p2));
+    columns.push(Column::Float(m));
+    Arc::new(Table::from_columns(Schema::new(fields), columns).unwrap())
+}
+
+fn bench_query(db: &dyn Database, q: &SelectQuery, reps: usize) -> std::time::Duration {
+    // warm-up + best-of-n (the paper reports per-query execution time)
+    let _ = db.execute(q).unwrap();
+    let mut best = std::time::Duration::MAX;
+    for _ in 0..reps {
+        let start = std::time::Instant::now();
+        let _ = db.execute(q).unwrap();
+        best = best.min(start.elapsed());
+    }
+    best
+}
+
+/// Figure 7.5: the Roaring-bitmap engine vs the scan engine under 100%
+/// and 10% selectivity, across group counts, plus the census dataset.
+pub fn fig7_5(scale: &Scale) -> String {
+    let rows = scale.pick(1_000_000, 10_000_000);
+    let table = fig7_5_table(rows, 0xF75);
+    let bitmap = BitmapDb::new(table.clone());
+    let scan = ScanDb::new(table.clone());
+    let reps = if scale.full { 2 } else { 3 };
+
+    let mut out = String::from("Figure 7.5 — RoaringDB vs ScanDB (canonical grouped query)\n");
+    let _ = writeln!(out, "rows={rows}; query: SELECT x2, SUM(m), Z GROUP BY Z, x2\n");
+    for selectivity in ["100%", "10%"] {
+        let _ = writeln!(out, "selectivity {selectivity}:");
+        let _ = writeln!(
+            out,
+            "  {:<10} {:>12} {:>12} {:>9}",
+            "groups", "roaring", "scandb", "ratio"
+        );
+        for &z in &["g20", "g100", "g10000", "g50000", "g100000"] {
+            let mut q =
+                SelectQuery::new(XSpec::raw("x2"), vec![YSpec::sum("m")]).with_z(z.to_string());
+            if selectivity == "10%" {
+                q = q.with_predicate(Predicate::cat_eq("p1", "p3"));
+            }
+            let tb = bench_query(&bitmap, &q, reps);
+            let ts = bench_query(&scan, &q, reps);
+            let groups: usize = z[1..].parse::<usize>().unwrap() * 2;
+            let _ = writeln!(
+                out,
+                "  {:<10} {:>12} {:>12} {:>8.2}x",
+                groups,
+                fmt_dur(tb),
+                fmt_dur(ts),
+                ts.as_secs_f64() / tb.as_secs_f64()
+            );
+        }
+        out.push('\n');
+    }
+
+    // (c) census data at both selectivities.
+    let census = census::generate(&CensusConfig {
+        rows: scale.pick(50_000, 300_000),
+        ..Default::default()
+    });
+    let bitmap = BitmapDb::new(census.clone());
+    let scan = ScanDb::new(census.clone());
+    let _ = writeln!(out, "census data (rows={}):", census.num_rows());
+    let _ = writeln!(out, "  {:<12} {:>12} {:>12} {:>9}", "selectivity", "roaring", "scandb", "ratio");
+    for (label, pred) in [
+        ("100%", Predicate::True),
+        // education_1 covers roughly 10% under the skewed distribution
+        ("~10%", Predicate::cat_eq("education", "education_1")),
+    ] {
+        let q = SelectQuery::new(XSpec::raw("sex"), vec![YSpec::avg("wage_per_hour")])
+            .with_z("occupation")
+            .with_predicate(pred);
+        let tb = bench_query(&bitmap, &q, reps);
+        let ts = bench_query(&scan, &q, reps);
+        let _ = writeln!(
+            out,
+            "  {:<12} {:>12} {:>12} {:>8.2}x",
+            label,
+            fmt_dur(tb),
+            fmt_dur(ts),
+            ts.as_secs_f64() / tb.as_secs_f64()
+        );
+    }
+    out
+}
+
+/// Chapter 8: Table 8.2 and Figure 8.2 from the simulated user study
+/// (DESIGN.md substitution 4), plus Findings 1–2 summary statistics.
+pub fn study8(scale: &Scale) -> String {
+    use zv_study::{run_study, Interface, StudyConfig};
+    let cfg = StudyConfig {
+        housing: zv_datagen::HousingConfig {
+            rows: scale.pick(24_000, 245_000),
+            counties: 120,
+            cities: 240,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let r = run_study(&cfg);
+    let mut out = String::from("Chapter 8 — simulated user study (see DESIGN.md, substitution 4)\n\n");
+    let _ = writeln!(out, "Table 8.1 (participant demographics): not reproducible — human data.\n");
+    let _ = writeln!(out, "Findings 1–2 (completion time / accuracy):");
+    let _ = writeln!(
+        out,
+        "  {:<24} {:>12} {:>10} {:>12} {:>10}",
+        "interface", "time μ (s)", "time σ", "accuracy μ%", "acc σ"
+    );
+    for s in &r.interfaces {
+        let _ = writeln!(
+            out,
+            "  {:<24} {:>12.1} {:>10.1} {:>12.1} {:>10.1}",
+            s.interface.name(),
+            s.mean_time(),
+            s.sd_time(),
+            s.mean_accuracy(),
+            s.sd_accuracy()
+        );
+    }
+    let _ = writeln!(
+        out,
+        "\nANOVA on completion time: F({}, {}) = {:.2}, p = {:.5}",
+        r.anova.df_between, r.anova.df_within, r.anova.f, r.anova.p_value
+    );
+    let _ = writeln!(out, "\nTable 8.2 — Tukey's HSD on task completion time:");
+    let names = ["drag-and-drop", "custom-builder", "baseline"];
+    let _ = writeln!(out, "  {:<38} {:>10} {:>12} {}", "treatments", "Q", "p-value", "inference");
+    for c in &r.tukey {
+        let inference = if c.significant(0.01) {
+            "significant (p<0.01)"
+        } else if c.significant(0.05) {
+            "significant (p<0.05)"
+        } else {
+            "insignificant"
+        };
+        let _ = writeln!(
+            out,
+            "  {:<38} {:>10.4} {:>12.5} {}",
+            format!("{} vs {}", names[c.group_a], names[c.group_b]),
+            c.q,
+            c.p_value,
+            inference
+        );
+    }
+    let _ = writeln!(out, "\nInter-rater agreement (Kendall's τ): {:.3} (thesis: 0.854)", r.inter_rater_tau);
+    let _ = writeln!(out, "\nFigure 8.2 — accuracy within time budget (CSV):");
+    let _ = writeln!(out, "  time_s,{},{},{}", Interface::ALL[0].name(), Interface::ALL[1].name(), Interface::ALL[2].name());
+    for (t, acc) in &r.accuracy_over_time {
+        let _ = writeln!(out, "  {t:.0},{:.1},{:.1},{:.1}", acc[0], acc[1], acc[2]);
+    }
+    out
+}

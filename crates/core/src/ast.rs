@@ -1,0 +1,477 @@
+//! The ZQL query model (thesis Ch. 3): a query is a table whose rows are
+//! visual components, with the fixed columns Name, X, Y, Z (Z2, Z3, …),
+//! Constraints, Viz, and Process.
+
+use std::fmt;
+use zv_storage::{Agg, Predicate, Value};
+
+/// A whole ZQL query: an ordered list of rows.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct ZqlQuery {
+    pub rows: Vec<ZqlRow>,
+}
+
+impl ZqlQuery {
+    pub fn new(rows: Vec<ZqlRow>) -> Self {
+        ZqlQuery { rows }
+    }
+}
+
+/// One row: a named visual component plus optional processes.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ZqlRow {
+    pub name: NameCol,
+    pub x: Option<AxisEntry>,
+    pub y: Option<AxisEntry>,
+    /// Z, Z2, Z3, … slice columns.
+    pub zs: Vec<ZEntry>,
+    pub constraints: Option<ConstraintExpr>,
+    pub viz: Option<VizEntry>,
+    pub processes: Vec<ProcessDecl>,
+}
+
+impl ZqlRow {
+    pub fn named(name: NameCol) -> Self {
+        ZqlRow { name, x: None, y: None, zs: Vec::new(), constraints: None, viz: None, processes: Vec::new() }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Name column
+// ---------------------------------------------------------------------
+
+/// The Name column: an identifier, an output flag (`*f1`), a user-input
+/// flag (`-f1`), or a derivation (`f3=f1+f2`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct NameCol {
+    pub name: String,
+    /// `*` prefix: this component is part of the query output.
+    pub output: bool,
+    /// `-` prefix: the component is provided by the user (sketch input).
+    pub user_input: bool,
+    /// `= <expr>` suffix: the component derives from earlier components.
+    pub derived: Option<NameExpr>,
+}
+
+impl NameCol {
+    pub fn fresh(name: impl Into<String>) -> Self {
+        NameCol { name: name.into(), output: false, user_input: false, derived: None }
+    }
+
+    pub fn output(name: impl Into<String>) -> Self {
+        NameCol { output: true, ..Self::fresh(name) }
+    }
+
+    pub fn input(name: impl Into<String>) -> Self {
+        NameCol { user_input: true, ..Self::fresh(name) }
+    }
+
+    pub fn derived(name: impl Into<String>, expr: NameExpr) -> Self {
+        NameCol { derived: Some(expr), ..Self::fresh(name) }
+    }
+
+    pub fn derived_output(name: impl Into<String>, expr: NameExpr) -> Self {
+        NameCol { output: true, derived: Some(expr), ..Self::fresh(name) }
+    }
+}
+
+/// Operations over previously-named visual components (§3.6).
+#[derive(Clone, Debug, PartialEq)]
+pub enum NameExpr {
+    /// `f1` — reference.
+    Ref(String),
+    /// `f1+f2` — concatenation.
+    Add(Box<NameExpr>, Box<NameExpr>),
+    /// `f1-f2` — list difference.
+    Sub(Box<NameExpr>, Box<NameExpr>),
+    /// `f1^f2` — intersection.
+    Intersect(Box<NameExpr>, Box<NameExpr>),
+    /// `f1[i]` — i-th visualization (1-based).
+    Index(Box<NameExpr>, usize),
+    /// `f1[i:j]` — 1-based inclusive slice.
+    Slice(Box<NameExpr>, usize, usize),
+    /// `f1.range` — duplicate elimination.
+    Range(Box<NameExpr>),
+    /// `f1.order` — reorder by the `-->` axis variables of the row.
+    Order(Box<NameExpr>),
+}
+
+// ---------------------------------------------------------------------
+// Axis entries (X and Y columns)
+// ---------------------------------------------------------------------
+
+/// An attribute expression: a single attribute or a Polaris table-algebra
+/// composition (§3.2; `+` sums measures, `*` crosses dimensions).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum AttrExpr {
+    Attr(String),
+    /// `'profit' + 'sales'` — both measures on one axis.
+    Plus(Vec<String>),
+    /// `'product' × 'county'` — concatenated dimension axis.
+    Cross(Vec<String>),
+}
+
+impl AttrExpr {
+    pub fn attr(name: impl Into<String>) -> Self {
+        AttrExpr::Attr(name.into())
+    }
+
+    /// All attribute names mentioned.
+    pub fn attrs(&self) -> Vec<&str> {
+        match self {
+            AttrExpr::Attr(a) => vec![a],
+            AttrExpr::Plus(v) | AttrExpr::Cross(v) => v.iter().map(String::as_str).collect(),
+        }
+    }
+}
+
+impl fmt::Display for AttrExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttrExpr::Attr(a) => write!(f, "'{a}'"),
+            AttrExpr::Plus(v) => write!(f, "{}", v.iter().map(|a| format!("'{a}'")).collect::<Vec<_>>().join("+")),
+            AttrExpr::Cross(v) => write!(f, "{}", v.iter().map(|a| format!("'{a}'")).collect::<Vec<_>>().join("x")),
+        }
+    }
+}
+
+/// A set of axis values (attribute names here; see [`ZSet`] for Z).
+#[derive(Clone, Debug, PartialEq)]
+pub enum AttrSet {
+    /// `{'a', 'b'}` — explicit list.
+    List(Vec<AttrExpr>),
+    /// `*` — every attribute of the relation.
+    All,
+    /// `* \ {'a', 'b'}` — every attribute except the listed ones.
+    AllExcept(Vec<String>),
+    /// A named set registered on the engine (`M`, `C`, `P`, …).
+    Named(String),
+    /// `v.range` — the set an earlier variable iterates over.
+    RangeOf(String),
+    /// Union / difference / intersection of sets (`|`, `\`, `&`).
+    Union(Box<AttrSet>, Box<AttrSet>),
+    Diff(Box<AttrSet>, Box<AttrSet>),
+    Intersect(Box<AttrSet>, Box<AttrSet>),
+}
+
+/// An X or Y column cell.
+#[derive(Clone, Debug, PartialEq)]
+pub enum AxisEntry {
+    /// `'year'` — a fixed attribute (possibly composite).
+    Fixed(AttrExpr),
+    /// `y1 <- {'profit','sales'}` — declare a variable over a set.
+    Declare { var: String, set: AttrSet },
+    /// `x2` — reuse a variable declared earlier (here or in a process).
+    Var(String),
+    /// `y1 <- _` — bind to the values present in this row's *derived*
+    /// component (§3.6).
+    BindDerived { var: String },
+}
+
+impl AxisEntry {
+    pub fn fixed(attr: impl Into<String>) -> Self {
+        AxisEntry::Fixed(AttrExpr::attr(attr))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Z entries
+// ---------------------------------------------------------------------
+
+/// A set of values for a Z attribute.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ValueSet {
+    /// `{'chair', 'desk'}`.
+    List(Vec<Value>),
+    /// `*` — all values of the attribute.
+    All,
+    /// `(* \ {'stapler'})`.
+    AllExcept(Vec<Value>),
+    /// A named set registered on the engine.
+    Named(String),
+    /// `v2.range`.
+    RangeOf(String),
+    Union(Box<ValueSet>, Box<ValueSet>),
+    Diff(Box<ValueSet>, Box<ValueSet>),
+    Intersect(Box<ValueSet>, Box<ValueSet>),
+}
+
+/// A set of `(attribute, value)` pairs for attribute-varying Z columns
+/// (§3.3, Table 3.6/3.7).
+#[derive(Clone, Debug, PartialEq)]
+pub enum ZSet {
+    /// `'product'.*` or `'product'.{'chair','desk'}` — fixed attribute.
+    /// `attr = None` (e.g. `v4 <- (v2.range & v3.range)`) infers the
+    /// attribute from the referenced range variables.
+    AttrValues { attr: Option<String>, values: ValueSet },
+    /// `(* \ {'year','sales'}).*` — every (attr, value) pair over an
+    /// attribute set.
+    CrossAttrs { attrs: AttrSet, values: ValueSet },
+    /// Explicit union of pair sets: `('product'.{'chair'} | 'location'.'US')`.
+    Union(Box<ZSet>, Box<ZSet>),
+}
+
+/// A Z (or Z2, Z3, …) column cell.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ZEntry {
+    /// Blank — no slicing on this Z column.
+    None,
+    /// `'product'.'chair'` — a fixed slice.
+    Fixed { attr: String, value: Value },
+    /// `v1 <- 'product'.*` — value variable over one attribute.
+    DeclareValues { var: String, set: ZSet },
+    /// `z1.v1 <- (*).(*)` — attribute *and* value vary together.
+    DeclarePairs { attr_var: String, val_var: String, set: ZSet },
+    /// `v1` — reuse.
+    Var(String),
+    /// `v2 <- 'product'._` / `z1.v1 <- _` — bind to a derived component.
+    BindDerived { attr_var: Option<String>, val_var: String, attr: Option<String> },
+    /// `u1 ->` — ordering marker for `.order` rows (§3.6, Table 3.15).
+    OrderBy(String),
+}
+
+// ---------------------------------------------------------------------
+// Constraints column
+// ---------------------------------------------------------------------
+
+/// A constraint that may reference variable ranges, resolved to a
+/// [`Predicate`] at execution time (§3.7: "In the Constraints column,
+/// only the expanded set form of a variable may be used").
+#[derive(Clone, Debug, PartialEq)]
+pub enum ConstraintExpr {
+    /// A fully static predicate.
+    Static(Predicate),
+    /// `attr IN (v2.range)`.
+    InRange { attr: String, var: String },
+    And(Box<ConstraintExpr>, Box<ConstraintExpr>),
+}
+
+impl ConstraintExpr {
+    pub fn and(self, other: ConstraintExpr) -> Self {
+        ConstraintExpr::And(Box::new(self), Box::new(other))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Viz column
+// ---------------------------------------------------------------------
+
+/// Visualization type (§3.5).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ChartType {
+    Bar,
+    Line,
+    Scatterplot,
+    DotPlot,
+    BoxPlot,
+    /// Blank Viz column: "standard rules of thumb" pick the type.
+    Auto,
+}
+
+impl ChartType {
+    pub fn parse(s: &str) -> Option<ChartType> {
+        match s.to_ascii_lowercase().as_str() {
+            "bar" => Some(ChartType::Bar),
+            "line" => Some(ChartType::Line),
+            "scatterplot" | "scatter" => Some(ChartType::Scatterplot),
+            "dotplot" | "dot" => Some(ChartType::DotPlot),
+            "boxplot" | "box" => Some(ChartType::BoxPlot),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for ChartType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ChartType::Bar => "bar",
+            ChartType::Line => "line",
+            ChartType::Scatterplot => "scatterplot",
+            ChartType::DotPlot => "dotplot",
+            ChartType::BoxPlot => "boxplot",
+            ChartType::Auto => "auto",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Chart type + summarization: `bar.(x=bin(20), y=agg('sum'))`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct VizSpec {
+    pub chart: ChartType,
+    /// `x=bin(w)` — bin the x axis with width `w`.
+    pub x_bin: Option<f64>,
+    /// `y=agg('sum')` — aggregate for y values; defaults to SUM.
+    pub y_agg: Agg,
+}
+
+impl Default for VizSpec {
+    fn default() -> Self {
+        VizSpec { chart: ChartType::Auto, x_bin: None, y_agg: Agg::Sum }
+    }
+}
+
+impl VizSpec {
+    pub fn bar_sum() -> Self {
+        VizSpec { chart: ChartType::Bar, x_bin: None, y_agg: Agg::Sum }
+    }
+
+    pub fn with_agg(mut self, agg: Agg) -> Self {
+        self.y_agg = agg;
+        self
+    }
+
+    pub fn with_bin(mut self, width: f64) -> Self {
+        self.x_bin = Some(width);
+        self
+    }
+}
+
+/// A Viz column cell (may declare a variable over a set of specs,
+/// Tables 3.11–3.12).
+#[derive(Clone, Debug, PartialEq)]
+pub enum VizEntry {
+    Fixed(VizSpec),
+    Declare { var: String, specs: Vec<VizSpec> },
+    Var(String),
+}
+
+// ---------------------------------------------------------------------
+// Process column
+// ---------------------------------------------------------------------
+
+/// Sorting/filtering mechanism (§3.8).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mechanism {
+    /// Sort increasing by the objective, keep per the filter.
+    ArgMin,
+    /// Sort decreasing by the objective, keep per the filter.
+    ArgMax,
+    /// Keep traversal order; filter only.
+    ArgAny,
+}
+
+/// `[k = 10]`, `[k = ∞]`, `[t > 0]` — what to keep after ranking.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ProcessFilter {
+    /// Top-k (`k = ∞` ⇒ `usize::MAX`: sort only).
+    TopK(usize),
+    /// Threshold on the objective.
+    Threshold { op: ThresholdOp, value: f64 },
+    /// No filter: sort everything (same as `k = ∞`).
+    None,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ThresholdOp {
+    Gt,
+    Ge,
+    Lt,
+    Le,
+}
+
+impl ThresholdOp {
+    pub fn eval(self, lhs: f64, rhs: f64) -> bool {
+        match self {
+            ThresholdOp::Gt => lhs > rhs,
+            ThresholdOp::Ge => lhs >= rhs,
+            ThresholdOp::Lt => lhs < rhs,
+            ThresholdOp::Le => lhs <= rhs,
+        }
+    }
+}
+
+/// The objective expression applied per combination of the iterated
+/// variables.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ObjExpr {
+    /// `T(f1)`.
+    T(String),
+    /// `D(f1, f2)`.
+    D(String, String),
+    /// `-expr` (used for decreasing F(T), e.g. τᵛ_{−T}).
+    Neg(Box<ObjExpr>),
+    /// `min(v2) D(f1, f2)` — inner aggregation over more variables
+    /// (Table 3.20's two-level iteration).
+    InnerAgg { op: InnerOp, vars: Vec<String>, expr: Box<ObjExpr> },
+    /// A user-defined function over named components (§3.8 "user-defined
+    /// functions ... zenvisage treats them as black boxes").
+    UserFn { name: String, args: Vec<String> },
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InnerOp {
+    Min,
+    Max,
+    Sum,
+    Avg,
+}
+
+/// One entry of the Process column.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ProcessDecl {
+    /// `v2, y2 <- argmax(v1, y1)[k=10] D(f1, f2)`.
+    Rank {
+        outputs: Vec<String>,
+        mechanism: Mechanism,
+        over: Vec<String>,
+        filter: ProcessFilter,
+        objective: ObjExpr,
+    },
+    /// `v2 <- R(10, v1, f1)` — the representative primitive.
+    Representative { outputs: Vec<String>, k: usize, over: Vec<String>, component: String },
+}
+
+impl ProcessDecl {
+    pub fn outputs(&self) -> &[String] {
+        match self {
+            ProcessDecl::Rank { outputs, .. } => outputs,
+            ProcessDecl::Representative { outputs, .. } => outputs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn name_col_constructors() {
+        let n = NameCol::output("f1");
+        assert!(n.output && !n.user_input && n.derived.is_none());
+        let n = NameCol::input("f1");
+        assert!(n.user_input);
+        let n = NameCol::derived("f3", NameExpr::Add(
+            Box::new(NameExpr::Ref("f1".into())),
+            Box::new(NameExpr::Ref("f2".into())),
+        ));
+        assert!(n.derived.is_some());
+    }
+
+    #[test]
+    fn attr_expr_display_and_attrs() {
+        assert_eq!(AttrExpr::attr("year").to_string(), "'year'");
+        let plus = AttrExpr::Plus(vec!["profit".into(), "sales".into()]);
+        assert_eq!(plus.to_string(), "'profit'+'sales'");
+        assert_eq!(plus.attrs(), vec!["profit", "sales"]);
+    }
+
+    #[test]
+    fn viz_spec_builders() {
+        let v = VizSpec::bar_sum().with_bin(20.0).with_agg(Agg::Avg);
+        assert_eq!(v.chart, ChartType::Bar);
+        assert_eq!(v.x_bin, Some(20.0));
+        assert_eq!(v.y_agg, Agg::Avg);
+        assert_eq!(ChartType::parse("scatterplot"), Some(ChartType::Scatterplot));
+        assert_eq!(ChartType::parse("pie"), None);
+    }
+
+    #[test]
+    fn threshold_ops() {
+        assert!(ThresholdOp::Gt.eval(1.0, 0.0));
+        assert!(!ThresholdOp::Gt.eval(0.0, 0.0));
+        assert!(ThresholdOp::Ge.eval(0.0, 0.0));
+        assert!(ThresholdOp::Lt.eval(-1.0, 0.0));
+        assert!(ThresholdOp::Le.eval(0.0, 0.0));
+    }
+}

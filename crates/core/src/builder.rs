@@ -1,0 +1,363 @@
+//! Fluent programmatic construction of ZQL queries — the equivalent of
+//! the thesis's client library embedding ("users can easily embed ZQL
+//! queries into other computation", §3.1) for callers who prefer typed
+//! builders over the textual table format.
+//!
+//! ```
+//! use zql::builder::QueryBuilder;
+//!
+//! let query = QueryBuilder::new()
+//!     .row("f1", |r| {
+//!         r.x("year")
+//!             .y("sales")
+//!             .z_over("v1", "product")
+//!             .constraint_eq("location", "US")
+//!             .argany_threshold_gt("v2", "v1", 0.0, "f1")
+//!     })
+//!     .output_row("f2", |r| r.x("year").y("profit").z_var("v2"))
+//!     .build();
+//! assert_eq!(query.rows.len(), 2);
+//! ```
+
+use crate::ast::*;
+use zv_storage::{Predicate, Value};
+
+/// Builds a [`ZqlQuery`] row by row.
+#[derive(Default)]
+pub struct QueryBuilder {
+    rows: Vec<ZqlRow>,
+}
+
+impl QueryBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a (non-output) row.
+    pub fn row(mut self, name: &str, f: impl FnOnce(RowBuilder) -> RowBuilder) -> Self {
+        self.rows.push(f(RowBuilder::new(NameCol::fresh(name))).finish());
+        self
+    }
+
+    /// Add an output (`*f…`) row.
+    pub fn output_row(mut self, name: &str, f: impl FnOnce(RowBuilder) -> RowBuilder) -> Self {
+        self.rows.push(f(RowBuilder::new(NameCol::output(name))).finish());
+        self
+    }
+
+    /// Add a user-input (`-f…`) row; supply the sketch at execution time.
+    pub fn input_row(mut self, name: &str) -> Self {
+        self.rows.push(ZqlRow::named(NameCol::input(name)));
+        self
+    }
+
+    /// Add a derived row (`f3 = f1 + f2`, `.order`, slices, …).
+    pub fn derived_row(
+        mut self,
+        name: &str,
+        output: bool,
+        expr: NameExpr,
+        f: impl FnOnce(RowBuilder) -> RowBuilder,
+    ) -> Self {
+        let col = if output {
+            NameCol::derived_output(name, expr)
+        } else {
+            NameCol::derived(name, expr)
+        };
+        self.rows.push(f(RowBuilder::new(col)).finish());
+        self
+    }
+
+    pub fn build(self) -> ZqlQuery {
+        ZqlQuery::new(self.rows)
+    }
+}
+
+/// Builds one [`ZqlRow`].
+pub struct RowBuilder {
+    row: ZqlRow,
+}
+
+impl RowBuilder {
+    fn new(name: NameCol) -> Self {
+        RowBuilder { row: ZqlRow::named(name) }
+    }
+
+    /// Fixed X attribute.
+    pub fn x(mut self, attr: &str) -> Self {
+        self.row.x = Some(AxisEntry::fixed(attr));
+        self
+    }
+
+    /// X variable over a set of attributes.
+    pub fn x_over(mut self, var: &str, attrs: &[&str]) -> Self {
+        self.row.x = Some(AxisEntry::Declare {
+            var: var.into(),
+            set: AttrSet::List(attrs.iter().map(|a| AttrExpr::attr(*a)).collect()),
+        });
+        self
+    }
+
+    /// Reuse an attribute variable on X.
+    pub fn x_var(mut self, var: &str) -> Self {
+        self.row.x = Some(AxisEntry::Var(var.into()));
+        self
+    }
+
+    /// Fixed Y attribute.
+    pub fn y(mut self, attr: &str) -> Self {
+        self.row.y = Some(AxisEntry::fixed(attr));
+        self
+    }
+
+    /// Y variable over a set of attributes.
+    pub fn y_over(mut self, var: &str, attrs: &[&str]) -> Self {
+        self.row.y = Some(AxisEntry::Declare {
+            var: var.into(),
+            set: AttrSet::List(attrs.iter().map(|a| AttrExpr::attr(*a)).collect()),
+        });
+        self
+    }
+
+    pub fn y_var(mut self, var: &str) -> Self {
+        self.row.y = Some(AxisEntry::Var(var.into()));
+        self
+    }
+
+    /// Fixed slice: `'attr'.'value'`.
+    pub fn z_fixed(mut self, attr: &str, value: impl Into<Value>) -> Self {
+        self.row.zs.push(ZEntry::Fixed { attr: attr.into(), value: value.into() });
+        self
+    }
+
+    /// Z variable over every value of `attr` (`v <- 'attr'.*`).
+    pub fn z_over(mut self, var: &str, attr: &str) -> Self {
+        self.row.zs.push(ZEntry::DeclareValues {
+            var: var.into(),
+            set: ZSet::AttrValues { attr: Some(attr.into()), values: ValueSet::All },
+        });
+        self
+    }
+
+    /// Z variable over listed values.
+    pub fn z_in(mut self, var: &str, attr: &str, values: &[&str]) -> Self {
+        self.row.zs.push(ZEntry::DeclareValues {
+            var: var.into(),
+            set: ZSet::AttrValues {
+                attr: Some(attr.into()),
+                values: ValueSet::List(values.iter().map(|v| Value::str(*v)).collect()),
+            },
+        });
+        self
+    }
+
+    /// Reuse a Z variable.
+    pub fn z_var(mut self, var: &str) -> Self {
+        self.row.zs.push(ZEntry::Var(var.into()));
+        self
+    }
+
+    /// `var ->` ordering marker for `.order` rows.
+    pub fn order_by(mut self, var: &str) -> Self {
+        self.row.zs.push(ZEntry::OrderBy(var.into()));
+        self
+    }
+
+    /// Add an equality constraint.
+    pub fn constraint_eq(mut self, attr: &str, value: &str) -> Self {
+        let c = ConstraintExpr::Static(Predicate::cat_eq(attr, value));
+        self.row.constraints = Some(match self.row.constraints.take() {
+            Some(prev) => prev.and(c),
+            None => c,
+        });
+        self
+    }
+
+    /// Add an arbitrary static predicate.
+    pub fn constraint(mut self, pred: Predicate) -> Self {
+        let c = ConstraintExpr::Static(pred);
+        self.row.constraints = Some(match self.row.constraints.take() {
+            Some(prev) => prev.and(c),
+            None => c,
+        });
+        self
+    }
+
+    /// Set the visualization spec.
+    pub fn viz(mut self, spec: VizSpec) -> Self {
+        self.row.viz = Some(VizEntry::Fixed(spec));
+        self
+    }
+
+    /// `out <- argmin(over)[k=k] D(a, b)`.
+    pub fn argmin_distance(mut self, out: &str, over: &str, k: usize, a: &str, b: &str) -> Self {
+        self.row.processes.push(ProcessDecl::Rank {
+            outputs: vec![out.into()],
+            mechanism: Mechanism::ArgMin,
+            over: vec![over.into()],
+            filter: ProcessFilter::TopK(k),
+            objective: ObjExpr::D(a.into(), b.into()),
+        });
+        self
+    }
+
+    /// `out <- argmax(over)[k=k] D(a, b)`.
+    pub fn argmax_distance(mut self, out: &str, over: &str, k: usize, a: &str, b: &str) -> Self {
+        self.row.processes.push(ProcessDecl::Rank {
+            outputs: vec![out.into()],
+            mechanism: Mechanism::ArgMax,
+            over: vec![over.into()],
+            filter: ProcessFilter::TopK(k),
+            objective: ObjExpr::D(a.into(), b.into()),
+        });
+        self
+    }
+
+    /// `out <- argany(over)[t > threshold] T(component)`.
+    pub fn argany_threshold_gt(
+        mut self,
+        out: &str,
+        over: &str,
+        threshold: f64,
+        component: &str,
+    ) -> Self {
+        self.row.processes.push(ProcessDecl::Rank {
+            outputs: vec![out.into()],
+            mechanism: Mechanism::ArgAny,
+            over: vec![over.into()],
+            filter: ProcessFilter::Threshold { op: ThresholdOp::Gt, value: threshold },
+            objective: ObjExpr::T(component.into()),
+        });
+        self
+    }
+
+    /// `out <- argany(over)[t < threshold] T(component)`.
+    pub fn argany_threshold_lt(
+        mut self,
+        out: &str,
+        over: &str,
+        threshold: f64,
+        component: &str,
+    ) -> Self {
+        self.row.processes.push(ProcessDecl::Rank {
+            outputs: vec![out.into()],
+            mechanism: Mechanism::ArgAny,
+            over: vec![over.into()],
+            filter: ProcessFilter::Threshold { op: ThresholdOp::Lt, value: threshold },
+            objective: ObjExpr::T(component.into()),
+        });
+        self
+    }
+
+    /// `out <- R(k, over, component)`.
+    pub fn representatives(mut self, out: &str, k: usize, over: &str, component: &str) -> Self {
+        self.row.processes.push(ProcessDecl::Representative {
+            outputs: vec![out.into()],
+            k,
+            over: vec![over.into()],
+            component: component.into(),
+        });
+        self
+    }
+
+    /// Attach a fully custom process declaration.
+    pub fn process(mut self, decl: ProcessDecl) -> Self {
+        self.row.processes.push(decl);
+        self
+    }
+
+    fn finish(self) -> ZqlRow {
+        self.row
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+
+    #[test]
+    fn builder_matches_parsed_table_2_1() {
+        let built = QueryBuilder::new()
+            .output_row("f1", |r| {
+                r.x("year")
+                    .y("sales")
+                    .z_over("v1", "product")
+                    .constraint_eq("location", "US")
+                    .viz(VizSpec::bar_sum())
+            })
+            .build();
+        let parsed = parse_query(
+            "name | x | y | z | constraints | viz\n\
+             *f1 | 'year' | 'sales' | v1 <- 'product'.* | location='US' | bar.(y=agg('sum'))",
+        )
+        .unwrap();
+        assert_eq!(built, parsed);
+    }
+
+    #[test]
+    fn builder_matches_parsed_table_2_2() {
+        let built = QueryBuilder::new()
+            .input_row("f1")
+            .row("f2", |r| {
+                r.x("year").y("sales").z_over("v1", "product").argmin_distance(
+                    "v2", "v1", 1, "f1", "f2",
+                )
+            })
+            .output_row("f3", |r| r.x("year").y("sales").z_var("v2"))
+            .build();
+        let parsed = parse_query(
+            "name | x | y | z | process\n\
+             -f1 | | | |\n\
+             f2 | 'year' | 'sales' | v1 <- 'product'.* | v2 <- argmin(v1)[k=1] D(f1, f2)\n\
+             *f3 | 'year' | 'sales' | v2 |",
+        )
+        .unwrap();
+        assert_eq!(built, parsed);
+    }
+
+    #[test]
+    fn derived_rows_and_ordering() {
+        let built = QueryBuilder::new()
+            .row("f1", |r| {
+                r.x("year").y("sales").z_over("v1", "product").process(ProcessDecl::Rank {
+                    outputs: vec!["u1".into()],
+                    mechanism: Mechanism::ArgMin,
+                    over: vec!["v1".into()],
+                    filter: ProcessFilter::TopK(usize::MAX),
+                    objective: ObjExpr::T("f1".into()),
+                })
+            })
+            .derived_row(
+                "f2",
+                true,
+                NameExpr::Order(Box::new(NameExpr::Ref("f1".into()))),
+                |r| r.order_by("u1"),
+            )
+            .build();
+        let parsed = parse_query(
+            "name | x | y | z | process\n\
+             f1 | 'year' | 'sales' | v1 <- 'product'.* | u1 <- argmin(v1)[k=inf] T(f1)\n\
+             *f2=f1.order | | | u1 ->",
+        )
+        .unwrap();
+        assert_eq!(built, parsed);
+    }
+
+    #[test]
+    fn constraints_accumulate_conjunctively() {
+        let built = QueryBuilder::new()
+            .output_row("f1", |r| {
+                r.x("year").y("sales").constraint_eq("location", "US").constraint_eq(
+                    "product", "chair",
+                )
+            })
+            .build();
+        let parsed = parse_query(
+            "name | x | y | constraints\n\
+             *f1 | 'year' | 'sales' | location='US' AND product='chair'",
+        )
+        .unwrap();
+        assert_eq!(built, parsed);
+    }
+}

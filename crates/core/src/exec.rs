@@ -1,0 +1,1673 @@
+//! The ZQL execution engine (thesis Ch. 5): rows become *visual
+//! components* (n-dimensional arrays of visualizations over the
+//! Cartesian product of their axis variables), data is fetched through a
+//! [`Database`] with one of four batching levels ([`OptLevel`]), and
+//! Process-column tasks filter/sort/compare components to bind output
+//! variables.
+
+use crate::ast::*;
+use crate::parser::{parse_query, ParseError};
+use crate::primitives::FunctionRegistry;
+use std::collections::HashMap;
+use std::fmt;
+use std::time::{Duration, Instant};
+use zv_analytics::Series;
+use zv_storage::{
+    Atom, CmpOp, Column, DynDatabase, Predicate, SelectQuery, StorageError, Value,
+    XSpec, YSpec,
+};
+
+// ---------------------------------------------------------------------
+// Public API
+// ---------------------------------------------------------------------
+
+/// The external optimizations of §5.2, in increasing order of batching.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum OptLevel {
+    /// One SQL query *and* one request per visualization (§5.1's naive
+    /// compiler).
+    NoOpt,
+    /// Batch each row's visualizations into combined GROUP-BY queries,
+    /// one request per row.
+    IntraLine,
+    /// Additionally pipeline task-less rows into the request of the next
+    /// task row.
+    IntraTask,
+    /// Additionally batch any later row whose inputs are already
+    /// available (the query-tree coloring of §5.2).
+    InterTask,
+}
+
+/// Errors surfaced by parsing or executing ZQL.
+#[derive(Debug)]
+pub enum ZqlError {
+    Parse(ParseError),
+    Storage(StorageError),
+    Semantic(String),
+}
+
+impl fmt::Display for ZqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ZqlError::Parse(e) => write!(f, "{e}"),
+            ZqlError::Storage(e) => write!(f, "{e}"),
+            ZqlError::Semantic(m) => write!(f, "semantic error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ZqlError {}
+
+impl From<ParseError> for ZqlError {
+    fn from(e: ParseError) -> Self {
+        ZqlError::Parse(e)
+    }
+}
+
+impl From<StorageError> for ZqlError {
+    fn from(e: StorageError) -> Self {
+        ZqlError::Storage(e)
+    }
+}
+
+fn sem(msg: impl Into<String>) -> ZqlError {
+    ZqlError::Semantic(msg.into())
+}
+
+/// One output visualization.
+#[derive(Clone, Debug)]
+pub struct OutputViz {
+    /// The component (`*f…`) this came from.
+    pub component: String,
+    pub x: String,
+    pub y: String,
+    /// Human-readable slice description, e.g. `product=chair, location=US`.
+    pub label: String,
+    pub spec: VizSpec,
+    pub series: Series,
+}
+
+/// Execution metrics (the quantities plotted in Figures 7.1–7.4).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ExecReport {
+    pub sql_queries: u64,
+    pub requests: u64,
+    pub rows_scanned: u64,
+    /// Time inside the database backend.
+    pub db_time: Duration,
+    /// Post-processing (task) time.
+    pub compute_time: Duration,
+    pub total_time: Duration,
+}
+
+/// Result of executing a ZQL query.
+#[derive(Debug, Default)]
+pub struct ZqlOutput {
+    pub visualizations: Vec<OutputViz>,
+    pub report: ExecReport,
+}
+
+/// The zenvisage back-end: a database plus the function registry.
+pub struct ZqlEngine {
+    db: DynDatabase,
+    registry: FunctionRegistry,
+    opt: OptLevel,
+}
+
+impl ZqlEngine {
+    pub fn new(db: DynDatabase) -> Self {
+        ZqlEngine { db, registry: FunctionRegistry::default(), opt: OptLevel::InterTask }
+    }
+
+    pub fn with_opt_level(db: DynDatabase, opt: OptLevel) -> Self {
+        ZqlEngine { db, registry: FunctionRegistry::default(), opt }
+    }
+
+    pub fn set_opt_level(&mut self, opt: OptLevel) {
+        self.opt = opt;
+    }
+
+    pub fn opt_level(&self) -> OptLevel {
+        self.opt
+    }
+
+    pub fn registry(&self) -> &FunctionRegistry {
+        &self.registry
+    }
+
+    pub fn registry_mut(&mut self) -> &mut FunctionRegistry {
+        &mut self.registry
+    }
+
+    pub fn database(&self) -> &DynDatabase {
+        &self.db
+    }
+
+    /// Execute an already-parsed query.
+    pub fn execute(&self, query: &ZqlQuery) -> Result<ZqlOutput, ZqlError> {
+        self.execute_with_inputs(query, &HashMap::new())
+    }
+
+    /// Execute, supplying user-drawn inputs for `-f…` components.
+    pub fn execute_with_inputs(
+        &self,
+        query: &ZqlQuery,
+        inputs: &HashMap<String, Series>,
+    ) -> Result<ZqlOutput, ZqlError> {
+        Exec::new(self, inputs).run(query)
+    }
+
+    /// Parse and execute the textual table format.
+    pub fn execute_text(&self, text: &str) -> Result<ZqlOutput, ZqlError> {
+        self.execute(&parse_query(text)?)
+    }
+
+    pub fn execute_text_with_inputs(
+        &self,
+        text: &str,
+        inputs: &HashMap<String, Series>,
+    ) -> Result<ZqlOutput, ZqlError> {
+        self.execute_with_inputs(&parse_query(text)?, inputs)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Internal representation
+// ---------------------------------------------------------------------
+
+type GroupId = usize;
+
+/// One value an axis variable can take.
+#[derive(Clone, Debug, PartialEq)]
+enum AxisValue {
+    Attr(AttrExpr),
+    Val(Value),
+    Viz(VizSpec),
+}
+
+impl AxisValue {
+    /// Rendering for diagnostics and `v.range`-style error messages.
+    fn display(&self) -> String {
+        match self {
+            AxisValue::Attr(a) => a.attrs().join("×"),
+            AxisValue::Val(v) => v.to_string(),
+            AxisValue::Viz(v) => v.chart.to_string(),
+        }
+    }
+}
+
+/// A set of variables declared together (lockstep iteration, §3.7).
+#[derive(Clone, Debug)]
+struct VarGroup {
+    vars: Vec<String>,
+    /// `domain[i][c]` = value of `vars[c]` at position `i`.
+    domain: Vec<Vec<AxisValue>>,
+}
+
+/// The axis assignments behind one visualization (its "visual source").
+#[derive(Clone, Debug, PartialEq)]
+struct CellSpec {
+    x: AttrExpr,
+    y: AttrExpr,
+    /// Resolved slices: `(attribute, value)` per active Z column.
+    z: Vec<(String, Value)>,
+    viz: VizSpec,
+    predicate: Predicate,
+}
+
+impl CellSpec {
+    fn label(&self) -> String {
+        self.z
+            .iter()
+            .map(|(a, v)| format!("{a}={v}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    }
+}
+
+/// A named visual component: an array of visualizations over `dims`.
+#[derive(Clone, Debug)]
+struct Component {
+    dims: Vec<GroupId>,
+    cells: Vec<CellSpec>,
+    series: Vec<Option<Series>>,
+    output: bool,
+}
+
+impl Component {
+    fn len(&self) -> usize {
+        self.cells.len()
+    }
+}
+
+/// How one axis column of a row resolves.
+#[derive(Clone, Debug)]
+enum Slot {
+    FixedAttr(AttrExpr),
+    /// Variable value from `(group, column)`.
+    Group(GroupId, usize),
+}
+
+#[derive(Clone, Debug)]
+enum ZSlot {
+    Fixed { attr: String, value: Value },
+    /// Value from a group column, attribute fixed.
+    Values { gid: GroupId, col: usize, attr: String },
+    /// `(attribute, value)` pair from two group columns.
+    Pairs { gid: GroupId, attr_col: usize, val_col: usize },
+}
+
+#[derive(Clone, Debug)]
+enum VizSlot {
+    Fixed(VizSpec),
+    Group(GroupId, usize),
+}
+
+/// A data-fetch unit: one SQL query plus the component cells it feeds.
+struct BatchQuery {
+    query: SelectQuery,
+    consumers: Vec<Consumer>,
+}
+
+struct Consumer {
+    component: String,
+    cell: usize,
+    /// Indices into the query's `ys` to sum (composite `+` measures).
+    y_idxs: Vec<usize>,
+    /// Expected Z-key inside the grouped result (empty = ungrouped).
+    z_key: Vec<Value>,
+    /// Flatten leading group dimensions into a sequential x (X = `a×b`).
+    flatten_x: bool,
+}
+
+// ---------------------------------------------------------------------
+// Execution state
+// ---------------------------------------------------------------------
+
+struct Exec<'a> {
+    engine: &'a ZqlEngine,
+    inputs: &'a HashMap<String, Series>,
+    groups: Vec<VarGroup>,
+    /// var name → (group, column)
+    var_of: HashMap<String, (GroupId, usize)>,
+    /// Z-value variables' attribute, when known.
+    var_attr: HashMap<String, String>,
+    components: HashMap<String, Component>,
+    component_order: Vec<String>,
+    pending: Vec<BatchQuery>,
+    /// Rows already built ahead of schedule (InterTask lookahead).
+    built_rows: Vec<bool>,
+    compute_time: Duration,
+}
+
+impl<'a> Exec<'a> {
+    fn new(engine: &'a ZqlEngine, inputs: &'a HashMap<String, Series>) -> Self {
+        Exec {
+            engine,
+            inputs,
+            groups: Vec::new(),
+            var_of: HashMap::new(),
+            var_attr: HashMap::new(),
+            components: HashMap::new(),
+            component_order: Vec::new(),
+            pending: Vec::new(),
+            built_rows: Vec::new(),
+            compute_time: Duration::ZERO,
+        }
+    }
+
+    fn run(mut self, query: &ZqlQuery) -> Result<ZqlOutput, ZqlError> {
+        let start = Instant::now();
+        let db_before = self.engine.db.stats().snapshot();
+        self.built_rows = vec![false; query.rows.len()];
+
+        for idx in 0..query.rows.len() {
+            if self.built_rows[idx] {
+                // Fetched ahead by InterTask lookahead; just run its
+                // processes now (they run in row order regardless).
+            } else {
+                self.build_row(&query.rows[idx])?;
+                self.built_rows[idx] = true;
+                match self.engine.opt {
+                    OptLevel::NoOpt | OptLevel::IntraLine => self.flush()?,
+                    OptLevel::IntraTask | OptLevel::InterTask => {}
+                }
+            }
+            if !query.rows[idx].processes.is_empty() {
+                if self.engine.opt == OptLevel::InterTask {
+                    // Lookahead: also build (and batch) later rows whose
+                    // inputs don't depend on this or later tasks.
+                    self.lookahead(query, idx + 1)?;
+                }
+                self.flush()?;
+                let t = Instant::now();
+                for p in &query.rows[idx].processes {
+                    self.run_process(p)?;
+                }
+                self.compute_time += t.elapsed();
+            }
+        }
+        self.flush()?;
+
+        // Collect outputs in component order.
+        let mut visualizations = Vec::new();
+        for name in &self.component_order {
+            let comp = &self.components[name];
+            if !comp.output {
+                continue;
+            }
+            for (cell, series) in comp.cells.iter().zip(&comp.series) {
+                visualizations.push(OutputViz {
+                    component: name.clone(),
+                    x: cell.x.attrs().join("×"),
+                    y: cell.y.attrs().join("+"),
+                    label: cell.label(),
+                    spec: cell.viz.clone(),
+                    series: series.clone().unwrap_or_default(),
+                });
+            }
+        }
+
+        let db_stats = self.engine.db.stats().snapshot().since(&db_before);
+        Ok(ZqlOutput {
+            visualizations,
+            report: ExecReport {
+                sql_queries: db_stats.queries,
+                requests: db_stats.requests,
+                rows_scanned: db_stats.rows_scanned,
+                db_time: db_stats.exec_time,
+                compute_time: self.compute_time,
+                total_time: start.elapsed(),
+            },
+        })
+    }
+
+    /// InterTask lookahead: build later rows that (a) haven't been built,
+    /// (b) are fresh (not derived/user-input), and (c) reference only
+    /// variables that already exist.
+    fn lookahead(&mut self, query: &ZqlQuery, from: usize) -> Result<(), ZqlError> {
+        for idx in from..query.rows.len() {
+            if self.built_rows[idx] {
+                continue;
+            }
+            let row = &query.rows[idx];
+            if row.name.user_input || row.name.derived.is_some() {
+                continue;
+            }
+            if self.row_vars_available(row) {
+                self.build_row(row)?;
+                self.built_rows[idx] = true;
+            }
+        }
+        Ok(())
+    }
+
+    /// True when every variable the row *references* (without declaring)
+    /// already exists.
+    fn row_vars_available(&self, row: &ZqlRow) -> bool {
+        let axis_ok = |e: &Option<AxisEntry>| match e {
+            Some(AxisEntry::Var(v)) => self.var_of.contains_key(v),
+            Some(AxisEntry::BindDerived { .. }) => false,
+            Some(AxisEntry::Declare { set, .. }) => self.attr_set_available(set),
+            _ => true,
+        };
+        if !axis_ok(&row.x) || !axis_ok(&row.y) {
+            return false;
+        }
+        for z in &row.zs {
+            let ok = match z {
+                ZEntry::Var(v) => self.var_of.contains_key(v),
+                ZEntry::DeclareValues { set, .. } | ZEntry::DeclarePairs { set, .. } => {
+                    self.zset_available(set)
+                }
+                ZEntry::BindDerived { .. } | ZEntry::OrderBy(_) => false,
+                ZEntry::None | ZEntry::Fixed { .. } => true,
+            };
+            if !ok {
+                return false;
+            }
+        }
+        if let Some(c) = &row.constraints {
+            if !self.constraint_available(c) {
+                return false;
+            }
+        }
+        if let Some(VizEntry::Var(v)) = &row.viz {
+            if !self.var_of.contains_key(v) {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn attr_set_available(&self, set: &AttrSet) -> bool {
+        match set {
+            AttrSet::RangeOf(v) => self.var_of.contains_key(v),
+            AttrSet::Union(a, b) | AttrSet::Diff(a, b) | AttrSet::Intersect(a, b) => {
+                self.attr_set_available(a) && self.attr_set_available(b)
+            }
+            _ => true,
+        }
+    }
+
+    fn value_set_available(&self, set: &ValueSet) -> bool {
+        match set {
+            ValueSet::RangeOf(v) => self.var_of.contains_key(v),
+            ValueSet::Union(a, b) | ValueSet::Diff(a, b) | ValueSet::Intersect(a, b) => {
+                self.value_set_available(a) && self.value_set_available(b)
+            }
+            _ => true,
+        }
+    }
+
+    fn zset_available(&self, set: &ZSet) -> bool {
+        match set {
+            ZSet::AttrValues { values, .. } => self.value_set_available(values),
+            ZSet::CrossAttrs { attrs, values } => {
+                self.attr_set_available(attrs) && self.value_set_available(values)
+            }
+            ZSet::Union(a, b) => self.zset_available(a) && self.zset_available(b),
+        }
+    }
+
+    fn constraint_available(&self, c: &ConstraintExpr) -> bool {
+        match c {
+            ConstraintExpr::Static(_) => true,
+            ConstraintExpr::InRange { var, .. } => self.var_of.contains_key(var),
+            ConstraintExpr::And(a, b) => {
+                self.constraint_available(a) && self.constraint_available(b)
+            }
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Row building
+    // -----------------------------------------------------------------
+
+    fn build_row(&mut self, row: &ZqlRow) -> Result<(), ZqlError> {
+        let name = row.name.name.clone();
+        if self.components.contains_key(&name) {
+            return Err(sem(format!("component '{name}' defined twice")));
+        }
+        if row.name.user_input {
+            let series = self
+                .inputs
+                .get(&name)
+                .cloned()
+                .ok_or_else(|| sem(format!("no user input supplied for -{name}")))?;
+            self.insert_component(
+                name,
+                Component {
+                    dims: Vec::new(),
+                    cells: vec![CellSpec {
+                        x: AttrExpr::attr("<input>"),
+                        y: AttrExpr::attr("<input>"),
+                        z: Vec::new(),
+                        viz: VizSpec::default(),
+                        predicate: Predicate::True,
+                    }],
+                    series: vec![Some(series)],
+                    output: row.name.output,
+                },
+            );
+            return Ok(());
+        }
+        if let Some(expr) = &row.name.derived {
+            return self.build_derived_row(row, expr.clone());
+        }
+        self.build_fresh_row(row)
+    }
+
+    fn insert_component(&mut self, name: String, comp: Component) {
+        self.component_order.push(name.clone());
+        self.components.insert(name, comp);
+    }
+
+    fn new_group(&mut self, vars: Vec<String>, domain: Vec<Vec<AxisValue>>) -> Result<GroupId, ZqlError> {
+        let gid = self.groups.len();
+        for (c, v) in vars.iter().enumerate() {
+            if self.var_of.contains_key(v) {
+                return Err(sem(format!("variable '{v}' declared twice")));
+            }
+            self.var_of.insert(v.clone(), (gid, c));
+        }
+        self.groups.push(VarGroup { vars, domain });
+        Ok(gid)
+    }
+
+    fn group_len(&self, gid: GroupId) -> usize {
+        self.groups[gid].domain.len()
+    }
+
+    fn lookup_var(&self, v: &str) -> Result<(GroupId, usize), ZqlError> {
+        self.var_of
+            .get(v)
+            .copied()
+            .ok_or_else(|| sem(format!("variable '{v}' is not defined")))
+    }
+
+    /// Ordered, deduplicated values a variable ranges over (`v.range`).
+    fn var_range(&self, v: &str) -> Result<Vec<AxisValue>, ZqlError> {
+        let (gid, col) = self.lookup_var(v)?;
+        let mut out: Vec<AxisValue> = Vec::new();
+        for row in &self.groups[gid].domain {
+            if !out.contains(&row[col]) {
+                out.push(row[col].clone());
+            }
+        }
+        Ok(out)
+    }
+
+    fn build_fresh_row(&mut self, row: &ZqlRow) -> Result<(), ZqlError> {
+        let x_slot = self.resolve_axis(row.x.as_ref(), "x")?;
+        let y_slot = self.resolve_axis(row.y.as_ref(), "y")?;
+        let mut z_slots = Vec::new();
+        for z in &row.zs {
+            if let Some(slot) = self.resolve_z(z)? {
+                z_slots.push(slot);
+            }
+        }
+        let viz_slot = self.resolve_viz(row.viz.as_ref())?;
+        let predicate = self.resolve_constraints(row.constraints.as_ref())?;
+
+        // Dimensions: distinct groups in column order X, Y, Z…, Viz.
+        let mut dims: Vec<GroupId> = Vec::new();
+        let add_dim = |gid: GroupId, dims: &mut Vec<GroupId>| {
+            if !dims.contains(&gid) {
+                dims.push(gid);
+            }
+        };
+        if let Slot::Group(g, _) = x_slot {
+            add_dim(g, &mut dims);
+        }
+        if let Slot::Group(g, _) = y_slot {
+            add_dim(g, &mut dims);
+        }
+        for z in &z_slots {
+            match z {
+                ZSlot::Values { gid, .. } | ZSlot::Pairs { gid, .. } => add_dim(*gid, &mut dims),
+                ZSlot::Fixed { .. } => {}
+            }
+        }
+        if let VizSlot::Group(g, _) = viz_slot {
+            add_dim(g, &mut dims);
+        }
+
+        // Materialize cells in row-major order over the dims.
+        let lens: Vec<usize> = dims.iter().map(|&g| self.group_len(g)).collect();
+        let total: usize = lens.iter().product::<usize>().max(if dims.is_empty() { 1 } else { 0 });
+        let mut cells = Vec::with_capacity(total);
+        for flat in 0..total {
+            let combo = unflatten(flat, &lens);
+            let env: HashMap<GroupId, usize> =
+                dims.iter().copied().zip(combo.iter().copied()).collect();
+            let x = self.slot_attr(&x_slot, &env)?;
+            let y = self.slot_attr(&y_slot, &env)?;
+            let mut z = Vec::with_capacity(z_slots.len());
+            for zs in &z_slots {
+                z.push(self.zslot_pair(zs, &env)?);
+            }
+            let viz = match &viz_slot {
+                VizSlot::Fixed(v) => v.clone(),
+                VizSlot::Group(g, c) => match &self.groups[*g].domain[env[g]][*c] {
+                    AxisValue::Viz(v) => v.clone(),
+                    other => return Err(sem(format!("viz variable bound to {other:?}"))),
+                },
+            };
+            cells.push(CellSpec { x, y, z, viz, predicate: predicate.clone() });
+        }
+
+        let series = vec![None; cells.len()];
+        let comp = Component { dims, cells, series, output: row.name.output };
+        self.plan_fetch(&row.name.name, &comp)?;
+        self.insert_component(row.name.name.clone(), comp);
+        Ok(())
+    }
+
+    fn resolve_axis(&mut self, entry: Option<&AxisEntry>, which: &str) -> Result<Slot, ZqlError> {
+        match entry {
+            None => Err(sem(format!("a fresh visual component needs an {which} axis"))),
+            Some(AxisEntry::Fixed(a)) => Ok(Slot::FixedAttr(a.clone())),
+            Some(AxisEntry::Var(v)) => {
+                let (g, c) = self.lookup_var(v)?;
+                Ok(Slot::Group(g, c))
+            }
+            Some(AxisEntry::Declare { var, set }) => {
+                let attrs = self.resolve_attr_set(set)?;
+                if attrs.is_empty() {
+                    return Err(sem(format!("{which} set for '{var}' is empty")));
+                }
+                let domain = attrs.into_iter().map(|a| vec![AxisValue::Attr(a)]).collect();
+                let gid = self.new_group(vec![var.clone()], domain)?;
+                Ok(Slot::Group(gid, 0))
+            }
+            Some(AxisEntry::BindDerived { .. }) => {
+                Err(sem("'<- _' bindings are only valid on derived rows".to_string()))
+            }
+        }
+    }
+
+    fn resolve_attr_set(&self, set: &AttrSet) -> Result<Vec<AttrExpr>, ZqlError> {
+        Ok(match set {
+            AttrSet::List(items) => items.clone(),
+            AttrSet::All => self
+                .engine
+                .db
+                .table()
+                .attribute_names()
+                .into_iter()
+                .map(AttrExpr::Attr)
+                .collect(),
+            AttrSet::AllExcept(except) => self
+                .engine
+                .db
+                .table()
+                .attribute_names()
+                .into_iter()
+                .filter(|a| !except.contains(a))
+                .map(AttrExpr::Attr)
+                .collect(),
+            AttrSet::Named(n) => self
+                .engine
+                .registry
+                .attr_set(n)
+                .ok_or_else(|| sem(format!("unknown named attribute set '{n}'")))?
+                .iter()
+                .cloned()
+                .map(AttrExpr::Attr)
+                .collect(),
+            AttrSet::RangeOf(v) => self
+                .var_range(v)?
+                .into_iter()
+                .map(|av| match av {
+                    AxisValue::Attr(a) => Ok(a),
+                    other => Err(sem(format!("'{v}.range' holds non-attribute {other:?}"))),
+                })
+                .collect::<Result<_, _>>()?,
+            AttrSet::Union(a, b) => {
+                let mut out = self.resolve_attr_set(a)?;
+                for item in self.resolve_attr_set(b)? {
+                    if !out.contains(&item) {
+                        out.push(item);
+                    }
+                }
+                out
+            }
+            AttrSet::Diff(a, b) => {
+                let rhs = self.resolve_attr_set(b)?;
+                self.resolve_attr_set(a)?.into_iter().filter(|i| !rhs.contains(i)).collect()
+            }
+            AttrSet::Intersect(a, b) => {
+                let rhs = self.resolve_attr_set(b)?;
+                self.resolve_attr_set(a)?.into_iter().filter(|i| rhs.contains(i)).collect()
+            }
+        })
+    }
+
+    fn distinct_values(&self, attr: &str) -> Result<Vec<Value>, ZqlError> {
+        Ok(self.engine.db.table().column(attr)?.distinct_values())
+    }
+
+    fn resolve_value_set(
+        &self,
+        set: &ValueSet,
+        attr: Option<&str>,
+    ) -> Result<Vec<Value>, ZqlError> {
+        Ok(match set {
+            ValueSet::List(v) => v.clone(),
+            ValueSet::All => {
+                let attr = attr.ok_or_else(|| sem("'*' needs an attribute context"))?;
+                self.distinct_values(attr)?
+            }
+            ValueSet::AllExcept(except) => {
+                let attr = attr.ok_or_else(|| sem("'* \\ …' needs an attribute context"))?;
+                self.distinct_values(attr)?.into_iter().filter(|v| !except.contains(v)).collect()
+            }
+            ValueSet::Named(n) => self
+                .engine
+                .registry
+                .value_set(n)
+                .ok_or_else(|| sem(format!("unknown named value set '{n}'")))?
+                .to_vec(),
+            ValueSet::RangeOf(v) => self
+                .var_range(v)?
+                .into_iter()
+                .map(|av| match av {
+                    AxisValue::Val(val) => Ok(val),
+                    other => Err(sem(format!("'{v}.range' holds non-value {other:?}"))),
+                })
+                .collect::<Result<_, _>>()?,
+            ValueSet::Union(a, b) => {
+                let mut out = self.resolve_value_set(a, attr)?;
+                for item in self.resolve_value_set(b, attr)? {
+                    if !out.contains(&item) {
+                        out.push(item);
+                    }
+                }
+                out
+            }
+            ValueSet::Diff(a, b) => {
+                let rhs = self.resolve_value_set(b, attr)?;
+                self.resolve_value_set(a, attr)?.into_iter().filter(|i| !rhs.contains(i)).collect()
+            }
+            ValueSet::Intersect(a, b) => {
+                let rhs = self.resolve_value_set(b, attr)?;
+                self.resolve_value_set(a, attr)?.into_iter().filter(|i| rhs.contains(i)).collect()
+            }
+        })
+    }
+
+    /// Infer the attribute for an unqualified Z value set from the range
+    /// variables it references.
+    fn infer_zset_attr(&self, set: &ValueSet) -> Option<String> {
+        match set {
+            ValueSet::RangeOf(v) => self.var_attr.get(v).cloned(),
+            ValueSet::Union(a, b) | ValueSet::Diff(a, b) | ValueSet::Intersect(a, b) => {
+                self.infer_zset_attr(a).or_else(|| self.infer_zset_attr(b))
+            }
+            _ => None,
+        }
+    }
+
+    fn resolve_zset_pairs(&self, set: &ZSet) -> Result<Vec<(String, Value)>, ZqlError> {
+        Ok(match set {
+            ZSet::AttrValues { attr, values } => {
+                let attr = match attr {
+                    Some(a) => a.clone(),
+                    None => self.infer_zset_attr(values).ok_or_else(|| {
+                        sem("cannot infer the attribute for this Z set; qualify it as 'attr'.set")
+                    })?,
+                };
+                self.resolve_value_set(values, Some(&attr))?
+                    .into_iter()
+                    .map(|v| (attr.clone(), v))
+                    .collect()
+            }
+            ZSet::CrossAttrs { attrs, values } => {
+                let mut out = Vec::new();
+                for attr_expr in self.resolve_attr_set(attrs)? {
+                    let AttrExpr::Attr(attr) = attr_expr else {
+                        return Err(sem("composite attributes cannot be sliced in Z"));
+                    };
+                    for v in self.resolve_value_set(values, Some(&attr))? {
+                        out.push((attr.clone(), v));
+                    }
+                }
+                out
+            }
+            ZSet::Union(a, b) => {
+                let mut out = self.resolve_zset_pairs(a)?;
+                for p in self.resolve_zset_pairs(b)? {
+                    if !out.contains(&p) {
+                        out.push(p);
+                    }
+                }
+                out
+            }
+        })
+    }
+
+    fn resolve_z(&mut self, entry: &ZEntry) -> Result<Option<ZSlot>, ZqlError> {
+        match entry {
+            ZEntry::None => Ok(None),
+            ZEntry::Fixed { attr, value } => {
+                Ok(Some(ZSlot::Fixed { attr: attr.clone(), value: value.clone() }))
+            }
+            ZEntry::Var(v) => {
+                let (gid, col) = self.lookup_var(v)?;
+                let attr = self
+                    .var_attr
+                    .get(v)
+                    .cloned()
+                    .ok_or_else(|| sem(format!("variable '{v}' has no slice attribute")))?;
+                Ok(Some(ZSlot::Values { gid, col, attr }))
+            }
+            ZEntry::DeclareValues { var, set } => {
+                let pairs = self.resolve_zset_pairs(set)?;
+                if pairs.is_empty() {
+                    return Err(sem(format!("Z set for '{var}' is empty")));
+                }
+                let attrs: Vec<&String> = pairs.iter().map(|(a, _)| a).collect();
+                let uniform = attrs.windows(2).all(|w| w[0] == w[1]);
+                if uniform {
+                    let attr = pairs[0].0.clone();
+                    let domain =
+                        pairs.into_iter().map(|(_, v)| vec![AxisValue::Val(v)]).collect();
+                    let gid = self.new_group(vec![var.clone()], domain)?;
+                    self.var_attr.insert(var.clone(), attr.clone());
+                    Ok(Some(ZSlot::Values { gid, col: 0, attr }))
+                } else {
+                    // Mixed attributes behave like an anonymous pair group.
+                    let domain = pairs
+                        .into_iter()
+                        .map(|(a, v)| vec![AxisValue::Attr(AttrExpr::Attr(a)), AxisValue::Val(v)])
+                        .collect();
+                    let hidden = format!("__attr_of_{var}");
+                    let gid = self.new_group(vec![hidden, var.clone()], domain)?;
+                    Ok(Some(ZSlot::Pairs { gid, attr_col: 0, val_col: 1 }))
+                }
+            }
+            ZEntry::DeclarePairs { attr_var, val_var, set } => {
+                let pairs = self.resolve_zset_pairs(set)?;
+                if pairs.is_empty() {
+                    return Err(sem(format!("Z set for '{attr_var}.{val_var}' is empty")));
+                }
+                let domain = pairs
+                    .into_iter()
+                    .map(|(a, v)| vec![AxisValue::Attr(AttrExpr::Attr(a)), AxisValue::Val(v)])
+                    .collect();
+                let gid = self.new_group(vec![attr_var.clone(), val_var.clone()], domain)?;
+                Ok(Some(ZSlot::Pairs { gid, attr_col: 0, val_col: 1 }))
+            }
+            ZEntry::BindDerived { .. } => {
+                Err(sem("'<- _' bindings are only valid on derived rows".to_string()))
+            }
+            ZEntry::OrderBy(_) => {
+                Err(sem("ordering markers ('var ->') are only valid on '.order' rows".to_string()))
+            }
+        }
+    }
+
+    fn resolve_viz(&mut self, entry: Option<&VizEntry>) -> Result<VizSlot, ZqlError> {
+        match entry {
+            None => Ok(VizSlot::Fixed(VizSpec::default())),
+            Some(VizEntry::Fixed(spec)) => Ok(VizSlot::Fixed(spec.clone())),
+            Some(VizEntry::Var(v)) => {
+                let (g, c) = self.lookup_var(v)?;
+                Ok(VizSlot::Group(g, c))
+            }
+            Some(VizEntry::Declare { var, specs }) => {
+                let domain = specs.iter().map(|s| vec![AxisValue::Viz(s.clone())]).collect();
+                let gid = self.new_group(vec![var.clone()], domain)?;
+                Ok(VizSlot::Group(gid, 0))
+            }
+        }
+    }
+
+    fn resolve_constraints(
+        &self,
+        entry: Option<&ConstraintExpr>,
+    ) -> Result<Predicate, ZqlError> {
+        match entry {
+            None => Ok(Predicate::True),
+            Some(ConstraintExpr::Static(p)) => Ok(p.clone()),
+            Some(ConstraintExpr::InRange { attr, var }) => {
+                let values: Vec<Value> = self
+                    .var_range(var)?
+                    .into_iter()
+                    .map(|av| match av {
+                        AxisValue::Val(v) => Ok(v),
+                        other => Err(sem(format!("'{var}.range' holds non-value {other:?}"))),
+                    })
+                    .collect::<Result<_, _>>()?;
+                self.in_predicate(attr, &values)
+            }
+            Some(ConstraintExpr::And(a, b)) => {
+                Ok(self.resolve_constraints(Some(a))?.and(self.resolve_constraints(Some(b))?))
+            }
+        }
+    }
+
+    fn in_predicate(&self, attr: &str, values: &[Value]) -> Result<Predicate, ZqlError> {
+        let col = self.engine.db.table().column(attr)?;
+        match col {
+            Column::Cat(_) => {
+                let strs = values
+                    .iter()
+                    .map(|v| match v {
+                        Value::Str(s) => Ok(s.clone()),
+                        other => Err(sem(format!("IN value {other} on categorical {attr}"))),
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(Predicate::cat_in(attr.to_string(), strs))
+            }
+            _ => {
+                let disj = values
+                    .iter()
+                    .map(|v| {
+                        let n = v
+                            .as_f64()
+                            .ok_or_else(|| sem(format!("IN value {v} on numeric {attr}")))?;
+                        Ok(vec![Atom::NumCmp { col: attr.to_string(), op: CmpOp::Eq, value: n }])
+                    })
+                    .collect::<Result<Vec<_>, ZqlError>>()?;
+                Ok(Predicate::Or(disj))
+            }
+        }
+    }
+
+    fn slot_attr(&self, slot: &Slot, env: &HashMap<GroupId, usize>) -> Result<AttrExpr, ZqlError> {
+        match slot {
+            Slot::FixedAttr(a) => Ok(a.clone()),
+            Slot::Group(g, c) => match &self.groups[*g].domain[env[g]][*c] {
+                AxisValue::Attr(a) => Ok(a.clone()),
+                other => Err(sem(format!("axis variable bound to non-attribute {}", other.display()))),
+            },
+        }
+    }
+
+    fn zslot_pair(
+        &self,
+        slot: &ZSlot,
+        env: &HashMap<GroupId, usize>,
+    ) -> Result<(String, Value), ZqlError> {
+        match slot {
+            ZSlot::Fixed { attr, value } => Ok((attr.clone(), value.clone())),
+            ZSlot::Values { gid, col, attr } => match &self.groups[*gid].domain[env[gid]][*col] {
+                AxisValue::Val(v) => Ok((attr.clone(), v.clone())),
+                other => Err(sem(format!("z variable bound to non-value {other:?}"))),
+            },
+            ZSlot::Pairs { gid, attr_col, val_col } => {
+                let row = &self.groups[*gid].domain[env[gid]];
+                let attr = match &row[*attr_col] {
+                    AxisValue::Attr(AttrExpr::Attr(a)) => a.clone(),
+                    other => return Err(sem(format!("pair attribute is {other:?}"))),
+                };
+                let value = match &row[*val_col] {
+                    AxisValue::Val(v) => v.clone(),
+                    other => return Err(sem(format!("pair value is {other:?}"))),
+                };
+                Ok((attr, value))
+            }
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Derived rows
+    // -----------------------------------------------------------------
+
+    fn build_derived_row(&mut self, row: &ZqlRow, expr: NameExpr) -> Result<(), ZqlError> {
+        // Derivation needs fetched sources.
+        self.flush()?;
+        let mut cells = self.eval_name_expr(&expr)?;
+
+        // `.order` reordering via `var ->` markers.
+        let order_vars: Vec<String> = row
+            .zs
+            .iter()
+            .filter_map(|z| match z {
+                ZEntry::OrderBy(v) => Some(v.clone()),
+                _ => None,
+            })
+            .collect();
+        if contains_order(&expr) {
+            if order_vars.is_empty() {
+                return Err(sem("'.order' needs at least one 'var ->' column"));
+            }
+            cells = self.reorder_cells(cells, &order_vars)?;
+        } else if !order_vars.is_empty() {
+            return Err(sem("'var ->' columns are only valid with '.order'"));
+        }
+
+        // Bind `<- _` variables to the derived component's values.
+        let mut bind_vars: Vec<String> = Vec::new();
+        let mut bind_cols: Vec<Vec<AxisValue>> = Vec::new();
+        let mut add_binding = |var: &str, col: Vec<AxisValue>| {
+            bind_vars.push(var.to_string());
+            bind_cols.push(col);
+        };
+        if let Some(AxisEntry::BindDerived { var }) = &row.x {
+            add_binding(var, cells.iter().map(|(c, _)| AxisValue::Attr(c.x.clone())).collect());
+        }
+        if let Some(AxisEntry::BindDerived { var }) = &row.y {
+            add_binding(var, cells.iter().map(|(c, _)| AxisValue::Attr(c.y.clone())).collect());
+        }
+        for z in &row.zs {
+            if let ZEntry::BindDerived { attr_var, val_var, attr } = z {
+                let mut attrs_col = Vec::with_capacity(cells.len());
+                let mut vals_col = Vec::with_capacity(cells.len());
+                for (c, _) in &cells {
+                    let pair = match attr {
+                        Some(a) => c.z.iter().find(|(za, _)| za == a),
+                        None => c.z.first(),
+                    }
+                    .ok_or_else(|| {
+                        sem(format!(
+                            "derived visualization has no slice for binding '{val_var}'"
+                        ))
+                    })?;
+                    attrs_col.push(AxisValue::Attr(AttrExpr::Attr(pair.0.clone())));
+                    vals_col.push(AxisValue::Val(pair.1.clone()));
+                }
+                if let Some(av) = attr_var {
+                    add_binding(av, attrs_col);
+                }
+                if let Some(a) = attr {
+                    self.var_attr.insert(val_var.clone(), a.clone());
+                } else if let Some((first, _)) = cells.first().map(|(c, _)| c.z.first()).flatten()
+                {
+                    self.var_attr.insert(val_var.clone(), first.clone());
+                }
+                add_binding(val_var, vals_col);
+            }
+        }
+
+        let dims = if bind_vars.is_empty() {
+            Vec::new()
+        } else {
+            let domain: Vec<Vec<AxisValue>> = (0..cells.len())
+                .map(|i| bind_cols.iter().map(|col| col[i].clone()).collect())
+                .collect();
+            vec![self.new_group(bind_vars, domain)?]
+        };
+        if !dims.is_empty() && self.group_len(dims[0]) != cells.len() {
+            return Err(sem("derived binding length mismatch"));
+        }
+
+        let (specs, series): (Vec<CellSpec>, Vec<Option<Series>>) =
+            cells.into_iter().map(|(c, s)| (c, Some(s))).unzip();
+        self.insert_component(
+            row.name.name.clone(),
+            Component { dims, cells: specs, series, output: row.name.output },
+        );
+        Ok(())
+    }
+
+    fn eval_name_expr(&self, expr: &NameExpr) -> Result<Vec<(CellSpec, Series)>, ZqlError> {
+        Ok(match expr {
+            NameExpr::Ref(name) => {
+                let comp = self
+                    .components
+                    .get(name)
+                    .ok_or_else(|| sem(format!("unknown component '{name}'")))?;
+                comp.cells
+                    .iter()
+                    .zip(&comp.series)
+                    .map(|(c, s)| (c.clone(), s.clone().unwrap_or_default()))
+                    .collect()
+            }
+            NameExpr::Add(a, b) => {
+                let mut out = self.eval_name_expr(a)?;
+                out.extend(self.eval_name_expr(b)?);
+                out
+            }
+            NameExpr::Sub(a, b) => {
+                let rhs = self.eval_name_expr(b)?;
+                self.eval_name_expr(a)?
+                    .into_iter()
+                    .filter(|(c, _)| !rhs.iter().any(|(rc, _)| rc == c))
+                    .collect()
+            }
+            NameExpr::Intersect(a, b) => {
+                let rhs = self.eval_name_expr(b)?;
+                self.eval_name_expr(a)?
+                    .into_iter()
+                    .filter(|(c, _)| rhs.iter().any(|(rc, _)| rc == c))
+                    .collect()
+            }
+            NameExpr::Index(inner, i) => {
+                let cells = self.eval_name_expr(inner)?;
+                if *i == 0 || *i > cells.len() {
+                    return Err(sem(format!("index [{i}] out of bounds (1..={})", cells.len())));
+                }
+                vec![cells[i - 1].clone()]
+            }
+            NameExpr::Slice(inner, a, b) => {
+                let cells = self.eval_name_expr(inner)?;
+                if *a == 0 || a > b {
+                    return Err(sem(format!("bad slice [{a}:{b}]")));
+                }
+                let hi = (*b).min(cells.len());
+                if *a > hi {
+                    Vec::new()
+                } else {
+                    cells[a - 1..hi].to_vec()
+                }
+            }
+            NameExpr::Range(inner) => {
+                let cells = self.eval_name_expr(inner)?;
+                let mut out: Vec<(CellSpec, Series)> = Vec::new();
+                for (c, s) in cells {
+                    if !out.iter().any(|(oc, _)| *oc == c) {
+                        out.push((c, s));
+                    }
+                }
+                out
+            }
+            // `.order` is applied by the caller (needs the row's markers).
+            NameExpr::Order(inner) => self.eval_name_expr(inner)?,
+        })
+    }
+
+    fn reorder_cells(
+        &self,
+        cells: Vec<(CellSpec, Series)>,
+        order_vars: &[String],
+    ) -> Result<Vec<(CellSpec, Series)>, ZqlError> {
+        // All order variables must come from one (lockstep) group.
+        let (gid, _) = self.lookup_var(&order_vars[0])?;
+        let cols: Vec<usize> = order_vars
+            .iter()
+            .map(|v| {
+                let (g, c) = self.lookup_var(v)?;
+                if g != gid {
+                    return Err(sem("'.order' variables must be declared together"));
+                }
+                Ok(c)
+            })
+            .collect::<Result<_, _>>()?;
+        let mut out = Vec::new();
+        for domain_row in &self.groups[gid].domain {
+            let matched = cells.iter().find(|(c, _)| {
+                order_vars.iter().zip(&cols).all(|(v, &col)| {
+                    cell_matches(c, self.var_attr.get(v), &domain_row[col])
+                })
+            });
+            if let Some(m) = matched {
+                out.push(m.clone());
+            }
+        }
+        Ok(out)
+    }
+
+    // -----------------------------------------------------------------
+    // Fetch planning and flushing
+    // -----------------------------------------------------------------
+
+    fn plan_fetch(&mut self, name: &str, comp: &Component) -> Result<(), ZqlError> {
+        match self.engine.opt {
+            OptLevel::NoOpt => self.plan_unbatched(name, comp),
+            _ => self.plan_batched(name, comp),
+        }
+    }
+
+    /// §5.1: one SQL query per visualization, z slices as predicates.
+    fn plan_unbatched(&mut self, name: &str, comp: &Component) -> Result<(), ZqlError> {
+        for (idx, cell) in comp.cells.iter().enumerate() {
+            let (query, y_idxs, flatten_x) = self.cell_query(cell, false)?;
+            self.pending.push(BatchQuery {
+                query,
+                consumers: vec![Consumer {
+                    component: name.to_string(),
+                    cell: idx,
+                    y_idxs,
+                    z_key: Vec::new(),
+                    flatten_x,
+                }],
+            });
+        }
+        Ok(())
+    }
+
+    /// §5.2 intra-line: merge cells that differ only in Z values (and/or
+    /// Y measure) into combined GROUP BY queries.
+    fn plan_batched(&mut self, name: &str, comp: &Component) -> Result<(), ZqlError> {
+        // Partition cells by everything except z *values* and y.
+        let mut batches: HashMap<String, Vec<usize>> = HashMap::new();
+        let mut order: Vec<String> = Vec::new();
+        for (idx, cell) in comp.cells.iter().enumerate() {
+            let z_attrs: Vec<&str> = cell.z.iter().map(|(a, _)| a.as_str()).collect();
+            let key = format!(
+                "{:?}|{:?}|{:?}|{:?}|{:?}",
+                cell.x, z_attrs, cell.viz.x_bin, cell.viz.y_agg, cell.predicate
+            );
+            if !batches.contains_key(&key) {
+                order.push(key.clone());
+            }
+            batches.entry(key).or_default().push(idx);
+        }
+        for key in order {
+            let idxs = &batches[&key];
+            let first = &comp.cells[idxs[0]];
+            if matches!(first.x, AttrExpr::Cross(_)) {
+                // Cross axes keep per-cell queries (they already group).
+                for &idx in idxs {
+                    let (query, y_idxs, flatten_x) = self.cell_query(&comp.cells[idx], false)?;
+                    self.pending.push(BatchQuery {
+                        query,
+                        consumers: vec![Consumer {
+                            component: name.to_string(),
+                            cell: idx,
+                            y_idxs,
+                            z_key: Vec::new(),
+                            flatten_x,
+                        }],
+                    });
+                }
+                continue;
+            }
+            // Combined query: GROUP BY z attrs, all y measures at once.
+            let mut ys: Vec<YSpec> = Vec::new();
+            let mut y_index: HashMap<String, usize> = HashMap::new();
+            let mut consumers = Vec::with_capacity(idxs.len());
+            let z_attrs: Vec<String> = first.z.iter().map(|(a, _)| a.clone()).collect();
+            // Restrict each grouped attribute to the values actually
+            // requested ("WHERE product IN P" in the paper's rewrite).
+            let mut z_values: Vec<Vec<Value>> = vec![Vec::new(); z_attrs.len()];
+            for &idx in idxs {
+                let cell = &comp.cells[idx];
+                let mut y_idxs = Vec::new();
+                for yattr in cell.y.attrs() {
+                    let slot = match y_index.get(yattr) {
+                        Some(&s) => s,
+                        None => {
+                            let s = ys.len();
+                            ys.push(YSpec::new(yattr.to_string(), cell.viz.y_agg));
+                            y_index.insert(yattr.to_string(), s);
+                            s
+                        }
+                    };
+                    y_idxs.push(slot);
+                }
+                for (zi, (_, v)) in cell.z.iter().enumerate() {
+                    if !z_values[zi].contains(v) {
+                        z_values[zi].push(v.clone());
+                    }
+                }
+                consumers.push(Consumer {
+                    component: name.to_string(),
+                    cell: idx,
+                    y_idxs,
+                    z_key: cell.z.iter().map(|(_, v)| v.clone()).collect(),
+                    flatten_x: false,
+                });
+            }
+            let x = match &first.x {
+                AttrExpr::Attr(a) => a.clone(),
+                AttrExpr::Plus(_) => {
+                    return Err(sem("composite '+' axes are only supported on Y"))
+                }
+                AttrExpr::Cross(_) => unreachable!("handled above"),
+            };
+            let mut predicate = first.predicate.clone();
+            for (attr, values) in z_attrs.iter().zip(&z_values) {
+                // Only restrict when it's an actual subset; an IN over
+                // every value would just slow the scan down.
+                let all = self.distinct_values(attr)?;
+                if values.len() < all.len() {
+                    predicate = predicate.and(self.in_predicate(attr, values)?);
+                }
+            }
+            let mut query = SelectQuery::new(
+                XSpec { col: x, bin: first.viz.x_bin },
+                ys,
+            )
+            .with_predicate(predicate);
+            for z in z_attrs {
+                query = query.with_z(z);
+            }
+            self.pending.push(BatchQuery { query, consumers });
+        }
+        Ok(())
+    }
+
+    /// Build the per-cell (unbatched) query.
+    fn cell_query(
+        &self,
+        cell: &CellSpec,
+        _grouped: bool,
+    ) -> Result<(SelectQuery, Vec<usize>, bool), ZqlError> {
+        let mut predicate = cell.predicate.clone();
+        for (attr, value) in &cell.z {
+            let atom = match (self.engine.db.table().column(attr)?, value) {
+                (Column::Cat(_), Value::Str(s)) => Predicate::cat_eq(attr.clone(), s.clone()),
+                (_, v) => {
+                    let n = v
+                        .as_f64()
+                        .ok_or_else(|| sem(format!("slice value {v} on numeric {attr}")))?;
+                    Predicate::num_eq(attr.clone(), n)
+                }
+            };
+            predicate = predicate.and(atom);
+        }
+        let ys: Vec<YSpec> =
+            cell.y.attrs().iter().map(|a| YSpec::new(a.to_string(), cell.viz.y_agg)).collect();
+        let y_idxs: Vec<usize> = (0..ys.len()).collect();
+        match &cell.x {
+            AttrExpr::Attr(a) => {
+                let q = SelectQuery::new(XSpec { col: a.clone(), bin: cell.viz.x_bin }, ys)
+                    .with_predicate(predicate);
+                Ok((q, y_idxs, false))
+            }
+            AttrExpr::Cross(attrs) => {
+                // GROUP BY the leading attributes, x = the last; the
+                // extraction flattens groups into one sequential axis.
+                let (last, leading) = attrs.split_last().unwrap();
+                let mut q = SelectQuery::new(XSpec { col: last.clone(), bin: cell.viz.x_bin }, ys)
+                    .with_predicate(predicate);
+                for a in leading {
+                    q = q.with_z(a.clone());
+                }
+                Ok((q, y_idxs, true))
+            }
+            AttrExpr::Plus(_) => Err(sem("composite '+' axes are only supported on Y")),
+        }
+    }
+
+    /// Issue all pending queries as requests according to the opt level,
+    /// and distribute results to component cells.
+    fn flush(&mut self) -> Result<(), ZqlError> {
+        if self.pending.is_empty() {
+            return Ok(());
+        }
+        let batches = std::mem::take(&mut self.pending);
+        let queries: Vec<SelectQuery> = batches.iter().map(|b| b.query.clone()).collect();
+        let results = match self.engine.opt {
+            OptLevel::NoOpt => {
+                // one request per query
+                let mut out = Vec::with_capacity(queries.len());
+                for q in &queries {
+                    out.push(self.engine.db.run_request(std::slice::from_ref(q))?.pop().unwrap());
+                }
+                out
+            }
+            _ => self.engine.db.run_request(&queries)?,
+        };
+        let t = Instant::now();
+        for (batch, result) in batches.iter().zip(results) {
+            let index = result.index();
+            for consumer in &batch.consumers {
+                let series = if consumer.flatten_x {
+                    // Concatenate groups sequentially (x = a×b axes).
+                    let mut ys_flat: Vec<f64> = Vec::new();
+                    for g in &result.groups {
+                        for i in 0..g.xs.len() {
+                            let v: f64 = consumer.y_idxs.iter().map(|&yi| g.ys[yi][i]).sum();
+                            ys_flat.push(v);
+                        }
+                    }
+                    Series::from_ys(&ys_flat)
+                } else if consumer.z_key.is_empty() && batch.query.zs.is_empty() {
+                    match result.groups.first() {
+                        Some(g) => combine_measures(g, &consumer.y_idxs),
+                        None => Series::default(),
+                    }
+                } else {
+                    match index.get(consumer.z_key.as_slice()) {
+                        Some(&gi) => combine_measures(&result.groups[gi], &consumer.y_idxs),
+                        None => Series::default(),
+                    }
+                };
+                let comp = self
+                    .components
+                    .get_mut(&consumer.component)
+                    .ok_or_else(|| sem(format!("internal: component {}", consumer.component)))?;
+                comp.series[consumer.cell] = Some(series);
+            }
+        }
+        self.compute_time += t.elapsed();
+        Ok(())
+    }
+
+    // -----------------------------------------------------------------
+    // Process evaluation
+    // -----------------------------------------------------------------
+
+    fn run_process(&mut self, decl: &ProcessDecl) -> Result<(), ZqlError> {
+        match decl {
+            ProcessDecl::Rank { outputs, mechanism, over, filter, objective } => {
+                self.run_rank(outputs, *mechanism, over, *filter, objective)
+            }
+            ProcessDecl::Representative { outputs, k, over, component } => {
+                self.run_representative(outputs, *k, over, component)
+            }
+        }
+    }
+
+    /// Groups (deduplicated, in order) behind a list of variables, plus
+    /// each variable's (group, column).
+    fn iteration_groups(
+        &self,
+        vars: &[String],
+    ) -> Result<(Vec<GroupId>, Vec<(GroupId, usize)>), ZqlError> {
+        let mut gids: Vec<GroupId> = Vec::new();
+        let mut slots = Vec::with_capacity(vars.len());
+        for v in vars {
+            let (g, c) = self.lookup_var(v)?;
+            if !gids.contains(&g) {
+                gids.push(g);
+            }
+            slots.push((g, c));
+        }
+        Ok((gids, slots))
+    }
+
+    fn run_rank(
+        &mut self,
+        outputs: &[String],
+        mechanism: Mechanism,
+        over: &[String],
+        filter: ProcessFilter,
+        objective: &ObjExpr,
+    ) -> Result<(), ZqlError> {
+        if outputs.len() != over.len() {
+            return Err(sem(format!(
+                "{} outputs for {} iterated variables (they map positionally)",
+                outputs.len(),
+                over.len()
+            )));
+        }
+        let (gids, slots) = self.iteration_groups(over)?;
+        let lens: Vec<usize> = gids.iter().map(|&g| self.group_len(g)).collect();
+        let total: usize = lens.iter().product();
+        let mut scored: Vec<(Vec<usize>, f64)> = Vec::with_capacity(total);
+        for flat in 0..total {
+            let combo = unflatten(flat, &lens);
+            let env: HashMap<GroupId, usize> =
+                gids.iter().copied().zip(combo.iter().copied()).collect();
+            let score = self.eval_obj(objective, &env)?;
+            scored.push((combo, score));
+        }
+        match mechanism {
+            Mechanism::ArgMin => scored.sort_by(|a, b| a.1.total_cmp(&b.1)),
+            Mechanism::ArgMax => scored.sort_by(|a, b| b.1.total_cmp(&a.1)),
+            Mechanism::ArgAny => {}
+        }
+        let kept: Vec<&(Vec<usize>, f64)> = match filter {
+            ProcessFilter::TopK(k) => scored.iter().take(k).collect(),
+            ProcessFilter::Threshold { op, value } => {
+                scored.iter().filter(|(_, s)| op.eval(*s, value)).collect()
+            }
+            ProcessFilter::None => scored.iter().collect(),
+        };
+        // Output group: lockstep tuples, outputs[i] ← over[i]'s value.
+        let domain: Vec<Vec<AxisValue>> = kept
+            .iter()
+            .map(|(combo, _)| {
+                slots
+                    .iter()
+                    .map(|(g, c)| {
+                        let gi = gids.iter().position(|x| x == g).unwrap();
+                        self.groups[*g].domain[combo[gi]][*c].clone()
+                    })
+                    .collect()
+            })
+            .collect();
+        for (out, src) in outputs.iter().zip(over) {
+            if let Some(attr) = self.var_attr.get(src).cloned() {
+                self.var_attr.insert(out.clone(), attr);
+            }
+        }
+        self.new_group(outputs.to_vec(), domain)?;
+        Ok(())
+    }
+
+    fn run_representative(
+        &mut self,
+        outputs: &[String],
+        k: usize,
+        over: &[String],
+        component: &str,
+    ) -> Result<(), ZqlError> {
+        if outputs.len() != over.len() {
+            return Err(sem("R outputs map positionally to its variables".to_string()));
+        }
+        let (gids, slots) = self.iteration_groups(over)?;
+        let lens: Vec<usize> = gids.iter().map(|&g| self.group_len(g)).collect();
+        let total: usize = lens.iter().product();
+        let mut combos = Vec::with_capacity(total);
+        let mut series = Vec::with_capacity(total);
+        for flat in 0..total {
+            let combo = unflatten(flat, &lens);
+            let env: HashMap<GroupId, usize> =
+                gids.iter().copied().zip(combo.iter().copied()).collect();
+            series.push(self.component_series(component, &env)?);
+            combos.push(combo);
+        }
+        let picked = self.engine.registry.r(&series, k);
+        let domain: Vec<Vec<AxisValue>> = picked
+            .iter()
+            .map(|&i| {
+                slots
+                    .iter()
+                    .map(|(g, c)| {
+                        let gi = gids.iter().position(|x| x == g).unwrap();
+                        self.groups[*g].domain[combos[i][gi]][*c].clone()
+                    })
+                    .collect()
+            })
+            .collect();
+        for (out, src) in outputs.iter().zip(over) {
+            if let Some(attr) = self.var_attr.get(src).cloned() {
+                self.var_attr.insert(out.clone(), attr);
+            }
+        }
+        self.new_group(outputs.to_vec(), domain)?;
+        Ok(())
+    }
+
+    /// The series of `component` at the variable assignment `env`.
+    fn component_series(
+        &self,
+        name: &str,
+        env: &HashMap<GroupId, usize>,
+    ) -> Result<Series, ZqlError> {
+        let comp = self
+            .components
+            .get(name)
+            .ok_or_else(|| sem(format!("unknown component '{name}'")))?;
+        let mut idx = 0usize;
+        for &g in &comp.dims {
+            let i = *env
+                .get(&g)
+                .ok_or_else(|| {
+                    sem(format!(
+                        "component '{name}' needs an index for variable group ({})",
+                        self.groups[g].vars.join(", ")
+                    ))
+                })?;
+            idx = idx * self.group_len(g) + i;
+        }
+        if comp.dims.is_empty() && comp.len() != 1 {
+            return Err(sem(format!(
+                "component '{name}' has {} visualizations but no iterating variable",
+                comp.len()
+            )));
+        }
+        comp.series[idx]
+            .clone()
+            .ok_or_else(|| sem(format!("component '{name}' not fetched before use")))
+    }
+
+    fn eval_obj(&self, expr: &ObjExpr, env: &HashMap<GroupId, usize>) -> Result<f64, ZqlError> {
+        Ok(match expr {
+            ObjExpr::T(f) => self.engine.registry.t(&self.component_series(f, env)?),
+            ObjExpr::D(a, b) => self
+                .engine
+                .registry
+                .d(&self.component_series(a, env)?, &self.component_series(b, env)?),
+            ObjExpr::Neg(inner) => -self.eval_obj(inner, env)?,
+            ObjExpr::UserFn { name, args } => {
+                let series: Vec<Series> = args
+                    .iter()
+                    .map(|a| self.component_series(a, env))
+                    .collect::<Result<_, _>>()?;
+                self.engine
+                    .registry
+                    .call_user(name, &series)
+                    .ok_or_else(|| sem(format!("unknown function '{name}'")))?
+            }
+            ObjExpr::InnerAgg { op, vars, expr } => {
+                let (gids, _) = self.iteration_groups(vars)?;
+                for g in &gids {
+                    if env.contains_key(g) {
+                        return Err(sem(
+                            "inner aggregation variables must differ from the outer iteration"
+                                .to_string(),
+                        ));
+                    }
+                }
+                let lens: Vec<usize> = gids.iter().map(|&g| self.group_len(g)).collect();
+                let total: usize = lens.iter().product();
+                let mut acc: f64 = match op {
+                    InnerOp::Min => f64::INFINITY,
+                    InnerOp::Max => f64::NEG_INFINITY,
+                    InnerOp::Sum | InnerOp::Avg => 0.0,
+                };
+                for flat in 0..total {
+                    let combo = unflatten(flat, &lens);
+                    let mut inner_env = env.clone();
+                    inner_env.extend(gids.iter().copied().zip(combo.iter().copied()));
+                    let v = self.eval_obj(expr, &inner_env)?;
+                    match op {
+                        InnerOp::Min => acc = acc.min(v),
+                        InnerOp::Max => acc = acc.max(v),
+                        InnerOp::Sum | InnerOp::Avg => acc += v,
+                    }
+                }
+                if *op == InnerOp::Avg && total > 0 {
+                    acc /= total as f64;
+                }
+                acc
+            }
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// Helpers
+// ---------------------------------------------------------------------
+
+fn unflatten(mut flat: usize, lens: &[usize]) -> Vec<usize> {
+    let mut combo = vec![0usize; lens.len()];
+    for i in (0..lens.len()).rev() {
+        combo[i] = flat % lens[i];
+        flat /= lens[i];
+    }
+    combo
+}
+
+fn combine_measures(g: &zv_storage::GroupSeries, y_idxs: &[usize]) -> Series {
+    let pts: Vec<(f64, f64)> = g
+        .xs
+        .iter()
+        .enumerate()
+        .filter_map(|(i, x)| {
+            x.as_f64().map(|xf| (xf, y_idxs.iter().map(|&yi| g.ys[yi][i]).sum::<f64>()))
+        })
+        .collect();
+    if pts.len() == g.xs.len() {
+        Series::new(pts)
+    } else {
+        // Categorical x: index positions keep alignment stable.
+        let ys: Vec<f64> = (0..g.xs.len())
+            .map(|i| y_idxs.iter().map(|&yi| g.ys[yi][i]).sum::<f64>())
+            .collect();
+        Series::from_ys(&ys)
+    }
+}
+
+fn contains_order(expr: &NameExpr) -> bool {
+    match expr {
+        NameExpr::Order(_) => true,
+        NameExpr::Ref(_) => false,
+        NameExpr::Add(a, b) | NameExpr::Sub(a, b) | NameExpr::Intersect(a, b) => {
+            contains_order(a) || contains_order(b)
+        }
+        NameExpr::Index(a, _) | NameExpr::Slice(a, _, _) | NameExpr::Range(a) => contains_order(a),
+    }
+}
+
+fn cell_matches(cell: &CellSpec, attr: Option<&String>, value: &AxisValue) -> bool {
+    match value {
+        AxisValue::Val(v) => match attr {
+            Some(a) => cell.z.iter().any(|(za, zv)| za == a && zv == v),
+            None => cell.z.iter().any(|(_, zv)| zv == v),
+        },
+        AxisValue::Attr(a) => {
+            let name = a.attrs().join("×");
+            cell.x.attrs().join("×") == name || cell.y.attrs().join("+") == name
+        }
+        AxisValue::Viz(v) => cell.viz == *v,
+    }
+}

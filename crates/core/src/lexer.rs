@@ -1,0 +1,358 @@
+//! Tokenizer for ZQL cell expressions.
+
+use std::fmt;
+
+/// One lexical token.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Tok {
+    /// Bare identifier: `v1`, `f1`, `argmin`, `AND`, `bar`, `M`, …
+    Ident(String),
+    /// `'year'` — quoted attribute or string value.
+    Quoted(String),
+    /// Numeric literal.
+    Number(f64),
+    Arrow,     // <-
+    RArrow,    // ->
+    Star,      // *
+    Backslash, // \
+    Pipe,      // |
+    Amp,       // &
+    LBrace,    // {
+    RBrace,    // }
+    LParen,    // (
+    RParen,    // )
+    LBracket,  // [
+    RBracket,  // ]
+    Comma,     // ,
+    Dot,       // .
+    Eq,        // =
+    Neq,       // <> or !=
+    Lt,        // <
+    Gt,        // >
+    Le,        // <=
+    Ge,        // >=
+    Plus,      // +
+    Minus,     // -
+    Caret,     // ^
+    Colon,     // :
+    Underscore, // _
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "{s}"),
+            Tok::Quoted(s) => write!(f, "'{s}'"),
+            Tok::Number(n) => write!(f, "{n}"),
+            Tok::Arrow => write!(f, "<-"),
+            Tok::RArrow => write!(f, "->"),
+            Tok::Star => write!(f, "*"),
+            Tok::Backslash => write!(f, "\\"),
+            Tok::Pipe => write!(f, "|"),
+            Tok::Amp => write!(f, "&"),
+            Tok::LBrace => write!(f, "{{"),
+            Tok::RBrace => write!(f, "}}"),
+            Tok::LParen => write!(f, "("),
+            Tok::RParen => write!(f, ")"),
+            Tok::LBracket => write!(f, "["),
+            Tok::RBracket => write!(f, "]"),
+            Tok::Comma => write!(f, ","),
+            Tok::Dot => write!(f, "."),
+            Tok::Eq => write!(f, "="),
+            Tok::Neq => write!(f, "<>"),
+            Tok::Lt => write!(f, "<"),
+            Tok::Gt => write!(f, ">"),
+            Tok::Le => write!(f, "<="),
+            Tok::Ge => write!(f, ">="),
+            Tok::Plus => write!(f, "+"),
+            Tok::Minus => write!(f, "-"),
+            Tok::Caret => write!(f, "^"),
+            Tok::Colon => write!(f, ":"),
+            Tok::Underscore => write!(f, "_"),
+        }
+    }
+}
+
+/// Tokenize one cell. `%` inside quoted strings is preserved (LIKE
+/// patterns); identifiers may contain `_` (so a lone `_` is the special
+/// derived-binding token, but `my_fn` is an identifier).
+pub fn tokenize(input: &str) -> Result<Vec<Tok>, String> {
+    let chars: Vec<char> = input.chars().collect();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            ' ' | '\t' | '\r' | '\n' => i += 1,
+            '\'' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < chars.len() && chars[j] != '\'' {
+                    j += 1;
+                }
+                if j >= chars.len() {
+                    return Err(format!("unterminated string starting at {start}"));
+                }
+                toks.push(Tok::Quoted(chars[start..j].iter().collect()));
+                i = j + 1;
+            }
+            '"' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < chars.len() && chars[j] != '"' {
+                    j += 1;
+                }
+                if j >= chars.len() {
+                    return Err(format!("unterminated string starting at {start}"));
+                }
+                toks.push(Tok::Quoted(chars[start..j].iter().collect()));
+                i = j + 1;
+            }
+            '<' => {
+                if chars.get(i + 1) == Some(&'-') {
+                    toks.push(Tok::Arrow);
+                    i += 2;
+                } else if chars.get(i + 1) == Some(&'=') {
+                    toks.push(Tok::Le);
+                    i += 2;
+                } else if chars.get(i + 1) == Some(&'>') {
+                    toks.push(Tok::Neq);
+                    i += 2;
+                } else {
+                    toks.push(Tok::Lt);
+                    i += 1;
+                }
+            }
+            '>' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    toks.push(Tok::Ge);
+                    i += 2;
+                } else {
+                    toks.push(Tok::Gt);
+                    i += 1;
+                }
+            }
+            '!' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    toks.push(Tok::Neq);
+                    i += 2;
+                } else {
+                    return Err("unexpected '!'".into());
+                }
+            }
+            '-' => {
+                if chars.get(i + 1) == Some(&'>') {
+                    toks.push(Tok::RArrow);
+                    i += 2;
+                } else {
+                    toks.push(Tok::Minus);
+                    i += 1;
+                }
+            }
+            '*' => {
+                toks.push(Tok::Star);
+                i += 1;
+            }
+            '\\' => {
+                toks.push(Tok::Backslash);
+                i += 1;
+            }
+            '|' => {
+                toks.push(Tok::Pipe);
+                i += 1;
+            }
+            '&' => {
+                toks.push(Tok::Amp);
+                i += 1;
+            }
+            '{' => {
+                toks.push(Tok::LBrace);
+                i += 1;
+            }
+            '}' => {
+                toks.push(Tok::RBrace);
+                i += 1;
+            }
+            '(' => {
+                toks.push(Tok::LParen);
+                i += 1;
+            }
+            ')' => {
+                toks.push(Tok::RParen);
+                i += 1;
+            }
+            '[' => {
+                toks.push(Tok::LBracket);
+                i += 1;
+            }
+            ']' => {
+                toks.push(Tok::RBracket);
+                i += 1;
+            }
+            ',' => {
+                toks.push(Tok::Comma);
+                i += 1;
+            }
+            '.' => {
+                toks.push(Tok::Dot);
+                i += 1;
+            }
+            '=' => {
+                toks.push(Tok::Eq);
+                i += 1;
+            }
+            '+' => {
+                toks.push(Tok::Plus);
+                i += 1;
+            }
+            '^' => {
+                toks.push(Tok::Caret);
+                i += 1;
+            }
+            ':' => {
+                toks.push(Tok::Colon);
+                i += 1;
+            }
+            '0'..='9' => {
+                let start = i;
+                let mut j = i;
+                let mut seen_dot = false;
+                while j < chars.len()
+                    && (chars[j].is_ascii_digit() || (chars[j] == '.' && !seen_dot))
+                {
+                    // A '.' only belongs to the number if a digit follows
+                    // (so `f1[2].range`-style expressions lex cleanly).
+                    if chars[j] == '.' {
+                        if j + 1 < chars.len() && chars[j + 1].is_ascii_digit() {
+                            seen_dot = true;
+                        } else {
+                            break;
+                        }
+                    }
+                    j += 1;
+                }
+                let text: String = chars[start..j].iter().collect();
+                let n = text.parse::<f64>().map_err(|e| format!("bad number {text}: {e}"))?;
+                toks.push(Tok::Number(n));
+                i = j;
+            }
+            '_' => {
+                // lone underscore = derived binding; `_foo` = identifier
+                if chars.get(i + 1).map(|c| c.is_alphanumeric() || *c == '_') == Some(true) {
+                    let (ident, j) = lex_ident(&chars, i);
+                    toks.push(Tok::Ident(ident));
+                    i = j;
+                } else {
+                    toks.push(Tok::Underscore);
+                    i += 1;
+                }
+            }
+            c if c.is_alphabetic() => {
+                let (ident, j) = lex_ident(&chars, i);
+                toks.push(Tok::Ident(ident));
+                i = j;
+            }
+            other => return Err(format!("unexpected character '{other}'")),
+        }
+    }
+    Ok(toks)
+}
+
+fn lex_ident(chars: &[char], start: usize) -> (String, usize) {
+    let mut j = start;
+    while j < chars.len() && (chars[j].is_alphanumeric() || chars[j] == '_') {
+        j += 1;
+    }
+    (chars[start..j].iter().collect(), j)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_tokens() {
+        let toks = tokenize("v1 <- 'product'.*").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Tok::Ident("v1".into()),
+                Tok::Arrow,
+                Tok::Quoted("product".into()),
+                Tok::Dot,
+                Tok::Star,
+            ]
+        );
+    }
+
+    #[test]
+    fn comparison_operators() {
+        assert_eq!(
+            tokenize("< <= <> != > >= = <-").unwrap(),
+            vec![Tok::Lt, Tok::Le, Tok::Neq, Tok::Neq, Tok::Gt, Tok::Ge, Tok::Eq, Tok::Arrow]
+        );
+    }
+
+    #[test]
+    fn process_expression() {
+        let toks = tokenize("v2 <- argmin(v1)[k=10] D(f1, f2)").unwrap();
+        assert!(toks.contains(&Tok::Ident("argmin".into())));
+        assert!(toks.contains(&Tok::Number(10.0)));
+        assert!(toks.contains(&Tok::Ident("D".into())));
+    }
+
+    #[test]
+    fn numbers_and_index_expressions() {
+        assert_eq!(tokenize("3.5").unwrap(), vec![Tok::Number(3.5)]);
+        // 2.range must lex as Number(2), Dot, Ident(range)
+        assert_eq!(
+            tokenize("2.range").unwrap(),
+            vec![Tok::Number(2.0), Tok::Dot, Tok::Ident("range".into())]
+        );
+        assert_eq!(
+            tokenize("f1[2:5]").unwrap(),
+            vec![
+                Tok::Ident("f1".into()),
+                Tok::LBracket,
+                Tok::Number(2.0),
+                Tok::Colon,
+                Tok::Number(5.0),
+                Tok::RBracket,
+            ]
+        );
+    }
+
+    #[test]
+    fn underscore_handling() {
+        assert_eq!(tokenize("_").unwrap(), vec![Tok::Underscore]);
+        assert_eq!(tokenize("my_fn").unwrap(), vec![Tok::Ident("my_fn".into())]);
+        assert_eq!(
+            tokenize("'product'._").unwrap(),
+            vec![Tok::Quoted("product".into()), Tok::Dot, Tok::Underscore]
+        );
+    }
+
+    #[test]
+    fn arrows_vs_minus() {
+        assert_eq!(tokenize("u1 ->").unwrap(), vec![Tok::Ident("u1".into()), Tok::RArrow]);
+        assert_eq!(
+            tokenize("f1-f2").unwrap(),
+            vec![Tok::Ident("f1".into()), Tok::Minus, Tok::Ident("f2".into())]
+        );
+        assert_eq!(tokenize("-T").unwrap(), vec![Tok::Minus, Tok::Ident("T".into())]);
+    }
+
+    #[test]
+    fn double_quoted_strings_and_like() {
+        assert_eq!(tokenize("\"06\"").unwrap(), vec![Tok::Quoted("06".into())]);
+        let toks = tokenize("zip LIKE '02%'").unwrap();
+        assert_eq!(toks[2], Tok::Quoted("02%".into()));
+    }
+
+    #[test]
+    fn errors() {
+        assert!(tokenize("'unterminated").is_err());
+        assert!(tokenize("@").is_err());
+        assert!(tokenize("!x").is_err());
+    }
+}

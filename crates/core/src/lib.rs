@@ -1,0 +1,26 @@
+//! # zql
+//!
+//! The ZQL visual query language (thesis Ch. 3) and the zenvisage
+//! back-end that executes it (Ch. 5–6): AST, text-table parser,
+//! functional primitives, the four-level batching optimizer, and the
+//! execution engine.
+
+pub mod ast;
+pub mod builder;
+pub mod exec;
+pub mod lexer;
+pub mod parser;
+pub mod primitives;
+pub mod qtree;
+pub mod recommend;
+pub mod render;
+pub mod tasks;
+
+pub use ast::*;
+pub use builder::{QueryBuilder, RowBuilder};
+pub use exec::{ExecReport, OptLevel, OutputViz, ZqlEngine, ZqlError, ZqlOutput};
+pub use parser::{parse_query, ParseError};
+pub use primitives::FunctionRegistry;
+pub use qtree::{Node, QueryTree};
+pub use recommend::{recommend, recommend_auto, recommend_diverse};
+pub use tasks::{outlier_search, representative_search, similarity_search, TaskSpec};

@@ -1,0 +1,1480 @@
+//! Recursive-descent parser for the textual ZQL table format.
+//!
+//! A query is written as a pipe-separated table whose header names the
+//! columns; `#`-prefixed lines are comments:
+//!
+//! ```text
+//! name | x      | y       | z                  | constraints   | viz                 | process
+//! *f1  | 'year' | 'sales' | v1 <- 'product'.*  | location='US' | bar.(y=agg('sum'))  |
+//! ```
+//!
+//! Pipes nested inside `(…)`, `{…}`, `[…]` or quotes do **not** split
+//! cells, so set unions like `(v2.range | v3.range)` parse naturally.
+
+use crate::ast::*;
+use crate::lexer::{tokenize, Tok};
+use zv_storage::{Agg, Atom, CmpOp, Predicate, Value};
+
+/// Parse error with row/column context.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    pub message: String,
+    pub line: usize,
+    pub column: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "parse error at line {} ({}): {}", self.line, self.column, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Which table column a header cell denotes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum ColKind {
+    Name,
+    X,
+    Y,
+    Z(usize),
+    Constraints,
+    Viz,
+    Process,
+}
+
+fn header_col(s: &str) -> Option<ColKind> {
+    let s = s.trim().to_ascii_lowercase();
+    match s.as_str() {
+        "name" => Some(ColKind::Name),
+        "x" => Some(ColKind::X),
+        "y" => Some(ColKind::Y),
+        "z" => Some(ColKind::Z(0)),
+        "constraints" => Some(ColKind::Constraints),
+        "viz" => Some(ColKind::Viz),
+        "process" => Some(ColKind::Process),
+        _ => {
+            if let Some(n) = s.strip_prefix('z') {
+                n.parse::<usize>().ok().filter(|&n| n >= 2).map(|n| ColKind::Z(n - 1))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+/// Split a row into cells on top-level pipes.
+fn split_cells(line: &str) -> Vec<String> {
+    let mut cells = Vec::new();
+    let mut cur = String::new();
+    let mut depth = 0i32;
+    let mut quote: Option<char> = None;
+    for c in line.chars() {
+        match quote {
+            Some(q) => {
+                cur.push(c);
+                if c == q {
+                    quote = None;
+                }
+            }
+            None => match c {
+                '\'' | '"' => {
+                    quote = Some(c);
+                    cur.push(c);
+                }
+                '(' | '{' | '[' => {
+                    depth += 1;
+                    cur.push(c);
+                }
+                ')' | '}' | ']' => {
+                    depth -= 1;
+                    cur.push(c);
+                }
+                '|' if depth == 0 => {
+                    cells.push(cur.trim().to_string());
+                    cur = String::new();
+                }
+                _ => cur.push(c),
+            },
+        }
+    }
+    cells.push(cur.trim().to_string());
+    cells
+}
+
+/// Parse a full ZQL query table.
+pub fn parse_query(text: &str) -> Result<ZqlQuery, ParseError> {
+    let mut lines = text
+        .lines()
+        .enumerate()
+        .map(|(i, l)| (i + 1, l.trim()))
+        .filter(|(_, l)| !l.is_empty() && !l.starts_with('#'));
+    let (hline, header) = lines
+        .next()
+        .ok_or_else(|| err(0, "header", "empty query"))?;
+    let cols: Vec<ColKind> = split_cells(header)
+        .iter()
+        .map(|c| header_col(c).ok_or_else(|| err(hline, "header", format!("unknown column '{c}'"))))
+        .collect::<Result<_, _>>()?;
+    if !cols.contains(&ColKind::Name) {
+        return Err(err(hline, "header", "a ZQL table needs a 'name' column"));
+    }
+
+    let mut rows = Vec::new();
+    for (lno, line) in lines {
+        let cells = split_cells(line);
+        if cells.len() > cols.len() {
+            return Err(err(lno, "row", format!("{} cells but {} columns", cells.len(), cols.len())));
+        }
+        let mut name: Option<NameCol> = None;
+        let mut x = None;
+        let mut y = None;
+        let mut zs: Vec<(usize, ZEntry)> = Vec::new();
+        let mut constraints = None;
+        let mut viz = None;
+        let mut processes = Vec::new();
+        for (kind, cell) in cols.iter().zip(&cells) {
+            let cell = cell.as_str();
+            match kind {
+                ColKind::Name => {
+                    if cell.is_empty() {
+                        return Err(err(lno, "name", "every row needs a name"));
+                    }
+                    name = Some(parse_name_cell(cell).map_err(|m| err(lno, "name", m))?);
+                }
+                ColKind::X => x = parse_axis_cell(cell).map_err(|m| err(lno, "x", m))?,
+                ColKind::Y => y = parse_axis_cell(cell).map_err(|m| err(lno, "y", m))?,
+                ColKind::Z(i) => {
+                    // Blank Z cells contribute nothing to the component.
+                    match parse_z_cell(cell).map_err(|m| err(lno, "z", m))? {
+                        ZEntry::None => {}
+                        entry => zs.push((*i, entry)),
+                    }
+                }
+                ColKind::Constraints => {
+                    constraints =
+                        parse_constraints_cell(cell).map_err(|m| err(lno, "constraints", m))?
+                }
+                ColKind::Viz => viz = parse_viz_cell(cell).map_err(|m| err(lno, "viz", m))?,
+                ColKind::Process => {
+                    processes = parse_process_cell(cell).map_err(|m| err(lno, "process", m))?
+                }
+            }
+        }
+        zs.sort_by_key(|(i, _)| *i);
+        let zs: Vec<ZEntry> = zs.into_iter().map(|(_, e)| e).collect();
+        rows.push(ZqlRow {
+            name: name.ok_or_else(|| err(lno, "name", "missing name cell"))?,
+            x,
+            y,
+            zs,
+            constraints,
+            viz,
+            processes,
+        });
+    }
+    Ok(ZqlQuery::new(rows))
+}
+
+fn err(line: usize, column: &str, message: impl Into<String>) -> ParseError {
+    ParseError { message: message.into(), line, column: column.to_string() }
+}
+
+// ---------------------------------------------------------------------
+// Token cursor
+// ---------------------------------------------------------------------
+
+struct P {
+    toks: Vec<Tok>,
+    pos: usize,
+}
+
+impl P {
+    fn new(cell: &str) -> Result<P, String> {
+        Ok(P { toks: tokenize(cell)?, pos: 0 })
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos)
+    }
+
+    fn peek2(&self) -> Option<&Tok> {
+        self.toks.get(self.pos + 1)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, t: &Tok) -> bool {
+        if self.peek() == Some(t) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, t: &Tok) -> Result<(), String> {
+        if self.eat(t) {
+            Ok(())
+        } else {
+            Err(format!("expected '{t}', found {}", self.describe_next()))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, String> {
+        match self.next() {
+            Some(Tok::Ident(s)) => Ok(s),
+            other => Err(format!("expected identifier, found {}", describe(other.as_ref()))),
+        }
+    }
+
+    fn expect_quoted(&mut self) -> Result<String, String> {
+        match self.next() {
+            Some(Tok::Quoted(s)) => Ok(s),
+            other => Err(format!("expected quoted string, found {}", describe(other.as_ref()))),
+        }
+    }
+
+    fn expect_number(&mut self) -> Result<f64, String> {
+        match self.next() {
+            Some(Tok::Number(n)) => Ok(n),
+            other => Err(format!("expected number, found {}", describe(other.as_ref()))),
+        }
+    }
+
+    fn done(&self) -> bool {
+        self.pos >= self.toks.len()
+    }
+
+    fn expect_done(&self) -> Result<(), String> {
+        if self.done() {
+            Ok(())
+        } else {
+            Err(format!("trailing input: {}", self.describe_next()))
+        }
+    }
+
+    fn describe_next(&self) -> String {
+        describe(self.peek())
+    }
+}
+
+fn describe(t: Option<&Tok>) -> String {
+    match t {
+        Some(t) => format!("'{t}'"),
+        None => "end of cell".to_string(),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Name column
+// ---------------------------------------------------------------------
+
+pub fn parse_name_cell(cell: &str) -> Result<NameCol, String> {
+    let mut p = P::new(cell)?;
+    let output = p.eat(&Tok::Star);
+    let user_input = !output && p.eat(&Tok::Minus);
+    let name = p.expect_ident()?;
+    let derived = if p.eat(&Tok::Eq) { Some(parse_name_expr(&mut p)?) } else { None };
+    p.expect_done()?;
+    if user_input && derived.is_some() {
+        return Err("a user-input component cannot also be derived".into());
+    }
+    Ok(NameCol { name, output, user_input, derived })
+}
+
+fn parse_name_expr(p: &mut P) -> Result<NameExpr, String> {
+    let mut lhs = parse_name_postfix(p)?;
+    loop {
+        let op = match p.peek() {
+            Some(Tok::Plus) => '+',
+            Some(Tok::Minus) => '-',
+            Some(Tok::Caret) => '^',
+            _ => break,
+        };
+        p.next();
+        let rhs = parse_name_postfix(p)?;
+        lhs = match op {
+            '+' => NameExpr::Add(Box::new(lhs), Box::new(rhs)),
+            '-' => NameExpr::Sub(Box::new(lhs), Box::new(rhs)),
+            _ => NameExpr::Intersect(Box::new(lhs), Box::new(rhs)),
+        };
+    }
+    Ok(lhs)
+}
+
+fn parse_name_postfix(p: &mut P) -> Result<NameExpr, String> {
+    let name = p.expect_ident()?;
+    let mut expr = NameExpr::Ref(name);
+    loop {
+        if p.eat(&Tok::LBracket) {
+            let a = p.expect_number()? as usize;
+            if p.eat(&Tok::Colon) {
+                let b = p.expect_number()? as usize;
+                p.expect(&Tok::RBracket)?;
+                expr = NameExpr::Slice(Box::new(expr), a, b);
+            } else {
+                p.expect(&Tok::RBracket)?;
+                expr = NameExpr::Index(Box::new(expr), a);
+            }
+        } else if p.peek() == Some(&Tok::Dot) {
+            match p.peek2() {
+                Some(Tok::Ident(id)) if id == "range" => {
+                    p.next();
+                    p.next();
+                    expr = NameExpr::Range(Box::new(expr));
+                }
+                Some(Tok::Ident(id)) if id == "order" => {
+                    p.next();
+                    p.next();
+                    expr = NameExpr::Order(Box::new(expr));
+                }
+                _ => break,
+            }
+        } else {
+            break;
+        }
+    }
+    Ok(expr)
+}
+
+// ---------------------------------------------------------------------
+// X / Y columns
+// ---------------------------------------------------------------------
+
+pub fn parse_axis_cell(cell: &str) -> Result<Option<AxisEntry>, String> {
+    if cell.is_empty() || cell == "-" {
+        return Ok(None);
+    }
+    let mut p = P::new(cell)?;
+    let entry = match p.peek() {
+        Some(Tok::Quoted(_)) => AxisEntry::Fixed(parse_attr_expr(&mut p)?),
+        Some(Tok::Ident(_)) => {
+            let var = p.expect_ident()?;
+            if p.eat(&Tok::Arrow) {
+                if p.eat(&Tok::Underscore) {
+                    AxisEntry::BindDerived { var }
+                } else {
+                    AxisEntry::Declare { var, set: parse_attr_set(&mut p)? }
+                }
+            } else {
+                AxisEntry::Var(var)
+            }
+        }
+        other => return Err(format!("unexpected {} in axis cell", describe(other))),
+    };
+    p.expect_done()?;
+    Ok(Some(entry))
+}
+
+fn parse_attr_expr(p: &mut P) -> Result<AttrExpr, String> {
+    let first = p.expect_quoted()?;
+    match p.peek() {
+        Some(Tok::Plus) => {
+            let mut attrs = vec![first];
+            while p.eat(&Tok::Plus) {
+                attrs.push(p.expect_quoted()?);
+            }
+            Ok(AttrExpr::Plus(attrs))
+        }
+        Some(Tok::Ident(id)) if id == "x" => {
+            let mut attrs = vec![first];
+            while matches!(p.peek(), Some(Tok::Ident(id)) if id == "x") {
+                p.next();
+                attrs.push(p.expect_quoted()?);
+            }
+            Ok(AttrExpr::Cross(attrs))
+        }
+        _ => Ok(AttrExpr::Attr(first)),
+    }
+}
+
+fn parse_attr_set(p: &mut P) -> Result<AttrSet, String> {
+    let mut lhs = parse_attr_set_term(p)?;
+    loop {
+        let op = match p.peek() {
+            Some(Tok::Pipe) => 'u',
+            Some(Tok::Backslash) => 'd',
+            Some(Tok::Amp) => 'i',
+            _ => break,
+        };
+        p.next();
+        let rhs = parse_attr_set_term(p)?;
+        lhs = match op {
+            'u' => AttrSet::Union(Box::new(lhs), Box::new(rhs)),
+            'd' => AttrSet::Diff(Box::new(lhs), Box::new(rhs)),
+            _ => AttrSet::Intersect(Box::new(lhs), Box::new(rhs)),
+        };
+    }
+    Ok(lhs)
+}
+
+fn parse_attr_set_term(p: &mut P) -> Result<AttrSet, String> {
+    match p.peek() {
+        Some(Tok::LBrace) => {
+            p.next();
+            let mut items = Vec::new();
+            if !p.eat(&Tok::RBrace) {
+                loop {
+                    items.push(parse_attr_expr(p)?);
+                    if !p.eat(&Tok::Comma) {
+                        break;
+                    }
+                }
+                p.expect(&Tok::RBrace)?;
+            }
+            Ok(AttrSet::List(items))
+        }
+        Some(Tok::Star) => {
+            p.next();
+            if p.eat(&Tok::Backslash) {
+                p.expect(&Tok::LBrace)?;
+                let mut items = Vec::new();
+                loop {
+                    items.push(p.expect_quoted()?);
+                    if !p.eat(&Tok::Comma) {
+                        break;
+                    }
+                }
+                p.expect(&Tok::RBrace)?;
+                Ok(AttrSet::AllExcept(items))
+            } else {
+                Ok(AttrSet::All)
+            }
+        }
+        Some(Tok::LParen) => {
+            p.next();
+            let inner = parse_attr_set(p)?;
+            p.expect(&Tok::RParen)?;
+            Ok(inner)
+        }
+        Some(Tok::Ident(_)) => {
+            let id = p.expect_ident()?;
+            if p.peek() == Some(&Tok::Dot)
+                && matches!(p.peek2(), Some(Tok::Ident(r)) if r == "range")
+            {
+                p.next();
+                p.next();
+                Ok(AttrSet::RangeOf(id))
+            } else {
+                Ok(AttrSet::Named(id))
+            }
+        }
+        other => Err(format!("unexpected {} in attribute set", describe(other))),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Z columns
+// ---------------------------------------------------------------------
+
+pub fn parse_z_cell(cell: &str) -> Result<ZEntry, String> {
+    if cell.is_empty() || cell == "-" {
+        return Ok(ZEntry::None);
+    }
+    let mut p = P::new(cell)?;
+    let entry = parse_z_entry(&mut p)?;
+    p.expect_done()?;
+    Ok(entry)
+}
+
+fn parse_z_entry(p: &mut P) -> Result<ZEntry, String> {
+    match p.peek().cloned() {
+        // 'attr'.'value' / 'attr'.number — a fixed slice.
+        Some(Tok::Quoted(attr)) => {
+            p.next();
+            p.expect(&Tok::Dot)?;
+            let value = parse_value(p)?;
+            Ok(ZEntry::Fixed { attr, value })
+        }
+        Some(Tok::Ident(first)) => {
+            p.next();
+            // `u1 ->` ordering marker
+            if p.eat(&Tok::RArrow) {
+                return Ok(ZEntry::OrderBy(first));
+            }
+            // `z1.v1 <- ...` pair declaration
+            if p.peek() == Some(&Tok::Dot) && matches!(p.peek2(), Some(Tok::Ident(_))) {
+                p.next();
+                let val_var = p.expect_ident()?;
+                p.expect(&Tok::Arrow)?;
+                if p.eat(&Tok::Underscore) {
+                    return Ok(ZEntry::BindDerived {
+                        attr_var: Some(first),
+                        val_var,
+                        attr: None,
+                    });
+                }
+                let set = parse_zset(p)?;
+                return Ok(ZEntry::DeclarePairs { attr_var: first, val_var, set });
+            }
+            // `v1 <- ...` value declaration
+            if p.eat(&Tok::Arrow) {
+                // `v2 <- 'product'._` derived binding
+                if let Some(Tok::Quoted(attr)) = p.peek().cloned() {
+                    if p.peek2() == Some(&Tok::Dot) {
+                        // look ahead for `._`
+                        let save = p.pos;
+                        p.next();
+                        p.next();
+                        if p.eat(&Tok::Underscore) {
+                            return Ok(ZEntry::BindDerived {
+                                attr_var: None,
+                                val_var: first,
+                                attr: Some(attr),
+                            });
+                        }
+                        p.pos = save;
+                    }
+                }
+                if p.eat(&Tok::Underscore) {
+                    return Ok(ZEntry::BindDerived { attr_var: None, val_var: first, attr: None });
+                }
+                let set = parse_zset(p)?;
+                return Ok(ZEntry::DeclareValues { var: first, set });
+            }
+            // bare reuse
+            Ok(ZEntry::Var(first))
+        }
+        other => Err(format!("unexpected {} in z cell", describe(other.as_ref()))),
+    }
+}
+
+/// A pair-set or value-set for Z declarations.
+fn parse_zset(p: &mut P) -> Result<ZSet, String> {
+    let mut lhs = parse_zset_term(p)?;
+    while p.eat(&Tok::Pipe) {
+        let rhs = parse_zset_term(p)?;
+        lhs = ZSet::Union(Box::new(lhs), Box::new(rhs));
+    }
+    Ok(lhs)
+}
+
+fn parse_zset_term(p: &mut P) -> Result<ZSet, String> {
+    match p.peek().cloned() {
+        // 'product'.<values>
+        Some(Tok::Quoted(attr)) => {
+            p.next();
+            p.expect(&Tok::Dot)?;
+            let values = parse_value_set(p)?;
+            Ok(ZSet::AttrValues { attr: Some(attr), values })
+        }
+        // (attr-set).(value-set)  — attribute iteration, e.g. (* \ {'y'}).*
+        // or a parenthesized set expression over ranges:
+        // (v2.range & v3.range)
+        Some(Tok::LParen) => {
+            p.next();
+            // Try: range-expression over value vars.
+            if matches!(p.peek(), Some(Tok::Ident(_)))
+                && p.peek2() == Some(&Tok::Dot)
+            {
+                let values = parse_value_set(p)?;
+                p.expect(&Tok::RParen)?;
+                return Ok(ZSet::AttrValues { attr: None, values });
+            }
+            // `('product'.{…} | 'location'.'US')` — nested pair-set union.
+            if matches!(p.peek(), Some(Tok::Quoted(_))) && p.peek2() == Some(&Tok::Dot) {
+                let inner = parse_zset(p)?;
+                p.expect(&Tok::RParen)?;
+                return Ok(inner);
+            }
+            let attrs = parse_attr_set(p)?;
+            p.expect(&Tok::RParen)?;
+            p.expect(&Tok::Dot)?;
+            let values = parse_value_set(p)?;
+            Ok(ZSet::CrossAttrs { attrs, values })
+        }
+        // * . *  — every attribute, every value (z.v <- *.*)
+        Some(Tok::Star) => {
+            p.next();
+            if p.eat(&Tok::Backslash) {
+                // * \ {'a'} . * without parens
+                p.expect(&Tok::LBrace)?;
+                let mut items = Vec::new();
+                loop {
+                    items.push(p.expect_quoted()?);
+                    if !p.eat(&Tok::Comma) {
+                        break;
+                    }
+                }
+                p.expect(&Tok::RBrace)?;
+                p.expect(&Tok::Dot)?;
+                let values = parse_value_set(p)?;
+                return Ok(ZSet::CrossAttrs { attrs: AttrSet::AllExcept(items), values });
+            }
+            p.expect(&Tok::Dot)?;
+            let values = parse_value_set(p)?;
+            Ok(ZSet::CrossAttrs { attrs: AttrSet::All, values })
+        }
+        // Named value set (engine-registered), e.g. `v1 <- P`
+        Some(Tok::Ident(_)) => {
+            let values = parse_value_set(p)?;
+            Ok(ZSet::AttrValues { attr: None, values })
+        }
+        other => Err(format!("unexpected {} in z set", describe(other.as_ref()))),
+    }
+}
+
+fn parse_value_set(p: &mut P) -> Result<ValueSet, String> {
+    let mut lhs = parse_value_set_term(p)?;
+    loop {
+        let op = match p.peek() {
+            Some(Tok::Pipe) => {
+                // A `|` followed by `'attr'.` is a *pair-set* union
+                // (Table 3.7); leave it for the enclosing parse_zset.
+                if matches!(p.toks.get(p.pos + 1), Some(Tok::Quoted(_)))
+                    && p.toks.get(p.pos + 2) == Some(&Tok::Dot)
+                {
+                    break;
+                }
+                'u'
+            }
+            Some(Tok::Backslash) => 'd',
+            Some(Tok::Amp) => 'i',
+            _ => break,
+        };
+        p.next();
+        let rhs = parse_value_set_term(p)?;
+        lhs = match op {
+            'u' => ValueSet::Union(Box::new(lhs), Box::new(rhs)),
+            'd' => ValueSet::Diff(Box::new(lhs), Box::new(rhs)),
+            _ => ValueSet::Intersect(Box::new(lhs), Box::new(rhs)),
+        };
+    }
+    Ok(lhs)
+}
+
+fn parse_value_set_term(p: &mut P) -> Result<ValueSet, String> {
+    match p.peek().cloned() {
+        Some(Tok::Star) => {
+            p.next();
+            if p.eat(&Tok::Backslash) {
+                let items = parse_value_brace_list(p)?;
+                Ok(ValueSet::AllExcept(items))
+            } else {
+                Ok(ValueSet::All)
+            }
+        }
+        Some(Tok::LBrace) => Ok(ValueSet::List(parse_value_brace_list(p)?)),
+        Some(Tok::LParen) => {
+            p.next();
+            let inner = parse_value_set(p)?;
+            p.expect(&Tok::RParen)?;
+            Ok(inner)
+        }
+        Some(Tok::Quoted(s)) => {
+            p.next();
+            Ok(ValueSet::List(vec![Value::str(s)]))
+        }
+        Some(Tok::Number(n)) => {
+            p.next();
+            Ok(ValueSet::List(vec![number_value(n)]))
+        }
+        Some(Tok::Ident(_)) => {
+            let id = p.expect_ident()?;
+            if p.peek() == Some(&Tok::Dot)
+                && matches!(p.peek2(), Some(Tok::Ident(r)) if r == "range")
+            {
+                p.next();
+                p.next();
+                Ok(ValueSet::RangeOf(id))
+            } else {
+                Ok(ValueSet::Named(id))
+            }
+        }
+        other => Err(format!("unexpected {} in value set", describe(other.as_ref()))),
+    }
+}
+
+fn parse_value_brace_list(p: &mut P) -> Result<Vec<Value>, String> {
+    p.expect(&Tok::LBrace)?;
+    let mut items = Vec::new();
+    if !p.eat(&Tok::RBrace) {
+        loop {
+            items.push(parse_value(p)?);
+            if !p.eat(&Tok::Comma) {
+                break;
+            }
+        }
+        p.expect(&Tok::RBrace)?;
+    }
+    Ok(items)
+}
+
+fn parse_value(p: &mut P) -> Result<Value, String> {
+    match p.next() {
+        Some(Tok::Quoted(s)) => Ok(Value::str(s)),
+        Some(Tok::Number(n)) => Ok(number_value(n)),
+        other => Err(format!("expected a value, found {}", describe(other.as_ref()))),
+    }
+}
+
+fn number_value(n: f64) -> Value {
+    if n.fract() == 0.0 && n.abs() < i64::MAX as f64 {
+        Value::Int(n as i64)
+    } else {
+        Value::Float(n)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Constraints column
+// ---------------------------------------------------------------------
+
+pub fn parse_constraints_cell(cell: &str) -> Result<Option<ConstraintExpr>, String> {
+    if cell.is_empty() || cell == "-" {
+        return Ok(None);
+    }
+    let mut p = P::new(cell)?;
+    let mut expr = parse_constraint_atom(&mut p)?;
+    loop {
+        match p.peek() {
+            Some(Tok::Ident(id)) if id.eq_ignore_ascii_case("and") => {
+                p.next();
+                let rhs = parse_constraint_atom(&mut p)?;
+                expr = expr.and(rhs);
+            }
+            _ => break,
+        }
+    }
+    p.expect_done()?;
+    Ok(Some(expr))
+}
+
+fn parse_constraint_atom(p: &mut P) -> Result<ConstraintExpr, String> {
+    let attr = match p.next() {
+        Some(Tok::Ident(s)) => s,
+        Some(Tok::Quoted(s)) => s,
+        other => return Err(format!("expected attribute name, found {}", describe(other.as_ref()))),
+    };
+    match p.next() {
+        Some(Tok::Eq) => match p.next() {
+            Some(Tok::Quoted(v)) => {
+                Ok(ConstraintExpr::Static(Predicate::cat_eq(attr, v)))
+            }
+            Some(Tok::Number(n)) => Ok(ConstraintExpr::Static(Predicate::num_eq(attr, n))),
+            other => Err(format!("expected value after '=', found {}", describe(other.as_ref()))),
+        },
+        Some(Tok::Neq) => match p.next() {
+            Some(Tok::Quoted(v)) => Ok(ConstraintExpr::Static(Predicate::atom(Atom::CatNeq {
+                col: attr,
+                value: v,
+            }))),
+            Some(Tok::Number(n)) => Ok(ConstraintExpr::Static(Predicate::atom(Atom::NumCmp {
+                col: attr,
+                op: CmpOp::Neq,
+                value: n,
+            }))),
+            other => Err(format!("expected value after '<>', found {}", describe(other.as_ref()))),
+        },
+        Some(tok @ (Tok::Lt | Tok::Le | Tok::Gt | Tok::Ge)) => {
+            let n = p.expect_number()?;
+            let op = match tok {
+                Tok::Lt => CmpOp::Lt,
+                Tok::Le => CmpOp::Le,
+                Tok::Gt => CmpOp::Gt,
+                _ => CmpOp::Ge,
+            };
+            Ok(ConstraintExpr::Static(Predicate::atom(Atom::NumCmp { col: attr, op, value: n })))
+        }
+        Some(Tok::Ident(kw)) if kw.eq_ignore_ascii_case("like") => {
+            let pat = p.expect_quoted()?;
+            let prefix = pat
+                .strip_suffix('%')
+                .ok_or_else(|| format!("only 'prefix%' LIKE patterns are supported, got '{pat}'"))?;
+            if prefix.contains('%') {
+                return Err(format!("only 'prefix%' LIKE patterns are supported, got '{pat}'"));
+            }
+            Ok(ConstraintExpr::Static(Predicate::atom(Atom::StrPrefix {
+                col: attr,
+                prefix: prefix.to_string(),
+            })))
+        }
+        Some(Tok::Ident(kw)) if kw.eq_ignore_ascii_case("in") => {
+            p.expect(&Tok::LParen)?;
+            // `attr IN (v2.range)` or `attr IN ('a','b',...)`
+            if let Some(Tok::Ident(_)) = p.peek() {
+                let var = p.expect_ident()?;
+                p.expect(&Tok::Dot)?;
+                let kw = p.expect_ident()?;
+                if kw != "range" {
+                    return Err(format!("expected '.range' in IN clause, found '.{kw}'"));
+                }
+                p.expect(&Tok::RParen)?;
+                return Ok(ConstraintExpr::InRange { attr, var });
+            }
+            let mut values = Vec::new();
+            loop {
+                values.push(p.expect_quoted()?);
+                if !p.eat(&Tok::Comma) {
+                    break;
+                }
+            }
+            p.expect(&Tok::RParen)?;
+            Ok(ConstraintExpr::Static(Predicate::cat_in(attr, values)))
+        }
+        Some(Tok::Ident(kw)) if kw.eq_ignore_ascii_case("between") => {
+            let lo = p.expect_number()?;
+            let and = p.expect_ident()?;
+            if !and.eq_ignore_ascii_case("and") {
+                return Err("expected AND in BETWEEN".into());
+            }
+            let hi = p.expect_number()?;
+            Ok(ConstraintExpr::Static(Predicate::atom(Atom::NumBetween { col: attr, lo, hi })))
+        }
+        other => Err(format!("expected comparison, found {}", describe(other.as_ref()))),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Viz column
+// ---------------------------------------------------------------------
+
+pub fn parse_viz_cell(cell: &str) -> Result<Option<VizEntry>, String> {
+    if cell.is_empty() || cell == "-" {
+        return Ok(None);
+    }
+    let mut p = P::new(cell)?;
+    // `var <- ...` declaration?
+    if matches!(p.peek(), Some(Tok::Ident(_))) && p.peek2() == Some(&Tok::Arrow) {
+        let var = p.expect_ident()?;
+        p.next(); // arrow
+        let specs = parse_viz_set(&mut p)?;
+        p.expect_done()?;
+        return Ok(Some(VizEntry::Declare { var, specs }));
+    }
+    // Bare var reuse: a single identifier that is not a chart type.
+    if let Some(Tok::Ident(id)) = p.peek() {
+        if ChartType::parse(id).is_none() && p.peek2().is_none() {
+            let var = p.expect_ident()?;
+            return Ok(Some(VizEntry::Var(var)));
+        }
+    }
+    let specs = parse_viz_set(&mut p)?;
+    p.expect_done()?;
+    match specs.len() {
+        1 => Ok(Some(VizEntry::Fixed(specs.into_iter().next().unwrap()))),
+        n => Err(format!("a set of {n} viz specs must be bound to a variable")),
+    }
+}
+
+fn parse_viz_set(p: &mut P) -> Result<Vec<VizSpec>, String> {
+    // `{bar, dotplot}.(params)` — chart set
+    if p.eat(&Tok::LBrace) {
+        let mut charts = Vec::new();
+        loop {
+            let id = p.expect_ident()?;
+            charts.push(
+                ChartType::parse(&id).ok_or_else(|| format!("unknown chart type '{id}'"))?,
+            );
+            if !p.eat(&Tok::Comma) {
+                break;
+            }
+        }
+        p.expect(&Tok::RBrace)?;
+        let mut base = VizSpec::default();
+        if p.eat(&Tok::Dot) {
+            p.expect(&Tok::LParen)?;
+            parse_viz_params(p, &mut base)?;
+            p.expect(&Tok::RParen)?;
+        }
+        return Ok(charts
+            .into_iter()
+            .map(|c| VizSpec { chart: c, ..base.clone() })
+            .collect());
+    }
+    let id = p.expect_ident()?;
+    let chart = ChartType::parse(&id).ok_or_else(|| format!("unknown chart type '{id}'"))?;
+    if !p.eat(&Tok::Dot) {
+        return Ok(vec![VizSpec { chart, ..Default::default() }]);
+    }
+    // `bar.{(params), (params)}` — summarization set
+    if p.eat(&Tok::LBrace) {
+        let mut specs = Vec::new();
+        loop {
+            let mut spec = VizSpec { chart, ..Default::default() };
+            p.expect(&Tok::LParen)?;
+            parse_viz_params(p, &mut spec)?;
+            p.expect(&Tok::RParen)?;
+            specs.push(spec);
+            if !p.eat(&Tok::Comma) {
+                break;
+            }
+        }
+        p.expect(&Tok::RBrace)?;
+        return Ok(specs);
+    }
+    let mut spec = VizSpec { chart, ..Default::default() };
+    p.expect(&Tok::LParen)?;
+    parse_viz_params(p, &mut spec)?;
+    p.expect(&Tok::RParen)?;
+    Ok(vec![spec])
+}
+
+fn parse_viz_params(p: &mut P, spec: &mut VizSpec) -> Result<(), String> {
+    loop {
+        let axis = p.expect_ident()?;
+        p.expect(&Tok::Eq)?;
+        let func = p.expect_ident()?;
+        p.expect(&Tok::LParen)?;
+        match (axis.as_str(), func.as_str()) {
+            ("x", "bin") => {
+                spec.x_bin = Some(p.expect_number()?);
+            }
+            ("y", "agg") => {
+                let name = p.expect_quoted()?;
+                spec.y_agg =
+                    Agg::parse(&name).ok_or_else(|| format!("unknown aggregate '{name}'"))?;
+            }
+            (a, f) => return Err(format!("unsupported summarization {a}={f}(...)")),
+        }
+        p.expect(&Tok::RParen)?;
+        if !p.eat(&Tok::Comma) {
+            break;
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// Process column
+// ---------------------------------------------------------------------
+
+pub fn parse_process_cell(cell: &str) -> Result<Vec<ProcessDecl>, String> {
+    if cell.is_empty() || cell == "-" {
+        return Ok(Vec::new());
+    }
+    let mut p = P::new(cell)?;
+    let mut decls = Vec::new();
+    // `(decl), (decl)` or a single bare decl
+    if p.peek() == Some(&Tok::LParen) {
+        loop {
+            p.expect(&Tok::LParen)?;
+            decls.push(parse_process_decl(&mut p)?);
+            p.expect(&Tok::RParen)?;
+            if !p.eat(&Tok::Comma) {
+                break;
+            }
+        }
+    } else {
+        decls.push(parse_process_decl(&mut p)?);
+    }
+    p.expect_done()?;
+    Ok(decls)
+}
+
+fn parse_process_decl(p: &mut P) -> Result<ProcessDecl, String> {
+    let mut outputs = vec![p.expect_ident()?];
+    while p.eat(&Tok::Comma) {
+        outputs.push(p.expect_ident()?);
+    }
+    p.expect(&Tok::Arrow)?;
+    let head = p.expect_ident()?;
+    if head == "R" {
+        p.expect(&Tok::LParen)?;
+        let k = p.expect_number()? as usize;
+        p.expect(&Tok::Comma)?;
+        let mut args = vec![p.expect_ident()?];
+        while p.eat(&Tok::Comma) {
+            args.push(p.expect_ident()?);
+        }
+        p.expect(&Tok::RParen)?;
+        let component = args
+            .pop()
+            .ok_or_else(|| "R(k, vars..., component) needs a component".to_string())?;
+        if args.is_empty() {
+            return Err("R(k, vars..., component) needs at least one variable".into());
+        }
+        return Ok(ProcessDecl::Representative { outputs, k, over: args, component });
+    }
+    let mechanism = match head.as_str() {
+        "argmin" => Mechanism::ArgMin,
+        "argmax" => Mechanism::ArgMax,
+        "argany" => Mechanism::ArgAny,
+        other => return Err(format!("unknown mechanism '{other}'")),
+    };
+    p.expect(&Tok::LParen)?;
+    let mut over = vec![p.expect_ident()?];
+    while p.eat(&Tok::Comma) {
+        over.push(p.expect_ident()?);
+    }
+    p.expect(&Tok::RParen)?;
+    let filter = parse_process_filter(p)?;
+    let objective = parse_obj_expr(p)?;
+    Ok(ProcessDecl::Rank { outputs, mechanism, over, filter, objective })
+}
+
+fn parse_process_filter(p: &mut P) -> Result<ProcessFilter, String> {
+    if !p.eat(&Tok::LBracket) {
+        return Ok(ProcessFilter::None);
+    }
+    let kind = p.expect_ident()?;
+    let filter = match kind.as_str() {
+        "k" => {
+            p.expect(&Tok::Eq)?;
+            match p.next() {
+                Some(Tok::Number(n)) => ProcessFilter::TopK(n as usize),
+                Some(Tok::Ident(s)) if s == "inf" || s == "infinity" => {
+                    ProcessFilter::TopK(usize::MAX)
+                }
+                other => {
+                    return Err(format!("expected k value, found {}", describe(other.as_ref())))
+                }
+            }
+        }
+        "t" => {
+            let op = match p.next() {
+                Some(Tok::Gt) => ThresholdOp::Gt,
+                Some(Tok::Ge) => ThresholdOp::Ge,
+                Some(Tok::Lt) => ThresholdOp::Lt,
+                Some(Tok::Le) => ThresholdOp::Le,
+                other => {
+                    return Err(format!("expected threshold op, found {}", describe(other.as_ref())))
+                }
+            };
+            let neg = p.eat(&Tok::Minus);
+            let mut value = p.expect_number()?;
+            if neg {
+                value = -value;
+            }
+            ProcessFilter::Threshold { op, value }
+        }
+        other => return Err(format!("unknown filter '{other}' (expected k or t)")),
+    };
+    p.expect(&Tok::RBracket)?;
+    Ok(filter)
+}
+
+fn parse_obj_expr(p: &mut P) -> Result<ObjExpr, String> {
+    if p.eat(&Tok::Minus) {
+        return Ok(ObjExpr::Neg(Box::new(parse_obj_expr(p)?)));
+    }
+    let head = p.expect_ident()?;
+    let inner_op = match head.as_str() {
+        "min" => Some(InnerOp::Min),
+        "max" => Some(InnerOp::Max),
+        "sum" => Some(InnerOp::Sum),
+        "avg" => Some(InnerOp::Avg),
+        _ => None,
+    };
+    if let Some(op) = inner_op {
+        p.expect(&Tok::LParen)?;
+        let mut vars = vec![p.expect_ident()?];
+        while p.eat(&Tok::Comma) {
+            vars.push(p.expect_ident()?);
+        }
+        p.expect(&Tok::RParen)?;
+        let expr = parse_obj_expr(p)?;
+        return Ok(ObjExpr::InnerAgg { op, vars, expr: Box::new(expr) });
+    }
+    p.expect(&Tok::LParen)?;
+    let mut args = vec![p.expect_ident()?];
+    while p.eat(&Tok::Comma) {
+        args.push(p.expect_ident()?);
+    }
+    p.expect(&Tok::RParen)?;
+    match head.as_str() {
+        "T" => {
+            if args.len() != 1 {
+                return Err(format!("T takes one component, got {}", args.len()));
+            }
+            Ok(ObjExpr::T(args.remove(0)))
+        }
+        "D" => {
+            if args.len() != 2 {
+                return Err(format!("D takes two components, got {}", args.len()));
+            }
+            let b = args.pop().unwrap();
+            let a = args.pop().unwrap();
+            Ok(ObjExpr::D(a, b))
+        }
+        _ => Ok(ObjExpr::UserFn { name: head, args }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_cells_respects_nesting_and_quotes() {
+        let cells = split_cells("a | (x | y) | {p | q} | 'u|v' | b");
+        assert_eq!(cells, vec!["a", "(x | y)", "{p | q}", "'u|v'", "b"]);
+        assert_eq!(split_cells("a||b"), vec!["a", "", "b"]);
+    }
+
+    #[test]
+    fn parse_table_2_1() {
+        // Thesis Table 2.1: set of sales-over-years bar charts per product
+        // sold in the US.
+        let q = parse_query(
+            "name | x | y | z | constraints | viz | process\n\
+             *f1 | 'year' | 'sales' | v1 <- 'product'.* | location='US' | bar.(y=agg('sum')) |",
+        )
+        .unwrap();
+        assert_eq!(q.rows.len(), 1);
+        let row = &q.rows[0];
+        assert!(row.name.output);
+        assert_eq!(row.name.name, "f1");
+        assert_eq!(row.x, Some(AxisEntry::fixed("year")));
+        assert_eq!(
+            row.zs[0],
+            ZEntry::DeclareValues {
+                var: "v1".into(),
+                set: ZSet::AttrValues { attr: Some("product".into()), values: ValueSet::All },
+            }
+        );
+        assert!(row.constraints.is_some());
+        assert_eq!(
+            row.viz,
+            Some(VizEntry::Fixed(VizSpec { chart: ChartType::Bar, x_bin: None, y_agg: Agg::Sum }))
+        );
+        assert!(row.processes.is_empty());
+    }
+
+    #[test]
+    fn parse_table_2_2_with_user_input_and_process() {
+        let q = parse_query(
+            "name | x | y | z | process\n\
+             -f1 | | | |\n\
+             f2 | 'year' | 'sales' | v1 <- 'product'.* | v2 <- argmin(v1)[k=1] D(f1, f2)\n\
+             *f3 | 'year' | 'sales' | v2 |",
+        )
+        .unwrap();
+        assert!(q.rows[0].name.user_input);
+        let p = &q.rows[1].processes[0];
+        match p {
+            ProcessDecl::Rank { outputs, mechanism, over, filter, objective } => {
+                assert_eq!(outputs, &["v2"]);
+                assert_eq!(*mechanism, Mechanism::ArgMin);
+                assert_eq!(over, &["v1"]);
+                assert_eq!(*filter, ProcessFilter::TopK(1));
+                assert_eq!(*objective, ObjExpr::D("f1".into(), "f2".into()));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(q.rows[2].zs[0], ZEntry::Var("v2".into()));
+    }
+
+    #[test]
+    fn parse_table_2_3_style_threshold_and_ranges() {
+        let q = parse_query(
+            "name | x | y | z | constraints | process\n\
+             f1 | 'year' | 'sales' | v1 <- 'product'.* | location='US' | v2 <- argany(v1)[t > 0] T(f1)\n\
+             f2 | 'year' | 'sales' | v1 | location='UK' | v3 <- argany(v1)[t < 0] T(f2)\n\
+             f3 | 'year' | 'sales' | v4 <- (v2.range & v3.range) | | v5 <- R(10, v4, f3)\n\
+             *f4 | 'year' | 'profit' | v5 | |",
+        )
+        .unwrap();
+        assert_eq!(q.rows.len(), 4);
+        match &q.rows[0].processes[0] {
+            ProcessDecl::Rank { filter, .. } => {
+                assert_eq!(
+                    *filter,
+                    ProcessFilter::Threshold { op: ThresholdOp::Gt, value: 0.0 }
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match &q.rows[2].zs[0] {
+            ZEntry::DeclareValues { var, set } => {
+                assert_eq!(var, "v4");
+                assert_eq!(
+                    *set,
+                    ZSet::AttrValues {
+                        attr: None,
+                        values: ValueSet::Intersect(
+                            Box::new(ValueSet::RangeOf("v2".into())),
+                            Box::new(ValueSet::RangeOf("v3".into())),
+                        ),
+                    }
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match &q.rows[2].processes[0] {
+            ProcessDecl::Representative { outputs, k, over, component } => {
+                assert_eq!(outputs, &["v5"]);
+                assert_eq!(*k, 10);
+                assert_eq!(over, &["v4"]);
+                assert_eq!(component, "f3");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_axis_sets_and_reuse() {
+        let e = parse_axis_cell("y1 <- {'profit', 'sales'}").unwrap().unwrap();
+        assert_eq!(
+            e,
+            AxisEntry::Declare {
+                var: "y1".into(),
+                set: AttrSet::List(vec![AttrExpr::attr("profit"), AttrExpr::attr("sales")]),
+            }
+        );
+        assert_eq!(parse_axis_cell("x2").unwrap().unwrap(), AxisEntry::Var("x2".into()));
+        assert_eq!(
+            parse_axis_cell("x1 <- M").unwrap().unwrap(),
+            AxisEntry::Declare { var: "x1".into(), set: AttrSet::Named("M".into()) }
+        );
+        assert_eq!(
+            parse_axis_cell("y1 <- _").unwrap().unwrap(),
+            AxisEntry::BindDerived { var: "y1".into() }
+        );
+        assert_eq!(parse_axis_cell("").unwrap(), None);
+        // composite axes
+        assert_eq!(
+            parse_axis_cell("'profit' + 'sales'").unwrap().unwrap(),
+            AxisEntry::Fixed(AttrExpr::Plus(vec!["profit".into(), "sales".into()]))
+        );
+        assert_eq!(
+            parse_axis_cell("'product' x 'county'").unwrap().unwrap(),
+            AxisEntry::Fixed(AttrExpr::Cross(vec!["product".into(), "county".into()]))
+        );
+    }
+
+    #[test]
+    fn parse_z_variants() {
+        assert_eq!(
+            parse_z_cell("'product'.'chair'").unwrap(),
+            ZEntry::Fixed { attr: "product".into(), value: Value::str("chair") }
+        );
+        assert_eq!(
+            parse_z_cell("v1 <- 'product'.(* \\ {'stapler'})").unwrap(),
+            ZEntry::DeclareValues {
+                var: "v1".into(),
+                set: ZSet::AttrValues {
+                    attr: Some("product".into()),
+                    values: ValueSet::AllExcept(vec![Value::str("stapler")]),
+                },
+            }
+        );
+        assert_eq!(
+            parse_z_cell("z1.v1 <- (* \\ {'year', 'sales'}).*").unwrap(),
+            ZEntry::DeclarePairs {
+                attr_var: "z1".into(),
+                val_var: "v1".into(),
+                set: ZSet::CrossAttrs {
+                    attrs: AttrSet::AllExcept(vec!["year".into(), "sales".into()]),
+                    values: ValueSet::All,
+                },
+            }
+        );
+        // union of explicit pairs (Table 3.7)
+        match parse_z_cell("z1.v1 <- ('product'.{'chair','desk'} | 'location'.'US')").unwrap() {
+            ZEntry::DeclarePairs { set: ZSet::Union(a, b), .. } => {
+                assert!(matches!(*a, ZSet::AttrValues { .. }));
+                assert!(matches!(*b, ZSet::AttrValues { .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(
+            parse_z_cell("v2 <- 'product'._").unwrap(),
+            ZEntry::BindDerived {
+                attr_var: None,
+                val_var: "v2".into(),
+                attr: Some("product".into()),
+            }
+        );
+        assert_eq!(parse_z_cell("u1 ->").unwrap(), ZEntry::OrderBy("u1".into()));
+        assert_eq!(parse_z_cell("").unwrap(), ZEntry::None);
+        assert_eq!(
+            parse_z_cell("'year'.2015").unwrap(),
+            ZEntry::Fixed { attr: "year".into(), value: Value::Int(2015) }
+        );
+        // named set (user-registered), e.g. airports OA
+        assert_eq!(
+            parse_z_cell("v1 <- OA").unwrap(),
+            ZEntry::DeclareValues {
+                var: "v1".into(),
+                set: ZSet::AttrValues { attr: None, values: ValueSet::Named("OA".into()) },
+            }
+        );
+    }
+
+    #[test]
+    fn parse_constraints_variants() {
+        let c = parse_constraints_cell("product='chair' AND zip LIKE '02%'").unwrap().unwrap();
+        match c {
+            ConstraintExpr::And(a, b) => {
+                assert!(matches!(*a, ConstraintExpr::Static(_)));
+                assert!(matches!(*b, ConstraintExpr::Static(_)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(
+            parse_constraints_cell("year=2015").unwrap().unwrap(),
+            ConstraintExpr::Static(Predicate::num_eq("year", 2015.0))
+        );
+        assert_eq!(
+            parse_constraints_cell("product IN (v2.range)").unwrap().unwrap(),
+            ConstraintExpr::InRange { attr: "product".into(), var: "v2".into() }
+        );
+        assert!(parse_constraints_cell("zip LIKE '%02'").is_err());
+        assert!(matches!(
+            parse_constraints_cell("sales BETWEEN 10 AND 20").unwrap().unwrap(),
+            ConstraintExpr::Static(_)
+        ));
+        assert_eq!(parse_constraints_cell("").unwrap(), None);
+    }
+
+    #[test]
+    fn parse_viz_variants() {
+        assert_eq!(
+            parse_viz_cell("bar.(x=bin(20), y=agg('sum'))").unwrap().unwrap(),
+            VizEntry::Fixed(VizSpec { chart: ChartType::Bar, x_bin: Some(20.0), y_agg: Agg::Sum })
+        );
+        assert_eq!(
+            parse_viz_cell("scatterplot").unwrap().unwrap(),
+            VizEntry::Fixed(VizSpec { chart: ChartType::Scatterplot, ..Default::default() })
+        );
+        match parse_viz_cell("t1 <- {bar, dotplot}.(x=bin(20), y=agg('sum'))").unwrap().unwrap() {
+            VizEntry::Declare { var, specs } => {
+                assert_eq!(var, "t1");
+                assert_eq!(specs.len(), 2);
+                assert_eq!(specs[0].chart, ChartType::Bar);
+                assert_eq!(specs[1].chart, ChartType::DotPlot);
+                assert_eq!(specs[1].x_bin, Some(20.0));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse_viz_cell(
+            "s1 <- bar.{(x=bin(20), y=agg('sum')), (x=bin(30), y=agg('sum'))}",
+        )
+        .unwrap()
+        .unwrap()
+        {
+            VizEntry::Declare { specs, .. } => {
+                assert_eq!(specs.len(), 2);
+                assert_eq!(specs[0].x_bin, Some(20.0));
+                assert_eq!(specs[1].x_bin, Some(30.0));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // a bare non-chart identifier is a variable reuse
+        assert_eq!(parse_viz_cell("t1").unwrap().unwrap(), VizEntry::Var("t1".into()));
+        assert!(parse_viz_cell("piechart.(y=agg('sum'))").is_err());
+    }
+
+    #[test]
+    fn parse_process_variants() {
+        // multiple processes (Table 3.21)
+        let ps = parse_process_cell(
+            "(v2 <- argmax(v1)[k=1] D(f1, f2)), (v3 <- argmin(v1)[k=1] D(f1, f2))",
+        )
+        .unwrap();
+        assert_eq!(ps.len(), 2);
+        // multi-variable iteration (Table 3.19)
+        match &parse_process_cell("x2, y2 <- argmax(x1, y1)[k=10] D(f1, f2)").unwrap()[0] {
+            ProcessDecl::Rank { outputs, over, .. } => {
+                assert_eq!(outputs, &["x2", "y2"]);
+                assert_eq!(over, &["x1", "y1"]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // nested iteration (Table 3.20)
+        match &parse_process_cell("v3 <- argmax(v1)[k=10] min(v2) D(f1, f2)").unwrap()[0] {
+            ProcessDecl::Rank { objective: ObjExpr::InnerAgg { op, vars, expr }, .. } => {
+                assert_eq!(*op, InnerOp::Min);
+                assert_eq!(vars, &["v2"]);
+                assert_eq!(**expr, ObjExpr::D("f1".into(), "f2".into()));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // sum objective (Table 3.25)
+        match &parse_process_cell("x3, y3 <- argmax(x1, y1)[k=1] sum(x2, y2) D(f1, f2)").unwrap()
+            [0]
+        {
+            ProcessDecl::Rank { objective: ObjExpr::InnerAgg { op, vars, .. }, .. } => {
+                assert_eq!(*op, InnerOp::Sum);
+                assert_eq!(vars, &["x2", "y2"]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // k = inf sort (Table 3.15)
+        match &parse_process_cell("u1 <- argmin(v1)[k=inf] T(f1)").unwrap()[0] {
+            ProcessDecl::Rank { filter, .. } => assert_eq!(*filter, ProcessFilter::TopK(usize::MAX)),
+            other => panic!("unexpected {other:?}"),
+        }
+        // negated objective
+        match &parse_process_cell("u1 <- argmin(v1) -T(f1)").unwrap()[0] {
+            ProcessDecl::Rank { objective: ObjExpr::Neg(inner), filter, .. } => {
+                assert_eq!(**inner, ObjExpr::T("f1".into()));
+                assert_eq!(*filter, ProcessFilter::None);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // user-defined function
+        match &parse_process_cell("v2 <- argmax(v1)[k=5] wiggliness(f1)").unwrap()[0] {
+            ProcessDecl::Rank { objective: ObjExpr::UserFn { name, args }, .. } => {
+                assert_eq!(name, "wiggliness");
+                assert_eq!(args, &["f1"]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(parse_process_cell("").unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn parse_name_expressions() {
+        let n = parse_name_cell("f3=f1+f2").unwrap();
+        assert_eq!(
+            n.derived,
+            Some(NameExpr::Add(
+                Box::new(NameExpr::Ref("f1".into())),
+                Box::new(NameExpr::Ref("f2".into()))
+            ))
+        );
+        let n = parse_name_cell("*f4=f1^f3").unwrap();
+        assert!(n.output);
+        assert!(matches!(n.derived, Some(NameExpr::Intersect(_, _))));
+        assert!(matches!(
+            parse_name_cell("f2=f1[2:5]").unwrap().derived,
+            Some(NameExpr::Slice(_, 2, 5))
+        ));
+        assert!(matches!(
+            parse_name_cell("f2=f1[3]").unwrap().derived,
+            Some(NameExpr::Index(_, 3))
+        ));
+        assert!(matches!(parse_name_cell("f2=f1.range").unwrap().derived, Some(NameExpr::Range(_))));
+        assert!(matches!(
+            parse_name_cell("*f2=f1.order").unwrap().derived,
+            Some(NameExpr::Order(_))
+        ));
+        assert!(parse_name_cell("-f1=f2+f3").is_err());
+    }
+
+    #[test]
+    fn parse_errors_carry_location() {
+        let e = parse_query("name | x\nf1 | 'year' | extra").unwrap_err();
+        assert_eq!(e.line, 2);
+        let e = parse_query("nome | x").unwrap_err();
+        assert!(e.message.contains("unknown column"));
+        let e = parse_query("x | y").unwrap_err();
+        assert!(e.message.contains("name"));
+    }
+
+    #[test]
+    fn parse_multiple_z_columns() {
+        // Table 3.8: Z and Z2
+        let q = parse_query(
+            "name | x | y | z | z2\n\
+             f1 | 'year' | 'sales' | v1 <- 'product'.* | v2 <- 'location'.{'US', 'Canada'}",
+        )
+        .unwrap();
+        assert_eq!(q.rows[0].zs.len(), 2);
+        match &q.rows[0].zs[1] {
+            ZEntry::DeclareValues { set: ZSet::AttrValues { values: ValueSet::List(v), .. }, .. } => {
+                assert_eq!(v.len(), 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

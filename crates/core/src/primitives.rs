@@ -1,0 +1,153 @@
+//! The functional primitives `T`, `D`, `R` (thesis §3.8) plus
+//! user-defined functions and named sets. "zenvisage will use default
+//! settings for each of these functions, but the user is free to specify
+//! their own variants."
+
+use std::collections::HashMap;
+use zv_analytics::{representative, series_distance, trend, DistanceKind, Normalize, Series};
+use zv_storage::Value;
+
+/// A user-defined objective over one or more visualizations.
+pub type UserFn = Box<dyn Fn(&[Series]) -> f64 + Send + Sync>;
+
+/// The engine's function and set environment.
+pub struct FunctionRegistry {
+    t: Box<dyn Fn(&Series) -> f64 + Send + Sync>,
+    d: Box<dyn Fn(&Series, &Series) -> f64 + Send + Sync>,
+    r: Box<dyn Fn(&[Series], usize) -> Vec<usize> + Send + Sync>,
+    user: HashMap<String, UserFn>,
+    /// Named attribute sets (`M`, `C`, … in the thesis's examples).
+    attr_sets: HashMap<String, Vec<String>>,
+    /// Named value sets (`P`, `OA`, `DA`, …).
+    value_sets: HashMap<String, Vec<Value>>,
+}
+
+impl Default for FunctionRegistry {
+    fn default() -> Self {
+        FunctionRegistry {
+            t: Box::new(trend),
+            d: Box::new(|a, b| series_distance(DistanceKind::Euclidean, Normalize::ZScore, a, b)),
+            r: Box::new(|series, k| {
+                representative::representatives(&representative::embed(series), k, 0)
+            }),
+            user: HashMap::new(),
+            attr_sets: HashMap::new(),
+            value_sets: HashMap::new(),
+        }
+    }
+}
+
+impl FunctionRegistry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Replace the trend primitive `T`.
+    pub fn set_t(&mut self, f: impl Fn(&Series) -> f64 + Send + Sync + 'static) {
+        self.t = Box::new(f);
+    }
+
+    /// Replace the distance primitive `D`.
+    pub fn set_d(&mut self, f: impl Fn(&Series, &Series) -> f64 + Send + Sync + 'static) {
+        self.d = Box::new(f);
+    }
+
+    /// Use one of the built-in distance metrics for `D`.
+    pub fn set_distance_kind(&mut self, kind: DistanceKind, norm: Normalize) {
+        self.d = Box::new(move |a, b| series_distance(kind, norm, a, b));
+    }
+
+    /// Replace the representative primitive `R` (returns member indices).
+    pub fn set_r(&mut self, f: impl Fn(&[Series], usize) -> Vec<usize> + Send + Sync + 'static) {
+        self.r = Box::new(f);
+    }
+
+    /// Register a user-defined function callable from the Process column.
+    pub fn register_fn(
+        &mut self,
+        name: impl Into<String>,
+        f: impl Fn(&[Series]) -> f64 + Send + Sync + 'static,
+    ) {
+        self.user.insert(name.into(), Box::new(f));
+    }
+
+    /// Register a named attribute set (usable in X/Y columns).
+    pub fn register_attr_set(&mut self, name: impl Into<String>, attrs: Vec<String>) {
+        self.attr_sets.insert(name.into(), attrs);
+    }
+
+    /// Register a named value set (usable in Z columns).
+    pub fn register_value_set(&mut self, name: impl Into<String>, values: Vec<Value>) {
+        self.value_sets.insert(name.into(), values);
+    }
+
+    pub fn t(&self, s: &Series) -> f64 {
+        (self.t)(s)
+    }
+
+    pub fn d(&self, a: &Series, b: &Series) -> f64 {
+        (self.d)(a, b)
+    }
+
+    pub fn r(&self, series: &[Series], k: usize) -> Vec<usize> {
+        (self.r)(series, k)
+    }
+
+    pub fn call_user(&self, name: &str, args: &[Series]) -> Option<f64> {
+        self.user.get(name).map(|f| f(args))
+    }
+
+    pub fn attr_set(&self, name: &str) -> Option<&[String]> {
+        self.attr_sets.get(name).map(Vec::as_slice)
+    }
+
+    pub fn value_set(&self, name: &str) -> Option<&[Value]> {
+        self.value_sets.get(name).map(Vec::as_slice)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let reg = FunctionRegistry::new();
+        let up = Series::from_ys(&[1.0, 2.0, 3.0]);
+        let down = Series::from_ys(&[3.0, 2.0, 1.0]);
+        assert!(reg.t(&up) > 0.0);
+        assert!(reg.d(&up, &up).abs() < 1e-9);
+        assert!(reg.d(&up, &down) > 0.0);
+        let reps = reg.r(&[up.clone(), up.clone(), down], 2);
+        assert_eq!(reps.len(), 2);
+    }
+
+    #[test]
+    fn overrides_and_user_functions() {
+        let mut reg = FunctionRegistry::new();
+        reg.set_t(|_| 42.0);
+        assert_eq!(reg.t(&Series::from_ys(&[0.0])), 42.0);
+        reg.register_fn("count_points", |args| args[0].len() as f64);
+        let s = Series::from_ys(&[1.0, 2.0, 3.0]);
+        assert_eq!(reg.call_user("count_points", &[s]), Some(3.0));
+        assert_eq!(reg.call_user("missing", &[]), None);
+    }
+
+    #[test]
+    fn named_sets() {
+        let mut reg = FunctionRegistry::new();
+        reg.register_attr_set("M", vec!["sales".into(), "profit".into()]);
+        reg.register_value_set("P", vec![Value::str("chair"), Value::str("desk")]);
+        assert_eq!(reg.attr_set("M").unwrap().len(), 2);
+        assert_eq!(reg.value_set("P").unwrap().len(), 2);
+        assert!(reg.attr_set("X").is_none());
+    }
+
+    #[test]
+    fn dtw_distance_override() {
+        let mut reg = FunctionRegistry::new();
+        reg.set_distance_kind(DistanceKind::Dtw { window: None }, Normalize::ZScore);
+        let a = Series::from_ys(&[0.0, 1.0, 0.0, -1.0]);
+        assert!(reg.d(&a, &a).abs() < 1e-9);
+    }
+}

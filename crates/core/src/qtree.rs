@@ -1,0 +1,374 @@
+//! The query tree of thesis §5.2 / Figure 5.1: "All axis variables, name
+//! variables, and tasks of a ZQL query are nodes in its query tree"
+//! (children point to parents). The inter-task optimizer's coloring
+//! algorithm batches the SQL queries of every name-variable node whose
+//! children are all colored.
+
+use crate::ast::*;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A node of the query tree.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Node {
+    /// An axis variable (`v1`, `x2`, …).
+    Var(String),
+    /// A name variable / visual component (`f1`, …).
+    Name(String),
+    /// The i-th process of row r, displayed as `t<r+1>`.
+    Task { row: usize, index: usize },
+}
+
+impl fmt::Display for Node {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Node::Var(v) => write!(f, "{v}"),
+            Node::Name(n) => write!(f, "{n}"),
+            Node::Task { row, index } => {
+                if *index == 0 {
+                    write!(f, "t{}", row + 1)
+                } else {
+                    write!(f, "t{}.{}", row + 1, index + 1)
+                }
+            }
+        }
+    }
+}
+
+/// The tree: `parents[child]` = nodes the child points to (Figure 5.1's
+/// arrows go child → parent).
+#[derive(Debug, Default)]
+pub struct QueryTree {
+    pub nodes: Vec<Node>,
+    pub parents: HashMap<Node, Vec<Node>>,
+}
+
+impl QueryTree {
+    /// Build the tree for a query.
+    pub fn build(query: &ZqlQuery) -> QueryTree {
+        let mut tree = QueryTree::default();
+        // Which task produced each variable (for declaration edges).
+        let mut producer: HashMap<String, Node> = HashMap::new();
+
+        for (r, row) in query.rows.iter().enumerate() {
+            let name_node = Node::Name(row.name.name.clone());
+            tree.add_node(name_node.clone());
+
+            // (variable, variables used in its declaration)
+            let mut row_vars: Vec<(String, Vec<String>)> = Vec::new();
+            collect_axis_vars(&row.x, &mut row_vars);
+            collect_axis_vars(&row.y, &mut row_vars);
+            for z in &row.zs {
+                collect_z_vars(z, &mut row_vars);
+            }
+            if let Some(c) = &row.constraints {
+                collect_constraint_vars(c, &mut row_vars);
+            }
+            match &row.viz {
+                Some(VizEntry::Var(v)) => row_vars.push((v.clone(), Vec::new())),
+                Some(VizEntry::Declare { var, .. }) => row_vars.push((var.clone(), Vec::new())),
+                _ => {}
+            }
+
+            // "Name variables become the parents of the axis variables in
+            // its visual component" — child var → parent name.
+            for (v, deps) in &row_vars {
+                let var_node = Node::Var(v.clone());
+                tree.add_node(var_node.clone());
+                tree.add_edge(var_node.clone(), name_node.clone());
+                // "Axis variables become the parents over the nodes which
+                // are used in its declaration" — either other variables
+                // (`v4 <- (v2.range | v3.range)`) or the producing task.
+                for dep in deps {
+                    let dep_node = Node::Var(dep.clone());
+                    tree.add_edge(dep_node.clone(), var_node.clone());
+                    if let Some(task) = producer.get(dep) {
+                        tree.add_edge(task.clone(), dep_node);
+                    }
+                }
+                if let Some(task) = producer.get(v) {
+                    tree.add_edge(task.clone(), var_node);
+                }
+            }
+
+            for (i, p) in row.processes.iter().enumerate() {
+                let task_node = Node::Task { row: r, index: i };
+                tree.add_node(task_node.clone());
+                // "Tasks become the parents of the visualizations it
+                // operates over": every component the objective mentions.
+                for comp in process_components(p) {
+                    tree.add_edge(Node::Name(comp), task_node.clone());
+                }
+                for out in p.outputs() {
+                    producer.insert(out.clone(), task_node.clone());
+                }
+            }
+        }
+        tree
+    }
+
+    fn add_node(&mut self, n: Node) {
+        if !self.nodes.contains(&n) {
+            self.nodes.push(n);
+        }
+    }
+
+    fn add_edge(&mut self, child: Node, parent: Node) {
+        self.add_node(child.clone());
+        self.add_node(parent.clone());
+        let e = self.parents.entry(child).or_default();
+        if !e.contains(&parent) {
+            e.push(parent);
+        }
+    }
+
+    /// Children of a node (nodes pointing to it).
+    pub fn children(&self, node: &Node) -> Vec<&Node> {
+        self.parents
+            .iter()
+            .filter(|(_, ps)| ps.contains(node))
+            .map(|(c, _)| c)
+            .collect()
+    }
+
+    /// Does this name-variable node transitively depend on any task?
+    /// (If not, its SQL can be batched into the very first request —
+    /// the inter-task optimization.)
+    pub fn depends_on_task(&self, node: &Node) -> bool {
+        let mut stack: Vec<&Node> = self.children(node);
+        let mut seen: Vec<&Node> = Vec::new();
+        while let Some(n) = stack.pop() {
+            if seen.contains(&n) {
+                continue;
+            }
+            seen.push(n);
+            if matches!(n, Node::Task { .. }) {
+                return true;
+            }
+            stack.extend(self.children(n));
+        }
+        false
+    }
+
+    /// The coloring schedule of §5.2: waves of name nodes whose children
+    /// are all colored; tasks color once their children are colored.
+    pub fn batch_waves(&self) -> Vec<Vec<Node>> {
+        let mut colored: Vec<Node> = Vec::new();
+        // leaves: nodes with no children
+        for n in &self.nodes {
+            if self.children(n).is_empty() && !matches!(n, Node::Name(_)) {
+                colored.push(n.clone());
+            }
+        }
+        let mut waves = Vec::new();
+        loop {
+            let wave: Vec<Node> = self
+                .nodes
+                .iter()
+                .filter(|n| matches!(n, Node::Name(_)))
+                .filter(|n| !colored.contains(n))
+                .filter(|n| self.children(n).iter().all(|c| colored.contains(c)))
+                .cloned()
+                .collect();
+            if wave.is_empty() {
+                break;
+            }
+            colored.extend(wave.iter().cloned());
+            waves.push(wave);
+            // propagate: color vars and tasks whose children are colored
+            loop {
+                let ready: Vec<Node> = self
+                    .nodes
+                    .iter()
+                    .filter(|n| !matches!(n, Node::Name(_)))
+                    .filter(|n| !colored.contains(n))
+                    .filter(|n| self.children(n).iter().all(|c| colored.contains(c)))
+                    .cloned()
+                    .collect();
+                if ready.is_empty() {
+                    break;
+                }
+                colored.extend(ready);
+            }
+        }
+        waves
+    }
+}
+
+fn collect_axis_vars(entry: &Option<AxisEntry>, out: &mut Vec<(String, Vec<String>)>) {
+    match entry {
+        Some(AxisEntry::Declare { var, set }) => {
+            let mut deps = Vec::new();
+            collect_attr_set_vars(set, &mut deps);
+            out.push((var.clone(), deps));
+        }
+        Some(AxisEntry::Var(var)) | Some(AxisEntry::BindDerived { var }) => {
+            out.push((var.clone(), Vec::new()))
+        }
+        _ => {}
+    }
+}
+
+fn collect_attr_set_vars(set: &AttrSet, out: &mut Vec<String>) {
+    match set {
+        AttrSet::RangeOf(v) => out.push(v.clone()),
+        AttrSet::Union(a, b) | AttrSet::Diff(a, b) | AttrSet::Intersect(a, b) => {
+            collect_attr_set_vars(a, out);
+            collect_attr_set_vars(b, out);
+        }
+        _ => {}
+    }
+}
+
+fn collect_z_vars(entry: &ZEntry, out: &mut Vec<(String, Vec<String>)>) {
+    match entry {
+        ZEntry::DeclareValues { var, set } => {
+            let mut deps = Vec::new();
+            collect_zset_vars(set, &mut deps);
+            out.push((var.clone(), deps));
+        }
+        ZEntry::DeclarePairs { attr_var, val_var, set } => {
+            let mut deps = Vec::new();
+            collect_zset_vars(set, &mut deps);
+            out.push((attr_var.clone(), deps.clone()));
+            out.push((val_var.clone(), deps));
+        }
+        ZEntry::Var(v) | ZEntry::OrderBy(v) => out.push((v.clone(), Vec::new())),
+        ZEntry::BindDerived { attr_var, val_var, .. } => {
+            if let Some(a) = attr_var {
+                out.push((a.clone(), Vec::new()));
+            }
+            out.push((val_var.clone(), Vec::new()));
+        }
+        ZEntry::None | ZEntry::Fixed { .. } => {}
+    }
+}
+
+fn collect_zset_vars(set: &ZSet, out: &mut Vec<String>) {
+    match set {
+        ZSet::AttrValues { values, .. } => collect_value_set_vars(values, out),
+        ZSet::CrossAttrs { values, .. } => collect_value_set_vars(values, out),
+        ZSet::Union(a, b) => {
+            collect_zset_vars(a, out);
+            collect_zset_vars(b, out);
+        }
+    }
+}
+
+fn collect_value_set_vars(set: &ValueSet, out: &mut Vec<String>) {
+    match set {
+        ValueSet::RangeOf(v) => out.push(v.clone()),
+        ValueSet::Union(a, b) | ValueSet::Diff(a, b) | ValueSet::Intersect(a, b) => {
+            collect_value_set_vars(a, out);
+            collect_value_set_vars(b, out);
+        }
+        _ => {}
+    }
+}
+
+fn collect_constraint_vars(c: &ConstraintExpr, out: &mut Vec<(String, Vec<String>)>) {
+    match c {
+        ConstraintExpr::InRange { var, .. } => out.push((var.clone(), Vec::new())),
+        ConstraintExpr::And(a, b) => {
+            collect_constraint_vars(a, out);
+            collect_constraint_vars(b, out);
+        }
+        ConstraintExpr::Static(_) => {}
+    }
+}
+
+
+fn process_components(p: &ProcessDecl) -> Vec<String> {
+    match p {
+        ProcessDecl::Rank { objective, .. } => {
+            let mut out = Vec::new();
+            collect_obj_components(objective, &mut out);
+            out
+        }
+        ProcessDecl::Representative { component, .. } => vec![component.clone()],
+    }
+}
+
+fn collect_obj_components(o: &ObjExpr, out: &mut Vec<String>) {
+    match o {
+        ObjExpr::T(f) => out.push(f.clone()),
+        ObjExpr::D(a, b) => {
+            out.push(a.clone());
+            out.push(b.clone());
+        }
+        ObjExpr::Neg(i) => collect_obj_components(i, out),
+        ObjExpr::InnerAgg { expr, .. } => collect_obj_components(expr, out),
+        ObjExpr::UserFn { args, .. } => out.extend(args.iter().cloned()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+
+    /// Thesis Table 5.1 → Figure 5.1.
+    fn table_5_1() -> ZqlQuery {
+        parse_query(
+            "name | x | y | z | constraints | process\n\
+             f1 | 'year' | 'sales' | v1 <- 'product'.{'chair','desk'} | location='US' | v2 <- argany(v1)[t > 0] T(f1)\n\
+             f2 | 'year' | 'sales' | v1 | location='UK' | v3 <- argany(v1)[t < 0] T(f2)\n\
+             *f3 | 'year' | 'profit' | v4 <- (v2.range | v3.range) | |",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn figure_5_1_structure() {
+        let tree = QueryTree::build(&table_5_1());
+        let name = |s: &str| Node::Name(s.into());
+        let var = |s: &str| Node::Var(s.into());
+        let t1 = Node::Task { row: 0, index: 0 };
+        let t2 = Node::Task { row: 1, index: 0 };
+        // v1 → f1, v1 → f2 (v1 feeds both components)
+        assert!(tree.parents[&var("v1")].contains(&name("f1")));
+        assert!(tree.parents[&var("v1")].contains(&name("f2")));
+        // f1 → t1, f2 → t2 (tasks parent the components they read)
+        assert!(tree.parents[&name("f1")].contains(&t1));
+        assert!(tree.parents[&name("f2")].contains(&t2));
+        // t1 → v2, t2 → v3 (tasks produce the vars), v2/v3 → v4 … → f3
+        assert!(tree.parents[&t1].contains(&var("v2")));
+        assert!(tree.parents[&t2].contains(&var("v3")));
+        assert!(tree.parents[&var("v2")].contains(&var("v4")));
+        assert!(tree.parents[&var("v3")].contains(&var("v4")));
+        assert!(tree.parents[&var("v4")].contains(&name("f3")));
+    }
+
+    #[test]
+    fn f2_is_independent_of_t1() {
+        // "the visual component for f2 is independent of t1" (§5.2)
+        let tree = QueryTree::build(&table_5_1());
+        assert!(!tree.depends_on_task(&Node::Name("f1".into())));
+        assert!(!tree.depends_on_task(&Node::Name("f2".into())));
+        assert!(tree.depends_on_task(&Node::Name("f3".into())));
+    }
+
+    #[test]
+    fn batch_waves_group_f1_f2_then_f3() {
+        let tree = QueryTree::build(&table_5_1());
+        let waves = tree.batch_waves();
+        assert_eq!(waves.len(), 2);
+        assert!(waves[0].contains(&Node::Name("f1".into())));
+        assert!(waves[0].contains(&Node::Name("f2".into())));
+        assert_eq!(waves[1], vec![Node::Name("f3".into())]);
+    }
+
+    #[test]
+    fn independent_rows_form_one_wave() {
+        let q = parse_query(
+            "name | x | y | z\n\
+             *f1 | 'year' | 'sales' | v1 <- 'product'.*\n\
+             *f2 | 'year' | 'profit' | v2 <- 'location'.*",
+        )
+        .unwrap();
+        let tree = QueryTree::build(&q);
+        let waves = tree.batch_waves();
+        assert_eq!(waves.len(), 1);
+        assert_eq!(waves[0].len(), 2);
+    }
+}

@@ -1,0 +1,86 @@
+//! The recommendation service (thesis §6.2): "we run the k-means
+//! clustering algorithm to find a set of k diverse clusters in the data.
+//! By default, zenvisage sets k as 5."
+
+use crate::exec::{OutputViz, ZqlEngine, ZqlError};
+use crate::tasks::{representative_search, TaskSpec};
+
+/// Default number of diverse trends recommended.
+pub const DEFAULT_K: usize = 5;
+
+/// Diverse-trend recommendations for the axes the user is viewing: the
+/// `k` most representative (mutually diverse) slices of `z`.
+pub fn recommend_diverse(
+    engine: &ZqlEngine,
+    spec: &TaskSpec,
+    k: usize,
+) -> Result<Vec<OutputViz>, ZqlError> {
+    Ok(representative_search(engine, spec, k)?.visualizations)
+}
+
+/// Recommendations with the paper's default k = 5.
+pub fn recommend(engine: &ZqlEngine, spec: &TaskSpec) -> Result<Vec<OutputViz>, ZqlError> {
+    recommend_diverse(engine, spec, DEFAULT_K)
+}
+
+/// Recommendations with the cluster count chosen from the data itself —
+/// the thesis's §10.1 future-work item ("automatically figure out the
+/// right number of representative trends based on data
+/// characteristics"): fetch every slice once, pick k by silhouette over
+/// shape embeddings, then return that many diverse representatives.
+pub fn recommend_auto(
+    engine: &ZqlEngine,
+    spec: &TaskSpec,
+    k_max: usize,
+) -> Result<Vec<OutputViz>, ZqlError> {
+    use zv_analytics::{auto_k, embed_normalized};
+    // One pass to materialize all candidate visualizations.
+    let all = crate::tasks::representative_search(engine, spec, usize::MAX)?;
+    let series: Vec<zv_analytics::Series> =
+        all.visualizations.iter().map(|v| v.series.clone()).collect();
+    let k = auto_k(&embed_normalized(&series), k_max, 0);
+    recommend_diverse(engine, spec, k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use zv_datagen::sales::{self, SalesConfig};
+    use zv_storage::BitmapDb;
+
+    #[test]
+    fn auto_recommendation_finds_planted_trend_count() {
+        // The sales generator plants a handful of trend shapes; auto-k
+        // should land somewhere sensible (more than one, at most k_max)
+        // and return that many distinct slices.
+        let table = sales::generate(&SalesConfig {
+            rows: 20_000,
+            products: 12,
+            ..Default::default()
+        });
+        let eng = ZqlEngine::new(Arc::new(BitmapDb::new(table)));
+        let recs = recommend_auto(&eng, &TaskSpec::new("year", "sales", "product"), 6).unwrap();
+        assert!((2..=6).contains(&recs.len()), "got {} recommendations", recs.len());
+        let mut labels: Vec<&str> = recs.iter().map(|v| v.label.as_str()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), recs.len(), "recommendations must be distinct");
+    }
+
+    #[test]
+    fn recommends_k_diverse_slices() {
+        let table = sales::generate(&SalesConfig {
+            rows: 20_000,
+            products: 12,
+            ..Default::default()
+        });
+        let eng = ZqlEngine::new(Arc::new(BitmapDb::new(table)));
+        let recs = recommend(&eng, &TaskSpec::new("year", "sales", "product")).unwrap();
+        assert_eq!(recs.len(), DEFAULT_K);
+        let mut labels: Vec<&str> = recs.iter().map(|v| v.label.as_str()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), DEFAULT_K);
+    }
+}

@@ -1,0 +1,209 @@
+//! The three task processors evaluated in thesis §7.2 — similarity,
+//! representative, and outlier search — expressed *as ZQL queries* over
+//! the engine (each corresponds to a thesis table: 3.13, 3.20's first
+//! row, and 3.20 entire).
+
+use crate::ast::*;
+use crate::exec::{ZqlEngine, ZqlError, ZqlOutput};
+use std::collections::HashMap;
+use zv_analytics::Series;
+
+/// What a task operates over: `x` vs `y`, one visualization per value of
+/// the slicing attribute `z`.
+#[derive(Clone, Debug)]
+pub struct TaskSpec {
+    pub x: String,
+    pub y: String,
+    pub z: String,
+    /// Aggregate for the y axis (`sum` unless stated).
+    pub agg: zv_storage::Agg,
+}
+
+impl TaskSpec {
+    pub fn new(x: impl Into<String>, y: impl Into<String>, z: impl Into<String>) -> Self {
+        TaskSpec { x: x.into(), y: y.into(), z: z.into(), agg: zv_storage::Agg::Sum }
+    }
+
+    pub fn with_agg(mut self, agg: zv_storage::Agg) -> Self {
+        self.agg = agg;
+        self
+    }
+
+    fn viz(&self) -> VizEntry {
+        VizEntry::Fixed(VizSpec { chart: ChartType::Bar, x_bin: None, y_agg: self.agg })
+    }
+
+    fn fresh_row(&self, name: NameCol, z: ZEntry, processes: Vec<ProcessDecl>) -> ZqlRow {
+        ZqlRow {
+            name,
+            x: Some(AxisEntry::fixed(self.x.clone())),
+            y: Some(AxisEntry::fixed(self.y.clone())),
+            zs: vec![z],
+            constraints: None,
+            viz: Some(self.viz()),
+            processes,
+        }
+    }
+
+    fn all_values(&self, var: &str) -> ZEntry {
+        ZEntry::DeclareValues {
+            var: var.into(),
+            set: ZSet::AttrValues { attr: Some(self.z.clone()), values: ValueSet::All },
+        }
+    }
+}
+
+/// Similarity search (§7.2 (i), Table 3.13 shape): the `k` slices whose
+/// visualization is most similar to a drawn/reference series.
+pub fn similarity_search(
+    engine: &ZqlEngine,
+    spec: &TaskSpec,
+    reference: &Series,
+    k: usize,
+) -> Result<ZqlOutput, ZqlError> {
+    let query = ZqlQuery::new(vec![
+        ZqlRow::named(NameCol::input("f1")),
+        spec.fresh_row(
+            NameCol::fresh("f2"),
+            spec.all_values("v1"),
+            vec![ProcessDecl::Rank {
+                outputs: vec!["v2".into()],
+                mechanism: Mechanism::ArgMin,
+                over: vec!["v1".into()],
+                filter: ProcessFilter::TopK(k),
+                objective: ObjExpr::D("f1".into(), "f2".into()),
+            }],
+        ),
+        spec.fresh_row(NameCol::output("f3"), ZEntry::Var("v2".into()), vec![]),
+    ]);
+    let mut inputs = HashMap::new();
+    inputs.insert("f1".to_string(), reference.clone());
+    engine.execute_with_inputs(&query, &inputs)
+}
+
+/// Representative search (§7.2 (ii)): `k` slices whose visualizations
+/// are representative of the whole set (k-means centroids by default).
+pub fn representative_search(
+    engine: &ZqlEngine,
+    spec: &TaskSpec,
+    k: usize,
+) -> Result<ZqlOutput, ZqlError> {
+    let query = ZqlQuery::new(vec![
+        spec.fresh_row(
+            NameCol::fresh("f1"),
+            spec.all_values("v1"),
+            vec![ProcessDecl::Representative {
+                outputs: vec!["v2".into()],
+                k,
+                over: vec!["v1".into()],
+                component: "f1".into(),
+            }],
+        ),
+        spec.fresh_row(NameCol::output("f2"), ZEntry::Var("v2".into()), vec![]),
+    ]);
+    engine.execute(&query)
+}
+
+/// Outlier search (§7.2 (iii), Table 3.20): find `k_reps` representative
+/// visualizations, then return the `k` slices maximizing the minimum
+/// distance to any representative.
+pub fn outlier_search(
+    engine: &ZqlEngine,
+    spec: &TaskSpec,
+    k_reps: usize,
+    k: usize,
+) -> Result<ZqlOutput, ZqlError> {
+    let query = ZqlQuery::new(vec![
+        spec.fresh_row(
+            NameCol::fresh("f1"),
+            spec.all_values("v1"),
+            vec![ProcessDecl::Representative {
+                outputs: vec!["v2".into()],
+                k: k_reps,
+                over: vec!["v1".into()],
+                component: "f1".into(),
+            }],
+        ),
+        spec.fresh_row(
+            NameCol::fresh("f2"),
+            ZEntry::Var("v2".into()),
+            vec![ProcessDecl::Rank {
+                outputs: vec!["v3".into()],
+                mechanism: Mechanism::ArgMax,
+                over: vec!["v1".into()],
+                filter: ProcessFilter::TopK(k),
+                objective: ObjExpr::InnerAgg {
+                    op: InnerOp::Min,
+                    vars: vec!["v2".into()],
+                    expr: Box::new(ObjExpr::D("f1".into(), "f2".into())),
+                },
+            }],
+        ),
+        spec.fresh_row(NameCol::output("f3"), ZEntry::Var("v3".into()), vec![]),
+    ]);
+    engine.execute(&query)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::ZqlEngine;
+    use std::sync::Arc;
+    use zv_datagen::sales::{self, SalesConfig};
+    use zv_storage::BitmapDb;
+
+    fn engine() -> ZqlEngine {
+        let table = sales::generate(&SalesConfig {
+            rows: 30_000,
+            products: 16,
+            locations: 4,
+            cities: 8,
+            ..Default::default()
+        });
+        ZqlEngine::new(Arc::new(BitmapDb::new(table)))
+    }
+
+    fn spec() -> TaskSpec {
+        TaskSpec::new("year", "sales", "product")
+    }
+
+    #[test]
+    fn similarity_returns_k_ranked_matches() {
+        let eng = engine();
+        let reference = Series::from_ys(&[0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let out = similarity_search(&eng, &spec(), &reference, 3).unwrap();
+        assert_eq!(out.visualizations.len(), 3);
+        let d = |s: &Series| eng.registry().d(s, &reference);
+        let dists: Vec<f64> = out.visualizations.iter().map(|v| d(&v.series)).collect();
+        assert!(dists.windows(2).all(|w| w[0] <= w[1] + 1e-9), "{dists:?}");
+    }
+
+    #[test]
+    fn representative_returns_k_members() {
+        let out = representative_search(&engine(), &spec(), 4).unwrap();
+        assert_eq!(out.visualizations.len(), 4);
+        let mut labels: Vec<&str> =
+            out.visualizations.iter().map(|v| v.label.as_str()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), 4, "representatives must be distinct slices");
+    }
+
+    #[test]
+    fn outlier_excludes_nothing_but_ranks_far_slices_first() {
+        let eng = engine();
+        let out = outlier_search(&eng, &spec(), 3, 2).unwrap();
+        assert_eq!(out.visualizations.len(), 2);
+    }
+
+    #[test]
+    fn avg_aggregate_task() {
+        let out = representative_search(
+            &engine(),
+            &TaskSpec::new("year", "profit", "product").with_agg(zv_storage::Agg::Avg),
+            2,
+        )
+        .unwrap();
+        assert_eq!(out.visualizations.len(), 2);
+    }
+}

@@ -1,0 +1,386 @@
+//! Visual-exploration-completeness checks (thesis Ch. 4): for each
+//! algebra operator, run the operator directly (`zv-vea`) and an
+//! equivalent ZQL query (`zql`), and compare the resulting visualization
+//! bags. These are executable versions of the constructions in
+//! Tables 4.4–4.23, on a Table-4.1-style relation.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use zql::{OptLevel, ZqlEngine};
+use zv_analytics::Series;
+use zv_storage::{BitmapDb, DataType, DynDatabase, Field, Schema, TableBuilder, Value};
+use zv_vea::{
+    delta_v, diff_v, eta_v, intersect_v, mu_v_range, sigma_v, slice_group, tau_v, union_v, zeta_v,
+    AttrFilter, Primitives, Term, Theta, VisualGroup, VisualSource, VisualUniverse,
+};
+
+/// A small relation shaped like thesis Table 4.1 with enough rows that
+/// per-product trends differ.
+fn db() -> DynDatabase {
+    let schema = Schema::new(vec![
+        Field::new("year", DataType::Int),
+        Field::new("month", DataType::Int),
+        Field::new("product", DataType::Cat),
+        Field::new("location", DataType::Cat),
+        Field::new("sales", DataType::Float),
+        Field::new("profit", DataType::Float),
+    ]);
+    let mut b = TableBuilder::new(schema);
+    let products = ["chair", "table", "stapler"];
+    for (pi, product) in products.iter().enumerate() {
+        for year in 2013..=2016i64 {
+            for (li, location) in ["US", "UK"].iter().enumerate() {
+                let t = (year - 2013) as f64;
+                // chair rises, table falls, stapler flat-ish; UK shifted
+                let base = match pi {
+                    0 => 100.0 + 30.0 * t,
+                    1 => 200.0 - 25.0 * t,
+                    _ => 150.0 + 2.0 * t,
+                };
+                let sales = base * if li == 0 { 1.0 } else { 0.6 };
+                b.push_row(vec![
+                    Value::Int(year),
+                    Value::Int(((year * 7 + pi as i64) % 12) + 1),
+                    Value::str(*product),
+                    Value::str(*location),
+                    Value::Float(sales),
+                    Value::Float(sales * 0.4 - 10.0 * t * (pi as f64 - 1.0)),
+                ])
+                .unwrap();
+            }
+        }
+    }
+    Arc::new(BitmapDb::new(b.finish_shared()))
+}
+
+fn universe(db: &DynDatabase) -> VisualUniverse {
+    VisualUniverse::with_axes(
+        db.clone(),
+        vec!["year".into(), "month".into()],
+        vec!["sales".into(), "profit".into()],
+    )
+}
+
+fn engine(db: &DynDatabase) -> ZqlEngine {
+    ZqlEngine::with_opt_level(db.clone(), OptLevel::InterTask)
+}
+
+/// Render a VEA group into (product-label, series) pairs.
+fn render_group(u: &VisualUniverse, g: &VisualGroup) -> Vec<(String, Series)> {
+    g.iter()
+        .map(|vs| {
+            let label = vs
+                .filters
+                .iter()
+                .zip(u.attrs())
+                .filter_map(|(f, a)| match f {
+                    AttrFilter::Is(v) => Some(format!("{a}={v}")),
+                    AttrFilter::Star => None,
+                })
+                .collect::<Vec<_>>()
+                .join(", ");
+            (label, u.render(vs).unwrap())
+        })
+        .collect()
+}
+
+/// Collect a ZQL output into (label, series) pairs.
+fn zql_pairs(out: &zql::ZqlOutput) -> Vec<(String, Series)> {
+    out.visualizations.iter().map(|v| (v.label.clone(), v.series.clone())).collect()
+}
+
+/// θ for "year-vs-sales per product" (Table 4.3's shape).
+fn theta_products() -> Theta {
+    Theta::AxisEq(Term::X, "year".into())
+        .and(Theta::AxisEq(Term::Y, "sales".into()))
+        .and(Theta::FilterEq(0, None))
+        .and(Theta::FilterEq(1, None))
+        .and(Theta::FilterNeq(2, None))
+        .and(Theta::FilterEq(3, None))
+        .and(Theta::FilterEq(4, None))
+        .and(Theta::FilterEq(5, None))
+}
+
+#[test]
+fn sigma_v_matches_zql_slicing() {
+    // σᵛ over the full universe vs the one-line ZQL query of Table 2.1
+    // (without the location constraint).
+    let db = db();
+    let u = universe(&db);
+    let all = u.enumerate().unwrap();
+    let algebra = sigma_v(&all, &theta_products());
+    let zql_out = engine(&db)
+        .execute_text(
+            "name | x | y | z\n*f1 | 'year' | 'sales' | v1 <- 'product'.*",
+        )
+        .unwrap();
+    assert_eq!(render_group(&u, &algebra), zql_pairs(&zql_out));
+}
+
+#[test]
+fn sigma_v_with_location_constraint() {
+    let db = db();
+    let u = universe(&db);
+    let all = u.enumerate().unwrap();
+    // Table 4.3's θ: product ≠ ∗ ∧ location = 'US', everything else ∗.
+    let theta = Theta::AxisEq(Term::X, "year".into())
+        .and(Theta::AxisEq(Term::Y, "sales".into()))
+        .and(Theta::FilterEq(0, None))
+        .and(Theta::FilterEq(1, None))
+        .and(Theta::FilterNeq(2, None))
+        .and(Theta::FilterEq(3, Some(Value::str("US"))))
+        .and(Theta::FilterEq(4, None))
+        .and(Theta::FilterEq(5, None));
+    let algebra = sigma_v(&all, &theta);
+    let zql_out = engine(&db)
+        .execute_text(
+            "name | x | y | z | constraints\n\
+             *f1 | 'year' | 'sales' | v1 <- 'product'.* | location='US'",
+        )
+        .unwrap();
+    // The σᵛ result pins location in the *visual source*; ZQL pins it in
+    // Constraints. Labels differ (location appears only in the former),
+    // but the visualized data must agree.
+    let a: Vec<Series> = render_group(&u, &algebra).into_iter().map(|(_, s)| s).collect();
+    let b: Vec<Series> = zql_pairs(&zql_out).into_iter().map(|(_, s)| s).collect();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn tau_v_matches_zql_order_by_trend() {
+    // Table 4.13's construction: argmin(k=∞) T + .order.
+    let db = db();
+    let u = universe(&db);
+    let group = slice_group(&u, "year", "sales", "product").unwrap();
+    let prims = Primitives::default();
+    let algebra = tau_v(&u, &group, |t| t, &prims).unwrap();
+    let zql_out = engine(&db)
+        .execute_text(
+            "name | x | y | z | process\n\
+             f1 | 'year' | 'sales' | v1 <- 'product'.* | u1 <- argmin(v1)[k=inf] T(f1)\n\
+             *f2=f1.order | | | u1 ->",
+        )
+        .unwrap();
+    assert_eq!(render_group(&u, &algebra), zql_pairs(&zql_out));
+}
+
+#[test]
+fn mu_v_matches_zql_slice() {
+    // Table 4.14: µᵛ_{[a:b]} ⇔ f2=f1[a:b].
+    let db = db();
+    let u = universe(&db);
+    let group = slice_group(&u, "year", "sales", "product").unwrap();
+    let algebra = mu_v_range(&group, 2, 3);
+    let zql_out = engine(&db)
+        .execute_text(
+            "name | x | y | z\n\
+             f1 | 'year' | 'sales' | v1 <- 'product'.*\n\
+             *f2=f1[2:3] | | |",
+        )
+        .unwrap();
+    assert_eq!(render_group(&u, &algebra), zql_pairs(&zql_out));
+}
+
+#[test]
+fn delta_v_matches_zql_range() {
+    // Table 4.16: δᵛ ⇔ f2=f1.range.
+    let db = db();
+    let u = universe(&db);
+    let group = slice_group(&u, "year", "sales", "product").unwrap();
+    let doubled = group.union(&group);
+    let algebra = delta_v(&doubled);
+    let zql_out = engine(&db)
+        .execute_text(
+            "name | x | y | z\n\
+             f1 | 'year' | 'sales' | v1 <- 'product'.*\n\
+             f2 | 'year' | 'sales' | v2 <- 'product'.*\n\
+             f3=f1+f2 | | |\n\
+             *f4=f3.range | | |",
+        )
+        .unwrap();
+    assert_eq!(render_group(&u, &algebra), zql_pairs(&zql_out));
+}
+
+#[test]
+fn union_diff_intersect_match_zql_name_ops() {
+    // Tables 4.17 / 4.18: ∪ᵛ ⇔ f1+f2, \ᵛ ⇔ f1-f2, ∩ᵛ ⇔ f1^f2.
+    let db = db();
+    let u = universe(&db);
+    let all = slice_group(&u, "year", "sales", "product").unwrap();
+    let chair_desk: VisualGroup = all.slice(1, 2);
+    let zql_out = engine(&db)
+        .execute_text(
+            "name | x | y | z\n\
+             f1 | 'year' | 'sales' | v1 <- 'product'.*\n\
+             f2 | 'year' | 'sales' | v2 <- 'product'.{'chair', 'table'}\n\
+             *f3=f1+f2 | | |\n\
+             *f4=f1-f2 | | |\n\
+             *f5=f1^f2 | | |",
+        )
+        .unwrap();
+    let f = |name: &str| -> Vec<(String, Series)> {
+        zql_out
+            .visualizations
+            .iter()
+            .filter(|v| v.component == name)
+            .map(|v| (v.label.clone(), v.series.clone()))
+            .collect()
+    };
+    assert_eq!(render_group(&u, &union_v(&all, &chair_desk)), f("f3"));
+    assert_eq!(render_group(&u, &diff_v(&all, &chair_desk)), f("f4"));
+    assert_eq!(render_group(&u, &intersect_v(&all, &chair_desk)), f("f5"));
+}
+
+#[test]
+fn zeta_v_matches_zql_representative() {
+    // Table 4.15: ζᵛ ⇔ the R(...) process. Both sides use the default
+    // registry's R (k-means, seed 0), so the picks agree.
+    let db = db();
+    let u = universe(&db);
+    let group = slice_group(&u, "year", "sales", "product").unwrap();
+    let algebra = zeta_v(&u, &group, 2, &Primitives::default()).unwrap();
+    let zql_out = engine(&db)
+        .execute_text(
+            "name | x | y | z | process\n\
+             f1 | 'year' | 'sales' | v1 <- 'product'.* | v2 <- R(2, v1, f1)\n\
+             *f2 | 'year' | 'sales' | v2 |",
+        )
+        .unwrap();
+    let mut a = render_group(&u, &algebra);
+    let mut b = zql_pairs(&zql_out);
+    a.sort_by(|x, y| x.0.cmp(&y.0));
+    b.sort_by(|x, y| x.0.cmp(&y.0));
+    assert_eq!(a, b);
+}
+
+#[test]
+fn eta_v_matches_zql_similarity_sort() {
+    // Table 4.23: ηᵛ ⇔ argmin(k=∞) D(f, ref) + .order.
+    let db = db();
+    let u = universe(&db);
+    let group = slice_group(&u, "month", "sales", "product").unwrap();
+    let reference: VisualGroup = group.slice(1, 1);
+    let prims = Primitives::default();
+    let algebra = eta_v(&u, &group, &reference, |d| d, &prims).unwrap();
+    let zql_out = engine(&db)
+        .execute_text(
+            "name | x | y | z | process\n\
+             f1 | 'month' | 'sales' | 'product'.'chair' |\n\
+             f2 | 'month' | 'sales' | v1 <- 'product'.* | u1 <- argmin(v1)[k=inf] D(f2, f1)\n\
+             *f3=f2.order | | | u1 ->",
+        )
+        .unwrap();
+    assert_eq!(render_group(&u, &algebra), zql_pairs(&zql_out));
+}
+
+#[test]
+fn phi_v_matches_zql_paired_comparison() {
+    // Table 4.22's shape: compare sales-vs-profit per product and sort.
+    let db = db();
+    let u = universe(&db);
+    let v = slice_group(&u, "year", "sales", "product").unwrap();
+    let w = slice_group(&u, "year", "profit", "product").unwrap();
+    let prims = Primitives::default();
+    let algebra =
+        zv_vea::phi_v(&u, &v, &w, &[zv_vea::MatchAttr::Attr(2)], |d| d, &prims).unwrap();
+    let zql_out = engine(&db)
+        .execute_text(
+            "name | x | y | z | process\n\
+             f1 | 'year' | 'sales' | v1 <- 'product'.* |\n\
+             f2 | 'year' | 'profit' | v1 | u1 <- argmin(v1)[k=inf] D(f1, f2)\n\
+             *f3=f1.order | | | u1 ->",
+        )
+        .unwrap();
+    assert_eq!(render_group(&u, &algebra), zql_pairs(&zql_out));
+}
+
+#[test]
+fn beta_v_matches_zql_axis_swap() {
+    // Table 4.20's effect: swap every source's Y to U's y values. Order
+    // differs (βᵛ is V-major; ZQL's column order is Y-major), so compare
+    // as sorted bags — the thesis controls order with superscripts, which
+    // the textual format does not carry.
+    let db = db();
+    let u = universe(&db);
+    let v = slice_group(&u, "year", "sales", "product").unwrap();
+    let donors: VisualGroup = [
+        VisualSource::unfiltered("year", "sales", 6),
+        VisualSource::unfiltered("year", "profit", 6),
+    ]
+    .into_iter()
+    .collect();
+    let algebra = zv_vea::beta_v(&v, &donors, zv_vea::BetaAttr::Y);
+    let zql_out = engine(&db)
+        .execute_text(
+            "name | x | y | z\n\
+             *f1 | 'year' | y1 <- {'sales', 'profit'} | v1 <- 'product'.*",
+        )
+        .unwrap();
+    let mut a: Vec<(String, String, Series)> = algebra
+        .iter()
+        .map(|vs| {
+            (vs.y.clone(), vs.filters[2].to_string(), u.render(vs).unwrap())
+        })
+        .collect();
+    let mut b: Vec<(String, String, Series)> = zql_out
+        .visualizations
+        .iter()
+        .map(|v| {
+            (
+                v.y.clone(),
+                v.label.strip_prefix("product=").unwrap_or(&v.label).to_string(),
+                v.series.clone(),
+            )
+        })
+        .collect();
+    a.sort_by(|x, y| (&x.0, &x.1).cmp(&(&y.0, &y.1)));
+    b.sort_by(|x, y| (&x.0, &x.1).cmp(&(&y.0, &y.1)));
+    assert_eq!(a, b);
+}
+
+#[test]
+fn lemma_1_visual_component_expresses_visual_group() {
+    // Table 4.4: any visual group can be written as one ZQL component —
+    // here a hand-picked group of three heterogeneous sources.
+    let db = db();
+    let u = universe(&db);
+    let group: VisualGroup = [
+        VisualSource::unfiltered("year", "sales", 6).with_filter(2, Value::str("chair")),
+        VisualSource::unfiltered("year", "profit", 6).with_filter(3, Value::str("UK")),
+        VisualSource::unfiltered("month", "sales", 6),
+    ]
+    .into_iter()
+    .collect();
+    let zql_out = engine(&db)
+        .execute_text(
+            "name | x | y | z\n\
+             f1 | 'year' | 'sales' | 'product'.'chair'\n\
+             f2 | 'year' | 'profit' | 'location'.'UK'\n\
+             f3 | 'month' | 'sales' |\n\
+             *f4=f1+f2+f3 | | |",
+        )
+        .unwrap();
+    let a: Vec<Series> = u.render_group(&group).unwrap();
+    let b: Vec<Series> = zql_out.visualizations.iter().map(|v| v.series.clone()).collect();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn user_input_reference_behaves_like_singleton_group() {
+    // ηᵛ with a user-drawn reference (the -f1 rows of Ch. 2).
+    let db = db();
+    let eng = engine(&db);
+    let mut inputs = HashMap::new();
+    inputs.insert("f1".to_string(), Series::from_ys(&[0.0, 1.0, 2.0, 3.0]));
+    let out = eng
+        .execute_text_with_inputs(
+            "name | x | y | z | process\n\
+             -f1 | | | |\n\
+             f2 | 'year' | 'sales' | v1 <- 'product'.* | v2 <- argmin(v1)[k=1] D(f1, f2)\n\
+             *f3 | 'year' | 'sales' | v2 |",
+            &inputs,
+        )
+        .unwrap();
+    // chair is the planted riser → nearest to an increasing sketch
+    assert_eq!(out.visualizations[0].label, "product=chair");
+}

@@ -1,0 +1,596 @@
+//! End-to-end executor tests: the thesis's example queries (Ch. 2–3)
+//! run against the planted synthetic sales dataset.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use zql::{OptLevel, ZqlEngine};
+use zv_analytics::{trend, Series};
+use zv_datagen::sales::{
+    self, has_profit_discrepancy, is_us_up_uk_down, product_name, SalesConfig,
+};
+use zv_storage::{BitmapDb, DynDatabase, Predicate, SelectQuery, XSpec, YSpec};
+
+fn small_db() -> DynDatabase {
+    let table = sales::generate(&SalesConfig {
+        rows: 40_000,
+        products: 20,
+        locations: 4,
+        cities: 10,
+        ..Default::default()
+    });
+    Arc::new(BitmapDb::new(table))
+}
+
+fn engine() -> ZqlEngine {
+    ZqlEngine::new(small_db())
+}
+
+#[test]
+fn table_2_1_collection_of_visualizations() {
+    // "the set of total sales over years bar charts for each product sold
+    // in the US"
+    let eng = engine();
+    let out = eng
+        .execute_text(
+            "name | x | y | z | constraints | viz | process\n\
+             *f1 | 'year' | 'sales' | v1 <- 'product'.* | location='US' | bar.(y=agg('sum')) |",
+        )
+        .unwrap();
+    assert_eq!(out.visualizations.len(), 20, "one visualization per product");
+    // Cross-check one against a direct query.
+    let direct = eng
+        .database()
+        .execute(
+            &SelectQuery::new(XSpec::raw("year"), vec![YSpec::sum("sales")]).with_predicate(
+                Predicate::cat_eq("product", "stapler").and(Predicate::cat_eq("location", "US")),
+            ),
+        )
+        .unwrap();
+    let expected = Series::new(direct.groups[0].points(0));
+    let stapler = out
+        .visualizations
+        .iter()
+        .find(|v| v.label.contains("stapler"))
+        .expect("stapler visualization present");
+    assert_eq!(stapler.series, expected);
+    assert_eq!(stapler.x, "year");
+    assert_eq!(stapler.y, "sales");
+}
+
+#[test]
+fn table_3_1_y_axis_set() {
+    // One viz per y ∈ {profit, sales} for the stapler.
+    let out = engine()
+        .execute_text(
+            "name | x | y | constraints\n\
+             *f1 | 'year' | y1 <- {'profit', 'sales'} | product='stapler'",
+        )
+        .unwrap();
+    assert_eq!(out.visualizations.len(), 2);
+    assert_eq!(out.visualizations[0].y, "profit");
+    assert_eq!(out.visualizations[1].y, "sales");
+}
+
+#[test]
+fn table_3_2_composite_y_axis() {
+    // 'profit' + 'sales' on a single y axis.
+    let eng = engine();
+    let out = eng
+        .execute_text(
+            "name | x | y | constraints\n\
+             *f1 | 'year' | 'profit' + 'sales' | location='US'",
+        )
+        .unwrap();
+    assert_eq!(out.visualizations.len(), 1);
+    let combined = &out.visualizations[0].series;
+    // equals the sum of the two individual series
+    let q = |col: &str| {
+        let rt = eng
+            .database()
+            .execute(
+                &SelectQuery::new(XSpec::raw("year"), vec![YSpec::sum(col)])
+                    .with_predicate(Predicate::cat_eq("location", "US")),
+            )
+            .unwrap();
+        Series::new(rt.groups[0].points(0))
+    };
+    let profit = q("profit");
+    let sales = q("sales");
+    for (i, p) in combined.points().iter().enumerate() {
+        let want = profit.points()[i].1 + sales.points()[i].1;
+        assert!((p.1 - want).abs() < 1e-6);
+    }
+}
+
+#[test]
+fn table_3_4_fixed_slices() {
+    let out = engine()
+        .execute_text(
+            "name | x | y | z\n\
+             *f1 | 'year' | 'sales' | 'product'.'chair'\n\
+             *f2 | 'year' | 'sales' | 'product'.'desk'",
+        )
+        .unwrap();
+    assert_eq!(out.visualizations.len(), 2);
+    assert_eq!(out.visualizations[0].label, "product=chair");
+    assert_eq!(out.visualizations[1].label, "product=desk");
+    assert_ne!(out.visualizations[0].series, out.visualizations[1].series);
+}
+
+#[test]
+fn table_3_8_multiple_z_columns() {
+    // product × location ∈ {US, Canada}
+    let out = engine()
+        .execute_text(
+            "name | x | y | z | z2\n\
+             *f1 | 'year' | 'sales' | v1 <- 'product'.* | v2 <- 'location'.{'US', 'Canada'}",
+        )
+        .unwrap();
+    assert_eq!(out.visualizations.len(), 40, "20 products × 2 locations");
+    assert!(out.visualizations[0].label.contains("product="));
+    assert!(out.visualizations[0].label.contains("location=US"));
+    assert!(out.visualizations[1].label.contains("location=Canada"));
+}
+
+#[test]
+fn table_2_2_similarity_to_user_drawn_input() {
+    // Draw a strongly increasing line; the most similar product-sales
+    // shape (in the US) must itself be increasing.
+    let eng = engine();
+    let sketch = Series::from_ys(&[0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+    let mut inputs = HashMap::new();
+    inputs.insert("f1".to_string(), sketch);
+    let out = eng
+        .execute_text_with_inputs(
+            "name | x | y | z | constraints | process\n\
+             -f1 | | | | |\n\
+             f2 | 'year' | 'sales' | v1 <- 'product'.* | location='US' | v2 <- argmin(v1)[k=1] D(f1, f2)\n\
+             *f3 | 'year' | 'sales' | v2 | location='US' |",
+            &inputs,
+        )
+        .unwrap();
+    assert_eq!(out.visualizations.len(), 1);
+    let winner = &out.visualizations[0];
+    assert!(
+        trend(&winner.series) > 0.0,
+        "most-similar-to-increasing should increase; got {} with trend {}",
+        winner.label,
+        trend(&winner.series)
+    );
+}
+
+#[test]
+fn table_5_1_us_up_uk_down_with_representatives() {
+    // Products with positive US trend AND negative UK trend, then R(4,...).
+    let out = engine()
+        .execute_text(
+            "name | x | y | z | constraints | viz | process\n\
+             f1 | 'year' | 'sales' | v1 <- 'product'.* | location='US' | bar.(y=agg('sum')) | v2 <- argany(v1)[t > 0] T(f1)\n\
+             f2 | 'year' | 'sales' | v1 | location='UK' | bar.(y=agg('sum')) | v3 <- argany(v1)[t < 0] T(f2)\n\
+             f3 | 'year' | 'profit' | v4 <- (v2.range & v3.range) | | bar.(y=agg('sum')) | v5 <- R(4, v4, f3)\n\
+             *f4 | 'year' | 'profit' | v5 | | bar.(y=agg('sum')) |",
+        )
+        .unwrap();
+    assert_eq!(out.visualizations.len(), 4);
+    // Every returned product must *actually* satisfy the two thresholds
+    // (planted products dominate, but an unplanted product may qualify by
+    // chance — that is correct behaviour, so verify against the data).
+    let eng = engine();
+    let trend_of = |product: &str, location: &str| {
+        let rt = eng
+            .database()
+            .execute(
+                &SelectQuery::new(XSpec::raw("year"), vec![YSpec::sum("sales")]).with_predicate(
+                    Predicate::cat_eq("product", product)
+                        .and(Predicate::cat_eq("location", location)),
+                ),
+            )
+            .unwrap();
+        trend(&Series::new(rt.groups[0].points(0)))
+    };
+    let mut planted = 0;
+    for viz in &out.visualizations {
+        let product = viz.label.strip_prefix("product=").unwrap();
+        assert!(trend_of(product, "US") > 0.0, "{product} US trend not positive");
+        assert!(trend_of(product, "UK") < 0.0, "{product} UK trend not negative");
+        let idx = (0..20).find(|&p| product_name(p) == product).unwrap();
+        if is_us_up_uk_down(idx) {
+            planted += 1;
+        }
+    }
+    assert!(planted >= 2, "planted products should dominate the answer");
+}
+
+#[test]
+fn table_3_13_top_k_most_similar_to_stapler() {
+    let out = engine()
+        .execute_text(
+            "name | x | y | z | process\n\
+             f1 | 'year' | 'sales' | 'product'.'stapler' |\n\
+             f2 | 'year' | 'sales' | v1 <- 'product'.(* \\ {'stapler'}) | v2 <- argmin(v1)[k=5] D(f1, f2)\n\
+             *f3 | 'year' | 'sales' | v2 |",
+        )
+        .unwrap();
+    assert_eq!(out.visualizations.len(), 5);
+    // None of them is the stapler itself.
+    assert!(out.visualizations.iter().all(|v| !v.label.contains("stapler")));
+    // The list is sorted by similarity: distances non-decreasing.
+    let eng = engine();
+    let stapler = eng
+        .execute_text(
+            "name | x | y | z\n*f | 'year' | 'sales' | 'product'.'stapler'",
+        )
+        .unwrap()
+        .visualizations
+        .remove(0)
+        .series;
+    let reg = zql::FunctionRegistry::default();
+    let dists: Vec<f64> =
+        out.visualizations.iter().map(|v| reg.d(&v.series, &stapler)).collect();
+    for w in dists.windows(2) {
+        assert!(w[0] <= w[1] + 1e-9, "similarity order violated: {dists:?}");
+    }
+}
+
+#[test]
+fn table_3_15_order_reordering() {
+    // Reorder product visualizations by increasing overall trend.
+    let out = engine()
+        .execute_text(
+            "name | x | y | z | process\n\
+             f1 | 'year' | 'sales' | v1 <- 'product'.* | u1 <- argmin(v1)[k=inf] T(f1)\n\
+             *f2=f1.order | | | u1 ->",
+        )
+        .unwrap();
+    assert_eq!(out.visualizations.len(), 20);
+    let trends: Vec<f64> = out.visualizations.iter().map(|v| trend(&v.series)).collect();
+    for w in trends.windows(2) {
+        assert!(w[0] <= w[1] + 1e-9, "not sorted by trend: {trends:?}");
+    }
+}
+
+#[test]
+fn table_3_16_derived_component_with_bindings() {
+    // f3 = f1 + f2; bind v2 to f3's products; argmax discrepancy.
+    let out = engine()
+        .execute_text(
+            "name | x | y | z | process\n\
+             f1 | 'year' | 'sales' | v1 <- 'product'.(* \\ {'stapler'}) |\n\
+             f2 | 'year' | 'sales' | 'product'.'stapler' |\n\
+             f3=f1+f2 | | y1 <- _ | v2 <- 'product'._ |\n\
+             f4 | 'year' | 'profit' | v2 | v3 <- argmax(v2)[k=5] D(f3, f4)\n\
+             *f5 | 'year' | 'sales' | v3 |",
+        )
+        .unwrap();
+    assert_eq!(out.visualizations.len(), 5);
+}
+
+#[test]
+fn table_3_17_dissimilar_sales_vs_profit() {
+    // Top-k products where sales and profit trends diverge most: the
+    // planted discrepancy products must dominate.
+    let out = engine()
+        .execute_text(
+            "name | x | y | z | process\n\
+             f1 | 'year' | 'sales' | v1 <- 'product'.* |\n\
+             f2 | 'year' | 'profit' | v1 | v2 <- argmax(v1)[k=3] D(f1, f2)\n\
+             *f3 | 'year' | 'sales' | v2\n\
+             *f4 | 'year' | 'profit' | v2",
+        )
+        .unwrap();
+    assert_eq!(out.visualizations.len(), 6, "3 sales + 3 profit visualizations");
+    for viz in &out.visualizations[..3] {
+        let product = viz.label.strip_prefix("product=").unwrap();
+        let idx = (0..20).find(|&p| product_name(p) == product).unwrap();
+        assert!(
+            has_profit_discrepancy(idx),
+            "{product} should be a planted discrepancy product"
+        );
+    }
+}
+
+#[test]
+fn table_3_18_in_range_constraint() {
+    // Top products by sales trend; then one combined profit viz over them.
+    let out = engine()
+        .execute_text(
+            "name | x | y | z | constraints | process\n\
+             f1 | 'year' | 'sales' | v1 <- 'product'.* | | v2 <- argmax(v1)[k=5] T(f1)\n\
+             *f2 | 'year' | 'profit' | | product IN (v2.range) |",
+        )
+        .unwrap();
+    assert_eq!(out.visualizations.len(), 1, "one aggregate over the 5 products");
+    assert!(!out.visualizations[0].series.is_empty());
+}
+
+#[test]
+fn table_3_20_outlier_search_two_level_iteration() {
+    let out = engine()
+        .execute_text(
+            "name | x | y | z | process\n\
+             f1 | 'year' | 'sales' | v1 <- 'product'.* | v2 <- R(3, v1, f1)\n\
+             f2 | 'year' | 'sales' | v2 | v3 <- argmax(v1)[k=4] min(v2) D(f1, f2)\n\
+             *f3 | 'year' | 'sales' | v3 |",
+        )
+        .unwrap();
+    assert_eq!(out.visualizations.len(), 4);
+}
+
+#[test]
+fn table_3_21_multiple_processes_per_row() {
+    let sketch = Series::from_ys(&[0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+    let mut inputs = HashMap::new();
+    inputs.insert("f1".to_string(), sketch);
+    let out = engine()
+        .execute_text_with_inputs(
+            "name | x | y | z | process\n\
+             -f1 | | | |\n\
+             f2 | 'year' | 'sales' | v1 <- 'product'.* | (v2 <- argmin(v1)[k=1] D(f1, f2)), (v3 <- argmax(v1)[k=1] D(f1, f2))\n\
+             *f3 | 'year' | 'sales' | v2 |\n\
+             *f4 | 'year' | 'sales' | v3 |",
+            &inputs,
+        )
+        .unwrap();
+    assert_eq!(out.visualizations.len(), 2);
+    // most-similar and most-dissimilar must differ
+    assert_ne!(out.visualizations[0].label, out.visualizations[1].label);
+}
+
+#[test]
+fn table_3_10_binned_bar_chart() {
+    let out = engine()
+        .execute_text(
+            "name | x | y | viz\n\
+             *f1 | 'weight' | 'sales' | bar.(x=bin(20), y=agg('sum'))",
+        )
+        .unwrap();
+    assert_eq!(out.visualizations.len(), 1);
+    let xs: Vec<f64> = out.visualizations[0].series.xs().collect();
+    for w in xs.windows(2) {
+        assert!((w[1] - w[0]).rem_euclid(20.0) < 1e-9, "bins should be 20 apart: {xs:?}");
+    }
+}
+
+#[test]
+fn table_3_12_viz_type_set() {
+    let out = engine()
+        .execute_text(
+            "name | x | y | viz\n\
+             *f1 | 'weight' | 'sales' | t1 <- {bar, dotplot}.(x=bin(20), y=agg('sum'))",
+        )
+        .unwrap();
+    assert_eq!(out.visualizations.len(), 2);
+    assert_ne!(out.visualizations[0].spec.chart, out.visualizations[1].spec.chart);
+    // identical data, different chart type
+    assert_eq!(out.visualizations[0].series, out.visualizations[1].series);
+}
+
+#[test]
+fn name_expression_index_slice_range() {
+    let out = engine()
+        .execute_text(
+            "name | x | y | z\n\
+             f1 | 'year' | 'sales' | v1 <- 'product'.*\n\
+             *f2=f1[1:3] | | |\n\
+             *f3=f1[5] | | |",
+        )
+        .unwrap();
+    assert_eq!(out.visualizations.len(), 4); // 3 + 1
+    assert_eq!(out.visualizations[3].component, "f3");
+}
+
+#[test]
+fn name_expression_sub_and_intersect() {
+    let out = engine()
+        .execute_text(
+            "name | x | y | z\n\
+             f1 | 'year' | 'sales' | v1 <- 'product'.*\n\
+             f2 | 'year' | 'sales' | v2 <- 'product'.{'chair', 'desk'}\n\
+             *f3=f1-f2 | | |\n\
+             *f4=f1^f2 | | |",
+        )
+        .unwrap();
+    let f3: Vec<&str> = out
+        .visualizations
+        .iter()
+        .filter(|v| v.component == "f3")
+        .map(|v| v.label.as_str())
+        .collect();
+    let f4: Vec<&str> = out
+        .visualizations
+        .iter()
+        .filter(|v| v.component == "f4")
+        .map(|v| v.label.as_str())
+        .collect();
+    assert_eq!(f3.len(), 18);
+    assert!(!f3.contains(&"product=chair"));
+    assert_eq!(f4, vec!["product=chair", "product=desk"]);
+}
+
+#[test]
+fn all_opt_levels_agree_and_batch_monotonically() {
+    let db = small_db();
+    let text = "name | x | y | z | constraints | process\n\
+         f1 | 'year' | 'sales' | v1 <- 'product'.* | location='US' | v2 <- argany(v1)[t > 0] T(f1)\n\
+         f2 | 'year' | 'sales' | v1 | location='UK' | v3 <- argany(v1)[t < 0] T(f2)\n\
+         *f3 | 'year' | 'profit' | v4 <- (v2.range & v3.range) | |";
+    let mut reference: Option<Vec<(String, Series)>> = None;
+    let mut queries = Vec::new();
+    let mut requests = Vec::new();
+    for opt in [OptLevel::NoOpt, OptLevel::IntraLine, OptLevel::IntraTask, OptLevel::InterTask] {
+        let eng = ZqlEngine::with_opt_level(db.clone(), opt);
+        let out = eng.execute_text(text).unwrap();
+        let shape: Vec<(String, Series)> =
+            out.visualizations.iter().map(|v| (v.label.clone(), v.series.clone())).collect();
+        match &reference {
+            None => reference = Some(shape),
+            Some(r) => assert_eq!(&shape, r, "results diverge at {opt:?}"),
+        }
+        queries.push(out.report.sql_queries);
+        requests.push(out.report.requests);
+    }
+    // NoOpt issues one query per visualization; batched levels far fewer.
+    assert!(queries[0] > queries[1], "intra-line must reduce query count: {queries:?}");
+    assert_eq!(queries[1], queries[2]);
+    assert_eq!(queries[2], queries[3]);
+    // Requests: NoOpt = one per query; then per-row; then per-task-block;
+    // inter-task batches f2 with f1 (f2 is independent of t1).
+    assert_eq!(requests[0], queries[0]);
+    assert!(requests[1] >= requests[2], "{requests:?}");
+    assert!(requests[2] >= requests[3], "{requests:?}");
+    assert!(requests[3] < requests[1], "inter-task must reduce requests: {requests:?}");
+}
+
+#[test]
+fn report_counts_queries() {
+    let out = engine()
+        .execute_text(
+            "name | x | y | z\n\
+             *f1 | 'year' | 'sales' | v1 <- 'product'.*",
+        )
+        .unwrap();
+    assert!(out.report.sql_queries >= 1);
+    assert!(out.report.requests >= 1);
+    assert!(out.report.rows_scanned > 0);
+    assert!(out.report.total_time >= out.report.db_time);
+}
+
+#[test]
+fn semantic_errors_are_reported() {
+    let eng = engine();
+    // unknown variable
+    assert!(eng
+        .execute_text("name | x | y | z\n*f1 | 'year' | 'sales' | vz")
+        .is_err());
+    // duplicate component
+    assert!(eng
+        .execute_text("name | x | y\nf1 | 'year' | 'sales'\nf1 | 'year' | 'profit'")
+        .is_err());
+    // missing user input
+    assert!(eng.execute_text("name | x | y\n-f1 | |").is_err());
+    // unknown column
+    assert!(eng.execute_text("name | x | y\n*f1 | 'bogus' | 'sales'").is_err());
+}
+
+#[test]
+fn named_value_sets_from_registry() {
+    let mut eng = engine();
+    eng.registry_mut().register_value_set(
+        "P",
+        vec!["chair".into(), "desk".into(), "table".into()],
+    );
+    // named set without attribute qualification
+    let out = eng
+        .execute_text(
+            "name | x | y | z\n\
+             *f1 | 'year' | 'sales' | v1 <- 'product'.P",
+        )
+        .unwrap();
+    assert_eq!(out.visualizations.len(), 3);
+}
+
+#[test]
+fn named_attr_sets_from_registry() {
+    let mut eng = engine();
+    eng.registry_mut()
+        .register_attr_set("M", vec!["sales".into(), "profit".into(), "weight".into()]);
+    let out = eng
+        .execute_text(
+            "name | x | y\n\
+             *f1 | 'year' | y1 <- M",
+        )
+        .unwrap();
+    assert_eq!(out.visualizations.len(), 3);
+}
+
+#[test]
+fn table_3_19_axes_that_differentiate_two_slices() {
+    // "finds the x- and y- axes which differentiate the chair and the
+    // desk most" — co-declared (x1, y1) iteration, paired comparison,
+    // two outputs feeding two output rows.
+    let mut eng = engine();
+    eng.registry_mut().register_attr_set("C", vec!["year".into(), "month".into()]);
+    eng.registry_mut()
+        .register_attr_set("M", vec!["sales".into(), "profit".into(), "weight".into()]);
+    let out = eng
+        .execute_text(
+            "name | x | y | z | process\n\
+             f1 | x1 <- C | y1 <- M | 'product'.'chair' |\n\
+             f2 | x1 | y1 | 'product'.'desk' | x2, y2 <- argmax(x1, y1)[k=1] D(f1, f2)\n\
+             *f3 | x2 | y2 | 'product'.'chair' |\n\
+             *f4 | x2 | y2 | 'product'.'desk' |",
+        )
+        .unwrap();
+    assert_eq!(out.visualizations.len(), 2);
+    // Both outputs share the winning axes and differ only in the slice.
+    assert_eq!(out.visualizations[0].x, out.visualizations[1].x);
+    assert_eq!(out.visualizations[0].y, out.visualizations[1].y);
+    assert_eq!(out.visualizations[0].label, "product=chair");
+    assert_eq!(out.visualizations[1].label, "product=desk");
+}
+
+#[test]
+fn table_3_22_representative_sales_for_stapler_like_profits() {
+    // §3.9 Query 1: products whose profit trend resembles the stapler's,
+    // then representative sales visualizations among them.
+    let out = engine()
+        .execute_text(
+            "name | x | y | z | viz | process\n\
+             f1 | 'year' | 'profit' | 'product'.'stapler' | bar.(y=agg('sum')) |\n\
+             f2 | 'year' | 'profit' | v1 <- 'product'.(* \\ {'stapler'}) | bar.(y=agg('sum')) | v2 <- argmin(v1)[k=8] D(f1, f2)\n\
+             f3 | 'year' | 'sales' | v2 | bar.(y=agg('sum')) | v3 <- R(3, v2, f3)\n\
+             *f4 | 'year' | 'sales' | v3 | bar.(y=agg('sum')) |",
+        )
+        .unwrap();
+    assert_eq!(out.visualizations.len(), 3);
+    assert!(out.visualizations.iter().all(|v| !v.label.contains("stapler")));
+}
+
+#[test]
+fn table_3_23_monthly_discrepancy_in_2015() {
+    // §3.9 Query 2: top products with 2015 sales/profit discrepancies,
+    // plotted for both measures via a y-axis set.
+    let out = engine()
+        .execute_text(
+            "name | x | y | z | constraints | viz | process\n\
+             f1 | 'month' | 'profit' | v1 <- 'product'.* | year=2015 | bar.(y=agg('sum')) |\n\
+             f2 | 'month' | 'sales' | v1 | year=2015 | bar.(y=agg('sum')) | v2 <- argmax(v1)[k=4] D(f1, f2)\n\
+             *f3 | 'month' | y1 <- {'sales', 'profit'} | v2 | year=2015 | bar.(y=agg('sum')) |",
+        )
+        .unwrap();
+    // 4 products × 2 measures; y-major order (Y column precedes Z).
+    assert_eq!(out.visualizations.len(), 8);
+    assert_eq!(out.visualizations[0].y, "sales");
+    assert_eq!(out.visualizations[4].y, "profit");
+    // each visualization covers only 2015's twelve months
+    for viz in &out.visualizations {
+        assert!(viz.series.len() <= 12);
+    }
+}
+
+#[test]
+fn table_3_24_axes_separating_flattest_and_steepest_products() {
+    // §3.9 Query 3: R(1,…) picks the most average product, argmax T the
+    // steepest; then find the y-axes separating them the most.
+    let mut eng = engine();
+    eng.registry_mut()
+        .register_attr_set("M", vec!["sales".into(), "profit".into(), "weight".into()]);
+    let out = eng
+        .execute_text(
+            "name | x | y | z | viz | process\n\
+             f1 | 'year' | 'sales' | v1 <- 'product'.* | bar.(y=agg('sum')) | (v2 <- R(1, v1, f1)), (v3 <- argmax(v1)[k=1] T(f1))\n\
+             f2 | 'year' | y1 <- M | v2 | bar.(y=agg('sum')) |\n\
+             f3 | 'year' | y1 | v3 | bar.(y=agg('sum')) | y2, v4, v5 <- argmax(y1, v2, v3)[k=2] D(f2, f3)\n\
+             *f4 | 'year' | y2 | v6 <- (v4.range | v5.range) | bar.(y=agg('sum')) |",
+        )
+        .unwrap();
+    // y2 iterates the top-2 (y, v2, v3) combos; v6 unions the two product
+    // ranges → per combo: |y2 group| × |v6 group| cells.
+    assert!(!out.visualizations.is_empty());
+    // the two products differ, so the union range has 2 values
+    let labels: Vec<&str> = out.visualizations.iter().map(|v| v.label.as_str()).collect();
+    let mut distinct = labels.clone();
+    distinct.sort_unstable();
+    distinct.dedup();
+    assert!(distinct.len() >= 2, "expected ≥2 product slices, got {labels:?}");
+}

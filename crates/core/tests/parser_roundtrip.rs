@@ -1,0 +1,96 @@
+//! Property-style parser robustness tests: generated cell contents must
+//! either parse cleanly or fail with a diagnostic — never panic — and
+//! structurally equivalent spellings must parse identically.
+
+use proptest::prelude::*;
+use zql::parser::{
+    parse_axis_cell, parse_constraints_cell, parse_name_cell, parse_process_cell, parse_query,
+    parse_viz_cell, parse_z_cell,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// No input may panic any cell parser.
+    #[test]
+    fn cell_parsers_never_panic(cell in ".{0,60}") {
+        let _ = parse_name_cell(&cell);
+        let _ = parse_axis_cell(&cell);
+        let _ = parse_z_cell(&cell);
+        let _ = parse_constraints_cell(&cell);
+        let _ = parse_viz_cell(&cell);
+        let _ = parse_process_cell(&cell);
+    }
+
+    /// Whole-table parsing never panics on arbitrary text.
+    #[test]
+    fn table_parser_never_panics(text in "[ -~\n]{0,200}") {
+        let _ = parse_query(&text);
+    }
+
+    /// Whitespace around tokens is insignificant.
+    #[test]
+    fn whitespace_insensitivity(extra in " {0,3}") {
+        let tight = parse_z_cell("v1 <- 'product'.*").unwrap();
+        let loose = parse_z_cell(&format!("v1{extra}<-{extra}'product'{extra}.{extra}*")).unwrap();
+        prop_assert_eq!(tight, loose);
+    }
+
+    /// Quoted attribute names survive a parse for arbitrary identifiers.
+    #[test]
+    fn quoted_attrs_roundtrip(name in "[a-z][a-z0-9_]{0,12}") {
+        let entry = parse_axis_cell(&format!("'{name}'")).unwrap().unwrap();
+        match entry {
+            zql::AxisEntry::Fixed(zql::AttrExpr::Attr(a)) => prop_assert_eq!(a, name),
+            other => prop_assert!(false, "unexpected {:?}", other),
+        }
+    }
+
+    /// Top-k values roundtrip through the process grammar.
+    #[test]
+    fn process_topk_roundtrip(k in 1usize..100_000) {
+        let decls = parse_process_cell(&format!("v2 <- argmin(v1)[k={k}] T(f1)")).unwrap();
+        match &decls[0] {
+            zql::ProcessDecl::Rank { filter: zql::ProcessFilter::TopK(got), .. } => {
+                prop_assert_eq!(*got, k)
+            }
+            other => prop_assert!(false, "unexpected {:?}", other),
+        }
+    }
+
+    /// Threshold values (incl. negative) roundtrip.
+    #[test]
+    fn process_threshold_roundtrip(t in -1000i32..1000) {
+        let decls = parse_process_cell(&format!("v2 <- argany(v1)[t > {t}] T(f1)")).unwrap();
+        match &decls[0] {
+            zql::ProcessDecl::Rank {
+                filter: zql::ProcessFilter::Threshold { value, .. }, ..
+            } => prop_assert!((value - t as f64).abs() < 1e-9),
+            other => prop_assert!(false, "unexpected {:?}", other),
+        }
+    }
+}
+
+#[test]
+fn error_messages_name_the_offending_column() {
+    let err = parse_query("name | x | y\nf1 | 'year' 'extra' | 'sales'").unwrap_err();
+    assert_eq!(err.column, "x");
+    assert_eq!(err.line, 2);
+    let err = parse_query("name | x | y | process\nf1 | 'year' | 'sales' | v <- argmiX(v1) T(f1)")
+        .unwrap_err();
+    assert_eq!(err.column, "process");
+    assert!(err.message.contains("argmiX"), "{}", err.message);
+}
+
+#[test]
+fn comments_and_blank_lines_are_skipped() {
+    let q = parse_query(
+        "# a ZQL query\n\
+         name | x | y\n\
+         \n\
+         # the only row:\n\
+         *f1 | 'year' | 'sales'\n",
+    )
+    .unwrap();
+    assert_eq!(q.rows.len(), 1);
+}

@@ -1,0 +1,68 @@
+//! Shared generator utilities: deterministic per-entity latent parameters
+//! and Gaussian noise (Box–Muller, since only `rand` is available).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// SplitMix64 — used to derive stable per-entity latent parameters so
+/// that e.g. product #17's trend does not depend on row count.
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// Deterministic latent uniform in [0, 1) for entity `idx` under `tag`.
+pub fn latent(seed: u64, tag: u64, idx: u64) -> f64 {
+    let h = splitmix64(seed ^ splitmix64(tag ^ splitmix64(idx)));
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Deterministic latent uniform in [lo, hi).
+pub fn latent_in(seed: u64, tag: u64, idx: u64, lo: f64, hi: f64) -> f64 {
+    lo + latent(seed, tag, idx) * (hi - lo)
+}
+
+/// Standard-normal sample via Box–Muller.
+pub fn gaussian(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn latent_is_deterministic_and_uniform_ish() {
+        assert_eq!(latent(1, 2, 3), latent(1, 2, 3));
+        assert_ne!(latent(1, 2, 3), latent(1, 2, 4));
+        assert_ne!(latent(1, 2, 3), latent(2, 2, 3));
+        let vals: Vec<f64> = (0..1000).map(|i| latent(42, 7, i)).collect();
+        let mean = vals.iter().sum::<f64>() / 1000.0;
+        assert!((mean - 0.5).abs() < 0.05, "mean {mean}");
+        assert!(vals.iter().all(|&v| (0.0..1.0).contains(&v)));
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let xs: Vec<f64> = (0..20000).map(|_| gaussian(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / xs.len() as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn latent_in_respects_bounds() {
+        for i in 0..100 {
+            let v = latent_in(9, 1, i, -3.0, 5.0);
+            assert!((-3.0..5.0).contains(&v));
+        }
+    }
+}

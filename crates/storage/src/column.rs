@@ -1,0 +1,238 @@
+//! Typed columnar storage. Categorical columns are dictionary-encoded, as
+//! in the zenvisage storage model (thesis §6.2): "we follow a column
+//! oriented storage model".
+
+use crate::value::{DataType, Value};
+use std::collections::HashMap;
+
+/// A dictionary-encoded string column.
+#[derive(Clone, Debug, Default)]
+pub struct CatColumn {
+    /// Distinct values, in first-seen order; code `i` means `dict[i]`.
+    dict: Vec<String>,
+    lookup: HashMap<String, u32>,
+    codes: Vec<u32>,
+}
+
+impl CatColumn {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn push(&mut self, v: &str) {
+        let code = self.intern(v);
+        self.codes.push(code);
+    }
+
+    /// Get-or-insert a dictionary code without appending a row.
+    pub fn intern(&mut self, v: &str) -> u32 {
+        if let Some(&c) = self.lookup.get(v) {
+            return c;
+        }
+        let c = self.dict.len() as u32;
+        self.dict.push(v.to_string());
+        self.lookup.insert(v.to_string(), c);
+        c
+    }
+
+    /// Append a row by pre-interned dictionary code (the fast generator
+    /// path — avoids per-row string hashing).
+    pub fn push_code(&mut self, code: u32) {
+        debug_assert!((code as usize) < self.dict.len(), "code {code} not interned");
+        self.codes.push(code);
+    }
+
+    pub fn code_of(&self, v: &str) -> Option<u32> {
+        self.lookup.get(v).copied()
+    }
+
+    pub fn decode(&self, code: u32) -> &str {
+        &self.dict[code as usize]
+    }
+
+    pub fn codes(&self) -> &[u32] {
+        &self.codes
+    }
+
+    pub fn dict(&self) -> &[String] {
+        &self.dict
+    }
+
+    /// Number of distinct values.
+    pub fn cardinality(&self) -> usize {
+        self.dict.len()
+    }
+
+    pub fn len(&self) -> usize {
+        self.codes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.codes.is_empty()
+    }
+}
+
+/// One column of a [`crate::table::Table`].
+#[derive(Clone, Debug)]
+pub enum Column {
+    Int(Vec<i64>),
+    Float(Vec<f64>),
+    Cat(CatColumn),
+}
+
+impl Column {
+    pub fn new(dtype: DataType) -> Self {
+        match dtype {
+            DataType::Int => Column::Int(Vec::new()),
+            DataType::Float => Column::Float(Vec::new()),
+            DataType::Cat => Column::Cat(CatColumn::new()),
+        }
+    }
+
+    pub fn dtype(&self) -> DataType {
+        match self {
+            Column::Int(_) => DataType::Int,
+            Column::Float(_) => DataType::Float,
+            Column::Cat(_) => DataType::Cat,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        match self {
+            Column::Int(v) => v.len(),
+            Column::Float(v) => v.len(),
+            Column::Cat(c) => c.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn push(&mut self, v: &Value) -> Result<(), String> {
+        match (self, v) {
+            (Column::Int(col), Value::Int(i)) => col.push(*i),
+            (Column::Int(col), Value::Float(f)) => col.push(*f as i64),
+            (Column::Float(col), Value::Float(f)) => col.push(*f),
+            (Column::Float(col), Value::Int(i)) => col.push(*i as f64),
+            (Column::Cat(col), Value::Str(s)) => col.push(s),
+            (col, v) => {
+                return Err(format!("type mismatch: cannot store {v:?} in {} column", col.dtype()))
+            }
+        }
+        Ok(())
+    }
+
+    pub fn get(&self, row: usize) -> Value {
+        match self {
+            Column::Int(v) => Value::Int(v[row]),
+            Column::Float(v) => Value::Float(v[row]),
+            Column::Cat(c) => Value::Str(c.decode(c.codes()[row]).to_string()),
+        }
+    }
+
+    /// Numeric view of a row (cat columns have no numeric view).
+    #[inline]
+    pub fn get_f64(&self, row: usize) -> Option<f64> {
+        match self {
+            Column::Int(v) => Some(v[row] as f64),
+            Column::Float(v) => Some(v[row]),
+            Column::Cat(_) => None,
+        }
+    }
+
+    pub fn as_cat(&self) -> Option<&CatColumn> {
+        match self {
+            Column::Cat(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    pub fn as_int(&self) -> Option<&[i64]> {
+        match self {
+            Column::Int(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    pub fn as_float(&self) -> Option<&[f64]> {
+        match self {
+            Column::Float(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Distinct values in a canonical order: dictionary order for cat
+    /// columns (first-seen), ascending for numeric columns.
+    pub fn distinct_values(&self) -> Vec<Value> {
+        match self {
+            Column::Cat(c) => c.dict().iter().map(|s| Value::str(s.clone())).collect(),
+            Column::Int(v) => {
+                let mut d: Vec<i64> = v.clone();
+                d.sort_unstable();
+                d.dedup();
+                d.into_iter().map(Value::Int).collect()
+            }
+            Column::Float(v) => {
+                let mut d: Vec<f64> = v.clone();
+                d.sort_by(|a, b| a.total_cmp(b));
+                d.dedup_by(|a, b| a.to_bits() == b.to_bits());
+                d.into_iter().map(Value::Float).collect()
+            }
+        }
+    }
+
+    /// Number of distinct values.
+    pub fn cardinality(&self) -> usize {
+        match self {
+            Column::Cat(c) => c.cardinality(),
+            _ => self.distinct_values().len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cat_column_interning() {
+        let mut c = CatColumn::new();
+        c.push("US");
+        c.push("UK");
+        c.push("US");
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.cardinality(), 2);
+        assert_eq!(c.codes(), &[0, 1, 0]);
+        assert_eq!(c.decode(1), "UK");
+        assert_eq!(c.code_of("US"), Some(0));
+        assert_eq!(c.code_of("FR"), None);
+    }
+
+    #[test]
+    fn column_push_and_get() {
+        let mut c = Column::new(DataType::Int);
+        c.push(&Value::Int(7)).unwrap();
+        c.push(&Value::Float(2.9)).unwrap(); // coerced
+        assert_eq!(c.get(0), Value::Int(7));
+        assert_eq!(c.get(1), Value::Int(2));
+        assert!(c.push(&Value::str("oops")).is_err());
+    }
+
+    #[test]
+    fn distinct_values_ordering() {
+        let mut c = Column::new(DataType::Int);
+        for v in [3i64, 1, 3, 2] {
+            c.push(&Value::Int(v)).unwrap();
+        }
+        assert_eq!(c.distinct_values(), vec![Value::Int(1), Value::Int(2), Value::Int(3)]);
+
+        let mut c = Column::new(DataType::Cat);
+        for v in ["b", "a", "b"] {
+            c.push(&Value::str(v)).unwrap();
+        }
+        // first-seen dictionary order, not alphabetical
+        assert_eq!(c.distinct_values(), vec![Value::str("b"), Value::str("a")]);
+        assert_eq!(c.cardinality(), 2);
+    }
+}

@@ -1,0 +1,45 @@
+//! The backend abstraction: "zenvisage can use as a backend any
+//! traditional relational database" (thesis §2). The ZQL executor only
+//! speaks [`Database`]; both shipped engines implement it.
+
+use crate::query::{ResultTable, SelectQuery};
+use crate::stats::ExecStats;
+use crate::table::{StorageError, Table};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A queryable backend holding one relation.
+pub trait Database: Send + Sync {
+    /// Stable engine identifier (used in experiment output).
+    fn name(&self) -> &'static str;
+
+    /// The relation this engine serves.
+    fn table(&self) -> &Arc<Table>;
+
+    /// Execute one canonical grouped-aggregate query.
+    fn execute(&self, query: &SelectQuery) -> Result<ResultTable, StorageError>;
+
+    /// Execution counters.
+    fn stats(&self) -> &ExecStats;
+
+    /// Simulated round-trip latency per batched request (DESIGN.md
+    /// substitution 2). Zero by default.
+    fn request_overhead(&self) -> Duration {
+        Duration::ZERO
+    }
+
+    /// Execute a batch of queries as one round trip. The external
+    /// optimizations of §5.2 work by shrinking the number of calls made
+    /// here.
+    fn run_request(&self, queries: &[SelectQuery]) -> Result<Vec<ResultTable>, StorageError> {
+        self.stats().record_request();
+        let overhead = self.request_overhead();
+        if !overhead.is_zero() {
+            std::thread::sleep(overhead);
+        }
+        queries.iter().map(|q| self.execute(q)).collect()
+    }
+}
+
+/// Convenience alias used throughout the ZQL executor.
+pub type DynDatabase = Arc<dyn Database>;

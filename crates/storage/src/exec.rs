@@ -1,0 +1,812 @@
+//! Shared execution machinery for both database backends: predicate
+//! compilation, group-key encoding, and the grouped-aggregation kernel.
+//!
+//! Both backends reduce a [`SelectQuery`] to:
+//!
+//! 1. a row source (all rows / a roaring bitmap / a filtered scan),
+//! 2. a composite group key `(z₁, …, z_k, x)` encoded as a dense integer,
+//! 3. an accumulation pass (dense array or hash map, see
+//!    [`GroupStrategy`]), and
+//! 4. a finalize pass that decodes keys and sorts by `(key, x)` — the
+//!    `ORDER BY Z, X` of the canonical query.
+
+use crate::column::Column;
+use crate::predicate::{Atom, CmpOp, Predicate};
+use crate::query::{Agg, GroupSeries, ResultTable, SelectQuery, XSpec};
+use crate::roaring::RoaringBitmap;
+use crate::table::{StorageError, Table};
+use crate::value::Value;
+use std::collections::HashMap;
+
+// ---------------------------------------------------------------------
+// Compiled predicates
+// ---------------------------------------------------------------------
+
+/// A predicate atom specialized against concrete column storage, so the
+/// per-row check is branch-light (no string comparisons, no hash lookups).
+pub enum CAtom<'a> {
+    ConstBool(bool),
+    CatEqCode { codes: &'a [u32], code: u32 },
+    CatNeqCode { codes: &'a [u32], code: u32 },
+    /// `IN` / `LIKE 'p%'` compile to a per-dictionary-code truth table.
+    CatCodeSet { codes: &'a [u32], member: Vec<bool> },
+    NumCmpI { vals: &'a [i64], op: CmpOp, value: f64 },
+    NumCmpF { vals: &'a [f64], op: CmpOp, value: f64 },
+    BetweenI { vals: &'a [i64], lo: f64, hi: f64 },
+    BetweenF { vals: &'a [f64], lo: f64, hi: f64 },
+}
+
+impl CAtom<'_> {
+    #[inline]
+    pub fn eval(&self, row: usize) -> bool {
+        match self {
+            CAtom::ConstBool(b) => *b,
+            CAtom::CatEqCode { codes, code } => codes[row] == *code,
+            CAtom::CatNeqCode { codes, code } => codes[row] != *code,
+            CAtom::CatCodeSet { codes, member } => member[codes[row] as usize],
+            CAtom::NumCmpI { vals, op, value } => op.eval_f64(vals[row] as f64, *value),
+            CAtom::NumCmpF { vals, op, value } => op.eval_f64(vals[row], *value),
+            CAtom::BetweenI { vals, lo, hi } => {
+                let v = vals[row] as f64;
+                v >= *lo && v <= *hi
+            }
+            CAtom::BetweenF { vals, lo, hi } => vals[row] >= *lo && vals[row] <= *hi,
+        }
+    }
+}
+
+/// A whole predicate compiled for scanning.
+pub enum CompiledPred<'a> {
+    True,
+    And(Vec<CAtom<'a>>),
+    Or(Vec<Vec<CAtom<'a>>>),
+}
+
+impl CompiledPred<'_> {
+    #[inline]
+    pub fn eval(&self, row: usize) -> bool {
+        match self {
+            CompiledPred::True => true,
+            CompiledPred::And(atoms) => atoms.iter().all(|a| a.eval(row)),
+            CompiledPred::Or(disj) => disj.iter().any(|c| c.iter().all(|a| a.eval(row))),
+        }
+    }
+
+    pub fn is_true(&self) -> bool {
+        matches!(self, CompiledPred::True)
+    }
+}
+
+pub fn compile_atom<'a>(table: &'a Table, atom: &Atom) -> Result<CAtom<'a>, StorageError> {
+    atom.validate(table)?;
+    let col = table.column(atom.column())?;
+    Ok(match atom {
+        Atom::CatEq { value, .. } => {
+            let c = col.as_cat().unwrap();
+            match c.code_of(value) {
+                Some(code) => CAtom::CatEqCode { codes: c.codes(), code },
+                None => CAtom::ConstBool(false),
+            }
+        }
+        Atom::CatNeq { value, .. } => {
+            let c = col.as_cat().unwrap();
+            match c.code_of(value) {
+                Some(code) => CAtom::CatNeqCode { codes: c.codes(), code },
+                None => CAtom::ConstBool(true),
+            }
+        }
+        Atom::CatIn { values, .. } => {
+            let c = col.as_cat().unwrap();
+            let mut member = vec![false; c.cardinality()];
+            for v in values {
+                if let Some(code) = c.code_of(v) {
+                    member[code as usize] = true;
+                }
+            }
+            CAtom::CatCodeSet { codes: c.codes(), member }
+        }
+        Atom::StrPrefix { prefix, .. } => {
+            let c = col.as_cat().unwrap();
+            let member = c.dict().iter().map(|s| s.starts_with(prefix.as_str())).collect();
+            CAtom::CatCodeSet { codes: c.codes(), member }
+        }
+        Atom::NumCmp { op, value, .. } => match col {
+            Column::Int(v) => CAtom::NumCmpI { vals: v, op: *op, value: *value },
+            Column::Float(v) => CAtom::NumCmpF { vals: v, op: *op, value: *value },
+            Column::Cat(_) => unreachable!("validated"),
+        },
+        Atom::NumBetween { lo, hi, .. } => match col {
+            Column::Int(v) => CAtom::BetweenI { vals: v, lo: *lo, hi: *hi },
+            Column::Float(v) => CAtom::BetweenF { vals: v, lo: *lo, hi: *hi },
+            Column::Cat(_) => unreachable!("validated"),
+        },
+    })
+}
+
+pub fn compile_pred<'a>(table: &'a Table, pred: &Predicate) -> Result<CompiledPred<'a>, StorageError> {
+    Ok(match pred {
+        Predicate::True => CompiledPred::True,
+        Predicate::And(atoms) if atoms.is_empty() => CompiledPred::True,
+        Predicate::And(atoms) => CompiledPred::And(
+            atoms.iter().map(|a| compile_atom(table, a)).collect::<Result<_, _>>()?,
+        ),
+        Predicate::Or(disj) => CompiledPred::Or(
+            disj.iter()
+                .map(|c| c.iter().map(|a| compile_atom(table, a)).collect::<Result<_, _>>())
+                .collect::<Result<_, _>>()?,
+        ),
+    })
+}
+
+// ---------------------------------------------------------------------
+// Row sources
+// ---------------------------------------------------------------------
+
+/// Where qualifying rows come from.
+pub enum RowSource<'a> {
+    /// Every row (100% selectivity, no predicate work).
+    All(usize),
+    /// Rows pre-selected by bitmap index algebra.
+    Bitmap(RoaringBitmap),
+    /// Full scan with a compiled per-row filter.
+    Filtered { n_rows: usize, pred: CompiledPred<'a> },
+    /// Bitmap candidates with a residual per-row filter (numeric atoms the
+    /// bitmap index cannot answer).
+    BitmapFiltered { rows: RoaringBitmap, pred: CompiledPred<'a> },
+}
+
+impl RowSource<'_> {
+    /// Visit qualifying rows in ascending order; returns rows *visited*
+    /// (scanned), which may exceed rows qualifying.
+    #[inline]
+    pub fn for_each<F: FnMut(usize)>(&self, mut f: F) -> u64 {
+        match self {
+            RowSource::All(n) => {
+                for r in 0..*n {
+                    f(r);
+                }
+                *n as u64
+            }
+            RowSource::Bitmap(bm) => {
+                bm.for_each(|r| f(r as usize));
+                bm.len()
+            }
+            RowSource::Filtered { n_rows, pred } => {
+                for r in 0..*n_rows {
+                    if pred.eval(r) {
+                        f(r);
+                    }
+                }
+                *n_rows as u64
+            }
+            RowSource::BitmapFiltered { rows, pred } => {
+                rows.for_each(|r| {
+                    if pred.eval(r as usize) {
+                        f(r as usize);
+                    }
+                });
+                rows.len()
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Group-dimension encoders
+// ---------------------------------------------------------------------
+
+/// Per-row group-key extraction for one dimension, plus decoding back to
+/// values for the finalize phase.
+pub enum DimEncoder<'a> {
+    /// Dictionary-encoded categorical column: the dict code *is* the key.
+    Cat { codes: &'a [u32], dict: &'a [String] },
+    /// Integer column with a narrow value range: `code = v - min`.
+    IntOffset { vals: &'a [i64], min: i64, card: usize },
+    /// Integer column with a wide range: code = rank in sorted distincts.
+    IntRank { vals: &'a [i64], distinct: Vec<i64> },
+    /// Binned numeric axis: `code = floor(v/width) - min_bin`.
+    BinnedI { vals: &'a [i64], width: f64, min_bin: i64, card: usize },
+    BinnedF { vals: &'a [f64], width: f64, min_bin: i64, card: usize },
+}
+
+impl DimEncoder<'_> {
+    #[inline]
+    pub fn encode(&self, row: usize) -> u64 {
+        match self {
+            DimEncoder::Cat { codes, .. } => codes[row] as u64,
+            DimEncoder::IntOffset { vals, min, .. } => (vals[row] - min) as u64,
+            DimEncoder::IntRank { vals, distinct } => {
+                distinct.binary_search(&vals[row]).expect("value seen during build") as u64
+            }
+            DimEncoder::BinnedI { vals, width, min_bin, .. } => {
+                ((vals[row] as f64 / width).floor() as i64 - min_bin) as u64
+            }
+            DimEncoder::BinnedF { vals, width, min_bin, .. } => {
+                ((vals[row] / width).floor() as i64 - min_bin) as u64
+            }
+        }
+    }
+
+    pub fn cardinality(&self) -> usize {
+        match self {
+            DimEncoder::Cat { dict, .. } => dict.len(),
+            DimEncoder::IntOffset { card, .. } => *card,
+            DimEncoder::IntRank { distinct, .. } => distinct.len(),
+            DimEncoder::BinnedI { card, .. } | DimEncoder::BinnedF { card, .. } => *card,
+        }
+    }
+
+    pub fn decode(&self, code: u64) -> Value {
+        match self {
+            DimEncoder::Cat { dict, .. } => Value::Str(dict[code as usize].clone()),
+            DimEncoder::IntOffset { min, .. } => Value::Int(min + code as i64),
+            DimEncoder::IntRank { distinct, .. } => Value::Int(distinct[code as usize]),
+            DimEncoder::BinnedI { width, min_bin, .. } => {
+                Value::Float((min_bin + code as i64) as f64 * width)
+            }
+            DimEncoder::BinnedF { width, min_bin, .. } => {
+                Value::Float((min_bin + code as i64) as f64 * width)
+            }
+        }
+    }
+}
+
+/// Widest value range an integer column may span before we switch from
+/// offset encoding (O(1), dense) to rank encoding (binary search).
+const INT_OFFSET_MAX_RANGE: i64 = 1 << 22;
+
+pub fn build_dim<'a>(table: &'a Table, spec: &XSpec) -> Result<DimEncoder<'a>, StorageError> {
+    let col = table.column(&spec.col)?;
+    if let Some(width) = spec.bin {
+        if width <= 0.0 {
+            return Err(StorageError::Malformed(format!("bin width must be positive: {width}")));
+        }
+        return match col {
+            Column::Int(v) => {
+                let (lo, hi) = minmax_i(v);
+                let min_bin = (lo as f64 / width).floor() as i64;
+                let max_bin = (hi as f64 / width).floor() as i64;
+                Ok(DimEncoder::BinnedI {
+                    vals: v,
+                    width,
+                    min_bin,
+                    card: (max_bin - min_bin + 1).max(1) as usize,
+                })
+            }
+            Column::Float(v) => {
+                let (lo, hi) = minmax_f(v);
+                let min_bin = (lo / width).floor() as i64;
+                let max_bin = (hi / width).floor() as i64;
+                Ok(DimEncoder::BinnedF {
+                    vals: v,
+                    width,
+                    min_bin,
+                    card: (max_bin - min_bin + 1).max(1) as usize,
+                })
+            }
+            Column::Cat(_) => Err(StorageError::TypeMismatch(format!(
+                "cannot bin categorical column {}",
+                spec.col
+            ))),
+        };
+    }
+    match col {
+        Column::Cat(c) => Ok(DimEncoder::Cat { codes: c.codes(), dict: c.dict() }),
+        Column::Int(v) => {
+            if v.is_empty() {
+                return Ok(DimEncoder::IntOffset { vals: v, min: 0, card: 0 });
+            }
+            let (lo, hi) = minmax_i(v);
+            if hi - lo < INT_OFFSET_MAX_RANGE {
+                Ok(DimEncoder::IntOffset { vals: v, min: lo, card: (hi - lo + 1) as usize })
+            } else {
+                let mut distinct = v.clone();
+                distinct.sort_unstable();
+                distinct.dedup();
+                Ok(DimEncoder::IntRank { vals: v, distinct })
+            }
+        }
+        Column::Float(_) => Err(StorageError::TypeMismatch(format!(
+            "float column {} must be binned to be used as a group axis",
+            spec.col
+        ))),
+    }
+}
+
+fn minmax_i(v: &[i64]) -> (i64, i64) {
+    let mut lo = i64::MAX;
+    let mut hi = i64::MIN;
+    for &x in v {
+        lo = lo.min(x);
+        hi = hi.max(x);
+    }
+    (lo, hi)
+}
+
+fn minmax_f(v: &[f64]) -> (f64, f64) {
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for &x in v {
+        lo = lo.min(x);
+        hi = hi.max(x);
+    }
+    (lo, hi)
+}
+
+// ---------------------------------------------------------------------
+// Aggregation kernel
+// ---------------------------------------------------------------------
+
+/// Numeric measure access.
+#[derive(Clone, Copy)]
+pub enum YCol<'a> {
+    I(&'a [i64]),
+    F(&'a [f64]),
+    /// COUNT(*) needs no column.
+    Unit,
+}
+
+impl YCol<'_> {
+    #[inline]
+    fn get(&self, row: usize) -> f64 {
+        match self {
+            YCol::I(v) => v[row] as f64,
+            YCol::F(v) => v[row],
+            YCol::Unit => 1.0,
+        }
+    }
+}
+
+/// How group slots are located during accumulation. The choice is the
+/// mechanism behind the Figure 7.5 crossover: dense arrays win at high
+/// selectivity with many groups; hash lookup is cardinality-oblivious.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GroupStrategy {
+    Dense,
+    Hash,
+}
+
+struct Accumulators {
+    n_ys: usize,
+    sums: Vec<f64>,
+    mins: Vec<f64>,
+    maxs: Vec<f64>,
+    counts: Vec<u64>,
+    need_minmax: bool,
+}
+
+impl Accumulators {
+    fn new(slots: usize, n_ys: usize, need_minmax: bool) -> Self {
+        Accumulators {
+            n_ys,
+            sums: vec![0.0; slots * n_ys],
+            mins: if need_minmax { vec![f64::INFINITY; slots * n_ys] } else { Vec::new() },
+            maxs: if need_minmax { vec![f64::NEG_INFINITY; slots * n_ys] } else { Vec::new() },
+            counts: vec![0; slots],
+            need_minmax,
+        }
+    }
+
+    #[inline]
+    fn grow_one(&mut self) {
+        for _ in 0..self.n_ys {
+            self.sums.push(0.0);
+            if self.need_minmax {
+                self.mins.push(f64::INFINITY);
+                self.maxs.push(f64::NEG_INFINITY);
+            }
+        }
+        self.counts.push(0);
+    }
+
+    #[inline]
+    fn update(&mut self, slot: usize, ys: &[YCol<'_>], row: usize) {
+        self.counts[slot] += 1;
+        let base = slot * self.n_ys;
+        for (j, y) in ys.iter().enumerate() {
+            let v = y.get(row);
+            self.sums[base + j] += v;
+            if self.need_minmax {
+                if v < self.mins[base + j] {
+                    self.mins[base + j] = v;
+                }
+                if v > self.maxs[base + j] {
+                    self.maxs[base + j] = v;
+                }
+            }
+        }
+    }
+
+    fn finalize(&self, slot: usize, aggs: &[Agg]) -> Vec<f64> {
+        let base = slot * self.n_ys;
+        let n = self.counts[slot] as f64;
+        aggs.iter()
+            .enumerate()
+            .map(|(j, agg)| match agg {
+                Agg::Sum => self.sums[base + j],
+                Agg::Avg => self.sums[base + j] / n,
+                Agg::Count => n,
+                Agg::Min => self.mins[base + j],
+                Agg::Max => self.maxs[base + j],
+            })
+            .collect()
+    }
+}
+
+/// Run the grouped aggregation for `query` over `source`, using the given
+/// strategy. Returns the ordered result and the number of rows visited.
+pub fn aggregate(
+    table: &Table,
+    query: &SelectQuery,
+    source: &RowSource<'_>,
+    strategy: GroupStrategy,
+) -> Result<(ResultTable, u64), StorageError> {
+    // Dimension order: z₁..z_k, then x innermost (stride 1).
+    let mut dims: Vec<DimEncoder<'_>> = Vec::with_capacity(query.zs.len() + 1);
+    for z in &query.zs {
+        dims.push(build_dim(table, &XSpec::raw(z.clone()))?);
+    }
+    dims.push(build_dim(table, &query.x)?);
+
+    let mut ys: Vec<YCol<'_>> = Vec::with_capacity(query.ys.len());
+    let mut aggs: Vec<Agg> = Vec::with_capacity(query.ys.len());
+    for y in &query.ys {
+        let ycol = if y.agg == Agg::Count && y.col == "*" {
+            YCol::Unit
+        } else {
+            match table.column(&y.col)? {
+                Column::Int(v) => YCol::I(v),
+                Column::Float(v) => YCol::F(v),
+                Column::Cat(_) => {
+                    if y.agg == Agg::Count {
+                        YCol::Unit
+                    } else {
+                        return Err(StorageError::TypeMismatch(format!(
+                            "cannot {} categorical column {}",
+                            y.agg, y.col
+                        )));
+                    }
+                }
+            }
+        };
+        ys.push(ycol);
+        aggs.push(y.agg);
+    }
+    let need_minmax = aggs.iter().any(|a| matches!(a, Agg::Min | Agg::Max));
+
+    // Strides for the composite code (x last → stride 1).
+    let mut strides = vec![1u64; dims.len()];
+    let mut total: u128 = 1;
+    for i in (0..dims.len()).rev() {
+        strides[i] = total as u64;
+        total *= dims[i].cardinality().max(1) as u128;
+    }
+    if total > u64::MAX as u128 {
+        return Err(StorageError::Malformed("group key space exceeds u64".into()));
+    }
+    let total = total as u64;
+
+    let scanned;
+    let mut occupied: Vec<u64> = Vec::new(); // composite codes with data
+    let acc = match strategy {
+        GroupStrategy::Dense => {
+            let mut acc = Accumulators::new(total as usize, ys.len().max(1), need_minmax);
+            scanned = source.for_each(|row| {
+                let mut code = 0u64;
+                for (d, s) in dims.iter().zip(&strides) {
+                    code += d.encode(row) * s;
+                }
+                acc.update(code as usize, &ys, row);
+            });
+            for code in 0..total {
+                if acc.counts[code as usize] > 0 {
+                    occupied.push(code);
+                }
+            }
+            DenseOrHash::Dense(acc)
+        }
+        GroupStrategy::Hash => {
+            let mut acc = Accumulators::new(0, ys.len().max(1), need_minmax);
+            let mut slot_of: HashMap<u64, u32> = HashMap::new();
+            scanned = source.for_each(|row| {
+                let mut code = 0u64;
+                for (d, s) in dims.iter().zip(&strides) {
+                    code += d.encode(row) * s;
+                }
+                let slot = match slot_of.get(&code) {
+                    Some(&s) => s as usize,
+                    None => {
+                        let s = acc.counts.len();
+                        slot_of.insert(code, s as u32);
+                        acc.grow_one();
+                        s
+                    }
+                };
+                acc.update(slot, &ys, row);
+            });
+            let mut pairs: Vec<(u64, u32)> = slot_of.into_iter().collect();
+            pairs.sort_unstable();
+            let slots: Vec<u32> = pairs.iter().map(|&(_, s)| s).collect();
+            occupied = pairs.into_iter().map(|(c, _)| c).collect();
+            DenseOrHash::Hash(acc, slots)
+        }
+    };
+
+    // Finalize: decode composite codes, group consecutive rows sharing the
+    // same z-prefix (codes are visited in ascending order, x innermost).
+    let mut result = ResultTable { z_cols: query.zs.clone(), groups: Vec::new() };
+    let n_z = query.zs.len();
+    let mut current_key: Option<Vec<Value>> = None;
+    let mut cur_z_codes: Vec<u64> = Vec::new();
+    let mut xs: Vec<Value> = Vec::new();
+    let mut series: Vec<Vec<f64>> = vec![Vec::new(); query.ys.len()];
+
+    let flush = |result: &mut ResultTable,
+                 key: Option<Vec<Value>>,
+                 xs: &mut Vec<Value>,
+                 series: &mut Vec<Vec<f64>>| {
+        if let Some(k) = key {
+            result.groups.push(GroupSeries {
+                key: k,
+                xs: std::mem::take(xs),
+                ys: series.iter_mut().map(std::mem::take).collect(),
+            });
+        }
+    };
+
+    for (i, &code) in occupied.iter().enumerate() {
+        let mut rem = code;
+        let mut parts = Vec::with_capacity(dims.len());
+        for s in &strides {
+            parts.push(rem / s);
+            rem %= s;
+        }
+        let z_codes = &parts[..n_z];
+        if current_key.is_none() || cur_z_codes != z_codes {
+            flush(&mut result, current_key.take(), &mut xs, &mut series);
+            cur_z_codes = z_codes.to_vec();
+            current_key =
+                Some(z_codes.iter().zip(&dims[..n_z]).map(|(&c, d)| d.decode(c)).collect());
+            series = vec![Vec::new(); query.ys.len()];
+        }
+        xs.push(dims[n_z].decode(parts[n_z]));
+        let vals = match &acc {
+            DenseOrHash::Dense(a) => a.finalize(code as usize, &aggs),
+            DenseOrHash::Hash(a, slots) => a.finalize(slots[i] as usize, &aggs),
+        };
+        for (j, v) in vals.into_iter().enumerate() {
+            series[j].push(v);
+        }
+    }
+    flush(&mut result, current_key.take(), &mut xs, &mut series);
+
+    // Composite-code order already sorts by encoded codes; re-sort groups
+    // by decoded key so ordering matches ORDER BY over *values* (dict
+    // codes are first-seen order, not lexicographic).
+    result.groups.sort_by(|a, b| a.key.cmp(&b.key));
+    for g in &mut result.groups {
+        // xs within a group come out in code order; IntOffset/Binned codes
+        // are value-ordered already, Cat and IntRank may not be.
+        let mut idx: Vec<usize> = (0..g.xs.len()).collect();
+        idx.sort_by(|&i, &j| g.xs[i].cmp(&g.xs[j]));
+        if idx.iter().enumerate().any(|(i, &j)| i != j) {
+            g.xs = idx.iter().map(|&i| g.xs[i].clone()).collect();
+            g.ys = g.ys.iter().map(|s| idx.iter().map(|&i| s[i]).collect()).collect();
+        }
+    }
+
+    Ok((result, scanned))
+}
+
+enum DenseOrHash {
+    Dense(Accumulators),
+    Hash(Accumulators, Vec<u32>),
+}
+
+/// Pick a strategy: dense when the composite key space is small enough
+/// that the accumulator arrays stay cache-resident relative to the rows
+/// being scanned.
+pub fn choose_strategy(total_groups: u128, dense_limit: u128) -> GroupStrategy {
+    if total_groups <= dense_limit {
+        GroupStrategy::Dense
+    } else {
+        GroupStrategy::Hash
+    }
+}
+
+/// Total composite-key cardinality for a query (used for strategy choice).
+pub fn group_space(table: &Table, query: &SelectQuery) -> Result<u128, StorageError> {
+    let mut total: u128 = 1;
+    for z in &query.zs {
+        total *= build_dim(table, &XSpec::raw(z.clone()))?.cardinality().max(1) as u128;
+    }
+    total *= build_dim(table, &query.x)?.cardinality().max(1) as u128;
+    Ok(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::YSpec;
+    use crate::table::{Field, Schema, TableBuilder};
+    use crate::value::DataType;
+
+    fn sales_table() -> Table {
+        let schema = Schema::new(vec![
+            Field::new("year", DataType::Int),
+            Field::new("product", DataType::Cat),
+            Field::new("location", DataType::Cat),
+            Field::new("sales", DataType::Float),
+        ]);
+        let mut b = TableBuilder::new(schema);
+        let rows = [
+            (2014, "chair", "US", 10.0),
+            (2014, "chair", "US", 5.0),
+            (2015, "chair", "US", 20.0),
+            (2014, "desk", "US", 7.0),
+            (2015, "desk", "UK", 9.0),
+            (2015, "chair", "UK", 11.0),
+        ];
+        for (y, p, l, s) in rows {
+            b.push_row(vec![Value::Int(y), Value::str(p), Value::str(l), Value::Float(s)])
+                .unwrap();
+        }
+        b.finish()
+    }
+
+    fn run(q: &SelectQuery, strategy: GroupStrategy) -> ResultTable {
+        let t = sales_table();
+        let src = RowSource::All(t.num_rows());
+        let (mut rt, scanned) = aggregate(&t, q, &src, strategy).unwrap();
+        assert_eq!(scanned, 6);
+        // normalize nothing — kernel must already deliver sorted output
+        rt.z_cols = q.zs.clone();
+        rt
+    }
+
+    #[test]
+    fn grouped_sum_dense_and_hash_agree() {
+        let q = SelectQuery::new(XSpec::raw("year"), vec![YSpec::sum("sales")]).with_z("product");
+        let dense = run(&q, GroupStrategy::Dense);
+        let hash = run(&q, GroupStrategy::Hash);
+        assert_eq!(dense, hash);
+        // chair: 2014 → 15, 2015 → 31 (20 US + 11 UK)
+        let chair = dense.group(&[Value::str("chair")]).unwrap();
+        assert_eq!(chair.xs, vec![Value::Int(2014), Value::Int(2015)]);
+        assert_eq!(chair.ys[0], vec![15.0, 31.0]);
+        let desk = dense.group(&[Value::str("desk")]).unwrap();
+        assert_eq!(desk.xs, vec![Value::Int(2014), Value::Int(2015)]);
+        assert_eq!(desk.ys[0], vec![7.0, 9.0]);
+    }
+
+    #[test]
+    fn groups_sorted_by_key_then_x() {
+        let q = SelectQuery::new(XSpec::raw("year"), vec![YSpec::sum("sales")])
+            .with_z("location")
+            .with_z("product");
+        let rt = run(&q, GroupStrategy::Dense);
+        let keys: Vec<Vec<Value>> = rt.groups.iter().map(|g| g.key.clone()).collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
+        assert_eq!(rt.groups.len(), 4); // (UK,chair) (UK,desk) (US,chair) (US,desk)
+    }
+
+    #[test]
+    fn multiple_aggregates_in_one_pass() {
+        let q = SelectQuery::new(
+            XSpec::raw("year"),
+            vec![
+                YSpec::sum("sales"),
+                YSpec::avg("sales"),
+                YSpec::new("sales", Agg::Min),
+                YSpec::new("sales", Agg::Max),
+                YSpec::new("*", Agg::Count),
+            ],
+        );
+        let rt = run(&q, GroupStrategy::Hash);
+        assert_eq!(rt.groups.len(), 1);
+        let g = &rt.groups[0];
+        assert_eq!(g.xs, vec![Value::Int(2014), Value::Int(2015)]);
+        assert_eq!(g.ys[0], vec![22.0, 40.0]); // sums
+        assert_eq!(g.ys[1], vec![22.0 / 3.0, 40.0 / 3.0]); // avgs
+        assert_eq!(g.ys[2], vec![5.0, 9.0]); // mins
+        assert_eq!(g.ys[3], vec![10.0, 20.0]); // maxs
+        assert_eq!(g.ys[4], vec![3.0, 3.0]); // counts
+    }
+
+    #[test]
+    fn filtered_source_applies_predicate() {
+        let t = sales_table();
+        let q = SelectQuery::new(XSpec::raw("year"), vec![YSpec::sum("sales")]);
+        let pred = compile_pred(&t, &Predicate::cat_eq("location", "UK")).unwrap();
+        let src = RowSource::Filtered { n_rows: t.num_rows(), pred };
+        let (rt, scanned) = aggregate(&t, &q, &src, GroupStrategy::Dense).unwrap();
+        assert_eq!(scanned, 6);
+        assert_eq!(rt.groups[0].xs, vec![Value::Int(2015)]);
+        assert_eq!(rt.groups[0].ys[0], vec![20.0]);
+    }
+
+    #[test]
+    fn bitmap_source_visits_only_selected() {
+        let t = sales_table();
+        let q = SelectQuery::new(XSpec::raw("year"), vec![YSpec::sum("sales")]);
+        let bm: RoaringBitmap = [4u32, 5].into_iter().collect(); // the UK rows
+        let src = RowSource::Bitmap(bm);
+        let (rt, scanned) = aggregate(&t, &q, &src, GroupStrategy::Hash).unwrap();
+        assert_eq!(scanned, 2);
+        assert_eq!(rt.groups[0].ys[0], vec![20.0]);
+    }
+
+    #[test]
+    fn binned_x_axis() {
+        let schema = Schema::new(vec![
+            Field::new("weight", DataType::Float),
+            Field::new("sales", DataType::Float),
+        ]);
+        let mut b = TableBuilder::new(schema);
+        for (w, s) in [(5.0, 1.0), (15.0, 2.0), (25.0, 3.0), (26.0, 4.0), (45.0, 5.0)] {
+            b.push_row(vec![Value::Float(w), Value::Float(s)]).unwrap();
+        }
+        let t = b.finish();
+        // Table 3.10: bar.(x=bin(20), y=agg('sum'))
+        let q = SelectQuery::new(XSpec::binned("weight", 20.0), vec![YSpec::sum("sales")]);
+        let src = RowSource::All(t.num_rows());
+        let (rt, _) = aggregate(&t, &q, &src, GroupStrategy::Dense).unwrap();
+        let g = &rt.groups[0];
+        assert_eq!(g.xs, vec![Value::Float(0.0), Value::Float(20.0), Value::Float(40.0)]);
+        assert_eq!(g.ys[0], vec![3.0, 7.0, 5.0]);
+    }
+
+    #[test]
+    fn compiled_pred_matches_reference_eval() {
+        let t = sales_table();
+        let preds = [
+            Predicate::cat_eq("product", "chair"),
+            Predicate::cat_eq("product", "ghost"),
+            Predicate::And(vec![
+                Atom::CatNeq { col: "product".into(), value: "chair".into() },
+                Atom::NumCmp { col: "year".into(), op: CmpOp::Ge, value: 2015.0 },
+            ]),
+            Predicate::Or(vec![
+                vec![Atom::CatEq { col: "location".into(), value: "UK".into() }],
+                vec![Atom::NumBetween { col: "sales".into(), lo: 0.0, hi: 6.0 }],
+            ]),
+            Predicate::atom(Atom::CatIn {
+                col: "product".into(),
+                values: vec!["desk".into(), "ghost".into()],
+            }),
+            Predicate::atom(Atom::StrPrefix { col: "location".into(), prefix: "U".into() }),
+        ];
+        for p in &preds {
+            let compiled = compile_pred(&t, p).unwrap();
+            for row in 0..t.num_rows() {
+                assert_eq!(
+                    compiled.eval(row),
+                    p.eval_row(&t, row).unwrap(),
+                    "mismatch for {p} at row {row}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn group_space_calculation() {
+        let t = sales_table();
+        let q = SelectQuery::new(XSpec::raw("year"), vec![YSpec::sum("sales")]).with_z("product");
+        // 2 products × 2 years
+        assert_eq!(group_space(&t, &q).unwrap(), 4);
+        assert_eq!(choose_strategy(4, 1024), GroupStrategy::Dense);
+        assert_eq!(choose_strategy(4000, 1024), GroupStrategy::Hash);
+    }
+
+    #[test]
+    fn empty_selection_yields_empty_result() {
+        let t = sales_table();
+        let q = SelectQuery::new(XSpec::raw("year"), vec![YSpec::sum("sales")]);
+        let src = RowSource::Bitmap(RoaringBitmap::new());
+        let (rt, scanned) = aggregate(&t, &q, &src, GroupStrategy::Dense).unwrap();
+        assert!(rt.is_empty());
+        assert_eq!(scanned, 0);
+    }
+}

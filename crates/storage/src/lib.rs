@@ -1,0 +1,153 @@
+//! # zv-storage
+//!
+//! The storage and query-execution substrate of the zenvisage
+//! reproduction: an in-memory columnar store with from-scratch Roaring
+//! bitmap indexes ([`BitmapDb`]) and a conventional scan-based comparator
+//! ([`ScanDb`]), both serving the canonical grouped-aggregate query shape
+//! that every ZQL visualization compiles to (thesis §5.1):
+//!
+//! ```sql
+//! SELECT X, F(Y) [, Z] WHERE ... GROUP BY Z, X ORDER BY Z, X
+//! ```
+//!
+//! ## Quick example
+//!
+//! ```
+//! use zv_storage::{
+//!     BitmapDb, Database, DataType, Field, Predicate, Schema, SelectQuery,
+//!     TableBuilder, Value, XSpec, YSpec,
+//! };
+//!
+//! let schema = Schema::new(vec![
+//!     Field::new("year", DataType::Int),
+//!     Field::new("product", DataType::Cat),
+//!     Field::new("sales", DataType::Float),
+//! ]);
+//! let mut b = TableBuilder::new(schema);
+//! b.push_row(vec![Value::Int(2015), Value::str("chair"), Value::Float(3.0)]).unwrap();
+//! b.push_row(vec![Value::Int(2016), Value::str("chair"), Value::Float(5.0)]).unwrap();
+//! let db = BitmapDb::new(b.finish_shared());
+//!
+//! let q = SelectQuery::new(XSpec::raw("year"), vec![YSpec::sum("sales")])
+//!     .with_predicate(Predicate::cat_eq("product", "chair"));
+//! let result = db.execute(&q).unwrap();
+//! assert_eq!(result.groups[0].ys[0], vec![3.0, 5.0]);
+//! ```
+
+pub mod bitmap_db;
+pub mod column;
+pub mod db;
+pub mod exec;
+pub mod predicate;
+pub mod query;
+pub mod roaring;
+pub mod scan_db;
+pub mod stats;
+pub mod table;
+pub mod value;
+
+pub use bitmap_db::{BitmapDb, BitmapDbConfig};
+pub use column::{CatColumn, Column};
+pub use db::{Database, DynDatabase};
+pub use predicate::{Atom, CmpOp, Predicate};
+pub use query::{Agg, GroupSeries, ResultTable, SelectQuery, XSpec, YSpec};
+pub use roaring::RoaringBitmap;
+pub use scan_db::{ScanDb, ScanDbConfig};
+pub use stats::{ExecStats, StatsSnapshot};
+pub use table::{Field, Schema, StorageError, Table, TableBuilder};
+pub use value::{DataType, Value};
+
+#[cfg(test)]
+mod engine_equivalence {
+    //! Both engines must produce identical results for any query — the
+    //! load-bearing invariant behind Figure 7.5's apples-to-apples
+    //! comparison.
+
+    use super::*;
+    use proptest::prelude::*;
+    use std::sync::Arc;
+
+    fn build_table(rows: &[(i64, u8, u8, f64)]) -> Arc<Table> {
+        let schema = Schema::new(vec![
+            Field::new("year", DataType::Int),
+            Field::new("product", DataType::Cat),
+            Field::new("location", DataType::Cat),
+            Field::new("sales", DataType::Float),
+        ]);
+        let mut b = TableBuilder::new(schema);
+        for &(y, p, l, s) in rows {
+            b.push_row(vec![
+                Value::Int(y),
+                Value::str(format!("p{p}")),
+                Value::str(format!("loc{l}")),
+                Value::Float(s),
+            ])
+            .unwrap();
+        }
+        b.finish_shared()
+    }
+
+    fn arb_rows() -> impl Strategy<Value = Vec<(i64, u8, u8, f64)>> {
+        prop::collection::vec((2010i64..2020, 0u8..6, 0u8..3, -100.0f64..100.0), 1..200)
+    }
+
+    fn arb_pred() -> impl Strategy<Value = Predicate> {
+        prop_oneof![
+            Just(Predicate::True),
+            (0u8..8).prop_map(|p| Predicate::cat_eq("product", format!("p{p}"))),
+            (2008i64..2022).prop_map(|y| Predicate::num_eq("year", y as f64)),
+            ((0u8..8), (0u8..4)).prop_map(|(p, l)| {
+                Predicate::cat_eq("product", format!("p{p}"))
+                    .and(Predicate::cat_eq("location", format!("loc{l}")))
+            }),
+            ((0u8..8), (0u8..8)).prop_map(|(a, b)| {
+                Predicate::Or(vec![
+                    vec![Atom::CatEq { col: "product".into(), value: format!("p{a}") }],
+                    vec![Atom::CatEq { col: "product".into(), value: format!("p{b}") }],
+                ])
+            }),
+            (-50.0f64..50.0).prop_map(|t| {
+                Predicate::atom(Atom::NumCmp { col: "sales".into(), op: CmpOp::Gt, value: t })
+            }),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn bitmap_and_scan_agree(rows in arb_rows(), pred in arb_pred(), with_z in any::<bool>()) {
+            let table = build_table(&rows);
+            let bdb = BitmapDb::new(table.clone());
+            let sdb = ScanDb::new(table.clone());
+            let mut q = SelectQuery::new(
+                XSpec::raw("year"),
+                vec![YSpec::sum("sales"), YSpec::avg("sales")],
+            )
+            .with_predicate(pred);
+            if with_z {
+                q = q.with_z("product");
+            }
+            let a = bdb.execute(&q).unwrap();
+            let b = sdb.execute(&q).unwrap();
+            prop_assert_eq!(a, b);
+        }
+
+        #[test]
+        fn hash_and_dense_strategies_agree(rows in arb_rows()) {
+            let table = build_table(&rows);
+            // Force the bitmap engine into each strategy via config.
+            let dense = BitmapDb::with_config(
+                table.clone(),
+                BitmapDbConfig { dense_group_limit: u128::MAX, ..Default::default() },
+            );
+            let hash = BitmapDb::with_config(
+                table.clone(),
+                BitmapDbConfig { dense_group_limit: 0, ..Default::default() },
+            );
+            let q = SelectQuery::new(XSpec::raw("year"), vec![YSpec::sum("sales")])
+                .with_z("product")
+                .with_z("location");
+            prop_assert_eq!(dense.execute(&q).unwrap(), hash.execute(&q).unwrap());
+        }
+    }
+}

@@ -1,0 +1,422 @@
+//! Selection predicates: the WHERE clause of the canonical query shape
+//! (thesis §5.1). A predicate is a conjunction of atoms; that mirrors the
+//! Constraints column, which is "added conjunctively to the WHERE clause"
+//! (§3.4). Disjunction is available through [`Predicate::Or`] because the
+//! Constraints column admits roughly "the set of possible expressions for
+//! the WHERE clause in SQL".
+
+use crate::table::{StorageError, Table};
+use crate::value::{DataType, Value};
+use std::fmt;
+
+/// Comparison operators for numeric atoms.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CmpOp {
+    Eq,
+    Neq,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl CmpOp {
+    #[inline]
+    pub fn eval_f64(self, lhs: f64, rhs: f64) -> bool {
+        match self {
+            CmpOp::Eq => lhs == rhs,
+            CmpOp::Neq => lhs != rhs,
+            CmpOp::Lt => lhs < rhs,
+            CmpOp::Le => lhs <= rhs,
+            CmpOp::Gt => lhs > rhs,
+            CmpOp::Ge => lhs >= rhs,
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "=",
+            CmpOp::Neq => "<>",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// One atomic condition.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Atom {
+    /// `col = 'value'` on a categorical column (bitmap-indexable).
+    CatEq { col: String, value: String },
+    /// `col <> 'value'` on a categorical column.
+    CatNeq { col: String, value: String },
+    /// `col IN ('a','b',...)` on a categorical column (bitmap-indexable).
+    CatIn { col: String, values: Vec<String> },
+    /// Numeric comparison on an int or float column.
+    NumCmp { col: String, op: CmpOp, value: f64 },
+    /// `col BETWEEN lo AND hi` (inclusive) on a numeric column.
+    NumBetween { col: String, lo: f64, hi: f64 },
+    /// `col LIKE 'prefix%'` on a categorical column — covers the zip-code
+    /// query of Table 3.9.
+    StrPrefix { col: String, prefix: String },
+}
+
+impl Atom {
+    pub fn column(&self) -> &str {
+        match self {
+            Atom::CatEq { col, .. }
+            | Atom::CatNeq { col, .. }
+            | Atom::CatIn { col, .. }
+            | Atom::NumCmp { col, .. }
+            | Atom::NumBetween { col, .. }
+            | Atom::StrPrefix { col, .. } => col,
+        }
+    }
+
+    /// Checks the atom against row `row` of `table`. The column is looked
+    /// up once per scan by the callers; this method is the slow reference
+    /// path used by [`Predicate::eval_row`] and tests.
+    pub fn eval_row(&self, table: &Table, row: usize) -> Result<bool, StorageError> {
+        let col = table.column(self.column())?;
+        Ok(match self {
+            Atom::CatEq { value, .. } => {
+                let c = col.as_cat().ok_or_else(|| type_err(self))?;
+                match c.code_of(value) {
+                    Some(code) => c.codes()[row] == code,
+                    None => false,
+                }
+            }
+            Atom::CatNeq { value, .. } => {
+                let c = col.as_cat().ok_or_else(|| type_err(self))?;
+                match c.code_of(value) {
+                    Some(code) => c.codes()[row] != code,
+                    None => true,
+                }
+            }
+            Atom::CatIn { values, .. } => {
+                let c = col.as_cat().ok_or_else(|| type_err(self))?;
+                let code = c.codes()[row];
+                values.iter().any(|v| c.code_of(v) == Some(code))
+            }
+            Atom::NumCmp { op, value, .. } => {
+                let x = col.get_f64(row).ok_or_else(|| type_err(self))?;
+                op.eval_f64(x, *value)
+            }
+            Atom::NumBetween { lo, hi, .. } => {
+                let x = col.get_f64(row).ok_or_else(|| type_err(self))?;
+                x >= *lo && x <= *hi
+            }
+            Atom::StrPrefix { prefix, .. } => {
+                let c = col.as_cat().ok_or_else(|| type_err(self))?;
+                c.decode(c.codes()[row]).starts_with(prefix.as_str())
+            }
+        })
+    }
+
+    /// Validate that the referenced column exists with a compatible type.
+    pub fn validate(&self, table: &Table) -> Result<(), StorageError> {
+        let col = table.column(self.column())?;
+        let ok = match self {
+            Atom::CatEq { .. } | Atom::CatNeq { .. } | Atom::CatIn { .. } | Atom::StrPrefix { .. } => {
+                col.dtype() == DataType::Cat
+            }
+            Atom::NumCmp { .. } | Atom::NumBetween { .. } => col.dtype() != DataType::Cat,
+        };
+        if ok {
+            Ok(())
+        } else {
+            Err(type_err(self))
+        }
+    }
+}
+
+fn type_err(atom: &Atom) -> StorageError {
+    StorageError::TypeMismatch(format!("atom {atom:?} applied to incompatible column"))
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Atom::CatEq { col, value } => write!(f, "{col}='{value}'"),
+            Atom::CatNeq { col, value } => write!(f, "{col}<>'{value}'"),
+            Atom::CatIn { col, values } => {
+                write!(f, "{col} IN (")?;
+                for (i, v) in values.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "'{v}'")?;
+                }
+                write!(f, ")")
+            }
+            Atom::NumCmp { col, op, value } => write!(f, "{col}{op}{value}"),
+            Atom::NumBetween { col, lo, hi } => write!(f, "{col} BETWEEN {lo} AND {hi}"),
+            Atom::StrPrefix { col, prefix } => write!(f, "{col} LIKE '{prefix}%'"),
+        }
+    }
+}
+
+/// A boolean filter over table rows.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub enum Predicate {
+    /// Matches every row (blank Constraints column).
+    #[default]
+    True,
+    /// Conjunction of atoms.
+    And(Vec<Atom>),
+    /// Disjunction of conjunctions (DNF).
+    Or(Vec<Vec<Atom>>),
+}
+
+impl Predicate {
+    pub fn atom(a: Atom) -> Self {
+        Predicate::And(vec![a])
+    }
+
+    pub fn cat_eq(col: impl Into<String>, value: impl Into<String>) -> Self {
+        Predicate::atom(Atom::CatEq { col: col.into(), value: value.into() })
+    }
+
+    pub fn cat_in(col: impl Into<String>, values: Vec<String>) -> Self {
+        Predicate::atom(Atom::CatIn { col: col.into(), values })
+    }
+
+    pub fn num_eq(col: impl Into<String>, value: f64) -> Self {
+        Predicate::atom(Atom::NumCmp { col: col.into(), op: CmpOp::Eq, value })
+    }
+
+    pub fn is_true(&self) -> bool {
+        match self {
+            Predicate::True => true,
+            Predicate::And(atoms) => atoms.is_empty(),
+            Predicate::Or(disj) => disj.iter().any(|c| c.is_empty()),
+        }
+    }
+
+    /// Conjoin another predicate onto this one (used when the executor
+    /// merges the Z-slice condition with the Constraints column).
+    pub fn and(self, other: Predicate) -> Predicate {
+        match (self, other) {
+            (Predicate::True, p) | (p, Predicate::True) => p,
+            (Predicate::And(mut a), Predicate::And(b)) => {
+                a.extend(b);
+                Predicate::And(a)
+            }
+            (Predicate::And(a), Predicate::Or(d)) | (Predicate::Or(d), Predicate::And(a)) => {
+                Predicate::Or(
+                    d.into_iter()
+                        .map(|mut c| {
+                            c.extend(a.iter().cloned());
+                            c
+                        })
+                        .collect(),
+                )
+            }
+            (Predicate::Or(d1), Predicate::Or(d2)) => {
+                let mut out = Vec::with_capacity(d1.len() * d2.len());
+                for c1 in &d1 {
+                    for c2 in &d2 {
+                        let mut c = c1.clone();
+                        c.extend(c2.iter().cloned());
+                        out.push(c);
+                    }
+                }
+                Predicate::Or(out)
+            }
+        }
+    }
+
+    pub fn eval_row(&self, table: &Table, row: usize) -> Result<bool, StorageError> {
+        match self {
+            Predicate::True => Ok(true),
+            Predicate::And(atoms) => {
+                for a in atoms {
+                    if !a.eval_row(table, row)? {
+                        return Ok(false);
+                    }
+                }
+                Ok(true)
+            }
+            Predicate::Or(disj) => {
+                for conj in disj {
+                    let mut all = true;
+                    for a in conj {
+                        if !a.eval_row(table, row)? {
+                            all = false;
+                            break;
+                        }
+                    }
+                    if all {
+                        return Ok(true);
+                    }
+                }
+                Ok(false)
+            }
+        }
+    }
+
+    pub fn validate(&self, table: &Table) -> Result<(), StorageError> {
+        match self {
+            Predicate::True => Ok(()),
+            Predicate::And(atoms) => atoms.iter().try_for_each(|a| a.validate(table)),
+            Predicate::Or(d) => d.iter().flatten().try_for_each(|a| a.validate(table)),
+        }
+    }
+
+    /// Equality value this predicate pins `col` to, if any — used by the
+    /// intra-line optimizer to recognise batchable queries.
+    pub fn pinned_value(&self, col: &str) -> Option<Value> {
+        if let Predicate::And(atoms) = self {
+            for a in atoms {
+                match a {
+                    Atom::CatEq { col: c, value } if c == col => {
+                        return Some(Value::str(value.clone()))
+                    }
+                    Atom::NumCmp { col: c, op: CmpOp::Eq, value } if c == col => {
+                        return Some(Value::Float(*value))
+                    }
+                    _ => {}
+                }
+            }
+        }
+        None
+    }
+}
+
+impl fmt::Display for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Predicate::True => write!(f, "true"),
+            Predicate::And(atoms) => {
+                let parts: Vec<String> = atoms.iter().map(|a| a.to_string()).collect();
+                write!(f, "{}", parts.join(" AND "))
+            }
+            Predicate::Or(d) => {
+                let parts: Vec<String> = d
+                    .iter()
+                    .map(|c| {
+                        let inner: Vec<String> = c.iter().map(|a| a.to_string()).collect();
+                        format!("({})", inner.join(" AND "))
+                    })
+                    .collect();
+                write!(f, "{}", parts.join(" OR "))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::{Field, Schema, TableBuilder};
+
+    fn t() -> Table {
+        let schema = Schema::new(vec![
+            Field::new("year", DataType::Int),
+            Field::new("product", DataType::Cat),
+            Field::new("zip", DataType::Cat),
+            Field::new("sales", DataType::Float),
+        ]);
+        let mut b = TableBuilder::new(schema);
+        for (y, p, z, s) in [
+            (2014i64, "chair", "02134", 5.0f64),
+            (2015, "desk", "90210", 7.0),
+            (2016, "chair", "02999", 9.0),
+        ] {
+            b.push_row(vec![Value::Int(y), Value::str(p), Value::str(z), Value::Float(s)]).unwrap();
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn cat_atoms() {
+        let t = t();
+        let eq = Atom::CatEq { col: "product".into(), value: "chair".into() };
+        assert!(eq.eval_row(&t, 0).unwrap());
+        assert!(!eq.eval_row(&t, 1).unwrap());
+        let neq = Atom::CatNeq { col: "product".into(), value: "chair".into() };
+        assert!(!neq.eval_row(&t, 0).unwrap());
+        assert!(neq.eval_row(&t, 1).unwrap());
+        // value absent from dictionary
+        let ghost = Atom::CatEq { col: "product".into(), value: "sofa".into() };
+        assert!(!ghost.eval_row(&t, 0).unwrap());
+        let ghost_neq = Atom::CatNeq { col: "product".into(), value: "sofa".into() };
+        assert!(ghost_neq.eval_row(&t, 0).unwrap());
+    }
+
+    #[test]
+    fn numeric_atoms() {
+        let t = t();
+        let cmp = Atom::NumCmp { col: "year".into(), op: CmpOp::Ge, value: 2015.0 };
+        assert!(!cmp.eval_row(&t, 0).unwrap());
+        assert!(cmp.eval_row(&t, 1).unwrap());
+        let between = Atom::NumBetween { col: "sales".into(), lo: 6.0, hi: 8.0 };
+        assert!(!between.eval_row(&t, 0).unwrap());
+        assert!(between.eval_row(&t, 1).unwrap());
+    }
+
+    #[test]
+    fn prefix_atom_models_zip_like_query() {
+        // Table 3.9: zip LIKE '02...' — chairs sold in 02000..02999.
+        let t = t();
+        let p = Predicate::And(vec![
+            Atom::CatEq { col: "product".into(), value: "chair".into() },
+            Atom::StrPrefix { col: "zip".into(), prefix: "02".into() },
+        ]);
+        assert!(p.eval_row(&t, 0).unwrap());
+        assert!(!p.eval_row(&t, 1).unwrap());
+        assert!(p.eval_row(&t, 2).unwrap());
+    }
+
+    #[test]
+    fn conjunction_and_disjunction() {
+        let t = t();
+        let p = Predicate::cat_eq("product", "chair").and(Predicate::num_eq("year", 2016.0));
+        assert!(!p.eval_row(&t, 0).unwrap());
+        assert!(p.eval_row(&t, 2).unwrap());
+
+        let or = Predicate::Or(vec![
+            vec![Atom::CatEq { col: "product".into(), value: "desk".into() }],
+            vec![Atom::NumCmp { col: "year".into(), op: CmpOp::Eq, value: 2014.0 }],
+        ]);
+        assert!(or.eval_row(&t, 0).unwrap());
+        assert!(or.eval_row(&t, 1).unwrap());
+        assert!(!or.eval_row(&t, 2).unwrap());
+    }
+
+    #[test]
+    fn and_distributes_over_or() {
+        let t = t();
+        let or = Predicate::Or(vec![
+            vec![Atom::CatEq { col: "product".into(), value: "desk".into() }],
+            vec![Atom::CatEq { col: "product".into(), value: "chair".into() }],
+        ]);
+        let combined = or.and(Predicate::num_eq("year", 2015.0));
+        assert!(!combined.eval_row(&t, 0).unwrap());
+        assert!(combined.eval_row(&t, 1).unwrap());
+        assert!(!combined.eval_row(&t, 2).unwrap());
+    }
+
+    #[test]
+    fn validation_catches_type_and_name_errors() {
+        let t = t();
+        assert!(Predicate::cat_eq("product", "chair").validate(&t).is_ok());
+        assert!(Predicate::cat_eq("sales", "chair").validate(&t).is_err());
+        assert!(Predicate::num_eq("product", 1.0).validate(&t).is_err());
+        assert!(Predicate::cat_eq("ghost", "x").validate(&t).is_err());
+    }
+
+    #[test]
+    fn pinned_value_detection() {
+        let p = Predicate::cat_eq("location", "US").and(Predicate::num_eq("year", 2015.0));
+        assert_eq!(p.pinned_value("location"), Some(Value::str("US")));
+        assert_eq!(p.pinned_value("year"), Some(Value::Float(2015.0)));
+        assert_eq!(p.pinned_value("product"), None);
+        assert_eq!(Predicate::True.pinned_value("x"), None);
+    }
+}

@@ -1,0 +1,240 @@
+//! The canonical query shape every compiled ZQL visualization reduces to
+//! (thesis §5.1):
+//!
+//! ```sql
+//! SELECT X, F(Y), ... [, Z, ...]
+//! WHERE  <constraints>
+//! GROUP BY Z..., X
+//! ORDER BY Z..., X
+//! ```
+//!
+//! and its grouped result representation.
+
+use crate::predicate::Predicate;
+use crate::value::Value;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Aggregation function applied to a Y measure (the `y=agg('sum')`
+/// summarization of the Viz column).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Agg {
+    Sum,
+    Avg,
+    Count,
+    Min,
+    Max,
+}
+
+impl Agg {
+    pub fn parse(name: &str) -> Option<Agg> {
+        match name.to_ascii_lowercase().as_str() {
+            "sum" => Some(Agg::Sum),
+            "avg" | "mean" => Some(Agg::Avg),
+            "count" => Some(Agg::Count),
+            "min" => Some(Agg::Min),
+            "max" => Some(Agg::Max),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Agg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Agg::Sum => "SUM",
+            Agg::Avg => "AVG",
+            Agg::Count => "COUNT",
+            Agg::Min => "MIN",
+            Agg::Max => "MAX",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// The X axis: a column, optionally binned (`x=bin(20)` in the Viz column).
+#[derive(Clone, Debug, PartialEq)]
+pub struct XSpec {
+    pub col: String,
+    /// Bin width for numeric X axes; `None` groups on raw values.
+    pub bin: Option<f64>,
+}
+
+impl XSpec {
+    pub fn raw(col: impl Into<String>) -> Self {
+        XSpec { col: col.into(), bin: None }
+    }
+
+    pub fn binned(col: impl Into<String>, width: f64) -> Self {
+        XSpec { col: col.into(), bin: Some(width) }
+    }
+}
+
+/// One aggregated Y measure.
+#[derive(Clone, Debug, PartialEq)]
+pub struct YSpec {
+    pub col: String,
+    pub agg: Agg,
+}
+
+impl YSpec {
+    pub fn new(col: impl Into<String>, agg: Agg) -> Self {
+        YSpec { col: col.into(), agg }
+    }
+
+    pub fn sum(col: impl Into<String>) -> Self {
+        Self::new(col, Agg::Sum)
+    }
+
+    pub fn avg(col: impl Into<String>) -> Self {
+        Self::new(col, Agg::Avg)
+    }
+}
+
+/// A grouped-aggregate query against a single table.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SelectQuery {
+    pub x: XSpec,
+    pub ys: Vec<YSpec>,
+    /// Slicing attributes; their values are part of the output, one
+    /// result series per distinct combination (§3.3: "the values for the
+    /// Z columns are returned as part of the output").
+    pub zs: Vec<String>,
+    pub predicate: Predicate,
+}
+
+impl SelectQuery {
+    pub fn new(x: XSpec, ys: Vec<YSpec>) -> Self {
+        SelectQuery { x, ys, zs: Vec::new(), predicate: Predicate::True }
+    }
+
+    pub fn with_z(mut self, z: impl Into<String>) -> Self {
+        self.zs.push(z.into());
+        self
+    }
+
+    pub fn with_predicate(mut self, p: Predicate) -> Self {
+        self.predicate = p;
+        self
+    }
+
+    /// Render as the SQL the paper's compiler would emit (for logs/tests).
+    pub fn to_sql(&self) -> String {
+        let mut sel: Vec<String> = vec![self.x.col.clone()];
+        for y in &self.ys {
+            sel.push(format!("{}({})", y.agg, y.col));
+        }
+        sel.extend(self.zs.iter().cloned());
+        let mut group: Vec<String> = self.zs.clone();
+        group.push(self.x.col.clone());
+        let mut sql = format!("SELECT {}", sel.join(", "));
+        if !self.predicate.is_true() {
+            sql.push_str(&format!(" WHERE {}", self.predicate));
+        }
+        sql.push_str(&format!(" GROUP BY {g} ORDER BY {g}", g = group.join(", ")));
+        sql
+    }
+}
+
+/// The aggregated series for one Z-combination.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GroupSeries {
+    /// One value per Z column of the query (empty when no Z was given).
+    pub key: Vec<Value>,
+    /// X values in ascending order. For binned X axes these are the bin
+    /// lower bounds.
+    pub xs: Vec<Value>,
+    /// One vector per [`YSpec`], aligned with `xs`.
+    pub ys: Vec<Vec<f64>>,
+}
+
+impl GroupSeries {
+    /// The `(x, y)` pairs of measure `measure_idx` as f64, skipping
+    /// non-numeric X values.
+    pub fn points(&self, measure_idx: usize) -> Vec<(f64, f64)> {
+        self.xs
+            .iter()
+            .zip(&self.ys[measure_idx])
+            .filter_map(|(x, &y)| x.as_f64().map(|xf| (xf, y)))
+            .collect()
+    }
+}
+
+/// Result of a [`SelectQuery`]: groups ordered by `(key, x)`.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ResultTable {
+    pub z_cols: Vec<String>,
+    pub groups: Vec<GroupSeries>,
+}
+
+impl ResultTable {
+    pub fn is_empty(&self) -> bool {
+        self.groups.is_empty()
+    }
+
+    /// Look up the series for a Z-key. Builds an index lazily per call —
+    /// callers doing bulk extraction should use [`ResultTable::index`].
+    pub fn group(&self, key: &[Value]) -> Option<&GroupSeries> {
+        self.groups.iter().find(|g| g.key == key)
+    }
+
+    /// A key → position index for the extraction phase (§5.2: "the
+    /// compiled code must now have an extra phase to extract the data for
+    /// different visualizations from the combined results").
+    pub fn index(&self) -> HashMap<&[Value], usize> {
+        self.groups.iter().enumerate().map(|(i, g)| (g.key.as_slice(), i)).collect()
+    }
+
+    /// Total number of `(group, x)` cells — the paper's "number of groups"
+    /// metric for Figure 7.4.
+    pub fn cell_count(&self) -> usize {
+        self.groups.iter().map(|g| g.xs.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sql_rendering_matches_section_5_shape() {
+        let q = SelectQuery::new(XSpec::raw("year"), vec![YSpec::sum("sales")])
+            .with_z("product")
+            .with_predicate(Predicate::cat_eq("location", "US"));
+        assert_eq!(
+            q.to_sql(),
+            "SELECT year, SUM(sales), product WHERE location='US' \
+             GROUP BY product, year ORDER BY product, year"
+        );
+    }
+
+    #[test]
+    fn sql_rendering_without_predicate_or_z() {
+        let q = SelectQuery::new(XSpec::raw("year"), vec![YSpec::avg("profit")]);
+        assert_eq!(q.to_sql(), "SELECT year, AVG(profit) GROUP BY year ORDER BY year");
+    }
+
+    #[test]
+    fn agg_parsing() {
+        assert_eq!(Agg::parse("sum"), Some(Agg::Sum));
+        assert_eq!(Agg::parse("AVG"), Some(Agg::Avg));
+        assert_eq!(Agg::parse("bogus"), None);
+    }
+
+    #[test]
+    fn group_lookup_and_points() {
+        let rt = ResultTable {
+            z_cols: vec!["product".into()],
+            groups: vec![GroupSeries {
+                key: vec![Value::str("chair")],
+                xs: vec![Value::Int(2014), Value::Int(2015)],
+                ys: vec![vec![1.0, 2.0]],
+            }],
+        };
+        let g = rt.group(&[Value::str("chair")]).unwrap();
+        assert_eq!(g.points(0), vec![(2014.0, 1.0), (2015.0, 2.0)]);
+        assert!(rt.group(&[Value::str("desk")]).is_none());
+        assert_eq!(rt.cell_count(), 2);
+        assert_eq!(rt.index().len(), 1);
+    }
+}

@@ -1,0 +1,130 @@
+//! The conventional comparator engine: full scans with compiled per-row
+//! predicates and dense-array aggregation. This stands in for the paper's
+//! PostgreSQL backend (see DESIGN.md, substitution 1): it has no bitmap
+//! indexes, so it must visit every row, but its aggregation path is
+//! cardinality-aware (dense group arrays up to a large limit), which is
+//! what lets it overtake the bitmap engine at 100% selectivity with many
+//! groups (Figure 7.5a).
+
+use crate::db::Database;
+use crate::exec::{self, compile_pred, RowSource};
+use crate::query::{ResultTable, SelectQuery};
+use crate::stats::ExecStats;
+use crate::table::{StorageError, Table};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for [`ScanDb`].
+#[derive(Clone, Debug)]
+pub struct ScanDbConfig {
+    /// Group-key spaces up to this size use dense accumulation.
+    pub dense_group_limit: u128,
+    /// Simulated round-trip latency per request.
+    pub request_overhead: Duration,
+}
+
+impl Default for ScanDbConfig {
+    fn default() -> Self {
+        ScanDbConfig { dense_group_limit: 1 << 24, request_overhead: Duration::ZERO }
+    }
+}
+
+/// Scan-based reference engine.
+pub struct ScanDb {
+    table: Arc<Table>,
+    config: ScanDbConfig,
+    stats: ExecStats,
+}
+
+impl ScanDb {
+    pub fn new(table: Arc<Table>) -> Self {
+        Self::with_config(table, ScanDbConfig::default())
+    }
+
+    pub fn with_config(table: Arc<Table>, config: ScanDbConfig) -> Self {
+        ScanDb { table, config, stats: ExecStats::new() }
+    }
+
+    pub fn config(&self) -> &ScanDbConfig {
+        &self.config
+    }
+}
+
+impl Database for ScanDb {
+    fn name(&self) -> &'static str {
+        "scan-db"
+    }
+
+    fn table(&self) -> &Arc<Table> {
+        &self.table
+    }
+
+    fn execute(&self, query: &SelectQuery) -> Result<ResultTable, StorageError> {
+        let start = Instant::now();
+        let source = if query.predicate.is_true() {
+            RowSource::All(self.table.num_rows())
+        } else {
+            let pred = compile_pred(&self.table, &query.predicate)?;
+            RowSource::Filtered { n_rows: self.table.num_rows(), pred }
+        };
+        let groups = exec::group_space(&self.table, query)?;
+        let strategy = exec::choose_strategy(groups, self.config.dense_group_limit);
+        let (result, scanned) = exec::aggregate(&self.table, query, &source, strategy)?;
+        self.stats.record_query(scanned, start.elapsed());
+        Ok(result)
+    }
+
+    fn stats(&self) -> &ExecStats {
+        &self.stats
+    }
+
+    fn request_overhead(&self) -> Duration {
+        self.config.request_overhead
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::Predicate;
+    use crate::query::{XSpec, YSpec};
+    use crate::table::{Field, Schema, TableBuilder};
+    use crate::value::{DataType, Value};
+
+    fn db() -> ScanDb {
+        let schema = Schema::new(vec![
+            Field::new("year", DataType::Int),
+            Field::new("product", DataType::Cat),
+            Field::new("sales", DataType::Float),
+        ]);
+        let mut b = TableBuilder::new(schema);
+        for (y, p, s) in
+            [(2014, "chair", 10.0), (2015, "chair", 20.0), (2014, "desk", 7.0), (2015, "desk", 9.0)]
+        {
+            b.push_row(vec![Value::Int(y), Value::str(p), Value::Float(s)]).unwrap();
+        }
+        ScanDb::new(b.finish_shared())
+    }
+
+    #[test]
+    fn always_scans_all_rows() {
+        let db = db();
+        let q = SelectQuery::new(XSpec::raw("year"), vec![YSpec::sum("sales")])
+            .with_predicate(Predicate::cat_eq("product", "desk"));
+        let before = db.stats().snapshot();
+        let rt = db.execute(&q).unwrap();
+        let delta = db.stats().snapshot().since(&before);
+        assert_eq!(delta.rows_scanned, 4, "scan engine visits every row");
+        assert_eq!(rt.groups[0].ys[0], vec![7.0, 9.0]);
+    }
+
+    #[test]
+    fn grouped_output_matches_expectation() {
+        let db = db();
+        let q = SelectQuery::new(XSpec::raw("year"), vec![YSpec::sum("sales")]).with_z("product");
+        let rt = db.execute(&q).unwrap();
+        assert_eq!(rt.groups.len(), 2);
+        let chair = rt.group(&[Value::str("chair")]).unwrap();
+        assert_eq!(chair.ys[0], vec![10.0, 20.0]);
+    }
+}

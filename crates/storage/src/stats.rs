@@ -1,0 +1,104 @@
+//! Execution statistics. The paper's evaluation plots both wall-clock
+//! runtime and the *number of SQL requests* issued to the database
+//! (Figures 7.1 and 7.2); this module is how the engines report those.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Thread-safe counters owned by each database backend.
+#[derive(Debug, Default)]
+pub struct ExecStats {
+    /// Individual SQL queries executed (one per `execute` call).
+    queries: AtomicU64,
+    /// Batched round trips (one per `run_request` call). The external
+    /// optimizations of §5.2 reduce this number.
+    requests: AtomicU64,
+    /// Rows visited across all scans.
+    rows_scanned: AtomicU64,
+    /// Nanoseconds spent inside query execution.
+    exec_nanos: AtomicU64,
+}
+
+impl ExecStats {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn record_query(&self, rows_scanned: u64, elapsed: Duration) {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        self.rows_scanned.fetch_add(rows_scanned, Ordering::Relaxed);
+        self.exec_nanos.fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    pub fn record_request(&self) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            queries: self.queries.load(Ordering::Relaxed),
+            requests: self.requests.load(Ordering::Relaxed),
+            rows_scanned: self.rows_scanned.load(Ordering::Relaxed),
+            exec_time: Duration::from_nanos(self.exec_nanos.load(Ordering::Relaxed)),
+        }
+    }
+
+    pub fn reset(&self) {
+        self.queries.store(0, Ordering::Relaxed);
+        self.requests.store(0, Ordering::Relaxed);
+        self.rows_scanned.store(0, Ordering::Relaxed);
+        self.exec_nanos.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time copy of [`ExecStats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    pub queries: u64,
+    pub requests: u64,
+    pub rows_scanned: u64,
+    pub exec_time: Duration,
+}
+
+impl StatsSnapshot {
+    /// Difference against an earlier snapshot (per-experiment deltas).
+    pub fn since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            queries: self.queries - earlier.queries,
+            requests: self.requests - earlier.requests,
+            rows_scanned: self.rows_scanned - earlier.rows_scanned,
+            exec_time: self.exec_time.saturating_sub(earlier.exec_time),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_snapshot() {
+        let s = ExecStats::new();
+        s.record_query(100, Duration::from_millis(2));
+        s.record_query(50, Duration::from_millis(1));
+        s.record_request();
+        let snap = s.snapshot();
+        assert_eq!(snap.queries, 2);
+        assert_eq!(snap.requests, 1);
+        assert_eq!(snap.rows_scanned, 150);
+        assert_eq!(snap.exec_time, Duration::from_millis(3));
+    }
+
+    #[test]
+    fn reset_and_since() {
+        let s = ExecStats::new();
+        s.record_query(10, Duration::from_millis(1));
+        let first = s.snapshot();
+        s.record_query(20, Duration::from_millis(2));
+        let delta = s.snapshot().since(&first);
+        assert_eq!(delta.queries, 1);
+        assert_eq!(delta.rows_scanned, 20);
+        s.reset();
+        assert_eq!(s.snapshot(), StatsSnapshot::default());
+    }
+}

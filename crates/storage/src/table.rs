@@ -1,0 +1,344 @@
+//! Relations: schema + columns, with a builder and CSV import/export used
+//! by the examples.
+
+use crate::column::Column;
+use crate::value::{DataType, Value};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// One attribute of a relation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Field {
+    pub name: String,
+    pub dtype: DataType,
+}
+
+impl Field {
+    pub fn new(name: impl Into<String>, dtype: DataType) -> Self {
+        Field { name: name.into(), dtype }
+    }
+}
+
+/// Column names and types of a [`Table`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Schema {
+    fields: Vec<Field>,
+    by_name: HashMap<String, usize>,
+}
+
+impl Schema {
+    pub fn new(fields: Vec<Field>) -> Self {
+        let by_name = fields.iter().enumerate().map(|(i, f)| (f.name.clone(), i)).collect();
+        Schema { fields, by_name }
+    }
+
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.by_name.get(name).copied()
+    }
+
+    pub fn field(&self, name: &str) -> Option<&Field> {
+        self.index_of(name).map(|i| &self.fields[i])
+    }
+
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.fields.iter().map(|f| f.name.as_str())
+    }
+}
+
+/// Errors raised by the storage layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    UnknownColumn(String),
+    TypeMismatch(String),
+    Malformed(String),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::UnknownColumn(c) => write!(f, "unknown column: {c}"),
+            StorageError::TypeMismatch(m) => write!(f, "type mismatch: {m}"),
+            StorageError::Malformed(m) => write!(f, "malformed input: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+/// An immutable in-memory relation.
+#[derive(Clone, Debug)]
+pub struct Table {
+    schema: Schema,
+    columns: Vec<Column>,
+    rows: usize,
+}
+
+impl Table {
+    /// Assemble a table from pre-built columns (the fast generator path).
+    pub fn from_columns(schema: Schema, columns: Vec<Column>) -> Result<Table, StorageError> {
+        if schema.len() != columns.len() {
+            return Err(StorageError::Malformed(format!(
+                "{} fields but {} columns",
+                schema.len(),
+                columns.len()
+            )));
+        }
+        for (f, c) in schema.fields().iter().zip(&columns) {
+            if f.dtype != c.dtype() {
+                return Err(StorageError::TypeMismatch(format!(
+                    "column {} declared {} but built {}",
+                    f.name,
+                    f.dtype,
+                    c.dtype()
+                )));
+            }
+        }
+        let rows = columns.first().map_or(0, Column::len);
+        if columns.iter().any(|c| c.len() != rows) {
+            return Err(StorageError::Malformed("columns have differing lengths".into()));
+        }
+        Ok(Table { schema, columns, rows })
+    }
+
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    pub fn num_rows(&self) -> usize {
+        self.rows
+    }
+
+    pub fn column(&self, name: &str) -> Result<&Column, StorageError> {
+        self.schema
+            .index_of(name)
+            .map(|i| &self.columns[i])
+            .ok_or_else(|| StorageError::UnknownColumn(name.to_string()))
+    }
+
+    pub fn column_at(&self, idx: usize) -> &Column {
+        &self.columns[idx]
+    }
+
+    pub fn row(&self, idx: usize) -> Vec<Value> {
+        self.columns.iter().map(|c| c.get(idx)).collect()
+    }
+
+    /// All attribute names usable as an axis (the `*` attribute set).
+    pub fn attribute_names(&self) -> Vec<String> {
+        self.schema.names().map(str::to_string).collect()
+    }
+
+    /// Names of categorical attributes (candidate Z axes).
+    pub fn categorical_names(&self) -> Vec<String> {
+        self.schema
+            .fields()
+            .iter()
+            .filter(|f| f.dtype == DataType::Cat)
+            .map(|f| f.name.clone())
+            .collect()
+    }
+
+    /// Names of numeric attributes (candidate Y measures).
+    pub fn numeric_names(&self) -> Vec<String> {
+        self.schema
+            .fields()
+            .iter()
+            .filter(|f| f.dtype != DataType::Cat)
+            .map(|f| f.name.clone())
+            .collect()
+    }
+
+    /// Serialize to CSV (header + rows).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.schema.names().collect::<Vec<_>>().join(","));
+        out.push('\n');
+        for r in 0..self.rows {
+            let row: Vec<String> = self.columns.iter().map(|c| c.get(r).to_string()).collect();
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parse a CSV string; column types are inferred from the first data
+    /// row (int, then float, then categorical).
+    pub fn from_csv(csv: &str) -> Result<Table, StorageError> {
+        let mut lines = csv.lines().filter(|l| !l.trim().is_empty());
+        let header = lines.next().ok_or_else(|| StorageError::Malformed("empty csv".into()))?;
+        let names: Vec<&str> = header.split(',').map(str::trim).collect();
+        let rows: Vec<Vec<&str>> = lines.map(|l| l.split(',').map(str::trim).collect()).collect();
+        if rows.is_empty() {
+            return Err(StorageError::Malformed("csv has no data rows".into()));
+        }
+        let mut fields = Vec::with_capacity(names.len());
+        for (i, name) in names.iter().enumerate() {
+            // Infer the narrowest type every data row satisfies.
+            let mut dtype = DataType::Int;
+            for row in &rows {
+                let cell = *row.get(i).ok_or_else(|| {
+                    StorageError::Malformed(format!("row missing column {name}"))
+                })?;
+                if dtype == DataType::Int && cell.parse::<i64>().is_err() {
+                    dtype = DataType::Float;
+                }
+                if dtype == DataType::Float && cell.parse::<f64>().is_err() {
+                    dtype = DataType::Cat;
+                    break;
+                }
+            }
+            fields.push(Field::new(*name, dtype));
+        }
+        let mut builder = TableBuilder::new(Schema::new(fields));
+        for (ri, raw) in rows.iter().enumerate() {
+            if raw.len() != names.len() {
+                return Err(StorageError::Malformed(format!(
+                    "row {ri} has {} cells, expected {}",
+                    raw.len(),
+                    names.len()
+                )));
+            }
+            let vals: Result<Vec<Value>, StorageError> = raw
+                .iter()
+                .zip(builder.schema.fields())
+                .map(|(cell, f)| parse_cell(cell, f.dtype))
+                .collect();
+            builder.push_row(vals?)?;
+        }
+        Ok(builder.finish())
+    }
+}
+
+fn parse_cell(cell: &str, dtype: DataType) -> Result<Value, StorageError> {
+    match dtype {
+        DataType::Int => cell
+            .parse::<i64>()
+            .map(Value::Int)
+            .map_err(|_| StorageError::Malformed(format!("bad int: {cell}"))),
+        DataType::Float => cell
+            .parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| StorageError::Malformed(format!("bad float: {cell}"))),
+        DataType::Cat => Ok(Value::str(cell)),
+    }
+}
+
+/// Row-at-a-time or column-at-a-time construction of a [`Table`].
+pub struct TableBuilder {
+    schema: Schema,
+    columns: Vec<Column>,
+    rows: usize,
+}
+
+impl TableBuilder {
+    pub fn new(schema: Schema) -> Self {
+        let columns = schema.fields().iter().map(|f| Column::new(f.dtype)).collect();
+        TableBuilder { schema, columns, rows: 0 }
+    }
+
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    pub fn push_row(&mut self, values: Vec<Value>) -> Result<(), StorageError> {
+        if values.len() != self.columns.len() {
+            return Err(StorageError::Malformed(format!(
+                "row width {} != schema width {}",
+                values.len(),
+                self.columns.len()
+            )));
+        }
+        for (col, v) in self.columns.iter_mut().zip(&values) {
+            col.push(v).map_err(StorageError::TypeMismatch)?;
+        }
+        self.rows += 1;
+        Ok(())
+    }
+
+    pub fn finish(self) -> Table {
+        Table { schema: self.schema, columns: self.columns, rows: self.rows }
+    }
+
+    pub fn finish_shared(self) -> Arc<Table> {
+        Arc::new(self.finish())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let schema = Schema::new(vec![
+            Field::new("year", DataType::Int),
+            Field::new("product", DataType::Cat),
+            Field::new("sales", DataType::Float),
+        ]);
+        let mut b = TableBuilder::new(schema);
+        b.push_row(vec![Value::Int(2015), Value::str("chair"), Value::Float(10.0)]).unwrap();
+        b.push_row(vec![Value::Int(2016), Value::str("desk"), Value::Float(20.5)]).unwrap();
+        b.finish()
+    }
+
+    #[test]
+    fn build_and_read_back() {
+        let t = sample();
+        assert_eq!(t.num_rows(), 2);
+        assert_eq!(t.row(1), vec![Value::Int(2016), Value::str("desk"), Value::Float(20.5)]);
+        assert_eq!(t.column("product").unwrap().cardinality(), 2);
+        assert!(t.column("nope").is_err());
+    }
+
+    #[test]
+    fn attribute_classification() {
+        let t = sample();
+        assert_eq!(t.categorical_names(), vec!["product"]);
+        assert_eq!(t.numeric_names(), vec!["year", "sales"]);
+        assert_eq!(t.attribute_names(), vec!["year", "product", "sales"]);
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let t = sample();
+        let csv = t.to_csv();
+        let t2 = Table::from_csv(&csv).unwrap();
+        assert_eq!(t2.num_rows(), 2);
+        assert_eq!(t2.schema().field("year").unwrap().dtype, DataType::Int);
+        assert_eq!(t2.schema().field("product").unwrap().dtype, DataType::Cat);
+        assert_eq!(t2.schema().field("sales").unwrap().dtype, DataType::Float);
+        assert_eq!(t2.row(0), t.row(0));
+    }
+
+    #[test]
+    fn mismatched_row_width_rejected() {
+        let t = sample();
+        let mut b = TableBuilder::new(t.schema().clone());
+        assert!(b.push_row(vec![Value::Int(1)]).is_err());
+    }
+
+    #[test]
+    fn csv_bad_rows_rejected() {
+        assert!(Table::from_csv("").is_err());
+        assert!(Table::from_csv("a,b\n1").is_err());
+        assert!(Table::from_csv("a\nx\n").is_ok());
+        // mixed int/text column falls back to categorical
+        let t = Table::from_csv("a\n1\nnot_an_int\n").unwrap();
+        assert_eq!(t.schema().field("a").unwrap().dtype, DataType::Cat);
+        // mixed int/float column falls back to float
+        let t = Table::from_csv("a\n1\n2.5\n").unwrap();
+        assert_eq!(t.schema().field("a").unwrap().dtype, DataType::Float);
+    }
+}

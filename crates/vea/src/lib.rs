@@ -1,0 +1,27 @@
+//! # zv-vea
+//!
+//! The **visual exploration algebra** of thesis Chapter 4: "an analog of
+//! relational algebra, describing a core set of capabilities for any
+//! language that supports visual data exploration".
+//!
+//! * [`ordered_bag`] — the ordered-bag semantics of §4.1;
+//! * [`visual`] — the visual universe `ν(R)`, visual sources & groups
+//!   (§4.2), and source → series rendering;
+//! * [`ops`] — the eleven operators of Table 4.2 plus the pluggable
+//!   exploration functions `T`, `D`, `R` (§4.3).
+//!
+//! A language `L` is *visual exploration complete* `VEC_{T,D,R}(L)` when
+//! it expresses every operator here; the `zql` crate's
+//! `tests/completeness` suite executes the Chapter 4 constructions
+//! (Tables 4.4–4.23) showing ZQL is.
+
+pub mod ops;
+pub mod ordered_bag;
+pub mod visual;
+
+pub use ops::{
+    beta_v, delta_v, diff_v, eta_v, intersect_v, mu_v, mu_v_range, phi_v, sigma_v, slice_group,
+    tau_v, union_v, zeta_v, BetaAttr, MatchAttr, Primitives, Term, Theta, VeaError,
+};
+pub use ordered_bag::OrderedBag;
+pub use visual::{AttrFilter, VisualGroup, VisualSource, VisualUniverse};

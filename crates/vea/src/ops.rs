@@ -1,0 +1,524 @@
+//! The eleven visual exploration algebra operators (thesis §4.4,
+//! Table 4.2). Unary: σᵛ τᵛ µᵛ δᵛ ζᵛ; binary: ∪ᵛ \ᵛ ∩ᵛ βᵛ φᵛ ηᵛ.
+//!
+//! The exploration functions `T`, `D`, `R` are supplied via
+//! [`Primitives`] — "these three functions are flexible and configurable
+//! and up to the user to define (or left as system defaults)".
+
+use crate::visual::{AttrFilter, VisualGroup, VisualSource, VisualUniverse};
+use std::fmt;
+use zv_analytics::{representative, series_distance, trend, DistanceKind, Normalize, Series};
+use zv_storage::{StorageError, Value};
+
+/// Errors from algebra evaluation.
+#[derive(Debug)]
+pub enum VeaError {
+    Storage(StorageError),
+    /// The thesis leaves certain applications undefined (e.g. φᵛ when a
+    /// match key selects a non-singleton group).
+    Undefined(String),
+}
+
+impl fmt::Display for VeaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VeaError::Storage(e) => write!(f, "storage error: {e}"),
+            VeaError::Undefined(m) => write!(f, "undefined operation: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for VeaError {}
+
+impl From<StorageError> for VeaError {
+    fn from(e: StorageError) -> Self {
+        VeaError::Storage(e)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Exploration functions
+// ---------------------------------------------------------------------
+
+/// The `T`, `D`, `R` exploration functions (§4.3).
+pub struct Primitives {
+    /// `T : V → ℝ` — trend score of one visualization.
+    pub t: Box<dyn Fn(&Series) -> f64 + Send + Sync>,
+    /// `D : V × V → ℝ` — distance between two visualizations.
+    pub d: Box<dyn Fn(&Series, &Series) -> f64 + Send + Sync>,
+    /// `R : Vⁿ → indices` — pick `k` representative members.
+    pub r: Box<dyn Fn(&[Series], usize) -> Vec<usize> + Send + Sync>,
+}
+
+impl Default for Primitives {
+    fn default() -> Self {
+        Primitives {
+            t: Box::new(trend),
+            d: Box::new(|a, b| series_distance(DistanceKind::Euclidean, Normalize::ZScore, a, b)),
+            r: Box::new(|series, k| {
+                representative::representatives(&representative::embed(series), k, 0)
+            }),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Selection conditions θ
+// ---------------------------------------------------------------------
+
+/// The left side of a θ comparison: the X axis, the Y axis, or the j-th
+/// data-source attribute.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Term {
+    X,
+    Y,
+    Attr(usize),
+}
+
+/// A selection condition over visual sources. Only `=` / `≠` are allowed
+/// (§4.4: "only the binary comparison operators = and ≠").
+#[derive(Clone, Debug)]
+pub enum Theta {
+    True,
+    /// `X = 'attr'` / `Y = 'attr'`.
+    AxisEq(Term, String),
+    AxisNeq(Term, String),
+    /// `Aⱼ = value` (or `= ∗` when `None`).
+    FilterEq(usize, Option<Value>),
+    FilterNeq(usize, Option<Value>),
+    And(Box<Theta>, Box<Theta>),
+    Or(Box<Theta>, Box<Theta>),
+}
+
+impl Theta {
+    pub fn and(self, other: Theta) -> Theta {
+        Theta::And(Box::new(self), Box::new(other))
+    }
+
+    pub fn or(self, other: Theta) -> Theta {
+        Theta::Or(Box::new(self), Box::new(other))
+    }
+
+    pub fn eval(&self, vs: &VisualSource) -> bool {
+        match self {
+            Theta::True => true,
+            Theta::AxisEq(term, name) => match term {
+                Term::X => vs.x == *name,
+                Term::Y => vs.y == *name,
+                Term::Attr(_) => false,
+            },
+            Theta::AxisNeq(term, name) => match term {
+                Term::X => vs.x != *name,
+                Term::Y => vs.y != *name,
+                Term::Attr(_) => false,
+            },
+            Theta::FilterEq(j, v) => match (&vs.filters[*j], v) {
+                (AttrFilter::Star, None) => true,
+                (AttrFilter::Is(actual), Some(want)) => actual == want,
+                _ => false,
+            },
+            Theta::FilterNeq(j, v) => !Theta::FilterEq(*j, v.clone()).eval(vs),
+            Theta::And(a, b) => a.eval(vs) && b.eval(vs),
+            Theta::Or(a, b) => a.eval(vs) || b.eval(vs),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Unary operators
+// ---------------------------------------------------------------------
+
+/// `σᵛ_θ(V)` — order-preserving selection.
+pub fn sigma_v(v: &VisualGroup, theta: &Theta) -> VisualGroup {
+    v.select(|vs| theta.eval(vs))
+}
+
+/// `τᵛ_{F(T)}(V)` — stable sort, increasing in `F(T(v))`.
+pub fn tau_v<F: Fn(f64) -> f64>(
+    u: &VisualUniverse,
+    v: &VisualGroup,
+    f: F,
+    prims: &Primitives,
+) -> Result<VisualGroup, VeaError> {
+    let scores: Vec<f64> = u
+        .render_group(v)?
+        .iter()
+        .map(|s| f((prims.t)(s)))
+        .collect();
+    let mut order: Vec<usize> = (0..v.len()).collect();
+    order.sort_by(|&a, &b| scores[a].total_cmp(&scores[b]));
+    Ok(v.permute(&order))
+}
+
+/// `µᵛ_k(V)` — first `k` sources.
+pub fn mu_v(v: &VisualGroup, k: usize) -> VisualGroup {
+    v.take(k)
+}
+
+/// `µᵛ_{[a:b]}(V)` — 1-based inclusive slice.
+pub fn mu_v_range(v: &VisualGroup, a: usize, b: usize) -> VisualGroup {
+    v.slice(a, b)
+}
+
+/// `δᵛ(V)` — duplicate elimination, first occurrence kept.
+pub fn delta_v(v: &VisualGroup) -> VisualGroup {
+    v.dedup()
+}
+
+/// `ζᵛ_{R,k}(V)` — the `k` most representative sources by `R`.
+pub fn zeta_v(
+    u: &VisualUniverse,
+    v: &VisualGroup,
+    k: usize,
+    prims: &Primitives,
+) -> Result<VisualGroup, VeaError> {
+    let rendered = u.render_group(v)?;
+    let idx = (prims.r)(&rendered, k);
+    Ok(idx.into_iter().filter_map(|i| v.items().get(i).cloned()).collect())
+}
+
+// ---------------------------------------------------------------------
+// Binary operators
+// ---------------------------------------------------------------------
+
+/// `V ∪ᵛ U`.
+pub fn union_v(v: &VisualGroup, u: &VisualGroup) -> VisualGroup {
+    v.union(u)
+}
+
+/// `V \ᵛ U`.
+pub fn diff_v(v: &VisualGroup, u: &VisualGroup) -> VisualGroup {
+    v.difference(u)
+}
+
+/// `V ∩ᵛ U`.
+pub fn intersect_v(v: &VisualGroup, u: &VisualGroup) -> VisualGroup {
+    v.intersection(u)
+}
+
+/// Which attribute `βᵛ` swaps.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BetaAttr {
+    X,
+    Y,
+    Attr(usize),
+}
+
+/// `βᵛ_A(V, U)` — replace attribute `A` of every source in `V` with the
+/// values of `A` in `U`: formally `π_{…Â…}(V) × π_A(U)` (left-major).
+pub fn beta_v(v: &VisualGroup, u: &VisualGroup, attr: BetaAttr) -> VisualGroup {
+    let mut out = VisualGroup::new();
+    for base in v.iter() {
+        for donor in u.iter() {
+            let mut vs = base.clone();
+            match attr {
+                BetaAttr::X => vs.x = donor.x.clone(),
+                BetaAttr::Y => vs.y = donor.y.clone(),
+                BetaAttr::Attr(j) => vs.filters[j] = donor.filters[j].clone(),
+            }
+            out.push(vs);
+        }
+    }
+    out
+}
+
+/// How φᵛ matches sources between its operands.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MatchAttr {
+    X,
+    Y,
+    Attr(usize),
+}
+
+fn match_key(vs: &VisualSource, attrs: &[MatchAttr]) -> Vec<String> {
+    attrs
+        .iter()
+        .map(|a| match a {
+            MatchAttr::X => vs.x.clone(),
+            MatchAttr::Y => vs.y.clone(),
+            MatchAttr::Attr(j) => vs.filters[*j].to_string(),
+        })
+        .collect()
+}
+
+/// `φᵛ_{F(D),A₁…Aⱼ}(V, U)` — sort `V` increasing by the distance between
+/// each source and the *corresponding* source of `U` (matched on the
+/// given attributes). Undefined (error) if any key matches a
+/// non-singleton group on either side.
+pub fn phi_v<F: Fn(f64) -> f64>(
+    universe: &VisualUniverse,
+    v: &VisualGroup,
+    u: &VisualGroup,
+    attrs: &[MatchAttr],
+    f: F,
+    prims: &Primitives,
+) -> Result<VisualGroup, VeaError> {
+    use std::collections::HashMap;
+    let mut u_by_key: HashMap<Vec<String>, Vec<&VisualSource>> = HashMap::new();
+    for su in u.iter() {
+        u_by_key.entry(match_key(su, attrs)).or_default().push(su);
+    }
+    let mut v_seen: HashMap<Vec<String>, usize> = HashMap::new();
+    let mut scores: Vec<f64> = Vec::with_capacity(v.len());
+    for sv in v.iter() {
+        let key = match_key(sv, attrs);
+        let count = v_seen.entry(key.clone()).or_insert(0);
+        *count += 1;
+        if *count > 1 {
+            return Err(VeaError::Undefined(format!(
+                "φᵛ: key {key:?} selects multiple sources in V"
+            )));
+        }
+        let matches = u_by_key.get(&key).map(Vec::as_slice).unwrap_or(&[]);
+        if matches.len() != 1 {
+            return Err(VeaError::Undefined(format!(
+                "φᵛ: key {key:?} selects {} sources in U",
+                matches.len()
+            )));
+        }
+        let a = universe.render(sv)?;
+        let b = universe.render(matches[0])?;
+        scores.push(f((prims.d)(&a, &b)));
+    }
+    let mut order: Vec<usize> = (0..v.len()).collect();
+    order.sort_by(|&a, &b| scores[a].total_cmp(&scores[b]));
+    Ok(v.permute(&order))
+}
+
+/// `ηᵛ_{F(D)}(V, U)` — sort `V` increasing by distance to the single
+/// reference source in `U`. Undefined (error) unless `|U| = 1`.
+pub fn eta_v<F: Fn(f64) -> f64>(
+    universe: &VisualUniverse,
+    v: &VisualGroup,
+    u: &VisualGroup,
+    f: F,
+    prims: &Primitives,
+) -> Result<VisualGroup, VeaError> {
+    if u.len() != 1 {
+        return Err(VeaError::Undefined(format!("ηᵛ requires a singleton U, got |U| = {}", u.len())));
+    }
+    let reference = universe.render(u.nth(1).unwrap())?;
+    let scores: Vec<f64> = u_scores(universe, v, &reference, &f, prims)?;
+    let mut order: Vec<usize> = (0..v.len()).collect();
+    order.sort_by(|&a, &b| scores[a].total_cmp(&scores[b]));
+    Ok(v.permute(&order))
+}
+
+fn u_scores<F: Fn(f64) -> f64>(
+    universe: &VisualUniverse,
+    v: &VisualGroup,
+    reference: &Series,
+    f: &F,
+    prims: &Primitives,
+) -> Result<Vec<f64>, VeaError> {
+    v.iter()
+        .map(|vs| {
+            let s = universe.render(vs)?;
+            Ok(f((prims.d)(&s, reference)))
+        })
+        .collect()
+}
+
+/// Convenience: the group of one source per value of attribute `attr`,
+/// with the given x/y axes — e.g. "sales-by-year for every product".
+pub fn slice_group(
+    universe: &VisualUniverse,
+    x: &str,
+    y: &str,
+    attr: &str,
+) -> Result<VisualGroup, VeaError> {
+    let j = universe
+        .attr_index(attr)
+        .ok_or_else(|| VeaError::Storage(StorageError::UnknownColumn(attr.to_string())))?;
+    let mut group = VisualGroup::new();
+    for val in universe.attr_values(attr)? {
+        group.push(
+            VisualSource::unfiltered(x, y, universe.attrs().len()).with_filter(j, val),
+        );
+    }
+    Ok(group)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::visual::fixtures::universe_4_1;
+
+    /// θ of thesis Table 4.3: X=year ∧ Y=sales ∧ year=∗ ∧ month=∗ ∧
+    /// product≠∗ ∧ location='US' ∧ sales=∗ ∧ profit=∗.
+    fn theta_4_3() -> Theta {
+        Theta::AxisEq(Term::X, "year".into())
+            .and(Theta::AxisEq(Term::Y, "sales".into()))
+            .and(Theta::FilterEq(0, None))
+            .and(Theta::FilterEq(1, None))
+            .and(Theta::FilterNeq(2, None))
+            .and(Theta::FilterEq(3, Some(Value::str("US"))))
+            .and(Theta::FilterEq(4, None))
+            .and(Theta::FilterEq(5, None))
+    }
+
+    #[test]
+    fn sigma_reproduces_table_4_3() {
+        let u = universe_4_1();
+        let v = u.enumerate().unwrap();
+        let selected = sigma_v(&v, &theta_4_3());
+        // One source per product sold anywhere (3 products), US-filtered.
+        assert_eq!(selected.len(), 3);
+        for vs in selected.iter() {
+            assert_eq!(vs.x, "year");
+            assert_eq!(vs.y, "sales");
+            assert!(!vs.filters[2].is_star(), "product pinned");
+            assert_eq!(vs.filters[3], AttrFilter::Is(Value::str("US")));
+            assert!(vs.filters[0].is_star() && vs.filters[1].is_star());
+        }
+        let products: Vec<String> =
+            selected.iter().map(|vs| vs.filters[2].to_string()).collect();
+        assert_eq!(products, vec!["chair", "table", "stapler"]);
+    }
+
+    #[test]
+    fn sigma_with_disjunction() {
+        let u = universe_4_1();
+        let v = u.enumerate().unwrap();
+        let theta = theta_4_3().and(
+            Theta::FilterEq(2, Some(Value::str("chair")))
+                .or(Theta::FilterEq(2, Some(Value::str("table")))),
+        );
+        assert_eq!(sigma_v(&v, &theta).len(), 2);
+    }
+
+    #[test]
+    fn tau_sorts_by_trend() {
+        let u = universe_4_1();
+        // month-vs-sales for 2016: chair falls (789k → 753k), so trend < 0.
+        let chair = VisualSource::unfiltered("month", "sales", 6)
+            .with_filter(2, Value::str("chair"))
+            .with_filter(0, Value::Int(2016));
+        let table = VisualSource::unfiltered("month", "profit", 6)
+            .with_filter(0, Value::Int(2016));
+        let group: VisualGroup = [table.clone(), chair.clone()].into_iter().collect();
+        let prims = Primitives::default();
+        let asc = tau_v(&u, &group, |t| t, &prims).unwrap();
+        let desc = tau_v(&u, &group, |t| -t, &prims).unwrap();
+        assert_eq!(asc.len(), 2);
+        let asc_first = asc.nth(1).unwrap().clone();
+        let desc_first = desc.nth(1).unwrap().clone();
+        assert_ne!(asc_first, desc_first, "opposite orders under negated F");
+    }
+
+    #[test]
+    fn mu_and_delta() {
+        let u = universe_4_1();
+        let g = slice_group(&u, "year", "sales", "product").unwrap();
+        assert_eq!(g.len(), 3);
+        assert_eq!(mu_v(&g, 2).len(), 2);
+        assert_eq!(mu_v_range(&g, 2, 3).len(), 2);
+        let doubled = g.union(&g);
+        assert_eq!(delta_v(&doubled), g);
+    }
+
+    #[test]
+    fn zeta_returns_members() {
+        let u = universe_4_1();
+        let g = slice_group(&u, "year", "sales", "product").unwrap();
+        let reps = zeta_v(&u, &g, 2, &Primitives::default()).unwrap();
+        assert_eq!(reps.len(), 2);
+        for r in reps.iter() {
+            assert!(g.contains(r));
+        }
+    }
+
+    #[test]
+    fn beta_swaps_x_axis() {
+        let u = universe_4_1();
+        let v = slice_group(&u, "year", "sales", "product").unwrap();
+        // Donor with x = month.
+        let donor: VisualGroup =
+            [VisualSource::unfiltered("month", "sales", 6)].into_iter().collect();
+        let swapped = beta_v(&v, &donor, BetaAttr::X);
+        assert_eq!(swapped.len(), 3);
+        assert!(swapped.iter().all(|vs| vs.x == "month"));
+        // data-source filters preserved
+        assert_eq!(swapped.nth(1).unwrap().filters, v.nth(1).unwrap().filters);
+    }
+
+    #[test]
+    fn beta_cross_product_semantics() {
+        let u = universe_4_1();
+        let v = slice_group(&u, "year", "sales", "product").unwrap(); // 3 sources
+        let donor: VisualGroup = [
+            VisualSource::unfiltered("year", "sales", 6),
+            VisualSource::unfiltered("year", "profit", 6),
+        ]
+        .into_iter()
+        .collect();
+        let out = beta_v(&v, &donor, BetaAttr::Y);
+        // |V| × |U| = 6, left-major: chair-sales, chair-profit, table-...
+        assert_eq!(out.len(), 6);
+        assert_eq!(out.nth(1).unwrap().y, "sales");
+        assert_eq!(out.nth(2).unwrap().y, "profit");
+        assert_eq!(out.nth(1).unwrap().filters[2].to_string(), "chair");
+        assert_eq!(out.nth(3).unwrap().filters[2].to_string(), "table");
+    }
+
+    #[test]
+    fn eta_sorts_by_distance_to_reference() {
+        let u = universe_4_1();
+        let v = slice_group(&u, "month", "sales", "product").unwrap();
+        let reference: VisualGroup =
+            [VisualSource::unfiltered("month", "sales", 6)
+                .with_filter(2, Value::str("chair"))]
+            .into_iter()
+            .collect();
+        let sorted = eta_v(&u, &v, &reference, |d| d, &Primitives::default()).unwrap();
+        // chair is nearest to itself
+        assert_eq!(sorted.nth(1).unwrap().filters[2].to_string(), "chair");
+    }
+
+    #[test]
+    fn eta_requires_singleton_reference() {
+        let u = universe_4_1();
+        let v = slice_group(&u, "month", "sales", "product").unwrap();
+        let err = eta_v(&u, &v, &v, |d| d, &Primitives::default()).unwrap_err();
+        assert!(matches!(err, VeaError::Undefined(_)));
+    }
+
+    #[test]
+    fn phi_matches_on_attributes() {
+        let u = universe_4_1();
+        // V: sales-by-month per product; U: profit-by-month per product.
+        let v = slice_group(&u, "month", "sales", "product").unwrap();
+        let us = slice_group(&u, "month", "profit", "product").unwrap();
+        let sorted =
+            phi_v(&u, &v, &us, &[MatchAttr::Attr(2)], |d| d, &Primitives::default()).unwrap();
+        assert_eq!(sorted.len(), v.len());
+        // still the same bag, reordered
+        assert_eq!(sorted.dedup().len(), v.dedup().len());
+        for vs in sorted.iter() {
+            assert!(v.contains(vs));
+        }
+    }
+
+    #[test]
+    fn phi_undefined_on_nonsingleton_match() {
+        let u = universe_4_1();
+        let v = slice_group(&u, "month", "sales", "product").unwrap();
+        let doubled = v.union(&v);
+        let err = phi_v(&u, &v, &doubled, &[MatchAttr::Attr(2)], |d| d, &Primitives::default())
+            .unwrap_err();
+        assert!(matches!(err, VeaError::Undefined(_)));
+        let err = phi_v(&u, &doubled, &v, &[MatchAttr::Attr(2)], |d| d, &Primitives::default())
+            .unwrap_err();
+        assert!(matches!(err, VeaError::Undefined(_)));
+    }
+
+    #[test]
+    fn set_operators_delegate_to_ordered_bag() {
+        let u = universe_4_1();
+        let g = slice_group(&u, "year", "sales", "product").unwrap();
+        let first: VisualGroup = [g.nth(1).unwrap().clone()].into_iter().collect();
+        assert_eq!(union_v(&g, &first).len(), 4);
+        assert_eq!(diff_v(&g, &first).len(), 2);
+        assert_eq!(intersect_v(&g, &first).len(), 1);
+    }
+}

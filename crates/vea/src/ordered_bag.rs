@@ -1,0 +1,289 @@
+//! Ordered-bag semantics (thesis §4.1): relations with bag semantics that
+//! preserve ordering, "since users want to see the most relevant
+//! visualizations first".
+//!
+//! The operator definitions follow the thesis's recursive formulations:
+//!
+//! * `R ∪ S` — concatenation;
+//! * `R \ S` — drops every tuple of `R` that occurs anywhere in `S`;
+//! * `R ∩ S` — keeps (in order, with multiplicity) tuples of `R` that
+//!   occur in `S`;
+//! * `δ(R)` — keeps the first copy of each tuple at its first position;
+//! * `R × S` — cross product in lexicographic (left-major) order;
+//! * `R[i]`, `R[a:b]` — 1-based indexing and inclusive slicing.
+
+/// A sequence with bag semantics and order-aware set operations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OrderedBag<T> {
+    items: Vec<T>,
+}
+
+impl<T> Default for OrderedBag<T> {
+    fn default() -> Self {
+        OrderedBag { items: Vec::new() }
+    }
+}
+
+impl<T> OrderedBag<T> {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn from_vec(items: Vec<T>) -> Self {
+        OrderedBag { items }
+    }
+
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    pub fn items(&self) -> &[T] {
+        &self.items
+    }
+
+    pub fn into_vec(self) -> Vec<T> {
+        self.items
+    }
+
+    pub fn iter(&self) -> std::slice::Iter<'_, T> {
+        self.items.iter()
+    }
+
+    pub fn push(&mut self, item: T) {
+        self.items.push(item);
+    }
+
+    /// 1-based indexing: `R[i]` of the thesis.
+    pub fn nth(&self, i: usize) -> Option<&T> {
+        if i == 0 {
+            return None;
+        }
+        self.items.get(i - 1)
+    }
+}
+
+impl<T: Clone> OrderedBag<T> {
+    /// `R[a:b]` — 1-based, inclusive on both ends; omitted bounds are
+    /// modeled by passing `1` / `len()`.
+    pub fn slice(&self, a: usize, b: usize) -> Self {
+        if a == 0 || a > b || a > self.items.len() {
+            return Self::new();
+        }
+        let hi = b.min(self.items.len());
+        OrderedBag { items: self.items[a - 1..hi].to_vec() }
+    }
+
+    /// First `k` items (`µ` with a single subscript).
+    pub fn take(&self, k: usize) -> Self {
+        OrderedBag { items: self.items.iter().take(k).cloned().collect() }
+    }
+
+    /// `R ∪ S`: concatenation.
+    pub fn union(&self, other: &Self) -> Self {
+        let mut items = self.items.clone();
+        items.extend(other.items.iter().cloned());
+        OrderedBag { items }
+    }
+
+    /// Order-preserving filter.
+    pub fn select<F: FnMut(&T) -> bool>(&self, mut pred: F) -> Self {
+        OrderedBag { items: self.items.iter().filter(|t| pred(t)).cloned().collect() }
+    }
+
+    /// Order-preserving map.
+    pub fn map<U, F: FnMut(&T) -> U>(&self, f: F) -> OrderedBag<U> {
+        OrderedBag { items: self.items.iter().map(f).collect() }
+    }
+
+    /// Stable sort by a key function (ties keep bag order).
+    pub fn sort_by_key_stable<K: PartialOrd, F: FnMut(&T) -> K>(&self, mut key: F) -> Self {
+        let mut keyed: Vec<(usize, K)> =
+            self.items.iter().enumerate().map(|(i, t)| (i, key(t))).collect();
+        keyed.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+        OrderedBag { items: keyed.into_iter().map(|(i, _)| self.items[i].clone()).collect() }
+    }
+
+    /// Reorder by a permutation of positions (0-based).
+    pub fn permute(&self, order: &[usize]) -> Self {
+        OrderedBag { items: order.iter().map(|&i| self.items[i].clone()).collect() }
+    }
+}
+
+impl<T: Clone + PartialEq> OrderedBag<T> {
+    pub fn contains(&self, item: &T) -> bool {
+        self.items.contains(item)
+    }
+
+    /// `R \ S`: every tuple of `R` that occurs in `S` is removed.
+    pub fn difference(&self, other: &Self) -> Self {
+        self.select(|t| !other.contains(t))
+    }
+
+    /// `R ∩ S`: tuples of `R` (in order, with multiplicity) occurring in `S`.
+    pub fn intersection(&self, other: &Self) -> Self {
+        self.select(|t| other.contains(t))
+    }
+
+    /// `δ(R)`: duplicate elimination, first occurrence kept in place.
+    pub fn dedup(&self) -> Self {
+        let mut out: Vec<T> = Vec::with_capacity(self.items.len());
+        for t in &self.items {
+            if !out.contains(t) {
+                out.push(t.clone());
+            }
+        }
+        OrderedBag { items: out }
+    }
+
+    /// `R × S` in left-major order.
+    pub fn cross<U: Clone>(&self, other: &OrderedBag<U>) -> OrderedBag<(T, U)> {
+        let mut items = Vec::with_capacity(self.len() * other.len());
+        for a in &self.items {
+            for b in &other.items {
+                items.push((a.clone(), b.clone()));
+            }
+        }
+        OrderedBag { items }
+    }
+}
+
+impl<T> FromIterator<T> for OrderedBag<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        OrderedBag { items: iter.into_iter().collect() }
+    }
+}
+
+impl<T> IntoIterator for OrderedBag<T> {
+    type Item = T;
+    type IntoIter = std::vec::IntoIter<T>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.items.into_iter()
+    }
+}
+
+impl<'a, T> IntoIterator for &'a OrderedBag<T> {
+    type Item = &'a T;
+    type IntoIter = std::slice::Iter<'a, T>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.items.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bag(v: &[i32]) -> OrderedBag<i32> {
+        v.iter().copied().collect()
+    }
+
+    #[test]
+    fn union_is_concatenation_not_set_union() {
+        let r = bag(&[1, 2, 2]);
+        let s = bag(&[2, 3]);
+        assert_eq!(r.union(&s), bag(&[1, 2, 2, 2, 3]));
+        // union with empty returns the other side unchanged
+        assert_eq!(r.union(&bag(&[])), r);
+        assert_eq!(bag(&[]).union(&s), s);
+    }
+
+    #[test]
+    fn difference_removes_all_occurrences() {
+        let r = bag(&[1, 2, 1, 3, 2]);
+        let s = bag(&[2]);
+        assert_eq!(r.difference(&s), bag(&[1, 1, 3]));
+        // difference is not symmetric
+        assert_eq!(s.difference(&r), bag(&[]));
+    }
+
+    #[test]
+    fn intersection_keeps_left_order_and_multiplicity() {
+        let r = bag(&[3, 1, 2, 1]);
+        let s = bag(&[1, 3]);
+        assert_eq!(r.intersection(&s), bag(&[3, 1, 1]));
+    }
+
+    #[test]
+    fn dedup_preserves_first_positions() {
+        let r = bag(&[2, 1, 2, 3, 1]);
+        assert_eq!(r.dedup(), bag(&[2, 1, 3]));
+    }
+
+    #[test]
+    fn one_based_indexing_and_slicing() {
+        let r = bag(&[10, 20, 30, 40]);
+        assert_eq!(r.nth(1), Some(&10));
+        assert_eq!(r.nth(4), Some(&40));
+        assert_eq!(r.nth(0), None);
+        assert_eq!(r.nth(5), None);
+        assert_eq!(r.slice(2, 3), bag(&[20, 30]));
+        assert_eq!(r.slice(1, 100), r);
+        assert_eq!(r.slice(3, 2), bag(&[]));
+        assert_eq!(r.take(2), bag(&[10, 20]));
+    }
+
+    #[test]
+    fn cross_product_left_major() {
+        let r = bag(&[1, 2]);
+        let s: OrderedBag<char> = ['a', 'b'].into_iter().collect();
+        let x = r.cross(&s);
+        assert_eq!(x.items(), &[(1, 'a'), (1, 'b'), (2, 'a'), (2, 'b')]);
+    }
+
+    #[test]
+    fn stable_sort_keeps_tie_order() {
+        let r = bag(&[3, 1, 2, 1]);
+        let sorted = r.sort_by_key_stable(|&x| x);
+        assert_eq!(sorted, bag(&[1, 1, 2, 3]));
+        // all-equal keys → original order
+        let same = r.sort_by_key_stable(|_| 0);
+        assert_eq!(same, r);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn prop_difference_and_intersection_partition(
+            r in proptest::collection::vec(0i32..10, 0..30),
+            s in proptest::collection::vec(0i32..10, 0..30),
+        ) {
+            let rb = bag(&r);
+            let sb = bag(&s);
+            let diff = rb.difference(&sb);
+            let inter = rb.intersection(&sb);
+            // Every tuple of R lands in exactly one of the two, in order.
+            let mut merged: Vec<i32> = Vec::new();
+            let (mut di, mut ii) = (0, 0);
+            for &t in &r {
+                if sb.contains(&t) {
+                    proptest::prop_assert_eq!(inter.items()[ii], t);
+                    ii += 1;
+                } else {
+                    proptest::prop_assert_eq!(diff.items()[di], t);
+                    di += 1;
+                }
+                merged.push(t);
+            }
+            proptest::prop_assert_eq!(di + ii, r.len());
+        }
+
+        #[test]
+        fn prop_dedup_idempotent(r in proptest::collection::vec(0i32..6, 0..30)) {
+            let d1 = bag(&r).dedup();
+            proptest::prop_assert_eq!(d1.dedup(), d1);
+        }
+
+        #[test]
+        fn prop_cross_len(
+            r in proptest::collection::vec(0i32..5, 0..10),
+            s in proptest::collection::vec(0i32..5, 0..10),
+        ) {
+            proptest::prop_assert_eq!(bag(&r).cross(&bag(&s)).len(), r.len() * s.len());
+        }
+    }
+}

@@ -1,0 +1,318 @@
+//! The visual universe (thesis §4.2): given a k-ary relation `R` with
+//! x-axis candidates `X` and y-axis candidates `Y`,
+//! `V = ν(R) = X × Y × (×ᵢ π_{Aᵢ}(R) ∪ {∗})`. A tuple of `V` is a *visual
+//! source*; a sub-bag is a *visual group*.
+
+use crate::ordered_bag::OrderedBag;
+use std::fmt;
+use std::sync::Arc;
+use zv_analytics::Series;
+use zv_storage::{
+    Agg, Column, Database, Predicate, SelectQuery, StorageError, Table, Value, XSpec, YSpec,
+};
+
+/// The wildcard-or-value of one data-source attribute: `∗` means "no
+/// subselection on this attribute".
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum AttrFilter {
+    Star,
+    Is(Value),
+}
+
+impl AttrFilter {
+    pub fn is_star(&self) -> bool {
+        matches!(self, AttrFilter::Star)
+    }
+}
+
+impl fmt::Display for AttrFilter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttrFilter::Star => write!(f, "*"),
+            AttrFilter::Is(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// One `k + 2`-tuple of the visual universe: x-axis, y-axis, and a filter
+/// per attribute of `R` (the *data source*).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct VisualSource {
+    pub x: String,
+    pub y: String,
+    /// One entry per attribute of `R`, in schema order.
+    pub filters: Vec<AttrFilter>,
+}
+
+impl VisualSource {
+    /// A source with all-`∗` data source.
+    pub fn unfiltered(x: impl Into<String>, y: impl Into<String>, k: usize) -> Self {
+        VisualSource { x: x.into(), y: y.into(), filters: vec![AttrFilter::Star; k] }
+    }
+
+    pub fn with_filter(mut self, idx: usize, value: Value) -> Self {
+        self.filters[idx] = AttrFilter::Is(value);
+        self
+    }
+}
+
+impl fmt::Display for VisualSource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟨{}, {}", self.x, self.y)?;
+        for fl in &self.filters {
+            write!(f, ", {fl}")?;
+        }
+        write!(f, "⟩")
+    }
+}
+
+/// A visual group: an ordered bag of visual sources.
+pub type VisualGroup = OrderedBag<VisualSource>;
+
+/// `ν(R)` plus the machinery to materialize a visual source into the
+/// series it visualizes. "We assume that each visual source maps to a
+/// singular visualization" (§4.2) — here: y aggregated by SUM, grouped by
+/// x, under the conjunction of non-`∗` attribute filters.
+pub struct VisualUniverse {
+    db: Arc<dyn Database>,
+    attrs: Vec<String>,
+    x_attrs: Vec<String>,
+    y_attrs: Vec<String>,
+}
+
+impl VisualUniverse {
+    /// Default axis candidates (§4.2): all attributes for X if
+    /// unspecified; numeric attributes for Y.
+    pub fn new(db: Arc<dyn Database>) -> Self {
+        let table = db.table().clone();
+        let x_attrs = table.attribute_names();
+        let y_attrs = table.numeric_names();
+        Self::with_axes(db, x_attrs, y_attrs)
+    }
+
+    pub fn with_axes(db: Arc<dyn Database>, x_attrs: Vec<String>, y_attrs: Vec<String>) -> Self {
+        let attrs = db.table().attribute_names();
+        VisualUniverse { db, attrs, x_attrs, y_attrs }
+    }
+
+    pub fn table(&self) -> &Arc<Table> {
+        self.db.table()
+    }
+
+    pub fn attrs(&self) -> &[String] {
+        &self.attrs
+    }
+
+    pub fn x_attrs(&self) -> &[String] {
+        &self.x_attrs
+    }
+
+    pub fn y_attrs(&self) -> &[String] {
+        &self.y_attrs
+    }
+
+    pub fn attr_index(&self, name: &str) -> Option<usize> {
+        self.attrs.iter().position(|a| a == name)
+    }
+
+    /// Distinct values of one attribute (plus implicitly `∗`).
+    pub fn attr_values(&self, name: &str) -> Result<Vec<Value>, StorageError> {
+        Ok(self.table().column(name)?.distinct_values())
+    }
+
+    /// Materialize the *entire* visual universe. Exponential in k — only
+    /// sensible for the toy relations used in expressiveness tests.
+    pub fn enumerate(&self) -> Result<VisualGroup, StorageError> {
+        let mut group = VisualGroup::new();
+        let mut domains: Vec<Vec<AttrFilter>> = Vec::with_capacity(self.attrs.len());
+        for a in &self.attrs {
+            let mut d = vec![AttrFilter::Star];
+            d.extend(self.attr_values(a)?.into_iter().map(AttrFilter::Is));
+            domains.push(d);
+        }
+        for x in &self.x_attrs {
+            for y in &self.y_attrs {
+                let mut stack = vec![Vec::with_capacity(self.attrs.len())];
+                for d in &domains {
+                    let mut next = Vec::with_capacity(stack.len() * d.len());
+                    for partial in &stack {
+                        for f in d {
+                            let mut p = partial.clone();
+                            p.push(f.clone());
+                            next.push(p);
+                        }
+                    }
+                    stack = next;
+                }
+                for filters in stack {
+                    group.push(VisualSource { x: x.clone(), y: y.clone(), filters });
+                }
+            }
+        }
+        Ok(group)
+    }
+
+    /// The predicate equivalent of a visual source's data source.
+    pub fn predicate_of(&self, vs: &VisualSource) -> Result<Predicate, StorageError> {
+        let mut pred = Predicate::True;
+        for (attr, filter) in self.attrs.iter().zip(&vs.filters) {
+            if let AttrFilter::Is(v) = filter {
+                let col = self.table().column(attr)?;
+                let atom = match (col, v) {
+                    (Column::Cat(_), Value::Str(s)) => Predicate::cat_eq(attr.clone(), s.clone()),
+                    (Column::Int(_), v) | (Column::Float(_), v) => {
+                        let n = v.as_f64().ok_or_else(|| {
+                            StorageError::TypeMismatch(format!("filter {v} on numeric {attr}"))
+                        })?;
+                        Predicate::num_eq(attr.clone(), n)
+                    }
+                    (Column::Cat(_), v) => {
+                        return Err(StorageError::TypeMismatch(format!(
+                            "filter {v} on categorical {attr}"
+                        )))
+                    }
+                };
+                pred = pred.and(atom);
+            }
+        }
+        Ok(pred)
+    }
+
+    /// Render a visual source into its visualization's data.
+    pub fn render(&self, vs: &VisualSource) -> Result<Series, StorageError> {
+        let q = SelectQuery::new(
+            XSpec::raw(vs.x.clone()),
+            vec![YSpec::new(vs.y.clone(), Agg::Sum)],
+        )
+        .with_predicate(self.predicate_of(vs)?);
+        let rt = self.db.execute(&q)?;
+        Ok(match rt.groups.first() {
+            Some(g) => Series::new(g.points(0)),
+            None => Series::default(),
+        })
+    }
+
+    /// Render every source of a group, in order.
+    pub fn render_group(&self, group: &VisualGroup) -> Result<Vec<Series>, StorageError> {
+        group.iter().map(|vs| self.render(vs)).collect()
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod fixtures {
+    use super::*;
+    use zv_storage::{BitmapDb, DataType, Field, Schema, TableBuilder};
+
+    /// The example relation of thesis Table 4.1: year, month, product,
+    /// location, sales, profit.
+    pub fn table_4_1() -> Arc<dyn Database> {
+        let schema = Schema::new(vec![
+            Field::new("year", DataType::Int),
+            Field::new("month", DataType::Int),
+            Field::new("product", DataType::Cat),
+            Field::new("location", DataType::Cat),
+            Field::new("sales", DataType::Float),
+            Field::new("profit", DataType::Float),
+        ]);
+        let mut b = TableBuilder::new(schema);
+        let rows = [
+            (2016, 4, "chair", "US", 623_000.0, 314_000.0),
+            (2016, 3, "chair", "US", 789_000.0, 410_000.0),
+            (2016, 4, "table", "US", 258_000.0, 169_000.0),
+            (2016, 4, "chair", "UK", 130_000.0, 63_000.0),
+            (2015, 4, "table", "UK", 95_000.0, 42_000.0),
+            (2015, 3, "stapler", "US", 312_000.0, 290_000.0),
+        ];
+        for (y, m, p, l, s, pr) in rows {
+            b.push_row(vec![
+                Value::Int(y),
+                Value::Int(m),
+                Value::str(p),
+                Value::str(l),
+                Value::Float(s),
+                Value::Float(pr),
+            ])
+            .unwrap();
+        }
+        Arc::new(BitmapDb::new(b.finish_shared()))
+    }
+
+    /// X = {year, month}, Y = {sales, profit}: the Table 4.1(b,c) axes.
+    pub fn universe_4_1() -> VisualUniverse {
+        VisualUniverse::with_axes(
+            table_4_1(),
+            vec!["year".into(), "month".into()],
+            vec!["sales".into(), "profit".into()],
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::fixtures::universe_4_1;
+    use super::*;
+
+    #[test]
+    fn universe_dimensions_match_schema() {
+        let u = universe_4_1();
+        assert_eq!(u.attrs().len(), 6);
+        assert_eq!(u.x_attrs(), &["year".to_string(), "month".to_string()]);
+        assert_eq!(u.y_attrs(), &["sales".to_string(), "profit".to_string()]);
+        assert_eq!(u.attr_index("product"), Some(2));
+        assert_eq!(u.attr_index("ghost"), None);
+    }
+
+    #[test]
+    fn enumerate_size_is_product_of_domains() {
+        let u = universe_4_1();
+        let v = u.enumerate().unwrap();
+        // |X|·|Y|·∏(|dom(Aᵢ)|+1):
+        // year:2+1, month:2+1, product:3+1, location:2+1, sales:6+1(5 distinct? see below), profit:6+1
+        let mut expected = 2 * 2;
+        for a in u.attrs() {
+            expected *= u.attr_values(a).unwrap().len() + 1;
+        }
+        assert_eq!(v.len(), expected);
+    }
+
+    #[test]
+    fn render_third_row_of_table_4_1d() {
+        // ⟨year, sales, ∗, ∗, chair, ∗, ∗, ∗⟩ = sales by year for chairs.
+        let u = universe_4_1();
+        let vs = VisualSource::unfiltered("year", "sales", 6).with_filter(2, Value::str("chair"));
+        let s = u.render(&vs).unwrap();
+        // chair sales: 2016 → 623k + 789k + 130k
+        assert_eq!(s.points(), &[(2016.0, 1_542_000.0)]);
+    }
+
+    #[test]
+    fn render_with_multiple_filters() {
+        let u = universe_4_1();
+        let vs = VisualSource::unfiltered("year", "sales", 6)
+            .with_filter(2, Value::str("table"))
+            .with_filter(3, Value::str("UK"));
+        let s = u.render(&vs).unwrap();
+        assert_eq!(s.points(), &[(2015.0, 95_000.0)]);
+        // absent combination renders to the empty series
+        let vs = VisualSource::unfiltered("year", "sales", 6)
+            .with_filter(2, Value::str("stapler"))
+            .with_filter(3, Value::str("UK"));
+        assert!(u.render(&vs).unwrap().is_empty());
+    }
+
+    #[test]
+    fn render_with_numeric_filter() {
+        let u = universe_4_1();
+        let vs = VisualSource::unfiltered("month", "profit", 6).with_filter(0, Value::Int(2016));
+        let s = u.render(&vs).unwrap();
+        // 2016 profits: month 3 → 410k, month 4 → 314k + 169k + 63k
+        assert_eq!(s.points(), &[(3.0, 410_000.0), (4.0, 546_000.0)]);
+    }
+
+    #[test]
+    fn predicate_of_star_only_is_true() {
+        let u = universe_4_1();
+        let vs = VisualSource::unfiltered("year", "sales", 6);
+        assert!(u.predicate_of(&vs).unwrap().is_true());
+    }
+}

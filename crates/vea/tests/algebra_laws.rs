@@ -1,0 +1,100 @@
+//! Algebraic laws of the visual exploration operators, checked on
+//! generated visual groups (beyond the per-operator unit tests).
+
+use proptest::prelude::*;
+use zv_vea::{delta_v, diff_v, intersect_v, mu_v, sigma_v, union_v, Term, Theta, VisualSource};
+use zv_vea::{OrderedBag, VisualGroup};
+
+fn arb_source() -> impl Strategy<Value = VisualSource> {
+    // Small universe: x ∈ {year, month}, y ∈ {sales, profit}, one
+    // attribute slot that is either ∗ or one of three products.
+    (
+        prop_oneof![Just("year"), Just("month")],
+        prop_oneof![Just("sales"), Just("profit")],
+        prop_oneof![
+            Just(None),
+            Just(Some("chair")),
+            Just(Some("desk")),
+            Just(Some("stapler"))
+        ],
+    )
+        .prop_map(|(x, y, product)| {
+            let mut vs = VisualSource::unfiltered(x, y, 1);
+            if let Some(p) = product {
+                vs = vs.with_filter(0, zv_storage::Value::str(p));
+            }
+            vs
+        })
+}
+
+fn arb_group() -> impl Strategy<Value = VisualGroup> {
+    prop::collection::vec(arb_source(), 0..12).prop_map(OrderedBag::from_vec)
+}
+
+proptest! {
+    #[test]
+    fn sigma_true_is_identity(v in arb_group()) {
+        prop_assert_eq!(sigma_v(&v, &Theta::True), v);
+    }
+
+    #[test]
+    fn sigma_commutes_with_union(v in arb_group(), u in arb_group()) {
+        let theta = Theta::AxisEq(Term::X, "year".into());
+        let a = sigma_v(&union_v(&v, &u), &theta);
+        let b = union_v(&sigma_v(&v, &theta), &sigma_v(&u, &theta));
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sigma_is_idempotent(v in arb_group()) {
+        let theta = Theta::AxisEq(Term::Y, "sales".into());
+        let once = sigma_v(&v, &theta);
+        prop_assert_eq!(sigma_v(&once, &theta), once);
+    }
+
+    #[test]
+    fn delta_is_idempotent_and_shrinking(v in arb_group()) {
+        let d = delta_v(&v);
+        prop_assert!(d.len() <= v.len());
+        prop_assert_eq!(delta_v(&d), d);
+    }
+
+    #[test]
+    fn mu_bounds_length(v in arb_group(), k in 0usize..20) {
+        let m = mu_v(&v, k);
+        prop_assert_eq!(m.len(), k.min(v.len()));
+        // prefix property
+        for (i, vs) in m.iter().enumerate() {
+            prop_assert_eq!(vs, v.nth(i + 1).unwrap());
+        }
+    }
+
+    #[test]
+    fn diff_and_intersect_partition_the_left_operand(v in arb_group(), u in arb_group()) {
+        let d = diff_v(&v, &u);
+        let i = intersect_v(&v, &u);
+        prop_assert_eq!(d.len() + i.len(), v.len());
+        // every tuple of the diff is absent from u; every tuple of the
+        // intersection is present.
+        for vs in d.iter() {
+            prop_assert!(!u.contains(vs));
+        }
+        for vs in i.iter() {
+            prop_assert!(u.contains(vs));
+        }
+    }
+
+    #[test]
+    fn union_is_associative(a in arb_group(), b in arb_group(), c in arb_group()) {
+        prop_assert_eq!(union_v(&union_v(&a, &b), &c), union_v(&a, &union_v(&b, &c)));
+    }
+
+    #[test]
+    fn theta_negation_partitions(v in arb_group()) {
+        let eq = Theta::FilterEq(0, Some(zv_storage::Value::str("chair")));
+        let neq = Theta::FilterNeq(0, Some(zv_storage::Value::str("chair")));
+        let a = sigma_v(&v, &eq);
+        let b = sigma_v(&v, &neq);
+        prop_assert_eq!(a.len() + b.len(), v.len());
+    }
+}

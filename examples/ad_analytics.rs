@@ -1,0 +1,79 @@
+//! Case Study 1 + 5 from the thesis introduction: finding *anomalous*
+//! series among thousands of candidates — "keywords that are behaving
+//! unusually with respect to other keywords" (Turn) and "other attributes
+//! that have a similar behavior with per-query response time" (Facebook
+//! server monitoring).
+//!
+//! We model both on the airline dataset: airports whose delay profile is
+//! anomalous, and airports matching a reference airport's behaviour.
+//!
+//! Run with: `cargo run --release --example ad_analytics`
+
+use std::sync::Arc;
+use zenvisage::zql::{outlier_search, render, OptLevel, TaskSpec, ZqlEngine};
+use zenvisage::zv_datagen::{airline, AirlineConfig};
+use zenvisage::zv_storage::{Agg, BitmapDb};
+
+fn main() {
+    let table = airline::generate(&AirlineConfig {
+        rows: 400_000,
+        airports: 60,
+        ..Default::default()
+    });
+    let engine = ZqlEngine::with_opt_level(Arc::new(BitmapDb::new(table)), OptLevel::InterTask);
+    let spec = TaskSpec::new("year", "dep_delay", "origin").with_agg(Agg::Avg);
+
+    // "Which airports behave unusually?" — the outlier task (Table 3.20):
+    // find 8 representative delay profiles, then the airports farthest
+    // from all of them.
+    println!("— anomalous departure-delay profiles —\n");
+    let outliers = outlier_search(&engine, &spec, 8, 3).unwrap();
+    for viz in &outliers.visualizations {
+        println!("{}", render::ascii_chart(&viz.series, &render::describe(viz), 44, 6));
+    }
+
+    // "What moves like JFK?" — the comparative search of Case Study 5,
+    // written directly in ZQL: compare every airport's arrival-delay
+    // series against JFK's and take the closest matches.
+    println!("— airports whose arrival delays track JFK —\n");
+    let out = engine
+        .execute_text(
+            "name | x | y | z | viz | process\n\
+             f1 | 'year' | 'arr_delay' | 'origin'.'JFK' | bar.(y=agg('avg')) |\n\
+             f2 | 'year' | 'arr_delay' | v1 <- 'origin'.(* \\ {'JFK'}) | bar.(y=agg('avg')) | v2 <- argmin(v1)[k=5] D(f1, f2)\n\
+             *f3 | 'year' | 'arr_delay' | v2 | bar.(y=agg('avg')) |",
+        )
+        .unwrap();
+    for viz in &out.visualizations {
+        println!("  {}", render::describe(viz));
+    }
+    println!(
+        "\n(executed {} SQL queries in {} round trips, {:?})",
+        out.report.sql_queries, out.report.requests, out.report.total_time
+    );
+
+    // A two-axis hunt (Table 3.19's shape): which (x, y) pair separates
+    // JFK from SFO the most?
+    println!("\n— axes that differentiate JFK from SFO the most —\n");
+    let mut engine = engine;
+    engine.registry_mut().register_attr_set(
+        "C",
+        vec!["year".into(), "month".into(), "day".into()],
+    );
+    engine.registry_mut().register_attr_set(
+        "M",
+        vec!["dep_delay".into(), "arr_delay".into(), "weather_delay".into()],
+    );
+    let out = engine
+        .execute_text(
+            "name | x | y | z | viz | process\n\
+             f1 | x1 <- C | y1 <- M | 'origin'.'JFK' | bar.(y=agg('avg')) |\n\
+             f2 | x1 | y1 | 'origin'.'SFO' | bar.(y=agg('avg')) | x2, y2 <- argmax(x1, y1)[k=1] D(f1, f2)\n\
+             *f3 | x2 | y2 | 'origin'.'JFK' | bar.(y=agg('avg')) |\n\
+             *f4 | x2 | y2 | 'origin'.'SFO' | bar.(y=agg('avg')) |",
+        )
+        .unwrap();
+    for viz in &out.visualizations {
+        println!("{}", render::ascii_chart(&viz.series, &render::describe(viz), 44, 6));
+    }
+}

@@ -1,0 +1,55 @@
+//! Quickstart: load data, ask zenvisage a question in ZQL, read the
+//! answer.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use std::sync::Arc;
+use zenvisage::zql::{render, ZqlEngine};
+use zenvisage::zv_datagen::{sales, SalesConfig};
+use zenvisage::zv_storage::BitmapDb;
+
+fn main() {
+    // 1. A dataset: the thesis's fictitious GlobalMart product sales.
+    let table = sales::generate(&SalesConfig { rows: 200_000, products: 50, ..Default::default() });
+    println!(
+        "loaded {} rows × {} attributes of product sales\n",
+        table.num_rows(),
+        table.schema().len()
+    );
+
+    // 2. An engine: the roaring-bitmap database + ZQL executor.
+    let engine = ZqlEngine::new(Arc::new(BitmapDb::new(table)));
+
+    // 3. A ZQL query (thesis Table 2.1): every product's total-sales-over-
+    //    years bar chart, for products sold in the US.
+    let output = engine
+        .execute_text(
+            "name | x      | y       | z                 | constraints   | viz\n\
+             *f1  | 'year' | 'sales' | v1 <- 'product'.* | location='US' | bar.(y=agg('sum'))",
+        )
+        .expect("valid ZQL");
+
+    println!(
+        "ZQL returned {} visualizations via {} SQL queries in {} request(s), {:?} total\n",
+        output.visualizations.len(),
+        output.report.sql_queries,
+        output.report.requests,
+        output.report.total_time,
+    );
+
+    // 4. Look at a couple of them.
+    for viz in output.visualizations.iter().take(3) {
+        println!("{}", render::describe(viz));
+        println!("{}", render::ascii_chart(&viz.series, &viz.label, 48, 8));
+    }
+
+    // 5. The same power, programmatically: "which product's sales trend
+    //    looks most like this sketch?" (thesis Table 2.2)
+    let sketch = zenvisage::zv_analytics::Series::from_ys(&[0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+    let spec = zenvisage::zql::TaskSpec::new("year", "sales", "product");
+    let similar = zenvisage::zql::similarity_search(&engine, &spec, &sketch, 3).unwrap();
+    println!("products whose sales trend best matches a rising sketch:");
+    for viz in &similar.visualizations {
+        println!("  {}", render::describe(viz));
+    }
+}

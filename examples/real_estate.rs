@@ -1,0 +1,91 @@
+//! The thesis's §6.1 real-estate scenarios on the (synthetic) Zillow-style
+//! housing data: a real-estate agent explores price patterns across
+//! counties and cities — the workload behind the Chapter 8 user study.
+//!
+//! Run with: `cargo run --release --example real_estate`
+
+use std::sync::Arc;
+use zenvisage::zql::{recommend, render, similarity_search, TaskSpec, ZqlEngine};
+use zenvisage::zv_analytics::Series;
+use zenvisage::zv_datagen::{housing, HousingConfig};
+use zenvisage::zv_storage::{Agg, BitmapDb};
+
+fn main() {
+    let table = housing::generate(&HousingConfig::default());
+    let engine = ZqlEngine::new(Arc::new(BitmapDb::new(table)));
+
+    // Scenario (i), Figure 6.2: "A real estate agent notices an
+    // interesting peak between 2008 and 2012 in the county of Jessamine,
+    // and now wants to discover other counties with a similar pattern."
+    println!("— Scenario (i): counties with a Jessamine-like 2008–2012 peak —\n");
+    let jessamine = engine
+        .execute_text(
+            "name | x | y | z | viz\n\
+             *f1 | 'year' | 'sold_price' | 'county'.'Jessamine' | bar.(y=agg('avg'))",
+        )
+        .unwrap()
+        .visualizations
+        .remove(0);
+    println!("{}", render::ascii_chart(&jessamine.series, "Jessamine avg sold price", 48, 8));
+
+    let spec = TaskSpec::new("year", "sold_price", "county").with_agg(Agg::Avg);
+    let similar = similarity_search(&engine, &spec, &jessamine.series, 6).unwrap();
+    println!("most similar counties (the first is Jessamine itself):");
+    for viz in &similar.visualizations {
+        println!("  {}", render::describe(viz));
+    }
+
+    // Scenario (ii), Figure 6.3: NY cities where prices rose 2004→2015
+    // but foreclosures moved the opposite way. Pure ZQL: filter by trend
+    // on one measure, then compare against the other.
+    println!("\n— Scenario (ii): NY cities where price ↑ but foreclosures ↓ —\n");
+    let out = engine
+        .execute_text(
+            "name | x | y | z | constraints | viz | process\n\
+             f1 | 'year' | 'sold_price' | v1 <- 'city'.* | state='NY' | bar.(y=agg('avg')) | v2 <- argany(v1)[t > 0] T(f1)\n\
+             f2 | 'year' | 'foreclosure_rate' | v2 | state='NY' | bar.(y=agg('avg')) | v3 <- argany(v2)[t < 0] T(f2)\n\
+             *f3 | 'year' | 'foreclosure_rate' | v3 | state='NY' | bar.(y=agg('avg')) |",
+        )
+        .unwrap();
+    println!("{} qualifying cities; first three:", out.visualizations.len());
+    for viz in out.visualizations.iter().take(3) {
+        println!("  {}", render::describe(viz));
+    }
+
+    // Scenario (iv), Figure 6.5: states where turnover rate opposes the
+    // price trend.
+    println!("\n— Scenario (iv): states where turnover opposes price —\n");
+    let out = engine
+        .execute_text(
+            "name | x | y | z | viz | process\n\
+             f1 | 'year' | 'sold_price' | v1 <- 'state'.* | bar.(y=agg('avg')) | v2 <- argany(v1)[t > 0] T(f1)\n\
+             f2 | 'year' | 'turnover_rate' | v2 | bar.(y=agg('avg')) | v3 <- argany(v2)[t < 0] T(f2)\n\
+             *f3 | 'year' | 'turnover_rate' | v3 | bar.(y=agg('avg')) |",
+        )
+        .unwrap();
+    for viz in &out.visualizations {
+        println!("  {}", render::describe(viz));
+    }
+
+    // And the recommendation panel (§6.2): five diverse price trends for
+    // the axes the agent is viewing.
+    println!("\n— Recommendation panel: diverse county price trends —\n");
+    for viz in recommend(&engine, &spec).unwrap() {
+        println!("  {}", render::describe(&viz));
+    }
+
+    // Sanity: the drawing box. Sketch the peak by hand and search.
+    let sketch = Series::new(
+        (2004..=2015)
+            .map(|y| {
+                let d = (y - 2010) as f64;
+                (y as f64, 1.0 + 2.0 * (-d * d / 4.0).exp())
+            })
+            .collect(),
+    );
+    let drawn = similarity_search(&engine, &spec, &sketch, 3).unwrap();
+    println!("\ncounties matching a hand-drawn 2008–2012 bump:");
+    for viz in &drawn.visualizations {
+        println!("  {}", render::describe(viz));
+    }
+}

@@ -1,0 +1,201 @@
+//! Cross-crate integration: generators → storage engines → ZQL →
+//! analytics, exercised through the facade crate the way a downstream
+//! user would.
+
+use std::sync::Arc;
+use zenvisage::zql::{self, OptLevel, TaskSpec, ZqlEngine};
+use zenvisage::zv_analytics::{trend, Series};
+use zenvisage::zv_datagen::{airline, housing, AirlineConfig, HousingConfig};
+use zenvisage::zv_storage::{BitmapDb, DynDatabase, ScanDb};
+
+fn airline_db() -> DynDatabase {
+    Arc::new(BitmapDb::new(airline::generate(&AirlineConfig {
+        rows: 60_000,
+        airports: 15,
+        ..Default::default()
+    })))
+}
+
+#[test]
+fn table_7_1_query_finds_increasing_delay_airports() {
+    let mut engine = ZqlEngine::new(airline_db());
+    engine.registry_mut().register_value_set(
+        "OA",
+        (0..10).map(|a| airline::airport_name(a).into()).collect(),
+    );
+    let out = engine
+        .execute_text(
+            "name | x | y | z | viz | process\n\
+             f1 | 'year' | 'dep_delay' | v1 <- 'origin'.OA | bar.(y=agg('avg')) | v2 <- argany(v1)[t > 0] T(f1)\n\
+             f2 | 'year' | 'weather_delay' | v1 | bar.(y=agg('avg')) | v3 <- argany(v1)[t > 0] T(f2)\n\
+             *f3 | 'year' | y3 <- {'dep_delay', 'weather_delay'} | v4 <- (v2.range | v3.range) | bar.(y=agg('avg')) |",
+        )
+        .unwrap();
+    assert!(!out.visualizations.is_empty());
+    // Airports 0,3,6,9 have planted dep-delay growth; 0,4,8 weather.
+    // Every returned airport must be in the union (modulo noise, the
+    // planted effects are strong at these sizes).
+    for viz in &out.visualizations {
+        let airport = viz.label.strip_prefix("origin=").unwrap();
+        let idx = (0..15).find(|&a| airline::airport_name(a) == airport).unwrap();
+        assert!(
+            airline::has_increasing_dep_delay(idx)
+                || airline::has_increasing_weather_delay(idx),
+            "{airport} not planted with any increasing delay"
+        );
+    }
+    // Both measures come back for each qualifying airport.
+    assert_eq!(out.visualizations.len() % 2, 0);
+}
+
+#[test]
+fn table_7_2_query_finds_seasonal_airports() {
+    let mut engine = ZqlEngine::new(airline_db());
+    engine.registry_mut().register_value_set(
+        "DA",
+        (0..10).map(|a| airline::airport_name(a).into()).collect(),
+    );
+    // The June↔December discrepancy is a *magnitude* difference, so D
+    // must compare raw values — the default z-score normalization would
+    // deliberately ignore level shifts ("the user is free to specify
+    // their own variants", §3.8).
+    engine.registry_mut().set_distance_kind(
+        zenvisage::zv_analytics::DistanceKind::Euclidean,
+        zenvisage::zv_analytics::Normalize::None,
+    );
+    let out = engine
+        .execute_text(
+            "name | x | y | z | constraints | viz | process\n\
+             f1 | 'day' | 'arr_delay' | v1 <- 'origin'.DA | month=6 | bar.(y=agg('avg')) |\n\
+             f2 | 'day' | 'arr_delay' | v1 | month=12 | bar.(y=agg('avg')) | v2 <- argmax(v1)[k=3] D(f1, f2)\n\
+             *f3 | 'month' | 'arr_delay' | v2 | | bar.(y=agg('avg')) |",
+        )
+        .unwrap();
+    assert_eq!(out.visualizations.len(), 3);
+    // The top discrepancy airports should be the planted seasonal ones
+    // (0 and 5 within OA; i.e. JFK, DFW).
+    let first = out.visualizations[0].label.strip_prefix("origin=").unwrap();
+    let idx = (0..15).find(|&a| airline::airport_name(a) == first).unwrap();
+    assert!(
+        airline::has_seasonal_arr_contrast(idx),
+        "top answer {first} should be a planted seasonal airport"
+    );
+}
+
+#[test]
+fn scan_backend_is_interchangeable() {
+    // "zenvisage can use as a backend any traditional relational
+    // database" — same ZQL, same results, different engine.
+    let table = airline::generate(&AirlineConfig { rows: 20_000, airports: 8, ..Default::default() });
+    let text = "name | x | y | z | viz\n\
+                *f1 | 'year' | 'dep_delay' | v1 <- 'origin'.* | bar.(y=agg('avg'))";
+    let bitmap_out =
+        ZqlEngine::new(Arc::new(BitmapDb::new(table.clone()))).execute_text(text).unwrap();
+    let scan_out = ZqlEngine::new(Arc::new(ScanDb::new(table))).execute_text(text).unwrap();
+    assert_eq!(bitmap_out.visualizations.len(), scan_out.visualizations.len());
+    for (a, b) in bitmap_out.visualizations.iter().zip(&scan_out.visualizations) {
+        assert_eq!(a.label, b.label);
+        assert_eq!(a.series, b.series);
+    }
+}
+
+#[test]
+fn housing_jessamine_similarity_pipeline() {
+    // The user-study task, end to end: sketch the peak, find Jessamine.
+    let table = housing::generate(&HousingConfig { rows: 30_000, ..Default::default() });
+    let engine = ZqlEngine::new(Arc::new(BitmapDb::new(table)));
+    let spec = TaskSpec::new("year", "sold_price", "county")
+        .with_agg(zenvisage::zv_storage::Agg::Avg);
+    let sketch = zv_study::peak_sketch(0.0);
+    let out = zql::similarity_search(&engine, &spec, &sketch, 5).unwrap();
+    assert_eq!(out.visualizations.len(), 5);
+    // All top matches must actually peak around 2010 (rise then fall).
+    for viz in &out.visualizations {
+        let pts = viz.series.points();
+        let early: Vec<(f64, f64)> = pts.iter().copied().filter(|p| p.0 <= 2010.0).collect();
+        let late: Vec<(f64, f64)> = pts.iter().copied().filter(|p| p.0 >= 2010.0).collect();
+        let rise = trend(&Series::new(early));
+        let fall = trend(&Series::new(late));
+        assert!(
+            rise > 0.0 && fall < 0.0,
+            "{} does not peak: rise {rise}, fall {fall}",
+            viz.label
+        );
+    }
+    use zv_study::peak_sketch;
+    let _ = peak_sketch; // silence unused when cfg differs
+}
+
+#[test]
+fn opt_levels_agree_on_airline_workload() {
+    let table = airline::generate(&AirlineConfig { rows: 30_000, airports: 10, ..Default::default() });
+    let db: DynDatabase = Arc::new(BitmapDb::new(table));
+    let text = "name | x | y | z | constraints | viz | process\n\
+        f1 | 'day' | 'arr_delay' | v1 <- 'origin'.* | month=6 | bar.(y=agg('avg')) |\n\
+        f2 | 'day' | 'arr_delay' | v1 | month=12 | bar.(y=agg('avg')) | v2 <- argmax(v1)[k=3] D(f1, f2)\n\
+        *f3 | 'month' | 'arr_delay' | v2 | | bar.(y=agg('avg')) |";
+    let mut outputs = Vec::new();
+    for opt in [OptLevel::NoOpt, OptLevel::IntraLine, OptLevel::IntraTask, OptLevel::InterTask] {
+        let engine = ZqlEngine::with_opt_level(db.clone(), opt);
+        let out = engine.execute_text(text).unwrap();
+        outputs.push(
+            out.visualizations
+                .iter()
+                .map(|v| (v.label.clone(), v.series.clone()))
+                .collect::<Vec<_>>(),
+        );
+    }
+    for w in outputs.windows(2) {
+        assert_eq!(w[0], w[1]);
+    }
+}
+
+#[test]
+fn recommendation_panel_on_airline() {
+    let engine = ZqlEngine::new(airline_db());
+    let spec = TaskSpec::new("year", "dep_delay", "origin")
+        .with_agg(zenvisage::zv_storage::Agg::Avg);
+    let recs = zql::recommend(&engine, &spec).unwrap();
+    assert_eq!(recs.len(), 5);
+    // Diverse: both increasing and decreasing delay profiles represented.
+    let trends: Vec<f64> = recs.iter().map(|v| trend(&v.series)).collect();
+    assert!(trends.iter().any(|&t| t > 0.0) && trends.iter().any(|&t| t < 0.0), "{trends:?}");
+}
+
+#[test]
+fn csv_import_to_zql_roundtrip() {
+    // A user bringing their own CSV, end to end.
+    let csv = "\
+year,team,score
+2019,red,10
+2019,blue,4
+2020,red,12
+2020,blue,8
+2021,red,15
+2021,blue,16
+";
+    let table = zenvisage::zv_storage::Table::from_csv(csv).unwrap();
+    let engine = ZqlEngine::new(Arc::new(BitmapDb::new(Arc::new(table))));
+    let out = engine
+        .execute_text(
+            "name | x | y | z | viz | process\n\
+             f1 | 'year' | 'score' | v1 <- 'team'.* | bar.(y=agg('sum')) | v2 <- argmax(v1)[k=1] T(f1)\n\
+             *f2 | 'year' | 'score' | v2 | bar.(y=agg('sum')) |",
+        )
+        .unwrap();
+    // blue grows 4 → 16; red grows 10 → 15; blue's slope is higher.
+    assert_eq!(out.visualizations[0].label, "team=blue");
+}
+
+#[test]
+fn database_stats_flow_through_engine() {
+    let db = airline_db();
+    let engine = ZqlEngine::new(db.clone());
+    let before = db.stats().snapshot();
+    let _ = engine
+        .execute_text("name | x | y\n*f1 | 'year' | 'dep_delay'")
+        .unwrap();
+    let delta = db.stats().snapshot().since(&before);
+    assert_eq!(delta.queries, 1);
+    assert!(delta.rows_scanned > 0);
+}
