@@ -7,10 +7,11 @@
 use crate::series::{align, normalize, Normalize, Series};
 
 /// Which metric `D` uses.
-#[derive(Clone, Copy, Debug, PartialEq)]
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
 pub enum DistanceKind {
     /// ℓ2 distance on aligned y vectors — the prototype default (§7.2
     /// "with ℓ2 as a distance metric D").
+    #[default]
     Euclidean,
     /// Dynamic time warping with an optional Sakoe-Chiba band.
     Dtw { window: Option<usize> },
@@ -18,12 +19,6 @@ pub enum DistanceKind {
     KlDivergence,
     /// 1-D Earth Mover's Distance on induced distributions.
     EarthMovers,
-}
-
-impl Default for DistanceKind {
-    fn default() -> Self {
-        DistanceKind::Euclidean
-    }
 }
 
 /// Distance between two equal-length vectors.
@@ -46,7 +41,11 @@ pub fn series_distance(kind: DistanceKind, norm: Normalize, a: &Series, b: &Seri
     let (mut ya, mut yb) = align(a, b);
     if ya.is_empty() {
         // One side has no data: maximally dissimilar unless both empty.
-        return if a.is_empty() && b.is_empty() { 0.0 } else { f64::INFINITY };
+        return if a.is_empty() && b.is_empty() {
+            0.0
+        } else {
+            f64::INFINITY
+        };
     }
     normalize(&mut ya, norm);
     normalize(&mut yb, norm);
@@ -54,7 +53,11 @@ pub fn series_distance(kind: DistanceKind, norm: Normalize, a: &Series, b: &Seri
 }
 
 pub fn euclidean(a: &[f64], b: &[f64]) -> f64 {
-    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt()
 }
 
 pub fn squared_euclidean(a: &[f64], b: &[f64]) -> f64 {
@@ -77,9 +80,7 @@ pub fn dtw(a: &[f64], b: &[f64], window: Option<usize>) -> f64 {
         cur[0] = f64::INFINITY;
         let j_lo = i.saturating_sub(w).max(1);
         let j_hi = (i + w).min(m);
-        for j in 1..=m {
-            cur[j] = f64::INFINITY;
-        }
+        cur[1..=m].fill(f64::INFINITY);
         for j in j_lo..=j_hi {
             let cost = (a[i - 1] - b[j - 1]).abs();
             let best = prev[j].min(cur[j - 1]).min(prev[j - 1]);
@@ -143,7 +144,10 @@ mod tests {
         let b: Vec<f64> = (0..20).map(|i| ((i as f64 - 1.0) / 3.0).sin()).collect();
         let d_dtw = dtw(&a, &b, None);
         let d_l2 = euclidean(&a, &b);
-        assert!(d_dtw < d_l2, "dtw {d_dtw} should beat l2 {d_l2} on shifted series");
+        assert!(
+            d_dtw < d_l2,
+            "dtw {d_dtw} should beat l2 {d_l2} on shifted series"
+        );
     }
 
     #[test]
@@ -203,7 +207,10 @@ mod tests {
         let a = Series::new(vec![(0.0, 1.0), (1.0, 2.0), (2.0, 3.0)]);
         let b = Series::new(vec![(0.0, 100.0), (1.0, 200.0), (2.0, 300.0)]);
         let d = series_distance(DistanceKind::Euclidean, Normalize::ZScore, &a, &b);
-        assert!(d < 1e-9, "shape-equal series should have ~0 distance, got {d}");
+        assert!(
+            d < 1e-9,
+            "shape-equal series should have ~0 distance, got {d}"
+        );
         // Without normalization the scales matter.
         let d_raw = series_distance(DistanceKind::Euclidean, Normalize::None, &a, &b);
         assert!(d_raw > 100.0);
@@ -218,8 +225,9 @@ mod tests {
             series_distance(DistanceKind::Euclidean, Normalize::ZScore, &empty, &empty),
             0.0
         );
-        assert!(series_distance(DistanceKind::Euclidean, Normalize::ZScore, &a, &empty)
-            .is_infinite());
+        assert!(
+            series_distance(DistanceKind::Euclidean, Normalize::ZScore, &a, &empty).is_infinite()
+        );
     }
 
     proptest::proptest! {

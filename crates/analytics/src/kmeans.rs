@@ -32,7 +32,12 @@ pub struct KMeansConfig {
 
 impl KMeansConfig {
     pub fn new(k: usize, seed: u64) -> Self {
-        KMeansConfig { k, max_iterations: 100, seed, tolerance: 1e-6 }
+        KMeansConfig {
+            k,
+            max_iterations: 100,
+            seed,
+            tolerance: 1e-6,
+        }
     }
 }
 
@@ -53,7 +58,10 @@ pub fn kmeans(points: &[Vec<f64>], config: KMeansConfig) -> KMeansResult {
         };
     }
     let dim = points[0].len();
-    debug_assert!(points.iter().all(|p| p.len() == dim), "inconsistent dimensions");
+    debug_assert!(
+        points.iter().all(|p| p.len() == dim),
+        "inconsistent dimensions"
+    );
     let k = config.k.min(n);
 
     let mut rng = StdRng::seed_from_u64(config.seed);
@@ -107,7 +115,12 @@ pub fn kmeans(points: &[Vec<f64>], config: KMeansConfig) -> KMeansResult {
         }
     }
 
-    KMeansResult { centroids, assignments, inertia, iterations }
+    KMeansResult {
+        centroids,
+        assignments,
+        inertia,
+        iterations,
+    }
 }
 
 /// k-means++ seeding: each next centroid is sampled proportionally to its
@@ -116,7 +129,10 @@ fn plus_plus_init(points: &[Vec<f64>], k: usize, rng: &mut StdRng) -> Vec<Vec<f6
     let n = points.len();
     let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
     centroids.push(points[rng.gen_range(0..n)].clone());
-    let mut d2: Vec<f64> = points.iter().map(|p| squared_euclidean(p, &centroids[0])).collect();
+    let mut d2: Vec<f64> = points
+        .iter()
+        .map(|p| squared_euclidean(p, &centroids[0]))
+        .collect();
     while centroids.len() < k {
         let total: f64 = d2.iter().sum();
         let next = if total <= 0.0 {
@@ -180,9 +196,11 @@ mod tests {
         assert_eq!(res.centroids.len(), 3);
         // Every blob's points land in one cluster.
         for blob in 0..3 {
-            let ids: Vec<usize> =
-                (0..10).map(|i| res.assignments[i * 3 + blob]).collect();
-            assert!(ids.iter().all(|&c| c == ids[0]), "blob {blob} split across clusters");
+            let ids: Vec<usize> = (0..10).map(|i| res.assignments[i * 3 + blob]).collect();
+            assert!(
+                ids.iter().all(|&c| c == ids[0]),
+                "blob {blob} split across clusters"
+            );
         }
         // Low inertia: points are within 0.1 of their blob center.
         assert!(res.inertia < 1.0, "inertia {}", res.inertia);

@@ -43,7 +43,7 @@ pub fn representatives(points: &[Vec<f64>], k: usize, seed: u64) -> Vec<usize> {
     let res = kmeans(points, KMeansConfig::new(k, seed));
     let mut reps = Vec::with_capacity(res.centroids.len());
     for c in &res.centroids {
-        let (best, _) = nearest(c, &points.iter().cloned().collect::<Vec<_>>());
+        let (best, _) = nearest(c, points);
         if !reps.contains(&best) {
             reps.push(best);
         }
@@ -155,7 +155,10 @@ pub fn outlier_scores(points: &[Vec<f64>], k_reps: usize, seed: u64) -> Vec<f64>
         return Vec::new();
     }
     let res = kmeans(points, KMeansConfig::new(k_reps.max(1), seed));
-    points.iter().map(|p| nearest(p, &res.centroids).1.sqrt()).collect()
+    points
+        .iter()
+        .map(|p| nearest(p, &res.centroids).1.sqrt())
+        .collect()
 }
 
 /// Indices of the `k` most anomalous points, sorted by decreasing score.
@@ -198,7 +201,10 @@ mod tests {
         assert_eq!(reps.len(), 2);
         let one_up = reps.iter().any(|&r| r < 8);
         let one_down = reps.iter().any(|&r| r >= 8);
-        assert!(one_up && one_down, "representatives {reps:?} should span both shapes");
+        assert!(
+            one_up && one_down,
+            "representatives {reps:?} should span both shapes"
+        );
     }
 
     #[test]
@@ -234,8 +240,9 @@ mod tests {
         let series = clustered_series();
         let pts = embed(&series);
         let scores = outlier_scores(&pts, 2, 13);
-        let max_idx =
-            (0..scores.len()).max_by(|&a, &b| scores[a].total_cmp(&scores[b])).unwrap();
+        let max_idx = (0..scores.len())
+            .max_by(|&a, &b| scores[a].total_cmp(&scores[b]))
+            .unwrap();
         assert_eq!(max_idx, 16);
     }
 

@@ -35,7 +35,20 @@ impl Series {
 
     /// Build from y values on an implicit 0..n x-grid.
     pub fn from_ys(ys: &[f64]) -> Self {
-        Series { points: ys.iter().enumerate().map(|(i, &y)| (i as f64, y)).collect() }
+        Series {
+            points: ys.iter().enumerate().map(|(i, &y)| (i as f64, y)).collect(),
+        }
+    }
+
+    /// Build from points already sorted by strictly increasing `x` — the
+    /// shape grouped-aggregation results arrive in — skipping the
+    /// sort-and-merge pass of [`Series::new`]. Checked in debug builds.
+    pub fn from_sorted_points(points: Vec<(f64, f64)>) -> Self {
+        debug_assert!(
+            points.windows(2).all(|w| w[0].0 < w[1].0),
+            "from_sorted_points requires strictly increasing x"
+        );
+        Series { points }
     }
 
     pub fn points(&self) -> &[(f64, f64)] {
@@ -95,7 +108,9 @@ impl Series {
         if n == 1 || x1 == x0 {
             return vec![self.points[0].1; n];
         }
-        (0..n).map(|i| self.value_at(x0 + (x1 - x0) * i as f64 / (n - 1) as f64)).collect()
+        (0..n)
+            .map(|i| self.value_at(x0 + (x1 - x0) * i as f64 / (n - 1) as f64))
+            .collect()
     }
 }
 

@@ -68,8 +68,7 @@ pub fn inc_beta(a: f64, b: f64, x: f64) -> f64 {
     if x == 1.0 {
         return 1.0;
     }
-    let ln_front =
-        ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
+    let ln_front = ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
     let front = ln_front.exp();
     if x < (a + 1.0) / (a + b + 2.0) {
         front * beta_cf(a, b, x) / a
@@ -138,9 +137,8 @@ pub fn erfc(x: f64) -> f64 {
                         + t * (-0.18628806
                             + t * (0.27886807
                                 + t * (-1.13520398
-                                    + t * (1.48851587
-                                        + t * (-0.82215223 + t * 0.17087277)))))))))
-        .exp();
+                                    + t * (1.48851587 + t * (-0.82215223 + t * 0.17087277)))))))))
+            .exp();
     if x >= 0.0 {
         ans
     } else {
@@ -264,7 +262,12 @@ pub fn integrate<F: Fn(f64) -> f64>(f: F, a: f64, b: f64, n: usize) -> f64 {
     let (nodes, weights) = gauss_legendre(n);
     let half = (b - a) / 2.0;
     let mid = (a + b) / 2.0;
-    nodes.iter().zip(&weights).map(|(&x, &w)| w * f(mid + half * x)).sum::<f64>() * half
+    nodes
+        .iter()
+        .zip(&weights)
+        .map(|(&x, &w)| w * f(mid + half * x))
+        .sum::<f64>()
+        * half
 }
 
 // ---------------------------------------------------------------------
@@ -355,9 +358,23 @@ pub fn one_way_anova(groups: &[Vec<f64>]) -> Anova {
     let df_within = (n_total - k) as f64;
     let ms_between = ss_between / df_between;
     let ms_within = ss_within / df_within;
-    let f = if ms_within > 0.0 { ms_between / ms_within } else { f64::INFINITY };
-    let p_value = if f.is_finite() { f_sf(f, df_between, df_within) } else { 0.0 };
-    Anova { f, df_between, df_within, ms_within, p_value }
+    let f = if ms_within > 0.0 {
+        ms_between / ms_within
+    } else {
+        f64::INFINITY
+    };
+    let p_value = if f.is_finite() {
+        f_sf(f, df_between, df_within)
+    } else {
+        0.0
+    };
+    Anova {
+        f,
+        df_between,
+        df_within,
+        ms_within,
+        p_value,
+    }
 }
 
 /// One pairwise comparison from Tukey's test.
@@ -391,7 +408,12 @@ pub fn tukey_hsd(groups: &[Vec<f64>]) -> Vec<TukeyComparison> {
             let se = (anova.ms_within / 2.0 * (1.0 / na + 1.0 / nb)).sqrt();
             let q = (mean(&groups[a]) - mean(&groups[b])).abs() / se;
             let p_value = ptukey_sf(q, k, anova.df_within);
-            out.push(TukeyComparison { group_a: a, group_b: b, q, p_value });
+            out.push(TukeyComparison {
+                group_a: a,
+                group_b: b,
+                q,
+                p_value,
+            });
         }
     }
     out
@@ -402,7 +424,10 @@ pub fn tukey_hsd(groups: &[Vec<f64>]) -> Vec<TukeyComparison> {
 pub fn chi_square_uniform(observed: &[f64]) -> (f64, f64) {
     let total: f64 = observed.iter().sum();
     let expected = total / observed.len() as f64;
-    let chi2: f64 = observed.iter().map(|&o| (o - expected) * (o - expected) / expected).sum();
+    let chi2: f64 = observed
+        .iter()
+        .map(|&o| (o - expected) * (o - expected) / expected)
+        .sum();
     let df = (observed.len() - 1) as f64;
     (chi2, chi2_sf(chi2, df))
 }
@@ -519,7 +544,11 @@ mod tests {
     #[test]
     fn studentized_range_critical_values() {
         // Published q tables: q_{0.05}(k=3, df=30) ≈ 3.486
-        assert!((ptukey(3.486, 3, 30.0) - 0.95).abs() < 3e-3, "{}", ptukey(3.486, 3, 30.0));
+        assert!(
+            (ptukey(3.486, 3, 30.0) - 0.95).abs() < 3e-3,
+            "{}",
+            ptukey(3.486, 3, 30.0)
+        );
         // q_{0.05}(k=2, df=10) ≈ 3.151
         assert!((ptukey(3.151, 2, 10.0) - 0.95).abs() < 3e-3);
         // q_{0.01}(k=3, df=60) ≈ 4.282
@@ -547,8 +576,16 @@ mod tests {
 
     #[test]
     fn anova_detects_group_differences() {
-        let same = vec![vec![1.0, 2.0, 3.0], vec![1.1, 2.1, 2.9], vec![0.9, 2.0, 3.1]];
-        let diff = vec![vec![1.0, 2.0, 3.0], vec![11.0, 12.0, 13.0], vec![21.0, 22.0, 23.0]];
+        let same = vec![
+            vec![1.0, 2.0, 3.0],
+            vec![1.1, 2.1, 2.9],
+            vec![0.9, 2.0, 3.1],
+        ];
+        let diff = vec![
+            vec![1.0, 2.0, 3.0],
+            vec![11.0, 12.0, 13.0],
+            vec![21.0, 22.0, 23.0],
+        ];
         assert!(one_way_anova(&same).p_value > 0.5);
         let a = one_way_anova(&diff);
         assert!(a.p_value < 1e-4);

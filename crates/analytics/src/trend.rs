@@ -18,7 +18,11 @@ pub fn linear_fit(points: &[(f64, f64)]) -> LinearFit {
     let n = points.len() as f64;
     if points.len() < 2 {
         let y = points.first().map(|p| p.1).unwrap_or(0.0);
-        return LinearFit { slope: 0.0, intercept: y, r_squared: 1.0 };
+        return LinearFit {
+            slope: 0.0,
+            intercept: y,
+            r_squared: 1.0,
+        };
     }
     let mean_x = points.iter().map(|p| p.0).sum::<f64>() / n;
     let mean_y = points.iter().map(|p| p.1).sum::<f64>() / n;
@@ -33,12 +37,24 @@ pub fn linear_fit(points: &[(f64, f64)]) -> LinearFit {
         syy += dy * dy;
     }
     if sxx == 0.0 {
-        return LinearFit { slope: 0.0, intercept: mean_y, r_squared: 1.0 };
+        return LinearFit {
+            slope: 0.0,
+            intercept: mean_y,
+            r_squared: 1.0,
+        };
     }
     let slope = sxy / sxx;
     let intercept = mean_y - slope * mean_x;
-    let r_squared = if syy == 0.0 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
-    LinearFit { slope, intercept, r_squared }
+    let r_squared = if syy == 0.0 {
+        1.0
+    } else {
+        (sxy * sxy) / (sxx * syy)
+    };
+    LinearFit {
+        slope,
+        intercept,
+        r_squared,
+    }
 }
 
 /// The default `T`: positive for growth, negative for decline (the slope
@@ -126,7 +142,7 @@ mod tests {
 
         #[test]
         fn prop_r_squared_bounded(ys in proptest::collection::vec(-50.0f64..50.0, 2..30)) {
-            let fit = linear_fit(&Series::from_ys(&ys).points().to_vec());
+            let fit = linear_fit(Series::from_ys(&ys).points());
             proptest::prop_assert!(fit.r_squared >= -1e-9 && fit.r_squared <= 1.0 + 1e-9);
         }
     }

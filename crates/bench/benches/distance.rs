@@ -8,7 +8,9 @@ use zv_analytics::{series_distance, DistanceKind, Normalize, Series};
 
 fn wave(n: usize, phase: f64) -> Series {
     Series::from_ys(
-        &(0..n).map(|i| ((i as f64 / 5.0) + phase).sin() * 10.0 + i as f64 * 0.1).collect::<Vec<_>>(),
+        &(0..n)
+            .map(|i| ((i as f64 / 5.0) + phase).sin() * 10.0 + i as f64 * 0.1)
+            .collect::<Vec<_>>(),
     )
 }
 
@@ -26,9 +28,8 @@ fn bench_metrics(c: &mut Criterion) {
             ("emd", DistanceKind::EarthMovers),
         ] {
             group.bench_with_input(BenchmarkId::new(name, n), &n, |bencher, _| {
-                bencher.iter(|| {
-                    black_box(series_distance(kind, Normalize::ZScore, black_box(&a), &b))
-                })
+                bencher
+                    .iter(|| black_box(series_distance(kind, Normalize::ZScore, black_box(&a), &b)))
             });
         }
     }
@@ -40,10 +41,19 @@ fn bench_alignment(c: &mut Criterion) {
     let mut group = c.benchmark_group("alignment");
     group.sample_size(30);
     let a = Series::new((0..200).map(|i| (i as f64, (i as f64).sin())).collect());
-    let b = Series::new((0..200).map(|i| (i as f64 + 0.5, (i as f64).cos())).collect());
+    let b = Series::new(
+        (0..200)
+            .map(|i| (i as f64 + 0.5, (i as f64).cos()))
+            .collect(),
+    );
     group.bench_function("misaligned_grids", |bencher| {
         bencher.iter(|| {
-            black_box(series_distance(DistanceKind::Euclidean, Normalize::ZScore, &a, &b))
+            black_box(series_distance(
+                DistanceKind::Euclidean,
+                Normalize::ZScore,
+                &a,
+                &b,
+            ))
         })
     });
     group.finish();

@@ -1,13 +1,14 @@
 //! Ablation: dense-array vs hash-map group lookup (DESIGN.md §5) — the
-//! mechanism behind the Figure 7.5 crossover at 100% selectivity.
+//! mechanism behind the Figure 7.5 crossover at 100% selectivity — plus
+//! the serial-vs-sharded comparison and thread-scaling sweep for the
+//! parallel aggregation engine at 1M rows.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use std::sync::Arc;
 use zv_datagen::{sales, SalesConfig};
-use zv_storage::{
-    BitmapDb, BitmapDbConfig, Database, SelectQuery, XSpec, YSpec,
-};
+use zv_storage::exec::{aggregate, aggregate_parallel, GroupStrategy, RowSource};
+use zv_storage::{BitmapDb, BitmapDbConfig, Database, SelectQuery, XSpec, YSpec};
 
 fn bench_group_strategies(c: &mut Criterion) {
     let table = sales::generate(&SalesConfig {
@@ -18,23 +19,33 @@ fn bench_group_strategies(c: &mut Criterion) {
     // Same engine, forced into each strategy.
     let dense = BitmapDb::with_config(
         table.clone(),
-        BitmapDbConfig { dense_group_limit: u128::MAX, ..Default::default() },
+        BitmapDbConfig {
+            dense_group_limit: u128::MAX,
+            ..Default::default()
+        },
     );
     let hash = BitmapDb::with_config(
         Arc::clone(&table),
-        BitmapDbConfig { dense_group_limit: 0, ..Default::default() },
+        BitmapDbConfig {
+            dense_group_limit: 0,
+            ..Default::default()
+        },
     );
     let q = SelectQuery::new(XSpec::raw("year"), vec![YSpec::sum("sales")]).with_z("product");
     let groups = 2_000 * 7;
 
     let mut group = c.benchmark_group("group_lookup");
     group.sample_size(20);
-    group.bench_with_input(BenchmarkId::new("dense_array", groups), &groups, |bencher, _| {
-        bencher.iter(|| black_box(dense.execute(&q).unwrap()).groups.len())
-    });
-    group.bench_with_input(BenchmarkId::new("hash_map", groups), &groups, |bencher, _| {
-        bencher.iter(|| black_box(hash.execute(&q).unwrap()).groups.len())
-    });
+    group.bench_with_input(
+        BenchmarkId::new("dense_array", groups),
+        &groups,
+        |bencher, _| bencher.iter(|| black_box(dense.execute(&q).unwrap()).groups.len()),
+    );
+    group.bench_with_input(
+        BenchmarkId::new("hash_map", groups),
+        &groups,
+        |bencher, _| bencher.iter(|| black_box(hash.execute(&q).unwrap()).groups.len()),
+    );
     group.finish();
 }
 
@@ -61,5 +72,82 @@ fn bench_selection_paths(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_group_strategies, bench_selection_paths);
+/// Serial vs sharded aggregation on a 1M-row sales table, both group
+/// strategies. Thread count 0 = all hardware threads; on a single-core
+/// host the two bars should be within noise of each other (the sharded
+/// path degrades to the serial scan).
+fn bench_serial_vs_parallel(c: &mut Criterion) {
+    let table = sales::generate(&SalesConfig {
+        rows: 1_000_000,
+        products: 500,
+        ..Default::default()
+    });
+    let q = SelectQuery::new(XSpec::raw("year"), vec![YSpec::sum("sales")]).with_z("product");
+
+    let mut group = c.benchmark_group("groupby_1m");
+    group.sample_size(10);
+    for (name, strategy) in [
+        ("dense", GroupStrategy::Dense),
+        ("hash", GroupStrategy::Hash),
+    ] {
+        group.bench_function(format!("serial_{name}"), |bencher| {
+            bencher.iter(|| {
+                let src = RowSource::All(table.num_rows());
+                black_box(aggregate(&table, &q, &src, strategy).unwrap())
+                    .0
+                    .groups
+                    .len()
+            })
+        });
+        group.bench_function(format!("parallel_{name}"), |bencher| {
+            bencher.iter(|| {
+                let src = RowSource::All(table.num_rows());
+                black_box(aggregate_parallel(&table, &q, &src, strategy, 0).unwrap())
+                    .0
+                    .groups
+                    .len()
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Thread-scaling sweep for the sharded scan at 1M rows.
+fn bench_thread_scaling(c: &mut Criterion) {
+    let table = sales::generate(&SalesConfig {
+        rows: 1_000_000,
+        products: 500,
+        ..Default::default()
+    });
+    let q = SelectQuery::new(XSpec::raw("year"), vec![YSpec::sum("sales")]).with_z("product");
+
+    let mut group = c.benchmark_group("thread_scaling_1m");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("threads", threads),
+            &threads,
+            |bencher, &t| {
+                bencher.iter(|| {
+                    let src = RowSource::All(table.num_rows());
+                    black_box(
+                        aggregate_parallel(&table, &q, &src, GroupStrategy::Dense, t).unwrap(),
+                    )
+                    .0
+                    .groups
+                    .len()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_group_strategies,
+    bench_selection_paths,
+    bench_serial_vs_parallel,
+    bench_thread_scaling
+);
 criterion_main!(benches);

@@ -49,7 +49,9 @@ fn bench_set_ops(c: &mut Criterion) {
     group.sample_size(20);
     let a: RoaringBitmap = (0..500_000u32).collect();
     let b: RoaringBitmap = (250_000..750_000u32).collect();
-    group.bench_function("roaring_or", |bencher| bencher.iter(|| black_box(a.or(&b)).len()));
+    group.bench_function("roaring_or", |bencher| {
+        bencher.iter(|| black_box(a.or(&b)).len())
+    });
     group.finish();
 }
 

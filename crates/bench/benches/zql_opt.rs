@@ -19,19 +19,30 @@ fn bench_opt_levels(c: &mut Criterion) {
         products: 100,
         ..Default::default()
     })));
-    let products: Vec<Value> = (0..20).map(|p| Value::str(sales::product_name(p))).collect();
+    let products: Vec<Value> = (0..20)
+        .map(|p| Value::str(sales::product_name(p)))
+        .collect();
 
     let mut group = c.benchmark_group("table_5_1_query");
     group.sample_size(10);
-    for opt in [OptLevel::NoOpt, OptLevel::IntraLine, OptLevel::IntraTask, OptLevel::InterTask] {
+    for opt in [
+        OptLevel::NoOpt,
+        OptLevel::IntraLine,
+        OptLevel::IntraTask,
+        OptLevel::InterTask,
+    ] {
         let mut engine = ZqlEngine::with_opt_level(db.clone(), opt);
-        engine.registry_mut().register_value_set("P", products.clone());
+        engine
+            .registry_mut()
+            .register_value_set("P", products.clone());
         group.bench_with_input(
             BenchmarkId::new("opt", format!("{opt:?}")),
             &opt,
             |bencher, _| {
                 bencher.iter(|| {
-                    black_box(engine.execute_text(QUERY).unwrap()).visualizations.len()
+                    black_box(engine.execute_text(QUERY).unwrap())
+                        .visualizations
+                        .len()
                 })
             },
         );
@@ -54,13 +65,90 @@ fn bench_tasks(c: &mut Criterion) {
     let mut group = c.benchmark_group("task_processors");
     group.sample_size(10);
     group.bench_function("similarity_200", |bencher| {
-        bencher.iter(|| similarity_search(&engine, &spec, &sketch, 5).unwrap().visualizations)
+        bencher.iter(|| {
+            similarity_search(&engine, &spec, &sketch, 5)
+                .unwrap()
+                .visualizations
+        })
     });
     group.bench_function("representative_200", |bencher| {
-        bencher.iter(|| representative_search(&engine, &spec, 10).unwrap().visualizations)
+        bencher.iter(|| {
+            representative_search(&engine, &spec, 10)
+                .unwrap()
+                .visualizations
+        })
     });
     group.finish();
 }
 
-criterion_group!(benches, bench_opt_levels, bench_tasks);
+/// End-to-end ZQL with the storage pool disabled vs enabled: the same
+/// Table 5.1 query and similarity task, routed serially vs sharded
+/// (1M-row sales table, InterTask batching in both cases).
+fn bench_parallel_routing(c: &mut Criterion) {
+    use zql::{similarity_search, TaskSpec};
+    use zv_analytics::Series;
+    use zv_storage::{BitmapDbConfig, ParallelConfig};
+
+    let table = sales::generate(&SalesConfig {
+        rows: 1_000_000,
+        products: 100,
+        ..Default::default()
+    });
+    let serial: DynDatabase = Arc::new(BitmapDb::with_config(
+        table.clone(),
+        BitmapDbConfig {
+            parallel: ParallelConfig {
+                threads: 1,
+                min_parallel_rows: usize::MAX,
+            },
+            ..Default::default()
+        },
+    ));
+    let sharded: DynDatabase = Arc::new(BitmapDb::with_config(
+        table,
+        BitmapDbConfig {
+            parallel: ParallelConfig {
+                threads: 0,
+                min_parallel_rows: 1 << 16,
+            },
+            ..Default::default()
+        },
+    ));
+    let products: Vec<Value> = (0..20)
+        .map(|p| Value::str(sales::product_name(p)))
+        .collect();
+    let spec = TaskSpec::new("year", "sales", "product");
+    let sketch = Series::from_ys(&[0.0, 1.0, 2.0, 3.0, 4.0, 5.0]);
+
+    let mut group = c.benchmark_group("zql_parallel_1m");
+    group.sample_size(10);
+    for (name, db) in [("serial", &serial), ("sharded", &sharded)] {
+        let mut engine = ZqlEngine::new(db.clone());
+        engine
+            .registry_mut()
+            .register_value_set("P", products.clone());
+        group.bench_function(format!("table_5_1_{name}"), |bencher| {
+            bencher.iter(|| {
+                black_box(engine.execute_text(QUERY).unwrap())
+                    .visualizations
+                    .len()
+            })
+        });
+        group.bench_function(format!("similarity_{name}"), |bencher| {
+            bencher.iter(|| {
+                similarity_search(&engine, &spec, &sketch, 5)
+                    .unwrap()
+                    .visualizations
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_opt_levels,
+    bench_tasks,
+    bench_parallel_routing
+);
 criterion_main!(benches);

@@ -1,9 +1,11 @@
 //! Runs every evaluation experiment (Figures 7.1–7.5, Chapter 8) and
 //! writes each report under bench_results/. Pass --full-scale for the
 //! paper's dataset sizes.
+type FigureFn = fn(&zv_bench::Scale) -> String;
+
 fn main() {
     let scale = zv_bench::Scale::from_args();
-    let figures: [(&str, fn(&zv_bench::Scale) -> String); 6] = [
+    let figures: [(&str, FigureFn); 6] = [
         ("fig7_1", zv_bench::figures::fig7_1),
         ("fig7_2", zv_bench::figures::fig7_2),
         ("fig7_3", zv_bench::figures::fig7_3),

@@ -1,0 +1,137 @@
+//! Perf-trajectory tracker for the aggregation hot path: measures serial
+//! vs sharded grouped aggregation on a generated sales table and dumps a
+//! machine-readable speedup summary.
+//!
+//! ```text
+//! bench_groupby [--rows N] [--threads 1,2,4,8] [--reps K] [--json PATH]
+//! ```
+//!
+//! Writes `BENCH_groupby.json` (override with `--json`) so successive
+//! PRs can diff the numbers. Speedups are relative to the serial chunked
+//! scan on the same machine; on a single-core host expect ≈1.0.
+
+use std::time::Instant;
+use zv_datagen::{sales, SalesConfig};
+use zv_storage::exec::{aggregate, aggregate_parallel, GroupStrategy, RowSource};
+use zv_storage::{SelectQuery, XSpec, YSpec};
+
+struct Args {
+    rows: usize,
+    threads: Vec<usize>,
+    reps: usize,
+    json: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        rows: 1_000_000,
+        threads: vec![1, 2, 4, 8],
+        reps: 5,
+        json: "BENCH_groupby.json".to_string(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--rows" => args.rows = it.next().expect("--rows N").parse().expect("row count"),
+            "--threads" => {
+                args.threads = it
+                    .next()
+                    .expect("--threads list")
+                    .split(',')
+                    .map(|t| t.parse().expect("thread count"))
+                    .collect()
+            }
+            "--reps" => args.reps = it.next().expect("--reps K").parse().expect("rep count"),
+            "--json" => args.json = it.next().expect("--json PATH"),
+            "--quick" => {
+                args.rows = args.rows.min(200_000);
+                args.reps = 2;
+            }
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+/// Best-of-`reps` wall-clock in milliseconds.
+fn best_ms(reps: usize, mut f: impl FnMut() -> usize) -> (f64, usize) {
+    let mut best = f64::INFINITY;
+    let mut out = 0;
+    for _ in 0..reps {
+        let start = Instant::now();
+        out = f();
+        best = best.min(start.elapsed().as_secs_f64() * 1e3);
+    }
+    (best, out)
+}
+
+fn main() {
+    let args = parse_args();
+    let hardware = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    eprintln!(
+        "generating {} sales rows ({} hardware threads available)…",
+        args.rows, hardware
+    );
+    let table = sales::generate(&SalesConfig {
+        rows: args.rows,
+        products: 500,
+        ..Default::default()
+    });
+    let q = SelectQuery::new(XSpec::raw("year"), vec![YSpec::sum("sales")]).with_z("product");
+
+    let mut entries: Vec<String> = Vec::new();
+    let mut summary: Vec<String> = Vec::new();
+    for (name, strategy) in [
+        ("dense", GroupStrategy::Dense),
+        ("hash", GroupStrategy::Hash),
+    ] {
+        let (serial_ms, groups) = best_ms(args.reps, || {
+            let src = RowSource::All(table.num_rows());
+            aggregate(&table, &q, &src, strategy)
+                .unwrap()
+                .0
+                .groups
+                .len()
+        });
+        println!("{name:>6} serial      {serial_ms:9.2} ms   ({groups} groups)");
+        entries.push(format!(
+            "    {{\"strategy\": \"{name}\", \"mode\": \"serial\", \"threads\": 1, \
+             \"best_ms\": {serial_ms:.3}}}"
+        ));
+        for &t in &args.threads {
+            let (par_ms, pgroups) = best_ms(args.reps, || {
+                let src = RowSource::All(table.num_rows());
+                aggregate_parallel(&table, &q, &src, strategy, t)
+                    .unwrap()
+                    .0
+                    .groups
+                    .len()
+            });
+            assert_eq!(pgroups, groups, "parallel result diverged");
+            let speedup = serial_ms / par_ms;
+            println!("{name:>6} parallel×{t:<2} {par_ms:9.2} ms   speedup {speedup:5.2}×");
+            entries.push(format!(
+                "    {{\"strategy\": \"{name}\", \"mode\": \"parallel\", \"threads\": {t}, \
+                 \"best_ms\": {par_ms:.3}, \"speedup\": {speedup:.3}}}"
+            ));
+            if Some(&t) == args.threads.iter().max() {
+                summary.push(format!("\"{name}_max_speedup\": {speedup:.3}"));
+            }
+        }
+    }
+
+    let json = format!(
+        "{{\n  \"rows\": {},\n  \"hardware_threads\": {},\n  \"results\": [\n{}\n  ],\n  {}\n}}\n",
+        args.rows,
+        hardware,
+        entries.join(",\n"),
+        summary.join(",\n  "),
+    );
+    std::fs::write(&args.json, &json).expect("write json summary");
+    eprintln!("wrote {}", args.json);
+}

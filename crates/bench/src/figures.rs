@@ -10,12 +10,16 @@ use zql::{
 use zv_analytics::Series;
 use zv_datagen::{airline, census, sales, AirlineConfig, CensusConfig, SalesConfig};
 use zv_storage::{
-    Agg, BitmapDb, BitmapDbConfig, CatColumn, Column, Database, DataType, DynDatabase, Field,
+    Agg, BitmapDb, BitmapDbConfig, CatColumn, Column, DataType, Database, DynDatabase, Field,
     Predicate, ScanDb, Schema, SelectQuery, Table, Value, XSpec, YSpec,
 };
 
-const OPT_LEVELS: [OptLevel; 4] =
-    [OptLevel::NoOpt, OptLevel::IntraLine, OptLevel::IntraTask, OptLevel::InterTask];
+const OPT_LEVELS: [OptLevel; 4] = [
+    OptLevel::NoOpt,
+    OptLevel::IntraLine,
+    OptLevel::IntraTask,
+    OptLevel::InterTask,
+];
 
 fn sales_db(scale: &Scale) -> DynDatabase {
     let cfg = SalesConfig {
@@ -25,7 +29,10 @@ fn sales_db(scale: &Scale) -> DynDatabase {
     };
     Arc::new(BitmapDb::with_config(
         sales::generate(&cfg),
-        BitmapDbConfig { request_overhead: request_overhead(), ..Default::default() },
+        BitmapDbConfig {
+            request_overhead: request_overhead(),
+            ..Default::default()
+        },
     ))
 }
 
@@ -37,19 +44,34 @@ fn airline_db(scale: &Scale) -> DynDatabase {
     };
     Arc::new(BitmapDb::with_config(
         airline::generate(&cfg),
-        BitmapDbConfig { request_overhead: request_overhead(), ..Default::default() },
+        BitmapDbConfig {
+            request_overhead: request_overhead(),
+            ..Default::default()
+        },
     ))
 }
 
 fn census_db(scale: &Scale) -> DynDatabase {
-    let cfg = CensusConfig { rows: scale.pick(50_000, 300_000), ..Default::default() };
+    let cfg = CensusConfig {
+        rows: scale.pick(50_000, 300_000),
+        ..Default::default()
+    };
     Arc::new(BitmapDb::new(census::generate(&cfg)))
 }
 
-fn run_at_levels(db: &DynDatabase, label: &str, text: &str, setup: impl Fn(&mut ZqlEngine)) -> String {
+fn run_at_levels(
+    db: &DynDatabase,
+    label: &str,
+    text: &str,
+    setup: impl Fn(&mut ZqlEngine),
+) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "{label}");
-    let _ = writeln!(out, "  {:<12} {:>10} {:>14} {:>14}", "level", "runtime", "sql queries", "sql requests");
+    let _ = writeln!(
+        out,
+        "  {:<12} {:>10} {:>14} {:>14}",
+        "level", "runtime", "sql queries", "sql requests"
+    );
     for opt in OPT_LEVELS {
         let mut engine = ZqlEngine::with_opt_level(db.clone(), opt);
         setup(&mut engine);
@@ -71,8 +93,9 @@ fn run_at_levels(db: &DynDatabase, label: &str, text: &str, setup: impl Fn(&mut 
 /// optimization level.
 pub fn fig7_1(scale: &Scale) -> String {
     let db = sales_db(scale);
-    let products: Vec<Value> =
-        (0..20).map(|p| Value::str(sales::product_name(p))).collect();
+    let products: Vec<Value> = (0..20)
+        .map(|p| Value::str(sales::product_name(p)))
+        .collect();
     let register = move |e: &mut ZqlEngine| {
         e.registry_mut().register_value_set("P", products.clone());
     };
@@ -94,10 +117,19 @@ pub fn fig7_1(scale: &Scale) -> String {
         db.table().num_rows(),
         request_overhead()
     );
-    out += &run_at_levels(&db, "(top) Table 5.1 — +US/-UK trend filter:", table_5_1, &register);
+    out += &run_at_levels(
+        &db,
+        "(top) Table 5.1 — +US/-UK trend filter:",
+        table_5_1,
+        &register,
+    );
     out.push('\n');
-    out +=
-        &run_at_levels(&db, "(bottom) Table 5.2 — 2010 vs 2015 discrepancy:", table_5_2, &register);
+    out += &run_at_levels(
+        &db,
+        "(bottom) Table 5.2 — 2010 vs 2015 discrepancy:",
+        table_5_2,
+        &register,
+    );
     out
 }
 
@@ -105,8 +137,9 @@ pub fn fig7_1(scale: &Scale) -> String {
 /// airline dataset.
 pub fn fig7_2(scale: &Scale) -> String {
     let db = airline_db(scale);
-    let airports: Vec<Value> =
-        (0..10).map(|a| Value::str(airline::airport_name(a))).collect();
+    let airports: Vec<Value> = (0..10)
+        .map(|a| Value::str(airline::airport_name(a)))
+        .collect();
     let register = move |e: &mut ZqlEngine| {
         e.registry_mut().register_value_set("OA", airports.clone());
         e.registry_mut().register_value_set("DA", airports.clone());
@@ -130,16 +163,32 @@ pub fn fig7_2(scale: &Scale) -> String {
         db.table().num_rows(),
         request_overhead()
     );
-    out += &run_at_levels(&db, "(left) Table 7.1 — increasing delays:", table_7_1, &register);
+    out += &run_at_levels(
+        &db,
+        "(left) Table 7.1 — increasing delays:",
+        table_7_1,
+        &register,
+    );
     out.push('\n');
-    out += &run_at_levels(&db, "(right) Table 7.2 — June vs December:", table_7_2, &register);
+    out += &run_at_levels(
+        &db,
+        "(right) Table 7.2 — June vs December:",
+        table_7_2,
+        &register,
+    );
     out
 }
 
 fn run_tasks(engine: &ZqlEngine, spec: &TaskSpec, sketch: &Series) -> [zql::ExecReport; 3] {
-    let sim = similarity_search(engine, spec, sketch, 1).expect("similarity").report;
-    let rep = representative_search(engine, spec, 10).expect("representative").report;
-    let out = outlier_search(engine, spec, 10, 10).expect("outlier").report;
+    let sim = similarity_search(engine, spec, sketch, 1)
+        .expect("similarity")
+        .report;
+    let rep = representative_search(engine, spec, 10)
+        .expect("representative")
+        .report;
+    let out = outlier_search(engine, spec, 10, 10)
+        .expect("outlier")
+        .report;
     [sim, rep, out]
 }
 
@@ -150,7 +199,10 @@ fn task_table(reports: &[zql::ExecReport; 3]) -> String {
         "  {:<16} {:>12} {:>14} {:>14}",
         "task", "total", "computation", "query exec"
     );
-    for (name, r) in ["similarity", "representative", "outlier"].iter().zip(reports) {
+    for (name, r) in ["similarity", "representative", "outlier"]
+        .iter()
+        .zip(reports)
+    {
         let _ = writeln!(
             out,
             "  {:<16} {:>12} {:>14} {:>14}",
@@ -291,7 +343,10 @@ pub fn fig7_5(scale: &Scale) -> String {
     let reps = if scale.full { 2 } else { 3 };
 
     let mut out = String::from("Figure 7.5 — RoaringDB vs ScanDB (canonical grouped query)\n");
-    let _ = writeln!(out, "rows={rows}; query: SELECT x2, SUM(m), Z GROUP BY Z, x2\n");
+    let _ = writeln!(
+        out,
+        "rows={rows}; query: SELECT x2, SUM(m), Z GROUP BY Z, x2\n"
+    );
     for selectivity in ["100%", "10%"] {
         let _ = writeln!(out, "selectivity {selectivity}:");
         let _ = writeln!(
@@ -328,7 +383,11 @@ pub fn fig7_5(scale: &Scale) -> String {
     let bitmap = BitmapDb::new(census.clone());
     let scan = ScanDb::new(census.clone());
     let _ = writeln!(out, "census data (rows={}):", census.num_rows());
-    let _ = writeln!(out, "  {:<12} {:>12} {:>12} {:>9}", "selectivity", "roaring", "scandb", "ratio");
+    let _ = writeln!(
+        out,
+        "  {:<12} {:>12} {:>12} {:>9}",
+        "selectivity", "roaring", "scandb", "ratio"
+    );
     for (label, pred) in [
         ("100%", Predicate::True),
         // education_1 covers roughly 10% under the skewed distribution
@@ -365,8 +424,12 @@ pub fn study8(scale: &Scale) -> String {
         ..Default::default()
     };
     let r = run_study(&cfg);
-    let mut out = String::from("Chapter 8 — simulated user study (see DESIGN.md, substitution 4)\n\n");
-    let _ = writeln!(out, "Table 8.1 (participant demographics): not reproducible — human data.\n");
+    let mut out =
+        String::from("Chapter 8 — simulated user study (see DESIGN.md, substitution 4)\n\n");
+    let _ = writeln!(
+        out,
+        "Table 8.1 (participant demographics): not reproducible — human data.\n"
+    );
     let _ = writeln!(out, "Findings 1–2 (completion time / accuracy):");
     let _ = writeln!(
         out,
@@ -391,7 +454,11 @@ pub fn study8(scale: &Scale) -> String {
     );
     let _ = writeln!(out, "\nTable 8.2 — Tukey's HSD on task completion time:");
     let names = ["drag-and-drop", "custom-builder", "baseline"];
-    let _ = writeln!(out, "  {:<38} {:>10} {:>12} {}", "treatments", "Q", "p-value", "inference");
+    let _ = writeln!(
+        out,
+        "  {:<38} {:>10} {:>12} inference",
+        "treatments", "Q", "p-value"
+    );
     for c in &r.tukey {
         let inference = if c.significant(0.01) {
             "significant (p<0.01)"
@@ -409,9 +476,19 @@ pub fn study8(scale: &Scale) -> String {
             inference
         );
     }
-    let _ = writeln!(out, "\nInter-rater agreement (Kendall's τ): {:.3} (thesis: 0.854)", r.inter_rater_tau);
+    let _ = writeln!(
+        out,
+        "\nInter-rater agreement (Kendall's τ): {:.3} (thesis: 0.854)",
+        r.inter_rater_tau
+    );
     let _ = writeln!(out, "\nFigure 8.2 — accuracy within time budget (CSV):");
-    let _ = writeln!(out, "  time_s,{},{},{}", Interface::ALL[0].name(), Interface::ALL[1].name(), Interface::ALL[2].name());
+    let _ = writeln!(
+        out,
+        "  time_s,{},{},{}",
+        Interface::ALL[0].name(),
+        Interface::ALL[1].name(),
+        Interface::ALL[2].name()
+    );
     for (t, acc) in &r.accuracy_over_time {
         let _ = writeln!(out, "  {t:.0},{:.1},{:.1},{:.1}", acc[0], acc[1], acc[2]);
     }

@@ -21,7 +21,9 @@ pub struct Scale {
 
 impl Scale {
     pub fn from_args() -> Scale {
-        Scale { full: std::env::args().any(|a| a == "--full-scale") }
+        Scale {
+            full: std::env::args().any(|a| a == "--full-scale"),
+        }
     }
 
     pub fn pick(&self, scaled: usize, full: usize) -> usize {

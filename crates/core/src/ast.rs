@@ -32,7 +32,15 @@ pub struct ZqlRow {
 
 impl ZqlRow {
     pub fn named(name: NameCol) -> Self {
-        ZqlRow { name, x: None, y: None, zs: Vec::new(), constraints: None, viz: None, processes: Vec::new() }
+        ZqlRow {
+            name,
+            x: None,
+            y: None,
+            zs: Vec::new(),
+            constraints: None,
+            viz: None,
+            processes: Vec::new(),
+        }
     }
 }
 
@@ -55,23 +63,41 @@ pub struct NameCol {
 
 impl NameCol {
     pub fn fresh(name: impl Into<String>) -> Self {
-        NameCol { name: name.into(), output: false, user_input: false, derived: None }
+        NameCol {
+            name: name.into(),
+            output: false,
+            user_input: false,
+            derived: None,
+        }
     }
 
     pub fn output(name: impl Into<String>) -> Self {
-        NameCol { output: true, ..Self::fresh(name) }
+        NameCol {
+            output: true,
+            ..Self::fresh(name)
+        }
     }
 
     pub fn input(name: impl Into<String>) -> Self {
-        NameCol { user_input: true, ..Self::fresh(name) }
+        NameCol {
+            user_input: true,
+            ..Self::fresh(name)
+        }
     }
 
     pub fn derived(name: impl Into<String>, expr: NameExpr) -> Self {
-        NameCol { derived: Some(expr), ..Self::fresh(name) }
+        NameCol {
+            derived: Some(expr),
+            ..Self::fresh(name)
+        }
     }
 
     pub fn derived_output(name: impl Into<String>, expr: NameExpr) -> Self {
-        NameCol { output: true, derived: Some(expr), ..Self::fresh(name) }
+        NameCol {
+            output: true,
+            derived: Some(expr),
+            ..Self::fresh(name)
+        }
     }
 }
 
@@ -129,8 +155,22 @@ impl fmt::Display for AttrExpr {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             AttrExpr::Attr(a) => write!(f, "'{a}'"),
-            AttrExpr::Plus(v) => write!(f, "{}", v.iter().map(|a| format!("'{a}'")).collect::<Vec<_>>().join("+")),
-            AttrExpr::Cross(v) => write!(f, "{}", v.iter().map(|a| format!("'{a}'")).collect::<Vec<_>>().join("x")),
+            AttrExpr::Plus(v) => write!(
+                f,
+                "{}",
+                v.iter()
+                    .map(|a| format!("'{a}'"))
+                    .collect::<Vec<_>>()
+                    .join("+")
+            ),
+            AttrExpr::Cross(v) => write!(
+                f,
+                "{}",
+                v.iter()
+                    .map(|a| format!("'{a}'"))
+                    .collect::<Vec<_>>()
+                    .join("x")
+            ),
         }
     }
 }
@@ -203,7 +243,10 @@ pub enum ZSet {
     /// `'product'.*` or `'product'.{'chair','desk'}` — fixed attribute.
     /// `attr = None` (e.g. `v4 <- (v2.range & v3.range)`) infers the
     /// attribute from the referenced range variables.
-    AttrValues { attr: Option<String>, values: ValueSet },
+    AttrValues {
+        attr: Option<String>,
+        values: ValueSet,
+    },
     /// `(* \ {'year','sales'}).*` — every (attr, value) pair over an
     /// attribute set.
     CrossAttrs { attrs: AttrSet, values: ValueSet },
@@ -221,11 +264,19 @@ pub enum ZEntry {
     /// `v1 <- 'product'.*` — value variable over one attribute.
     DeclareValues { var: String, set: ZSet },
     /// `z1.v1 <- (*).(*)` — attribute *and* value vary together.
-    DeclarePairs { attr_var: String, val_var: String, set: ZSet },
+    DeclarePairs {
+        attr_var: String,
+        val_var: String,
+        set: ZSet,
+    },
     /// `v1` — reuse.
     Var(String),
     /// `v2 <- 'product'._` / `z1.v1 <- _` — bind to a derived component.
-    BindDerived { attr_var: Option<String>, val_var: String, attr: Option<String> },
+    BindDerived {
+        attr_var: Option<String>,
+        val_var: String,
+        attr: Option<String>,
+    },
     /// `u1 ->` — ordering marker for `.order` rows (§3.6, Table 3.15).
     OrderBy(String),
 }
@@ -242,7 +293,10 @@ pub enum ConstraintExpr {
     /// A fully static predicate.
     Static(Predicate),
     /// `attr IN (v2.range)`.
-    InRange { attr: String, var: String },
+    InRange {
+        attr: String,
+        var: String,
+    },
     And(Box<ConstraintExpr>, Box<ConstraintExpr>),
 }
 
@@ -307,13 +361,21 @@ pub struct VizSpec {
 
 impl Default for VizSpec {
     fn default() -> Self {
-        VizSpec { chart: ChartType::Auto, x_bin: None, y_agg: Agg::Sum }
+        VizSpec {
+            chart: ChartType::Auto,
+            x_bin: None,
+            y_agg: Agg::Sum,
+        }
     }
 }
 
 impl VizSpec {
     pub fn bar_sum() -> Self {
-        VizSpec { chart: ChartType::Bar, x_bin: None, y_agg: Agg::Sum }
+        VizSpec {
+            chart: ChartType::Bar,
+            x_bin: None,
+            y_agg: Agg::Sum,
+        }
     }
 
     pub fn with_agg(mut self, agg: Agg) -> Self {
@@ -393,7 +455,11 @@ pub enum ObjExpr {
     Neg(Box<ObjExpr>),
     /// `min(v2) D(f1, f2)` — inner aggregation over more variables
     /// (Table 3.20's two-level iteration).
-    InnerAgg { op: InnerOp, vars: Vec<String>, expr: Box<ObjExpr> },
+    InnerAgg {
+        op: InnerOp,
+        vars: Vec<String>,
+        expr: Box<ObjExpr>,
+    },
     /// A user-defined function over named components (§3.8 "user-defined
     /// functions ... zenvisage treats them as black boxes").
     UserFn { name: String, args: Vec<String> },
@@ -419,7 +485,12 @@ pub enum ProcessDecl {
         objective: ObjExpr,
     },
     /// `v2 <- R(10, v1, f1)` — the representative primitive.
-    Representative { outputs: Vec<String>, k: usize, over: Vec<String>, component: String },
+    Representative {
+        outputs: Vec<String>,
+        k: usize,
+        over: Vec<String>,
+        component: String,
+    },
 }
 
 impl ProcessDecl {
@@ -441,10 +512,13 @@ mod tests {
         assert!(n.output && !n.user_input && n.derived.is_none());
         let n = NameCol::input("f1");
         assert!(n.user_input);
-        let n = NameCol::derived("f3", NameExpr::Add(
-            Box::new(NameExpr::Ref("f1".into())),
-            Box::new(NameExpr::Ref("f2".into())),
-        ));
+        let n = NameCol::derived(
+            "f3",
+            NameExpr::Add(
+                Box::new(NameExpr::Ref("f1".into())),
+                Box::new(NameExpr::Ref("f2".into())),
+            ),
+        );
         assert!(n.derived.is_some());
     }
 
@@ -462,7 +536,10 @@ mod tests {
         assert_eq!(v.chart, ChartType::Bar);
         assert_eq!(v.x_bin, Some(20.0));
         assert_eq!(v.y_agg, Agg::Avg);
-        assert_eq!(ChartType::parse("scatterplot"), Some(ChartType::Scatterplot));
+        assert_eq!(
+            ChartType::parse("scatterplot"),
+            Some(ChartType::Scatterplot)
+        );
         assert_eq!(ChartType::parse("pie"), None);
     }
 

@@ -35,13 +35,15 @@ impl QueryBuilder {
 
     /// Add a (non-output) row.
     pub fn row(mut self, name: &str, f: impl FnOnce(RowBuilder) -> RowBuilder) -> Self {
-        self.rows.push(f(RowBuilder::new(NameCol::fresh(name))).finish());
+        self.rows
+            .push(f(RowBuilder::new(NameCol::fresh(name))).finish());
         self
     }
 
     /// Add an output (`*f…`) row.
     pub fn output_row(mut self, name: &str, f: impl FnOnce(RowBuilder) -> RowBuilder) -> Self {
-        self.rows.push(f(RowBuilder::new(NameCol::output(name))).finish());
+        self.rows
+            .push(f(RowBuilder::new(NameCol::output(name))).finish());
         self
     }
 
@@ -80,7 +82,9 @@ pub struct RowBuilder {
 
 impl RowBuilder {
     fn new(name: NameCol) -> Self {
-        RowBuilder { row: ZqlRow::named(name) }
+        RowBuilder {
+            row: ZqlRow::named(name),
+        }
     }
 
     /// Fixed X attribute.
@@ -126,7 +130,10 @@ impl RowBuilder {
 
     /// Fixed slice: `'attr'.'value'`.
     pub fn z_fixed(mut self, attr: &str, value: impl Into<Value>) -> Self {
-        self.row.zs.push(ZEntry::Fixed { attr: attr.into(), value: value.into() });
+        self.row.zs.push(ZEntry::Fixed {
+            attr: attr.into(),
+            value: value.into(),
+        });
         self
     }
 
@@ -134,7 +141,10 @@ impl RowBuilder {
     pub fn z_over(mut self, var: &str, attr: &str) -> Self {
         self.row.zs.push(ZEntry::DeclareValues {
             var: var.into(),
-            set: ZSet::AttrValues { attr: Some(attr.into()), values: ValueSet::All },
+            set: ZSet::AttrValues {
+                attr: Some(attr.into()),
+                values: ValueSet::All,
+            },
         });
         self
     }
@@ -225,7 +235,10 @@ impl RowBuilder {
             outputs: vec![out.into()],
             mechanism: Mechanism::ArgAny,
             over: vec![over.into()],
-            filter: ProcessFilter::Threshold { op: ThresholdOp::Gt, value: threshold },
+            filter: ProcessFilter::Threshold {
+                op: ThresholdOp::Gt,
+                value: threshold,
+            },
             objective: ObjExpr::T(component.into()),
         });
         self
@@ -243,7 +256,10 @@ impl RowBuilder {
             outputs: vec![out.into()],
             mechanism: Mechanism::ArgAny,
             over: vec![over.into()],
-            filter: ProcessFilter::Threshold { op: ThresholdOp::Lt, value: threshold },
+            filter: ProcessFilter::Threshold {
+                op: ThresholdOp::Lt,
+                value: threshold,
+            },
             objective: ObjExpr::T(component.into()),
         });
         self
@@ -300,9 +316,10 @@ mod tests {
         let built = QueryBuilder::new()
             .input_row("f1")
             .row("f2", |r| {
-                r.x("year").y("sales").z_over("v1", "product").argmin_distance(
-                    "v2", "v1", 1, "f1", "f2",
-                )
+                r.x("year")
+                    .y("sales")
+                    .z_over("v1", "product")
+                    .argmin_distance("v2", "v1", 1, "f1", "f2")
             })
             .output_row("f3", |r| r.x("year").y("sales").z_var("v2"))
             .build();
@@ -320,13 +337,16 @@ mod tests {
     fn derived_rows_and_ordering() {
         let built = QueryBuilder::new()
             .row("f1", |r| {
-                r.x("year").y("sales").z_over("v1", "product").process(ProcessDecl::Rank {
-                    outputs: vec!["u1".into()],
-                    mechanism: Mechanism::ArgMin,
-                    over: vec!["v1".into()],
-                    filter: ProcessFilter::TopK(usize::MAX),
-                    objective: ObjExpr::T("f1".into()),
-                })
+                r.x("year")
+                    .y("sales")
+                    .z_over("v1", "product")
+                    .process(ProcessDecl::Rank {
+                        outputs: vec!["u1".into()],
+                        mechanism: Mechanism::ArgMin,
+                        over: vec!["v1".into()],
+                        filter: ProcessFilter::TopK(usize::MAX),
+                        objective: ObjExpr::T("f1".into()),
+                    })
             })
             .derived_row(
                 "f2",
@@ -348,9 +368,10 @@ mod tests {
     fn constraints_accumulate_conjunctively() {
         let built = QueryBuilder::new()
             .output_row("f1", |r| {
-                r.x("year").y("sales").constraint_eq("location", "US").constraint_eq(
-                    "product", "chair",
-                )
+                r.x("year")
+                    .y("sales")
+                    .constraint_eq("location", "US")
+                    .constraint_eq("product", "chair")
             })
             .build();
         let parsed = parse_query(

@@ -8,14 +8,18 @@
 use crate::ast::*;
 use crate::parser::{parse_query, ParseError};
 use crate::primitives::FunctionRegistry;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::time::{Duration, Instant};
 use zv_analytics::Series;
 use zv_storage::{
-    Atom, CmpOp, Column, DynDatabase, Predicate, SelectQuery, StorageError, Value,
-    XSpec, YSpec,
+    parallel, Atom, CmpOp, Column, DynDatabase, Predicate, ResultTable, SelectQuery, StorageError,
+    Value, XSpec, YSpec,
 };
+
+/// Process-column scoring loops below this many combinations stay serial
+/// (thread spawn costs more than the work).
+const PROCESS_PARALLEL_MIN: usize = 16;
 
 // ---------------------------------------------------------------------
 // Public API
@@ -116,11 +120,19 @@ pub struct ZqlEngine {
 
 impl ZqlEngine {
     pub fn new(db: DynDatabase) -> Self {
-        ZqlEngine { db, registry: FunctionRegistry::default(), opt: OptLevel::InterTask }
+        ZqlEngine {
+            db,
+            registry: FunctionRegistry::default(),
+            opt: OptLevel::InterTask,
+        }
     }
 
     pub fn with_opt_level(db: DynDatabase, opt: OptLevel) -> Self {
-        ZqlEngine { db, registry: FunctionRegistry::default(), opt }
+        ZqlEngine {
+            db,
+            registry: FunctionRegistry::default(),
+            opt,
+        }
     }
 
     pub fn set_opt_level(&mut self, opt: OptLevel) {
@@ -176,6 +188,10 @@ impl ZqlEngine {
 // ---------------------------------------------------------------------
 
 type GroupId = usize;
+
+/// Deduplicated groups behind an iteration, plus each variable's
+/// `(group, column)` slot.
+type IterationGroups = (Vec<GroupId>, Vec<(GroupId, usize)>);
 
 /// One value an axis variable can take.
 #[derive(Clone, Debug, PartialEq)]
@@ -250,11 +266,22 @@ enum Slot {
 
 #[derive(Clone, Debug)]
 enum ZSlot {
-    Fixed { attr: String, value: Value },
+    Fixed {
+        attr: String,
+        value: Value,
+    },
     /// Value from a group column, attribute fixed.
-    Values { gid: GroupId, col: usize, attr: String },
+    Values {
+        gid: GroupId,
+        col: usize,
+        attr: String,
+    },
     /// `(attribute, value)` pair from two group columns.
-    Pairs { gid: GroupId, attr_col: usize, val_col: usize },
+    Pairs {
+        gid: GroupId,
+        attr_col: usize,
+        val_col: usize,
+    },
 }
 
 #[derive(Clone, Debug)]
@@ -297,6 +324,10 @@ struct Exec<'a> {
     pending: Vec<BatchQuery>,
     /// Rows already built ahead of schedule (InterTask lookahead).
     built_rows: Vec<bool>,
+    /// Shared-pass cache (IntraTask and above): one fetch per distinct
+    /// `(x, ys, zs, predicate)` group-by within a single ZQL query, keyed
+    /// by the query's canonical debug rendering.
+    query_cache: HashMap<String, ResultTable>,
     compute_time: Duration,
 }
 
@@ -312,6 +343,7 @@ impl<'a> Exec<'a> {
             component_order: Vec::new(),
             pending: Vec::new(),
             built_rows: Vec::new(),
+            query_cache: HashMap::new(),
             compute_time: Duration::ZERO,
         }
     }
@@ -523,7 +555,11 @@ impl<'a> Exec<'a> {
         self.components.insert(name, comp);
     }
 
-    fn new_group(&mut self, vars: Vec<String>, domain: Vec<Vec<AxisValue>>) -> Result<GroupId, ZqlError> {
+    fn new_group(
+        &mut self,
+        vars: Vec<String>,
+        domain: Vec<Vec<AxisValue>>,
+    ) -> Result<GroupId, ZqlError> {
         let gid = self.groups.len();
         for (c, v) in vars.iter().enumerate() {
             if self.var_of.contains_key(v) {
@@ -595,7 +631,10 @@ impl<'a> Exec<'a> {
 
         // Materialize cells in row-major order over the dims.
         let lens: Vec<usize> = dims.iter().map(|&g| self.group_len(g)).collect();
-        let total: usize = lens.iter().product::<usize>().max(if dims.is_empty() { 1 } else { 0 });
+        let total: usize = lens
+            .iter()
+            .product::<usize>()
+            .max(if dims.is_empty() { 1 } else { 0 });
         let mut cells = Vec::with_capacity(total);
         for flat in 0..total {
             let combo = unflatten(flat, &lens);
@@ -614,11 +653,22 @@ impl<'a> Exec<'a> {
                     other => return Err(sem(format!("viz variable bound to {other:?}"))),
                 },
             };
-            cells.push(CellSpec { x, y, z, viz, predicate: predicate.clone() });
+            cells.push(CellSpec {
+                x,
+                y,
+                z,
+                viz,
+                predicate: predicate.clone(),
+            });
         }
 
         let series = vec![None; cells.len()];
-        let comp = Component { dims, cells, series, output: row.name.output };
+        let comp = Component {
+            dims,
+            cells,
+            series,
+            output: row.name.output,
+        };
         self.plan_fetch(&row.name.name, &comp)?;
         self.insert_component(row.name.name.clone(), comp);
         Ok(())
@@ -626,7 +676,9 @@ impl<'a> Exec<'a> {
 
     fn resolve_axis(&mut self, entry: Option<&AxisEntry>, which: &str) -> Result<Slot, ZqlError> {
         match entry {
-            None => Err(sem(format!("a fresh visual component needs an {which} axis"))),
+            None => Err(sem(format!(
+                "a fresh visual component needs an {which} axis"
+            ))),
             Some(AxisEntry::Fixed(a)) => Ok(Slot::FixedAttr(a.clone())),
             Some(AxisEntry::Var(v)) => {
                 let (g, c) = self.lookup_var(v)?;
@@ -637,13 +689,16 @@ impl<'a> Exec<'a> {
                 if attrs.is_empty() {
                     return Err(sem(format!("{which} set for '{var}' is empty")));
                 }
-                let domain = attrs.into_iter().map(|a| vec![AxisValue::Attr(a)]).collect();
+                let domain = attrs
+                    .into_iter()
+                    .map(|a| vec![AxisValue::Attr(a)])
+                    .collect();
                 let gid = self.new_group(vec![var.clone()], domain)?;
                 Ok(Slot::Group(gid, 0))
             }
-            Some(AxisEntry::BindDerived { .. }) => {
-                Err(sem("'<- _' bindings are only valid on derived rows".to_string()))
-            }
+            Some(AxisEntry::BindDerived { .. }) => Err(sem(
+                "'<- _' bindings are only valid on derived rows".to_string(),
+            )),
         }
     }
 
@@ -695,11 +750,17 @@ impl<'a> Exec<'a> {
             }
             AttrSet::Diff(a, b) => {
                 let rhs = self.resolve_attr_set(b)?;
-                self.resolve_attr_set(a)?.into_iter().filter(|i| !rhs.contains(i)).collect()
+                self.resolve_attr_set(a)?
+                    .into_iter()
+                    .filter(|i| !rhs.contains(i))
+                    .collect()
             }
             AttrSet::Intersect(a, b) => {
                 let rhs = self.resolve_attr_set(b)?;
-                self.resolve_attr_set(a)?.into_iter().filter(|i| rhs.contains(i)).collect()
+                self.resolve_attr_set(a)?
+                    .into_iter()
+                    .filter(|i| rhs.contains(i))
+                    .collect()
             }
         })
     }
@@ -721,7 +782,10 @@ impl<'a> Exec<'a> {
             }
             ValueSet::AllExcept(except) => {
                 let attr = attr.ok_or_else(|| sem("'* \\ …' needs an attribute context"))?;
-                self.distinct_values(attr)?.into_iter().filter(|v| !except.contains(v)).collect()
+                self.distinct_values(attr)?
+                    .into_iter()
+                    .filter(|v| !except.contains(v))
+                    .collect()
             }
             ValueSet::Named(n) => self
                 .engine
@@ -748,11 +812,17 @@ impl<'a> Exec<'a> {
             }
             ValueSet::Diff(a, b) => {
                 let rhs = self.resolve_value_set(b, attr)?;
-                self.resolve_value_set(a, attr)?.into_iter().filter(|i| !rhs.contains(i)).collect()
+                self.resolve_value_set(a, attr)?
+                    .into_iter()
+                    .filter(|i| !rhs.contains(i))
+                    .collect()
             }
             ValueSet::Intersect(a, b) => {
                 let rhs = self.resolve_value_set(b, attr)?;
-                self.resolve_value_set(a, attr)?.into_iter().filter(|i| rhs.contains(i)).collect()
+                self.resolve_value_set(a, attr)?
+                    .into_iter()
+                    .filter(|i| rhs.contains(i))
+                    .collect()
             }
         })
     }
@@ -810,9 +880,10 @@ impl<'a> Exec<'a> {
     fn resolve_z(&mut self, entry: &ZEntry) -> Result<Option<ZSlot>, ZqlError> {
         match entry {
             ZEntry::None => Ok(None),
-            ZEntry::Fixed { attr, value } => {
-                Ok(Some(ZSlot::Fixed { attr: attr.clone(), value: value.clone() }))
-            }
+            ZEntry::Fixed { attr, value } => Ok(Some(ZSlot::Fixed {
+                attr: attr.clone(),
+                value: value.clone(),
+            })),
             ZEntry::Var(v) => {
                 let (gid, col) = self.lookup_var(v)?;
                 let attr = self
@@ -831,8 +902,10 @@ impl<'a> Exec<'a> {
                 let uniform = attrs.windows(2).all(|w| w[0] == w[1]);
                 if uniform {
                     let attr = pairs[0].0.clone();
-                    let domain =
-                        pairs.into_iter().map(|(_, v)| vec![AxisValue::Val(v)]).collect();
+                    let domain = pairs
+                        .into_iter()
+                        .map(|(_, v)| vec![AxisValue::Val(v)])
+                        .collect();
                     let gid = self.new_group(vec![var.clone()], domain)?;
                     self.var_attr.insert(var.clone(), attr.clone());
                     Ok(Some(ZSlot::Values { gid, col: 0, attr }))
@@ -844,10 +917,18 @@ impl<'a> Exec<'a> {
                         .collect();
                     let hidden = format!("__attr_of_{var}");
                     let gid = self.new_group(vec![hidden, var.clone()], domain)?;
-                    Ok(Some(ZSlot::Pairs { gid, attr_col: 0, val_col: 1 }))
+                    Ok(Some(ZSlot::Pairs {
+                        gid,
+                        attr_col: 0,
+                        val_col: 1,
+                    }))
                 }
             }
-            ZEntry::DeclarePairs { attr_var, val_var, set } => {
+            ZEntry::DeclarePairs {
+                attr_var,
+                val_var,
+                set,
+            } => {
                 let pairs = self.resolve_zset_pairs(set)?;
                 if pairs.is_empty() {
                     return Err(sem(format!("Z set for '{attr_var}.{val_var}' is empty")));
@@ -857,14 +938,18 @@ impl<'a> Exec<'a> {
                     .map(|(a, v)| vec![AxisValue::Attr(AttrExpr::Attr(a)), AxisValue::Val(v)])
                     .collect();
                 let gid = self.new_group(vec![attr_var.clone(), val_var.clone()], domain)?;
-                Ok(Some(ZSlot::Pairs { gid, attr_col: 0, val_col: 1 }))
+                Ok(Some(ZSlot::Pairs {
+                    gid,
+                    attr_col: 0,
+                    val_col: 1,
+                }))
             }
-            ZEntry::BindDerived { .. } => {
-                Err(sem("'<- _' bindings are only valid on derived rows".to_string()))
-            }
-            ZEntry::OrderBy(_) => {
-                Err(sem("ordering markers ('var ->') are only valid on '.order' rows".to_string()))
-            }
+            ZEntry::BindDerived { .. } => Err(sem(
+                "'<- _' bindings are only valid on derived rows".to_string(),
+            )),
+            ZEntry::OrderBy(_) => Err(sem(
+                "ordering markers ('var ->') are only valid on '.order' rows".to_string(),
+            )),
         }
     }
 
@@ -877,17 +962,17 @@ impl<'a> Exec<'a> {
                 Ok(VizSlot::Group(g, c))
             }
             Some(VizEntry::Declare { var, specs }) => {
-                let domain = specs.iter().map(|s| vec![AxisValue::Viz(s.clone())]).collect();
+                let domain = specs
+                    .iter()
+                    .map(|s| vec![AxisValue::Viz(s.clone())])
+                    .collect();
                 let gid = self.new_group(vec![var.clone()], domain)?;
                 Ok(VizSlot::Group(gid, 0))
             }
         }
     }
 
-    fn resolve_constraints(
-        &self,
-        entry: Option<&ConstraintExpr>,
-    ) -> Result<Predicate, ZqlError> {
+    fn resolve_constraints(&self, entry: Option<&ConstraintExpr>) -> Result<Predicate, ZqlError> {
         match entry {
             None => Ok(Predicate::True),
             Some(ConstraintExpr::Static(p)) => Ok(p.clone()),
@@ -902,9 +987,9 @@ impl<'a> Exec<'a> {
                     .collect::<Result<_, _>>()?;
                 self.in_predicate(attr, &values)
             }
-            Some(ConstraintExpr::And(a, b)) => {
-                Ok(self.resolve_constraints(Some(a))?.and(self.resolve_constraints(Some(b))?))
-            }
+            Some(ConstraintExpr::And(a, b)) => Ok(self
+                .resolve_constraints(Some(a))?
+                .and(self.resolve_constraints(Some(b))?)),
         }
     }
 
@@ -928,7 +1013,11 @@ impl<'a> Exec<'a> {
                         let n = v
                             .as_f64()
                             .ok_or_else(|| sem(format!("IN value {v} on numeric {attr}")))?;
-                        Ok(vec![Atom::NumCmp { col: attr.to_string(), op: CmpOp::Eq, value: n }])
+                        Ok(vec![Atom::NumCmp {
+                            col: attr.to_string(),
+                            op: CmpOp::Eq,
+                            value: n,
+                        }])
                     })
                     .collect::<Result<Vec<_>, ZqlError>>()?;
                 Ok(Predicate::Or(disj))
@@ -941,7 +1030,10 @@ impl<'a> Exec<'a> {
             Slot::FixedAttr(a) => Ok(a.clone()),
             Slot::Group(g, c) => match &self.groups[*g].domain[env[g]][*c] {
                 AxisValue::Attr(a) => Ok(a.clone()),
-                other => Err(sem(format!("axis variable bound to non-attribute {}", other.display()))),
+                other => Err(sem(format!(
+                    "axis variable bound to non-attribute {}",
+                    other.display()
+                ))),
             },
         }
     }
@@ -957,7 +1049,11 @@ impl<'a> Exec<'a> {
                 AxisValue::Val(v) => Ok((attr.clone(), v.clone())),
                 other => Err(sem(format!("z variable bound to non-value {other:?}"))),
             },
-            ZSlot::Pairs { gid, attr_col, val_col } => {
+            ZSlot::Pairs {
+                gid,
+                attr_col,
+                val_col,
+            } => {
                 let row = &self.groups[*gid].domain[env[gid]];
                 let attr = match &row[*attr_col] {
                     AxisValue::Attr(AttrExpr::Attr(a)) => a.clone(),
@@ -1007,13 +1103,30 @@ impl<'a> Exec<'a> {
             bind_cols.push(col);
         };
         if let Some(AxisEntry::BindDerived { var }) = &row.x {
-            add_binding(var, cells.iter().map(|(c, _)| AxisValue::Attr(c.x.clone())).collect());
+            add_binding(
+                var,
+                cells
+                    .iter()
+                    .map(|(c, _)| AxisValue::Attr(c.x.clone()))
+                    .collect(),
+            );
         }
         if let Some(AxisEntry::BindDerived { var }) = &row.y {
-            add_binding(var, cells.iter().map(|(c, _)| AxisValue::Attr(c.y.clone())).collect());
+            add_binding(
+                var,
+                cells
+                    .iter()
+                    .map(|(c, _)| AxisValue::Attr(c.y.clone()))
+                    .collect(),
+            );
         }
         for z in &row.zs {
-            if let ZEntry::BindDerived { attr_var, val_var, attr } = z {
+            if let ZEntry::BindDerived {
+                attr_var,
+                val_var,
+                attr,
+            } = z
+            {
                 let mut attrs_col = Vec::with_capacity(cells.len());
                 let mut vals_col = Vec::with_capacity(cells.len());
                 for (c, _) in &cells {
@@ -1034,8 +1147,7 @@ impl<'a> Exec<'a> {
                 }
                 if let Some(a) = attr {
                     self.var_attr.insert(val_var.clone(), a.clone());
-                } else if let Some((first, _)) = cells.first().map(|(c, _)| c.z.first()).flatten()
-                {
+                } else if let Some((first, _)) = cells.first().and_then(|(c, _)| c.z.first()) {
                     self.var_attr.insert(val_var.clone(), first.clone());
                 }
                 add_binding(val_var, vals_col);
@@ -1058,7 +1170,12 @@ impl<'a> Exec<'a> {
             cells.into_iter().map(|(c, s)| (c, Some(s))).unzip();
         self.insert_component(
             row.name.name.clone(),
-            Component { dims, cells: specs, series, output: row.name.output },
+            Component {
+                dims,
+                cells: specs,
+                series,
+                output: row.name.output,
+            },
         );
         Ok(())
     }
@@ -1098,7 +1215,10 @@ impl<'a> Exec<'a> {
             NameExpr::Index(inner, i) => {
                 let cells = self.eval_name_expr(inner)?;
                 if *i == 0 || *i > cells.len() {
-                    return Err(sem(format!("index [{i}] out of bounds (1..={})", cells.len())));
+                    return Err(sem(format!(
+                        "index [{i}] out of bounds (1..={})",
+                        cells.len()
+                    )));
                 }
                 vec![cells[i - 1].clone()]
             }
@@ -1149,9 +1269,10 @@ impl<'a> Exec<'a> {
         let mut out = Vec::new();
         for domain_row in &self.groups[gid].domain {
             let matched = cells.iter().find(|(c, _)| {
-                order_vars.iter().zip(&cols).all(|(v, &col)| {
-                    cell_matches(c, self.var_attr.get(v), &domain_row[col])
-                })
+                order_vars
+                    .iter()
+                    .zip(&cols)
+                    .all(|(v, &col)| cell_matches(c, self.var_attr.get(v), &domain_row[col]))
             });
             if let Some(m) = matched {
                 out.push(m.clone());
@@ -1264,9 +1385,7 @@ impl<'a> Exec<'a> {
             }
             let x = match &first.x {
                 AttrExpr::Attr(a) => a.clone(),
-                AttrExpr::Plus(_) => {
-                    return Err(sem("composite '+' axes are only supported on Y"))
-                }
+                AttrExpr::Plus(_) => return Err(sem("composite '+' axes are only supported on Y")),
                 AttrExpr::Cross(_) => unreachable!("handled above"),
             };
             let mut predicate = first.predicate.clone();
@@ -1279,7 +1398,10 @@ impl<'a> Exec<'a> {
                 }
             }
             let mut query = SelectQuery::new(
-                XSpec { col: x, bin: first.viz.x_bin },
+                XSpec {
+                    col: x,
+                    bin: first.viz.x_bin,
+                },
                 ys,
             )
             .with_predicate(predicate);
@@ -1310,21 +1432,37 @@ impl<'a> Exec<'a> {
             };
             predicate = predicate.and(atom);
         }
-        let ys: Vec<YSpec> =
-            cell.y.attrs().iter().map(|a| YSpec::new(a.to_string(), cell.viz.y_agg)).collect();
+        let ys: Vec<YSpec> = cell
+            .y
+            .attrs()
+            .iter()
+            .map(|a| YSpec::new(a.to_string(), cell.viz.y_agg))
+            .collect();
         let y_idxs: Vec<usize> = (0..ys.len()).collect();
         match &cell.x {
             AttrExpr::Attr(a) => {
-                let q = SelectQuery::new(XSpec { col: a.clone(), bin: cell.viz.x_bin }, ys)
-                    .with_predicate(predicate);
+                let q = SelectQuery::new(
+                    XSpec {
+                        col: a.clone(),
+                        bin: cell.viz.x_bin,
+                    },
+                    ys,
+                )
+                .with_predicate(predicate);
                 Ok((q, y_idxs, false))
             }
             AttrExpr::Cross(attrs) => {
                 // GROUP BY the leading attributes, x = the last; the
                 // extraction flattens groups into one sequential axis.
                 let (last, leading) = attrs.split_last().unwrap();
-                let mut q = SelectQuery::new(XSpec { col: last.clone(), bin: cell.viz.x_bin }, ys)
-                    .with_predicate(predicate);
+                let mut q = SelectQuery::new(
+                    XSpec {
+                        col: last.clone(),
+                        bin: cell.viz.x_bin,
+                    },
+                    ys,
+                )
+                .with_predicate(predicate);
                 for a in leading {
                     q = q.with_z(a.clone());
                 }
@@ -1336,25 +1474,73 @@ impl<'a> Exec<'a> {
 
     /// Issue all pending queries as requests according to the opt level,
     /// and distribute results to component cells.
+    ///
+    /// At `IntraTask`/`InterTask` a shared-pass cache deduplicates
+    /// identical `(x, ys, zs, predicate)` group-bys across the whole ZQL
+    /// query: only the first occurrence is fetched; later rows (and
+    /// same-flush duplicates) read the cached `ResultTable`. The request
+    /// itself fans the remaining distinct queries across the shared pool
+    /// (`Database::run_request`).
     fn flush(&mut self) -> Result<(), ZqlError> {
         if self.pending.is_empty() {
             return Ok(());
         }
         let batches = std::mem::take(&mut self.pending);
-        let queries: Vec<SelectQuery> = batches.iter().map(|b| b.query.clone()).collect();
-        let results = match self.engine.opt {
+        let cache_on = self.engine.opt >= OptLevel::IntraTask;
+        let keys: Vec<String> = if cache_on {
+            batches.iter().map(|b| format!("{:?}", b.query)).collect()
+        } else {
+            Vec::new()
+        };
+        let fresh: Vec<ResultTable> = match self.engine.opt {
             OptLevel::NoOpt => {
-                // one request per query
-                let mut out = Vec::with_capacity(queries.len());
-                for q in &queries {
-                    out.push(self.engine.db.run_request(std::slice::from_ref(q))?.pop().unwrap());
+                // one request per query, nothing shared
+                let mut out = Vec::with_capacity(batches.len());
+                for b in &batches {
+                    out.push(
+                        self.engine
+                            .db
+                            .run_request(std::slice::from_ref(&b.query))?
+                            .pop()
+                            .unwrap(),
+                    );
                 }
                 out
             }
-            _ => self.engine.db.run_request(&queries)?,
+            OptLevel::IntraLine => {
+                let queries: Vec<SelectQuery> = batches.iter().map(|b| b.query.clone()).collect();
+                self.engine.db.run_request(&queries)?
+            }
+            OptLevel::IntraTask | OptLevel::InterTask => {
+                let mut to_run: Vec<SelectQuery> = Vec::new();
+                let mut run_keys: Vec<String> = Vec::new();
+                let mut planned: HashSet<&String> = HashSet::new();
+                for (b, k) in batches.iter().zip(&keys) {
+                    if !self.query_cache.contains_key(k) && planned.insert(k) {
+                        to_run.push(b.query.clone());
+                        run_keys.push(k.clone());
+                    }
+                }
+                let results = if to_run.is_empty() {
+                    Vec::new()
+                } else {
+                    self.engine.db.run_request(&to_run)?
+                };
+                for (k, rt) in run_keys.into_iter().zip(results) {
+                    self.query_cache.insert(k, rt);
+                }
+                Vec::new()
+            }
         };
         let t = Instant::now();
-        for (batch, result) in batches.iter().zip(results) {
+        for (i, batch) in batches.iter().enumerate() {
+            let result: &ResultTable = if cache_on {
+                self.query_cache
+                    .get(&keys[i])
+                    .expect("query cached by this flush")
+            } else {
+                &fresh[i]
+            };
             let index = result.index();
             for consumer in &batch.consumers {
                 let series = if consumer.flatten_x {
@@ -1395,21 +1581,25 @@ impl<'a> Exec<'a> {
 
     fn run_process(&mut self, decl: &ProcessDecl) -> Result<(), ZqlError> {
         match decl {
-            ProcessDecl::Rank { outputs, mechanism, over, filter, objective } => {
-                self.run_rank(outputs, *mechanism, over, *filter, objective)
-            }
-            ProcessDecl::Representative { outputs, k, over, component } => {
-                self.run_representative(outputs, *k, over, component)
-            }
+            ProcessDecl::Rank {
+                outputs,
+                mechanism,
+                over,
+                filter,
+                objective,
+            } => self.run_rank(outputs, *mechanism, over, *filter, objective),
+            ProcessDecl::Representative {
+                outputs,
+                k,
+                over,
+                component,
+            } => self.run_representative(outputs, *k, over, component),
         }
     }
 
     /// Groups (deduplicated, in order) behind a list of variables, plus
     /// each variable's (group, column).
-    fn iteration_groups(
-        &self,
-        vars: &[String],
-    ) -> Result<(Vec<GroupId>, Vec<(GroupId, usize)>), ZqlError> {
+    fn iteration_groups(&self, vars: &[String]) -> Result<IterationGroups, ZqlError> {
         let mut gids: Vec<GroupId> = Vec::new();
         let mut slots = Vec::with_capacity(vars.len());
         for v in vars {
@@ -1440,14 +1630,19 @@ impl<'a> Exec<'a> {
         let (gids, slots) = self.iteration_groups(over)?;
         let lens: Vec<usize> = gids.iter().map(|&g| self.group_len(g)).collect();
         let total: usize = lens.iter().product();
-        let mut scored: Vec<(Vec<usize>, f64)> = Vec::with_capacity(total);
-        for flat in 0..total {
-            let combo = unflatten(flat, &lens);
-            let env: HashMap<GroupId, usize> =
-                gids.iter().copied().zip(combo.iter().copied()).collect();
-            let score = self.eval_obj(objective, &env)?;
-            scored.push((combo, score));
-        }
+        // Score every combination across the shared pool (the objective
+        // may hide expensive distance computations); results come back in
+        // combination order, so ranking stays deterministic.
+        let this: &Exec<'_> = self;
+        let threads = if total >= PROCESS_PARALLEL_MIN { 0 } else { 1 };
+        let mut scored: Vec<(Vec<usize>, f64)> =
+            parallel::try_parallel_map(total, threads, |flat| {
+                let combo = unflatten(flat, &lens);
+                let env: HashMap<GroupId, usize> =
+                    gids.iter().copied().zip(combo.iter().copied()).collect();
+                let score = this.eval_obj(objective, &env)?;
+                Ok::<_, ZqlError>((combo, score))
+            })?;
         match mechanism {
             Mechanism::ArgMin => scored.sort_by(|a, b| a.1.total_cmp(&b.1)),
             Mechanism::ArgMax => scored.sort_by(|a, b| b.1.total_cmp(&a.1)),
@@ -1490,20 +1685,25 @@ impl<'a> Exec<'a> {
         component: &str,
     ) -> Result<(), ZqlError> {
         if outputs.len() != over.len() {
-            return Err(sem("R outputs map positionally to its variables".to_string()));
+            return Err(sem(
+                "R outputs map positionally to its variables".to_string()
+            ));
         }
         let (gids, slots) = self.iteration_groups(over)?;
         let lens: Vec<usize> = gids.iter().map(|&g| self.group_len(g)).collect();
         let total: usize = lens.iter().product();
-        let mut combos = Vec::with_capacity(total);
-        let mut series = Vec::with_capacity(total);
-        for flat in 0..total {
-            let combo = unflatten(flat, &lens);
-            let env: HashMap<GroupId, usize> =
-                gids.iter().copied().zip(combo.iter().copied()).collect();
-            series.push(self.component_series(component, &env)?);
-            combos.push(combo);
-        }
+        let this: &Exec<'_> = self;
+        let threads = if total >= PROCESS_PARALLEL_MIN { 0 } else { 1 };
+        let (combos, series): (Vec<Vec<usize>>, Vec<Series>) =
+            parallel::try_parallel_map(total, threads, |flat| {
+                let combo = unflatten(flat, &lens);
+                let env: HashMap<GroupId, usize> =
+                    gids.iter().copied().zip(combo.iter().copied()).collect();
+                let s = this.component_series(component, &env)?;
+                Ok::<_, ZqlError>((combo, s))
+            })?
+            .into_iter()
+            .unzip();
         let picked = self.engine.registry.r(&series, k);
         let domain: Vec<Vec<AxisValue>> = picked
             .iter()
@@ -1538,14 +1738,12 @@ impl<'a> Exec<'a> {
             .ok_or_else(|| sem(format!("unknown component '{name}'")))?;
         let mut idx = 0usize;
         for &g in &comp.dims {
-            let i = *env
-                .get(&g)
-                .ok_or_else(|| {
-                    sem(format!(
-                        "component '{name}' needs an index for variable group ({})",
-                        self.groups[g].vars.join(", ")
-                    ))
-                })?;
+            let i = *env.get(&g).ok_or_else(|| {
+                sem(format!(
+                    "component '{name}' needs an index for variable group ({})",
+                    self.groups[g].vars.join(", ")
+                ))
+            })?;
             idx = idx * self.group_len(g) + i;
         }
         if comp.dims.is_empty() && comp.len() != 1 {
@@ -1562,10 +1760,10 @@ impl<'a> Exec<'a> {
     fn eval_obj(&self, expr: &ObjExpr, env: &HashMap<GroupId, usize>) -> Result<f64, ZqlError> {
         Ok(match expr {
             ObjExpr::T(f) => self.engine.registry.t(&self.component_series(f, env)?),
-            ObjExpr::D(a, b) => self
-                .engine
-                .registry
-                .d(&self.component_series(a, env)?, &self.component_series(b, env)?),
+            ObjExpr::D(a, b) => self.engine.registry.d(
+                &self.component_series(a, env)?,
+                &self.component_series(b, env)?,
+            ),
             ObjExpr::Neg(inner) => -self.eval_obj(inner, env)?,
             ObjExpr::UserFn { name, args } => {
                 let series: Vec<Series> = args
@@ -1628,16 +1826,18 @@ fn unflatten(mut flat: usize, lens: &[usize]) -> Vec<usize> {
 }
 
 fn combine_measures(g: &zv_storage::GroupSeries, y_idxs: &[usize]) -> Series {
-    let pts: Vec<(f64, f64)> = g
-        .xs
-        .iter()
-        .enumerate()
-        .filter_map(|(i, x)| {
-            x.as_f64().map(|xf| (xf, y_idxs.iter().map(|&yi| g.ys[yi][i]).sum::<f64>()))
-        })
-        .collect();
+    let pts: Vec<(f64, f64)> =
+        g.xs.iter()
+            .enumerate()
+            .filter_map(|(i, x)| {
+                x.as_f64()
+                    .map(|xf| (xf, y_idxs.iter().map(|&yi| g.ys[yi][i]).sum::<f64>()))
+            })
+            .collect();
     if pts.len() == g.xs.len() {
-        Series::new(pts)
+        // The kernel guarantees xs ascending and unique within a group, so
+        // the sort + dedup scan of `Series::new` is skipped.
+        Series::from_sorted_points(pts)
     } else {
         // Categorical x: index positions keep alignment stable.
         let ys: Vec<f64> = (0..g.xs.len())

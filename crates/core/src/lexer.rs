@@ -11,30 +11,30 @@ pub enum Tok {
     Quoted(String),
     /// Numeric literal.
     Number(f64),
-    Arrow,     // <-
-    RArrow,    // ->
-    Star,      // *
-    Backslash, // \
-    Pipe,      // |
-    Amp,       // &
-    LBrace,    // {
-    RBrace,    // }
-    LParen,    // (
-    RParen,    // )
-    LBracket,  // [
-    RBracket,  // ]
-    Comma,     // ,
-    Dot,       // .
-    Eq,        // =
-    Neq,       // <> or !=
-    Lt,        // <
-    Gt,        // >
-    Le,        // <=
-    Ge,        // >=
-    Plus,      // +
-    Minus,     // -
-    Caret,     // ^
-    Colon,     // :
+    Arrow,      // <-
+    RArrow,     // ->
+    Star,       // *
+    Backslash,  // \
+    Pipe,       // |
+    Amp,        // &
+    LBrace,     // {
+    RBrace,     // }
+    LParen,     // (
+    RParen,     // )
+    LBracket,   // [
+    RBracket,   // ]
+    Comma,      // ,
+    Dot,        // .
+    Eq,         // =
+    Neq,        // <> or !=
+    Lt,         // <
+    Gt,         // >
+    Le,         // <=
+    Ge,         // >=
+    Plus,       // +
+    Minus,      // -
+    Caret,      // ^
+    Colon,      // :
     Underscore, // _
 }
 
@@ -232,7 +232,9 @@ pub fn tokenize(input: &str) -> Result<Vec<Tok>, String> {
                     j += 1;
                 }
                 let text: String = chars[start..j].iter().collect();
-                let n = text.parse::<f64>().map_err(|e| format!("bad number {text}: {e}"))?;
+                let n = text
+                    .parse::<f64>()
+                    .map_err(|e| format!("bad number {text}: {e}"))?;
                 toks.push(Tok::Number(n));
                 i = j;
             }
@@ -289,7 +291,16 @@ mod tests {
     fn comparison_operators() {
         assert_eq!(
             tokenize("< <= <> != > >= = <-").unwrap(),
-            vec![Tok::Lt, Tok::Le, Tok::Neq, Tok::Neq, Tok::Gt, Tok::Ge, Tok::Eq, Tok::Arrow]
+            vec![
+                Tok::Lt,
+                Tok::Le,
+                Tok::Neq,
+                Tok::Neq,
+                Tok::Gt,
+                Tok::Ge,
+                Tok::Eq,
+                Tok::Arrow
+            ]
         );
     }
 
@@ -334,12 +345,18 @@ mod tests {
 
     #[test]
     fn arrows_vs_minus() {
-        assert_eq!(tokenize("u1 ->").unwrap(), vec![Tok::Ident("u1".into()), Tok::RArrow]);
+        assert_eq!(
+            tokenize("u1 ->").unwrap(),
+            vec![Tok::Ident("u1".into()), Tok::RArrow]
+        );
         assert_eq!(
             tokenize("f1-f2").unwrap(),
             vec![Tok::Ident("f1".into()), Tok::Minus, Tok::Ident("f2".into())]
         );
-        assert_eq!(tokenize("-T").unwrap(), vec![Tok::Minus, Tok::Ident("T".into())]);
+        assert_eq!(
+            tokenize("-T").unwrap(),
+            vec![Tok::Minus, Tok::Ident("T".into())]
+        );
     }
 
     #[test]

@@ -25,7 +25,11 @@ pub struct ParseError {
 
 impl std::fmt::Display for ParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "parse error at line {} ({}): {}", self.line, self.column, self.message)
+        write!(
+            f,
+            "parse error at line {} ({}): {}",
+            self.line, self.column, self.message
+        )
     }
 }
 
@@ -55,7 +59,10 @@ fn header_col(s: &str) -> Option<ColKind> {
         "process" => Some(ColKind::Process),
         _ => {
             if let Some(n) = s.strip_prefix('z') {
-                n.parse::<usize>().ok().filter(|&n| n >= 2).map(|n| ColKind::Z(n - 1))
+                n.parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 2)
+                    .map(|n| ColKind::Z(n - 1))
             } else {
                 None
             }
@@ -124,7 +131,11 @@ pub fn parse_query(text: &str) -> Result<ZqlQuery, ParseError> {
     for (lno, line) in lines {
         let cells = split_cells(line);
         if cells.len() > cols.len() {
-            return Err(err(lno, "row", format!("{} cells but {} columns", cells.len(), cols.len())));
+            return Err(err(
+                lno,
+                "row",
+                format!("{} cells but {} columns", cells.len(), cols.len()),
+            ));
         }
         let mut name: Option<NameCol> = None;
         let mut x = None;
@@ -177,7 +188,11 @@ pub fn parse_query(text: &str) -> Result<ZqlQuery, ParseError> {
 }
 
 fn err(line: usize, column: &str, message: impl Into<String>) -> ParseError {
-    ParseError { message: message.into(), line, column: column.to_string() }
+    ParseError {
+        message: message.into(),
+        line,
+        column: column.to_string(),
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -191,7 +206,10 @@ struct P {
 
 impl P {
     fn new(cell: &str) -> Result<P, String> {
-        Ok(P { toks: tokenize(cell)?, pos: 0 })
+        Ok(P {
+            toks: tokenize(cell)?,
+            pos: 0,
+        })
     }
 
     fn peek(&self) -> Option<&Tok> {
@@ -230,21 +248,30 @@ impl P {
     fn expect_ident(&mut self) -> Result<String, String> {
         match self.next() {
             Some(Tok::Ident(s)) => Ok(s),
-            other => Err(format!("expected identifier, found {}", describe(other.as_ref()))),
+            other => Err(format!(
+                "expected identifier, found {}",
+                describe(other.as_ref())
+            )),
         }
     }
 
     fn expect_quoted(&mut self) -> Result<String, String> {
         match self.next() {
             Some(Tok::Quoted(s)) => Ok(s),
-            other => Err(format!("expected quoted string, found {}", describe(other.as_ref()))),
+            other => Err(format!(
+                "expected quoted string, found {}",
+                describe(other.as_ref())
+            )),
         }
     }
 
     fn expect_number(&mut self) -> Result<f64, String> {
         match self.next() {
             Some(Tok::Number(n)) => Ok(n),
-            other => Err(format!("expected number, found {}", describe(other.as_ref()))),
+            other => Err(format!(
+                "expected number, found {}",
+                describe(other.as_ref())
+            )),
         }
     }
 
@@ -281,12 +308,21 @@ pub fn parse_name_cell(cell: &str) -> Result<NameCol, String> {
     let output = p.eat(&Tok::Star);
     let user_input = !output && p.eat(&Tok::Minus);
     let name = p.expect_ident()?;
-    let derived = if p.eat(&Tok::Eq) { Some(parse_name_expr(&mut p)?) } else { None };
+    let derived = if p.eat(&Tok::Eq) {
+        Some(parse_name_expr(&mut p)?)
+    } else {
+        None
+    };
     p.expect_done()?;
     if user_input && derived.is_some() {
         return Err("a user-input component cannot also be derived".into());
     }
-    Ok(NameCol { name, output, user_input, derived })
+    Ok(NameCol {
+        name,
+        output,
+        user_input,
+        derived,
+    })
 }
 
 fn parse_name_expr(p: &mut P) -> Result<NameExpr, String> {
@@ -361,7 +397,10 @@ pub fn parse_axis_cell(cell: &str) -> Result<Option<AxisEntry>, String> {
                 if p.eat(&Tok::Underscore) {
                     AxisEntry::BindDerived { var }
                 } else {
-                    AxisEntry::Declare { var, set: parse_attr_set(&mut p)? }
+                    AxisEntry::Declare {
+                        var,
+                        set: parse_attr_set(&mut p)?,
+                    }
                 }
             } else {
                 AxisEntry::Var(var)
@@ -512,7 +551,11 @@ fn parse_z_entry(p: &mut P) -> Result<ZEntry, String> {
                     });
                 }
                 let set = parse_zset(p)?;
-                return Ok(ZEntry::DeclarePairs { attr_var: first, val_var, set });
+                return Ok(ZEntry::DeclarePairs {
+                    attr_var: first,
+                    val_var,
+                    set,
+                });
             }
             // `v1 <- ...` value declaration
             if p.eat(&Tok::Arrow) {
@@ -534,7 +577,11 @@ fn parse_z_entry(p: &mut P) -> Result<ZEntry, String> {
                     }
                 }
                 if p.eat(&Tok::Underscore) {
-                    return Ok(ZEntry::BindDerived { attr_var: None, val_var: first, attr: None });
+                    return Ok(ZEntry::BindDerived {
+                        attr_var: None,
+                        val_var: first,
+                        attr: None,
+                    });
                 }
                 let set = parse_zset(p)?;
                 return Ok(ZEntry::DeclareValues { var: first, set });
@@ -563,7 +610,10 @@ fn parse_zset_term(p: &mut P) -> Result<ZSet, String> {
             p.next();
             p.expect(&Tok::Dot)?;
             let values = parse_value_set(p)?;
-            Ok(ZSet::AttrValues { attr: Some(attr), values })
+            Ok(ZSet::AttrValues {
+                attr: Some(attr),
+                values,
+            })
         }
         // (attr-set).(value-set)  — attribute iteration, e.g. (* \ {'y'}).*
         // or a parenthesized set expression over ranges:
@@ -571,9 +621,7 @@ fn parse_zset_term(p: &mut P) -> Result<ZSet, String> {
         Some(Tok::LParen) => {
             p.next();
             // Try: range-expression over value vars.
-            if matches!(p.peek(), Some(Tok::Ident(_)))
-                && p.peek2() == Some(&Tok::Dot)
-            {
+            if matches!(p.peek(), Some(Tok::Ident(_))) && p.peek2() == Some(&Tok::Dot) {
                 let values = parse_value_set(p)?;
                 p.expect(&Tok::RParen)?;
                 return Ok(ZSet::AttrValues { attr: None, values });
@@ -606,11 +654,17 @@ fn parse_zset_term(p: &mut P) -> Result<ZSet, String> {
                 p.expect(&Tok::RBrace)?;
                 p.expect(&Tok::Dot)?;
                 let values = parse_value_set(p)?;
-                return Ok(ZSet::CrossAttrs { attrs: AttrSet::AllExcept(items), values });
+                return Ok(ZSet::CrossAttrs {
+                    attrs: AttrSet::AllExcept(items),
+                    values,
+                });
             }
             p.expect(&Tok::Dot)?;
             let values = parse_value_set(p)?;
-            Ok(ZSet::CrossAttrs { attrs: AttrSet::All, values })
+            Ok(ZSet::CrossAttrs {
+                attrs: AttrSet::All,
+                values,
+            })
         }
         // Named value set (engine-registered), e.g. `v1 <- P`
         Some(Tok::Ident(_)) => {
@@ -688,7 +742,10 @@ fn parse_value_set_term(p: &mut P) -> Result<ValueSet, String> {
                 Ok(ValueSet::Named(id))
             }
         }
-        other => Err(format!("unexpected {} in value set", describe(other.as_ref()))),
+        other => Err(format!(
+            "unexpected {} in value set",
+            describe(other.as_ref())
+        )),
     }
 }
 
@@ -711,7 +768,10 @@ fn parse_value(p: &mut P) -> Result<Value, String> {
     match p.next() {
         Some(Tok::Quoted(s)) => Ok(Value::str(s)),
         Some(Tok::Number(n)) => Ok(number_value(n)),
-        other => Err(format!("expected a value, found {}", describe(other.as_ref()))),
+        other => Err(format!(
+            "expected a value, found {}",
+            describe(other.as_ref())
+        )),
     }
 }
 
@@ -751,15 +811,21 @@ fn parse_constraint_atom(p: &mut P) -> Result<ConstraintExpr, String> {
     let attr = match p.next() {
         Some(Tok::Ident(s)) => s,
         Some(Tok::Quoted(s)) => s,
-        other => return Err(format!("expected attribute name, found {}", describe(other.as_ref()))),
+        other => {
+            return Err(format!(
+                "expected attribute name, found {}",
+                describe(other.as_ref())
+            ))
+        }
     };
     match p.next() {
         Some(Tok::Eq) => match p.next() {
-            Some(Tok::Quoted(v)) => {
-                Ok(ConstraintExpr::Static(Predicate::cat_eq(attr, v)))
-            }
+            Some(Tok::Quoted(v)) => Ok(ConstraintExpr::Static(Predicate::cat_eq(attr, v))),
             Some(Tok::Number(n)) => Ok(ConstraintExpr::Static(Predicate::num_eq(attr, n))),
-            other => Err(format!("expected value after '=', found {}", describe(other.as_ref()))),
+            other => Err(format!(
+                "expected value after '=', found {}",
+                describe(other.as_ref())
+            )),
         },
         Some(Tok::Neq) => match p.next() {
             Some(Tok::Quoted(v)) => Ok(ConstraintExpr::Static(Predicate::atom(Atom::CatNeq {
@@ -771,7 +837,10 @@ fn parse_constraint_atom(p: &mut P) -> Result<ConstraintExpr, String> {
                 op: CmpOp::Neq,
                 value: n,
             }))),
-            other => Err(format!("expected value after '<>', found {}", describe(other.as_ref()))),
+            other => Err(format!(
+                "expected value after '<>', found {}",
+                describe(other.as_ref())
+            )),
         },
         Some(tok @ (Tok::Lt | Tok::Le | Tok::Gt | Tok::Ge)) => {
             let n = p.expect_number()?;
@@ -781,15 +850,21 @@ fn parse_constraint_atom(p: &mut P) -> Result<ConstraintExpr, String> {
                 Tok::Gt => CmpOp::Gt,
                 _ => CmpOp::Ge,
             };
-            Ok(ConstraintExpr::Static(Predicate::atom(Atom::NumCmp { col: attr, op, value: n })))
+            Ok(ConstraintExpr::Static(Predicate::atom(Atom::NumCmp {
+                col: attr,
+                op,
+                value: n,
+            })))
         }
         Some(Tok::Ident(kw)) if kw.eq_ignore_ascii_case("like") => {
             let pat = p.expect_quoted()?;
-            let prefix = pat
-                .strip_suffix('%')
-                .ok_or_else(|| format!("only 'prefix%' LIKE patterns are supported, got '{pat}'"))?;
+            let prefix = pat.strip_suffix('%').ok_or_else(|| {
+                format!("only 'prefix%' LIKE patterns are supported, got '{pat}'")
+            })?;
             if prefix.contains('%') {
-                return Err(format!("only 'prefix%' LIKE patterns are supported, got '{pat}'"));
+                return Err(format!(
+                    "only 'prefix%' LIKE patterns are supported, got '{pat}'"
+                ));
             }
             Ok(ConstraintExpr::Static(Predicate::atom(Atom::StrPrefix {
                 col: attr,
@@ -826,9 +901,16 @@ fn parse_constraint_atom(p: &mut P) -> Result<ConstraintExpr, String> {
                 return Err("expected AND in BETWEEN".into());
             }
             let hi = p.expect_number()?;
-            Ok(ConstraintExpr::Static(Predicate::atom(Atom::NumBetween { col: attr, lo, hi })))
+            Ok(ConstraintExpr::Static(Predicate::atom(Atom::NumBetween {
+                col: attr,
+                lo,
+                hi,
+            })))
         }
-        other => Err(format!("expected comparison, found {}", describe(other.as_ref()))),
+        other => Err(format!(
+            "expected comparison, found {}",
+            describe(other.as_ref())
+        )),
     }
 }
 
@@ -860,7 +942,9 @@ pub fn parse_viz_cell(cell: &str) -> Result<Option<VizEntry>, String> {
     p.expect_done()?;
     match specs.len() {
         1 => Ok(Some(VizEntry::Fixed(specs.into_iter().next().unwrap()))),
-        n => Err(format!("a set of {n} viz specs must be bound to a variable")),
+        n => Err(format!(
+            "a set of {n} viz specs must be bound to a variable"
+        )),
     }
 }
 
@@ -870,9 +954,7 @@ fn parse_viz_set(p: &mut P) -> Result<Vec<VizSpec>, String> {
         let mut charts = Vec::new();
         loop {
             let id = p.expect_ident()?;
-            charts.push(
-                ChartType::parse(&id).ok_or_else(|| format!("unknown chart type '{id}'"))?,
-            );
+            charts.push(ChartType::parse(&id).ok_or_else(|| format!("unknown chart type '{id}'"))?);
             if !p.eat(&Tok::Comma) {
                 break;
             }
@@ -886,19 +968,28 @@ fn parse_viz_set(p: &mut P) -> Result<Vec<VizSpec>, String> {
         }
         return Ok(charts
             .into_iter()
-            .map(|c| VizSpec { chart: c, ..base.clone() })
+            .map(|c| VizSpec {
+                chart: c,
+                ..base.clone()
+            })
             .collect());
     }
     let id = p.expect_ident()?;
     let chart = ChartType::parse(&id).ok_or_else(|| format!("unknown chart type '{id}'"))?;
     if !p.eat(&Tok::Dot) {
-        return Ok(vec![VizSpec { chart, ..Default::default() }]);
+        return Ok(vec![VizSpec {
+            chart,
+            ..Default::default()
+        }]);
     }
     // `bar.{(params), (params)}` — summarization set
     if p.eat(&Tok::LBrace) {
         let mut specs = Vec::new();
         loop {
-            let mut spec = VizSpec { chart, ..Default::default() };
+            let mut spec = VizSpec {
+                chart,
+                ..Default::default()
+            };
             p.expect(&Tok::LParen)?;
             parse_viz_params(p, &mut spec)?;
             p.expect(&Tok::RParen)?;
@@ -910,7 +1001,10 @@ fn parse_viz_set(p: &mut P) -> Result<Vec<VizSpec>, String> {
         p.expect(&Tok::RBrace)?;
         return Ok(specs);
     }
-    let mut spec = VizSpec { chart, ..Default::default() };
+    let mut spec = VizSpec {
+        chart,
+        ..Default::default()
+    };
     p.expect(&Tok::LParen)?;
     parse_viz_params(p, &mut spec)?;
     p.expect(&Tok::RParen)?;
@@ -991,7 +1085,12 @@ fn parse_process_decl(p: &mut P) -> Result<ProcessDecl, String> {
         if args.is_empty() {
             return Err("R(k, vars..., component) needs at least one variable".into());
         }
-        return Ok(ProcessDecl::Representative { outputs, k, over: args, component });
+        return Ok(ProcessDecl::Representative {
+            outputs,
+            k,
+            over: args,
+            component,
+        });
     }
     let mechanism = match head.as_str() {
         "argmin" => Mechanism::ArgMin,
@@ -1007,7 +1106,13 @@ fn parse_process_decl(p: &mut P) -> Result<ProcessDecl, String> {
     p.expect(&Tok::RParen)?;
     let filter = parse_process_filter(p)?;
     let objective = parse_obj_expr(p)?;
-    Ok(ProcessDecl::Rank { outputs, mechanism, over, filter, objective })
+    Ok(ProcessDecl::Rank {
+        outputs,
+        mechanism,
+        over,
+        filter,
+        objective,
+    })
 }
 
 fn parse_process_filter(p: &mut P) -> Result<ProcessFilter, String> {
@@ -1024,7 +1129,10 @@ fn parse_process_filter(p: &mut P) -> Result<ProcessFilter, String> {
                     ProcessFilter::TopK(usize::MAX)
                 }
                 other => {
-                    return Err(format!("expected k value, found {}", describe(other.as_ref())))
+                    return Err(format!(
+                        "expected k value, found {}",
+                        describe(other.as_ref())
+                    ))
                 }
             }
         }
@@ -1035,7 +1143,10 @@ fn parse_process_filter(p: &mut P) -> Result<ProcessFilter, String> {
                 Some(Tok::Lt) => ThresholdOp::Lt,
                 Some(Tok::Le) => ThresholdOp::Le,
                 other => {
-                    return Err(format!("expected threshold op, found {}", describe(other.as_ref())))
+                    return Err(format!(
+                        "expected threshold op, found {}",
+                        describe(other.as_ref())
+                    ))
                 }
             };
             let neg = p.eat(&Tok::Minus);
@@ -1071,7 +1182,11 @@ fn parse_obj_expr(p: &mut P) -> Result<ObjExpr, String> {
         }
         p.expect(&Tok::RParen)?;
         let expr = parse_obj_expr(p)?;
-        return Ok(ObjExpr::InnerAgg { op, vars, expr: Box::new(expr) });
+        return Ok(ObjExpr::InnerAgg {
+            op,
+            vars,
+            expr: Box::new(expr),
+        });
     }
     p.expect(&Tok::LParen)?;
     let mut args = vec![p.expect_ident()?];
@@ -1127,13 +1242,20 @@ mod tests {
             row.zs[0],
             ZEntry::DeclareValues {
                 var: "v1".into(),
-                set: ZSet::AttrValues { attr: Some("product".into()), values: ValueSet::All },
+                set: ZSet::AttrValues {
+                    attr: Some("product".into()),
+                    values: ValueSet::All
+                },
             }
         );
         assert!(row.constraints.is_some());
         assert_eq!(
             row.viz,
-            Some(VizEntry::Fixed(VizSpec { chart: ChartType::Bar, x_bin: None, y_agg: Agg::Sum }))
+            Some(VizEntry::Fixed(VizSpec {
+                chart: ChartType::Bar,
+                x_bin: None,
+                y_agg: Agg::Sum
+            }))
         );
         assert!(row.processes.is_empty());
     }
@@ -1150,7 +1272,13 @@ mod tests {
         assert!(q.rows[0].name.user_input);
         let p = &q.rows[1].processes[0];
         match p {
-            ProcessDecl::Rank { outputs, mechanism, over, filter, objective } => {
+            ProcessDecl::Rank {
+                outputs,
+                mechanism,
+                over,
+                filter,
+                objective,
+            } => {
                 assert_eq!(outputs, &["v2"]);
                 assert_eq!(*mechanism, Mechanism::ArgMin);
                 assert_eq!(over, &["v1"]);
@@ -1177,7 +1305,10 @@ mod tests {
             ProcessDecl::Rank { filter, .. } => {
                 assert_eq!(
                     *filter,
-                    ProcessFilter::Threshold { op: ThresholdOp::Gt, value: 0.0 }
+                    ProcessFilter::Threshold {
+                        op: ThresholdOp::Gt,
+                        value: 0.0
+                    }
                 );
             }
             other => panic!("unexpected {other:?}"),
@@ -1199,7 +1330,12 @@ mod tests {
             other => panic!("unexpected {other:?}"),
         }
         match &q.rows[2].processes[0] {
-            ProcessDecl::Representative { outputs, k, over, component } => {
+            ProcessDecl::Representative {
+                outputs,
+                k,
+                over,
+                component,
+            } => {
                 assert_eq!(outputs, &["v5"]);
                 assert_eq!(*k, 10);
                 assert_eq!(over, &["v4"]);
@@ -1211,7 +1347,9 @@ mod tests {
 
     #[test]
     fn parse_axis_sets_and_reuse() {
-        let e = parse_axis_cell("y1 <- {'profit', 'sales'}").unwrap().unwrap();
+        let e = parse_axis_cell("y1 <- {'profit', 'sales'}")
+            .unwrap()
+            .unwrap();
         assert_eq!(
             e,
             AxisEntry::Declare {
@@ -1219,10 +1357,16 @@ mod tests {
                 set: AttrSet::List(vec![AttrExpr::attr("profit"), AttrExpr::attr("sales")]),
             }
         );
-        assert_eq!(parse_axis_cell("x2").unwrap().unwrap(), AxisEntry::Var("x2".into()));
+        assert_eq!(
+            parse_axis_cell("x2").unwrap().unwrap(),
+            AxisEntry::Var("x2".into())
+        );
         assert_eq!(
             parse_axis_cell("x1 <- M").unwrap().unwrap(),
-            AxisEntry::Declare { var: "x1".into(), set: AttrSet::Named("M".into()) }
+            AxisEntry::Declare {
+                var: "x1".into(),
+                set: AttrSet::Named("M".into())
+            }
         );
         assert_eq!(
             parse_axis_cell("y1 <- _").unwrap().unwrap(),
@@ -1244,7 +1388,10 @@ mod tests {
     fn parse_z_variants() {
         assert_eq!(
             parse_z_cell("'product'.'chair'").unwrap(),
-            ZEntry::Fixed { attr: "product".into(), value: Value::str("chair") }
+            ZEntry::Fixed {
+                attr: "product".into(),
+                value: Value::str("chair")
+            }
         );
         assert_eq!(
             parse_z_cell("v1 <- 'product'.(* \\ {'stapler'})").unwrap(),
@@ -1269,7 +1416,10 @@ mod tests {
         );
         // union of explicit pairs (Table 3.7)
         match parse_z_cell("z1.v1 <- ('product'.{'chair','desk'} | 'location'.'US')").unwrap() {
-            ZEntry::DeclarePairs { set: ZSet::Union(a, b), .. } => {
+            ZEntry::DeclarePairs {
+                set: ZSet::Union(a, b),
+                ..
+            } => {
                 assert!(matches!(*a, ZSet::AttrValues { .. }));
                 assert!(matches!(*b, ZSet::AttrValues { .. }));
             }
@@ -1287,21 +1437,29 @@ mod tests {
         assert_eq!(parse_z_cell("").unwrap(), ZEntry::None);
         assert_eq!(
             parse_z_cell("'year'.2015").unwrap(),
-            ZEntry::Fixed { attr: "year".into(), value: Value::Int(2015) }
+            ZEntry::Fixed {
+                attr: "year".into(),
+                value: Value::Int(2015)
+            }
         );
         // named set (user-registered), e.g. airports OA
         assert_eq!(
             parse_z_cell("v1 <- OA").unwrap(),
             ZEntry::DeclareValues {
                 var: "v1".into(),
-                set: ZSet::AttrValues { attr: None, values: ValueSet::Named("OA".into()) },
+                set: ZSet::AttrValues {
+                    attr: None,
+                    values: ValueSet::Named("OA".into())
+                },
             }
         );
     }
 
     #[test]
     fn parse_constraints_variants() {
-        let c = parse_constraints_cell("product='chair' AND zip LIKE '02%'").unwrap().unwrap();
+        let c = parse_constraints_cell("product='chair' AND zip LIKE '02%'")
+            .unwrap()
+            .unwrap();
         match c {
             ConstraintExpr::And(a, b) => {
                 assert!(matches!(*a, ConstraintExpr::Static(_)));
@@ -1314,12 +1472,19 @@ mod tests {
             ConstraintExpr::Static(Predicate::num_eq("year", 2015.0))
         );
         assert_eq!(
-            parse_constraints_cell("product IN (v2.range)").unwrap().unwrap(),
-            ConstraintExpr::InRange { attr: "product".into(), var: "v2".into() }
+            parse_constraints_cell("product IN (v2.range)")
+                .unwrap()
+                .unwrap(),
+            ConstraintExpr::InRange {
+                attr: "product".into(),
+                var: "v2".into()
+            }
         );
         assert!(parse_constraints_cell("zip LIKE '%02'").is_err());
         assert!(matches!(
-            parse_constraints_cell("sales BETWEEN 10 AND 20").unwrap().unwrap(),
+            parse_constraints_cell("sales BETWEEN 10 AND 20")
+                .unwrap()
+                .unwrap(),
             ConstraintExpr::Static(_)
         ));
         assert_eq!(parse_constraints_cell("").unwrap(), None);
@@ -1328,14 +1493,26 @@ mod tests {
     #[test]
     fn parse_viz_variants() {
         assert_eq!(
-            parse_viz_cell("bar.(x=bin(20), y=agg('sum'))").unwrap().unwrap(),
-            VizEntry::Fixed(VizSpec { chart: ChartType::Bar, x_bin: Some(20.0), y_agg: Agg::Sum })
+            parse_viz_cell("bar.(x=bin(20), y=agg('sum'))")
+                .unwrap()
+                .unwrap(),
+            VizEntry::Fixed(VizSpec {
+                chart: ChartType::Bar,
+                x_bin: Some(20.0),
+                y_agg: Agg::Sum
+            })
         );
         assert_eq!(
             parse_viz_cell("scatterplot").unwrap().unwrap(),
-            VizEntry::Fixed(VizSpec { chart: ChartType::Scatterplot, ..Default::default() })
+            VizEntry::Fixed(VizSpec {
+                chart: ChartType::Scatterplot,
+                ..Default::default()
+            })
         );
-        match parse_viz_cell("t1 <- {bar, dotplot}.(x=bin(20), y=agg('sum'))").unwrap().unwrap() {
+        match parse_viz_cell("t1 <- {bar, dotplot}.(x=bin(20), y=agg('sum'))")
+            .unwrap()
+            .unwrap()
+        {
             VizEntry::Declare { var, specs } => {
                 assert_eq!(var, "t1");
                 assert_eq!(specs.len(), 2);
@@ -1345,11 +1522,9 @@ mod tests {
             }
             other => panic!("unexpected {other:?}"),
         }
-        match parse_viz_cell(
-            "s1 <- bar.{(x=bin(20), y=agg('sum')), (x=bin(30), y=agg('sum'))}",
-        )
-        .unwrap()
-        .unwrap()
+        match parse_viz_cell("s1 <- bar.{(x=bin(20), y=agg('sum')), (x=bin(30), y=agg('sum'))}")
+            .unwrap()
+            .unwrap()
         {
             VizEntry::Declare { specs, .. } => {
                 assert_eq!(specs.len(), 2);
@@ -1359,7 +1534,10 @@ mod tests {
             other => panic!("unexpected {other:?}"),
         }
         // a bare non-chart identifier is a variable reuse
-        assert_eq!(parse_viz_cell("t1").unwrap().unwrap(), VizEntry::Var("t1".into()));
+        assert_eq!(
+            parse_viz_cell("t1").unwrap().unwrap(),
+            VizEntry::Var("t1".into())
+        );
         assert!(parse_viz_cell("piechart.(y=agg('sum'))").is_err());
     }
 
@@ -1381,7 +1559,10 @@ mod tests {
         }
         // nested iteration (Table 3.20)
         match &parse_process_cell("v3 <- argmax(v1)[k=10] min(v2) D(f1, f2)").unwrap()[0] {
-            ProcessDecl::Rank { objective: ObjExpr::InnerAgg { op, vars, expr }, .. } => {
+            ProcessDecl::Rank {
+                objective: ObjExpr::InnerAgg { op, vars, expr },
+                ..
+            } => {
                 assert_eq!(*op, InnerOp::Min);
                 assert_eq!(vars, &["v2"]);
                 assert_eq!(**expr, ObjExpr::D("f1".into(), "f2".into()));
@@ -1389,10 +1570,12 @@ mod tests {
             other => panic!("unexpected {other:?}"),
         }
         // sum objective (Table 3.25)
-        match &parse_process_cell("x3, y3 <- argmax(x1, y1)[k=1] sum(x2, y2) D(f1, f2)").unwrap()
-            [0]
+        match &parse_process_cell("x3, y3 <- argmax(x1, y1)[k=1] sum(x2, y2) D(f1, f2)").unwrap()[0]
         {
-            ProcessDecl::Rank { objective: ObjExpr::InnerAgg { op, vars, .. }, .. } => {
+            ProcessDecl::Rank {
+                objective: ObjExpr::InnerAgg { op, vars, .. },
+                ..
+            } => {
                 assert_eq!(*op, InnerOp::Sum);
                 assert_eq!(vars, &["x2", "y2"]);
             }
@@ -1400,12 +1583,18 @@ mod tests {
         }
         // k = inf sort (Table 3.15)
         match &parse_process_cell("u1 <- argmin(v1)[k=inf] T(f1)").unwrap()[0] {
-            ProcessDecl::Rank { filter, .. } => assert_eq!(*filter, ProcessFilter::TopK(usize::MAX)),
+            ProcessDecl::Rank { filter, .. } => {
+                assert_eq!(*filter, ProcessFilter::TopK(usize::MAX))
+            }
             other => panic!("unexpected {other:?}"),
         }
         // negated objective
         match &parse_process_cell("u1 <- argmin(v1) -T(f1)").unwrap()[0] {
-            ProcessDecl::Rank { objective: ObjExpr::Neg(inner), filter, .. } => {
+            ProcessDecl::Rank {
+                objective: ObjExpr::Neg(inner),
+                filter,
+                ..
+            } => {
                 assert_eq!(**inner, ObjExpr::T("f1".into()));
                 assert_eq!(*filter, ProcessFilter::None);
             }
@@ -1413,7 +1602,10 @@ mod tests {
         }
         // user-defined function
         match &parse_process_cell("v2 <- argmax(v1)[k=5] wiggliness(f1)").unwrap()[0] {
-            ProcessDecl::Rank { objective: ObjExpr::UserFn { name, args }, .. } => {
+            ProcessDecl::Rank {
+                objective: ObjExpr::UserFn { name, args },
+                ..
+            } => {
                 assert_eq!(name, "wiggliness");
                 assert_eq!(args, &["f1"]);
             }
@@ -1443,7 +1635,10 @@ mod tests {
             parse_name_cell("f2=f1[3]").unwrap().derived,
             Some(NameExpr::Index(_, 3))
         ));
-        assert!(matches!(parse_name_cell("f2=f1.range").unwrap().derived, Some(NameExpr::Range(_))));
+        assert!(matches!(
+            parse_name_cell("f2=f1.range").unwrap().derived,
+            Some(NameExpr::Range(_))
+        ));
         assert!(matches!(
             parse_name_cell("*f2=f1.order").unwrap().derived,
             Some(NameExpr::Order(_))
@@ -1471,7 +1666,14 @@ mod tests {
         .unwrap();
         assert_eq!(q.rows[0].zs.len(), 2);
         match &q.rows[0].zs[1] {
-            ZEntry::DeclareValues { set: ZSet::AttrValues { values: ValueSet::List(v), .. }, .. } => {
+            ZEntry::DeclareValues {
+                set:
+                    ZSet::AttrValues {
+                        values: ValueSet::List(v),
+                        ..
+                    },
+                ..
+            } => {
                 assert_eq!(v.len(), 2);
             }
             other => panic!("unexpected {other:?}"),

@@ -9,12 +9,16 @@ use zv_storage::Value;
 
 /// A user-defined objective over one or more visualizations.
 pub type UserFn = Box<dyn Fn(&[Series]) -> f64 + Send + Sync>;
+/// The distance primitive `D`.
+pub type DistanceFn = Box<dyn Fn(&Series, &Series) -> f64 + Send + Sync>;
+/// The representative primitive `R` (returns member indices).
+pub type RepresentativeFn = Box<dyn Fn(&[Series], usize) -> Vec<usize> + Send + Sync>;
 
 /// The engine's function and set environment.
 pub struct FunctionRegistry {
     t: Box<dyn Fn(&Series) -> f64 + Send + Sync>,
-    d: Box<dyn Fn(&Series, &Series) -> f64 + Send + Sync>,
-    r: Box<dyn Fn(&[Series], usize) -> Vec<usize> + Send + Sync>,
+    d: DistanceFn,
+    r: RepresentativeFn,
     user: HashMap<String, UserFn>,
     /// Named attribute sets (`M`, `C`, … in the thesis's examples).
     attr_sets: HashMap<String, Vec<String>>,

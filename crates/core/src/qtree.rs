@@ -227,14 +227,20 @@ fn collect_z_vars(entry: &ZEntry, out: &mut Vec<(String, Vec<String>)>) {
             collect_zset_vars(set, &mut deps);
             out.push((var.clone(), deps));
         }
-        ZEntry::DeclarePairs { attr_var, val_var, set } => {
+        ZEntry::DeclarePairs {
+            attr_var,
+            val_var,
+            set,
+        } => {
             let mut deps = Vec::new();
             collect_zset_vars(set, &mut deps);
             out.push((attr_var.clone(), deps.clone()));
             out.push((val_var.clone(), deps));
         }
         ZEntry::Var(v) | ZEntry::OrderBy(v) => out.push((v.clone(), Vec::new())),
-        ZEntry::BindDerived { attr_var, val_var, .. } => {
+        ZEntry::BindDerived {
+            attr_var, val_var, ..
+        } => {
             if let Some(a) = attr_var {
                 out.push((a.clone(), Vec::new()));
             }
@@ -276,7 +282,6 @@ fn collect_constraint_vars(c: &ConstraintExpr, out: &mut Vec<(String, Vec<String
         ConstraintExpr::Static(_) => {}
     }
 }
-
 
 fn process_components(p: &ProcessDecl) -> Vec<String> {
     match p {

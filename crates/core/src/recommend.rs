@@ -36,8 +36,11 @@ pub fn recommend_auto(
     use zv_analytics::{auto_k, embed_normalized};
     // One pass to materialize all candidate visualizations.
     let all = crate::tasks::representative_search(engine, spec, usize::MAX)?;
-    let series: Vec<zv_analytics::Series> =
-        all.visualizations.iter().map(|v| v.series.clone()).collect();
+    let series: Vec<zv_analytics::Series> = all
+        .visualizations
+        .iter()
+        .map(|v| v.series.clone())
+        .collect();
     let k = auto_k(&embed_normalized(&series), k_max, 0);
     recommend_diverse(engine, spec, k)
 }
@@ -61,7 +64,11 @@ mod tests {
         });
         let eng = ZqlEngine::new(Arc::new(BitmapDb::new(table)));
         let recs = recommend_auto(&eng, &TaskSpec::new("year", "sales", "product"), 6).unwrap();
-        assert!((2..=6).contains(&recs.len()), "got {} recommendations", recs.len());
+        assert!(
+            (2..=6).contains(&recs.len()),
+            "got {} recommendations",
+            recs.len()
+        );
         let mut labels: Vec<&str> = recs.iter().map(|v| v.label.as_str()).collect();
         labels.sort_unstable();
         labels.dedup();

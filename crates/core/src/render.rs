@@ -43,7 +43,12 @@ pub fn ascii_chart(series: &Series, title: &str, width: usize, height: usize) ->
     let x0 = series.points().first().map(|p| p.0).unwrap_or(0.0);
     let x1 = series.points().last().map(|p| p.0).unwrap_or(0.0);
     out.push_str(&format!("{:label_w$} +{}\n", "", "-".repeat(width)));
-    out.push_str(&format!("{:label_w$}  {x0:<.0}{:>pad$.0}\n", "", x1, pad = width - 1));
+    out.push_str(&format!(
+        "{:label_w$}  {x0:<.0}{:>pad$.0}\n",
+        "",
+        x1,
+        pad = width - 1
+    ));
     out
 }
 
@@ -56,8 +61,16 @@ pub fn ascii_bars(items: &[(String, f64)], title: &str, width: usize) -> String 
         out.push_str("  (no data)\n");
         return out;
     }
-    let max = items.iter().map(|(_, v)| v.abs()).fold(f64::MIN_POSITIVE, f64::max);
-    let label_w = items.iter().map(|(l, _)| l.len()).max().unwrap_or(0).min(24);
+    let max = items
+        .iter()
+        .map(|(_, v)| v.abs())
+        .fold(f64::MIN_POSITIVE, f64::max);
+    let label_w = items
+        .iter()
+        .map(|(l, _)| l.len())
+        .max()
+        .unwrap_or(0)
+        .min(24);
     for (label, value) in items {
         let bars = ((value.abs() / max) * width as f64).round() as usize;
         let mut l = label.clone();
@@ -72,7 +85,11 @@ pub fn ascii_bars(items: &[(String, f64)], title: &str, width: usize) -> String 
 
 /// One-line summary of an output visualization.
 pub fn describe(viz: &OutputViz) -> String {
-    let label = if viz.label.is_empty() { "(all data)".to_string() } else { viz.label.clone() };
+    let label = if viz.label.is_empty() {
+        "(all data)".to_string()
+    } else {
+        viz.label.clone()
+    };
     format!(
         "[{}] {} vs {} — {} ({} points)",
         viz.component,
@@ -94,8 +111,16 @@ mod tests {
         let lines: Vec<&str> = chart.lines().collect();
         assert_eq!(lines[0], "demo");
         assert_eq!(lines.len(), 1 + 8 + 2);
-        assert!(lines[1].contains("10.0"), "max label on top row: {}", lines[1]);
-        assert!(lines[8].contains("0.0"), "min label on bottom row: {}", lines[8]);
+        assert!(
+            lines[1].contains("10.0"),
+            "max label on top row: {}",
+            lines[1]
+        );
+        assert!(
+            lines[8].contains("0.0"),
+            "min label on bottom row: {}",
+            lines[8]
+        );
         // rising line: first column marked near the bottom, last near top
         assert!(lines[8].contains('*'));
         assert!(lines[1].contains('*'));
@@ -110,8 +135,11 @@ mod tests {
 
     #[test]
     fn bars_scale_to_max() {
-        let items =
-            vec![("a".to_string(), 10.0), ("b".to_string(), 5.0), ("c".to_string(), -2.5)];
+        let items = vec![
+            ("a".to_string(), 10.0),
+            ("b".to_string(), 5.0),
+            ("c".to_string(), -2.5),
+        ];
         let s = ascii_bars(&items, "t", 20);
         let lines: Vec<&str> = s.lines().collect();
         let count = |l: &str, ch: char| l.chars().filter(|&c| c == ch).count();

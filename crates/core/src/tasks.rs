@@ -21,7 +21,12 @@ pub struct TaskSpec {
 
 impl TaskSpec {
     pub fn new(x: impl Into<String>, y: impl Into<String>, z: impl Into<String>) -> Self {
-        TaskSpec { x: x.into(), y: y.into(), z: z.into(), agg: zv_storage::Agg::Sum }
+        TaskSpec {
+            x: x.into(),
+            y: y.into(),
+            z: z.into(),
+            agg: zv_storage::Agg::Sum,
+        }
     }
 
     pub fn with_agg(mut self, agg: zv_storage::Agg) -> Self {
@@ -30,7 +35,11 @@ impl TaskSpec {
     }
 
     fn viz(&self) -> VizEntry {
-        VizEntry::Fixed(VizSpec { chart: ChartType::Bar, x_bin: None, y_agg: self.agg })
+        VizEntry::Fixed(VizSpec {
+            chart: ChartType::Bar,
+            x_bin: None,
+            y_agg: self.agg,
+        })
     }
 
     fn fresh_row(&self, name: NameCol, z: ZEntry, processes: Vec<ProcessDecl>) -> ZqlRow {
@@ -48,7 +57,10 @@ impl TaskSpec {
     fn all_values(&self, var: &str) -> ZEntry {
         ZEntry::DeclareValues {
             var: var.into(),
-            set: ZSet::AttrValues { attr: Some(self.z.clone()), values: ValueSet::All },
+            set: ZSet::AttrValues {
+                attr: Some(self.z.clone()),
+                values: ValueSet::All,
+            },
         }
     }
 }
@@ -182,8 +194,11 @@ mod tests {
     fn representative_returns_k_members() {
         let out = representative_search(&engine(), &spec(), 4).unwrap();
         assert_eq!(out.visualizations.len(), 4);
-        let mut labels: Vec<&str> =
-            out.visualizations.iter().map(|v| v.label.as_str()).collect();
+        let mut labels: Vec<&str> = out
+            .visualizations
+            .iter()
+            .map(|v| v.label.as_str())
+            .collect();
         labels.sort_unstable();
         labels.dedup();
         assert_eq!(labels.len(), 4, "representatives must be distinct slices");

@@ -86,7 +86,10 @@ fn render_group(u: &VisualUniverse, g: &VisualGroup) -> Vec<(String, Series)> {
 
 /// Collect a ZQL output into (label, series) pairs.
 fn zql_pairs(out: &zql::ZqlOutput) -> Vec<(String, Series)> {
-    out.visualizations.iter().map(|v| (v.label.clone(), v.series.clone())).collect()
+    out.visualizations
+        .iter()
+        .map(|v| (v.label.clone(), v.series.clone()))
+        .collect()
 }
 
 /// θ for "year-vs-sales per product" (Table 4.3's shape).
@@ -110,9 +113,7 @@ fn sigma_v_matches_zql_slicing() {
     let all = u.enumerate().unwrap();
     let algebra = sigma_v(&all, &theta_products());
     let zql_out = engine(&db)
-        .execute_text(
-            "name | x | y | z\n*f1 | 'year' | 'sales' | v1 <- 'product'.*",
-        )
+        .execute_text("name | x | y | z\n*f1 | 'year' | 'sales' | v1 <- 'product'.*")
         .unwrap();
     assert_eq!(render_group(&u, &algebra), zql_pairs(&zql_out));
 }
@@ -141,7 +142,10 @@ fn sigma_v_with_location_constraint() {
     // The σᵛ result pins location in the *visual source*; ZQL pins it in
     // Constraints. Labels differ (location appears only in the former),
     // but the visualized data must agree.
-    let a: Vec<Series> = render_group(&u, &algebra).into_iter().map(|(_, s)| s).collect();
+    let a: Vec<Series> = render_group(&u, &algebra)
+        .into_iter()
+        .map(|(_, s)| s)
+        .collect();
     let b: Vec<Series> = zql_pairs(&zql_out).into_iter().map(|(_, s)| s).collect();
     assert_eq!(a, b);
 }
@@ -281,8 +285,7 @@ fn phi_v_matches_zql_paired_comparison() {
     let v = slice_group(&u, "year", "sales", "product").unwrap();
     let w = slice_group(&u, "year", "profit", "product").unwrap();
     let prims = Primitives::default();
-    let algebra =
-        zv_vea::phi_v(&u, &v, &w, &[zv_vea::MatchAttr::Attr(2)], |d| d, &prims).unwrap();
+    let algebra = zv_vea::phi_v(&u, &v, &w, &[zv_vea::MatchAttr::Attr(2)], |d| d, &prims).unwrap();
     let zql_out = engine(&db)
         .execute_text(
             "name | x | y | z | process\n\
@@ -319,7 +322,11 @@ fn beta_v_matches_zql_axis_swap() {
     let mut a: Vec<(String, String, Series)> = algebra
         .iter()
         .map(|vs| {
-            (vs.y.clone(), vs.filters[2].to_string(), u.render(vs).unwrap())
+            (
+                vs.y.clone(),
+                vs.filters[2].to_string(),
+                u.render(vs).unwrap(),
+            )
         })
         .collect();
     let mut b: Vec<(String, String, Series)> = zql_out
@@ -328,7 +335,10 @@ fn beta_v_matches_zql_axis_swap() {
         .map(|v| {
             (
                 v.y.clone(),
-                v.label.strip_prefix("product=").unwrap_or(&v.label).to_string(),
+                v.label
+                    .strip_prefix("product=")
+                    .unwrap_or(&v.label)
+                    .to_string(),
                 v.series.clone(),
             )
         })
@@ -361,7 +371,11 @@ fn lemma_1_visual_component_expresses_visual_group() {
         )
         .unwrap();
     let a: Vec<Series> = u.render_group(&group).unwrap();
-    let b: Vec<Series> = zql_out.visualizations.iter().map(|v| v.series.clone()).collect();
+    let b: Vec<Series> = zql_out
+        .visualizations
+        .iter()
+        .map(|v| v.series.clone())
+        .collect();
     assert_eq!(a, b);
 }
 

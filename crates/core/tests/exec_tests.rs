@@ -36,7 +36,11 @@ fn table_2_1_collection_of_visualizations() {
              *f1 | 'year' | 'sales' | v1 <- 'product'.* | location='US' | bar.(y=agg('sum')) |",
         )
         .unwrap();
-    assert_eq!(out.visualizations.len(), 20, "one visualization per product");
+    assert_eq!(
+        out.visualizations.len(),
+        20,
+        "one visualization per product"
+    );
     // Cross-check one against a direct query.
     let direct = eng
         .database()
@@ -191,8 +195,14 @@ fn table_5_1_us_up_uk_down_with_representatives() {
     let mut planted = 0;
     for viz in &out.visualizations {
         let product = viz.label.strip_prefix("product=").unwrap();
-        assert!(trend_of(product, "US") > 0.0, "{product} US trend not positive");
-        assert!(trend_of(product, "UK") < 0.0, "{product} UK trend not negative");
+        assert!(
+            trend_of(product, "US") > 0.0,
+            "{product} US trend not positive"
+        );
+        assert!(
+            trend_of(product, "UK") < 0.0,
+            "{product} UK trend not negative"
+        );
         let idx = (0..20).find(|&p| product_name(p) == product).unwrap();
         if is_us_up_uk_down(idx) {
             planted += 1;
@@ -213,20 +223,24 @@ fn table_3_13_top_k_most_similar_to_stapler() {
         .unwrap();
     assert_eq!(out.visualizations.len(), 5);
     // None of them is the stapler itself.
-    assert!(out.visualizations.iter().all(|v| !v.label.contains("stapler")));
+    assert!(out
+        .visualizations
+        .iter()
+        .all(|v| !v.label.contains("stapler")));
     // The list is sorted by similarity: distances non-decreasing.
     let eng = engine();
     let stapler = eng
-        .execute_text(
-            "name | x | y | z\n*f | 'year' | 'sales' | 'product'.'stapler'",
-        )
+        .execute_text("name | x | y | z\n*f | 'year' | 'sales' | 'product'.'stapler'")
         .unwrap()
         .visualizations
         .remove(0)
         .series;
     let reg = zql::FunctionRegistry::default();
-    let dists: Vec<f64> =
-        out.visualizations.iter().map(|v| reg.d(&v.series, &stapler)).collect();
+    let dists: Vec<f64> = out
+        .visualizations
+        .iter()
+        .map(|v| reg.d(&v.series, &stapler))
+        .collect();
     for w in dists.windows(2) {
         assert!(w[0] <= w[1] + 1e-9, "similarity order violated: {dists:?}");
     }
@@ -243,7 +257,11 @@ fn table_3_15_order_reordering() {
         )
         .unwrap();
     assert_eq!(out.visualizations.len(), 20);
-    let trends: Vec<f64> = out.visualizations.iter().map(|v| trend(&v.series)).collect();
+    let trends: Vec<f64> = out
+        .visualizations
+        .iter()
+        .map(|v| trend(&v.series))
+        .collect();
     for w in trends.windows(2) {
         assert!(w[0] <= w[1] + 1e-9, "not sorted by trend: {trends:?}");
     }
@@ -278,7 +296,11 @@ fn table_3_17_dissimilar_sales_vs_profit() {
              *f4 | 'year' | 'profit' | v2",
         )
         .unwrap();
-    assert_eq!(out.visualizations.len(), 6, "3 sales + 3 profit visualizations");
+    assert_eq!(
+        out.visualizations.len(),
+        6,
+        "3 sales + 3 profit visualizations"
+    );
     for viz in &out.visualizations[..3] {
         let product = viz.label.strip_prefix("product=").unwrap();
         let idx = (0..20).find(|&p| product_name(p) == product).unwrap();
@@ -299,7 +321,11 @@ fn table_3_18_in_range_constraint() {
              *f2 | 'year' | 'profit' | | product IN (v2.range) |",
         )
         .unwrap();
-    assert_eq!(out.visualizations.len(), 1, "one aggregate over the 5 products");
+    assert_eq!(
+        out.visualizations.len(),
+        1,
+        "one aggregate over the 5 products"
+    );
     assert!(!out.visualizations[0].series.is_empty());
 }
 
@@ -347,7 +373,10 @@ fn table_3_10_binned_bar_chart() {
     assert_eq!(out.visualizations.len(), 1);
     let xs: Vec<f64> = out.visualizations[0].series.xs().collect();
     for w in xs.windows(2) {
-        assert!((w[1] - w[0]).rem_euclid(20.0) < 1e-9, "bins should be 20 apart: {xs:?}");
+        assert!(
+            (w[1] - w[0]).rem_euclid(20.0) < 1e-9,
+            "bins should be 20 apart: {xs:?}"
+        );
     }
 }
 
@@ -360,7 +389,10 @@ fn table_3_12_viz_type_set() {
         )
         .unwrap();
     assert_eq!(out.visualizations.len(), 2);
-    assert_ne!(out.visualizations[0].spec.chart, out.visualizations[1].spec.chart);
+    assert_ne!(
+        out.visualizations[0].spec.chart,
+        out.visualizations[1].spec.chart
+    );
     // identical data, different chart type
     assert_eq!(out.visualizations[0].series, out.visualizations[1].series);
 }
@@ -417,11 +449,19 @@ fn all_opt_levels_agree_and_batch_monotonically() {
     let mut reference: Option<Vec<(String, Series)>> = None;
     let mut queries = Vec::new();
     let mut requests = Vec::new();
-    for opt in [OptLevel::NoOpt, OptLevel::IntraLine, OptLevel::IntraTask, OptLevel::InterTask] {
+    for opt in [
+        OptLevel::NoOpt,
+        OptLevel::IntraLine,
+        OptLevel::IntraTask,
+        OptLevel::InterTask,
+    ] {
         let eng = ZqlEngine::with_opt_level(db.clone(), opt);
         let out = eng.execute_text(text).unwrap();
-        let shape: Vec<(String, Series)> =
-            out.visualizations.iter().map(|v| (v.label.clone(), v.series.clone())).collect();
+        let shape: Vec<(String, Series)> = out
+            .visualizations
+            .iter()
+            .map(|v| (v.label.clone(), v.series.clone()))
+            .collect();
         match &reference {
             None => reference = Some(shape),
             Some(r) => assert_eq!(&shape, r, "results diverge at {opt:?}"),
@@ -430,7 +470,10 @@ fn all_opt_levels_agree_and_batch_monotonically() {
         requests.push(out.report.requests);
     }
     // NoOpt issues one query per visualization; batched levels far fewer.
-    assert!(queries[0] > queries[1], "intra-line must reduce query count: {queries:?}");
+    assert!(
+        queries[0] > queries[1],
+        "intra-line must reduce query count: {queries:?}"
+    );
     assert_eq!(queries[1], queries[2]);
     assert_eq!(queries[2], queries[3]);
     // Requests: NoOpt = one per query; then per-row; then per-task-block;
@@ -438,7 +481,10 @@ fn all_opt_levels_agree_and_batch_monotonically() {
     assert_eq!(requests[0], queries[0]);
     assert!(requests[1] >= requests[2], "{requests:?}");
     assert!(requests[2] >= requests[3], "{requests:?}");
-    assert!(requests[3] < requests[1], "inter-task must reduce requests: {requests:?}");
+    assert!(
+        requests[3] < requests[1],
+        "inter-task must reduce requests: {requests:?}"
+    );
 }
 
 #[test]
@@ -469,16 +515,16 @@ fn semantic_errors_are_reported() {
     // missing user input
     assert!(eng.execute_text("name | x | y\n-f1 | |").is_err());
     // unknown column
-    assert!(eng.execute_text("name | x | y\n*f1 | 'bogus' | 'sales'").is_err());
+    assert!(eng
+        .execute_text("name | x | y\n*f1 | 'bogus' | 'sales'")
+        .is_err());
 }
 
 #[test]
 fn named_value_sets_from_registry() {
     let mut eng = engine();
-    eng.registry_mut().register_value_set(
-        "P",
-        vec!["chair".into(), "desk".into(), "table".into()],
-    );
+    eng.registry_mut()
+        .register_value_set("P", vec!["chair".into(), "desk".into(), "table".into()]);
     // named set without attribute qualification
     let out = eng
         .execute_text(
@@ -509,7 +555,8 @@ fn table_3_19_axes_that_differentiate_two_slices() {
     // desk most" — co-declared (x1, y1) iteration, paired comparison,
     // two outputs feeding two output rows.
     let mut eng = engine();
-    eng.registry_mut().register_attr_set("C", vec!["year".into(), "month".into()]);
+    eng.registry_mut()
+        .register_attr_set("C", vec!["year".into(), "month".into()]);
     eng.registry_mut()
         .register_attr_set("M", vec!["sales".into(), "profit".into(), "weight".into()]);
     let out = eng
@@ -543,7 +590,10 @@ fn table_3_22_representative_sales_for_stapler_like_profits() {
         )
         .unwrap();
     assert_eq!(out.visualizations.len(), 3);
-    assert!(out.visualizations.iter().all(|v| !v.label.contains("stapler")));
+    assert!(out
+        .visualizations
+        .iter()
+        .all(|v| !v.label.contains("stapler")));
 }
 
 #[test]
@@ -588,9 +638,50 @@ fn table_3_24_axes_separating_flattest_and_steepest_products() {
     // ranges → per combo: |y2 group| × |v6 group| cells.
     assert!(!out.visualizations.is_empty());
     // the two products differ, so the union range has 2 values
-    let labels: Vec<&str> = out.visualizations.iter().map(|v| v.label.as_str()).collect();
+    let labels: Vec<&str> = out
+        .visualizations
+        .iter()
+        .map(|v| v.label.as_str())
+        .collect();
     let mut distinct = labels.clone();
     distinct.sort_unstable();
     distinct.dedup();
-    assert!(distinct.len() >= 2, "expected ≥2 product slices, got {labels:?}");
+    assert!(
+        distinct.len() >= 2,
+        "expected ≥2 product slices, got {labels:?}"
+    );
+}
+
+#[test]
+fn shared_pass_cache_deduplicates_identical_group_bys() {
+    // Two fresh components with identical (x, y, z-domain, predicate)
+    // compile to the same combined GROUP BY; at IntraTask and above the
+    // shared-pass cache must fetch it once.
+    let text = "name | x | y | z | constraints | viz\n\
+         f1 | 'year' | 'sales' | v1 <- 'product'.* | location='US' | bar.(y=agg('sum'))\n\
+         *f2 | 'year' | 'sales' | v2 <- 'product'.* | location='US' | bar.(y=agg('sum'))";
+    let db = small_db();
+    let run = |opt: OptLevel| {
+        let engine = ZqlEngine::with_opt_level(db.clone(), opt);
+        engine.execute_text(text).unwrap().report.sql_queries
+    };
+    let intra_line = run(OptLevel::IntraLine);
+    let inter_task = run(OptLevel::InterTask);
+    assert_eq!(
+        intra_line, 2,
+        "one combined query per row without the cache"
+    );
+    assert_eq!(inter_task, 1, "the cache collapses the identical group-bys");
+
+    // The cached plan must still produce the same visualizations.
+    let a = ZqlEngine::with_opt_level(db.clone(), OptLevel::IntraLine)
+        .execute_text(text)
+        .unwrap();
+    let b = ZqlEngine::with_opt_level(db, OptLevel::InterTask)
+        .execute_text(text)
+        .unwrap();
+    assert_eq!(a.visualizations.len(), b.visualizations.len());
+    for (va, vb) in a.visualizations.iter().zip(&b.visualizations) {
+        assert_eq!(va.series, vb.series, "{}", va.label);
+    }
 }

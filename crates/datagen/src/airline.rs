@@ -39,32 +39,40 @@ impl Default for AirlineConfig {
 impl AirlineConfig {
     /// The paper's full-scale dataset (15M rows).
     pub fn full_scale() -> Self {
-        AirlineConfig { rows: 15_000_000, airports: 300, ..Default::default() }
+        AirlineConfig {
+            rows: 15_000_000,
+            airports: 300,
+            ..Default::default()
+        }
     }
 }
 
 /// Named airports, first in the dictionary (the §7.1 query sets
 /// OA = DA = {JFK, SFO, ...}).
-pub const NAMED_AIRPORTS: [&str; 10] =
-    ["JFK", "SFO", "ORD", "LAX", "ATL", "DFW", "DEN", "SEA", "BOS", "MIA"];
+pub const NAMED_AIRPORTS: [&str; 10] = [
+    "JFK", "SFO", "ORD", "LAX", "ATL", "DFW", "DEN", "SEA", "BOS", "MIA",
+];
 
 pub fn airport_name(i: usize) -> String {
-    NAMED_AIRPORTS.get(i).map(|s| s.to_string()).unwrap_or_else(|| format!("AP{i:03}"))
+    NAMED_AIRPORTS
+        .get(i)
+        .map(|s| s.to_string())
+        .unwrap_or_else(|| format!("AP{i:03}"))
 }
 
 /// Airports planted with increasing departure delay over years.
 pub fn has_increasing_dep_delay(a: usize) -> bool {
-    a % 3 == 0
+    a.is_multiple_of(3)
 }
 
 /// Airports planted with increasing weather delay over years.
 pub fn has_increasing_weather_delay(a: usize) -> bool {
-    a % 4 == 0
+    a.is_multiple_of(4)
 }
 
 /// Airports planted with a June↔December arrival-delay contrast.
 pub fn has_seasonal_arr_contrast(a: usize) -> bool {
-    a % 5 == 0
+    a.is_multiple_of(5)
 }
 
 const TAG_DEP: u64 = 11;
@@ -99,8 +107,9 @@ pub fn generate(cfg: &AirlineConfig) -> Arc<Table> {
     let mut air_time = Vec::with_capacity(cfg.rows);
     let mut cancelled = Vec::with_capacity(cfg.rows);
 
-    let base_delay: Vec<f64> =
-        (0..cfg.airports).map(|a| latent_in(cfg.seed, TAG_BASE, a as u64, 5.0, 20.0)).collect();
+    let base_delay: Vec<f64> = (0..cfg.airports)
+        .map(|a| latent_in(cfg.seed, TAG_BASE, a as u64, 5.0, 20.0))
+        .collect();
     let dep_slope: Vec<f64> = (0..cfg.airports)
         .map(|a| {
             if has_increasing_dep_delay(a) {
@@ -145,9 +154,14 @@ pub fn generate(cfg: &AirlineConfig) -> Arc<Table> {
             6 | 7 => -0.3,
             _ => 0.0,
         };
-        let arr =
-            (dep * 0.7 + seasonal_amp[a] * winter + 5.0 * gaussian(&mut rng)).max(-20.0);
-        let dist = latent_in(cfg.seed, 77, (a * 31 + (day as usize % 7)) as u64, 150.0, 2800.0);
+        let arr = (dep * 0.7 + seasonal_amp[a] * winter + 5.0 * gaussian(&mut rng)).max(-20.0);
+        let dist = latent_in(
+            cfg.seed,
+            77,
+            (a * 31 + (day as usize % 7)) as u64,
+            150.0,
+            2800.0,
+        );
 
         origin.push_code(a as u32);
         dest.push_code(((a + 1 + rng.gen_range(0..cfg.airports - 1)) % cfg.airports) as u32);
@@ -234,10 +248,8 @@ mod tests {
         let avg_for = |airport: &str, month: i64| -> f64 {
             let q = SelectQuery::new(XSpec::raw("day"), vec![YSpec::avg("arr_delay")])
                 .with_predicate(
-                    Predicate::cat_eq("origin", airport).and(Predicate::num_eq(
-                        "month",
-                        month as f64,
-                    )),
+                    Predicate::cat_eq("origin", airport)
+                        .and(Predicate::num_eq("month", month as f64)),
                 );
             let g = db.execute(&q).unwrap().groups[0].clone();
             let ys = &g.ys[0];
@@ -255,7 +267,10 @@ mod tests {
 
     #[test]
     fn determinism_and_shape() {
-        let cfg = AirlineConfig { rows: 2000, ..Default::default() };
+        let cfg = AirlineConfig {
+            rows: 2000,
+            ..Default::default()
+        };
         let a = generate(&cfg);
         let b = generate(&cfg);
         assert_eq!(a.row(777), b.row(777));

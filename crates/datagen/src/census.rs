@@ -20,14 +20,20 @@ pub struct CensusConfig {
 
 impl Default for CensusConfig {
     fn default() -> Self {
-        CensusConfig { rows: 50_000, seed: 0xCE25 }
+        CensusConfig {
+            rows: 50_000,
+            seed: 0xCE25,
+        }
     }
 }
 
 impl CensusConfig {
     /// The paper's full-scale dataset (300K rows).
     pub fn full_scale() -> Self {
-        CensusConfig { rows: 300_000, ..Default::default() }
+        CensusConfig {
+            rows: 300_000,
+            ..Default::default()
+        }
     }
 }
 
@@ -89,8 +95,7 @@ pub fn generate(cfg: &CensusConfig) -> Arc<Table> {
         }
         let age = rng.gen_range(17..=90i64);
         let hour = rng.gen_range(0..=99i64);
-        let wage =
-            (15.0 + 0.4 * (age as f64 - 17.0) + 8.0 * gaussian(&mut rng)).max(0.0);
+        let wage = (15.0 + 0.4 * (age as f64 - 17.0) + 8.0 * gaussian(&mut rng)).max(0.0);
         let gain = if rng.gen_range(0..20) == 0 {
             latent_in(cfg.seed, 3, rng.gen::<u32>() as u64, 1000.0, 99_999.0)
         } else {
@@ -122,7 +127,10 @@ mod tests {
 
     #[test]
     fn forty_attributes_like_the_paper() {
-        let t = generate(&CensusConfig { rows: 1000, ..Default::default() });
+        let t = generate(&CensusConfig {
+            rows: 1000,
+            ..Default::default()
+        });
         assert_eq!(t.schema().len(), 40);
         assert_eq!(t.num_rows(), 1000);
         assert_eq!(t.categorical_names().len(), 36);
@@ -131,7 +139,10 @@ mod tests {
 
     #[test]
     fn cardinalities_match_spec() {
-        let t = generate(&CensusConfig { rows: 20_000, ..Default::default() });
+        let t = generate(&CensusConfig {
+            rows: 20_000,
+            ..Default::default()
+        });
         for (name, card) in NAMED_ATTRS {
             let c = t.column(name).unwrap().as_cat().unwrap();
             assert_eq!(c.cardinality(), card, "{name}");
@@ -140,7 +151,10 @@ mod tests {
 
     #[test]
     fn skewed_distribution() {
-        let t = generate(&CensusConfig { rows: 20_000, ..Default::default() });
+        let t = generate(&CensusConfig {
+            rows: 20_000,
+            ..Default::default()
+        });
         let c = t.column("native_country").unwrap().as_cat().unwrap();
         let mut counts = vec![0usize; c.cardinality()];
         for &code in c.codes() {
@@ -152,7 +166,10 @@ mod tests {
 
     #[test]
     fn determinism() {
-        let cfg = CensusConfig { rows: 500, ..Default::default() };
+        let cfg = CensusConfig {
+            rows: 500,
+            ..Default::default()
+        };
         assert_eq!(generate(&cfg).row(42), generate(&cfg).row(42));
     }
 }

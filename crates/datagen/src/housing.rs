@@ -27,22 +27,33 @@ pub struct HousingConfig {
 
 impl Default for HousingConfig {
     fn default() -> Self {
-        HousingConfig { rows: 60_000, states: 10, counties: 50, cities: 200, seed: 0x201604 }
+        HousingConfig {
+            rows: 60_000,
+            states: 10,
+            counties: 50,
+            cities: 200,
+            seed: 0x201604,
+        }
     }
 }
 
 impl HousingConfig {
     /// The study's full-scale dataset (245K rows).
     pub fn full_scale() -> Self {
-        HousingConfig { rows: 245_000, ..Default::default() }
+        HousingConfig {
+            rows: 245_000,
+            ..Default::default()
+        }
     }
 }
 
-pub const NAMED_STATES: [&str; 10] =
-    ["NY", "CA", "KY", "IL", "TX", "WA", "MA", "FL", "OH", "PA"];
+pub const NAMED_STATES: [&str; 10] = ["NY", "CA", "KY", "IL", "TX", "WA", "MA", "FL", "OH", "PA"];
 
 pub fn state_name(i: usize) -> String {
-    NAMED_STATES.get(i).map(|s| s.to_string()).unwrap_or_else(|| format!("ST{i:02}"))
+    NAMED_STATES
+        .get(i)
+        .map(|s| s.to_string())
+        .unwrap_or_else(|| format!("ST{i:02}"))
 }
 
 pub fn county_name(i: usize) -> String {
@@ -59,13 +70,13 @@ pub fn city_name(i: usize) -> String {
 
 /// Counties planted with the 2008–2012 price peak (includes Jessamine).
 pub fn has_price_peak(county: usize) -> bool {
-    county % 7 == 0
+    county.is_multiple_of(7)
 }
 
 /// NY cities (index mod states == 0) with rising prices whose
 /// foreclosures move opposite.
 pub fn has_opposing_foreclosures(city: usize) -> bool {
-    city % 2 == 0
+    city.is_multiple_of(2)
 }
 
 /// States whose turnover rate opposes the price trend.
@@ -215,7 +226,10 @@ mod tests {
 
     #[test]
     fn fifteen_attributes_like_the_study() {
-        let t = generate(&HousingConfig { rows: 1000, ..Default::default() });
+        let t = generate(&HousingConfig {
+            rows: 1000,
+            ..Default::default()
+        });
         assert_eq!(t.schema().len(), 15);
     }
 
@@ -225,7 +239,12 @@ mod tests {
         let pts = county_prices(&db, "Jessamine");
         let at = |y: f64| pts.iter().find(|p| p.0 == y).unwrap().1;
         // peak year clearly above the endpoints
-        assert!(at(2010.0) > at(2004.0) + 30.0, "2010 {} vs 2004 {}", at(2010.0), at(2004.0));
+        assert!(
+            at(2010.0) > at(2004.0) + 30.0,
+            "2010 {} vs 2004 {}",
+            at(2010.0),
+            at(2004.0)
+        );
         assert!(at(2010.0) > at(2015.0) + 30.0);
         // a non-planted county has no such bump
         let pts = county_prices(&db, &county_name(1));
@@ -245,7 +264,10 @@ mod tests {
 
     #[test]
     fn determinism() {
-        let cfg = HousingConfig { rows: 800, ..Default::default() };
+        let cfg = HousingConfig {
+            rows: 800,
+            ..Default::default()
+        };
         assert_eq!(generate(&cfg).row(11), generate(&cfg).row(11));
     }
 }

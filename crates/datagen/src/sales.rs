@@ -49,36 +49,58 @@ impl Default for SalesConfig {
 impl SalesConfig {
     /// The paper's full-scale synthetic dataset (10M rows).
     pub fn full_scale() -> Self {
-        SalesConfig { rows: 10_000_000, products: 1000, cities: 500, ..Default::default() }
+        SalesConfig {
+            rows: 10_000_000,
+            products: 1000,
+            cities: 500,
+            ..Default::default()
+        }
     }
 }
 
 /// Named products, first in the dictionary (the thesis's examples).
-pub const NAMED_PRODUCTS: [&str; 8] =
-    ["stapler", "chair", "desk", "table", "printer", "notebook", "pen", "monitor"];
+pub const NAMED_PRODUCTS: [&str; 8] = [
+    "stapler", "chair", "desk", "table", "printer", "notebook", "pen", "monitor",
+];
 
 /// Named locations, first in the dictionary.
-pub const NAMED_LOCATIONS: [&str; 10] =
-    ["US", "UK", "Canada", "Germany", "France", "India", "China", "Japan", "Brazil", "Australia"];
+pub const NAMED_LOCATIONS: [&str; 10] = [
+    "US",
+    "UK",
+    "Canada",
+    "Germany",
+    "France",
+    "India",
+    "China",
+    "Japan",
+    "Brazil",
+    "Australia",
+];
 
 pub fn product_name(i: usize) -> String {
-    NAMED_PRODUCTS.get(i).map(|s| s.to_string()).unwrap_or_else(|| format!("product_{i:04}"))
+    NAMED_PRODUCTS
+        .get(i)
+        .map(|s| s.to_string())
+        .unwrap_or_else(|| format!("product_{i:04}"))
 }
 
 pub fn location_name(i: usize) -> String {
-    NAMED_LOCATIONS.get(i).map(|s| s.to_string()).unwrap_or_else(|| format!("country_{i:03}"))
+    NAMED_LOCATIONS
+        .get(i)
+        .map(|s| s.to_string())
+        .unwrap_or_else(|| format!("country_{i:03}"))
 }
 
 /// True if product `p` is planted with opposing sales/profit trends
 /// (strong positive sales everywhere, declining profit). Takes precedence
 /// over the US/UK classes below; the stapler (p = 0) is excluded.
 pub fn has_profit_discrepancy(p: usize) -> bool {
-    p != 0 && p % 5 == 0
+    p != 0 && p.is_multiple_of(5)
 }
 
 /// True if product `p` is planted as "sales up in US, down in UK".
 pub fn is_us_up_uk_down(p: usize) -> bool {
-    p != 0 && !has_profit_discrepancy(p) && p % 4 == 0
+    p != 0 && !has_profit_discrepancy(p) && p.is_multiple_of(4)
 }
 
 /// True if product `p` is planted as the mirror (US down, UK up).
@@ -168,20 +190,25 @@ pub fn generate(cfg: &SalesConfig) -> Arc<Table> {
     let mut profits: Vec<f64> = Vec::with_capacity(cfg.rows);
 
     // Pre-compute per-product latent parameters.
-    let base: Vec<f64> =
-        (0..cfg.products).map(|p| latent_in(cfg.seed, TAG_BASE, p as u64, 60.0, 140.0)).collect();
-    let season_amp: Vec<f64> =
-        (0..cfg.products).map(|p| latent_in(cfg.seed, TAG_SEASON, p as u64, 0.0, 10.0)).collect();
+    let base: Vec<f64> = (0..cfg.products)
+        .map(|p| latent_in(cfg.seed, TAG_BASE, p as u64, 60.0, 140.0))
+        .collect();
+    let season_amp: Vec<f64> = (0..cfg.products)
+        .map(|p| latent_in(cfg.seed, TAG_SEASON, p as u64, 0.0, 10.0))
+        .collect();
     // Aggregate (location-averaged) sales slope per product, used for the
     // product-level profit trend.
     let agg_slope: Vec<f64> = (0..cfg.products)
         .map(|p| {
-            (0..cfg.locations).map(|l| sales_slope(cfg.seed, p, l)).sum::<f64>()
+            (0..cfg.locations)
+                .map(|l| sales_slope(cfg.seed, p, l))
+                .sum::<f64>()
                 / cfg.locations as f64
         })
         .collect();
-    let p_slope: Vec<f64> =
-        (0..cfg.products).map(|p| profit_slope(cfg.seed, p, agg_slope[p])).collect();
+    let p_slope: Vec<f64> = (0..cfg.products)
+        .map(|p| profit_slope(cfg.seed, p, agg_slope[p]))
+        .collect();
 
     // Rows are assigned round-robin over (product, location, year) so per-
     // cell row counts are balanced (±1): SUM aggregates then reflect the
@@ -252,7 +279,11 @@ mod tests {
     use zv_storage::{BitmapDb, Database, Predicate, SelectQuery, XSpec, YSpec};
 
     fn small() -> Arc<Table> {
-        generate(&SalesConfig { rows: 60_000, products: 24, ..Default::default() })
+        generate(&SalesConfig {
+            rows: 60_000,
+            products: 24,
+            ..Default::default()
+        })
     }
 
     fn product_trend(db: &BitmapDb, product: &str, location: &str, measure: &str) -> f64 {
@@ -270,12 +301,19 @@ mod tests {
 
     #[test]
     fn shape_and_determinism() {
-        let cfg = SalesConfig { rows: 5000, ..Default::default() };
+        let cfg = SalesConfig {
+            rows: 5000,
+            ..Default::default()
+        };
         let a = generate(&cfg);
         let b = generate(&cfg);
         assert_eq!(a.num_rows(), 5000);
         assert_eq!(a.schema().len(), 10);
-        assert_eq!(a.row(123), b.row(123), "same seed must reproduce identical rows");
+        assert_eq!(
+            a.row(123),
+            b.row(123),
+            "same seed must reproduce identical rows"
+        );
         let c = generate(&SalesConfig { seed: 1, ..cfg });
         assert_ne!(a.row(123), c.row(123), "different seed should differ");
     }
@@ -312,10 +350,14 @@ mod tests {
     #[test]
     fn planted_classes_are_disjoint() {
         for p in 0..100 {
-            let n = [has_profit_discrepancy(p), is_us_up_uk_down(p), is_us_down_uk_up(p)]
-                .iter()
-                .filter(|&&b| b)
-                .count();
+            let n = [
+                has_profit_discrepancy(p),
+                is_us_up_uk_down(p),
+                is_us_down_uk_up(p),
+            ]
+            .iter()
+            .filter(|&&b| b)
+            .count();
             assert!(n <= 1, "product {p} in {n} classes");
         }
         assert!(!has_profit_discrepancy(0), "the stapler is its own class");

@@ -35,6 +35,8 @@ pub struct BitmapDbConfig {
     pub request_overhead: Duration,
     /// Run-optimize indexes after build (RLE compression).
     pub run_optimize: bool,
+    /// Sharded-scan tuning (thread count, serial threshold).
+    pub parallel: exec::ParallelConfig,
 }
 
 impl Default for BitmapDbConfig {
@@ -44,6 +46,7 @@ impl Default for BitmapDbConfig {
             dense_group_limit: 1 << 10,
             request_overhead: Duration::ZERO,
             run_optimize: true,
+            parallel: exec::ParallelConfig::default(),
         }
     }
 }
@@ -105,7 +108,11 @@ impl BitmapDb {
                     }
                     indexes.insert(
                         field.name.clone(),
-                        ColumnIndex { bitmaps, int_min: 0, is_int: false },
+                        ColumnIndex {
+                            bitmaps,
+                            int_min: 0,
+                            is_int: false,
+                        },
                     );
                 }
                 Column::Int(v) => {
@@ -128,14 +135,23 @@ impl BitmapDb {
                         }
                         indexes.insert(
                             field.name.clone(),
-                            ColumnIndex { bitmaps, int_min: lo, is_int: true },
+                            ColumnIndex {
+                                bitmaps,
+                                int_min: lo,
+                                is_int: true,
+                            },
                         );
                     }
                 }
                 Column::Float(_) => {}
             }
         }
-        BitmapDb { table, indexes, config, stats: ExecStats::new() }
+        BitmapDb {
+            table,
+            indexes,
+            config,
+            stats: ExecStats::new(),
+        }
     }
 
     pub fn config(&self) -> &BitmapDbConfig {
@@ -184,7 +200,11 @@ impl BitmapDb {
                 }
                 Some(acc)
             }
-            Atom::NumCmp { op: CmpOp::Eq, value, .. } if ix.is_int => {
+            Atom::NumCmp {
+                op: CmpOp::Eq,
+                value,
+                ..
+            } if ix.is_int => {
                 if value.fract() != 0.0 {
                     return Some(RoaringBitmap::new());
                 }
@@ -296,7 +316,12 @@ impl Database for BitmapDb {
         let source = self.row_source(&query.predicate)?;
         let groups = exec::group_space(&self.table, query)?;
         let strategy = exec::choose_strategy(groups, self.config.dense_group_limit);
-        let (result, scanned) = exec::aggregate(&self.table, query, &source, strategy)?;
+        let threads = self.config.parallel.threads_for(source.estimated_rows());
+        let (result, scanned) = if threads > 1 {
+            exec::aggregate_parallel(&self.table, query, &source, strategy, threads)?
+        } else {
+            exec::aggregate(&self.table, query, &source, strategy)?
+        };
         self.stats.record_query(scanned, start.elapsed());
         Ok(result)
     }
@@ -334,8 +359,13 @@ mod tests {
             (2015, "chair", "UK", 11.0),
         ];
         for (y, p, l, s) in rows {
-            b.push_row(vec![Value::Int(y), Value::str(p), Value::str(l), Value::Float(s)])
-                .unwrap();
+            b.push_row(vec![
+                Value::Int(y),
+                Value::str(p),
+                Value::str(l),
+                Value::Float(s),
+            ])
+            .unwrap();
         }
         BitmapDb::new(b.finish_shared())
     }
@@ -358,7 +388,10 @@ mod tests {
         let before = db.stats().snapshot();
         let rt = db.execute(&q).unwrap();
         let delta = db.stats().snapshot().since(&before);
-        assert_eq!(delta.rows_scanned, 2, "only the two UK rows should be visited");
+        assert_eq!(
+            delta.rows_scanned, 2,
+            "only the two UK rows should be visited"
+        );
         assert_eq!(rt.groups[0].ys[0], vec![20.0]);
     }
 
@@ -408,8 +441,14 @@ mod tests {
         let db = db();
         let q = SelectQuery::new(XSpec::raw("year"), vec![YSpec::sum("sales")]).with_predicate(
             Predicate::Or(vec![
-                vec![Atom::CatEq { col: "product".into(), value: "desk".into() }],
-                vec![Atom::CatEq { col: "location".into(), value: "UK".into() }],
+                vec![Atom::CatEq {
+                    col: "product".into(),
+                    value: "desk".into(),
+                }],
+                vec![Atom::CatEq {
+                    col: "location".into(),
+                    value: "UK".into(),
+                }],
             ]),
         );
         let before = db.stats().snapshot();

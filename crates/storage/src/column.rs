@@ -38,7 +38,10 @@ impl CatColumn {
     /// Append a row by pre-interned dictionary code (the fast generator
     /// path — avoids per-row string hashing).
     pub fn push_code(&mut self, code: u32) {
-        debug_assert!((code as usize) < self.dict.len(), "code {code} not interned");
+        debug_assert!(
+            (code as usize) < self.dict.len(),
+            "code {code} not interned"
+        );
         self.codes.push(code);
     }
 
@@ -117,7 +120,10 @@ impl Column {
             (Column::Float(col), Value::Int(i)) => col.push(*i as f64),
             (Column::Cat(col), Value::Str(s)) => col.push(s),
             (col, v) => {
-                return Err(format!("type mismatch: cannot store {v:?} in {} column", col.dtype()))
+                return Err(format!(
+                    "type mismatch: cannot store {v:?} in {} column",
+                    col.dtype()
+                ))
             }
         }
         Ok(())
@@ -225,7 +231,10 @@ mod tests {
         for v in [3i64, 1, 3, 2] {
             c.push(&Value::Int(v)).unwrap();
         }
-        assert_eq!(c.distinct_values(), vec![Value::Int(1), Value::Int(2), Value::Int(3)]);
+        assert_eq!(
+            c.distinct_values(),
+            vec![Value::Int(1), Value::Int(2), Value::Int(3)]
+        );
 
         let mut c = Column::new(DataType::Cat);
         for v in ["b", "a", "b"] {

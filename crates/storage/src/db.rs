@@ -31,13 +31,19 @@ pub trait Database: Send + Sync {
     /// Execute a batch of queries as one round trip. The external
     /// optimizations of §5.2 work by shrinking the number of calls made
     /// here.
+    ///
+    /// Multi-query batches fan out across the shared pool (one worker per
+    /// query up to the hardware width); each query then scans serially,
+    /// thanks to the pool's nesting guard. Single-query requests instead
+    /// parallelize *inside* the scan (see `exec::aggregate_parallel`), so
+    /// the hardware is saturated either way.
     fn run_request(&self, queries: &[SelectQuery]) -> Result<Vec<ResultTable>, StorageError> {
         self.stats().record_request();
         let overhead = self.request_overhead();
         if !overhead.is_zero() {
             std::thread::sleep(overhead);
         }
-        queries.iter().map(|q| self.execute(q)).collect()
+        crate::parallel::try_parallel_map(queries.len(), 0, |i| self.execute(&queries[i]))
     }
 }
 

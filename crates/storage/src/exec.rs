@@ -9,13 +9,63 @@
 //!    [`GroupStrategy`]), and
 //! 4. a finalize pass that decodes keys and sorts by `(key, x)` — the
 //!    `ORDER BY Z, X` of the canonical query.
+//!
+//! # Architecture: the chunk → shard → merge pipeline
+//!
+//! The accumulation pass is **chunk-at-a-time and shardable** rather than
+//! row-at-a-time:
+//!
+//! ```text
+//!   RowSource ──▶ qualifying row-ids, CHUNK_ROWS at a time (reused buffer)
+//!       │
+//!       ├─ chunk codes:   for each dimension, a columnar pass adds
+//!       │                 `encode(row) · stride` into a reusable u64
+//!       │                 code buffer (one `match` per chunk per dim,
+//!       │                 not one per row)
+//!       │
+//!       ├─ chunk update:  Dense  → acc[code] += y        (array index)
+//!       │                 Hash   → entry-API slot lookup (one probe),
+//!       │                          per-chunk capacity reservation
+//!       │
+//!       └─ shards:        `aggregate_parallel` splits the source into
+//!                         contiguous per-worker shards (row ranges, or
+//!                         slices of the materialized bitmap), each worker
+//!                         accumulating into a private partial; partials
+//!                         are merged in worker order — Dense by slot,
+//!                         Hash by composite code — then finalized exactly
+//!                         like the serial path.
+//! ```
+//!
+//! Sharding is static and contiguous, so results (including float
+//! rounding) are reproducible run-to-run for a fixed thread count;
+//! morsel-driven claiming is a ROADMAP follow-on.
+//!
+//! # OptLevel × parallelism matrix
+//!
+//! The §5.2 batching ladder composes with this engine's parallelism along
+//! two orthogonal axes — *where queries batch* and *where threads work*:
+//!
+//! | OptLevel    | requests          | intra-query threads | inter-query threads |
+//! |-------------|-------------------|---------------------|---------------------|
+//! | `NoOpt`     | 1 per viz         | shard scan          | — (1 query/request) |
+//! | `IntraLine` | 1 per row         | shard scan          | across the batch    |
+//! | `IntraTask` | 1 per task prefix | shard scan          | across the batch    |
+//! | `InterTask` | fewest (lookahead)| shard scan          | across the batch    |
+//!
+//! Inter-query fan-out happens in `Database::run_request`; intra-query
+//! fan-out here. The pool's nesting guard ([`crate::parallel`]) ensures
+//! whichever layer fans out first gets the hardware: multi-query requests
+//! parallelize across queries (each query scanning serially), single-query
+//! requests parallelize across row shards.
 
 use crate::column::Column;
+use crate::parallel;
 use crate::predicate::{Atom, CmpOp, Predicate};
 use crate::query::{Agg, GroupSeries, ResultTable, SelectQuery, XSpec};
 use crate::roaring::RoaringBitmap;
 use crate::table::{StorageError, Table};
 use crate::value::Value;
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 
 // ---------------------------------------------------------------------
@@ -26,14 +76,39 @@ use std::collections::HashMap;
 /// per-row check is branch-light (no string comparisons, no hash lookups).
 pub enum CAtom<'a> {
     ConstBool(bool),
-    CatEqCode { codes: &'a [u32], code: u32 },
-    CatNeqCode { codes: &'a [u32], code: u32 },
+    CatEqCode {
+        codes: &'a [u32],
+        code: u32,
+    },
+    CatNeqCode {
+        codes: &'a [u32],
+        code: u32,
+    },
     /// `IN` / `LIKE 'p%'` compile to a per-dictionary-code truth table.
-    CatCodeSet { codes: &'a [u32], member: Vec<bool> },
-    NumCmpI { vals: &'a [i64], op: CmpOp, value: f64 },
-    NumCmpF { vals: &'a [f64], op: CmpOp, value: f64 },
-    BetweenI { vals: &'a [i64], lo: f64, hi: f64 },
-    BetweenF { vals: &'a [f64], lo: f64, hi: f64 },
+    CatCodeSet {
+        codes: &'a [u32],
+        member: Vec<bool>,
+    },
+    NumCmpI {
+        vals: &'a [i64],
+        op: CmpOp,
+        value: f64,
+    },
+    NumCmpF {
+        vals: &'a [f64],
+        op: CmpOp,
+        value: f64,
+    },
+    BetweenI {
+        vals: &'a [i64],
+        lo: f64,
+        hi: f64,
+    },
+    BetweenF {
+        vals: &'a [f64],
+        lo: f64,
+        hi: f64,
+    },
 }
 
 impl CAtom<'_> {
@@ -84,14 +159,20 @@ pub fn compile_atom<'a>(table: &'a Table, atom: &Atom) -> Result<CAtom<'a>, Stor
         Atom::CatEq { value, .. } => {
             let c = col.as_cat().unwrap();
             match c.code_of(value) {
-                Some(code) => CAtom::CatEqCode { codes: c.codes(), code },
+                Some(code) => CAtom::CatEqCode {
+                    codes: c.codes(),
+                    code,
+                },
                 None => CAtom::ConstBool(false),
             }
         }
         Atom::CatNeq { value, .. } => {
             let c = col.as_cat().unwrap();
             match c.code_of(value) {
-                Some(code) => CAtom::CatNeqCode { codes: c.codes(), code },
+                Some(code) => CAtom::CatNeqCode {
+                    codes: c.codes(),
+                    code,
+                },
                 None => CAtom::ConstBool(true),
             }
         }
@@ -103,36 +184,72 @@ pub fn compile_atom<'a>(table: &'a Table, atom: &Atom) -> Result<CAtom<'a>, Stor
                     member[code as usize] = true;
                 }
             }
-            CAtom::CatCodeSet { codes: c.codes(), member }
+            CAtom::CatCodeSet {
+                codes: c.codes(),
+                member,
+            }
         }
         Atom::StrPrefix { prefix, .. } => {
             let c = col.as_cat().unwrap();
-            let member = c.dict().iter().map(|s| s.starts_with(prefix.as_str())).collect();
-            CAtom::CatCodeSet { codes: c.codes(), member }
+            let member = c
+                .dict()
+                .iter()
+                .map(|s| s.starts_with(prefix.as_str()))
+                .collect();
+            CAtom::CatCodeSet {
+                codes: c.codes(),
+                member,
+            }
         }
         Atom::NumCmp { op, value, .. } => match col {
-            Column::Int(v) => CAtom::NumCmpI { vals: v, op: *op, value: *value },
-            Column::Float(v) => CAtom::NumCmpF { vals: v, op: *op, value: *value },
+            Column::Int(v) => CAtom::NumCmpI {
+                vals: v,
+                op: *op,
+                value: *value,
+            },
+            Column::Float(v) => CAtom::NumCmpF {
+                vals: v,
+                op: *op,
+                value: *value,
+            },
             Column::Cat(_) => unreachable!("validated"),
         },
         Atom::NumBetween { lo, hi, .. } => match col {
-            Column::Int(v) => CAtom::BetweenI { vals: v, lo: *lo, hi: *hi },
-            Column::Float(v) => CAtom::BetweenF { vals: v, lo: *lo, hi: *hi },
+            Column::Int(v) => CAtom::BetweenI {
+                vals: v,
+                lo: *lo,
+                hi: *hi,
+            },
+            Column::Float(v) => CAtom::BetweenF {
+                vals: v,
+                lo: *lo,
+                hi: *hi,
+            },
             Column::Cat(_) => unreachable!("validated"),
         },
     })
 }
 
-pub fn compile_pred<'a>(table: &'a Table, pred: &Predicate) -> Result<CompiledPred<'a>, StorageError> {
+pub fn compile_pred<'a>(
+    table: &'a Table,
+    pred: &Predicate,
+) -> Result<CompiledPred<'a>, StorageError> {
     Ok(match pred {
         Predicate::True => CompiledPred::True,
         Predicate::And(atoms) if atoms.is_empty() => CompiledPred::True,
         Predicate::And(atoms) => CompiledPred::And(
-            atoms.iter().map(|a| compile_atom(table, a)).collect::<Result<_, _>>()?,
+            atoms
+                .iter()
+                .map(|a| compile_atom(table, a))
+                .collect::<Result<_, _>>()?,
         ),
         Predicate::Or(disj) => CompiledPred::Or(
             disj.iter()
-                .map(|c| c.iter().map(|a| compile_atom(table, a)).collect::<Result<_, _>>())
+                .map(|c| {
+                    c.iter()
+                        .map(|a| compile_atom(table, a))
+                        .collect::<Result<_, _>>()
+                })
                 .collect::<Result<_, _>>()?,
         ),
     })
@@ -142,6 +259,11 @@ pub fn compile_pred<'a>(table: &'a Table, pred: &Predicate) -> Result<CompiledPr
 // Row sources
 // ---------------------------------------------------------------------
 
+/// Rows handed to the aggregation kernel per batch. 4096 ids = 16 KiB of
+/// row ids plus 32 KiB of codes — comfortably cache-resident alongside
+/// the dimension columns being gathered.
+pub const CHUNK_ROWS: usize = 4096;
+
 /// Where qualifying rows come from.
 pub enum RowSource<'a> {
     /// Every row (100% selectivity, no predicate work).
@@ -149,10 +271,16 @@ pub enum RowSource<'a> {
     /// Rows pre-selected by bitmap index algebra.
     Bitmap(RoaringBitmap),
     /// Full scan with a compiled per-row filter.
-    Filtered { n_rows: usize, pred: CompiledPred<'a> },
+    Filtered {
+        n_rows: usize,
+        pred: CompiledPred<'a>,
+    },
     /// Bitmap candidates with a residual per-row filter (numeric atoms the
     /// bitmap index cannot answer).
-    BitmapFiltered { rows: RoaringBitmap, pred: CompiledPred<'a> },
+    BitmapFiltered {
+        rows: RoaringBitmap,
+        pred: CompiledPred<'a>,
+    },
 }
 
 impl RowSource<'_> {
@@ -189,6 +317,124 @@ impl RowSource<'_> {
             }
         }
     }
+
+    /// Rows this source will *visit* — the work estimate the parallel
+    /// routing threshold compares against.
+    pub fn estimated_rows(&self) -> usize {
+        match self {
+            RowSource::All(n) => *n,
+            RowSource::Bitmap(bm) => bm.len() as usize,
+            RowSource::Filtered { n_rows, .. } => *n_rows,
+            RowSource::BitmapFiltered { rows, .. } => rows.len() as usize,
+        }
+    }
+
+    /// Visit qualifying rows as ascending chunks of at most [`CHUNK_ROWS`]
+    /// ids; returns rows visited (same contract as [`RowSource::for_each`]).
+    pub fn for_each_chunk<F: FnMut(&[u32])>(&self, mut f: F) -> u64 {
+        match self {
+            RowSource::All(n) => scan_range(0, *n, None, f),
+            RowSource::Filtered { n_rows, pred } => scan_range(0, *n_rows, Some(pred), f),
+            RowSource::Bitmap(bm) => {
+                let mut buf: Vec<u32> = Vec::with_capacity(CHUNK_ROWS);
+                bm.for_each(|r| {
+                    buf.push(r);
+                    if buf.len() == CHUNK_ROWS {
+                        f(&buf);
+                        buf.clear();
+                    }
+                });
+                if !buf.is_empty() {
+                    f(&buf);
+                }
+                bm.len()
+            }
+            RowSource::BitmapFiltered { rows, pred } => {
+                let mut buf: Vec<u32> = Vec::with_capacity(CHUNK_ROWS);
+                rows.for_each(|r| {
+                    if pred.eval(r as usize) {
+                        buf.push(r);
+                        if buf.len() == CHUNK_ROWS {
+                            f(&buf);
+                            buf.clear();
+                        }
+                    }
+                });
+                if !buf.is_empty() {
+                    f(&buf);
+                }
+                rows.len()
+            }
+        }
+    }
+}
+
+/// Chunked scan over a contiguous row range with an optional residual
+/// filter. Returns rows visited.
+fn scan_range<F: FnMut(&[u32])>(
+    start: usize,
+    end: usize,
+    pred: Option<&CompiledPred<'_>>,
+    mut f: F,
+) -> u64 {
+    let mut buf: Vec<u32> = Vec::with_capacity(CHUNK_ROWS);
+    match pred {
+        None => {
+            let mut r = start;
+            while r < end {
+                let c = (end - r).min(CHUNK_ROWS);
+                buf.clear();
+                buf.extend((r..r + c).map(|x| x as u32));
+                f(&buf);
+                r += c;
+            }
+        }
+        Some(p) if p.is_true() => return scan_range(start, end, None, f),
+        Some(p) => {
+            for r in start..end {
+                if p.eval(r) {
+                    buf.push(r as u32);
+                    if buf.len() == CHUNK_ROWS {
+                        f(&buf);
+                        buf.clear();
+                    }
+                }
+            }
+            if !buf.is_empty() {
+                f(&buf);
+            }
+        }
+    }
+    (end - start) as u64
+}
+
+/// Chunked scan over pre-materialized row ids with an optional residual
+/// filter. Returns rows visited.
+fn scan_ids<F: FnMut(&[u32])>(ids: &[u32], pred: Option<&CompiledPred<'_>>, mut f: F) -> u64 {
+    match pred {
+        None => {
+            for chunk in ids.chunks(CHUNK_ROWS) {
+                f(chunk);
+            }
+        }
+        Some(p) if p.is_true() => return scan_ids(ids, None, f),
+        Some(p) => {
+            let mut buf: Vec<u32> = Vec::with_capacity(CHUNK_ROWS);
+            for &r in ids {
+                if p.eval(r as usize) {
+                    buf.push(r);
+                    if buf.len() == CHUNK_ROWS {
+                        f(&buf);
+                        buf.clear();
+                    }
+                }
+            }
+            if !buf.is_empty() {
+                f(&buf);
+            }
+        }
+    }
+    ids.len() as u64
 }
 
 // ---------------------------------------------------------------------
@@ -199,14 +445,31 @@ impl RowSource<'_> {
 /// values for the finalize phase.
 pub enum DimEncoder<'a> {
     /// Dictionary-encoded categorical column: the dict code *is* the key.
-    Cat { codes: &'a [u32], dict: &'a [String] },
+    Cat {
+        codes: &'a [u32],
+        dict: &'a [String],
+    },
     /// Integer column with a narrow value range: `code = v - min`.
-    IntOffset { vals: &'a [i64], min: i64, card: usize },
+    IntOffset {
+        vals: &'a [i64],
+        min: i64,
+        card: usize,
+    },
     /// Integer column with a wide range: code = rank in sorted distincts.
     IntRank { vals: &'a [i64], distinct: Vec<i64> },
     /// Binned numeric axis: `code = floor(v/width) - min_bin`.
-    BinnedI { vals: &'a [i64], width: f64, min_bin: i64, card: usize },
-    BinnedF { vals: &'a [f64], width: f64, min_bin: i64, card: usize },
+    BinnedI {
+        vals: &'a [i64],
+        width: f64,
+        min_bin: i64,
+        card: usize,
+    },
+    BinnedF {
+        vals: &'a [f64],
+        width: f64,
+        min_bin: i64,
+        card: usize,
+    },
 }
 
 impl DimEncoder<'_> {
@@ -215,14 +478,73 @@ impl DimEncoder<'_> {
         match self {
             DimEncoder::Cat { codes, .. } => codes[row] as u64,
             DimEncoder::IntOffset { vals, min, .. } => (vals[row] - min) as u64,
+            DimEncoder::IntRank { vals, distinct } => distinct
+                .binary_search(&vals[row])
+                .expect("value seen during build")
+                as u64,
+            DimEncoder::BinnedI {
+                vals,
+                width,
+                min_bin,
+                ..
+            } => ((vals[row] as f64 / width).floor() as i64 - min_bin) as u64,
+            DimEncoder::BinnedF {
+                vals,
+                width,
+                min_bin,
+                ..
+            } => ((vals[row] / width).floor() as i64 - min_bin) as u64,
+        }
+    }
+
+    /// Columnar batch encode: add `encode(row) * stride` into `out` for
+    /// every row of the chunk. One variant dispatch per chunk per
+    /// dimension instead of one per row — the inner loops are tight
+    /// gather-multiply-accumulate over primitive slices (and a natural
+    /// SIMD target later).
+    #[inline]
+    pub fn encode_acc(&self, rows: &[u32], stride: u64, out: &mut [u64]) {
+        debug_assert_eq!(rows.len(), out.len());
+        match self {
+            DimEncoder::Cat { codes, .. } => {
+                for (o, &r) in out.iter_mut().zip(rows) {
+                    *o += codes[r as usize] as u64 * stride;
+                }
+            }
+            DimEncoder::IntOffset { vals, min, .. } => {
+                for (o, &r) in out.iter_mut().zip(rows) {
+                    *o += (vals[r as usize] - min) as u64 * stride;
+                }
+            }
             DimEncoder::IntRank { vals, distinct } => {
-                distinct.binary_search(&vals[row]).expect("value seen during build") as u64
+                for (o, &r) in out.iter_mut().zip(rows) {
+                    let code = distinct
+                        .binary_search(&vals[r as usize])
+                        .expect("value seen during build") as u64;
+                    *o += code * stride;
+                }
             }
-            DimEncoder::BinnedI { vals, width, min_bin, .. } => {
-                ((vals[row] as f64 / width).floor() as i64 - min_bin) as u64
+            DimEncoder::BinnedI {
+                vals,
+                width,
+                min_bin,
+                ..
+            } => {
+                for (o, &r) in out.iter_mut().zip(rows) {
+                    let code = ((vals[r as usize] as f64 / width).floor() as i64 - min_bin) as u64;
+                    *o += code * stride;
+                }
             }
-            DimEncoder::BinnedF { vals, width, min_bin, .. } => {
-                ((vals[row] / width).floor() as i64 - min_bin) as u64
+            DimEncoder::BinnedF {
+                vals,
+                width,
+                min_bin,
+                ..
+            } => {
+                for (o, &r) in out.iter_mut().zip(rows) {
+                    let code = ((vals[r as usize] / width).floor() as i64 - min_bin) as u64;
+                    *o += code * stride;
+                }
             }
         }
     }
@@ -259,7 +581,9 @@ pub fn build_dim<'a>(table: &'a Table, spec: &XSpec) -> Result<DimEncoder<'a>, S
     let col = table.column(&spec.col)?;
     if let Some(width) = spec.bin {
         if width <= 0.0 {
-            return Err(StorageError::Malformed(format!("bin width must be positive: {width}")));
+            return Err(StorageError::Malformed(format!(
+                "bin width must be positive: {width}"
+            )));
         }
         return match col {
             Column::Int(v) => {
@@ -291,14 +615,25 @@ pub fn build_dim<'a>(table: &'a Table, spec: &XSpec) -> Result<DimEncoder<'a>, S
         };
     }
     match col {
-        Column::Cat(c) => Ok(DimEncoder::Cat { codes: c.codes(), dict: c.dict() }),
+        Column::Cat(c) => Ok(DimEncoder::Cat {
+            codes: c.codes(),
+            dict: c.dict(),
+        }),
         Column::Int(v) => {
             if v.is_empty() {
-                return Ok(DimEncoder::IntOffset { vals: v, min: 0, card: 0 });
+                return Ok(DimEncoder::IntOffset {
+                    vals: v,
+                    min: 0,
+                    card: 0,
+                });
             }
             let (lo, hi) = minmax_i(v);
             if hi - lo < INT_OFFSET_MAX_RANGE {
-                Ok(DimEncoder::IntOffset { vals: v, min: lo, card: (hi - lo + 1) as usize })
+                Ok(DimEncoder::IntOffset {
+                    vals: v,
+                    min: lo,
+                    card: (hi - lo + 1) as usize,
+                })
             } else {
                 let mut distinct = v.clone();
                 distinct.sort_unstable();
@@ -366,6 +701,44 @@ pub enum GroupStrategy {
     Hash,
 }
 
+/// Tuning for the sharded scan. Shared by both engines' configs.
+#[derive(Clone, Copy, Debug)]
+pub struct ParallelConfig {
+    /// Worker threads for a single aggregation; `0` = all hardware
+    /// threads.
+    pub threads: usize,
+    /// Sources expected to visit fewer rows than this stay serial: shard
+    /// setup + merge costs a few tens of microseconds, which only pays
+    /// for itself on bulk scans.
+    pub min_parallel_rows: usize,
+}
+
+impl Default for ParallelConfig {
+    fn default() -> Self {
+        ParallelConfig {
+            threads: 0,
+            min_parallel_rows: 1 << 16,
+        }
+    }
+}
+
+impl ParallelConfig {
+    /// Threads an aggregation over `rows` visited rows should use.
+    pub fn threads_for(&self, rows: usize) -> usize {
+        if rows < self.min_parallel_rows {
+            1
+        } else {
+            parallel::effective_threads(self.threads)
+        }
+    }
+}
+
+/// Cap on `total_slots × workers` for parallel dense accumulation: each
+/// worker owns a private dense array, so very wide key spaces shed
+/// workers rather than exhaust memory (2²² slots ≈ 100 MiB of partials
+/// in the worst all-aggregates case).
+const DENSE_PARALLEL_SLOT_BUDGET: u64 = 1 << 22;
+
 struct Accumulators {
     n_ys: usize,
     sums: Vec<f64>,
@@ -380,15 +753,41 @@ impl Accumulators {
         Accumulators {
             n_ys,
             sums: vec![0.0; slots * n_ys],
-            mins: if need_minmax { vec![f64::INFINITY; slots * n_ys] } else { Vec::new() },
-            maxs: if need_minmax { vec![f64::NEG_INFINITY; slots * n_ys] } else { Vec::new() },
+            mins: if need_minmax {
+                vec![f64::INFINITY; slots * n_ys]
+            } else {
+                Vec::new()
+            },
+            maxs: if need_minmax {
+                vec![f64::NEG_INFINITY; slots * n_ys]
+            } else {
+                Vec::new()
+            },
             counts: vec![0; slots],
             need_minmax,
         }
     }
 
     #[inline]
-    fn grow_one(&mut self) {
+    fn n_slots(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Pre-size for up to `extra` additional slots (one reservation per
+    /// chunk instead of one reallocation check per new group).
+    #[inline]
+    fn reserve(&mut self, extra: usize) {
+        self.sums.reserve(extra * self.n_ys);
+        if self.need_minmax {
+            self.mins.reserve(extra * self.n_ys);
+            self.maxs.reserve(extra * self.n_ys);
+        }
+        self.counts.reserve(extra);
+    }
+
+    #[inline]
+    fn grow_one(&mut self) -> usize {
+        let slot = self.counts.len();
         for _ in 0..self.n_ys {
             self.sums.push(0.0);
             if self.need_minmax {
@@ -397,6 +796,7 @@ impl Accumulators {
             }
         }
         self.counts.push(0);
+        slot
     }
 
     #[inline]
@@ -412,6 +812,28 @@ impl Accumulators {
                 }
                 if v > self.maxs[base + j] {
                     self.maxs[base + j] = v;
+                }
+            }
+        }
+    }
+
+    /// Fold another partial's slot into one of ours (the shard-merge
+    /// step). Exact for counts and min/max; float sums merge in worker
+    /// order, so a fixed shard split keeps results reproducible.
+    #[inline]
+    fn merge_slot(&mut self, slot: usize, other: &Accumulators, other_slot: usize) {
+        debug_assert_eq!(self.n_ys, other.n_ys);
+        self.counts[slot] += other.counts[other_slot];
+        let base = slot * self.n_ys;
+        let obase = other_slot * self.n_ys;
+        for j in 0..self.n_ys {
+            self.sums[base + j] += other.sums[obase + j];
+            if self.need_minmax {
+                if other.mins[obase + j] < self.mins[base + j] {
+                    self.mins[base + j] = other.mins[obase + j];
+                }
+                if other.maxs[obase + j] > self.maxs[base + j] {
+                    self.maxs[base + j] = other.maxs[obase + j];
                 }
             }
         }
@@ -433,22 +855,27 @@ impl Accumulators {
     }
 }
 
-/// Run the grouped aggregation for `query` over `source`, using the given
-/// strategy. Returns the ordered result and the number of rows visited.
-pub fn aggregate(
-    table: &Table,
-    query: &SelectQuery,
-    source: &RowSource<'_>,
-    strategy: GroupStrategy,
-) -> Result<(ResultTable, u64), StorageError> {
+/// Everything derived from `(table, query)` that the scan needs:
+/// dimension encoders (z₁..z_k then x), composite-key strides, measure
+/// columns, and aggregate specs.
+struct GroupPlan<'a> {
+    dims: Vec<DimEncoder<'a>>,
+    strides: Vec<u64>,
+    total: u64,
+    ys: Vec<YCol<'a>>,
+    aggs: Vec<Agg>,
+    need_minmax: bool,
+}
+
+fn build_plan<'a>(table: &'a Table, query: &SelectQuery) -> Result<GroupPlan<'a>, StorageError> {
     // Dimension order: z₁..z_k, then x innermost (stride 1).
-    let mut dims: Vec<DimEncoder<'_>> = Vec::with_capacity(query.zs.len() + 1);
+    let mut dims: Vec<DimEncoder<'a>> = Vec::with_capacity(query.zs.len() + 1);
     for z in &query.zs {
         dims.push(build_dim(table, &XSpec::raw(z.clone()))?);
     }
     dims.push(build_dim(table, &query.x)?);
 
-    let mut ys: Vec<YCol<'_>> = Vec::with_capacity(query.ys.len());
+    let mut ys: Vec<YCol<'a>> = Vec::with_capacity(query.ys.len());
     let mut aggs: Vec<Agg> = Vec::with_capacity(query.ys.len());
     for y in &query.ys {
         let ycol = if y.agg == Agg::Count && y.col == "*" {
@@ -482,59 +909,299 @@ pub fn aggregate(
         total *= dims[i].cardinality().max(1) as u128;
     }
     if total > u64::MAX as u128 {
-        return Err(StorageError::Malformed("group key space exceeds u64".into()));
+        return Err(StorageError::Malformed(
+            "group key space exceeds u64".into(),
+        ));
     }
-    let total = total as u64;
 
-    let scanned;
-    let mut occupied: Vec<u64> = Vec::new(); // composite codes with data
-    let acc = match strategy {
-        GroupStrategy::Dense => {
-            let mut acc = Accumulators::new(total as usize, ys.len().max(1), need_minmax);
-            scanned = source.for_each(|row| {
-                let mut code = 0u64;
-                for (d, s) in dims.iter().zip(&strides) {
-                    code += d.encode(row) * s;
-                }
-                acc.update(code as usize, &ys, row);
-            });
-            for code in 0..total {
-                if acc.counts[code as usize] > 0 {
-                    occupied.push(code);
+    Ok(GroupPlan {
+        dims,
+        strides,
+        total: total as u64,
+        ys,
+        aggs,
+        need_minmax,
+    })
+}
+
+/// One worker's (or the serial scan's) accumulation state: a reusable
+/// code buffer plus strategy-specific slot storage.
+struct ChunkAccumulator<'p, 'a> {
+    plan: &'p GroupPlan<'a>,
+    strategy: GroupStrategy,
+    acc: Accumulators,
+    /// Hash strategy only: composite code → slot.
+    slot_of: HashMap<u64, u32>,
+    codes: Vec<u64>,
+}
+
+impl<'p, 'a> ChunkAccumulator<'p, 'a> {
+    fn new(plan: &'p GroupPlan<'a>, strategy: GroupStrategy) -> Self {
+        let n_ys = plan.ys.len().max(1);
+        let acc = match strategy {
+            GroupStrategy::Dense => Accumulators::new(plan.total as usize, n_ys, plan.need_minmax),
+            GroupStrategy::Hash => Accumulators::new(0, n_ys, plan.need_minmax),
+        };
+        ChunkAccumulator {
+            plan,
+            strategy,
+            acc,
+            slot_of: HashMap::new(),
+            codes: Vec::with_capacity(CHUNK_ROWS),
+        }
+    }
+
+    /// Accumulate one chunk of qualifying row ids.
+    fn consume(&mut self, rows: &[u32]) {
+        let n = rows.len();
+        self.codes.clear();
+        self.codes.resize(n, 0);
+        for (d, s) in self.plan.dims.iter().zip(&self.plan.strides) {
+            d.encode_acc(rows, *s, &mut self.codes);
+        }
+        match self.strategy {
+            GroupStrategy::Dense => {
+                for (i, &row) in rows.iter().enumerate() {
+                    self.acc
+                        .update(self.codes[i] as usize, &self.plan.ys, row as usize);
                 }
             }
-            DenseOrHash::Dense(acc)
+            GroupStrategy::Hash => {
+                // Reserve for the worst case (all-new groups) once per
+                // chunk; the entry API makes the common case one probe.
+                self.slot_of.reserve(n);
+                self.acc.reserve(n);
+                for (i, &row) in rows.iter().enumerate() {
+                    let slot = match self.slot_of.entry(self.codes[i]) {
+                        Entry::Occupied(e) => *e.get() as usize,
+                        Entry::Vacant(e) => {
+                            let s = self.acc.grow_one();
+                            e.insert(s as u32);
+                            s
+                        }
+                    };
+                    self.acc.update(slot, &self.plan.ys, row as usize);
+                }
+            }
+        }
+    }
+
+    /// Close out into the shared finalize representation: accumulators
+    /// plus ascending occupied composite codes (and, for Hash, the slot
+    /// of each occupied code).
+    fn into_parts(self) -> (DenseOrHash, Vec<u64>) {
+        match self.strategy {
+            GroupStrategy::Dense => {
+                let occupied = (0..self.plan.total)
+                    .filter(|&code| self.acc.counts[code as usize] > 0)
+                    .collect();
+                (DenseOrHash::Dense(self.acc), occupied)
+            }
+            GroupStrategy::Hash => {
+                let mut pairs: Vec<(u64, u32)> = self.slot_of.into_iter().collect();
+                pairs.sort_unstable();
+                let slots: Vec<u32> = pairs.iter().map(|&(_, s)| s).collect();
+                let occupied = pairs.into_iter().map(|(c, _)| c).collect();
+                (DenseOrHash::Hash(self.acc, slots), occupied)
+            }
+        }
+    }
+}
+
+enum DenseOrHash {
+    Dense(Accumulators),
+    /// Accumulators plus the slot of each occupied code (aligned with the
+    /// ascending `occupied` list).
+    Hash(Accumulators, Vec<u32>),
+}
+
+/// Run the grouped aggregation for `query` over `source`, using the given
+/// strategy. Returns the ordered result and the number of rows visited.
+pub fn aggregate(
+    table: &Table,
+    query: &SelectQuery,
+    source: &RowSource<'_>,
+    strategy: GroupStrategy,
+) -> Result<(ResultTable, u64), StorageError> {
+    let plan = build_plan(table, query)?;
+    let mut acc = ChunkAccumulator::new(&plan, strategy);
+    let scanned = source.for_each_chunk(|rows| acc.consume(rows));
+    let (acc, occupied) = acc.into_parts();
+    Ok((finalize_result(query, &plan, &acc, &occupied), scanned))
+}
+
+/// Sharded variant of [`aggregate`]: splits the source into contiguous
+/// per-worker shards, accumulates per-worker partials on the shared pool,
+/// and merges them (Dense by slot, Hash by composite code) before the
+/// common finalize. `threads == 0` means auto. Produces the same
+/// `ResultTable` and scanned count as the serial path — bit-for-bit when
+/// measure sums are exactly representable, and within float merge
+/// rounding otherwise.
+pub fn aggregate_parallel(
+    table: &Table,
+    query: &SelectQuery,
+    source: &RowSource<'_>,
+    strategy: GroupStrategy,
+    threads: usize,
+) -> Result<(ResultTable, u64), StorageError> {
+    let plan = build_plan(table, query)?;
+    let mut workers = parallel::effective_threads(threads);
+    if strategy == GroupStrategy::Dense {
+        // Each dense worker owns `total` slots; shed workers before
+        // exhausting memory on very wide key spaces.
+        let cap = (DENSE_PARALLEL_SLOT_BUDGET / plan.total.max(1)).max(1) as usize;
+        workers = workers.min(cap);
+    }
+
+    // Shard the source into contiguous pieces. Range sources shard by row
+    // interval; bitmap sources materialize their ids once and shard the
+    // id array.
+    enum ShardInput<'s, 'a> {
+        Rows {
+            n: usize,
+            pred: Option<&'s CompiledPred<'a>>,
+        },
+        Ids {
+            ids: Vec<u32>,
+            pred: Option<&'s CompiledPred<'a>>,
+        },
+    }
+    let input = match source {
+        RowSource::All(n) => ShardInput::Rows { n: *n, pred: None },
+        RowSource::Filtered { n_rows, pred } => ShardInput::Rows {
+            n: *n_rows,
+            pred: Some(pred),
+        },
+        RowSource::Bitmap(bm) => ShardInput::Ids {
+            ids: bm.to_vec(),
+            pred: None,
+        },
+        RowSource::BitmapFiltered { rows, pred } => ShardInput::Ids {
+            ids: rows.to_vec(),
+            pred: Some(pred),
+        },
+    };
+    let n_units = match &input {
+        ShardInput::Rows { n, .. } => *n,
+        ShardInput::Ids { ids, .. } => ids.len(),
+    };
+    workers = workers.min(n_units.max(1));
+    if workers <= 1 {
+        let mut acc = ChunkAccumulator::new(&plan, strategy);
+        let scanned = source.for_each_chunk(|rows| acc.consume(rows));
+        let (acc, occupied) = acc.into_parts();
+        return Ok((finalize_result(query, &plan, &acc, &occupied), scanned));
+    }
+    let shards = parallel::split_ranges(n_units, workers);
+
+    let partials: Vec<(ChunkAccumulatorParts, u64)> = parallel::run_workers(shards.len(), |w| {
+        let (start, end) = shards[w];
+        let mut acc = ChunkAccumulator::new(&plan, strategy);
+        let visited = match &input {
+            ShardInput::Rows { pred, .. } => {
+                scan_range(start, end, *pred, |rows| acc.consume(rows))
+            }
+            ShardInput::Ids { ids, pred } => {
+                scan_ids(&ids[start..end], *pred, |rows| acc.consume(rows))
+            }
+        };
+        (
+            ChunkAccumulatorParts {
+                acc: acc.acc,
+                slot_of: acc.slot_of,
+            },
+            visited,
+        )
+    });
+
+    let scanned: u64 = partials.iter().map(|(_, v)| v).sum();
+    let merged = merge_partials(&plan, strategy, partials.into_iter().map(|(p, _)| p));
+    let (acc, occupied) = merged;
+    Ok((finalize_result(query, &plan, &acc, &occupied), scanned))
+}
+
+/// A worker's raw partial state, sent back for merging.
+struct ChunkAccumulatorParts {
+    acc: Accumulators,
+    slot_of: HashMap<u64, u32>,
+}
+
+/// Merge per-worker partials in worker order: Dense by slot index, Hash
+/// by composite code (the global slot table grows in first-seen order,
+/// then finalize sorts by code as usual).
+fn merge_partials(
+    plan: &GroupPlan<'_>,
+    strategy: GroupStrategy,
+    partials: impl Iterator<Item = ChunkAccumulatorParts>,
+) -> (DenseOrHash, Vec<u64>) {
+    let n_ys = plan.ys.len().max(1);
+    match strategy {
+        GroupStrategy::Dense => {
+            let mut global: Option<Accumulators> = None;
+            for part in partials {
+                match &mut global {
+                    None => global = Some(part.acc),
+                    Some(g) => {
+                        for slot in 0..part.acc.n_slots() {
+                            if part.acc.counts[slot] > 0 {
+                                g.merge_slot(slot, &part.acc, slot);
+                            }
+                        }
+                    }
+                }
+            }
+            let g = global
+                .unwrap_or_else(|| Accumulators::new(plan.total as usize, n_ys, plan.need_minmax));
+            let occupied = (0..plan.total)
+                .filter(|&code| g.counts[code as usize] > 0)
+                .collect();
+            (DenseOrHash::Dense(g), occupied)
         }
         GroupStrategy::Hash => {
-            let mut acc = Accumulators::new(0, ys.len().max(1), need_minmax);
+            let mut g = Accumulators::new(0, n_ys, plan.need_minmax);
             let mut slot_of: HashMap<u64, u32> = HashMap::new();
-            scanned = source.for_each(|row| {
-                let mut code = 0u64;
-                for (d, s) in dims.iter().zip(&strides) {
-                    code += d.encode(row) * s;
+            for part in partials {
+                // Deterministic iteration: visit this partial's codes in
+                // ascending order so global slot assignment (and float
+                // merge order) does not depend on HashMap iteration.
+                let mut pairs: Vec<(u64, u32)> = part.slot_of.into_iter().collect();
+                pairs.sort_unstable();
+                slot_of.reserve(pairs.len());
+                g.reserve(pairs.len());
+                for (code, local_slot) in pairs {
+                    let slot = match slot_of.entry(code) {
+                        Entry::Occupied(e) => *e.get() as usize,
+                        Entry::Vacant(e) => {
+                            let s = g.grow_one();
+                            e.insert(s as u32);
+                            s
+                        }
+                    };
+                    g.merge_slot(slot, &part.acc, local_slot as usize);
                 }
-                let slot = match slot_of.get(&code) {
-                    Some(&s) => s as usize,
-                    None => {
-                        let s = acc.counts.len();
-                        slot_of.insert(code, s as u32);
-                        acc.grow_one();
-                        s
-                    }
-                };
-                acc.update(slot, &ys, row);
-            });
+            }
             let mut pairs: Vec<(u64, u32)> = slot_of.into_iter().collect();
             pairs.sort_unstable();
             let slots: Vec<u32> = pairs.iter().map(|&(_, s)| s).collect();
-            occupied = pairs.into_iter().map(|(c, _)| c).collect();
-            DenseOrHash::Hash(acc, slots)
+            let occupied = pairs.into_iter().map(|(c, _)| c).collect();
+            (DenseOrHash::Hash(g, slots), occupied)
         }
-    };
+    }
+}
 
-    // Finalize: decode composite codes, group consecutive rows sharing the
-    // same z-prefix (codes are visited in ascending order, x innermost).
-    let mut result = ResultTable { z_cols: query.zs.clone(), groups: Vec::new() };
+/// Decode composite codes, group consecutive rows sharing the same
+/// z-prefix, and sort by decoded values — shared by the serial and
+/// sharded paths.
+fn finalize_result(
+    query: &SelectQuery,
+    plan: &GroupPlan<'_>,
+    acc: &DenseOrHash,
+    occupied: &[u64],
+) -> ResultTable {
+    let mut result = ResultTable {
+        z_cols: query.zs.clone(),
+        groups: Vec::new(),
+    };
     let n_z = query.zs.len();
     let mut current_key: Option<Vec<Value>> = None;
     let mut cur_z_codes: Vec<u64> = Vec::new();
@@ -556,8 +1223,8 @@ pub fn aggregate(
 
     for (i, &code) in occupied.iter().enumerate() {
         let mut rem = code;
-        let mut parts = Vec::with_capacity(dims.len());
-        for s in &strides {
+        let mut parts = Vec::with_capacity(plan.dims.len());
+        for s in &plan.strides {
             parts.push(rem / s);
             rem %= s;
         }
@@ -565,14 +1232,19 @@ pub fn aggregate(
         if current_key.is_none() || cur_z_codes != z_codes {
             flush(&mut result, current_key.take(), &mut xs, &mut series);
             cur_z_codes = z_codes.to_vec();
-            current_key =
-                Some(z_codes.iter().zip(&dims[..n_z]).map(|(&c, d)| d.decode(c)).collect());
+            current_key = Some(
+                z_codes
+                    .iter()
+                    .zip(&plan.dims[..n_z])
+                    .map(|(&c, d)| d.decode(c))
+                    .collect(),
+            );
             series = vec![Vec::new(); query.ys.len()];
         }
-        xs.push(dims[n_z].decode(parts[n_z]));
-        let vals = match &acc {
-            DenseOrHash::Dense(a) => a.finalize(code as usize, &aggs),
-            DenseOrHash::Hash(a, slots) => a.finalize(slots[i] as usize, &aggs),
+        xs.push(plan.dims[n_z].decode(parts[n_z]));
+        let vals = match acc {
+            DenseOrHash::Dense(a) => a.finalize(code as usize, &plan.aggs),
+            DenseOrHash::Hash(a, slots) => a.finalize(slots[i] as usize, &plan.aggs),
         };
         for (j, v) in vals.into_iter().enumerate() {
             series[j].push(v);
@@ -591,16 +1263,14 @@ pub fn aggregate(
         idx.sort_by(|&i, &j| g.xs[i].cmp(&g.xs[j]));
         if idx.iter().enumerate().any(|(i, &j)| i != j) {
             g.xs = idx.iter().map(|&i| g.xs[i].clone()).collect();
-            g.ys = g.ys.iter().map(|s| idx.iter().map(|&i| s[i]).collect()).collect();
+            g.ys =
+                g.ys.iter()
+                    .map(|s| idx.iter().map(|&i| s[i]).collect())
+                    .collect();
         }
     }
 
-    Ok((result, scanned))
-}
-
-enum DenseOrHash {
-    Dense(Accumulators),
-    Hash(Accumulators, Vec<u32>),
+    result
 }
 
 /// Pick a strategy: dense when the composite key space is small enough
@@ -618,7 +1288,9 @@ pub fn choose_strategy(total_groups: u128, dense_limit: u128) -> GroupStrategy {
 pub fn group_space(table: &Table, query: &SelectQuery) -> Result<u128, StorageError> {
     let mut total: u128 = 1;
     for z in &query.zs {
-        total *= build_dim(table, &XSpec::raw(z.clone()))?.cardinality().max(1) as u128;
+        total *= build_dim(table, &XSpec::raw(z.clone()))?
+            .cardinality()
+            .max(1) as u128;
     }
     total *= build_dim(table, &query.x)?.cardinality().max(1) as u128;
     Ok(total)
@@ -648,8 +1320,13 @@ mod tests {
             (2015, "chair", "UK", 11.0),
         ];
         for (y, p, l, s) in rows {
-            b.push_row(vec![Value::Int(y), Value::str(p), Value::str(l), Value::Float(s)])
-                .unwrap();
+            b.push_row(vec![
+                Value::Int(y),
+                Value::str(p),
+                Value::str(l),
+                Value::Float(s),
+            ])
+            .unwrap();
         }
         b.finish()
     }
@@ -659,6 +1336,10 @@ mod tests {
         let src = RowSource::All(t.num_rows());
         let (mut rt, scanned) = aggregate(&t, q, &src, strategy).unwrap();
         assert_eq!(scanned, 6);
+        // the sharded path must agree even on tiny inputs
+        let (par, par_scanned) = aggregate_parallel(&t, q, &src, strategy, 3).unwrap();
+        assert_eq!(par, rt);
+        assert_eq!(par_scanned, scanned);
         // normalize nothing — kernel must already deliver sorted output
         rt.z_cols = q.zs.clone();
         rt
@@ -720,7 +1401,10 @@ mod tests {
         let t = sales_table();
         let q = SelectQuery::new(XSpec::raw("year"), vec![YSpec::sum("sales")]);
         let pred = compile_pred(&t, &Predicate::cat_eq("location", "UK")).unwrap();
-        let src = RowSource::Filtered { n_rows: t.num_rows(), pred };
+        let src = RowSource::Filtered {
+            n_rows: t.num_rows(),
+            pred,
+        };
         let (rt, scanned) = aggregate(&t, &q, &src, GroupStrategy::Dense).unwrap();
         assert_eq!(scanned, 6);
         assert_eq!(rt.groups[0].xs, vec![Value::Int(2015)]);
@@ -745,7 +1429,13 @@ mod tests {
             Field::new("sales", DataType::Float),
         ]);
         let mut b = TableBuilder::new(schema);
-        for (w, s) in [(5.0, 1.0), (15.0, 2.0), (25.0, 3.0), (26.0, 4.0), (45.0, 5.0)] {
+        for (w, s) in [
+            (5.0, 1.0),
+            (15.0, 2.0),
+            (25.0, 3.0),
+            (26.0, 4.0),
+            (45.0, 5.0),
+        ] {
             b.push_row(vec![Value::Float(w), Value::Float(s)]).unwrap();
         }
         let t = b.finish();
@@ -754,7 +1444,10 @@ mod tests {
         let src = RowSource::All(t.num_rows());
         let (rt, _) = aggregate(&t, &q, &src, GroupStrategy::Dense).unwrap();
         let g = &rt.groups[0];
-        assert_eq!(g.xs, vec![Value::Float(0.0), Value::Float(20.0), Value::Float(40.0)]);
+        assert_eq!(
+            g.xs,
+            vec![Value::Float(0.0), Value::Float(20.0), Value::Float(40.0)]
+        );
         assert_eq!(g.ys[0], vec![3.0, 7.0, 5.0]);
     }
 
@@ -765,18 +1458,35 @@ mod tests {
             Predicate::cat_eq("product", "chair"),
             Predicate::cat_eq("product", "ghost"),
             Predicate::And(vec![
-                Atom::CatNeq { col: "product".into(), value: "chair".into() },
-                Atom::NumCmp { col: "year".into(), op: CmpOp::Ge, value: 2015.0 },
+                Atom::CatNeq {
+                    col: "product".into(),
+                    value: "chair".into(),
+                },
+                Atom::NumCmp {
+                    col: "year".into(),
+                    op: CmpOp::Ge,
+                    value: 2015.0,
+                },
             ]),
             Predicate::Or(vec![
-                vec![Atom::CatEq { col: "location".into(), value: "UK".into() }],
-                vec![Atom::NumBetween { col: "sales".into(), lo: 0.0, hi: 6.0 }],
+                vec![Atom::CatEq {
+                    col: "location".into(),
+                    value: "UK".into(),
+                }],
+                vec![Atom::NumBetween {
+                    col: "sales".into(),
+                    lo: 0.0,
+                    hi: 6.0,
+                }],
             ]),
             Predicate::atom(Atom::CatIn {
                 col: "product".into(),
                 values: vec!["desk".into(), "ghost".into()],
             }),
-            Predicate::atom(Atom::StrPrefix { col: "location".into(), prefix: "U".into() }),
+            Predicate::atom(Atom::StrPrefix {
+                col: "location".into(),
+                prefix: "U".into(),
+            }),
         ];
         for p in &preds {
             let compiled = compile_pred(&t, p).unwrap();
@@ -808,5 +1518,35 @@ mod tests {
         let (rt, scanned) = aggregate(&t, &q, &src, GroupStrategy::Dense).unwrap();
         assert!(rt.is_empty());
         assert_eq!(scanned, 0);
+        let (rt, scanned) = aggregate_parallel(&t, &q, &src, GroupStrategy::Hash, 4).unwrap();
+        assert!(rt.is_empty());
+        assert_eq!(scanned, 0);
+    }
+
+    #[test]
+    fn chunked_scan_matches_row_at_a_time() {
+        let t = sales_table();
+        let pred = compile_pred(&t, &Predicate::cat_eq("product", "chair")).unwrap();
+        let src = RowSource::Filtered {
+            n_rows: t.num_rows(),
+            pred,
+        };
+        let mut rows_a: Vec<u32> = Vec::new();
+        let scanned_a = src.for_each(|r| rows_a.push(r as u32));
+        let mut rows_b: Vec<u32> = Vec::new();
+        let scanned_b = src.for_each_chunk(|chunk| rows_b.extend_from_slice(chunk));
+        assert_eq!(rows_a, rows_b);
+        assert_eq!(scanned_a, scanned_b);
+    }
+
+    #[test]
+    fn parallel_config_gates_small_scans() {
+        let cfg = ParallelConfig::default();
+        assert_eq!(cfg.threads_for(10), 1, "tiny scans stay serial");
+        let explicit = ParallelConfig {
+            threads: 4,
+            min_parallel_rows: 0,
+        };
+        assert_eq!(explicit.threads_for(10), 4);
     }
 }

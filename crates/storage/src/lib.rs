@@ -38,6 +38,7 @@ pub mod bitmap_db;
 pub mod column;
 pub mod db;
 pub mod exec;
+pub mod parallel;
 pub mod predicate;
 pub mod query;
 pub mod roaring;
@@ -49,6 +50,7 @@ pub mod value;
 pub use bitmap_db::{BitmapDb, BitmapDbConfig};
 pub use column::{CatColumn, Column};
 pub use db::{Database, DynDatabase};
+pub use exec::{GroupStrategy, ParallelConfig};
 pub use predicate::{Atom, CmpOp, Predicate};
 pub use query::{Agg, GroupSeries, ResultTable, SelectQuery, XSpec, YSpec};
 pub use roaring::RoaringBitmap;
@@ -102,12 +104,22 @@ mod engine_equivalence {
             }),
             ((0u8..8), (0u8..8)).prop_map(|(a, b)| {
                 Predicate::Or(vec![
-                    vec![Atom::CatEq { col: "product".into(), value: format!("p{a}") }],
-                    vec![Atom::CatEq { col: "product".into(), value: format!("p{b}") }],
+                    vec![Atom::CatEq {
+                        col: "product".into(),
+                        value: format!("p{a}"),
+                    }],
+                    vec![Atom::CatEq {
+                        col: "product".into(),
+                        value: format!("p{b}"),
+                    }],
                 ])
             }),
             (-50.0f64..50.0).prop_map(|t| {
-                Predicate::atom(Atom::NumCmp { col: "sales".into(), op: CmpOp::Gt, value: t })
+                Predicate::atom(Atom::NumCmp {
+                    col: "sales".into(),
+                    op: CmpOp::Gt,
+                    value: t,
+                })
             }),
         ]
     }

@@ -122,9 +122,10 @@ impl Atom {
     pub fn validate(&self, table: &Table) -> Result<(), StorageError> {
         let col = table.column(self.column())?;
         let ok = match self {
-            Atom::CatEq { .. } | Atom::CatNeq { .. } | Atom::CatIn { .. } | Atom::StrPrefix { .. } => {
-                col.dtype() == DataType::Cat
-            }
+            Atom::CatEq { .. }
+            | Atom::CatNeq { .. }
+            | Atom::CatIn { .. }
+            | Atom::StrPrefix { .. } => col.dtype() == DataType::Cat,
             Atom::NumCmp { .. } | Atom::NumBetween { .. } => col.dtype() != DataType::Cat,
         };
         if ok {
@@ -179,15 +180,25 @@ impl Predicate {
     }
 
     pub fn cat_eq(col: impl Into<String>, value: impl Into<String>) -> Self {
-        Predicate::atom(Atom::CatEq { col: col.into(), value: value.into() })
+        Predicate::atom(Atom::CatEq {
+            col: col.into(),
+            value: value.into(),
+        })
     }
 
     pub fn cat_in(col: impl Into<String>, values: Vec<String>) -> Self {
-        Predicate::atom(Atom::CatIn { col: col.into(), values })
+        Predicate::atom(Atom::CatIn {
+            col: col.into(),
+            values,
+        })
     }
 
     pub fn num_eq(col: impl Into<String>, value: f64) -> Self {
-        Predicate::atom(Atom::NumCmp { col: col.into(), op: CmpOp::Eq, value })
+        Predicate::atom(Atom::NumCmp {
+            col: col.into(),
+            op: CmpOp::Eq,
+            value,
+        })
     }
 
     pub fn is_true(&self) -> bool {
@@ -277,9 +288,11 @@ impl Predicate {
                     Atom::CatEq { col: c, value } if c == col => {
                         return Some(Value::str(value.clone()))
                     }
-                    Atom::NumCmp { col: c, op: CmpOp::Eq, value } if c == col => {
-                        return Some(Value::Float(*value))
-                    }
+                    Atom::NumCmp {
+                        col: c,
+                        op: CmpOp::Eq,
+                        value,
+                    } if c == col => return Some(Value::Float(*value)),
                     _ => {}
                 }
             }
@@ -328,7 +341,13 @@ mod tests {
             (2015, "desk", "90210", 7.0),
             (2016, "chair", "02999", 9.0),
         ] {
-            b.push_row(vec![Value::Int(y), Value::str(p), Value::str(z), Value::Float(s)]).unwrap();
+            b.push_row(vec![
+                Value::Int(y),
+                Value::str(p),
+                Value::str(z),
+                Value::Float(s),
+            ])
+            .unwrap();
         }
         b.finish()
     }
@@ -336,26 +355,46 @@ mod tests {
     #[test]
     fn cat_atoms() {
         let t = t();
-        let eq = Atom::CatEq { col: "product".into(), value: "chair".into() };
+        let eq = Atom::CatEq {
+            col: "product".into(),
+            value: "chair".into(),
+        };
         assert!(eq.eval_row(&t, 0).unwrap());
         assert!(!eq.eval_row(&t, 1).unwrap());
-        let neq = Atom::CatNeq { col: "product".into(), value: "chair".into() };
+        let neq = Atom::CatNeq {
+            col: "product".into(),
+            value: "chair".into(),
+        };
         assert!(!neq.eval_row(&t, 0).unwrap());
         assert!(neq.eval_row(&t, 1).unwrap());
         // value absent from dictionary
-        let ghost = Atom::CatEq { col: "product".into(), value: "sofa".into() };
+        let ghost = Atom::CatEq {
+            col: "product".into(),
+            value: "sofa".into(),
+        };
         assert!(!ghost.eval_row(&t, 0).unwrap());
-        let ghost_neq = Atom::CatNeq { col: "product".into(), value: "sofa".into() };
+        let ghost_neq = Atom::CatNeq {
+            col: "product".into(),
+            value: "sofa".into(),
+        };
         assert!(ghost_neq.eval_row(&t, 0).unwrap());
     }
 
     #[test]
     fn numeric_atoms() {
         let t = t();
-        let cmp = Atom::NumCmp { col: "year".into(), op: CmpOp::Ge, value: 2015.0 };
+        let cmp = Atom::NumCmp {
+            col: "year".into(),
+            op: CmpOp::Ge,
+            value: 2015.0,
+        };
         assert!(!cmp.eval_row(&t, 0).unwrap());
         assert!(cmp.eval_row(&t, 1).unwrap());
-        let between = Atom::NumBetween { col: "sales".into(), lo: 6.0, hi: 8.0 };
+        let between = Atom::NumBetween {
+            col: "sales".into(),
+            lo: 6.0,
+            hi: 8.0,
+        };
         assert!(!between.eval_row(&t, 0).unwrap());
         assert!(between.eval_row(&t, 1).unwrap());
     }
@@ -365,8 +404,14 @@ mod tests {
         // Table 3.9: zip LIKE '02...' — chairs sold in 02000..02999.
         let t = t();
         let p = Predicate::And(vec![
-            Atom::CatEq { col: "product".into(), value: "chair".into() },
-            Atom::StrPrefix { col: "zip".into(), prefix: "02".into() },
+            Atom::CatEq {
+                col: "product".into(),
+                value: "chair".into(),
+            },
+            Atom::StrPrefix {
+                col: "zip".into(),
+                prefix: "02".into(),
+            },
         ]);
         assert!(p.eval_row(&t, 0).unwrap());
         assert!(!p.eval_row(&t, 1).unwrap());
@@ -381,8 +426,15 @@ mod tests {
         assert!(p.eval_row(&t, 2).unwrap());
 
         let or = Predicate::Or(vec![
-            vec![Atom::CatEq { col: "product".into(), value: "desk".into() }],
-            vec![Atom::NumCmp { col: "year".into(), op: CmpOp::Eq, value: 2014.0 }],
+            vec![Atom::CatEq {
+                col: "product".into(),
+                value: "desk".into(),
+            }],
+            vec![Atom::NumCmp {
+                col: "year".into(),
+                op: CmpOp::Eq,
+                value: 2014.0,
+            }],
         ]);
         assert!(or.eval_row(&t, 0).unwrap());
         assert!(or.eval_row(&t, 1).unwrap());
@@ -393,8 +445,14 @@ mod tests {
     fn and_distributes_over_or() {
         let t = t();
         let or = Predicate::Or(vec![
-            vec![Atom::CatEq { col: "product".into(), value: "desk".into() }],
-            vec![Atom::CatEq { col: "product".into(), value: "chair".into() }],
+            vec![Atom::CatEq {
+                col: "product".into(),
+                value: "desk".into(),
+            }],
+            vec![Atom::CatEq {
+                col: "product".into(),
+                value: "chair".into(),
+            }],
         ]);
         let combined = or.and(Predicate::num_eq("year", 2015.0));
         assert!(!combined.eval_row(&t, 0).unwrap());

@@ -62,11 +62,17 @@ pub struct XSpec {
 
 impl XSpec {
     pub fn raw(col: impl Into<String>) -> Self {
-        XSpec { col: col.into(), bin: None }
+        XSpec {
+            col: col.into(),
+            bin: None,
+        }
     }
 
     pub fn binned(col: impl Into<String>, width: f64) -> Self {
-        XSpec { col: col.into(), bin: Some(width) }
+        XSpec {
+            col: col.into(),
+            bin: Some(width),
+        }
     }
 }
 
@@ -79,7 +85,10 @@ pub struct YSpec {
 
 impl YSpec {
     pub fn new(col: impl Into<String>, agg: Agg) -> Self {
-        YSpec { col: col.into(), agg }
+        YSpec {
+            col: col.into(),
+            agg,
+        }
     }
 
     pub fn sum(col: impl Into<String>) -> Self {
@@ -105,7 +114,12 @@ pub struct SelectQuery {
 
 impl SelectQuery {
     pub fn new(x: XSpec, ys: Vec<YSpec>) -> Self {
-        SelectQuery { x, ys, zs: Vec::new(), predicate: Predicate::True }
+        SelectQuery {
+            x,
+            ys,
+            zs: Vec::new(),
+            predicate: Predicate::True,
+        }
     }
 
     pub fn with_z(mut self, z: impl Into<String>) -> Self {
@@ -182,7 +196,11 @@ impl ResultTable {
     /// compiled code must now have an extra phase to extract the data for
     /// different visualizations from the combined results").
     pub fn index(&self) -> HashMap<&[Value], usize> {
-        self.groups.iter().enumerate().map(|(i, g)| (g.key.as_slice(), i)).collect()
+        self.groups
+            .iter()
+            .enumerate()
+            .map(|(i, g)| (g.key.as_slice(), i))
+            .collect()
     }
 
     /// Total number of `(group, x)` cells — the paper's "number of groups"
@@ -211,7 +229,10 @@ mod tests {
     #[test]
     fn sql_rendering_without_predicate_or_z() {
         let q = SelectQuery::new(XSpec::raw("year"), vec![YSpec::avg("profit")]);
-        assert_eq!(q.to_sql(), "SELECT year, AVG(profit) GROUP BY year ORDER BY year");
+        assert_eq!(
+            q.to_sql(),
+            "SELECT year, AVG(profit) GROUP BY year ORDER BY year"
+        );
     }
 
     #[test]

@@ -198,9 +198,12 @@ impl Container {
         use Container::*;
         match (self.norm(), other.norm()) {
             (Array(a), Array(b)) => Array(intersect_sorted(&a, &b)),
-            (Array(a), Bitmap(b)) | (Bitmap(b), Array(a)) => {
-                Array(a.iter().copied().filter(|&v| b[(v >> 6) as usize] & (1 << (v & 63)) != 0).collect())
-            }
+            (Array(a), Bitmap(b)) | (Bitmap(b), Array(a)) => Array(
+                a.iter()
+                    .copied()
+                    .filter(|&v| b[(v >> 6) as usize] & (1 << (v & 63)) != 0)
+                    .collect(),
+            ),
             (Bitmap(a), Bitmap(b)) => {
                 let mut out: Box<[u64; BITMAP_WORDS]> = Box::new([0u64; BITMAP_WORDS]);
                 let mut card = 0usize;
@@ -252,9 +255,12 @@ impl Container {
         use Container::*;
         match (self.norm(), other.norm()) {
             (Array(a), Array(b)) => Array(difference_sorted(&a, &b)),
-            (Array(a), Bitmap(b)) => {
-                Array(a.iter().copied().filter(|&v| b[(v >> 6) as usize] & (1 << (v & 63)) == 0).collect())
-            }
+            (Array(a), Bitmap(b)) => Array(
+                a.iter()
+                    .copied()
+                    .filter(|&v| b[(v >> 6) as usize] & (1 << (v & 63)) == 0)
+                    .collect(),
+            ),
             (Bitmap(a), Array(b)) => {
                 let mut out = a.clone();
                 for &v in &b {
@@ -418,7 +424,10 @@ impl RoaringBitmap {
         let mut last: Option<u32> = None;
         for v in iter {
             if let Some(prev) = last {
-                assert!(v > prev, "from_sorted_iter requires strictly ascending input");
+                assert!(
+                    v > prev,
+                    "from_sorted_iter requires strictly ascending input"
+                );
             }
             bm.push_unchecked(v);
             last = Some(v);
@@ -491,7 +500,10 @@ impl RoaringBitmap {
     }
 
     pub fn len(&self) -> u64 {
-        self.containers.iter().map(|(_, c)| c.cardinality() as u64).sum()
+        self.containers
+            .iter()
+            .map(|(_, c)| c.cardinality() as u64)
+            .sum()
     }
 
     pub fn is_empty(&self) -> bool {
@@ -610,7 +622,12 @@ impl RoaringBitmap {
 
     /// Iterate set values in ascending order.
     pub fn iter(&self) -> RoaringIter<'_> {
-        RoaringIter { bitmap: self, container: 0, buffer: Vec::new(), pos: 0 }
+        RoaringIter {
+            bitmap: self,
+            container: 0,
+            buffer: Vec::new(),
+            pos: 0,
+        }
     }
 
     /// Collect into a `Vec<u32>` (ascending).
@@ -773,7 +790,10 @@ mod tests {
         let before = bm.size_bytes();
         bm.run_optimize();
         let after = bm.size_bytes();
-        assert!(after < before, "run encoding should shrink contiguous data: {after} !< {before}");
+        assert!(
+            after < before,
+            "run encoding should shrink contiguous data: {after} !< {before}"
+        );
         assert!(matches!(bm.containers[0].1, Container::Run(_)));
         assert_eq!(bm.len(), 2000);
         assert!(bm.contains(1000));
@@ -811,7 +831,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "strictly ascending")]
     fn from_sorted_iter_rejects_unsorted() {
-        RoaringBitmap::from_sorted_iter([3u32, 2].into_iter());
+        RoaringBitmap::from_sorted_iter([3u32, 2]);
     }
 
     #[test]
@@ -828,9 +848,18 @@ mod tests {
         let sa: BTreeSet<u32> = values.iter().copied().collect();
         let sb: BTreeSet<u32> = other.iter().copied().collect();
         assert_eq!(a.to_vec(), sa.iter().copied().collect::<Vec<_>>());
-        assert_eq!(a.and(&b).to_vec(), sa.intersection(&sb).copied().collect::<Vec<_>>());
-        assert_eq!(a.or(&b).to_vec(), sa.union(&sb).copied().collect::<Vec<_>>());
-        assert_eq!(a.and_not(&b).to_vec(), sa.difference(&sb).copied().collect::<Vec<_>>());
+        assert_eq!(
+            a.and(&b).to_vec(),
+            sa.intersection(&sb).copied().collect::<Vec<_>>()
+        );
+        assert_eq!(
+            a.or(&b).to_vec(),
+            sa.union(&sb).copied().collect::<Vec<_>>()
+        );
+        assert_eq!(
+            a.and_not(&b).to_vec(),
+            sa.difference(&sb).copied().collect::<Vec<_>>()
+        );
         assert_eq!(a.len(), sa.len() as u64);
     }
 

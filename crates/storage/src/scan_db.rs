@@ -21,11 +21,17 @@ pub struct ScanDbConfig {
     pub dense_group_limit: u128,
     /// Simulated round-trip latency per request.
     pub request_overhead: Duration,
+    /// Sharded-scan tuning (thread count, serial threshold).
+    pub parallel: exec::ParallelConfig,
 }
 
 impl Default for ScanDbConfig {
     fn default() -> Self {
-        ScanDbConfig { dense_group_limit: 1 << 24, request_overhead: Duration::ZERO }
+        ScanDbConfig {
+            dense_group_limit: 1 << 24,
+            request_overhead: Duration::ZERO,
+            parallel: exec::ParallelConfig::default(),
+        }
     }
 }
 
@@ -42,7 +48,11 @@ impl ScanDb {
     }
 
     pub fn with_config(table: Arc<Table>, config: ScanDbConfig) -> Self {
-        ScanDb { table, config, stats: ExecStats::new() }
+        ScanDb {
+            table,
+            config,
+            stats: ExecStats::new(),
+        }
     }
 
     pub fn config(&self) -> &ScanDbConfig {
@@ -65,11 +75,19 @@ impl Database for ScanDb {
             RowSource::All(self.table.num_rows())
         } else {
             let pred = compile_pred(&self.table, &query.predicate)?;
-            RowSource::Filtered { n_rows: self.table.num_rows(), pred }
+            RowSource::Filtered {
+                n_rows: self.table.num_rows(),
+                pred,
+            }
         };
         let groups = exec::group_space(&self.table, query)?;
         let strategy = exec::choose_strategy(groups, self.config.dense_group_limit);
-        let (result, scanned) = exec::aggregate(&self.table, query, &source, strategy)?;
+        let threads = self.config.parallel.threads_for(source.estimated_rows());
+        let (result, scanned) = if threads > 1 {
+            exec::aggregate_parallel(&self.table, query, &source, strategy, threads)?
+        } else {
+            exec::aggregate(&self.table, query, &source, strategy)?
+        };
         self.stats.record_query(scanned, start.elapsed());
         Ok(result)
     }
@@ -98,10 +116,14 @@ mod tests {
             Field::new("sales", DataType::Float),
         ]);
         let mut b = TableBuilder::new(schema);
-        for (y, p, s) in
-            [(2014, "chair", 10.0), (2015, "chair", 20.0), (2014, "desk", 7.0), (2015, "desk", 9.0)]
-        {
-            b.push_row(vec![Value::Int(y), Value::str(p), Value::Float(s)]).unwrap();
+        for (y, p, s) in [
+            (2014, "chair", 10.0),
+            (2015, "chair", 20.0),
+            (2014, "desk", 7.0),
+            (2015, "desk", 9.0),
+        ] {
+            b.push_row(vec![Value::Int(y), Value::str(p), Value::Float(s)])
+                .unwrap();
         }
         ScanDb::new(b.finish_shared())
     }

@@ -27,7 +27,8 @@ impl ExecStats {
     pub fn record_query(&self, rows_scanned: u64, elapsed: Duration) {
         self.queries.fetch_add(1, Ordering::Relaxed);
         self.rows_scanned.fetch_add(rows_scanned, Ordering::Relaxed);
-        self.exec_nanos.fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+        self.exec_nanos
+            .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
     }
 
     pub fn record_request(&self) {

@@ -16,7 +16,10 @@ pub struct Field {
 
 impl Field {
     pub fn new(name: impl Into<String>, dtype: DataType) -> Self {
-        Field { name: name.into(), dtype }
+        Field {
+            name: name.into(),
+            dtype,
+        }
     }
 }
 
@@ -29,7 +32,11 @@ pub struct Schema {
 
 impl Schema {
     pub fn new(fields: Vec<Field>) -> Self {
-        let by_name = fields.iter().enumerate().map(|(i, f)| (f.name.clone(), i)).collect();
+        let by_name = fields
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (f.name.clone(), i))
+            .collect();
         Schema { fields, by_name }
     }
 
@@ -108,9 +115,15 @@ impl Table {
         }
         let rows = columns.first().map_or(0, Column::len);
         if columns.iter().any(|c| c.len() != rows) {
-            return Err(StorageError::Malformed("columns have differing lengths".into()));
+            return Err(StorageError::Malformed(
+                "columns have differing lengths".into(),
+            ));
         }
-        Ok(Table { schema, columns, rows })
+        Ok(Table {
+            schema,
+            columns,
+            rows,
+        })
     }
 
     pub fn schema(&self) -> &Schema {
@@ -178,9 +191,13 @@ impl Table {
     /// row (int, then float, then categorical).
     pub fn from_csv(csv: &str) -> Result<Table, StorageError> {
         let mut lines = csv.lines().filter(|l| !l.trim().is_empty());
-        let header = lines.next().ok_or_else(|| StorageError::Malformed("empty csv".into()))?;
+        let header = lines
+            .next()
+            .ok_or_else(|| StorageError::Malformed("empty csv".into()))?;
         let names: Vec<&str> = header.split(',').map(str::trim).collect();
-        let rows: Vec<Vec<&str>> = lines.map(|l| l.split(',').map(str::trim).collect()).collect();
+        let rows: Vec<Vec<&str>> = lines
+            .map(|l| l.split(',').map(str::trim).collect())
+            .collect();
         if rows.is_empty() {
             return Err(StorageError::Malformed("csv has no data rows".into()));
         }
@@ -189,9 +206,9 @@ impl Table {
             // Infer the narrowest type every data row satisfies.
             let mut dtype = DataType::Int;
             for row in &rows {
-                let cell = *row.get(i).ok_or_else(|| {
-                    StorageError::Malformed(format!("row missing column {name}"))
-                })?;
+                let cell = *row
+                    .get(i)
+                    .ok_or_else(|| StorageError::Malformed(format!("row missing column {name}")))?;
                 if dtype == DataType::Int && cell.parse::<i64>().is_err() {
                     dtype = DataType::Float;
                 }
@@ -245,8 +262,16 @@ pub struct TableBuilder {
 
 impl TableBuilder {
     pub fn new(schema: Schema) -> Self {
-        let columns = schema.fields().iter().map(|f| Column::new(f.dtype)).collect();
-        TableBuilder { schema, columns, rows: 0 }
+        let columns = schema
+            .fields()
+            .iter()
+            .map(|f| Column::new(f.dtype))
+            .collect();
+        TableBuilder {
+            schema,
+            columns,
+            rows: 0,
+        }
     }
 
     pub fn schema(&self) -> &Schema {
@@ -269,7 +294,11 @@ impl TableBuilder {
     }
 
     pub fn finish(self) -> Table {
-        Table { schema: self.schema, columns: self.columns, rows: self.rows }
+        Table {
+            schema: self.schema,
+            columns: self.columns,
+            rows: self.rows,
+        }
     }
 
     pub fn finish_shared(self) -> Arc<Table> {
@@ -288,8 +317,18 @@ mod tests {
             Field::new("sales", DataType::Float),
         ]);
         let mut b = TableBuilder::new(schema);
-        b.push_row(vec![Value::Int(2015), Value::str("chair"), Value::Float(10.0)]).unwrap();
-        b.push_row(vec![Value::Int(2016), Value::str("desk"), Value::Float(20.5)]).unwrap();
+        b.push_row(vec![
+            Value::Int(2015),
+            Value::str("chair"),
+            Value::Float(10.0),
+        ])
+        .unwrap();
+        b.push_row(vec![
+            Value::Int(2016),
+            Value::str("desk"),
+            Value::Float(20.5),
+        ])
+        .unwrap();
         b.finish()
     }
 
@@ -297,7 +336,10 @@ mod tests {
     fn build_and_read_back() {
         let t = sample();
         assert_eq!(t.num_rows(), 2);
-        assert_eq!(t.row(1), vec![Value::Int(2016), Value::str("desk"), Value::Float(20.5)]);
+        assert_eq!(
+            t.row(1),
+            vec![Value::Int(2016), Value::str("desk"), Value::Float(20.5)]
+        );
         assert_eq!(t.column("product").unwrap().cardinality(), 2);
         assert!(t.column("nope").is_err());
     }

@@ -184,7 +184,7 @@ mod tests {
 
     #[test]
     fn ordering_is_total_and_consistent() {
-        let mut vals = vec![
+        let mut vals = [
             Value::str("b"),
             Value::Float(2.5),
             Value::Null,

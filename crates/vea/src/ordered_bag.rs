@@ -74,12 +74,16 @@ impl<T: Clone> OrderedBag<T> {
             return Self::new();
         }
         let hi = b.min(self.items.len());
-        OrderedBag { items: self.items[a - 1..hi].to_vec() }
+        OrderedBag {
+            items: self.items[a - 1..hi].to_vec(),
+        }
     }
 
     /// First `k` items (`µ` with a single subscript).
     pub fn take(&self, k: usize) -> Self {
-        OrderedBag { items: self.items.iter().take(k).cloned().collect() }
+        OrderedBag {
+            items: self.items.iter().take(k).cloned().collect(),
+        }
     }
 
     /// `R ∪ S`: concatenation.
@@ -91,25 +95,40 @@ impl<T: Clone> OrderedBag<T> {
 
     /// Order-preserving filter.
     pub fn select<F: FnMut(&T) -> bool>(&self, mut pred: F) -> Self {
-        OrderedBag { items: self.items.iter().filter(|t| pred(t)).cloned().collect() }
+        OrderedBag {
+            items: self.items.iter().filter(|t| pred(t)).cloned().collect(),
+        }
     }
 
     /// Order-preserving map.
     pub fn map<U, F: FnMut(&T) -> U>(&self, f: F) -> OrderedBag<U> {
-        OrderedBag { items: self.items.iter().map(f).collect() }
+        OrderedBag {
+            items: self.items.iter().map(f).collect(),
+        }
     }
 
     /// Stable sort by a key function (ties keep bag order).
     pub fn sort_by_key_stable<K: PartialOrd, F: FnMut(&T) -> K>(&self, mut key: F) -> Self {
-        let mut keyed: Vec<(usize, K)> =
-            self.items.iter().enumerate().map(|(i, t)| (i, key(t))).collect();
+        let mut keyed: Vec<(usize, K)> = self
+            .items
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (i, key(t)))
+            .collect();
         keyed.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
-        OrderedBag { items: keyed.into_iter().map(|(i, _)| self.items[i].clone()).collect() }
+        OrderedBag {
+            items: keyed
+                .into_iter()
+                .map(|(i, _)| self.items[i].clone())
+                .collect(),
+        }
     }
 
     /// Reorder by a permutation of positions (0-based).
     pub fn permute(&self, order: &[usize]) -> Self {
-        OrderedBag { items: order.iter().map(|&i| self.items[i].clone()).collect() }
+        OrderedBag {
+            items: order.iter().map(|&i| self.items[i].clone()).collect(),
+        }
     }
 }
 
@@ -153,7 +172,9 @@ impl<T: Clone + PartialEq> OrderedBag<T> {
 
 impl<T> FromIterator<T> for OrderedBag<T> {
     fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
-        OrderedBag { items: iter.into_iter().collect() }
+        OrderedBag {
+            items: iter.into_iter().collect(),
+        }
     }
 }
 

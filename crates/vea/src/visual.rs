@@ -47,7 +47,11 @@ pub struct VisualSource {
 impl VisualSource {
     /// A source with all-`∗` data source.
     pub fn unfiltered(x: impl Into<String>, y: impl Into<String>, k: usize) -> Self {
-        VisualSource { x: x.into(), y: y.into(), filters: vec![AttrFilter::Star; k] }
+        VisualSource {
+            x: x.into(),
+            y: y.into(),
+            filters: vec![AttrFilter::Star; k],
+        }
     }
 
     pub fn with_filter(mut self, idx: usize, value: Value) -> Self {
@@ -92,7 +96,12 @@ impl VisualUniverse {
 
     pub fn with_axes(db: Arc<dyn Database>, x_attrs: Vec<String>, y_attrs: Vec<String>) -> Self {
         let attrs = db.table().attribute_names();
-        VisualUniverse { db, attrs, x_attrs, y_attrs }
+        VisualUniverse {
+            db,
+            attrs,
+            x_attrs,
+            y_attrs,
+        }
     }
 
     pub fn table(&self) -> &Arc<Table> {
@@ -145,7 +154,11 @@ impl VisualUniverse {
                     stack = next;
                 }
                 for filters in stack {
-                    group.push(VisualSource { x: x.clone(), y: y.clone(), filters });
+                    group.push(VisualSource {
+                        x: x.clone(),
+                        y: y.clone(),
+                        filters,
+                    });
                 }
             }
         }

@@ -29,7 +29,10 @@ fn main() {
     println!("— anomalous departure-delay profiles —\n");
     let outliers = outlier_search(&engine, &spec, 8, 3).unwrap();
     for viz in &outliers.visualizations {
-        println!("{}", render::ascii_chart(&viz.series, &render::describe(viz), 44, 6));
+        println!(
+            "{}",
+            render::ascii_chart(&viz.series, &render::describe(viz), 44, 6)
+        );
     }
 
     // "What moves like JFK?" — the comparative search of Case Study 5,
@@ -56,13 +59,16 @@ fn main() {
     // JFK from SFO the most?
     println!("\n— axes that differentiate JFK from SFO the most —\n");
     let mut engine = engine;
-    engine.registry_mut().register_attr_set(
-        "C",
-        vec!["year".into(), "month".into(), "day".into()],
-    );
+    engine
+        .registry_mut()
+        .register_attr_set("C", vec!["year".into(), "month".into(), "day".into()]);
     engine.registry_mut().register_attr_set(
         "M",
-        vec!["dep_delay".into(), "arr_delay".into(), "weather_delay".into()],
+        vec![
+            "dep_delay".into(),
+            "arr_delay".into(),
+            "weather_delay".into(),
+        ],
     );
     let out = engine
         .execute_text(
@@ -74,6 +80,9 @@ fn main() {
         )
         .unwrap();
     for viz in &out.visualizations {
-        println!("{}", render::ascii_chart(&viz.series, &render::describe(viz), 44, 6));
+        println!(
+            "{}",
+            render::ascii_chart(&viz.series, &render::describe(viz), 44, 6)
+        );
     }
 }

@@ -15,18 +15,19 @@ use zenvisage::zv_datagen::{census, CensusConfig};
 use zenvisage::zv_storage::BitmapDb;
 
 fn main() {
-    let table = census::generate(&CensusConfig { rows: 30_000, ..Default::default() });
+    let table = census::generate(&CensusConfig {
+        rows: 30_000,
+        ..Default::default()
+    });
     let mut engine = ZqlEngine::new(Arc::new(BitmapDb::new(table)));
 
     // M: the numeric attributes we're willing to plot against each other.
-    engine.registry_mut().register_attr_set(
-        "MX",
-        vec!["age".into(), "hours_per_week".into()],
-    );
-    engine.registry_mut().register_attr_set(
-        "MY",
-        vec!["wage_per_hour".into(), "capital_gains".into()],
-    );
+    engine
+        .registry_mut()
+        .register_attr_set("MX", vec!["age".into(), "hours_per_week".into()]);
+    engine
+        .registry_mut()
+        .register_attr_set("MY", vec!["wage_per_hour".into(), "capital_gains".into()]);
 
     // Table 3.25: f1/f2 both iterate over all (x, y) pairs; the process
     // picks the pair maximizing the *sum* of distances to every other
@@ -42,8 +43,19 @@ fn main() {
         .unwrap();
 
     let winner = &out.visualizations[0];
-    println!("most unusual attribute pairing: {} vs {}\n", winner.y, winner.x);
-    println!("{}", render::ascii_chart(&winner.series, &format!("{} by {}", winner.y, winner.x), 52, 10));
+    println!(
+        "most unusual attribute pairing: {} vs {}\n",
+        winner.y, winner.x
+    );
+    println!(
+        "{}",
+        render::ascii_chart(
+            &winner.series,
+            &format!("{} by {}", winner.y, winner.x),
+            52,
+            10
+        )
+    );
 
     // For context, show the full grid of candidate pairings.
     println!("all candidate pairings:");

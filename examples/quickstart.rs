@@ -10,7 +10,11 @@ use zenvisage::zv_storage::BitmapDb;
 
 fn main() {
     // 1. A dataset: the thesis's fictitious GlobalMart product sales.
-    let table = sales::generate(&SalesConfig { rows: 200_000, products: 50, ..Default::default() });
+    let table = sales::generate(&SalesConfig {
+        rows: 200_000,
+        products: 50,
+        ..Default::default()
+    });
     println!(
         "loaded {} rows × {} attributes of product sales\n",
         table.num_rows(),

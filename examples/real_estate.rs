@@ -26,7 +26,10 @@ fn main() {
         .unwrap()
         .visualizations
         .remove(0);
-    println!("{}", render::ascii_chart(&jessamine.series, "Jessamine avg sold price", 48, 8));
+    println!(
+        "{}",
+        render::ascii_chart(&jessamine.series, "Jessamine avg sold price", 48, 8)
+    );
 
     let spec = TaskSpec::new("year", "sold_price", "county").with_agg(Agg::Avg);
     let similar = similarity_search(&engine, &spec, &jessamine.series, 6).unwrap();
@@ -47,7 +50,10 @@ fn main() {
              *f3 | 'year' | 'foreclosure_rate' | v3 | state='NY' | bar.(y=agg('avg')) |",
         )
         .unwrap();
-    println!("{} qualifying cities; first three:", out.visualizations.len());
+    println!(
+        "{} qualifying cities; first three:",
+        out.visualizations.len()
+    );
     for viz in out.visualizations.iter().take(3) {
         println!("  {}", render::describe(viz));
     }

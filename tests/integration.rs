@@ -37,10 +37,11 @@ fn table_7_1_query_finds_increasing_delay_airports() {
     // planted effects are strong at these sizes).
     for viz in &out.visualizations {
         let airport = viz.label.strip_prefix("origin=").unwrap();
-        let idx = (0..15).find(|&a| airline::airport_name(a) == airport).unwrap();
+        let idx = (0..15)
+            .find(|&a| airline::airport_name(a) == airport)
+            .unwrap();
         assert!(
-            airline::has_increasing_dep_delay(idx)
-                || airline::has_increasing_weather_delay(idx),
+            airline::has_increasing_dep_delay(idx) || airline::has_increasing_weather_delay(idx),
             "{airport} not planted with any increasing delay"
         );
     }
@@ -75,7 +76,9 @@ fn table_7_2_query_finds_seasonal_airports() {
     // The top discrepancy airports should be the planted seasonal ones
     // (0 and 5 within OA; i.e. JFK, DFW).
     let first = out.visualizations[0].label.strip_prefix("origin=").unwrap();
-    let idx = (0..15).find(|&a| airline::airport_name(a) == first).unwrap();
+    let idx = (0..15)
+        .find(|&a| airline::airport_name(a) == first)
+        .unwrap();
     assert!(
         airline::has_seasonal_arr_contrast(idx),
         "top answer {first} should be a planted seasonal airport"
@@ -86,14 +89,28 @@ fn table_7_2_query_finds_seasonal_airports() {
 fn scan_backend_is_interchangeable() {
     // "zenvisage can use as a backend any traditional relational
     // database" — same ZQL, same results, different engine.
-    let table = airline::generate(&AirlineConfig { rows: 20_000, airports: 8, ..Default::default() });
+    let table = airline::generate(&AirlineConfig {
+        rows: 20_000,
+        airports: 8,
+        ..Default::default()
+    });
     let text = "name | x | y | z | viz\n\
                 *f1 | 'year' | 'dep_delay' | v1 <- 'origin'.* | bar.(y=agg('avg'))";
-    let bitmap_out =
-        ZqlEngine::new(Arc::new(BitmapDb::new(table.clone()))).execute_text(text).unwrap();
-    let scan_out = ZqlEngine::new(Arc::new(ScanDb::new(table))).execute_text(text).unwrap();
-    assert_eq!(bitmap_out.visualizations.len(), scan_out.visualizations.len());
-    for (a, b) in bitmap_out.visualizations.iter().zip(&scan_out.visualizations) {
+    let bitmap_out = ZqlEngine::new(Arc::new(BitmapDb::new(table.clone())))
+        .execute_text(text)
+        .unwrap();
+    let scan_out = ZqlEngine::new(Arc::new(ScanDb::new(table)))
+        .execute_text(text)
+        .unwrap();
+    assert_eq!(
+        bitmap_out.visualizations.len(),
+        scan_out.visualizations.len()
+    );
+    for (a, b) in bitmap_out
+        .visualizations
+        .iter()
+        .zip(&scan_out.visualizations)
+    {
         assert_eq!(a.label, b.label);
         assert_eq!(a.series, b.series);
     }
@@ -102,10 +119,13 @@ fn scan_backend_is_interchangeable() {
 #[test]
 fn housing_jessamine_similarity_pipeline() {
     // The user-study task, end to end: sketch the peak, find Jessamine.
-    let table = housing::generate(&HousingConfig { rows: 30_000, ..Default::default() });
+    let table = housing::generate(&HousingConfig {
+        rows: 30_000,
+        ..Default::default()
+    });
     let engine = ZqlEngine::new(Arc::new(BitmapDb::new(table)));
-    let spec = TaskSpec::new("year", "sold_price", "county")
-        .with_agg(zenvisage::zv_storage::Agg::Avg);
+    let spec =
+        TaskSpec::new("year", "sold_price", "county").with_agg(zenvisage::zv_storage::Agg::Avg);
     let sketch = zv_study::peak_sketch(0.0);
     let out = zql::similarity_search(&engine, &spec, &sketch, 5).unwrap();
     assert_eq!(out.visualizations.len(), 5);
@@ -128,14 +148,23 @@ fn housing_jessamine_similarity_pipeline() {
 
 #[test]
 fn opt_levels_agree_on_airline_workload() {
-    let table = airline::generate(&AirlineConfig { rows: 30_000, airports: 10, ..Default::default() });
+    let table = airline::generate(&AirlineConfig {
+        rows: 30_000,
+        airports: 10,
+        ..Default::default()
+    });
     let db: DynDatabase = Arc::new(BitmapDb::new(table));
     let text = "name | x | y | z | constraints | viz | process\n\
         f1 | 'day' | 'arr_delay' | v1 <- 'origin'.* | month=6 | bar.(y=agg('avg')) |\n\
         f2 | 'day' | 'arr_delay' | v1 | month=12 | bar.(y=agg('avg')) | v2 <- argmax(v1)[k=3] D(f1, f2)\n\
         *f3 | 'month' | 'arr_delay' | v2 | | bar.(y=agg('avg')) |";
     let mut outputs = Vec::new();
-    for opt in [OptLevel::NoOpt, OptLevel::IntraLine, OptLevel::IntraTask, OptLevel::InterTask] {
+    for opt in [
+        OptLevel::NoOpt,
+        OptLevel::IntraLine,
+        OptLevel::IntraTask,
+        OptLevel::InterTask,
+    ] {
         let engine = ZqlEngine::with_opt_level(db.clone(), opt);
         let out = engine.execute_text(text).unwrap();
         outputs.push(
@@ -153,13 +182,16 @@ fn opt_levels_agree_on_airline_workload() {
 #[test]
 fn recommendation_panel_on_airline() {
     let engine = ZqlEngine::new(airline_db());
-    let spec = TaskSpec::new("year", "dep_delay", "origin")
-        .with_agg(zenvisage::zv_storage::Agg::Avg);
+    let spec =
+        TaskSpec::new("year", "dep_delay", "origin").with_agg(zenvisage::zv_storage::Agg::Avg);
     let recs = zql::recommend(&engine, &spec).unwrap();
     assert_eq!(recs.len(), 5);
     // Diverse: both increasing and decreasing delay profiles represented.
     let trends: Vec<f64> = recs.iter().map(|v| trend(&v.series)).collect();
-    assert!(trends.iter().any(|&t| t > 0.0) && trends.iter().any(|&t| t < 0.0), "{trends:?}");
+    assert!(
+        trends.iter().any(|&t| t > 0.0) && trends.iter().any(|&t| t < 0.0),
+        "{trends:?}"
+    );
 }
 
 #[test]

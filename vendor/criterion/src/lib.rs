@@ -1,0 +1,352 @@
+//! Offline stand-in for the `criterion` crate (see `vendor/README.md`).
+//!
+//! A wall-clock benchmark harness exposing the subset of the criterion
+//! API this workspace uses: `Criterion`, `benchmark_group` /
+//! `bench_function` / `bench_with_input`, `BenchmarkId`, `black_box`,
+//! and the `criterion_group!` / `criterion_main!` macros. Each benchmark
+//! adaptively calibrates an iteration count so a sample lasts ≥ ~2 ms,
+//! takes `sample_size` samples, and reports mean / median / min.
+//!
+//! Extra knobs (all optional):
+//! * `--save-json <path>` or `CRITERION_JSON=<path>` — dump all results
+//!   as JSON (used by the perf-tracking tooling).
+//! * `--quick` or `CRITERION_QUICK=1` — 3 samples, minimal calibration,
+//!   for CI smoke runs.
+//! * positional filter args — only run benchmarks whose full id contains
+//!   one of the filters (criterion-compatible behaviour).
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier for one parameterized benchmark: `function/parameter`.
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            full: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            full: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            full: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { full: s }
+    }
+}
+
+/// One measured benchmark, kept for the JSON dump.
+#[derive(Clone, Debug)]
+pub struct BenchResult {
+    pub id: String,
+    pub mean_ns: f64,
+    pub median_ns: f64,
+    pub min_ns: f64,
+    pub samples: usize,
+    pub iters_per_sample: u64,
+}
+
+/// Timing loop handed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// `iter_batched`-lite: setup excluded from timing.
+    pub fn iter_with_setup<I, O, S: FnMut() -> I, F: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut f: F,
+    ) {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(f(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+struct Settings {
+    quick: bool,
+    filters: Vec<String>,
+    json_path: Option<String>,
+}
+
+impl Settings {
+    fn from_env_and_args() -> Settings {
+        let mut quick = std::env::var("CRITERION_QUICK")
+            .map(|v| v == "1")
+            .unwrap_or(false);
+        let mut json_path = std::env::var("CRITERION_JSON").ok();
+        let mut filters = Vec::new();
+        let mut args = std::env::args().skip(1).peekable();
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--save-json" => json_path = args.next(),
+                "--quick" => quick = true,
+                // Flags cargo-bench forwards that we accept silently.
+                "--bench" | "--test" => {}
+                s if s.starts_with('-') => {}
+                s => filters.push(s.to_string()),
+            }
+        }
+        Settings {
+            quick,
+            filters,
+            json_path,
+        }
+    }
+
+    fn matches(&self, id: &str) -> bool {
+        self.filters.is_empty() || self.filters.iter().any(|f| id.contains(f.as_str()))
+    }
+}
+
+/// The harness entry point.
+pub struct Criterion {
+    settings: Settings,
+    results: Vec<BenchResult>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            settings: Settings::from_env_and_args(),
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.into(),
+            sample_size: 10,
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, f: F) {
+        let id = id.into();
+        self.run_one(id.full.clone(), 10, f);
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, id: String, sample_size: usize, mut f: F) {
+        if !self.settings.matches(&id) {
+            return;
+        }
+        let quick = self.settings.quick;
+        let samples = if quick { 3 } else { sample_size.max(3) };
+        // Calibrate: grow the iteration count until one sample ≥ target.
+        let target = if quick {
+            Duration::from_micros(200)
+        } else {
+            Duration::from_millis(2)
+        };
+        let mut iters: u64 = 1;
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        loop {
+            b.iters = iters;
+            f(&mut b);
+            if b.elapsed >= target || iters >= 1 << 20 {
+                break;
+            }
+            let grow = if b.elapsed.is_zero() {
+                16
+            } else {
+                (target.as_secs_f64() / b.elapsed.as_secs_f64())
+                    .ceil()
+                    .max(2.0) as u64
+            };
+            iters = iters.saturating_mul(grow).min(1 << 20);
+        }
+        let mut per_iter: Vec<f64> = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            b.iters = iters;
+            f(&mut b);
+            per_iter.push(b.elapsed.as_secs_f64() * 1e9 / iters as f64);
+        }
+        per_iter.sort_by(|a, b| a.total_cmp(b));
+        let min = per_iter[0];
+        let median = per_iter[per_iter.len() / 2];
+        let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+        println!(
+            "{id:<50} time: [{} {} {}]  ({} samples × {} iters)",
+            fmt_ns(min),
+            fmt_ns(median),
+            fmt_ns(per_iter[per_iter.len() - 1]),
+            samples,
+            iters
+        );
+        self.results.push(BenchResult {
+            id,
+            mean_ns: mean,
+            median_ns: median,
+            min_ns: min,
+            samples,
+            iters_per_sample: iters,
+        });
+    }
+
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// Called by `criterion_main!` after all groups ran.
+    pub fn final_summary(&self) {
+        if let Some(path) = &self.settings.json_path {
+            let json = results_to_json(&self.results);
+            if let Err(e) = std::fs::write(path, json) {
+                eprintln!("criterion: failed to write {path}: {e}");
+            } else {
+                println!("criterion: wrote {} results to {path}", self.results.len());
+            }
+        }
+    }
+}
+
+/// Render results as a JSON array (no external serializer available).
+pub fn results_to_json(results: &[BenchResult]) -> String {
+    let mut out = String::from("[\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "  {{\"id\": {:?}, \"mean_ns\": {:.1}, \"median_ns\": {:.1}, \"min_ns\": {:.1}, \
+             \"samples\": {}, \"iters_per_sample\": {}}}{}\n",
+            r.id,
+            r.mean_ns,
+            r.median_ns,
+            r.min_ns,
+            r.samples,
+            r.iters_per_sample,
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    out.push(']');
+    out
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, f: F) {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.full);
+        let n = self.sample_size;
+        self.parent.run_one(full, n, f);
+    }
+
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        let full = format!("{}/{}", self.name, id.full);
+        let n = self.sample_size;
+        self.parent.run_one(full, n, |b| f(b, input));
+    }
+
+    pub fn finish(self) {}
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $($group(&mut c);)+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_and_records() {
+        let mut c = Criterion {
+            settings: Settings {
+                quick: true,
+                filters: vec![],
+                json_path: None,
+            },
+            results: Vec::new(),
+        };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        group.bench_function("noop", |b| b.iter(|| 1 + 1));
+        group.bench_with_input(BenchmarkId::new("param", 4), &4, |b, &n| {
+            b.iter(|| (0..n).sum::<i32>())
+        });
+        group.finish();
+        assert_eq!(c.results().len(), 2);
+        assert!(c.results().iter().all(|r| r.min_ns >= 0.0));
+        let json = results_to_json(c.results());
+        assert!(json.contains("\"g/noop\"") && json.contains("\"g/param/4\""));
+    }
+}

@@ -1,0 +1,632 @@
+//! Offline stand-in for the `proptest` crate (see `vendor/README.md`).
+//!
+//! A shrinking-free property-testing core exposing the subset of the real
+//! API this workspace uses: [`Strategy`] over ranges / tuples / `Just` /
+//! `prop_map` / boxed one-of, [`collection::vec`], regex-subset string
+//! strategies, `ProptestConfig::with_cases`, and the
+//! [`proptest!`] / [`prop_assert!`] / [`prop_assert_eq!`] /
+//! [`prop_oneof!`] macros. Cases are generated from a deterministic
+//! per-test seed; failures report the case number but are not minimized.
+
+pub mod test_runner {
+    /// Deterministic generator driving all strategies (SplitMix64).
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        pub fn from_seed(seed: u64) -> Self {
+            TestRng {
+                state: seed ^ 0x5851_F42D_4C95_7F2D,
+            }
+        }
+
+        #[inline]
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        }
+
+        #[inline]
+        pub fn below(&mut self, n: u64) -> u64 {
+            assert!(n > 0);
+            self.next_u64() % n
+        }
+
+        #[inline]
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+
+    /// Configuration accepted by `#![proptest_config(...)]`.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 128 }
+        }
+    }
+}
+
+pub use test_runner::{ProptestConfig, TestRng};
+
+// ---------------------------------------------------------------------
+// Strategy core
+// ---------------------------------------------------------------------
+
+/// A generator of values of `Self::Value`. Object-safe for boxing; the
+/// combinators are `Sized`-only.
+pub trait Strategy {
+    type Value;
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> strategy::Map<Self, F>
+    where
+        Self: Sized,
+    {
+        strategy::Map { inner: self, f }
+    }
+
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> strategy::FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        strategy::FlatMap { inner: self, f }
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        (**self).sample(rng)
+    }
+}
+
+/// Always produces a clone of its payload.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+pub mod strategy {
+    use super::{BoxedStrategy, Strategy, TestRng};
+
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn sample(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    pub struct FlatMap<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+        type Value = S2::Value;
+        fn sample(&self, rng: &mut TestRng) -> S2::Value {
+            (self.f)(self.inner.sample(rng)).sample(rng)
+        }
+    }
+
+    /// Uniform choice among boxed alternatives (`prop_oneof!`).
+    pub struct OneOf<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> OneOf<T> {
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(
+                !options.is_empty(),
+                "prop_oneof! needs at least one alternative"
+            );
+            OneOf { options }
+        }
+    }
+
+    impl<T> Strategy for OneOf<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            let i = rng.below(self.options.len() as u64) as usize;
+            self.options[i].sample(rng)
+        }
+    }
+}
+
+// Numeric range strategies -------------------------------------------------
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let span = (self.end as i128) - (self.start as i128);
+                assert!(span > 0, "empty range strategy");
+                (self.start as i128 + (rng.next_u64() as u128 % span as u128) as i128) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                let span = (hi as i128) - (lo as i128) + 1;
+                (lo as i128 + (rng.next_u64() as u128 % span as u128) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+macro_rules! impl_float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let v = self.start as f64
+                    + rng.unit_f64() * (self.end as f64 - self.start as f64);
+                let v = v as $t;
+                if v >= self.end { self.start } else { v }
+            }
+        }
+    )*};
+}
+
+impl_float_range_strategy!(f32, f64);
+
+// Tuple strategies ---------------------------------------------------------
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+// Collections --------------------------------------------------------------
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// Length specification for [`vec`]: a fixed size or a `usize` range.
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end() + 1,
+            }
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi - self.size.lo) as u64;
+            let n = self.size.lo
+                + if span > 1 {
+                    rng.below(span) as usize
+                } else {
+                    0
+                };
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// `proptest::collection::vec(element, len)` — len is a size or range.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+// Booleans / any -----------------------------------------------------------
+
+pub mod bool {
+    use super::{Strategy, TestRng};
+
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any;
+
+    /// `proptest::bool::ANY`
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn sample(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+/// Types with a canonical strategy (`any::<T>()`).
+pub trait Arbitrary {
+    type Strategy: Strategy<Value = Self>;
+    fn arbitrary() -> Self::Strategy;
+}
+
+// `core::primitive::bool` disambiguates from the `bool` strategy module.
+impl Arbitrary for core::primitive::bool {
+    type Strategy = bool::Any;
+    fn arbitrary() -> bool::Any {
+        bool::ANY
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            type Strategy = std::ops::RangeInclusive<$t>;
+            fn arbitrary() -> Self::Strategy {
+                <$t>::MIN..=<$t>::MAX
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize);
+
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+// Regex-subset string strategies -------------------------------------------
+
+/// `&str` strategies interpret the string as a small regex subset:
+/// literal chars, `.`, `[a-z0-9_]`-style classes (ranges + `\n`/`\t`
+/// escapes), and `{m,n}` / `{n}` / `*` / `+` / `?` quantifiers. This
+/// covers every pattern the workspace's tests use.
+impl Strategy for &'static str {
+    type Value = String;
+    fn sample(&self, rng: &mut TestRng) -> String {
+        let atoms = parse_pattern(self);
+        let mut out = String::new();
+        for atom in &atoms {
+            let span = atom.max - atom.min;
+            let n = atom.min
+                + if span > 0 {
+                    rng.below(span as u64 + 1) as usize
+                } else {
+                    0
+                };
+            for _ in 0..n {
+                out.push(atom.chars[rng.below(atom.chars.len() as u64) as usize]);
+            }
+        }
+        out
+    }
+}
+
+struct PatternAtom {
+    chars: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+/// Characters `.` draws from: printable ASCII plus a few stress chars.
+fn dot_charset() -> Vec<char> {
+    let mut cs: Vec<char> = (0x20u8..0x7f).map(|b| b as char).collect();
+    cs.extend(['\t', 'é', 'π', '→', '本']);
+    cs
+}
+
+fn unescape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        other => other,
+    }
+}
+
+fn parse_pattern(pat: &str) -> Vec<PatternAtom> {
+    let chars: Vec<char> = pat.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let set: Vec<char> = match chars[i] {
+            '.' => {
+                i += 1;
+                dot_charset()
+            }
+            '[' => {
+                i += 1;
+                let mut set = Vec::new();
+                while i < chars.len() && chars[i] != ']' {
+                    let lo = if chars[i] == '\\' {
+                        i += 1;
+                        unescape(chars[i])
+                    } else {
+                        chars[i]
+                    };
+                    i += 1;
+                    if i + 1 < chars.len() && chars[i] == '-' && chars[i + 1] != ']' {
+                        i += 1;
+                        let hi = if chars[i] == '\\' {
+                            i += 1;
+                            unescape(chars[i])
+                        } else {
+                            chars[i]
+                        };
+                        i += 1;
+                        for c in lo..=hi {
+                            set.push(c);
+                        }
+                    } else {
+                        set.push(lo);
+                    }
+                }
+                i += 1; // closing ']'
+                assert!(!set.is_empty(), "empty character class in '{pat}'");
+                set
+            }
+            '\\' => {
+                i += 1;
+                let c = unescape(chars[i]);
+                i += 1;
+                vec![c]
+            }
+            c => {
+                i += 1;
+                vec![c]
+            }
+        };
+        // Optional quantifier.
+        let (min, max) = if i < chars.len() {
+            match chars[i] {
+                '{' => {
+                    i += 1;
+                    let mut lo = String::new();
+                    while chars[i].is_ascii_digit() {
+                        lo.push(chars[i]);
+                        i += 1;
+                    }
+                    let lo: usize = lo.parse().unwrap();
+                    let hi = if chars[i] == ',' {
+                        i += 1;
+                        let mut hi = String::new();
+                        while chars[i].is_ascii_digit() {
+                            hi.push(chars[i]);
+                            i += 1;
+                        }
+                        hi.parse().unwrap()
+                    } else {
+                        lo
+                    };
+                    assert_eq!(chars[i], '}', "malformed quantifier in '{pat}'");
+                    i += 1;
+                    (lo, hi)
+                }
+                '*' => {
+                    i += 1;
+                    (0, 8)
+                }
+                '+' => {
+                    i += 1;
+                    (1, 8)
+                }
+                '?' => {
+                    i += 1;
+                    (0, 1)
+                }
+                _ => (1, 1),
+            }
+        } else {
+            (1, 1)
+        };
+        atoms.push(PatternAtom {
+            chars: set,
+            min,
+            max,
+        });
+    }
+    atoms
+}
+
+// Macros -------------------------------------------------------------------
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond);
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        assert!($cond, $($fmt)+);
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        assert_eq!($a, $b, $($fmt)+);
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {
+        assert_ne!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        assert_ne!($a, $b, $($fmt)+);
+    };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $($crate::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// The test-definition macro. Each function runs `config.cases` times
+/// with inputs drawn from its strategies; the per-test seed is derived
+/// from the test name so runs are reproducible.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    (@with_config ($cfg:expr)
+        $( $(#[$meta:meta])* fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let seed = {
+                    // FNV-1a over the test name: stable per-test seed.
+                    let mut h: u64 = 0xcbf29ce484222325;
+                    for b in concat!(module_path!(), "::", stringify!($name)).bytes() {
+                        h ^= b as u64;
+                        h = h.wrapping_mul(0x100000001b3);
+                    }
+                    h
+                };
+                for case in 0..config.cases {
+                    let mut rng = $crate::TestRng::from_seed(
+                        seed ^ (case as u64).wrapping_mul(0x9E3779B97F4A7C15),
+                    );
+                    $(let $arg = $crate::Strategy::sample(&($strat), &mut rng);)+
+                    let run = || -> () { $body };
+                    run();
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+pub mod prelude {
+    pub use crate::collection as prop_collection;
+    pub use crate::strategy::OneOf;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+    pub use crate::{BoxedStrategy, Just, Strategy};
+
+    /// `prop::collection::vec(...)`-style access.
+    pub mod prop {
+        pub use crate::bool;
+        pub use crate::collection;
+        pub use crate::strategy;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_and_vecs(x in 0i32..10, v in crate::collection::vec(0u8..4, 0..6)) {
+            prop_assert!((0..10).contains(&x));
+            prop_assert!(v.len() < 6);
+            prop_assert!(v.iter().all(|&b| b < 4));
+        }
+
+        #[test]
+        fn mapped_and_oneof(s in prop_oneof![Just(1u8), Just(7u8)], t in (0u8..3).prop_map(|v| v * 2)) {
+            prop_assert!(s == 1 || s == 7);
+            prop_assert!(t % 2 == 0 && t <= 4);
+        }
+
+        #[test]
+        fn regex_subset(name in "[a-z][a-z0-9_]{0,12}", any_cell in ".{0,60}") {
+            prop_assert!(!name.is_empty() && name.len() <= 13);
+            prop_assert!(name.chars().next().unwrap().is_ascii_lowercase());
+            prop_assert!(any_cell.chars().count() <= 60);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = crate::TestRng::from_seed(9);
+        let mut b = crate::TestRng::from_seed(9);
+        let s = (0i64..100, crate::collection::vec(0u32..9, 3));
+        assert_eq!(s.sample(&mut a), s.sample(&mut b));
+    }
+}
