@@ -143,11 +143,39 @@ fn bench_thread_scaling(c: &mut Criterion) {
     group.finish();
 }
 
+/// Engine-level result cache at 1M rows: a cold request (cache disabled,
+/// full scan every time) vs a warm request (identical query answered from
+/// the LRU without touching the table). The gap is the round-trip cost an
+/// interactive session saves on every replayed slice.
+fn bench_cache_cold_vs_warm(c: &mut Criterion) {
+    let table = sales::generate(&SalesConfig {
+        rows: 1_000_000,
+        products: 500,
+        ..Default::default()
+    });
+    let queries =
+        [SelectQuery::new(XSpec::raw("year"), vec![YSpec::sum("sales")]).with_z("product")];
+    let cold_db = BitmapDb::with_config(table.clone(), BitmapDbConfig::uncached());
+    let warm_db = BitmapDb::new(Arc::clone(&table));
+    warm_db.run_request(&queries).unwrap(); // prime the cache
+
+    let mut group = c.benchmark_group("cache_1m");
+    group.sample_size(10);
+    group.bench_function("cold_request", |bencher| {
+        bencher.iter(|| black_box(cold_db.run_request(&queries).unwrap()).len())
+    });
+    group.bench_function("warm_request", |bencher| {
+        bencher.iter(|| black_box(warm_db.run_request(&queries).unwrap()).len())
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_group_strategies,
     bench_selection_paths,
     bench_serial_vs_parallel,
-    bench_thread_scaling
+    bench_thread_scaling,
+    bench_cache_cold_vs_warm
 );
 criterion_main!(benches);

@@ -6,7 +6,12 @@ use std::hint::black_box;
 use std::sync::Arc;
 use zql::{OptLevel, ZqlEngine};
 use zv_datagen::{sales, SalesConfig};
-use zv_storage::{BitmapDb, DynDatabase, Value};
+use zv_storage::{BitmapDb, BitmapDbConfig, DynDatabase, Value};
+
+// Criterion re-runs each engine many times over, so the engine-level
+// result cache is disabled here (`BitmapDbConfig::uncached`): these
+// benches measure the §5.2 batching ladder and the task processors, not
+// warm cache hits (the cache has its own group in `benches/groupby.rs`).
 
 const QUERY: &str = "name | x | y | z | constraints | viz | process\n\
     f1 | 'year' | 'sales' | v1 <- 'product'.P | location='US' | bar.(y=agg('sum')) | v2 <- argany(v1)[t > 0] T(f1)\n\
@@ -14,11 +19,14 @@ const QUERY: &str = "name | x | y | z | constraints | viz | process\n\
     *f3 | 'year' | 'profit' | v4 <- (v2.range | v3.range) | | bar.(y=agg('sum')) |";
 
 fn bench_opt_levels(c: &mut Criterion) {
-    let db: DynDatabase = Arc::new(BitmapDb::new(sales::generate(&SalesConfig {
-        rows: 200_000,
-        products: 100,
-        ..Default::default()
-    })));
+    let db: DynDatabase = Arc::new(BitmapDb::with_config(
+        sales::generate(&SalesConfig {
+            rows: 200_000,
+            products: 100,
+            ..Default::default()
+        }),
+        BitmapDbConfig::uncached(),
+    ));
     let products: Vec<Value> = (0..20)
         .map(|p| Value::str(sales::product_name(p)))
         .collect();
@@ -53,11 +61,14 @@ fn bench_opt_levels(c: &mut Criterion) {
 fn bench_tasks(c: &mut Criterion) {
     use zql::{representative_search, similarity_search, TaskSpec};
     use zv_analytics::Series;
-    let db: DynDatabase = Arc::new(BitmapDb::new(sales::generate(&SalesConfig {
-        rows: 200_000,
-        products: 200,
-        ..Default::default()
-    })));
+    let db: DynDatabase = Arc::new(BitmapDb::with_config(
+        sales::generate(&SalesConfig {
+            rows: 200_000,
+            products: 200,
+            ..Default::default()
+        }),
+        BitmapDbConfig::uncached(),
+    ));
     let engine = ZqlEngine::new(db);
     let spec = TaskSpec::new("year", "sales", "product");
     let sketch = Series::from_ys(&[0.0, 1.0, 2.0, 3.0, 4.0, 5.0]);
@@ -87,7 +98,7 @@ fn bench_tasks(c: &mut Criterion) {
 fn bench_parallel_routing(c: &mut Criterion) {
     use zql::{similarity_search, TaskSpec};
     use zv_analytics::Series;
-    use zv_storage::{BitmapDbConfig, ParallelConfig};
+    use zv_storage::ParallelConfig;
 
     let table = sales::generate(&SalesConfig {
         rows: 1_000_000,
@@ -101,7 +112,7 @@ fn bench_parallel_routing(c: &mut Criterion) {
                 threads: 1,
                 min_parallel_rows: usize::MAX,
             },
-            ..Default::default()
+            ..BitmapDbConfig::uncached()
         },
     ));
     let sharded: DynDatabase = Arc::new(BitmapDb::with_config(
@@ -111,7 +122,7 @@ fn bench_parallel_routing(c: &mut Criterion) {
                 threads: 0,
                 min_parallel_rows: 1 << 16,
             },
-            ..Default::default()
+            ..BitmapDbConfig::uncached()
         },
     ));
     let products: Vec<Value> = (0..20)

@@ -1,6 +1,7 @@
 //! Perf-trajectory tracker for the aggregation hot path: measures serial
-//! vs sharded grouped aggregation on a generated sales table and dumps a
-//! machine-readable speedup summary.
+//! vs sharded grouped aggregation on a generated sales table — plus the
+//! engine-level result cache (cold vs warm request latency and hit rate)
+//! — and dumps a machine-readable summary.
 //!
 //! ```text
 //! bench_groupby [--rows N] [--threads 1,2,4,8] [--reps K] [--json PATH]
@@ -8,12 +9,14 @@
 //!
 //! Writes `BENCH_groupby.json` (override with `--json`) so successive
 //! PRs can diff the numbers. Speedups are relative to the serial chunked
-//! scan on the same machine; on a single-core host expect ≈1.0.
+//! scan on the same machine; on a single-core host expect ≈1.0 for the
+//! sharded rows, while the cache speedup is scan-avoidance and shows up
+//! regardless of core count.
 
 use std::time::Instant;
 use zv_datagen::{sales, SalesConfig};
 use zv_storage::exec::{aggregate, aggregate_parallel, GroupStrategy, RowSource};
-use zv_storage::{SelectQuery, XSpec, YSpec};
+use zv_storage::{BitmapDb, Database, SelectQuery, XSpec, YSpec};
 
 struct Args {
     rows: usize,
@@ -124,6 +127,41 @@ fn main() {
             }
         }
     }
+
+    // Engine-level result cache: one cold request (scan + insert), then
+    // best-of-reps warm requests on the same engine (pure cache hits).
+    let db = BitmapDb::new(table.clone());
+    let queries = std::slice::from_ref(&q);
+    let start = Instant::now();
+    let cold_groups = db.run_request(queries).expect("cold request")[0]
+        .groups
+        .len();
+    let cold_ms = start.elapsed().as_secs_f64() * 1e3;
+    let (warm_ms, warm_groups) = best_ms(args.reps.max(3), || {
+        db.run_request(queries).expect("warm request")[0]
+            .groups
+            .len()
+    });
+    assert_eq!(cold_groups, warm_groups, "cached result diverged");
+    let cache = db.cache_stats().expect("default engine carries a cache");
+    let hit_rate = cache.hit_rate();
+    let cache_speedup = cold_ms / warm_ms.max(1e-6);
+    println!(" cache cold        {cold_ms:9.2} ms   ({cold_groups} groups)");
+    println!(
+        " cache warm        {warm_ms:9.2} ms   speedup {cache_speedup:5.2}×  hit rate {:.2}",
+        hit_rate
+    );
+    entries.push(format!(
+        "    {{\"strategy\": \"cache\", \"mode\": \"cold\", \"threads\": 1, \
+         \"best_ms\": {cold_ms:.3}}}"
+    ));
+    entries.push(format!(
+        "    {{\"strategy\": \"cache\", \"mode\": \"warm\", \"threads\": 1, \
+         \"best_ms\": {warm_ms:.3}, \"speedup\": {cache_speedup:.3}}}"
+    ));
+    summary.push(format!("\"cache_warm_ms\": {warm_ms:.3}"));
+    summary.push(format!("\"cache_hit_rate\": {hit_rate:.3}"));
+    summary.push(format!("\"cache_speedup\": {cache_speedup:.3}"));
 
     let json = format!(
         "{{\n  \"rows\": {},\n  \"hardware_threads\": {},\n  \"results\": [\n{}\n  ],\n  {}\n}}\n",

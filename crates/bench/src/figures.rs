@@ -14,6 +14,12 @@ use zv_storage::{
     Predicate, ScanDb, Schema, SelectQuery, Table, Value, XSpec, YSpec,
 };
 
+// The figures reproduce the paper's request/runtime trajectories, so the
+// engine-level result cache is disabled throughout
+// (`BitmapDbConfig::uncached`): repeated runs of one engine must measure
+// the raw §5.2 ladder, not warm cache hits (the cache has its own bench
+// group in `benches/groupby.rs`).
+
 const OPT_LEVELS: [OptLevel; 4] = [
     OptLevel::NoOpt,
     OptLevel::IntraLine,
@@ -31,7 +37,7 @@ fn sales_db(scale: &Scale) -> DynDatabase {
         sales::generate(&cfg),
         BitmapDbConfig {
             request_overhead: request_overhead(),
-            ..Default::default()
+            ..BitmapDbConfig::uncached()
         },
     ))
 }
@@ -46,7 +52,7 @@ fn airline_db(scale: &Scale) -> DynDatabase {
         airline::generate(&cfg),
         BitmapDbConfig {
             request_overhead: request_overhead(),
-            ..Default::default()
+            ..BitmapDbConfig::uncached()
         },
     ))
 }
@@ -56,7 +62,10 @@ fn census_db(scale: &Scale) -> DynDatabase {
         rows: scale.pick(50_000, 300_000),
         ..Default::default()
     };
-    Arc::new(BitmapDb::new(census::generate(&cfg)))
+    Arc::new(BitmapDb::with_config(
+        census::generate(&cfg),
+        BitmapDbConfig::uncached(),
+    ))
 }
 
 fn run_at_levels(
@@ -229,11 +238,14 @@ pub fn fig7_3(scale: &Scale) -> String {
 
     // No simulated round-trip here: this experiment measures the task
     // processors themselves.
-    let airline: DynDatabase = Arc::new(BitmapDb::new(airline::generate(&AirlineConfig {
-        rows: scale.pick(1_000_000, 15_000_000),
-        airports: scale.pick(60, 300),
-        ..Default::default()
-    })));
+    let airline: DynDatabase = Arc::new(BitmapDb::with_config(
+        airline::generate(&AirlineConfig {
+            rows: scale.pick(1_000_000, 15_000_000),
+            airports: scale.pick(60, 300),
+            ..Default::default()
+        }),
+        BitmapDbConfig::uncached(),
+    ));
     let engine = ZqlEngine::new(airline.clone());
     let spec = TaskSpec::new("year", "dep_delay", "origin").with_agg(Agg::Avg);
     let _ = writeln!(out, "\nairline (rows={}):", airline.table().num_rows());
@@ -259,7 +271,10 @@ pub fn fig7_4(scale: &Scale) -> String {
             locations: 4,
             ..Default::default()
         });
-        let engine = ZqlEngine::new(Arc::new(BitmapDb::new(table)));
+        let engine = ZqlEngine::new(Arc::new(BitmapDb::with_config(
+            table,
+            BitmapDbConfig::uncached(),
+        )));
         let spec = TaskSpec::new("year", "sales", "product");
         let reports = run_tasks(&engine, &spec, &sketch);
         let _ = writeln!(out, "groups={groups} (products={products}, rows={rows}):");

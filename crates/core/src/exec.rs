@@ -13,8 +13,8 @@ use std::fmt;
 use std::time::{Duration, Instant};
 use zv_analytics::Series;
 use zv_storage::{
-    parallel, Atom, CmpOp, Column, DynDatabase, Predicate, ResultTable, SelectQuery, StorageError,
-    Value, XSpec, YSpec,
+    parallel, Atom, CmpOp, Column, DynDatabase, Predicate, QueryKey, ResultTable, SelectQuery,
+    StorageError, Value, XSpec, YSpec,
 };
 
 /// Process-column scoring loops below this many combinations stay serial
@@ -97,6 +97,10 @@ pub struct ExecReport {
     pub sql_queries: u64,
     pub requests: u64,
     pub rows_scanned: u64,
+    /// Queries answered from the engine-level result cache (no scan).
+    pub cache_hits: u64,
+    /// Queries that missed the engine-level result cache.
+    pub cache_misses: u64,
     /// Time inside the database backend.
     pub db_time: Duration,
     /// Post-processing (task) time.
@@ -325,9 +329,13 @@ struct Exec<'a> {
     /// Rows already built ahead of schedule (InterTask lookahead).
     built_rows: Vec<bool>,
     /// Shared-pass cache (IntraTask and above): one fetch per distinct
-    /// `(x, ys, zs, predicate)` group-by within a single ZQL query, keyed
-    /// by the query's canonical debug rendering.
-    query_cache: HashMap<String, ResultTable>,
+    /// group-by within a single ZQL query, keyed by the canonical
+    /// [`QueryKey`] — the same normalization the engine-level cache uses,
+    /// so permuted-but-equivalent predicates collide instead of fetching
+    /// twice. This layer reads *through* the engine cache: misses go to
+    /// `Database::run_request`, which serves cross-execution repeats
+    /// without a scan.
+    query_cache: HashMap<QueryKey, ResultTable>,
     compute_time: Duration,
 }
 
@@ -407,6 +415,8 @@ impl<'a> Exec<'a> {
                 sql_queries: db_stats.queries,
                 requests: db_stats.requests,
                 rows_scanned: db_stats.rows_scanned,
+                cache_hits: db_stats.cache_hits,
+                cache_misses: db_stats.cache_misses,
                 db_time: db_stats.exec_time,
                 compute_time: self.compute_time,
                 total_time: start.elapsed(),
@@ -994,7 +1004,8 @@ impl<'a> Exec<'a> {
     }
 
     fn in_predicate(&self, attr: &str, values: &[Value]) -> Result<Predicate, ZqlError> {
-        let col = self.engine.db.table().column(attr)?;
+        let table = self.engine.db.table();
+        let col = table.column(attr)?;
         match col {
             Column::Cat(_) => {
                 let strs = values
@@ -1420,8 +1431,9 @@ impl<'a> Exec<'a> {
         _grouped: bool,
     ) -> Result<(SelectQuery, Vec<usize>, bool), ZqlError> {
         let mut predicate = cell.predicate.clone();
+        let table = self.engine.db.table();
         for (attr, value) in &cell.z {
-            let atom = match (self.engine.db.table().column(attr)?, value) {
+            let atom = match (table.column(attr)?, value) {
                 (Column::Cat(_), Value::Str(s)) => Predicate::cat_eq(attr.clone(), s.clone()),
                 (_, v) => {
                     let n = v
@@ -1476,19 +1488,22 @@ impl<'a> Exec<'a> {
     /// and distribute results to component cells.
     ///
     /// At `IntraTask`/`InterTask` a shared-pass cache deduplicates
-    /// identical `(x, ys, zs, predicate)` group-bys across the whole ZQL
-    /// query: only the first occurrence is fetched; later rows (and
-    /// same-flush duplicates) read the cached `ResultTable`. The request
-    /// itself fans the remaining distinct queries across the shared pool
-    /// (`Database::run_request`).
+    /// equivalent group-bys across the whole ZQL query, keyed by the
+    /// canonical [`QueryKey`] (so predicate permutations collide): only
+    /// the first occurrence is fetched; later rows (and same-flush
+    /// duplicates) read the cached `ResultTable`. The request itself fans
+    /// the remaining distinct queries across the shared pool
+    /// (`Database::run_request`), where the *engine-level* result cache
+    /// answers cross-request and cross-execution repeats without a scan —
+    /// this per-pass map is a read-through layer on top of it.
     fn flush(&mut self) -> Result<(), ZqlError> {
         if self.pending.is_empty() {
             return Ok(());
         }
         let batches = std::mem::take(&mut self.pending);
         let cache_on = self.engine.opt >= OptLevel::IntraTask;
-        let keys: Vec<String> = if cache_on {
-            batches.iter().map(|b| format!("{:?}", b.query)).collect()
+        let keys: Vec<QueryKey> = if cache_on {
+            batches.iter().map(|b| QueryKey::of(&b.query)).collect()
         } else {
             Vec::new()
         };
@@ -1513,8 +1528,8 @@ impl<'a> Exec<'a> {
             }
             OptLevel::IntraTask | OptLevel::InterTask => {
                 let mut to_run: Vec<SelectQuery> = Vec::new();
-                let mut run_keys: Vec<String> = Vec::new();
-                let mut planned: HashSet<&String> = HashSet::new();
+                let mut run_keys: Vec<QueryKey> = Vec::new();
+                let mut planned: HashSet<&QueryKey> = HashSet::new();
                 for (b, k) in batches.iter().zip(&keys) {
                     if !self.query_cache.contains_key(k) && planned.insert(k) {
                         to_run.push(b.query.clone());

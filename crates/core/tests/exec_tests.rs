@@ -8,7 +8,7 @@ use zv_analytics::{trend, Series};
 use zv_datagen::sales::{
     self, has_profit_discrepancy, is_us_up_uk_down, product_name, SalesConfig,
 };
-use zv_storage::{BitmapDb, DynDatabase, Predicate, SelectQuery, XSpec, YSpec};
+use zv_storage::{BitmapDb, BitmapDbConfig, DynDatabase, Predicate, SelectQuery, XSpec, YSpec};
 
 fn small_db() -> DynDatabase {
     let table = sales::generate(&SalesConfig {
@@ -19,6 +19,21 @@ fn small_db() -> DynDatabase {
         ..Default::default()
     });
     Arc::new(BitmapDb::new(table))
+}
+
+/// Same data, engine-level result cache off — for tests that assert raw
+/// query counts across repeated executions of one engine (the cache
+/// would otherwise answer later runs without issuing queries at all;
+/// that behaviour has its own tests).
+fn small_db_uncached() -> DynDatabase {
+    let table = sales::generate(&SalesConfig {
+        rows: 40_000,
+        products: 20,
+        locations: 4,
+        cities: 10,
+        ..Default::default()
+    });
+    Arc::new(BitmapDb::with_config(table, BitmapDbConfig::uncached()))
 }
 
 fn engine() -> ZqlEngine {
@@ -441,7 +456,7 @@ fn name_expression_sub_and_intersect() {
 
 #[test]
 fn all_opt_levels_agree_and_batch_monotonically() {
-    let db = small_db();
+    let db = small_db_uncached();
     let text = "name | x | y | z | constraints | process\n\
          f1 | 'year' | 'sales' | v1 <- 'product'.* | location='US' | v2 <- argany(v1)[t > 0] T(f1)\n\
          f2 | 'year' | 'sales' | v1 | location='UK' | v3 <- argany(v1)[t < 0] T(f2)\n\
@@ -660,7 +675,7 @@ fn shared_pass_cache_deduplicates_identical_group_bys() {
     let text = "name | x | y | z | constraints | viz\n\
          f1 | 'year' | 'sales' | v1 <- 'product'.* | location='US' | bar.(y=agg('sum'))\n\
          *f2 | 'year' | 'sales' | v2 <- 'product'.* | location='US' | bar.(y=agg('sum'))";
-    let db = small_db();
+    let db = small_db_uncached();
     let run = |opt: OptLevel| {
         let engine = ZqlEngine::with_opt_level(db.clone(), opt);
         engine.execute_text(text).unwrap().report.sql_queries
@@ -684,4 +699,35 @@ fn shared_pass_cache_deduplicates_identical_group_bys() {
     for (va, vb) in a.visualizations.iter().zip(&b.visualizations) {
         assert_eq!(va.series, vb.series, "{}", va.label);
     }
+}
+
+#[test]
+fn permuted_predicates_share_one_canonical_query() {
+    // Regression: the shared-pass cache used to key on an ad-hoc
+    // `format!("{:?}")` rendering of the query, so two rows whose
+    // constraints listed the same atoms in a different order fetched
+    // twice. The canonical `QueryKey` must make them collide.
+    let text = "name | x | y | constraints | viz\n\
+         f1 | 'year' | 'sales' | location='US' and product='stapler' | bar.(y=agg('sum'))\n\
+         *f2 | 'year' | 'sales' | product='stapler' and location='US' | bar.(y=agg('sum'))";
+    let db = small_db_uncached();
+    let out = ZqlEngine::with_opt_level(db.clone(), OptLevel::InterTask)
+        .execute_text(text)
+        .unwrap();
+    assert_eq!(
+        out.report.sql_queries, 1,
+        "permuted-but-equivalent predicates must share one fetch"
+    );
+    // And the deduplicated fetch feeds both components identically.
+    assert_eq!(out.visualizations.len(), 1);
+    let unpermuted = ZqlEngine::with_opt_level(db, OptLevel::NoOpt)
+        .execute_text(
+            "name | x | y | constraints | viz\n\
+             *f2 | 'year' | 'sales' | product='stapler' and location='US' | bar.(y=agg('sum'))",
+        )
+        .unwrap();
+    assert_eq!(
+        out.visualizations[0].series,
+        unpermuted.visualizations[0].series
+    );
 }

@@ -7,7 +7,18 @@
 //! and measure columns are left unindexed; we additionally index
 //! low-cardinality integer columns (year, month, ...) because they appear
 //! as equality predicates in the canonical query.
+//!
+//! Table and indexes live together in one immutable [`BitmapState`]
+//! snapshot (shared via `Arc`), so they always describe the same data and
+//! queries scan lock-free. Appends copy-on-write the next snapshot
+//! (bumping the table version, which retires every cached result — see
+//! [`crate::cache`]) and refresh the indexes *incrementally*: appended
+//! row ids are strictly ascending, so each new row is an O(1)
+//! `push_ascending` into its value bitmap; only an integer column whose
+//! value range grew out of its existing code space pays a full
+//! per-column rebuild.
 
+use crate::cache::{CacheConfig, ResultCache};
 use crate::column::Column;
 use crate::db::Database;
 use crate::exec::{self, compile_pred, RowSource};
@@ -16,8 +27,9 @@ use crate::query::{ResultTable, SelectQuery};
 use crate::roaring::RoaringBitmap;
 use crate::stats::ExecStats;
 use crate::table::{StorageError, Table};
-use std::collections::HashMap;
-use std::sync::Arc;
+use crate::value::Value;
+use std::collections::{HashMap, HashSet};
+use std::sync::{Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
 /// Tuning knobs for [`BitmapDb`].
@@ -37,6 +49,9 @@ pub struct BitmapDbConfig {
     pub run_optimize: bool,
     /// Sharded-scan tuning (thread count, serial threshold).
     pub parallel: exec::ParallelConfig,
+    /// Engine-level result cache bounds ([`CacheConfig::disabled`] turns
+    /// the cache off, e.g. for raw-engine benchmarks).
+    pub cache: CacheConfig,
 }
 
 impl Default for BitmapDbConfig {
@@ -47,11 +62,24 @@ impl Default for BitmapDbConfig {
             request_overhead: Duration::ZERO,
             run_optimize: true,
             parallel: exec::ParallelConfig::default(),
+            cache: CacheConfig::default(),
+        }
+    }
+}
+
+impl BitmapDbConfig {
+    /// Default config with the result cache off — for benchmarks and
+    /// tests that measure (or compare against) raw engine behaviour.
+    pub fn uncached() -> Self {
+        BitmapDbConfig {
+            cache: CacheConfig::disabled(),
+            ..Default::default()
         }
     }
 }
 
 /// One indexed column: a bitmap of row ids per distinct-value code.
+#[derive(Clone)]
 struct ColumnIndex {
     /// `bitmaps[code]` = rows where the column equals the value with that
     /// code. For int columns the code is `value - min`.
@@ -78,97 +106,182 @@ impl ColumnIndex {
     }
 }
 
-/// In-memory database with roaring-bitmap secondary indexes.
-pub struct BitmapDb {
+/// One consistent snapshot: the table plus the indexes built over it.
+#[derive(Clone)]
+struct BitmapState {
     table: Arc<Table>,
     indexes: HashMap<String, ColumnIndex>,
-    config: BitmapDbConfig,
-    stats: ExecStats,
+    /// Int columns whose value range already exceeded the cardinality
+    /// budget. A column's range only ever grows, so once a build fails it
+    /// can never succeed again — remembering that spares every later
+    /// append the O(n) min/max rescan of the column.
+    unindexable: HashSet<String>,
 }
 
-impl BitmapDb {
-    pub fn new(table: Arc<Table>) -> Self {
-        Self::with_config(table, BitmapDbConfig::default())
+fn build_cat_index(c: &crate::column::CatColumn, run_optimize: bool) -> ColumnIndex {
+    let mut bitmaps: Vec<RoaringBitmap> =
+        (0..c.cardinality()).map(|_| RoaringBitmap::new()).collect();
+    for (row, &code) in c.codes().iter().enumerate() {
+        bitmaps[code as usize].push_ascending(row as u32);
     }
+    if run_optimize {
+        for bm in &mut bitmaps {
+            bm.run_optimize();
+        }
+    }
+    ColumnIndex {
+        bitmaps,
+        int_min: 0,
+        is_int: false,
+    }
+}
 
-    pub fn with_config(table: Arc<Table>, config: BitmapDbConfig) -> Self {
-        let mut indexes = HashMap::new();
+fn build_int_index(v: &[i64], config: &BitmapDbConfig) -> Option<ColumnIndex> {
+    if v.is_empty() {
+        return None;
+    }
+    let lo = *v.iter().min().unwrap();
+    let hi = *v.iter().max().unwrap();
+    // i128 arithmetic: the value range can exceed i64 (e.g. a sentinel
+    // near i64::MAX next to negative values).
+    let card = (hi as i128 - lo as i128 + 1) as u128;
+    if card > config.int_index_max_card as u128 {
+        return None;
+    }
+    let mut bitmaps: Vec<RoaringBitmap> =
+        (0..card as usize).map(|_| RoaringBitmap::new()).collect();
+    for (row, &val) in v.iter().enumerate() {
+        bitmaps[(val - lo) as usize].push_ascending(row as u32);
+    }
+    if config.run_optimize {
+        for bm in &mut bitmaps {
+            bm.run_optimize();
+        }
+    }
+    Some(ColumnIndex {
+        bitmaps,
+        int_min: lo,
+        is_int: true,
+    })
+}
+
+fn build_state(table: Arc<Table>, config: &BitmapDbConfig) -> BitmapState {
+    let mut indexes = HashMap::new();
+    let mut unindexable = HashSet::new();
+    for field in table.schema().fields() {
+        match table.column(&field.name).unwrap() {
+            Column::Cat(c) => {
+                indexes.insert(field.name.clone(), build_cat_index(c, config.run_optimize));
+            }
+            Column::Int(v) => match build_int_index(v, config) {
+                Some(ix) => {
+                    indexes.insert(field.name.clone(), ix);
+                }
+                // Empty columns may become indexable after an append;
+                // budget-exceeding ones never can (the range only grows).
+                None if !v.is_empty() => {
+                    unindexable.insert(field.name.clone());
+                }
+                None => {}
+            },
+            Column::Float(_) => {}
+        }
+    }
+    BitmapState {
+        table,
+        indexes,
+        unindexable,
+    }
+}
+
+/// Sorted, deduplicated code list of one append batch (so each touched
+/// bitmap is re-compressed exactly once).
+fn dedup_codes(codes: impl Iterator<Item = usize>) -> Vec<usize> {
+    let mut out: Vec<usize> = codes.collect();
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+impl BitmapState {
+    /// Bring the indexes up to date after rows `old_rows..` were appended
+    /// to `self.table`. Appended row ids are ascending and larger than
+    /// anything indexed, so the common case is an O(1) tail append per
+    /// row; an integer index whose value range grew falls back to a full
+    /// per-column rebuild (or is dropped if it outgrew the cardinality
+    /// budget — residual predicate scans stay correct without it).
+    fn refresh_indexes(&mut self, old_rows: usize, config: &BitmapDbConfig) {
+        let table = &self.table;
+        let indexes = &mut self.indexes;
+        let unindexable = &mut self.unindexable;
         for field in table.schema().fields() {
             match table.column(&field.name).unwrap() {
                 Column::Cat(c) => {
-                    let mut bitmaps: Vec<RoaringBitmap> =
-                        (0..c.cardinality()).map(|_| RoaringBitmap::new()).collect();
-                    for (row, &code) in c.codes().iter().enumerate() {
-                        bitmaps[code as usize].push_ascending(row as u32);
+                    let ix = indexes
+                        .get_mut(&field.name)
+                        .expect("categorical columns are always indexed");
+                    // New dictionary codes get fresh (empty) bitmaps.
+                    while ix.bitmaps.len() < c.cardinality() {
+                        ix.bitmaps.push(RoaringBitmap::new());
+                    }
+                    for (row, &code) in c.codes().iter().enumerate().skip(old_rows) {
+                        ix.bitmaps[code as usize].push_ascending(row as u32);
                     }
                     if config.run_optimize {
-                        for bm in &mut bitmaps {
-                            bm.run_optimize();
+                        // Appends devolve run containers; re-compress
+                        // each bitmap this batch touched, once.
+                        for code in dedup_codes(c.codes()[old_rows..].iter().map(|&c| c as usize)) {
+                            ix.bitmaps[code].run_optimize();
                         }
                     }
-                    indexes.insert(
-                        field.name.clone(),
-                        ColumnIndex {
-                            bitmaps,
-                            int_min: 0,
-                            is_int: false,
-                        },
-                    );
                 }
                 Column::Int(v) => {
-                    if v.is_empty() {
+                    if unindexable.contains(&field.name) {
+                        // A previously failed build can never succeed —
+                        // the range only grows. Skip the O(n) rescan.
                         continue;
                     }
-                    let lo = *v.iter().min().unwrap();
-                    let hi = *v.iter().max().unwrap();
-                    let card = (hi - lo + 1) as u128;
-                    if card <= config.int_index_max_card as u128 {
-                        let mut bitmaps: Vec<RoaringBitmap> =
-                            (0..card as usize).map(|_| RoaringBitmap::new()).collect();
-                        for (row, &val) in v.iter().enumerate() {
-                            bitmaps[(val - lo) as usize].push_ascending(row as u32);
-                        }
-                        if config.run_optimize {
-                            for bm in &mut bitmaps {
-                                bm.run_optimize();
-                            }
-                        }
-                        indexes.insert(
-                            field.name.clone(),
-                            ColumnIndex {
-                                bitmaps,
-                                int_min: lo,
-                                is_int: true,
-                            },
+                    if let Some(ix) = indexes.get_mut(&field.name) {
+                        let len = ix.bitmaps.len() as i64;
+                        let int_min = ix.int_min;
+                        // checked_sub: the offset can overflow i64 for
+                        // extreme appended values; overflow means
+                        // out-of-range, never a panic.
+                        let in_range = v[old_rows..].iter().all(
+                            |&x| matches!(x.checked_sub(int_min), Some(o) if (0..len).contains(&o)),
                         );
+                        if in_range {
+                            for (row, &val) in v.iter().enumerate().skip(old_rows) {
+                                ix.bitmaps[(val - ix.int_min) as usize].push_ascending(row as u32);
+                            }
+                            if config.run_optimize {
+                                // Appends devolve run containers;
+                                // re-compress each touched bitmap, once.
+                                let codes =
+                                    v[old_rows..].iter().map(|&val| (val - int_min) as usize);
+                                for code in dedup_codes(codes) {
+                                    ix.bitmaps[code].run_optimize();
+                                }
+                            }
+                            continue;
+                        }
+                        indexes.remove(&field.name);
+                    }
+                    // Out-of-range append, or the column only now became
+                    // indexable (e.g. it was empty at build time).
+                    match build_int_index(v, config) {
+                        Some(ix) => {
+                            indexes.insert(field.name.clone(), ix);
+                        }
+                        None if !v.is_empty() => {
+                            unindexable.insert(field.name.clone());
+                        }
+                        None => {}
                     }
                 }
                 Column::Float(_) => {}
             }
         }
-        BitmapDb {
-            table,
-            indexes,
-            config,
-            stats: ExecStats::new(),
-        }
-    }
-
-    pub fn config(&self) -> &BitmapDbConfig {
-        &self.config
-    }
-
-    /// Total bytes held by bitmap indexes (compression reporting).
-    pub fn index_bytes(&self) -> usize {
-        self.indexes
-            .values()
-            .flat_map(|ix| ix.bitmaps.iter())
-            .map(RoaringBitmap::size_bytes)
-            .sum()
-    }
-
-    pub fn is_indexed(&self, col: &str) -> bool {
-        self.indexes.contains_key(col)
     }
 
     /// Resolve one atom via the indexes, if possible.
@@ -302,25 +415,129 @@ impl BitmapDb {
     }
 }
 
+/// In-memory database with roaring-bitmap secondary indexes.
+///
+/// The snapshot lives behind `RwLock<Arc<BitmapState>>`: queries clone
+/// the `Arc` (a pointer bump) and scan lock-free, so a long scan never
+/// blocks an append and vice versa. Appends serialize on `append_lock`,
+/// build the next snapshot *outside* the reader-visible lock, and swap
+/// it in with a momentary write lock.
+pub struct BitmapDb {
+    state: RwLock<Arc<BitmapState>>,
+    /// Serializes mutations so two appends cannot base their snapshots
+    /// on the same predecessor (readers never touch this).
+    append_lock: Mutex<()>,
+    config: BitmapDbConfig,
+    stats: ExecStats,
+    cache: Option<Arc<ResultCache>>,
+}
+
+impl BitmapDb {
+    pub fn new(table: Arc<Table>) -> Self {
+        Self::with_config(table, BitmapDbConfig::default())
+    }
+
+    pub fn with_config(table: Arc<Table>, config: BitmapDbConfig) -> Self {
+        let cache = config
+            .cache
+            .is_enabled()
+            .then(|| Arc::new(ResultCache::new(&config.cache)));
+        Self::build(table, config, cache)
+    }
+
+    /// Construct with an explicitly shared cache (versioned keys keep
+    /// entries from different engines / snapshots apart).
+    pub fn with_shared_cache(
+        table: Arc<Table>,
+        config: BitmapDbConfig,
+        cache: Arc<ResultCache>,
+    ) -> Self {
+        Self::build(table, config, Some(cache))
+    }
+
+    fn build(table: Arc<Table>, config: BitmapDbConfig, cache: Option<Arc<ResultCache>>) -> Self {
+        BitmapDb {
+            state: RwLock::new(Arc::new(build_state(table, &config))),
+            append_lock: Mutex::new(()),
+            config,
+            stats: ExecStats::new(),
+            cache,
+        }
+    }
+
+    pub fn config(&self) -> &BitmapDbConfig {
+        &self.config
+    }
+
+    fn state(&self) -> Arc<BitmapState> {
+        self.state.read().expect("state lock poisoned").clone()
+    }
+
+    /// Total bytes held by bitmap indexes (compression reporting).
+    pub fn index_bytes(&self) -> usize {
+        self.state()
+            .indexes
+            .values()
+            .flat_map(|ix| ix.bitmaps.iter())
+            .map(RoaringBitmap::size_bytes)
+            .sum()
+    }
+
+    pub fn is_indexed(&self, col: &str) -> bool {
+        self.state().indexes.contains_key(col)
+    }
+
+    /// Swap in a mutated table built by `mutate` and refresh the indexes
+    /// incrementally; returns the appended row count. The table clone and
+    /// index refresh run outside the reader-visible lock — queries keep
+    /// scanning the old snapshot throughout.
+    fn mutate_table(
+        &self,
+        mutate: impl FnOnce(&mut Table) -> Result<usize, StorageError>,
+    ) -> Result<usize, StorageError> {
+        let _appending = self.append_lock.lock().expect("append lock poisoned");
+        let current = self.state();
+        let mut table = (*current.table).clone();
+        let old_version = table.version();
+        let old_rows = table.num_rows();
+        let n = mutate(&mut table)?;
+        if n == 0 && table.version() == old_version {
+            return Ok(0);
+        }
+        let mut next = BitmapState {
+            table: Arc::new(table),
+            indexes: current.indexes.clone(),
+            unindexable: current.unindexable.clone(),
+        };
+        next.refresh_indexes(old_rows, &self.config);
+        *self.state.write().expect("state lock poisoned") = Arc::new(next);
+        if let Some(cache) = &self.cache {
+            cache.invalidate_table_version(old_version);
+        }
+        Ok(n)
+    }
+}
+
 impl Database for BitmapDb {
     fn name(&self) -> &'static str {
         "roaring-bitmap-db"
     }
 
-    fn table(&self) -> &Arc<Table> {
-        &self.table
+    fn table(&self) -> Arc<Table> {
+        self.state().table.clone()
     }
 
     fn execute(&self, query: &SelectQuery) -> Result<ResultTable, StorageError> {
         let start = Instant::now();
-        let source = self.row_source(&query.predicate)?;
-        let groups = exec::group_space(&self.table, query)?;
+        let state = self.state();
+        let source = state.row_source(&query.predicate)?;
+        let groups = exec::group_space(&state.table, query)?;
         let strategy = exec::choose_strategy(groups, self.config.dense_group_limit);
         let threads = self.config.parallel.threads_for(source.estimated_rows());
         let (result, scanned) = if threads > 1 {
-            exec::aggregate_parallel(&self.table, query, &source, strategy, threads)?
+            exec::aggregate_parallel(&state.table, query, &source, strategy, threads)?
         } else {
-            exec::aggregate(&self.table, query, &source, strategy)?
+            exec::aggregate(&state.table, query, &source, strategy)?
         };
         self.stats.record_query(scanned, start.elapsed());
         Ok(result)
@@ -328,6 +545,18 @@ impl Database for BitmapDb {
 
     fn stats(&self) -> &ExecStats {
         &self.stats
+    }
+
+    fn result_cache(&self) -> Option<&ResultCache> {
+        self.cache.as_deref()
+    }
+
+    fn append_rows(&self, rows: &[Vec<Value>]) -> Result<usize, StorageError> {
+        self.mutate_table(|t| t.append_rows(rows))
+    }
+
+    fn append_table(&self, other: &Table) -> Result<usize, StorageError> {
+        self.mutate_table(|t| t.append_table(other))
     }
 
     fn request_overhead(&self) -> Duration {
@@ -475,5 +704,129 @@ mod tests {
         let snap = db.stats().snapshot();
         assert_eq!(snap.requests, 1);
         assert_eq!(snap.queries, 3);
+    }
+
+    #[test]
+    fn append_extends_indexes_incrementally() {
+        let db = db();
+        // New product ("sofa") and a new location code appear only in the
+        // appended rows; the year range stays inside the existing index.
+        db.append_rows(&[
+            vec![
+                Value::Int(2015),
+                Value::str("sofa"),
+                Value::str("FR"),
+                Value::Float(4.0),
+            ],
+            vec![
+                Value::Int(2014),
+                Value::str("chair"),
+                Value::str("UK"),
+                Value::Float(6.0),
+            ],
+        ])
+        .unwrap();
+        assert!(db.is_indexed("product"));
+        let q = SelectQuery::new(XSpec::raw("year"), vec![YSpec::sum("sales")])
+            .with_predicate(Predicate::cat_eq("product", "sofa"));
+        let before = db.stats().snapshot();
+        let rt = db.execute(&q).unwrap();
+        let delta = db.stats().snapshot().since(&before);
+        assert_eq!(delta.rows_scanned, 1, "new code must be index-resolved");
+        assert_eq!(rt.groups[0].ys[0], vec![4.0]);
+        // Existing codes see the appended rows too.
+        let q = SelectQuery::new(XSpec::raw("year"), vec![YSpec::sum("sales")])
+            .with_predicate(Predicate::cat_eq("location", "UK"));
+        let rt = db.execute(&q).unwrap();
+        assert_eq!(rt.groups[0].ys[0], vec![6.0, 20.0]);
+    }
+
+    #[test]
+    fn append_outside_int_range_rebuilds_that_index() {
+        let db = db();
+        assert!(db.is_indexed("year"));
+        db.append_rows(&[vec![
+            Value::Int(2020),
+            Value::str("chair"),
+            Value::str("US"),
+            Value::Float(1.0),
+        ]])
+        .unwrap();
+        assert!(db.is_indexed("year"), "widened range still fits the budget");
+        let q = SelectQuery::new(XSpec::raw("product"), vec![YSpec::sum("sales")])
+            .with_predicate(Predicate::num_eq("year", 2020.0));
+        let before = db.stats().snapshot();
+        let rt = db.execute(&q).unwrap();
+        let delta = db.stats().snapshot().since(&before);
+        assert_eq!(delta.rows_scanned, 1);
+        assert_eq!(rt.groups[0].ys[0], vec![1.0]);
+
+        // Blow past the cardinality budget: the index must be dropped and
+        // the query answered by a residual scan, still correctly.
+        db.append_rows(&[vec![
+            Value::Int(2014 + 1_000_000),
+            Value::str("desk"),
+            Value::str("US"),
+            Value::Float(2.0),
+        ]])
+        .unwrap();
+        assert!(!db.is_indexed("year"));
+        let rt = db.execute(&q).unwrap();
+        assert_eq!(rt.groups[0].ys[0], vec![1.0]);
+    }
+
+    #[test]
+    fn extreme_int_append_does_not_overflow_the_range_check() {
+        // Regression: `value - int_min` used to overflow i64 when an
+        // appended sentinel sat near i64::MAX with a negative int_min,
+        // panicking inside the mutation path. It must instead be treated
+        // as out-of-range (index dropped, residual scan stays correct).
+        let db = db();
+        // Widen the year index to a *negative* int_min first…
+        db.append_rows(&[vec![
+            Value::Int(-10),
+            Value::str("chair"),
+            Value::str("US"),
+            Value::Float(0.25),
+        ]])
+        .unwrap();
+        assert!(db.is_indexed("year"), "negative-min range still fits");
+        // …then append the overflow-triggering sentinel.
+        db.append_rows(&[vec![
+            Value::Int(i64::MAX),
+            Value::str("chair"),
+            Value::str("US"),
+            Value::Float(1.5),
+        ]])
+        .unwrap();
+        assert!(!db.is_indexed("year"));
+        let q = SelectQuery::new(XSpec::raw("product"), vec![YSpec::sum("sales")])
+            .with_predicate(Predicate::num_eq("year", 2015.0));
+        let rt = db.execute(&q).unwrap();
+        assert_eq!(rt.groups[0].ys[0], vec![31.0, 9.0]);
+        // A follow-up append still works (engine not poisoned).
+        db.append_rows(&[vec![
+            Value::Int(2015),
+            Value::str("desk"),
+            Value::str("US"),
+            Value::Float(2.0),
+        ]])
+        .unwrap();
+        let rt = db.execute(&q).unwrap();
+        assert_eq!(rt.groups[0].ys[0], vec![31.0, 11.0]);
+    }
+
+    #[test]
+    fn empty_append_is_a_version_preserving_noop() {
+        let db = db();
+        let v0 = db.table().version();
+        let q = SelectQuery::new(XSpec::raw("year"), vec![YSpec::sum("sales")]);
+        let _ = db.run_request(std::slice::from_ref(&q)).unwrap();
+        assert_eq!(db.append_rows(&[]).unwrap(), 0);
+        assert_eq!(db.table().version(), v0);
+        let before = db.stats().snapshot();
+        let _ = db.run_request(std::slice::from_ref(&q)).unwrap();
+        let delta = db.stats().snapshot().since(&before);
+        assert_eq!(delta.cache_hits, 1, "cache must survive a no-op append");
     }
 }

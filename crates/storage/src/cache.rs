@@ -1,0 +1,735 @@
+//! Engine-level cross-query result cache with table-version invalidation.
+//!
+//! PR 1's shared-pass cache deduplicates identical group-bys *within* one
+//! ZQL execution; this module promotes the idea to the engine itself so
+//! that *cross-request and cross-execution* repeats — the defining access
+//! pattern of interactive sessions re-exploring the same slices — skip
+//! the scan entirely. `Database::run_request` consults a [`ResultCache`]
+//! before executing each query and stores every freshly computed
+//! [`ResultTable`] afterwards.
+//!
+//! # The version-key invalidation scheme
+//!
+//! Cache entries are keyed by [`CacheKey`] =
+//! `(engine name, table version, canonical query)`:
+//!
+//! * **Table version.** Every [`crate::Table`] snapshot carries a
+//!   process-unique version drawn from a global counter; every mutation
+//!   (`append_rows` / `append_table`) draws a fresh, strictly larger one.
+//!   `run_request` reads the version *before* executing, so an entry
+//!   recorded under version `v` describes data at least as new as `v`.
+//!   Because a table's current version only ever moves forward, a lookup
+//!   can only see entries whose version equals the *current* one — stale
+//!   entries are unreachable by construction, with no locks shared
+//!   between readers and writers of the table. Eviction (or the engines'
+//!   courtesy [`ResultCache::invalidate_table_version`] call on append)
+//!   merely reclaims their memory.
+//! * **Canonical query.** [`QueryKey`] normalizes a [`SelectQuery`] so
+//!   that semantically identical queries collide: conjunction atoms are
+//!   sorted and deduplicated, `IN` lists are sorted (singletons become
+//!   equality atoms), disjunctions are sorted with tautologies collapsed,
+//!   and float literals are keyed by normalized bit patterns. Output
+//!   *shape* — the order of Y measures and of Z group-by columns — is
+//!   preserved verbatim, because it determines the shape of the result.
+//!
+//! # Bounds and concurrency
+//!
+//! The cache is a doubly-linked LRU bounded by **both** entry count and
+//! approximate bytes ([`ResultTable::approx_bytes`]), guarded by one
+//! mutex (operations touch a few pointers; the scan work they save is
+//! orders of magnitude larger). Hit / miss / eviction / insertion
+//! counters are kept internally and also mirrored into each engine's
+//! [`crate::ExecStats`] by `run_request`.
+
+use crate::predicate::{Atom, CmpOp, Predicate};
+use crate::query::{Agg, ResultTable, SelectQuery};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+// ---------------------------------------------------------------------
+// Canonical query keys
+// ---------------------------------------------------------------------
+
+/// A predicate atom in canonical, hashable form. Float literals are
+/// stored as normalized IEEE bits (`-0.0` folds onto `0.0`) so `Eq` and
+/// `Hash` agree with predicate semantics.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+enum CanonAtom {
+    CatEq { col: String, value: String },
+    CatNeq { col: String, value: String },
+    CatIn { col: String, values: Vec<String> },
+    StrPrefix { col: String, prefix: String },
+    NumCmp { col: String, op: CmpOp, bits: u64 },
+    NumBetween { col: String, lo: u64, hi: u64 },
+}
+
+fn f64_bits(v: f64) -> u64 {
+    // -0.0 and 0.0 compare equal in every predicate, so they must share
+    // a key.
+    if v == 0.0 {
+        0f64.to_bits()
+    } else {
+        v.to_bits()
+    }
+}
+
+fn canon_atom(a: &Atom) -> CanonAtom {
+    match a {
+        Atom::CatEq { col, value } => CanonAtom::CatEq {
+            col: col.clone(),
+            value: value.clone(),
+        },
+        Atom::CatNeq { col, value } => CanonAtom::CatNeq {
+            col: col.clone(),
+            value: value.clone(),
+        },
+        Atom::CatIn { col, values } => {
+            let mut values = values.clone();
+            values.sort();
+            values.dedup();
+            if values.len() == 1 {
+                // `IN ('a')` ≡ `= 'a'`.
+                CanonAtom::CatEq {
+                    col: col.clone(),
+                    value: values.pop().unwrap(),
+                }
+            } else {
+                CanonAtom::CatIn {
+                    col: col.clone(),
+                    values,
+                }
+            }
+        }
+        Atom::StrPrefix { col, prefix } => CanonAtom::StrPrefix {
+            col: col.clone(),
+            prefix: prefix.clone(),
+        },
+        Atom::NumCmp { col, op, value } => CanonAtom::NumCmp {
+            col: col.clone(),
+            op: *op,
+            bits: f64_bits(*value),
+        },
+        Atom::NumBetween { col, lo, hi } => CanonAtom::NumBetween {
+            col: col.clone(),
+            lo: f64_bits(*lo),
+            hi: f64_bits(*hi),
+        },
+    }
+}
+
+/// Sorted, deduplicated conjunction.
+fn canon_conj(atoms: &[Atom]) -> Vec<CanonAtom> {
+    let mut out: Vec<CanonAtom> = atoms.iter().map(canon_atom).collect();
+    out.sort();
+    out.dedup();
+    out
+}
+
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+enum CanonPred {
+    True,
+    And(Vec<CanonAtom>),
+    /// Note: an *empty* disjunction matches nothing and stays `Or([])`.
+    Or(Vec<Vec<CanonAtom>>),
+}
+
+fn canon_pred(p: &Predicate) -> CanonPred {
+    match p {
+        Predicate::True => CanonPred::True,
+        Predicate::And(atoms) => {
+            let c = canon_conj(atoms);
+            if c.is_empty() {
+                CanonPred::True
+            } else {
+                CanonPred::And(c)
+            }
+        }
+        Predicate::Or(disj) => {
+            let mut conjs: Vec<Vec<CanonAtom>> = Vec::with_capacity(disj.len());
+            for conj in disj {
+                let c = canon_conj(conj);
+                if c.is_empty() {
+                    // An empty conjunct is `true`, so the whole
+                    // disjunction is — same rule as `Predicate::is_true`.
+                    return CanonPred::True;
+                }
+                conjs.push(c);
+            }
+            conjs.sort();
+            conjs.dedup();
+            if conjs.len() == 1 {
+                // A one-conjunct disjunction is the same filter as a
+                // plain conjunction.
+                CanonPred::And(conjs.into_iter().next().unwrap())
+            } else {
+                CanonPred::Or(conjs)
+            }
+        }
+    }
+}
+
+/// Canonical, hashable identity of a [`SelectQuery`].
+///
+/// Two queries map to the same `QueryKey` exactly when they are
+/// guaranteed to produce identical [`ResultTable`]s on identical data:
+/// predicate normalization folds semantically equal filters together,
+/// while the result-shaping parts (X column and bin, Y measures in
+/// order, Z columns in order) are preserved verbatim.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct QueryKey {
+    x_col: String,
+    x_bin: Option<u64>,
+    ys: Vec<(String, Agg)>,
+    zs: Vec<String>,
+    pred: CanonPred,
+}
+
+impl QueryKey {
+    pub fn of(q: &SelectQuery) -> QueryKey {
+        QueryKey {
+            x_col: q.x.col.clone(),
+            x_bin: q.x.bin.map(f64_bits),
+            ys: q.ys.iter().map(|y| (y.col.clone(), y.agg)).collect(),
+            zs: q.zs.clone(),
+            pred: canon_pred(&q.predicate),
+        }
+    }
+}
+
+/// Full cache key: which engine produced the result, over which table
+/// snapshot, for which canonical query.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    pub engine: &'static str,
+    pub table_version: u64,
+    pub query: QueryKey,
+}
+
+impl CacheKey {
+    pub fn new(engine: &'static str, table_version: u64, query: &SelectQuery) -> CacheKey {
+        CacheKey {
+            engine,
+            table_version,
+            query: QueryKey::of(query),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Configuration
+// ---------------------------------------------------------------------
+
+/// Capacity bounds for a [`ResultCache`]. A zero in either field
+/// disables caching entirely.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CacheConfig {
+    pub max_entries: usize,
+    pub max_bytes: usize,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig {
+            max_entries: 1024,
+            max_bytes: 64 << 20, // 64 MiB of aggregated series
+        }
+    }
+}
+
+impl CacheConfig {
+    pub fn disabled() -> Self {
+        CacheConfig {
+            max_entries: 0,
+            max_bytes: 0,
+        }
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.max_entries > 0 && self.max_bytes > 0
+    }
+}
+
+/// Point-in-time cache counters (monotonic except `entries`/`bytes`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub insertions: u64,
+    pub evictions: u64,
+    pub invalidations: u64,
+    pub entries: usize,
+    pub bytes: usize,
+}
+
+impl CacheStats {
+    /// Fraction of lookups served from cache (0 when none were made).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The LRU store
+// ---------------------------------------------------------------------
+
+const NIL: usize = usize::MAX;
+
+struct Slot {
+    key: CacheKey,
+    value: Arc<ResultTable>,
+    bytes: usize,
+    prev: usize,
+    next: usize,
+}
+
+/// Slab-backed doubly-linked LRU list + key index. Head = most recent.
+#[derive(Default)]
+struct Lru {
+    map: HashMap<CacheKey, usize>,
+    slots: Vec<Option<Slot>>,
+    free: Vec<usize>,
+    head: usize,
+    tail: usize,
+    bytes: usize,
+}
+
+impl Lru {
+    fn new() -> Self {
+        Lru {
+            head: NIL,
+            tail: NIL,
+            ..Default::default()
+        }
+    }
+
+    fn slot(&self, i: usize) -> &Slot {
+        self.slots[i].as_ref().expect("live slot")
+    }
+
+    fn slot_mut(&mut self, i: usize) -> &mut Slot {
+        self.slots[i].as_mut().expect("live slot")
+    }
+
+    fn unlink(&mut self, i: usize) {
+        let (prev, next) = {
+            let s = self.slot(i);
+            (s.prev, s.next)
+        };
+        if prev == NIL {
+            self.head = next;
+        } else {
+            self.slot_mut(prev).next = next;
+        }
+        if next == NIL {
+            self.tail = prev;
+        } else {
+            self.slot_mut(next).prev = prev;
+        }
+    }
+
+    fn push_front(&mut self, i: usize) {
+        let old_head = self.head;
+        {
+            let s = self.slot_mut(i);
+            s.prev = NIL;
+            s.next = old_head;
+        }
+        if old_head != NIL {
+            self.slot_mut(old_head).prev = i;
+        }
+        self.head = i;
+        if self.tail == NIL {
+            self.tail = i;
+        }
+    }
+
+    fn touch(&mut self, i: usize) {
+        if self.head != i {
+            self.unlink(i);
+            self.push_front(i);
+        }
+    }
+
+    /// Remove slot `i` entirely, returning its freed byte count.
+    fn remove(&mut self, i: usize) -> usize {
+        self.unlink(i);
+        let slot = self.slots[i].take().expect("live slot");
+        self.map.remove(&slot.key);
+        self.free.push(i);
+        self.bytes -= slot.bytes;
+        slot.bytes
+    }
+
+    fn insert_front(&mut self, key: CacheKey, value: Arc<ResultTable>, bytes: usize) {
+        let i = match self.free.pop() {
+            Some(i) => i,
+            None => {
+                self.slots.push(None);
+                self.slots.len() - 1
+            }
+        };
+        self.slots[i] = Some(Slot {
+            key: key.clone(),
+            value,
+            bytes,
+            prev: NIL,
+            next: NIL,
+        });
+        self.map.insert(key, i);
+        self.bytes += bytes;
+        self.push_front(i);
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+}
+
+/// Thread-safe, capacity-bounded (entries + bytes) LRU result cache.
+///
+/// Safe to share between engines: the engine name and table version in
+/// [`CacheKey`] keep entries from different engines / snapshots apart.
+pub struct ResultCache {
+    inner: Mutex<Lru>,
+    max_entries: usize,
+    max_bytes: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    insertions: AtomicU64,
+    evictions: AtomicU64,
+    invalidations: AtomicU64,
+}
+
+impl ResultCache {
+    pub fn new(config: &CacheConfig) -> ResultCache {
+        ResultCache {
+            inner: Mutex::new(Lru::new()),
+            max_entries: config.max_entries,
+            max_bytes: config.max_bytes,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            insertions: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
+        }
+    }
+
+    /// Look up a key, refreshing its recency on a hit. Returns a shared
+    /// handle — an `Arc` bump, so the mutex is never held across a deep
+    /// copy of the result.
+    pub fn get(&self, key: &CacheKey) -> Option<Arc<ResultTable>> {
+        let mut lru = self.inner.lock().expect("cache poisoned");
+        match lru.map.get(key).copied() {
+            Some(i) => {
+                lru.touch(i);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(Arc::clone(&lru.slot(i).value))
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Insert (or refresh) an entry, evicting from the cold end until
+    /// both bounds hold again. Returns the number of entries evicted.
+    /// Values larger than the whole byte budget are not admitted.
+    pub fn insert(&self, key: CacheKey, value: Arc<ResultTable>) -> u64 {
+        let bytes = value.approx_bytes();
+        if bytes > self.max_bytes || self.max_entries == 0 {
+            return 0;
+        }
+        let mut lru = self.inner.lock().expect("cache poisoned");
+        if let Some(i) = lru.map.get(&key).copied() {
+            // Same key computed twice (e.g. duplicate misses in one
+            // racing batch): refresh value + recency in place. A larger
+            // replacement can push the byte total over budget, so the
+            // bounds are re-enforced just like on a fresh insert.
+            lru.bytes = lru.bytes - lru.slot(i).bytes + bytes;
+            let s = lru.slot_mut(i);
+            s.value = value;
+            s.bytes = bytes;
+            lru.touch(i);
+        } else {
+            lru.insert_front(key, value, bytes);
+            self.insertions.fetch_add(1, Ordering::Relaxed);
+        }
+        let mut evicted = 0u64;
+        while lru.len() > self.max_entries || lru.bytes > self.max_bytes {
+            let tail = lru.tail;
+            debug_assert_ne!(tail, NIL, "bounds exceeded with an empty list");
+            lru.remove(tail);
+            evicted += 1;
+        }
+        self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        evicted
+    }
+
+    /// Drop every entry recorded under `version` — called by engines
+    /// after a mutation retires that snapshot. Purely a memory-reclaim
+    /// courtesy: versioned keys already make such entries unreachable.
+    pub fn invalidate_table_version(&self, version: u64) {
+        let mut lru = self.inner.lock().expect("cache poisoned");
+        let stale: Vec<usize> = lru
+            .map
+            .iter()
+            .filter(|(k, _)| k.table_version == version)
+            .map(|(_, &i)| i)
+            .collect();
+        let n = stale.len() as u64;
+        for i in stale {
+            lru.remove(i);
+        }
+        self.invalidations.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn clear(&self) {
+        let mut lru = self.inner.lock().expect("cache poisoned");
+        *lru = Lru::new();
+    }
+
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("cache poisoned").len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn bytes(&self) -> usize {
+        self.inner.lock().expect("cache poisoned").bytes
+    }
+
+    pub fn stats(&self) -> CacheStats {
+        let (entries, bytes) = {
+            let lru = self.inner.lock().expect("cache poisoned");
+            (lru.len(), lru.bytes)
+        };
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
+            entries,
+            bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::{GroupSeries, XSpec, YSpec};
+    use crate::value::Value;
+
+    fn q(pred: Predicate) -> SelectQuery {
+        SelectQuery::new(XSpec::raw("year"), vec![YSpec::sum("sales")])
+            .with_z("product")
+            .with_predicate(pred)
+    }
+
+    fn rt(tag: i64) -> ResultTable {
+        ResultTable {
+            z_cols: vec!["product".into()],
+            groups: vec![GroupSeries {
+                key: vec![Value::str("chair")],
+                xs: vec![Value::Int(tag)],
+                ys: vec![vec![tag as f64]],
+            }],
+        }
+    }
+
+    fn key(tag: u64, pred: Predicate) -> CacheKey {
+        CacheKey::new("test-engine", tag, &q(pred))
+    }
+
+    #[test]
+    fn permuted_conjunctions_collide() {
+        let a = Predicate::cat_eq("location", "US").and(Predicate::num_eq("year", 2015.0));
+        let b = Predicate::num_eq("year", 2015.0).and(Predicate::cat_eq("location", "US"));
+        assert_eq!(QueryKey::of(&q(a)), QueryKey::of(&q(b)));
+    }
+
+    #[test]
+    fn duplicate_atoms_and_singleton_in_collapse() {
+        let a = Predicate::cat_eq("p", "x").and(Predicate::cat_eq("p", "x"));
+        let b = Predicate::cat_eq("p", "x");
+        let c = Predicate::cat_in("p", vec!["x".into()]);
+        assert_eq!(QueryKey::of(&q(a.clone())), QueryKey::of(&q(b.clone())));
+        assert_eq!(QueryKey::of(&q(b)), QueryKey::of(&q(c)));
+        let l1 = Predicate::cat_in("p", vec!["b".into(), "a".into(), "b".into()]);
+        let l2 = Predicate::cat_in("p", vec!["a".into(), "b".into()]);
+        assert_eq!(QueryKey::of(&q(l1)), QueryKey::of(&q(l2)));
+    }
+
+    #[test]
+    fn disjunction_order_is_canonical_but_emptiness_is_kept() {
+        let atom = |p: &str| Atom::CatEq {
+            col: "product".into(),
+            value: p.into(),
+        };
+        let a = Predicate::Or(vec![vec![atom("a")], vec![atom("b")]]);
+        let b = Predicate::Or(vec![vec![atom("b")], vec![atom("a")]]);
+        assert_eq!(QueryKey::of(&q(a)), QueryKey::of(&q(b)));
+        // Or([[]]) is `true`, Or([]) matches nothing — they must differ.
+        let tautology = Predicate::Or(vec![vec![]]);
+        let nothing = Predicate::Or(vec![]);
+        assert_eq!(
+            QueryKey::of(&q(tautology)),
+            QueryKey::of(&q(Predicate::True))
+        );
+        assert_ne!(QueryKey::of(&q(nothing)), QueryKey::of(&q(Predicate::True)));
+        // A one-conjunct Or is the same filter as a plain And.
+        let single_or = Predicate::Or(vec![vec![atom("a")]]);
+        let plain_and = Predicate::cat_eq("product", "a");
+        assert_eq!(QueryKey::of(&q(single_or)), QueryKey::of(&q(plain_and)));
+    }
+
+    #[test]
+    fn output_shape_is_not_normalized_away() {
+        // Y order and Z order change the result layout → different keys.
+        let base = SelectQuery::new(
+            XSpec::raw("year"),
+            vec![YSpec::sum("sales"), YSpec::avg("profit")],
+        );
+        let swapped = SelectQuery::new(
+            XSpec::raw("year"),
+            vec![YSpec::avg("profit"), YSpec::sum("sales")],
+        );
+        assert_ne!(QueryKey::of(&base), QueryKey::of(&swapped));
+        let z1 = base.clone().with_z("a").with_z("b");
+        let z2 = base.clone().with_z("b").with_z("a");
+        assert_ne!(QueryKey::of(&z1), QueryKey::of(&z2));
+        // Bin width and agg function matter too.
+        let binned = SelectQuery::new(XSpec::binned("year", 2.0), vec![YSpec::sum("sales")]);
+        let raw = SelectQuery::new(XSpec::raw("year"), vec![YSpec::sum("sales")]);
+        assert_ne!(QueryKey::of(&binned), QueryKey::of(&raw));
+    }
+
+    #[test]
+    fn zero_signs_share_a_key() {
+        let a = Predicate::num_eq("sales", 0.0);
+        let b = Predicate::num_eq("sales", -0.0);
+        assert_eq!(QueryKey::of(&q(a)), QueryKey::of(&q(b)));
+    }
+
+    #[test]
+    fn lru_evicts_in_recency_order() {
+        let cache = ResultCache::new(&CacheConfig {
+            max_entries: 2,
+            max_bytes: usize::MAX,
+        });
+        let k1 = key(1, Predicate::cat_eq("p", "a"));
+        let k2 = key(1, Predicate::cat_eq("p", "b"));
+        let k3 = key(1, Predicate::cat_eq("p", "c"));
+        cache.insert(k1.clone(), Arc::new(rt(1)));
+        cache.insert(k2.clone(), Arc::new(rt(2)));
+        assert!(cache.get(&k1).is_some()); // k1 now most recent
+        let evicted = cache.insert(k3.clone(), Arc::new(rt(3)));
+        assert_eq!(evicted, 1);
+        assert!(cache.get(&k2).is_none(), "k2 was coldest and must go");
+        assert!(cache.get(&k1).is_some());
+        assert!(cache.get(&k3).is_some());
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 2);
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.insertions, 3);
+    }
+
+    #[test]
+    fn byte_bound_is_enforced() {
+        let one = rt(1).approx_bytes();
+        let cache = ResultCache::new(&CacheConfig {
+            max_entries: 100,
+            max_bytes: one * 2,
+        });
+        for i in 0..10u64 {
+            cache.insert(
+                key(1, Predicate::num_eq("year", i as f64)),
+                Arc::new(rt(i as i64)),
+            );
+        }
+        assert!(cache.len() <= 2);
+        assert!(cache.bytes() <= one * 2);
+        assert!(cache.stats().evictions >= 8);
+        // A value bigger than the whole budget is never admitted.
+        let tiny = ResultCache::new(&CacheConfig {
+            max_entries: 100,
+            max_bytes: 1,
+        });
+        assert_eq!(tiny.insert(key(1, Predicate::True), Arc::new(rt(1))), 0);
+        assert!(tiny.is_empty());
+    }
+
+    #[test]
+    fn reinsert_refreshes_in_place() {
+        let cache = ResultCache::new(&CacheConfig::default());
+        let k = key(1, Predicate::True);
+        cache.insert(k.clone(), Arc::new(rt(1)));
+        cache.insert(k.clone(), Arc::new(rt(2)));
+        assert_eq!(cache.len(), 1);
+        assert_eq!(*cache.get(&k).unwrap(), rt(2));
+    }
+
+    #[test]
+    fn refresh_with_larger_value_still_enforces_byte_bound() {
+        let small = rt(1);
+        let mut big = rt(2);
+        big.groups[0].ys[0].extend(std::iter::repeat_n(0.0, 64));
+        assert!(big.approx_bytes() > small.approx_bytes());
+        let cache = ResultCache::new(&CacheConfig {
+            max_entries: 100,
+            max_bytes: small.approx_bytes() * 2 + big.approx_bytes() / 2,
+        });
+        let k1 = key(1, Predicate::cat_eq("p", "a"));
+        let k2 = key(1, Predicate::cat_eq("p", "b"));
+        cache.insert(k1.clone(), Arc::new(small.clone()));
+        cache.insert(k2.clone(), Arc::new(small.clone()));
+        // Refreshing k2 with a bigger value pushes the total over the
+        // budget: the coldest entry (k1) must be evicted.
+        let evicted = cache.insert(k2.clone(), Arc::new(big.clone()));
+        assert_eq!(evicted, 1);
+        assert!(cache.get(&k1).is_none());
+        assert_eq!(*cache.get(&k2).unwrap(), big);
+        assert!(cache.bytes() <= small.approx_bytes() * 2 + big.approx_bytes() / 2);
+    }
+
+    #[test]
+    fn version_partition_and_invalidation() {
+        let cache = ResultCache::new(&CacheConfig::default());
+        let old = key(7, Predicate::True);
+        let new = key(8, Predicate::True);
+        cache.insert(old.clone(), Arc::new(rt(1)));
+        cache.insert(new.clone(), Arc::new(rt(2)));
+        assert_eq!(*cache.get(&old).unwrap(), rt(1));
+        assert_eq!(*cache.get(&new).unwrap(), rt(2));
+        cache.invalidate_table_version(7);
+        assert!(cache.get(&old).is_none());
+        assert_eq!(*cache.get(&new).unwrap(), rt(2));
+        assert_eq!(cache.stats().invalidations, 1);
+    }
+
+    #[test]
+    fn stats_and_hit_rate() {
+        let cache = ResultCache::new(&CacheConfig::default());
+        let k = key(1, Predicate::True);
+        assert!(cache.get(&k).is_none());
+        cache.insert(k.clone(), Arc::new(rt(1)));
+        assert!(cache.get(&k).is_some());
+        assert!(cache.get(&k).is_some());
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses), (2, 1));
+        assert!((s.hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.bytes(), 0);
+    }
+}

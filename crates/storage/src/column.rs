@@ -112,6 +112,41 @@ impl Column {
         self.len() == 0
     }
 
+    /// Whether [`Column::push`] would accept `v` (same coercion rules),
+    /// without mutating anything — used to pre-validate batch appends.
+    pub fn accepts(&self, v: &Value) -> bool {
+        matches!(
+            (self, v),
+            (Column::Int(_), Value::Int(_) | Value::Float(_))
+                | (Column::Float(_), Value::Int(_) | Value::Float(_))
+                | (Column::Cat(_), Value::Str(_))
+        )
+    }
+
+    /// Append every row of `other` onto this column. Numeric columns
+    /// extend slice-at-a-time; categorical columns remap the other
+    /// dictionary's codes through a translation table built once per call.
+    pub fn append(&mut self, other: &Column) -> Result<(), String> {
+        match (self, other) {
+            (Column::Int(a), Column::Int(b)) => a.extend_from_slice(b),
+            (Column::Float(a), Column::Float(b)) => a.extend_from_slice(b),
+            (Column::Cat(a), Column::Cat(b)) => {
+                let remap: Vec<u32> = b.dict().iter().map(|s| a.intern(s)).collect();
+                for &code in b.codes() {
+                    a.push_code(remap[code as usize]);
+                }
+            }
+            (a, b) => {
+                return Err(format!(
+                    "cannot append {} column onto {} column",
+                    b.dtype(),
+                    a.dtype()
+                ))
+            }
+        }
+        Ok(())
+    }
+
     pub fn push(&mut self, v: &Value) -> Result<(), String> {
         match (self, v) {
             (Column::Int(col), Value::Int(i)) => col.push(*i),
@@ -223,6 +258,31 @@ mod tests {
         assert_eq!(c.get(0), Value::Int(7));
         assert_eq!(c.get(1), Value::Int(2));
         assert!(c.push(&Value::str("oops")).is_err());
+    }
+
+    #[test]
+    fn append_remaps_codes_and_rejects_type_mismatch() {
+        let mut a = Column::new(DataType::Cat);
+        for v in ["US", "UK"] {
+            a.push(&Value::str(v)).unwrap();
+        }
+        let mut b = Column::new(DataType::Cat);
+        for v in ["FR", "UK"] {
+            b.push(&Value::str(v)).unwrap();
+        }
+        a.append(&b).unwrap();
+        assert_eq!(a.len(), 4);
+        assert_eq!(a.get(2), Value::str("FR"));
+        assert_eq!(a.get(3), Value::str("UK"));
+        assert_eq!(a.cardinality(), 3);
+
+        let mut ints = Column::new(DataType::Int);
+        ints.append(&Column::Int(vec![1, 2])).unwrap();
+        assert_eq!(ints.len(), 2);
+        assert!(ints.append(&b).is_err());
+        assert!(ints.accepts(&Value::Int(1)));
+        assert!(ints.accepts(&Value::Float(1.5)));
+        assert!(!ints.accepts(&Value::str("x")));
     }
 
     #[test]

@@ -1,26 +1,66 @@
 //! The backend abstraction: "zenvisage can use as a backend any
 //! traditional relational database" (thesis §2). The ZQL executor only
 //! speaks [`Database`]; both shipped engines implement it.
+//!
+//! Since the engine-level result cache landed, [`Database::run_request`]
+//! is also where cross-query caching happens: each query is looked up
+//! under `(engine, table version, canonical query)` before any scan, so
+//! interactive sessions replaying the same slices — across requests *and*
+//! across ZQL executions — skip the scan entirely. See [`crate::cache`]
+//! for the version-key invalidation scheme.
 
+use crate::cache::{CacheKey, ResultCache};
 use crate::query::{ResultTable, SelectQuery};
 use crate::stats::ExecStats;
 use crate::table::{StorageError, Table};
+use crate::value::Value;
 use std::sync::Arc;
 use std::time::Duration;
 
 /// A queryable backend holding one relation.
 pub trait Database: Send + Sync {
-    /// Stable engine identifier (used in experiment output).
+    /// Stable engine identifier (used in experiment output and as the
+    /// engine half of result-cache keys).
     fn name(&self) -> &'static str;
 
-    /// The relation this engine serves.
-    fn table(&self) -> &Arc<Table>;
+    /// The current snapshot of the relation this engine serves. Returned
+    /// by value because engines may swap the snapshot on append.
+    fn table(&self) -> Arc<Table>;
 
-    /// Execute one canonical grouped-aggregate query.
+    /// Execute one canonical grouped-aggregate query, bypassing the
+    /// result cache (the raw path; also what equivalence tests compare
+    /// cached results against).
     fn execute(&self, query: &SelectQuery) -> Result<ResultTable, StorageError>;
 
     /// Execution counters.
     fn stats(&self) -> &ExecStats;
+
+    /// The engine-level result cache, if this engine carries one.
+    fn result_cache(&self) -> Option<&ResultCache> {
+        None
+    }
+
+    /// Point-in-time counters of the result cache, if any.
+    fn cache_stats(&self) -> Option<crate::cache::CacheStats> {
+        self.result_cache().map(ResultCache::stats)
+    }
+
+    /// Append rows to the relation. Mutating engines bump the table
+    /// version (invalidating cached results for free) and refresh their
+    /// indexes; the default implementation rejects the append.
+    fn append_rows(&self, _rows: &[Vec<Value>]) -> Result<usize, StorageError> {
+        Err(StorageError::Unsupported(
+            "this engine does not support appends".into(),
+        ))
+    }
+
+    /// Append a whole same-schema table. Same contract as
+    /// [`Database::append_rows`].
+    fn append_table(&self, _other: &Table) -> Result<usize, StorageError> {
+        Err(StorageError::Unsupported(
+            "this engine does not support appends".into(),
+        ))
+    }
 
     /// Simulated round-trip latency per batched request (DESIGN.md
     /// substitution 2). Zero by default.
@@ -30,20 +70,72 @@ pub trait Database: Send + Sync {
 
     /// Execute a batch of queries as one round trip. The external
     /// optimizations of §5.2 work by shrinking the number of calls made
-    /// here.
+    /// here; the engine-level result cache shrinks the *scans* behind
+    /// them.
     ///
-    /// Multi-query batches fan out across the shared pool (one worker per
-    /// query up to the hardware width); each query then scans serially,
-    /// thanks to the pool's nesting guard. Single-query requests instead
-    /// parallelize *inside* the scan (see `exec::aggregate_parallel`), so
-    /// the hardware is saturated either way.
+    /// Per query: look up the result cache (recording a hit or miss in
+    /// [`ExecStats`]), then fan the misses across the shared pool exactly
+    /// as before — multi-query batches use one worker per query, while a
+    /// single missing query parallelizes *inside* the scan (see
+    /// `exec::aggregate_parallel`), so the hardware is saturated either
+    /// way. Fresh results are inserted under the table version observed
+    /// *before* execution: the version only ever advances, so an entry
+    /// can never be served after its snapshot is retired (see
+    /// [`crate::cache`]).
+    ///
+    /// Consistency: each answer is *per-query* snapshot-consistent and at
+    /// least as new as the version observed at request start. A request
+    /// racing a concurrent append may therefore mix adjacent snapshots
+    /// across the queries of one batch — the same semantics as a
+    /// non-transactional batch against a live SQL backend. Pinning one
+    /// snapshot for a whole batch is a ROADMAP follow-on.
     fn run_request(&self, queries: &[SelectQuery]) -> Result<Vec<ResultTable>, StorageError> {
         self.stats().record_request();
         let overhead = self.request_overhead();
         if !overhead.is_zero() {
             std::thread::sleep(overhead);
         }
-        crate::parallel::try_parallel_map(queries.len(), 0, |i| self.execute(&queries[i]))
+        let Some(cache) = self.result_cache() else {
+            return crate::parallel::try_parallel_map(queries.len(), 0, |i| {
+                self.execute(&queries[i])
+            });
+        };
+        let version = self.table().version();
+        let engine = self.name();
+        let mut results: Vec<Option<Arc<ResultTable>>> = Vec::with_capacity(queries.len());
+        let mut misses: Vec<(usize, CacheKey)> = Vec::new();
+        for (i, q) in queries.iter().enumerate() {
+            let key = CacheKey::new(engine, version, q);
+            match cache.get(&key) {
+                Some(hit) => {
+                    self.stats().record_cache_hit();
+                    results.push(Some(hit));
+                }
+                None => {
+                    self.stats().record_cache_miss();
+                    results.push(None);
+                    misses.push((i, key));
+                }
+            }
+        }
+        let fresh = crate::parallel::try_parallel_map(misses.len(), 0, |j| {
+            self.execute(&queries[misses[j].0])
+        })?;
+        for ((i, key), rt) in misses.into_iter().zip(fresh) {
+            let rt = Arc::new(rt);
+            let evicted = cache.insert(key, Arc::clone(&rt));
+            self.stats().record_cache_evictions(evicted);
+            results[i] = Some(rt);
+        }
+        Ok(results
+            .into_iter()
+            .map(|r| {
+                let rt = r.expect("every query either hit or was executed");
+                // One deep copy at the trait boundary (its signature is
+                // by-value); cache hits never copy under the lock.
+                Arc::try_unwrap(rt).unwrap_or_else(|shared| (*shared).clone())
+            })
+            .collect())
     }
 }
 

@@ -35,6 +35,7 @@
 //! ```
 
 pub mod bitmap_db;
+pub mod cache;
 pub mod column;
 pub mod db;
 pub mod exec;
@@ -48,6 +49,7 @@ pub mod table;
 pub mod value;
 
 pub use bitmap_db::{BitmapDb, BitmapDbConfig};
+pub use cache::{CacheConfig, CacheKey, CacheStats, QueryKey, ResultCache};
 pub use column::{CatColumn, Column};
 pub use db::{Database, DynDatabase};
 pub use exec::{GroupStrategy, ParallelConfig};

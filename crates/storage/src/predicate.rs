@@ -10,7 +10,7 @@ use crate::value::{DataType, Value};
 use std::fmt;
 
 /// Comparison operators for numeric atoms.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum CmpOp {
     Eq,
     Neq,

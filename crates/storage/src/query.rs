@@ -163,6 +163,25 @@ pub struct GroupSeries {
 }
 
 impl GroupSeries {
+    /// Approximate heap footprint, used by the result cache's byte bound.
+    pub fn approx_bytes(&self) -> usize {
+        fn value_bytes(v: &Value) -> usize {
+            std::mem::size_of::<Value>()
+                + match v {
+                    Value::Str(s) => s.len(),
+                    _ => 0,
+                }
+        }
+        std::mem::size_of::<Self>()
+            + self.key.iter().map(value_bytes).sum::<usize>()
+            + self.xs.iter().map(value_bytes).sum::<usize>()
+            + self
+                .ys
+                .iter()
+                .map(|y| std::mem::size_of::<Vec<f64>>() + y.len() * 8)
+                .sum::<usize>()
+    }
+
     /// The `(x, y)` pairs of measure `measure_idx` as f64, skipping
     /// non-numeric X values.
     pub fn points(&self, measure_idx: usize) -> Vec<(f64, f64)> {
@@ -207,6 +226,21 @@ impl ResultTable {
     /// metric for Figure 7.4.
     pub fn cell_count(&self) -> usize {
         self.groups.iter().map(|g| g.xs.len()).sum()
+    }
+
+    /// Approximate heap footprint, used by the result cache's byte bound.
+    pub fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self
+                .z_cols
+                .iter()
+                .map(|c| std::mem::size_of::<String>() + c.len())
+                .sum::<usize>()
+            + self
+                .groups
+                .iter()
+                .map(GroupSeries::approx_bytes)
+                .sum::<usize>()
     }
 }
 

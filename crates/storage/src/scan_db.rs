@@ -5,13 +5,21 @@
 //! cardinality-aware (dense group arrays up to a large limit), which is
 //! what lets it overtake the bitmap engine at 100% selectivity with many
 //! groups (Figure 7.5a).
+//!
+//! The table lives behind an `RwLock<Arc<Table>>`: queries clone the
+//! current snapshot (cheap Arc bump) and scan it lock-free, while
+//! appends copy-on-write a new snapshot with a fresh version — readers
+//! mid-scan keep their old snapshot, and the version bump retires every
+//! cached result of the old one (see [`crate::cache`]).
 
+use crate::cache::{CacheConfig, ResultCache};
 use crate::db::Database;
 use crate::exec::{self, compile_pred, RowSource};
 use crate::query::{ResultTable, SelectQuery};
 use crate::stats::ExecStats;
 use crate::table::{StorageError, Table};
-use std::sync::Arc;
+use crate::value::Value;
+use std::sync::{Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
 /// Tuning knobs for [`ScanDb`].
@@ -23,6 +31,9 @@ pub struct ScanDbConfig {
     pub request_overhead: Duration,
     /// Sharded-scan tuning (thread count, serial threshold).
     pub parallel: exec::ParallelConfig,
+    /// Engine-level result cache bounds ([`CacheConfig::disabled`] turns
+    /// the cache off, e.g. for raw-engine benchmarks).
+    pub cache: CacheConfig,
 }
 
 impl Default for ScanDbConfig {
@@ -31,15 +42,31 @@ impl Default for ScanDbConfig {
             dense_group_limit: 1 << 24,
             request_overhead: Duration::ZERO,
             parallel: exec::ParallelConfig::default(),
+            cache: CacheConfig::default(),
+        }
+    }
+}
+
+impl ScanDbConfig {
+    /// Default config with the result cache off — for benchmarks and
+    /// tests that measure (or compare against) raw engine behaviour.
+    pub fn uncached() -> Self {
+        ScanDbConfig {
+            cache: CacheConfig::disabled(),
+            ..Default::default()
         }
     }
 }
 
 /// Scan-based reference engine.
 pub struct ScanDb {
-    table: Arc<Table>,
+    table: RwLock<Arc<Table>>,
+    /// Serializes mutations so two appends cannot base their snapshots
+    /// on the same predecessor (readers never touch this).
+    append_lock: Mutex<()>,
     config: ScanDbConfig,
     stats: ExecStats,
+    cache: Option<Arc<ResultCache>>,
 }
 
 impl ScanDb {
@@ -48,15 +75,61 @@ impl ScanDb {
     }
 
     pub fn with_config(table: Arc<Table>, config: ScanDbConfig) -> Self {
+        let cache = config
+            .cache
+            .is_enabled()
+            .then(|| Arc::new(ResultCache::new(&config.cache)));
+        Self::build(table, config, cache)
+    }
+
+    /// Construct with an explicitly shared cache (versioned keys keep
+    /// entries from different engines / snapshots apart).
+    pub fn with_shared_cache(
+        table: Arc<Table>,
+        config: ScanDbConfig,
+        cache: Arc<ResultCache>,
+    ) -> Self {
+        Self::build(table, config, Some(cache))
+    }
+
+    fn build(table: Arc<Table>, config: ScanDbConfig, cache: Option<Arc<ResultCache>>) -> Self {
         ScanDb {
-            table,
+            table: RwLock::new(table),
+            append_lock: Mutex::new(()),
             config,
             stats: ExecStats::new(),
+            cache,
         }
     }
 
     pub fn config(&self) -> &ScanDbConfig {
         &self.config
+    }
+
+    fn snapshot(&self) -> Arc<Table> {
+        self.table.read().expect("table lock poisoned").clone()
+    }
+
+    /// Swap in a mutated table built by `mutate`; returns its row delta.
+    /// The O(n) copy-on-write runs outside the reader-visible lock —
+    /// concurrent queries keep their old snapshot throughout — and
+    /// appends serialize on `append_lock`.
+    fn mutate_table(
+        &self,
+        mutate: impl FnOnce(&mut Table) -> Result<usize, StorageError>,
+    ) -> Result<usize, StorageError> {
+        let _appending = self.append_lock.lock().expect("append lock poisoned");
+        let mut next = (*self.snapshot()).clone();
+        let old_version = next.version();
+        let n = mutate(&mut next)?;
+        if n == 0 && next.version() == old_version {
+            return Ok(0);
+        }
+        *self.table.write().expect("table lock poisoned") = Arc::new(next);
+        if let Some(cache) = &self.cache {
+            cache.invalidate_table_version(old_version);
+        }
+        Ok(n)
     }
 }
 
@@ -65,28 +138,29 @@ impl Database for ScanDb {
         "scan-db"
     }
 
-    fn table(&self) -> &Arc<Table> {
-        &self.table
+    fn table(&self) -> Arc<Table> {
+        self.snapshot()
     }
 
     fn execute(&self, query: &SelectQuery) -> Result<ResultTable, StorageError> {
         let start = Instant::now();
+        let table = self.snapshot();
         let source = if query.predicate.is_true() {
-            RowSource::All(self.table.num_rows())
+            RowSource::All(table.num_rows())
         } else {
-            let pred = compile_pred(&self.table, &query.predicate)?;
+            let pred = compile_pred(&table, &query.predicate)?;
             RowSource::Filtered {
-                n_rows: self.table.num_rows(),
+                n_rows: table.num_rows(),
                 pred,
             }
         };
-        let groups = exec::group_space(&self.table, query)?;
+        let groups = exec::group_space(&table, query)?;
         let strategy = exec::choose_strategy(groups, self.config.dense_group_limit);
         let threads = self.config.parallel.threads_for(source.estimated_rows());
         let (result, scanned) = if threads > 1 {
-            exec::aggregate_parallel(&self.table, query, &source, strategy, threads)?
+            exec::aggregate_parallel(&table, query, &source, strategy, threads)?
         } else {
-            exec::aggregate(&self.table, query, &source, strategy)?
+            exec::aggregate(&table, query, &source, strategy)?
         };
         self.stats.record_query(scanned, start.elapsed());
         Ok(result)
@@ -94,6 +168,18 @@ impl Database for ScanDb {
 
     fn stats(&self) -> &ExecStats {
         &self.stats
+    }
+
+    fn result_cache(&self) -> Option<&ResultCache> {
+        self.cache.as_deref()
+    }
+
+    fn append_rows(&self, rows: &[Vec<Value>]) -> Result<usize, StorageError> {
+        self.mutate_table(|t| t.append_rows(rows))
+    }
+
+    fn append_table(&self, other: &Table) -> Result<usize, StorageError> {
+        self.mutate_table(|t| t.append_table(other))
     }
 
     fn request_overhead(&self) -> Duration {
@@ -148,5 +234,42 @@ mod tests {
         assert_eq!(rt.groups.len(), 2);
         let chair = rt.group(&[Value::str("chair")]).unwrap();
         assert_eq!(chair.ys[0], vec![10.0, 20.0]);
+    }
+
+    #[test]
+    fn warm_request_skips_the_scan() {
+        let db = db();
+        let q = SelectQuery::new(XSpec::raw("year"), vec![YSpec::sum("sales")]).with_z("product");
+        let cold = db.run_request(std::slice::from_ref(&q)).unwrap();
+        let before = db.stats().snapshot();
+        let warm = db.run_request(std::slice::from_ref(&q)).unwrap();
+        let delta = db.stats().snapshot().since(&before);
+        assert_eq!(cold, warm);
+        assert_eq!(delta.rows_scanned, 0, "warm repeat must not scan");
+        assert_eq!(delta.queries, 0);
+        assert_eq!(delta.cache_hits, 1);
+    }
+
+    #[test]
+    fn append_refreshes_results_and_version() {
+        let db = db();
+        let v0 = db.table().version();
+        let q = SelectQuery::new(XSpec::raw("year"), vec![YSpec::sum("sales")]);
+        let before = db.run_request(std::slice::from_ref(&q)).unwrap();
+        assert_eq!(before[0].groups[0].ys[0], vec![17.0, 29.0]);
+        db.append_rows(&[vec![
+            Value::Int(2014),
+            Value::str("lamp"),
+            Value::Float(3.0),
+        ]])
+        .unwrap();
+        assert!(db.table().version() > v0);
+        assert_eq!(db.table().num_rows(), 5);
+        let after = db.run_request(std::slice::from_ref(&q)).unwrap();
+        assert_eq!(
+            after[0].groups[0].ys[0],
+            vec![20.0, 29.0],
+            "post-append request must see the new row, not the cached result"
+        );
     }
 }

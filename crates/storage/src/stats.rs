@@ -17,6 +17,12 @@ pub struct ExecStats {
     rows_scanned: AtomicU64,
     /// Nanoseconds spent inside query execution.
     exec_nanos: AtomicU64,
+    /// Queries answered from the engine-level result cache (no scan).
+    cache_hits: AtomicU64,
+    /// Queries that missed the result cache and executed for real.
+    cache_misses: AtomicU64,
+    /// Entries evicted from the result cache on this engine's inserts.
+    cache_evictions: AtomicU64,
 }
 
 impl ExecStats {
@@ -35,12 +41,27 @@ impl ExecStats {
         self.requests.fetch_add(1, Ordering::Relaxed);
     }
 
+    pub fn record_cache_hit(&self) {
+        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn record_cache_miss(&self) {
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn record_cache_evictions(&self, n: u64) {
+        self.cache_evictions.fetch_add(n, Ordering::Relaxed);
+    }
+
     pub fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
             queries: self.queries.load(Ordering::Relaxed),
             requests: self.requests.load(Ordering::Relaxed),
             rows_scanned: self.rows_scanned.load(Ordering::Relaxed),
             exec_time: Duration::from_nanos(self.exec_nanos.load(Ordering::Relaxed)),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            cache_evictions: self.cache_evictions.load(Ordering::Relaxed),
         }
     }
 
@@ -49,6 +70,9 @@ impl ExecStats {
         self.requests.store(0, Ordering::Relaxed);
         self.rows_scanned.store(0, Ordering::Relaxed);
         self.exec_nanos.store(0, Ordering::Relaxed);
+        self.cache_hits.store(0, Ordering::Relaxed);
+        self.cache_misses.store(0, Ordering::Relaxed);
+        self.cache_evictions.store(0, Ordering::Relaxed);
     }
 }
 
@@ -59,6 +83,9 @@ pub struct StatsSnapshot {
     pub requests: u64,
     pub rows_scanned: u64,
     pub exec_time: Duration,
+    pub cache_hits: u64,
+    pub cache_misses: u64,
+    pub cache_evictions: u64,
 }
 
 impl StatsSnapshot {
@@ -69,6 +96,9 @@ impl StatsSnapshot {
             requests: self.requests - earlier.requests,
             rows_scanned: self.rows_scanned - earlier.rows_scanned,
             exec_time: self.exec_time.saturating_sub(earlier.exec_time),
+            cache_hits: self.cache_hits - earlier.cache_hits,
+            cache_misses: self.cache_misses - earlier.cache_misses,
+            cache_evictions: self.cache_evictions - earlier.cache_evictions,
         }
     }
 }
@@ -83,11 +113,17 @@ mod tests {
         s.record_query(100, Duration::from_millis(2));
         s.record_query(50, Duration::from_millis(1));
         s.record_request();
+        s.record_cache_hit();
+        s.record_cache_miss();
+        s.record_cache_evictions(3);
         let snap = s.snapshot();
         assert_eq!(snap.queries, 2);
         assert_eq!(snap.requests, 1);
         assert_eq!(snap.rows_scanned, 150);
         assert_eq!(snap.exec_time, Duration::from_millis(3));
+        assert_eq!(snap.cache_hits, 1);
+        assert_eq!(snap.cache_misses, 1);
+        assert_eq!(snap.cache_evictions, 3);
     }
 
     #[test]

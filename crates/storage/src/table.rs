@@ -5,7 +5,23 @@ use crate::column::Column;
 use crate::value::{DataType, Value};
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Global snapshot counter backing [`Table::version`]. Every table
+/// construction *and* every mutation draws a fresh value, so a version
+/// number identifies one immutable snapshot of one table's contents
+/// process-wide — two tables (or two states of the same table) never
+/// share a version. Within a single table's lifetime the version is
+/// strictly increasing, which is what lets result caches treat
+/// `(version, query)` as a self-invalidating key: once a table mutates,
+/// its old version is never current again, so entries recorded under it
+/// can never be served stale.
+static NEXT_VERSION: AtomicU64 = AtomicU64::new(1);
+
+fn next_version() -> u64 {
+    NEXT_VERSION.fetch_add(1, Ordering::Relaxed)
+}
 
 /// One attribute of a relation.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -71,6 +87,7 @@ pub enum StorageError {
     UnknownColumn(String),
     TypeMismatch(String),
     Malformed(String),
+    Unsupported(String),
 }
 
 impl fmt::Display for StorageError {
@@ -79,18 +96,25 @@ impl fmt::Display for StorageError {
             StorageError::UnknownColumn(c) => write!(f, "unknown column: {c}"),
             StorageError::TypeMismatch(m) => write!(f, "type mismatch: {m}"),
             StorageError::Malformed(m) => write!(f, "malformed input: {m}"),
+            StorageError::Unsupported(m) => write!(f, "unsupported operation: {m}"),
         }
     }
 }
 
 impl std::error::Error for StorageError {}
 
-/// An immutable in-memory relation.
+/// An in-memory relation: schema + columns + a snapshot version.
+///
+/// A `Table` is immutable through shared references; owners can grow it
+/// with [`Table::append_rows`] / [`Table::append_table`], each of which
+/// bumps [`Table::version`] to a fresh process-unique value. Engines use
+/// the version as the invalidation half of their result-cache keys.
 #[derive(Clone, Debug)]
 pub struct Table {
     schema: Schema,
     columns: Vec<Column>,
     rows: usize,
+    version: u64,
 }
 
 impl Table {
@@ -123,6 +147,7 @@ impl Table {
             schema,
             columns,
             rows,
+            version: next_version(),
         })
     }
 
@@ -132,6 +157,76 @@ impl Table {
 
     pub fn num_rows(&self) -> usize {
         self.rows
+    }
+
+    /// The snapshot version of this table's contents: process-unique, and
+    /// strictly increasing across mutations of the same table. See
+    /// [`crate::cache`] for how engines key result caches on it.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Append rows (each a full-width `Vec<Value>`) and bump the version.
+    ///
+    /// The append is atomic: every row is validated against the schema
+    /// (width and type, with the same Int↔Float coercions as
+    /// [`TableBuilder::push_row`]) before any row is stored, so a failed
+    /// append leaves the table untouched. Returns the number of rows
+    /// appended. An empty batch is a no-op: the version is *not* bumped,
+    /// so cached results stay valid.
+    pub fn append_rows(&mut self, rows: &[Vec<Value>]) -> Result<usize, StorageError> {
+        if rows.is_empty() {
+            return Ok(0);
+        }
+        for (ri, row) in rows.iter().enumerate() {
+            if row.len() != self.columns.len() {
+                return Err(StorageError::Malformed(format!(
+                    "append row {ri} has width {}, schema width {}",
+                    row.len(),
+                    self.columns.len()
+                )));
+            }
+            for (col, v) in self.columns.iter().zip(row) {
+                if !col.accepts(v) {
+                    return Err(StorageError::TypeMismatch(format!(
+                        "append row {ri}: cannot store {v:?} in {} column",
+                        col.dtype()
+                    )));
+                }
+            }
+        }
+        for row in rows {
+            for (col, v) in self.columns.iter_mut().zip(row) {
+                col.push(v).map_err(StorageError::TypeMismatch)?;
+            }
+        }
+        self.rows += rows.len();
+        self.version = next_version();
+        Ok(rows.len())
+    }
+
+    /// Append every row of `other` (whose schema must match exactly) and
+    /// bump the version. Columnar fast path: numeric columns are extended
+    /// slice-at-a-time and categorical codes are remapped through a
+    /// per-dictionary translation table instead of re-hashing row strings.
+    pub fn append_table(&mut self, other: &Table) -> Result<usize, StorageError> {
+        if self.schema != other.schema {
+            return Err(StorageError::Malformed(format!(
+                "append_table schema mismatch: [{}] vs [{}]",
+                self.schema.names().collect::<Vec<_>>().join(", "),
+                other.schema.names().collect::<Vec<_>>().join(", ")
+            )));
+        }
+        if other.rows == 0 {
+            // No-op append: keep the version (and cached results) intact.
+            return Ok(0);
+        }
+        for (col, oc) in self.columns.iter_mut().zip(&other.columns) {
+            col.append(oc).map_err(StorageError::TypeMismatch)?;
+        }
+        self.rows += other.rows;
+        self.version = next_version();
+        Ok(other.rows)
     }
 
     pub fn column(&self, name: &str) -> Result<&Column, StorageError> {
@@ -298,6 +393,7 @@ impl TableBuilder {
             schema: self.schema,
             columns: self.columns,
             rows: self.rows,
+            version: next_version(),
         }
     }
 
@@ -362,6 +458,91 @@ mod tests {
         assert_eq!(t2.schema().field("product").unwrap().dtype, DataType::Cat);
         assert_eq!(t2.schema().field("sales").unwrap().dtype, DataType::Float);
         assert_eq!(t2.row(0), t.row(0));
+    }
+
+    #[test]
+    fn append_rows_bumps_version_and_validates_atomically() {
+        let mut t = sample();
+        let v0 = t.version();
+        let n = t
+            .append_rows(&[
+                vec![Value::Int(2017), Value::str("lamp"), Value::Float(3.5)],
+                vec![Value::Int(2018), Value::str("chair"), Value::Float(4.0)],
+            ])
+            .unwrap();
+        assert_eq!(n, 2);
+        assert_eq!(t.num_rows(), 4);
+        assert!(t.version() > v0, "append must advance the version");
+        assert_eq!(
+            t.row(2),
+            vec![Value::Int(2017), Value::str("lamp"), Value::Float(3.5)]
+        );
+
+        // A bad row anywhere in the batch must leave the table untouched.
+        let v1 = t.version();
+        let err = t.append_rows(&[
+            vec![Value::Int(2019), Value::str("desk"), Value::Float(1.0)],
+            vec![Value::Int(2019), Value::Float(9.9), Value::Float(1.0)],
+        ]);
+        assert!(err.is_err());
+        assert_eq!(t.num_rows(), 4, "failed append must be atomic");
+        assert_eq!(t.version(), v1, "failed append must not bump the version");
+        assert!(t
+            .append_rows(&[vec![Value::Int(2019), Value::str("desk")]])
+            .is_err());
+    }
+
+    #[test]
+    fn append_table_remaps_dictionaries() {
+        let mut a = sample();
+        let mut b = TableBuilder::new(a.schema().clone());
+        // "desk" and "sofa" intern in a different order than in `a`.
+        b.push_row(vec![
+            Value::Int(2017),
+            Value::str("desk"),
+            Value::Float(1.0),
+        ])
+        .unwrap();
+        b.push_row(vec![
+            Value::Int(2018),
+            Value::str("sofa"),
+            Value::Float(2.0),
+        ])
+        .unwrap();
+        let b = b.finish();
+        let v0 = a.version();
+        assert_eq!(a.append_table(&b).unwrap(), 2);
+        assert_eq!(a.num_rows(), 4);
+        assert!(a.version() > v0);
+        assert_eq!(a.row(2)[1], Value::str("desk"));
+        assert_eq!(a.row(3)[1], Value::str("sofa"));
+        assert_eq!(a.column("product").unwrap().cardinality(), 3);
+
+        // Mismatched schema rejected.
+        let other = Table::from_csv("a\n1\n").unwrap();
+        assert!(a.append_table(&other).is_err());
+    }
+
+    #[test]
+    fn empty_appends_do_not_bump_the_version() {
+        let mut t = sample();
+        let v = t.version();
+        assert_eq!(t.append_rows(&[]).unwrap(), 0);
+        assert_eq!(t.version(), v, "empty batch must not retire the snapshot");
+        let empty = TableBuilder::new(t.schema().clone()).finish();
+        assert_eq!(t.append_table(&empty).unwrap(), 0);
+        assert_eq!(t.version(), v);
+    }
+
+    #[test]
+    fn versions_are_process_unique() {
+        let t1 = sample();
+        let t2 = sample();
+        assert_ne!(
+            t1.version(),
+            t2.version(),
+            "independent builds must not share a version"
+        );
     }
 
     #[test]

@@ -1,0 +1,333 @@
+//! Invalidation and concurrency hardening for the engine-level result
+//! cache: after any append, no stale result is ever served (the
+//! version-key test), a shared cache hammered from many workers stays
+//! deterministic with exact hit/miss bookkeeping, and eviction pressure
+//! never compromises correctness.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use zv_storage::{
+    BitmapDb, BitmapDbConfig, CacheConfig, DataType, Database, DynDatabase, Field, Predicate,
+    ResultCache, ScanDb, ScanDbConfig, Schema, SelectQuery, Table, TableBuilder, Value, XSpec,
+    YSpec,
+};
+
+fn build_table(rows: &[(i64, u8, i16)]) -> Arc<Table> {
+    let schema = Schema::new(vec![
+        Field::new("year", DataType::Int),
+        Field::new("product", DataType::Cat),
+        Field::new("sales", DataType::Float),
+    ]);
+    let mut b = TableBuilder::new(schema);
+    for &(y, p, s) in rows {
+        b.push_row(vec![
+            Value::Int(y),
+            Value::str(format!("p{p}")),
+            Value::Float(s as f64 * 0.25),
+        ])
+        .unwrap();
+    }
+    b.finish_shared()
+}
+
+fn row(y: i64, p: u8, s: i16) -> Vec<Value> {
+    vec![
+        Value::Int(y),
+        Value::str(format!("p{p}")),
+        Value::Float(s as f64 * 0.25),
+    ]
+}
+
+fn sum_by_year() -> SelectQuery {
+    SelectQuery::new(XSpec::raw("year"), vec![YSpec::sum("sales")])
+}
+
+/// The version-key test: a warm cache must never survive an append. The
+/// appended row is chosen so the query's result *must* change — serving
+/// the cached (stale) result would be observable.
+#[test]
+fn append_rows_never_serves_stale_results() {
+    let rows: Vec<(i64, u8, i16)> = (0..2_000)
+        .map(|i| (2010 + i % 5, (i % 4) as u8, 8))
+        .collect();
+    for engine in ["bitmap", "scan"] {
+        let table = build_table(&rows);
+        let db: DynDatabase = match engine {
+            "bitmap" => Arc::new(BitmapDb::new(table)),
+            _ => Arc::new(ScanDb::new(table)),
+        };
+        let q = sum_by_year();
+        let v0 = db.table().version();
+        let warm = || {
+            db.run_request(std::slice::from_ref(&q))
+                .unwrap()
+                .pop()
+                .unwrap()
+        };
+        let before = warm();
+        // Warm it: the second call is served from cache.
+        assert_eq!(warm(), before, "{engine}");
+
+        db.append_rows(&[row(2010, 0, 400)]).unwrap();
+        let v1 = db.table().version();
+        assert!(v1 > v0, "{engine}: append must advance the version");
+
+        let after = warm();
+        assert_ne!(after, before, "{engine}: result must reflect the append");
+        let bypass = ScanDb::with_config(db.table(), ScanDbConfig::uncached());
+        assert_eq!(
+            after,
+            bypass.execute(&q).unwrap(),
+            "{engine}: post-append cached result must equal bypassed execution"
+        );
+        // And the post-append entry itself is warm + correct.
+        let before_stats = db.stats().snapshot();
+        assert_eq!(warm(), after, "{engine}");
+        let delta = db.stats().snapshot().since(&before_stats);
+        assert_eq!(delta.cache_hits, 1, "{engine}");
+        assert_eq!(delta.rows_scanned, 0, "{engine}");
+    }
+}
+
+#[test]
+fn append_table_invalidates_too() {
+    let base = build_table(&[(2014, 0, 4), (2015, 1, 8)]);
+    let db = BitmapDb::new(base);
+    let q = sum_by_year();
+    let cold = db.run_request(std::slice::from_ref(&q)).unwrap();
+    assert_eq!(cold[0].groups[0].ys[0], vec![1.0, 2.0]);
+
+    let extra = build_table(&[(2014, 2, 40), (2016, 0, 4)]);
+    db.append_table(&extra).unwrap();
+    let fresh = db.run_request(std::slice::from_ref(&q)).unwrap();
+    assert_eq!(
+        fresh[0].groups[0].ys[0],
+        vec![11.0, 2.0, 1.0],
+        "appended table's rows must be visible immediately"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Randomized version-key test: whatever was cached before a random
+    /// append, the post-append answer equals cache-bypassed execution on
+    /// the post-append table.
+    #[test]
+    fn no_stale_after_random_appends(
+        initial in prop::collection::vec((2010i64..2016, 0u8..4, -200i16..200), 1..120),
+        appended in prop::collection::vec((2010i64..2016, 0u8..4, -200i16..200), 1..40),
+        with_z in any::<bool>(),
+    ) {
+        let table = build_table(&initial);
+        let db = BitmapDb::new(table);
+        let mut q = sum_by_year();
+        if with_z {
+            q = q.with_z("product");
+        }
+        // Warm the cache on the initial snapshot.
+        let _ = db.run_request(std::slice::from_ref(&q)).unwrap();
+        let rows: Vec<Vec<Value>> = appended.iter().map(|&(y, p, s)| row(y, p, s)).collect();
+        db.append_rows(&rows).unwrap();
+        let got = db.run_request(std::slice::from_ref(&q)).unwrap().pop().unwrap();
+        let bypass = ScanDb::with_config(
+            db.table(),
+            ScanDbConfig::uncached(),
+        );
+        prop_assert_eq!(got, bypass.execute(&q).unwrap());
+    }
+}
+
+/// N workers hammer `run_request` on one shared engine (hence one shared
+/// cache). Every returned result must equal the bypassed reference, and
+/// afterwards the books must balance exactly:
+/// `hits + misses == queries submitted` and `executed == misses`.
+#[test]
+fn concurrent_hammering_is_deterministic_and_counted() {
+    const WORKERS: usize = 8;
+    const ITERS: usize = 25;
+    let rows: Vec<(i64, u8, i16)> = (0..10_000)
+        .map(|i| (2010 + (i % 7), (i % 5) as u8, ((i * 37 % 801) as i16) - 400))
+        .collect();
+    let table = build_table(&rows);
+    let queries: Vec<SelectQuery> = vec![
+        sum_by_year(),
+        sum_by_year().with_z("product"),
+        sum_by_year().with_predicate(Predicate::cat_eq("product", "p2")),
+        SelectQuery::new(XSpec::binned("year", 2.0), vec![YSpec::avg("sales")]),
+    ];
+    let bypass = ScanDb::with_config(table.clone(), ScanDbConfig::uncached());
+    let expected: Vec<_> = queries.iter().map(|q| bypass.execute(q).unwrap()).collect();
+
+    let db = Arc::new(BitmapDb::new(table));
+    std::thread::scope(|s| {
+        for w in 0..WORKERS {
+            let db = Arc::clone(&db);
+            let queries = &queries;
+            let expected = &expected;
+            s.spawn(move || {
+                for i in 0..ITERS {
+                    // Vary the batch split so lookups and inserts race in
+                    // every combination.
+                    let k = (w + i) % queries.len();
+                    let results = db.run_request(&queries[k..]).unwrap();
+                    assert_eq!(results, expected[k..], "worker {w} iteration {i}");
+                }
+            });
+        }
+    });
+
+    let snap = db.stats().snapshot();
+    let mut submitted = 0u64;
+    for w in 0..WORKERS {
+        for i in 0..ITERS {
+            submitted += (queries.len() - (w + i) % queries.len()) as u64;
+        }
+    }
+    assert_eq!(
+        snap.cache_hits + snap.cache_misses,
+        submitted,
+        "every submitted query is exactly one hit or one miss"
+    );
+    assert_eq!(
+        snap.queries, snap.cache_misses,
+        "exactly the misses were executed"
+    );
+    assert!(
+        snap.cache_hits >= submitted - (WORKERS * queries.len()) as u64,
+        "at most one racing miss per worker per distinct query; got {} hits of {submitted}",
+        snap.cache_hits
+    );
+    let cache = db.cache_stats().expect("default engine carries a cache");
+    assert_eq!(cache.entries, queries.len());
+}
+
+/// Readers racing an append must only ever observe the pre-append or the
+/// post-append result — never a torn or stale-beyond-append mixture — and
+/// once the append has completed, every subsequent request sees new data.
+#[test]
+fn concurrent_append_never_serves_stale() {
+    let rows: Vec<(i64, u8, i16)> = (0..5_000)
+        .map(|i| (2010 + i % 5, (i % 3) as u8, 8))
+        .collect();
+    let table = build_table(&rows);
+    let db = Arc::new(BitmapDb::new(table));
+    let q = sum_by_year();
+    let before = db
+        .run_request(std::slice::from_ref(&q))
+        .unwrap()
+        .pop()
+        .unwrap();
+
+    std::thread::scope(|s| {
+        for _ in 0..4 {
+            let db = Arc::clone(&db);
+            let q = q.clone();
+            let before = before.clone();
+            s.spawn(move || {
+                for _ in 0..50 {
+                    let got = db
+                        .run_request(std::slice::from_ref(&q))
+                        .unwrap()
+                        .pop()
+                        .unwrap();
+                    // Exactly two observable states exist.
+                    if got != before {
+                        assert_eq!(
+                            got.groups[0].ys[0][0],
+                            before.groups[0].ys[0][0] + 100.0,
+                            "reader saw a state that is neither pre- nor post-append"
+                        );
+                    }
+                }
+            });
+        }
+        let db = Arc::clone(&db);
+        s.spawn(move || {
+            db.append_rows(&[row(2010, 0, 400)]).unwrap();
+        });
+    });
+
+    let after = db
+        .run_request(std::slice::from_ref(&q))
+        .unwrap()
+        .pop()
+        .unwrap();
+    assert_eq!(after.groups[0].ys[0][0], before.groups[0].ys[0][0] + 100.0);
+}
+
+/// A deliberately tiny cache thrashes, but never compromises results.
+#[test]
+fn eviction_pressure_stays_correct() {
+    let rows: Vec<(i64, u8, i16)> = (0..3_000)
+        .map(|i| (2010 + i % 6, (i % 6) as u8, ((i % 64) as i16) - 32))
+        .collect();
+    let table = build_table(&rows);
+    let db = BitmapDb::with_config(
+        table.clone(),
+        BitmapDbConfig {
+            cache: CacheConfig {
+                max_entries: 2,
+                max_bytes: 1 << 20,
+            },
+            ..Default::default()
+        },
+    );
+    let bypass = ScanDb::with_config(table, ScanDbConfig::uncached());
+    let queries: Vec<SelectQuery> = (0..6)
+        .map(|p| sum_by_year().with_predicate(Predicate::cat_eq("product", format!("p{p}"))))
+        .collect();
+    for _ in 0..3 {
+        for q in &queries {
+            let got = db
+                .run_request(std::slice::from_ref(q))
+                .unwrap()
+                .pop()
+                .unwrap();
+            assert_eq!(got, bypass.execute(q).unwrap());
+        }
+    }
+    let cache = db.cache_stats().unwrap();
+    assert!(cache.entries <= 2);
+    assert!(
+        cache.evictions > 0,
+        "a 2-entry cache cycling 6 queries must evict"
+    );
+    let snap = db.stats().snapshot();
+    assert_eq!(snap.cache_hits + snap.cache_misses, 18);
+}
+
+/// One `ResultCache` shared between two engines over the same table:
+/// versioned, engine-tagged keys keep their entries apart, and both stay
+/// correct.
+#[test]
+fn shared_cache_across_engines_keeps_entries_apart() {
+    let rows: Vec<(i64, u8, i16)> = (0..2_000)
+        .map(|i| (2012 + i % 4, (i % 3) as u8, 12))
+        .collect();
+    let table = build_table(&rows);
+    let shared = Arc::new(ResultCache::new(&CacheConfig::default()));
+    let bitmap = BitmapDb::with_shared_cache(
+        table.clone(),
+        BitmapDbConfig::default(),
+        Arc::clone(&shared),
+    );
+    let scan = ScanDb::with_shared_cache(table, ScanDbConfig::default(), Arc::clone(&shared));
+    let q = sum_by_year().with_z("product");
+    let a = bitmap.run_request(std::slice::from_ref(&q)).unwrap();
+    let b = scan.run_request(std::slice::from_ref(&q)).unwrap();
+    assert_eq!(a, b, "engines must agree on the same data");
+    assert_eq!(
+        shared.len(),
+        2,
+        "same query, same table, different engines → two distinct entries"
+    );
+    // Each engine's warm pass hits its own entry.
+    for db in [&bitmap as &dyn Database, &scan as &dyn Database] {
+        let before = db.stats().snapshot();
+        let _ = db.run_request(std::slice::from_ref(&q)).unwrap();
+        let delta = db.stats().snapshot().since(&before);
+        assert_eq!(delta.cache_hits, 1, "{}", db.name());
+        assert_eq!(delta.rows_scanned, 0, "{}", db.name());
+    }
+}

@@ -88,7 +88,7 @@ impl VisualUniverse {
     /// Default axis candidates (§4.2): all attributes for X if
     /// unspecified; numeric attributes for Y.
     pub fn new(db: Arc<dyn Database>) -> Self {
-        let table = db.table().clone();
+        let table = db.table();
         let x_attrs = table.attribute_names();
         let y_attrs = table.numeric_names();
         Self::with_axes(db, x_attrs, y_attrs)
@@ -104,7 +104,7 @@ impl VisualUniverse {
         }
     }
 
-    pub fn table(&self) -> &Arc<Table> {
+    pub fn table(&self) -> Arc<Table> {
         self.db.table()
     }
 
@@ -168,9 +168,10 @@ impl VisualUniverse {
     /// The predicate equivalent of a visual source's data source.
     pub fn predicate_of(&self, vs: &VisualSource) -> Result<Predicate, StorageError> {
         let mut pred = Predicate::True;
+        let table = self.table();
         for (attr, filter) in self.attrs.iter().zip(&vs.filters) {
             if let AttrFilter::Is(v) = filter {
-                let col = self.table().column(attr)?;
+                let col = table.column(attr)?;
                 let atom = match (col, v) {
                     (Column::Cat(_), Value::Str(s)) => Predicate::cat_eq(attr.clone(), s.clone()),
                     (Column::Int(_), v) | (Column::Float(_), v) => {

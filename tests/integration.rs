@@ -6,7 +6,7 @@ use std::sync::Arc;
 use zenvisage::zql::{self, OptLevel, TaskSpec, ZqlEngine};
 use zenvisage::zv_analytics::{trend, Series};
 use zenvisage::zv_datagen::{airline, housing, AirlineConfig, HousingConfig};
-use zenvisage::zv_storage::{BitmapDb, DynDatabase, ScanDb};
+use zenvisage::zv_storage::{BitmapDb, BitmapDbConfig, DynDatabase, ScanDb};
 
 fn airline_db() -> DynDatabase {
     Arc::new(BitmapDb::new(airline::generate(&AirlineConfig {
@@ -217,6 +217,138 @@ year,team,score
         .unwrap();
     // blue grows 4 → 16; red grows 10 → 15; blue's slope is higher.
     assert_eq!(out.visualizations[0].label, "team=blue");
+}
+
+#[test]
+fn interactive_session_replay_hits_the_result_cache() {
+    // The paper's headline interaction: a user sketches a pattern, gets
+    // matches, tweaks nothing, and re-runs (or another user explores the
+    // same slice). From the second run on, the engine-level cache must
+    // answer every canonical query without touching the table.
+    let table = housing::generate(&HousingConfig {
+        rows: 30_000,
+        ..Default::default()
+    });
+    let engine = ZqlEngine::new(Arc::new(BitmapDb::new(table)));
+    let spec =
+        TaskSpec::new("year", "sold_price", "county").with_agg(zenvisage::zv_storage::Agg::Avg);
+    let sketch = zv_study::peak_sketch(0.0);
+
+    let runs: Vec<_> = (0..3)
+        .map(|_| zql::similarity_search(&engine, &spec, &sketch, 5).unwrap())
+        .collect();
+    // Identical answers every time.
+    for run in &runs[1..] {
+        assert_eq!(run.visualizations.len(), runs[0].visualizations.len());
+        for (a, b) in runs[0].visualizations.iter().zip(&run.visualizations) {
+            assert_eq!(a.label, b.label);
+            assert_eq!(a.series, b.series);
+        }
+    }
+    // The first run scans; replays are served from the result cache.
+    assert!(runs[0].report.rows_scanned > 0);
+    for run in &runs[1..] {
+        assert!(run.report.cache_hits > 0, "replay must report cache hits");
+        assert!(
+            run.report.rows_scanned < runs[0].report.rows_scanned,
+            "replay must scan strictly fewer rows ({} !< {})",
+            run.report.rows_scanned,
+            runs[0].report.rows_scanned
+        );
+        assert_eq!(
+            run.report.rows_scanned, 0,
+            "identical replays should not scan at all"
+        );
+        assert_eq!(run.report.cache_misses, 0);
+    }
+}
+
+#[test]
+fn result_cache_is_transparent_at_every_opt_level() {
+    // Cached and cache-bypassed engines must render identical
+    // visualizations at every batching level, cold and warm.
+    let table = airline::generate(&AirlineConfig {
+        rows: 20_000,
+        airports: 8,
+        ..Default::default()
+    });
+    let text = "name | x | y | z | constraints | viz | process\n\
+        f1 | 'day' | 'arr_delay' | v1 <- 'origin'.* | month=6 | bar.(y=agg('avg')) |\n\
+        f2 | 'day' | 'arr_delay' | v1 | month=12 | bar.(y=agg('avg')) | v2 <- argmax(v1)[k=3] D(f1, f2)\n\
+        *f3 | 'month' | 'arr_delay' | v2 | | bar.(y=agg('avg')) |";
+    for opt in [
+        OptLevel::NoOpt,
+        OptLevel::IntraLine,
+        OptLevel::IntraTask,
+        OptLevel::InterTask,
+    ] {
+        let cached = ZqlEngine::with_opt_level(Arc::new(BitmapDb::new(table.clone())), opt);
+        let bypass = ZqlEngine::with_opt_level(
+            Arc::new(BitmapDb::with_config(
+                table.clone(),
+                BitmapDbConfig::uncached(),
+            )),
+            opt,
+        );
+        let cold = cached.execute_text(text).unwrap();
+        let warm = cached.execute_text(text).unwrap();
+        let reference = bypass.execute_text(text).unwrap();
+        for (run, name) in [(&cold, "cold"), (&warm, "warm")] {
+            assert_eq!(
+                run.visualizations.len(),
+                reference.visualizations.len(),
+                "{opt:?}/{name}"
+            );
+            for (a, b) in run.visualizations.iter().zip(&reference.visualizations) {
+                assert_eq!(a.label, b.label, "{opt:?}/{name}");
+                assert_eq!(a.series, b.series, "{opt:?}/{name}");
+            }
+        }
+        assert!(warm.report.cache_hits > 0, "{opt:?}: warm run must hit");
+        assert_eq!(
+            warm.report.rows_scanned, 0,
+            "{opt:?}: warm run must not scan"
+        );
+    }
+}
+
+#[test]
+fn appends_flow_through_the_whole_stack() {
+    // Mutations through the `Database` trait must be visible to ZQL and
+    // must not leave stale cached answers anywhere in the stack.
+    let csv = "\
+year,team,score
+2019,red,10
+2020,red,12
+2021,red,15
+";
+    let table = zenvisage::zv_storage::Table::from_csv(csv).unwrap();
+    let db: DynDatabase = Arc::new(BitmapDb::new(Arc::new(table)));
+    let engine = ZqlEngine::new(db.clone());
+    let text = "name | x | y | z | viz\n\
+        *f1 | 'year' | 'score' | v1 <- 'team'.* | bar.(y=agg('sum'))";
+    let before = engine.execute_text(text).unwrap();
+    assert_eq!(before.visualizations.len(), 1);
+
+    use zenvisage::zv_storage::Value;
+    db.append_rows(&[
+        vec![Value::Int(2019), Value::str("blue"), Value::Int(4)],
+        vec![Value::Int(2020), Value::str("blue"), Value::Int(8)],
+        vec![Value::Int(2021), Value::str("blue"), Value::Int(16)],
+    ])
+    .unwrap();
+    let after = engine.execute_text(text).unwrap();
+    assert_eq!(
+        after.visualizations.len(),
+        2,
+        "the new team must appear as a fresh slice"
+    );
+    let blue = after
+        .visualizations
+        .iter()
+        .find(|v| v.label == "team=blue")
+        .expect("blue series present");
+    assert_eq!(blue.series.points().len(), 3);
 }
 
 #[test]
