@@ -4,11 +4,12 @@
 //! parallel aggregation engine at 1M rows.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::cell::Cell;
 use std::hint::black_box;
 use std::sync::Arc;
-use zv_datagen::{sales, SalesConfig};
+use zv_datagen::sales::{self, product_name, SalesConfig};
 use zv_storage::exec::{aggregate, aggregate_parallel, GroupStrategy, RowSource};
-use zv_storage::{BitmapDb, BitmapDbConfig, Database, SelectQuery, XSpec, YSpec};
+use zv_storage::{BitmapDb, BitmapDbConfig, Database, Predicate, SelectQuery, XSpec, YSpec};
 
 fn bench_group_strategies(c: &mut Criterion) {
     let table = sales::generate(&SalesConfig {
@@ -166,6 +167,21 @@ fn bench_cache_cold_vs_warm(c: &mut Criterion) {
     });
     group.bench_function("warm_request", |bencher| {
         bencher.iter(|| black_box(warm_db.run_request(&queries).unwrap()).len())
+    });
+    // An interactive per-product slice sweep against the cached full
+    // group-by: answered by subsumption (first visit of a product) or
+    // exactly (revisits) — either way zero base rows are scanned.
+    let next = Cell::new(0usize);
+    group.bench_function("derived_slice_sweep", |bencher| {
+        bencher.iter(|| {
+            let i = next.get();
+            next.set((i + 1) % 500);
+            let q = [
+                SelectQuery::new(XSpec::raw("year"), vec![YSpec::sum("sales")])
+                    .with_predicate(Predicate::cat_eq("product", product_name(i))),
+            ];
+            black_box(warm_db.run_request(&q).unwrap()).len()
+        })
     });
     group.finish();
 }

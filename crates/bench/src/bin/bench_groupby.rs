@@ -1,7 +1,8 @@
 //! Perf-trajectory tracker for the aggregation hot path: measures serial
 //! vs sharded grouped aggregation on a generated sales table — plus the
-//! engine-level result cache (cold vs warm request latency and hit rate)
-//! — and dumps a machine-readable summary.
+//! engine-level result cache (cold vs warm request latency and hit rate,
+//! and subsumption-derived per-Z-slice hits vs cold slice execution) —
+//! and dumps a machine-readable summary.
 //!
 //! ```text
 //! bench_groupby [--rows N] [--threads 1,2,4,8] [--reps K] [--json PATH]
@@ -14,9 +15,9 @@
 //! regardless of core count.
 
 use std::time::Instant;
-use zv_datagen::{sales, SalesConfig};
+use zv_datagen::sales::{self, product_name, SalesConfig};
 use zv_storage::exec::{aggregate, aggregate_parallel, GroupStrategy, RowSource};
-use zv_storage::{BitmapDb, Database, SelectQuery, XSpec, YSpec};
+use zv_storage::{BitmapDb, BitmapDbConfig, Database, Predicate, SelectQuery, XSpec, YSpec};
 
 struct Args {
     rows: usize,
@@ -130,7 +131,16 @@ fn main() {
 
     // Engine-level result cache: one cold request (scan + insert), then
     // best-of-reps warm requests on the same engine (pure cache hits).
-    let db = BitmapDb::new(table.clone());
+    // Admission policy is not what this harness measures: admit
+    // everything so tiny `--rows` runs still exercise the warm and
+    // derived paths instead of tripping the zero-scan asserts.
+    let db = BitmapDb::with_config(
+        table.clone(),
+        BitmapDbConfig {
+            cache: zv_storage::CacheConfig::admit_all(),
+            ..Default::default()
+        },
+    );
     let queries = std::slice::from_ref(&q);
     let start = Instant::now();
     let cold_groups = db.run_request(queries).expect("cold request")[0]
@@ -162,6 +172,57 @@ fn main() {
     summary.push(format!("\"cache_warm_ms\": {warm_ms:.3}"));
     summary.push(format!("\"cache_hit_rate\": {hit_rate:.3}"));
     summary.push(format!("\"cache_speedup\": {cache_speedup:.3}"));
+
+    // Partial-result reuse: the cached (year, sum sales, z=product)
+    // group-by answers per-product Z-slices by subsumption — a filter
+    // over ~500 cached groups instead of a scan over all rows. Each rep
+    // slices a *different* product so every request exercises the
+    // derivation path itself (repeats would be exact hits).
+    let bypass = BitmapDb::with_config(table.clone(), BitmapDbConfig::uncached());
+    let slice_q = |i: usize| {
+        SelectQuery::new(XSpec::raw("year"), vec![YSpec::sum("sales")])
+            .with_predicate(Predicate::cat_eq("product", product_name(i)))
+    };
+    let reps = args.reps.max(3);
+    let mut cold_slice_ms = f64::INFINITY;
+    let mut derived_ms = f64::INFINITY;
+    let mut derived_groups = 0usize;
+    let scan_before = db.stats().snapshot();
+    for i in 0..reps {
+        let q = slice_q(i);
+        let start = Instant::now();
+        let cold = bypass.execute(&q).expect("cold slice");
+        cold_slice_ms = cold_slice_ms.min(start.elapsed().as_secs_f64() * 1e3);
+        let start = Instant::now();
+        let derived = db
+            .run_request(std::slice::from_ref(&q))
+            .expect("derived slice");
+        derived_ms = derived_ms.min(start.elapsed().as_secs_f64() * 1e3);
+        assert_eq!(derived[0].groups, cold.groups, "derived slice diverged");
+        derived_groups = derived[0].groups.len();
+    }
+    let scan_delta = db.stats().snapshot().since(&scan_before);
+    assert_eq!(
+        scan_delta.rows_scanned, 0,
+        "derived slices must scan zero base rows"
+    );
+    let derived_hit_rate = scan_delta.cache_derived_hits as f64 / reps as f64;
+    let derived_speedup = cold_slice_ms / derived_ms.max(1e-6);
+    println!(" slice cold        {cold_slice_ms:9.2} ms   ({derived_groups} groups)");
+    println!(
+        " slice derived     {derived_ms:9.2} ms   speedup {derived_speedup:5.2}×  hit rate {derived_hit_rate:.2}"
+    );
+    entries.push(format!(
+        "    {{\"strategy\": \"derived\", \"mode\": \"cold\", \"threads\": 1, \
+         \"best_ms\": {cold_slice_ms:.3}}}"
+    ));
+    entries.push(format!(
+        "    {{\"strategy\": \"derived\", \"mode\": \"hit\", \"threads\": 1, \
+         \"best_ms\": {derived_ms:.3}, \"speedup\": {derived_speedup:.3}}}"
+    ));
+    summary.push(format!("\"derived_hit_ms\": {derived_ms:.3}"));
+    summary.push(format!("\"derived_hit_rate\": {derived_hit_rate:.3}"));
+    summary.push(format!("\"derived_speedup\": {derived_speedup:.3}"));
 
     let json = format!(
         "{{\n  \"rows\": {},\n  \"hardware_threads\": {},\n  \"results\": [\n{}\n  ],\n  {}\n}}\n",

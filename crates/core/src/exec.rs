@@ -10,6 +10,7 @@ use crate::parser::{parse_query, ParseError};
 use crate::primitives::FunctionRegistry;
 use std::collections::{HashMap, HashSet};
 use std::fmt;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 use zv_analytics::Series;
 use zv_storage::{
@@ -99,6 +100,9 @@ pub struct ExecReport {
     pub rows_scanned: u64,
     /// Queries answered from the engine-level result cache (no scan).
     pub cache_hits: u64,
+    /// Queries answered by deriving from a cached superset result
+    /// (predicate subsumption / Z-slice extraction — no scan either).
+    pub cache_derived_hits: u64,
     /// Queries that missed the engine-level result cache.
     pub cache_misses: u64,
     /// Time inside the database backend.
@@ -334,8 +338,9 @@ struct Exec<'a> {
     /// so permuted-but-equivalent predicates collide instead of fetching
     /// twice. This layer reads *through* the engine cache: misses go to
     /// `Database::run_request`, which serves cross-execution repeats
-    /// without a scan.
-    query_cache: HashMap<QueryKey, ResultTable>,
+    /// without a scan. Values are the engine's shared `Arc`s — a warm
+    /// pass holds pointers into the engine cache, copying nothing.
+    query_cache: HashMap<QueryKey, Arc<ResultTable>>,
     compute_time: Duration,
 }
 
@@ -416,6 +421,7 @@ impl<'a> Exec<'a> {
                 requests: db_stats.requests,
                 rows_scanned: db_stats.rows_scanned,
                 cache_hits: db_stats.cache_hits,
+                cache_derived_hits: db_stats.cache_derived_hits,
                 cache_misses: db_stats.cache_misses,
                 db_time: db_stats.exec_time,
                 compute_time: self.compute_time,
@@ -1507,7 +1513,7 @@ impl<'a> Exec<'a> {
         } else {
             Vec::new()
         };
-        let fresh: Vec<ResultTable> = match self.engine.opt {
+        let fresh: Vec<Arc<ResultTable>> = match self.engine.opt {
             OptLevel::NoOpt => {
                 // one request per query, nothing shared
                 let mut out = Vec::with_capacity(batches.len());

@@ -8,7 +8,9 @@ use zv_analytics::{trend, Series};
 use zv_datagen::sales::{
     self, has_profit_discrepancy, is_us_up_uk_down, product_name, SalesConfig,
 };
-use zv_storage::{BitmapDb, BitmapDbConfig, DynDatabase, Predicate, SelectQuery, XSpec, YSpec};
+use zv_storage::{
+    BitmapDb, BitmapDbConfig, CacheConfig, DynDatabase, Predicate, SelectQuery, XSpec, YSpec,
+};
 
 fn small_db() -> DynDatabase {
     let table = sales::generate(&SalesConfig {
@@ -730,4 +732,60 @@ fn permuted_predicates_share_one_canonical_query() {
         out.visualizations[0].series,
         unpermuted.visualizations[0].series
     );
+}
+
+#[test]
+fn engine_cache_derivation_is_transparent_across_opt_levels() {
+    // Interactive drill-down: a full per-product sweep, then a single
+    // product slice. The engine-level cache answers the slice without
+    // scanning — exactly (NoOpt cached the per-product queries) or by
+    // deriving from the combined group-by (batched levels) — and at
+    // every OptLevel the output must be identical to an uncached run.
+    let table = sales::generate(&SalesConfig {
+        rows: 40_000,
+        products: 20,
+        locations: 4,
+        cities: 10,
+        ..Default::default()
+    });
+    let sweep = "name | x | y | z\n\
+         *f1 | 'year' | 'sales' | v1 <- 'product'.*";
+    let slice = "name | x | y | constraints\n\
+         *f2 | 'year' | 'sales' | product='stapler'";
+    for opt in [
+        OptLevel::NoOpt,
+        OptLevel::IntraLine,
+        OptLevel::IntraTask,
+        OptLevel::InterTask,
+    ] {
+        let cached_db: DynDatabase = Arc::new(BitmapDb::with_config(
+            table.clone(),
+            BitmapDbConfig {
+                cache: CacheConfig::admit_all(),
+                ..Default::default()
+            },
+        ));
+        let uncached_db: DynDatabase = Arc::new(BitmapDb::with_config(
+            table.clone(),
+            BitmapDbConfig::uncached(),
+        ));
+        let engine = ZqlEngine::with_opt_level(cached_db, opt);
+        let _ = engine.execute_text(sweep).unwrap();
+        let out = engine.execute_text(slice).unwrap();
+        assert_eq!(
+            out.report.rows_scanned, 0,
+            "{opt:?}: the slice must be answered without a scan"
+        );
+        assert!(
+            out.report.cache_hits + out.report.cache_derived_hits >= 1,
+            "{opt:?}: the slice must come from the cache"
+        );
+        let reference = ZqlEngine::with_opt_level(uncached_db, opt)
+            .execute_text(slice)
+            .unwrap();
+        assert_eq!(out.visualizations.len(), reference.visualizations.len());
+        for (a, b) in out.visualizations.iter().zip(&reference.visualizations) {
+            assert_eq!(a.series, b.series, "{opt:?}: derived slice diverges");
+        }
+    }
 }

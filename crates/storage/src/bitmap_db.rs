@@ -20,7 +20,7 @@
 
 use crate::cache::{CacheConfig, ResultCache};
 use crate::column::Column;
-use crate::db::Database;
+use crate::db::{Database, EngineSnapshot};
 use crate::exec::{self, compile_pred, RowSource};
 use crate::predicate::{Atom, CmpOp, Predicate};
 use crate::query::{ResultTable, SelectQuery};
@@ -30,7 +30,7 @@ use crate::table::{StorageError, Table};
 use crate::value::Value;
 use std::collections::{HashMap, HashSet};
 use std::sync::{Arc, Mutex, RwLock};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Tuning knobs for [`BitmapDb`].
 #[derive(Clone, Debug)]
@@ -518,29 +518,49 @@ impl BitmapDb {
     }
 }
 
+/// A pinned [`BitmapDb`] view: one immutable [`BitmapState`] (table +
+/// the indexes built over exactly that table) plus the execution tuning
+/// frozen at pin time.
+struct BitmapSnapshot {
+    state: Arc<BitmapState>,
+    dense_group_limit: u128,
+    parallel: exec::ParallelConfig,
+}
+
+impl EngineSnapshot for BitmapSnapshot {
+    fn table(&self) -> &Arc<Table> {
+        &self.state.table
+    }
+
+    fn execute(&self, query: &SelectQuery) -> Result<(ResultTable, u64), StorageError> {
+        let state = &self.state;
+        let source = state.row_source(&query.predicate)?;
+        let groups = exec::group_space(&state.table, query)?;
+        let strategy = exec::choose_strategy(groups, self.dense_group_limit);
+        let threads = self.parallel.threads_for(source.estimated_rows());
+        if threads > 1 {
+            exec::aggregate_parallel(&state.table, query, &source, strategy, threads)
+        } else {
+            exec::aggregate(&state.table, query, &source, strategy)
+        }
+    }
+}
+
 impl Database for BitmapDb {
     fn name(&self) -> &'static str {
         "roaring-bitmap-db"
     }
 
-    fn table(&self) -> Arc<Table> {
-        self.state().table.clone()
+    fn pin(&self) -> Arc<dyn EngineSnapshot> {
+        Arc::new(BitmapSnapshot {
+            state: self.state(),
+            dense_group_limit: self.config.dense_group_limit,
+            parallel: self.config.parallel,
+        })
     }
 
-    fn execute(&self, query: &SelectQuery) -> Result<ResultTable, StorageError> {
-        let start = Instant::now();
-        let state = self.state();
-        let source = state.row_source(&query.predicate)?;
-        let groups = exec::group_space(&state.table, query)?;
-        let strategy = exec::choose_strategy(groups, self.config.dense_group_limit);
-        let threads = self.config.parallel.threads_for(source.estimated_rows());
-        let (result, scanned) = if threads > 1 {
-            exec::aggregate_parallel(&state.table, query, &source, strategy, threads)?
-        } else {
-            exec::aggregate(&state.table, query, &source, strategy)?
-        };
-        self.stats.record_query(scanned, start.elapsed());
-        Ok(result)
+    fn table(&self) -> Arc<Table> {
+        self.state().table.clone()
     }
 
     fn stats(&self) -> &ExecStats {
@@ -596,7 +616,15 @@ mod tests {
             ])
             .unwrap();
         }
-        BitmapDb::new(b.finish_shared())
+        // The fixture is 6 rows: disable cost-based admission so the
+        // cache-behaviour tests below still exercise warm hits.
+        BitmapDb::with_config(
+            b.finish_shared(),
+            BitmapDbConfig {
+                cache: CacheConfig::admit_all(),
+                ..Default::default()
+            },
+        )
     }
 
     #[test]

@@ -32,17 +32,75 @@
 //!   *shape* — the order of Y measures and of Z group-by columns — is
 //!   preserved verbatim, because it determines the shape of the result.
 //!
+//! # Partial-result reuse (predicate subsumption)
+//!
+//! An exact-key miss is not necessarily a scan: a cached `(x, ys, z…)`
+//! group-by computed under a *superset* predicate can answer many of the
+//! queries an interactive session derives from it — tightening a filter,
+//! drilling into one Z slice — by post-filtering its few thousand cached
+//! groups instead of re-scanning millions of base rows.
+//! [`ResultCache::lookup_derived`] finds such a source entry and runs the
+//! derivation executor over it. A cached entry `C` can answer query `Q`
+//! (same engine, table version, X column + bin, and Y measures in order)
+//! when **all** of the following hold:
+//!
+//! * **Conjunctive predicates.** Both predicates canonicalize to
+//!   conjunctions (`True` counts as the empty one). Disjunctions are
+//!   declined: DNF subsumption is not worth the analysis cost here.
+//! * **Superset predicate.** Every atom of `C` appears in `Q` (after
+//!   canonicalization), so `Q`'s rows ⊆ `C`'s rows. The *residual* atoms
+//!   (`Q` minus `C`) must each reference either a Z column of `C` — they
+//!   become per-group key filters — or `C`'s **unbinned** X column — they
+//!   become per-cell filters on the group's `xs`. A residual atom on a
+//!   binned X is declined (bin lower bounds are not raw values), as is
+//!   any atom on a column absent from the cached result.
+//! * **Z order is preserved.** `Q.zs` must be `C.zs` with zero or more
+//!   columns deleted *in place* (a subsequence): the kernel orders groups
+//!   by `(z…, x)` lexicographically in Z-column order, so a filtered
+//!   subsequence projection is already in `Q`'s result order, while a
+//!   permutation would require a re-sort and is declined.
+//! * **Dropped Z columns are pinned.** A column of `C.zs` missing from
+//!   `Q.zs` (the per-Z-slice case) must be pinned to a single value by a
+//!   residual equality atom (`CatEq` / `NumCmp Eq`); otherwise distinct
+//!   groups would collapse onto one projected key, which would need a
+//!   re-aggregation, not a filter. A pin admits one semantic value
+//!   *class*, yet distinct stored values can share a class (`0.0` and
+//!   `-0.0` float keys; two i64 above 2⁵³ with the same f64 image), so
+//!   the executor additionally declines unless every surviving group
+//!   carries the *identical* value in each dropped position — the exact
+//!   condition under which the projection is injective, wherever the
+//!   dropped column sits in Z order.
+//!
+//! Derived results are inserted under their own key (at the source
+//! entry's cost — see below), so a repeated slice query becomes a pure
+//! pointer-bump hit from then on.
+//!
+//! # Cost-based admission and eviction
+//!
+//! Caching a result that is cheaper to recompute than a hash probe only
+//! pollutes the LRU, so [`ResultCache::insert`] takes the query's
+//! estimated recompute cost in *scanned rows* and rejects entries below
+//! [`CacheConfig::min_cost_rows`] (counted as `admission_rejects`).
+//! Eviction weighs that same cost against recency: the victim is the
+//! cheapest-to-recompute entry among the [`EVICT_SAMPLE`] coldest, so a
+//! hot-but-huge scan result is not sacrificed to make room while a
+//! trivially recomputable one sits in the list.
+//!
 //! # Bounds and concurrency
 //!
 //! The cache is a doubly-linked LRU bounded by **both** entry count and
 //! approximate bytes ([`ResultTable::approx_bytes`]), guarded by one
 //! mutex (operations touch a few pointers; the scan work they save is
-//! orders of magnitude larger). Hit / miss / eviction / insertion
-//! counters are kept internally and also mirrored into each engine's
-//! [`crate::ExecStats`] by `run_request`.
+//! orders of magnitude larger). Values are held as `Arc<ResultTable>`
+//! end to end — lookups, derivations, and the `run_request` trait
+//! boundary all share one allocation, so a warm hit is a pointer bump,
+//! never a deep copy. Hit / derived-hit / miss / eviction / insertion /
+//! admission counters are kept internally and also mirrored into each
+//! engine's [`crate::ExecStats`] by `run_request`.
 
 use crate::predicate::{Atom, CmpOp, Predicate};
-use crate::query::{Agg, ResultTable, SelectQuery};
+use crate::query::{Agg, GroupSeries, ResultTable, SelectQuery};
+use crate::value::Value;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -62,6 +120,60 @@ enum CanonAtom {
     StrPrefix { col: String, prefix: String },
     NumCmp { col: String, op: CmpOp, bits: u64 },
     NumBetween { col: String, lo: u64, hi: u64 },
+}
+
+impl CanonAtom {
+    fn col(&self) -> &str {
+        match self {
+            CanonAtom::CatEq { col, .. }
+            | CanonAtom::CatNeq { col, .. }
+            | CanonAtom::CatIn { col, .. }
+            | CanonAtom::StrPrefix { col, .. }
+            | CanonAtom::NumCmp { col, .. }
+            | CanonAtom::NumBetween { col, .. } => col,
+        }
+    }
+
+    /// Whether this atom restricts its column to (at most) one value —
+    /// the requirement for dropping a pinned Z column out of the key.
+    fn pins_single_value(&self) -> bool {
+        matches!(
+            self,
+            CanonAtom::CatEq { .. } | CanonAtom::NumCmp { op: CmpOp::Eq, .. }
+        )
+    }
+
+    /// Evaluate the atom against a materialized group-key / X value.
+    /// `None` means the value's type does not fit the atom (direct
+    /// execution would have rejected the query) — the caller must
+    /// decline the derivation rather than guess.
+    fn matches_value(&self, v: &Value) -> Option<bool> {
+        match self {
+            CanonAtom::CatEq { value, .. } => match v {
+                Value::Str(s) => Some(s == value),
+                _ => None,
+            },
+            CanonAtom::CatNeq { value, .. } => match v {
+                Value::Str(s) => Some(s != value),
+                _ => None,
+            },
+            CanonAtom::CatIn { values, .. } => match v {
+                // `values` is sorted by canonicalization.
+                Value::Str(s) => Some(values.binary_search(s).is_ok()),
+                _ => None,
+            },
+            CanonAtom::StrPrefix { prefix, .. } => match v {
+                Value::Str(s) => Some(s.starts_with(prefix.as_str())),
+                _ => None,
+            },
+            CanonAtom::NumCmp { op, bits, .. } => {
+                v.as_f64().map(|x| op.eval_f64(x, f64::from_bits(*bits)))
+            }
+            CanonAtom::NumBetween { lo, hi, .. } => v
+                .as_f64()
+                .map(|x| x >= f64::from_bits(*lo) && x <= f64::from_bits(*hi)),
+        }
+    }
 }
 
 fn f64_bits(v: f64) -> u64 {
@@ -216,16 +328,218 @@ impl CacheKey {
     }
 }
 
+/// The parts of a [`CacheKey`] every derivation source must share with
+/// a missed query (same engine, snapshot, X axis, and Y measures).
+/// [`ResultCache::lookup_derived`] walks only the miss's own family via
+/// a secondary index instead of scanning the whole key map per miss.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+struct FamilyKey {
+    engine: &'static str,
+    table_version: u64,
+    x_col: String,
+    x_bin: Option<u64>,
+    ys: Vec<(String, Agg)>,
+}
+
+impl FamilyKey {
+    fn of(key: &CacheKey) -> FamilyKey {
+        FamilyKey {
+            engine: key.engine,
+            table_version: key.table_version,
+            x_col: key.query.x_col.clone(),
+            x_bin: key.query.x_bin,
+            ys: key.query.ys.clone(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Predicate subsumption and result derivation
+// ---------------------------------------------------------------------
+
+/// The conjunction view of a canonical predicate (`True` = empty).
+/// Disjunctions have no cheap subsumption story and return `None`.
+fn conj_atoms(p: &CanonPred) -> Option<&[CanonAtom]> {
+    match p {
+        CanonPred::True => Some(&[]),
+        CanonPred::And(atoms) => Some(atoms),
+        CanonPred::Or(_) => None,
+    }
+}
+
+/// How to turn one cached superset result into the answer of a
+/// subsumed query, produced by [`derive_plan`] and executed by
+/// [`apply_plan`]. See the module docs for the qualification rules.
+struct DerivePlan {
+    /// Positions in the cached key that survive into the derived key,
+    /// in (preserved) order.
+    keep_z: Vec<usize>,
+    /// `(cached key position, residual atom)` group filters.
+    key_filters: Vec<(usize, CanonAtom)>,
+    /// Residual atoms on the (raw) X column, applied per cell.
+    x_filters: Vec<CanonAtom>,
+    /// Positions projected away (each pinned by a residual equality);
+    /// [`apply_plan`] verifies every surviving group agrees on their
+    /// exact values before dropping them.
+    dropped: Vec<usize>,
+}
+
+/// Decide whether `cached` subsumes `want`, and how to derive the
+/// answer. Cheap: compares canonical keys only, never touches data.
+fn derive_plan(cached: &QueryKey, want: &QueryKey) -> Option<DerivePlan> {
+    if cached.x_col != want.x_col || cached.x_bin != want.x_bin || cached.ys != want.ys {
+        return None;
+    }
+    let catoms = conj_atoms(&cached.pred)?;
+    let watoms = conj_atoms(&want.pred)?;
+    // Superset check: every cached atom constrains `want` too.
+    if !catoms.iter().all(|a| watoms.contains(a)) {
+        return None;
+    }
+    let residual: Vec<&CanonAtom> = watoms.iter().filter(|a| !catoms.contains(a)).collect();
+    // `want.zs` must be a *positional subsequence* of `cached.zs`; the
+    // deleted columns are the per-Z-slice drops.
+    let mut keep_z = Vec::with_capacity(want.zs.len());
+    let mut dropped: Vec<usize> = Vec::new();
+    let mut wi = 0;
+    for (ci, col) in cached.zs.iter().enumerate() {
+        if wi < want.zs.len() && *col == want.zs[wi] {
+            keep_z.push(ci);
+            wi += 1;
+        } else {
+            dropped.push(ci);
+        }
+    }
+    if wi != want.zs.len() {
+        return None;
+    }
+    if residual.is_empty() && dropped.is_empty() {
+        // Identical queries are the exact-hit path's job.
+        return None;
+    }
+    // Route each residual atom to the value it can be checked against.
+    let mut key_filters: Vec<(usize, CanonAtom)> = Vec::new();
+    let mut x_filters: Vec<CanonAtom> = Vec::new();
+    for a in residual {
+        let col = a.col();
+        let mut routed = false;
+        for (ci, zc) in cached.zs.iter().enumerate() {
+            if zc == col {
+                key_filters.push((ci, a.clone()));
+                routed = true;
+            }
+        }
+        if col == cached.x_col {
+            if cached.x_bin.is_some() {
+                // Bin lower bounds are not the raw values the predicate
+                // constrains; a bin could match only partially.
+                return None;
+            }
+            x_filters.push(a.clone());
+            routed = true;
+        }
+        if !routed {
+            // The atom's column is not materialized in the cached
+            // result; only a base-table scan can evaluate it.
+            return None;
+        }
+    }
+    // Every dropped Z column must be pinned to a single value, or the
+    // projection would merge groups (a re-aggregation, not a filter).
+    for &ci in &dropped {
+        if !key_filters
+            .iter()
+            .any(|(i, a)| *i == ci && a.pins_single_value())
+        {
+            return None;
+        }
+    }
+    Some(DerivePlan {
+        keep_z,
+        key_filters,
+        x_filters,
+        dropped,
+    })
+}
+
+/// Execute a [`DerivePlan`] over the cached source result. Returns
+/// `None` when the derivation must be declined at data level: a type
+/// mismatch, or surviving groups that *disagree* on a dropped column's
+/// exact value. The latter is the merge guard — a pin admits one
+/// semantic value class, but distinct stored values can share a class
+/// (`0.0`/`-0.0` float keys, two i64 above 2⁵³ with one f64 image);
+/// direct execution would merge such groups, so a filter cannot answer
+/// the query. Requiring the dropped values to be *identical* across
+/// survivors makes the projection injective (full keys are distinct by
+/// the kernel's grouping), wherever the dropped column sits in Z order.
+fn apply_plan(plan: &DerivePlan, src: &ResultTable, z_cols: Vec<String>) -> Option<ResultTable> {
+    let mut groups: Vec<GroupSeries> = Vec::new();
+    let mut pinned_values: Option<Vec<&Value>> = None;
+    'group: for g in &src.groups {
+        for (zi, atom) in &plan.key_filters {
+            if !atom.matches_value(&g.key[*zi])? {
+                continue 'group;
+            }
+        }
+        let mut out = if plan.x_filters.is_empty() {
+            g.clone()
+        } else {
+            let mut keep: Vec<usize> = Vec::with_capacity(g.xs.len());
+            for (i, x) in g.xs.iter().enumerate() {
+                let mut m = true;
+                for atom in &plan.x_filters {
+                    if !atom.matches_value(x)? {
+                        m = false;
+                        break;
+                    }
+                }
+                if m {
+                    keep.push(i);
+                }
+            }
+            if keep.is_empty() {
+                // A group whose every row is filtered out does not
+                // appear in a direct execution either.
+                continue 'group;
+            }
+            g.select_cells(&keep)
+        };
+        // The merge guard: every survivor must carry the same exact
+        // values in the dropped positions as the first survivor did.
+        match &pinned_values {
+            None => pinned_values = Some(plan.dropped.iter().map(|&i| &g.key[i]).collect()),
+            Some(first) => {
+                if plan
+                    .dropped
+                    .iter()
+                    .zip(first.iter())
+                    .any(|(&i, &v)| g.key[i] != *v)
+                {
+                    return None;
+                }
+            }
+        }
+        out.key = plan.keep_z.iter().map(|&i| g.key[i].clone()).collect();
+        groups.push(out);
+    }
+    Some(ResultTable { z_cols, groups })
+}
+
 // ---------------------------------------------------------------------
 // Configuration
 // ---------------------------------------------------------------------
 
-/// Capacity bounds for a [`ResultCache`]. A zero in either field
-/// disables caching entirely.
+/// Capacity bounds for a [`ResultCache`]. A zero in `max_entries` or
+/// `max_bytes` disables caching entirely.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct CacheConfig {
     pub max_entries: usize,
     pub max_bytes: usize,
+    /// Cost-based admission floor: results whose recompute cost (in
+    /// scanned rows) is below this are not worth a cache slot — they
+    /// cost about as much to recompute as to probe for. `0` admits
+    /// everything.
+    pub min_cost_rows: u64,
 }
 
 impl Default for CacheConfig {
@@ -233,6 +547,10 @@ impl Default for CacheConfig {
         CacheConfig {
             max_entries: 1024,
             max_bytes: 64 << 20, // 64 MiB of aggregated series
+            // Scanning a few cache lines of rows with a compiled
+            // predicate costs roughly what the hash probe + LRU
+            // bookkeeping does.
+            min_cost_rows: 64,
         }
     }
 }
@@ -242,6 +560,17 @@ impl CacheConfig {
         CacheConfig {
             max_entries: 0,
             max_bytes: 0,
+            min_cost_rows: 0,
+        }
+    }
+
+    /// Default bounds with cost-based admission off — for tests and
+    /// workloads over tables small enough that *every* result would
+    /// otherwise be rejected as trivially recomputable.
+    pub fn admit_all() -> Self {
+        CacheConfig {
+            min_cost_rows: 0,
+            ..Default::default()
         }
     }
 
@@ -254,10 +583,16 @@ impl CacheConfig {
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CacheStats {
     pub hits: u64,
+    /// Exact-key misses answered by deriving from a cached superset
+    /// result (no scan). Always ≤ `misses`: the exact probe that
+    /// preceded the derivation still counts as a miss.
+    pub derived_hits: u64,
     pub misses: u64,
     pub insertions: u64,
     pub evictions: u64,
     pub invalidations: u64,
+    /// Fresh results rejected by cost-based admission.
+    pub admission_rejects: u64,
     pub entries: usize,
     pub bytes: usize,
 }
@@ -272,6 +607,17 @@ impl CacheStats {
             self.hits as f64 / total as f64
         }
     }
+
+    /// Fraction of lookups answered without scanning a base row —
+    /// exact hits plus derived hits (0 when none were made).
+    pub fn scan_free_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            (self.hits + self.derived_hits) as f64 / total as f64
+        }
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -280,10 +626,17 @@ impl CacheStats {
 
 const NIL: usize = usize::MAX;
 
+/// How many cold-end entries the evictor weighs against each other; the
+/// cheapest-to-recompute of the sample goes.
+pub const EVICT_SAMPLE: usize = 4;
+
 struct Slot {
     key: CacheKey,
     value: Arc<ResultTable>,
     bytes: usize,
+    /// Estimated recompute cost in scanned rows (what evicting this
+    /// entry would make a future miss pay again).
+    cost: u64,
     prev: usize,
     next: usize,
 }
@@ -292,6 +645,9 @@ struct Slot {
 #[derive(Default)]
 struct Lru {
     map: HashMap<CacheKey, usize>,
+    /// Derivation-family index: slots sharing `(engine, version, x, ys)`,
+    /// the candidates `lookup_derived` has to consider for a miss.
+    families: HashMap<FamilyKey, Vec<usize>>,
     slots: Vec<Option<Slot>>,
     free: Vec<usize>,
     head: usize,
@@ -361,12 +717,19 @@ impl Lru {
         self.unlink(i);
         let slot = self.slots[i].take().expect("live slot");
         self.map.remove(&slot.key);
+        let family = FamilyKey::of(&slot.key);
+        if let Some(members) = self.families.get_mut(&family) {
+            members.retain(|&j| j != i);
+            if members.is_empty() {
+                self.families.remove(&family);
+            }
+        }
         self.free.push(i);
         self.bytes -= slot.bytes;
         slot.bytes
     }
 
-    fn insert_front(&mut self, key: CacheKey, value: Arc<ResultTable>, bytes: usize) {
+    fn insert_front(&mut self, key: CacheKey, value: Arc<ResultTable>, bytes: usize, cost: u64) {
         let i = match self.free.pop() {
             Some(i) => i,
             None => {
@@ -374,16 +737,44 @@ impl Lru {
                 self.slots.len() - 1
             }
         };
+        self.families
+            .entry(FamilyKey::of(&key))
+            .or_default()
+            .push(i);
         self.slots[i] = Some(Slot {
             key: key.clone(),
             value,
             bytes,
+            cost,
             prev: NIL,
             next: NIL,
         });
         self.map.insert(key, i);
         self.bytes += bytes;
         self.push_front(i);
+    }
+
+    /// Evict one entry: the cheapest-to-recompute among the up-to-
+    /// [`EVICT_SAMPLE`] coldest (ties keep the colder one), never the
+    /// protected slot (the one just inserted or refreshed).
+    fn evict_one(&mut self, protect: usize) {
+        let mut victim = NIL;
+        let mut victim_cost = u64::MAX;
+        let mut i = self.tail;
+        let mut sampled = 0;
+        while i != NIL && sampled < EVICT_SAMPLE {
+            if i != protect {
+                let cost = self.slot(i).cost;
+                if cost < victim_cost {
+                    victim = i;
+                    victim_cost = cost;
+                }
+                sampled += 1;
+            }
+            i = self.slot(i).prev;
+        }
+        debug_assert_ne!(victim, NIL, "bounds exceeded with nothing evictable");
+        self.remove(victim);
     }
 
     fn len(&self) -> usize {
@@ -399,11 +790,32 @@ pub struct ResultCache {
     inner: Mutex<Lru>,
     max_entries: usize,
     max_bytes: usize,
+    min_cost_rows: u64,
     hits: AtomicU64,
+    derived_hits: AtomicU64,
     misses: AtomicU64,
     insertions: AtomicU64,
     evictions: AtomicU64,
     invalidations: AtomicU64,
+    admission_rejects: AtomicU64,
+}
+
+/// What [`ResultCache::insert`] did with the offered entry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct InsertOutcome {
+    /// `false` when cost-based admission (or an oversized value)
+    /// rejected the entry.
+    pub admitted: bool,
+    /// Entries evicted to make room.
+    pub evicted: u64,
+}
+
+/// A successful [`ResultCache::lookup_derived`]: the derived result
+/// plus the outcome of caching it under its own key (so callers can
+/// mirror evictions / admission rejects into their own counters).
+pub struct DerivedHit {
+    pub result: Arc<ResultTable>,
+    pub insert: InsertOutcome,
 }
 
 impl ResultCache {
@@ -412,11 +824,14 @@ impl ResultCache {
             inner: Mutex::new(Lru::new()),
             max_entries: config.max_entries,
             max_bytes: config.max_bytes,
+            min_cost_rows: config.min_cost_rows,
             hits: AtomicU64::new(0),
+            derived_hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             insertions: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             invalidations: AtomicU64::new(0),
+            admission_rejects: AtomicU64::new(0),
         }
     }
 
@@ -438,16 +853,72 @@ impl ResultCache {
         }
     }
 
+    /// Answer an exact-key miss by deriving from a cached superset
+    /// entry (predicate subsumption / per-Z-slice extraction — see the
+    /// module docs). On success the derived result is inserted under
+    /// its own key (at the source's cost), so the next identical query
+    /// is a plain hit; the returned [`DerivedHit`] carries that
+    /// insert's [`InsertOutcome`] so callers can mirror evictions and
+    /// admission rejects into their own counters. Candidate selection
+    /// and the group filter touch cached aggregates only — zero base
+    /// rows are scanned either way.
+    pub fn lookup_derived(&self, key: &CacheKey) -> Option<DerivedHit> {
+        // Plans are decided under the lock (key comparisons only, and
+        // only over the miss's derivation family — entries sharing
+        // engine, version, X and Ys — via the secondary index); the
+        // actual group filtering runs outside it on shared `Arc`s.
+        let family = FamilyKey::of(key);
+        let mut candidates: Vec<(DerivePlan, Arc<ResultTable>, u64, usize)> = {
+            let lru = self.inner.lock().expect("cache poisoned");
+            let members = lru.families.get(&family)?;
+            members
+                .iter()
+                .map(|&i| lru.slot(i))
+                .filter(|slot| slot.key.query != key.query)
+                .filter_map(|slot| {
+                    derive_plan(&slot.key.query, &key.query)
+                        .map(|plan| (plan, Arc::clone(&slot.value), slot.cost, slot.bytes))
+                })
+                .collect()
+        };
+        // Smallest source first: least filter work, and ties in
+        // derivability always exist (any superset of a superset works).
+        candidates.sort_by_key(|(_, _, _, bytes)| *bytes);
+        for (plan, src, cost, _) in candidates {
+            if let Some(rt) = apply_plan(&plan, &src, key.query.zs.clone()) {
+                let rt = Arc::new(rt);
+                self.derived_hits.fetch_add(1, Ordering::Relaxed);
+                // The derived entry stands in for the scan its source
+                // saved: if both are evicted, a future miss re-pays
+                // `cost`, so that is its eviction weight too.
+                let insert = self.insert(key.clone(), Arc::clone(&rt), cost);
+                return Some(DerivedHit { result: rt, insert });
+            }
+        }
+        None
+    }
+
     /// Insert (or refresh) an entry, evicting from the cold end until
-    /// both bounds hold again. Returns the number of entries evicted.
-    /// Values larger than the whole byte budget are not admitted.
-    pub fn insert(&self, key: CacheKey, value: Arc<ResultTable>) -> u64 {
+    /// both bounds hold again. `cost_rows` is the estimated recompute
+    /// cost (rows the producing scan visited): entries cheaper than the
+    /// admission floor, or larger than the whole byte budget, are not
+    /// admitted, and eviction prefers the cheapest of the coldest
+    /// [`EVICT_SAMPLE`] entries.
+    pub fn insert(&self, key: CacheKey, value: Arc<ResultTable>, cost_rows: u64) -> InsertOutcome {
+        let rejected = InsertOutcome {
+            admitted: false,
+            evicted: 0,
+        };
+        if cost_rows < self.min_cost_rows {
+            self.admission_rejects.fetch_add(1, Ordering::Relaxed);
+            return rejected;
+        }
         let bytes = value.approx_bytes();
         if bytes > self.max_bytes || self.max_entries == 0 {
-            return 0;
+            return rejected;
         }
         let mut lru = self.inner.lock().expect("cache poisoned");
-        if let Some(i) = lru.map.get(&key).copied() {
+        let touched = if let Some(i) = lru.map.get(&key).copied() {
             // Same key computed twice (e.g. duplicate misses in one
             // racing batch): refresh value + recency in place. A larger
             // replacement can push the byte total over budget, so the
@@ -456,20 +927,24 @@ impl ResultCache {
             let s = lru.slot_mut(i);
             s.value = value;
             s.bytes = bytes;
+            s.cost = cost_rows;
             lru.touch(i);
+            i
         } else {
-            lru.insert_front(key, value, bytes);
+            lru.insert_front(key, value, bytes, cost_rows);
             self.insertions.fetch_add(1, Ordering::Relaxed);
-        }
+            lru.head
+        };
         let mut evicted = 0u64;
         while lru.len() > self.max_entries || lru.bytes > self.max_bytes {
-            let tail = lru.tail;
-            debug_assert_ne!(tail, NIL, "bounds exceeded with an empty list");
-            lru.remove(tail);
+            lru.evict_one(touched);
             evicted += 1;
         }
         self.evictions.fetch_add(evicted, Ordering::Relaxed);
-        evicted
+        InsertOutcome {
+            admitted: true,
+            evicted,
+        }
     }
 
     /// Drop every entry recorded under `version` — called by engines
@@ -514,10 +989,12 @@ impl ResultCache {
         };
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
+            derived_hits: self.derived_hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             insertions: self.insertions.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             invalidations: self.invalidations.load(Ordering::Relaxed),
+            admission_rejects: self.admission_rejects.load(Ordering::Relaxed),
             entries,
             bytes,
         }
@@ -550,6 +1027,9 @@ mod tests {
     fn key(tag: u64, pred: Predicate) -> CacheKey {
         CacheKey::new("test-engine", tag, &q(pred))
     }
+
+    /// A recompute cost comfortably above the default admission floor.
+    const COST: u64 = 1 << 20;
 
     #[test]
     fn permuted_conjunctions_collide() {
@@ -626,14 +1106,15 @@ mod tests {
         let cache = ResultCache::new(&CacheConfig {
             max_entries: 2,
             max_bytes: usize::MAX,
+            min_cost_rows: 0,
         });
         let k1 = key(1, Predicate::cat_eq("p", "a"));
         let k2 = key(1, Predicate::cat_eq("p", "b"));
         let k3 = key(1, Predicate::cat_eq("p", "c"));
-        cache.insert(k1.clone(), Arc::new(rt(1)));
-        cache.insert(k2.clone(), Arc::new(rt(2)));
+        cache.insert(k1.clone(), Arc::new(rt(1)), COST);
+        cache.insert(k2.clone(), Arc::new(rt(2)), COST);
         assert!(cache.get(&k1).is_some()); // k1 now most recent
-        let evicted = cache.insert(k3.clone(), Arc::new(rt(3)));
+        let evicted = cache.insert(k3.clone(), Arc::new(rt(3)), COST).evicted;
         assert_eq!(evicted, 1);
         assert!(cache.get(&k2).is_none(), "k2 was coldest and must go");
         assert!(cache.get(&k1).is_some());
@@ -650,11 +1131,13 @@ mod tests {
         let cache = ResultCache::new(&CacheConfig {
             max_entries: 100,
             max_bytes: one * 2,
+            min_cost_rows: 0,
         });
         for i in 0..10u64 {
             cache.insert(
                 key(1, Predicate::num_eq("year", i as f64)),
                 Arc::new(rt(i as i64)),
+                COST,
             );
         }
         assert!(cache.len() <= 2);
@@ -664,8 +1147,11 @@ mod tests {
         let tiny = ResultCache::new(&CacheConfig {
             max_entries: 100,
             max_bytes: 1,
+            min_cost_rows: 0,
         });
-        assert_eq!(tiny.insert(key(1, Predicate::True), Arc::new(rt(1))), 0);
+        let outcome = tiny.insert(key(1, Predicate::True), Arc::new(rt(1)), COST);
+        assert!(!outcome.admitted);
+        assert_eq!(outcome.evicted, 0);
         assert!(tiny.is_empty());
     }
 
@@ -673,8 +1159,8 @@ mod tests {
     fn reinsert_refreshes_in_place() {
         let cache = ResultCache::new(&CacheConfig::default());
         let k = key(1, Predicate::True);
-        cache.insert(k.clone(), Arc::new(rt(1)));
-        cache.insert(k.clone(), Arc::new(rt(2)));
+        cache.insert(k.clone(), Arc::new(rt(1)), COST);
+        cache.insert(k.clone(), Arc::new(rt(2)), COST);
         assert_eq!(cache.len(), 1);
         assert_eq!(*cache.get(&k).unwrap(), rt(2));
     }
@@ -688,14 +1174,17 @@ mod tests {
         let cache = ResultCache::new(&CacheConfig {
             max_entries: 100,
             max_bytes: small.approx_bytes() * 2 + big.approx_bytes() / 2,
+            min_cost_rows: 0,
         });
         let k1 = key(1, Predicate::cat_eq("p", "a"));
         let k2 = key(1, Predicate::cat_eq("p", "b"));
-        cache.insert(k1.clone(), Arc::new(small.clone()));
-        cache.insert(k2.clone(), Arc::new(small.clone()));
+        cache.insert(k1.clone(), Arc::new(small.clone()), COST);
+        cache.insert(k2.clone(), Arc::new(small.clone()), COST);
         // Refreshing k2 with a bigger value pushes the total over the
         // budget: the coldest entry (k1) must be evicted.
-        let evicted = cache.insert(k2.clone(), Arc::new(big.clone()));
+        let evicted = cache
+            .insert(k2.clone(), Arc::new(big.clone()), COST)
+            .evicted;
         assert_eq!(evicted, 1);
         assert!(cache.get(&k1).is_none());
         assert_eq!(*cache.get(&k2).unwrap(), big);
@@ -707,8 +1196,8 @@ mod tests {
         let cache = ResultCache::new(&CacheConfig::default());
         let old = key(7, Predicate::True);
         let new = key(8, Predicate::True);
-        cache.insert(old.clone(), Arc::new(rt(1)));
-        cache.insert(new.clone(), Arc::new(rt(2)));
+        cache.insert(old.clone(), Arc::new(rt(1)), COST);
+        cache.insert(new.clone(), Arc::new(rt(2)), COST);
         assert_eq!(*cache.get(&old).unwrap(), rt(1));
         assert_eq!(*cache.get(&new).unwrap(), rt(2));
         cache.invalidate_table_version(7);
@@ -722,7 +1211,7 @@ mod tests {
         let cache = ResultCache::new(&CacheConfig::default());
         let k = key(1, Predicate::True);
         assert!(cache.get(&k).is_none());
-        cache.insert(k.clone(), Arc::new(rt(1)));
+        cache.insert(k.clone(), Arc::new(rt(1)), COST);
         assert!(cache.get(&k).is_some());
         assert!(cache.get(&k).is_some());
         let s = cache.stats();
@@ -731,5 +1220,280 @@ mod tests {
         cache.clear();
         assert!(cache.is_empty());
         assert_eq!(cache.bytes(), 0);
+    }
+
+    #[test]
+    fn admission_rejects_cheap_results() {
+        let cache = ResultCache::new(&CacheConfig::default()); // floor = 64 rows
+        let k = key(1, Predicate::True);
+        let outcome = cache.insert(k.clone(), Arc::new(rt(1)), 8);
+        assert!(!outcome.admitted, "an 8-row scan is cheaper than a probe");
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().admission_rejects, 1);
+        assert!(cache.insert(k.clone(), Arc::new(rt(1)), 64).admitted);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn eviction_prefers_cheap_entries_over_pure_recency() {
+        let cache = ResultCache::new(&CacheConfig {
+            max_entries: 3,
+            max_bytes: usize::MAX,
+            min_cost_rows: 0,
+        });
+        let expensive_old = key(1, Predicate::cat_eq("p", "a"));
+        let cheap_mid = key(1, Predicate::cat_eq("p", "b"));
+        let expensive_mid = key(1, Predicate::cat_eq("p", "c"));
+        cache.insert(expensive_old.clone(), Arc::new(rt(1)), 1_000_000);
+        cache.insert(cheap_mid.clone(), Arc::new(rt(2)), 10);
+        cache.insert(expensive_mid.clone(), Arc::new(rt(3)), 1_000_000);
+        // Pure LRU would evict `expensive_old`; cost weighting must
+        // sacrifice the trivially recomputable entry instead.
+        let evicted = cache
+            .insert(
+                key(1, Predicate::cat_eq("p", "d")),
+                Arc::new(rt(4)),
+                1_000_000,
+            )
+            .evicted;
+        assert_eq!(evicted, 1);
+        assert!(
+            cache.get(&cheap_mid).is_none(),
+            "cheapest sampled entry goes"
+        );
+        assert!(cache.get(&expensive_old).is_some());
+        assert!(cache.get(&expensive_mid).is_some());
+    }
+
+    // -----------------------------------------------------------------
+    // Subsumption / derivation
+    // -----------------------------------------------------------------
+
+    fn qk(q: &SelectQuery) -> QueryKey {
+        QueryKey::of(q)
+    }
+
+    fn base_q() -> SelectQuery {
+        SelectQuery::new(XSpec::raw("year"), vec![YSpec::sum("sales")]).with_z("product")
+    }
+
+    #[test]
+    fn derive_plan_accepts_key_filters_and_pinned_drops() {
+        let cached = qk(&base_q());
+        // Tighten on the Z column, keeping it in the output.
+        let filt = qk(&base_q().with_predicate(Predicate::cat_in(
+            "product",
+            vec!["chair".into(), "desk".into()],
+        )));
+        let plan = derive_plan(&cached, &filt).expect("key filter qualifies");
+        assert_eq!(plan.keep_z, vec![0]);
+        assert_eq!(plan.key_filters.len(), 1);
+        assert!(plan.dropped.is_empty());
+        // Z-slice: pin the Z column and drop it from the output.
+        let slice = SelectQuery::new(XSpec::raw("year"), vec![YSpec::sum("sales")])
+            .with_predicate(Predicate::cat_eq("product", "chair"));
+        let plan = derive_plan(&cached, &qk(&slice)).expect("pinned drop qualifies");
+        assert!(plan.keep_z.is_empty());
+        assert!(!plan.dropped.is_empty());
+        // Residual atoms on a raw X column qualify as cell filters.
+        let xcut = qk(&base_q().with_predicate(Predicate::num_eq("year", 2015.0)));
+        let plan = derive_plan(&cached, &xcut).expect("raw-x filter qualifies");
+        assert_eq!(plan.x_filters.len(), 1);
+    }
+
+    #[test]
+    fn derive_plan_declines_unqualified_shapes() {
+        let cached = qk(&base_q());
+        // Unpinned drop: zs removed without an equality on it.
+        let unpinned = qk(&SelectQuery::new(
+            XSpec::raw("year"),
+            vec![YSpec::sum("sales")],
+        ));
+        assert!(derive_plan(&cached, &unpinned).is_none());
+        // Residual on a column absent from the cached result.
+        let off_result = qk(&base_q().with_predicate(Predicate::cat_eq("location", "US")));
+        assert!(derive_plan(&cached, &off_result).is_none());
+        // Superset direction reversed: cached is *narrower* than wanted.
+        let narrow = qk(&base_q().with_predicate(Predicate::cat_eq("product", "chair")));
+        assert!(derive_plan(&narrow, &cached).is_none());
+        // Different Y measures or order.
+        let other_y = qk(
+            &SelectQuery::new(XSpec::raw("year"), vec![YSpec::avg("sales")])
+                .with_z("product")
+                .with_predicate(Predicate::cat_eq("product", "chair")),
+        );
+        assert!(derive_plan(&cached, &other_y).is_none());
+        // Binned X declines residual atoms on X.
+        let binned = qk(
+            &SelectQuery::new(XSpec::binned("year", 2.0), vec![YSpec::sum("sales")])
+                .with_z("product"),
+        );
+        let binned_cut = qk(&SelectQuery::new(
+            XSpec::binned("year", 2.0),
+            vec![YSpec::sum("sales")],
+        )
+        .with_z("product")
+        .with_predicate(Predicate::num_eq("year", 2014.0)));
+        assert!(derive_plan(&binned, &binned_cut).is_none());
+        // Disjunctions decline.
+        let or_pred = Predicate::Or(vec![
+            vec![Atom::CatEq {
+                col: "product".into(),
+                value: "chair".into(),
+            }],
+            vec![Atom::CatEq {
+                col: "product".into(),
+                value: "desk".into(),
+            }],
+        ]);
+        assert!(derive_plan(&cached, &qk(&base_q().with_predicate(or_pred))).is_none());
+        // Z permutations decline (group order would be wrong).
+        let ab = qk(
+            &SelectQuery::new(XSpec::raw("year"), vec![YSpec::sum("sales")])
+                .with_z("a")
+                .with_z("b"),
+        );
+        let ba = qk(
+            &SelectQuery::new(XSpec::raw("year"), vec![YSpec::sum("sales")])
+                .with_z("b")
+                .with_z("a")
+                .with_predicate(Predicate::cat_eq("a", "x")),
+        );
+        assert!(derive_plan(&ab, &ba).is_none());
+        // Identical queries are the exact-hit path's job.
+        assert!(derive_plan(&cached, &cached.clone()).is_none());
+    }
+
+    #[test]
+    fn lookup_derived_filters_slices_and_inserts_the_result() {
+        let cache = ResultCache::new(&CacheConfig::admit_all());
+        let src = ResultTable {
+            z_cols: vec!["product".into()],
+            groups: vec![
+                GroupSeries {
+                    key: vec![Value::str("chair")],
+                    xs: vec![Value::Int(2014), Value::Int(2015)],
+                    ys: vec![vec![1.0, 2.0]],
+                },
+                GroupSeries {
+                    key: vec![Value::str("desk")],
+                    xs: vec![Value::Int(2015)],
+                    ys: vec![vec![7.0]],
+                },
+            ],
+        };
+        let full = CacheKey::new("e", 1, &base_q());
+        cache.insert(full, Arc::new(src), COST);
+
+        // Per-Z-slice extraction: pin product, drop it from the output.
+        let slice = SelectQuery::new(XSpec::raw("year"), vec![YSpec::sum("sales")])
+            .with_predicate(Predicate::cat_eq("product", "desk"));
+        let hit = cache
+            .lookup_derived(&CacheKey::new("e", 1, &slice))
+            .expect("slice derives");
+        assert!(hit.insert.admitted, "derived entry must be cached");
+        let got = hit.result;
+        assert_eq!(got.z_cols, Vec::<String>::new());
+        assert_eq!(got.groups.len(), 1);
+        assert!(got.groups[0].key.is_empty());
+        assert_eq!(got.groups[0].ys[0], vec![7.0]);
+        // The derived entry was inserted under its own key: an exact
+        // probe now hits and shares the same allocation.
+        let again = cache
+            .get(&CacheKey::new("e", 1, &slice))
+            .expect("derived entry cached");
+        assert!(Arc::ptr_eq(&got, &again));
+        assert_eq!(cache.stats().derived_hits, 1);
+
+        // X filtering trims cells inside groups and drops empty groups.
+        let xcut = base_q().with_predicate(Predicate::num_eq("year", 2014.0));
+        let got = cache
+            .lookup_derived(&CacheKey::new("e", 1, &xcut))
+            .expect("x filter derives")
+            .result;
+        assert_eq!(got.groups.len(), 1, "desk has no 2014 cell");
+        assert_eq!(got.groups[0].key, vec![Value::str("chair")]);
+        assert_eq!(got.groups[0].xs, vec![Value::Int(2014)]);
+        assert_eq!(got.groups[0].ys[0], vec![1.0]);
+
+        // Wrong version / engine: nothing to derive from.
+        assert!(cache
+            .lookup_derived(&CacheKey::new("e", 2, &xcut))
+            .is_none());
+        assert!(cache
+            .lookup_derived(&CacheKey::new("f", 1, &xcut))
+            .is_none());
+    }
+
+    #[test]
+    fn lookup_derived_declines_zero_sign_key_collisions() {
+        // Two float Z keys that direct execution would merge under a
+        // `z = 0.0` pin (0.0 and -0.0) must decline, not mis-derive.
+        let cache = ResultCache::new(&CacheConfig::admit_all());
+        let full = SelectQuery::new(XSpec::raw("year"), vec![YSpec::sum("sales")]).with_z("w");
+        let src = ResultTable {
+            z_cols: vec!["w".into()],
+            groups: vec![
+                GroupSeries {
+                    key: vec![Value::Float(-0.0)],
+                    xs: vec![Value::Int(2014)],
+                    ys: vec![vec![1.0]],
+                },
+                GroupSeries {
+                    key: vec![Value::Float(0.0)],
+                    xs: vec![Value::Int(2014)],
+                    ys: vec![vec![2.0]],
+                },
+            ],
+        };
+        cache.insert(CacheKey::new("e", 1, &full), Arc::new(src), COST);
+        let pinned = SelectQuery::new(XSpec::raw("year"), vec![YSpec::sum("sales")])
+            .with_predicate(Predicate::num_eq("w", 0.0));
+        assert!(
+            cache
+                .lookup_derived(&CacheKey::new("e", 1, &pinned))
+                .is_none(),
+            "±0.0 projected-key collision must fall back to a real scan"
+        );
+    }
+
+    #[test]
+    fn lookup_derived_declines_nonadjacent_collisions_from_leading_drops() {
+        // Regression: when the dropped (pinned) Z column *precedes* a
+        // kept one, colliding projected keys are not adjacent (groups
+        // are sorted by the full key), so an adjacency guard misses
+        // them. Two i64 keys ≥ 2⁵³ share one f64 image: both satisfy
+        // the `num_eq` pin, yet direct execution keeps them as separate
+        // groups merged per kept key — only a decline is correct.
+        let cache = ResultCache::new(&CacheConfig::admit_all());
+        let full = SelectQuery::new(XSpec::raw("year"), vec![YSpec::sum("sales")])
+            .with_z("w")
+            .with_z("a");
+        let alias1 = 9_007_199_254_740_992i64; // 2^53
+        let alias2 = 9_007_199_254_740_993i64; // distinct, same f64 image
+        let g = |w: i64, a: &str, y: f64| GroupSeries {
+            key: vec![Value::Int(w), Value::str(a)],
+            xs: vec![Value::Int(2014)],
+            ys: vec![vec![y]],
+        };
+        let src = ResultTable {
+            z_cols: vec!["w".into(), "a".into()],
+            groups: vec![
+                g(alias1, "x", 1.0),
+                g(alias1, "y", 2.0),
+                g(alias2, "x", 4.0),
+                g(alias2, "y", 8.0),
+            ],
+        };
+        cache.insert(CacheKey::new("e", 1, &full), Arc::new(src), COST);
+        let pinned = SelectQuery::new(XSpec::raw("year"), vec![YSpec::sum("sales")])
+            .with_z("a")
+            .with_predicate(Predicate::num_eq("w", alias1 as f64));
+        assert!(
+            cache
+                .lookup_derived(&CacheKey::new("e", 1, &pinned))
+                .is_none(),
+            "aliased i64 pins must decline, wherever the dropped column sits"
+        );
     }
 }

@@ -2,12 +2,28 @@
 //! traditional relational database" (thesis §2). The ZQL executor only
 //! speaks [`Database`]; both shipped engines implement it.
 //!
-//! Since the engine-level result cache landed, [`Database::run_request`]
-//! is also where cross-query caching happens: each query is looked up
-//! under `(engine, table version, canonical query)` before any scan, so
-//! interactive sessions replaying the same slices — across requests *and*
-//! across ZQL executions — skip the scan entirely. See [`crate::cache`]
-//! for the version-key invalidation scheme.
+//! # Snapshots and batch pinning
+//!
+//! Engines expose their state as immutable [`EngineSnapshot`]s
+//! ([`Database::pin`]): a pinned snapshot bundles the table version the
+//! engine serves *and whatever auxiliary structures answer queries over
+//! it* (the bitmap engine pins its indexes together with the table).
+//! [`Database::run_request`] pins **once per batch**, so every query of
+//! a batch — cache hits, derived hits, and fresh executions alike — is
+//! answered against the same table version even while appends race the
+//! batch; a single [`Database::execute`] pins per call.
+//!
+//! # Caching
+//!
+//! `run_request` is also where cross-query caching happens: each query
+//! is looked up under `(engine, table version, canonical query)` before
+//! any scan, and an exact-key miss is offered to the subsumption-based
+//! derivation path ([`crate::cache::ResultCache::lookup_derived`]) which
+//! answers subset-predicate and per-Z-slice queries by post-filtering a
+//! cached superset result. Results flow as `Arc<ResultTable>` end to
+//! end: a warm hit is a pointer bump, never a deep copy. See
+//! [`crate::cache`] for the version-key invalidation scheme, the
+//! subsumption rules, and cost-based admission.
 
 use crate::cache::{CacheKey, ResultCache};
 use crate::query::{ResultTable, SelectQuery};
@@ -15,7 +31,34 @@ use crate::stats::ExecStats;
 use crate::table::{StorageError, Table};
 use crate::value::Value;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// One immutable, internally consistent view of an engine's state: the
+/// table snapshot plus whatever the engine needs to answer queries over
+/// exactly that data (indexes, compiled metadata). Queries against one
+/// snapshot are mutually consistent by construction — appends only ever
+/// produce *new* snapshots.
+pub trait EngineSnapshot: Send + Sync {
+    /// The pinned table.
+    fn table(&self) -> &Arc<Table>;
+
+    /// Execute one canonical grouped-aggregate query against the pinned
+    /// state, returning the result and the number of rows scanned (the
+    /// result's recompute cost, which drives cache admission).
+    fn execute(&self, query: &SelectQuery) -> Result<(ResultTable, u64), StorageError>;
+}
+
+/// Execute against a snapshot, recording query count / rows / latency.
+fn execute_recorded(
+    stats: &ExecStats,
+    snap: &dyn EngineSnapshot,
+    query: &SelectQuery,
+) -> Result<(ResultTable, u64), StorageError> {
+    let start = Instant::now();
+    let (result, scanned) = snap.execute(query)?;
+    stats.record_query(scanned, start.elapsed());
+    Ok((result, scanned))
+}
 
 /// A queryable backend holding one relation.
 pub trait Database: Send + Sync {
@@ -23,14 +66,23 @@ pub trait Database: Send + Sync {
     /// engine half of result-cache keys).
     fn name(&self) -> &'static str;
 
+    /// Pin the engine's current state. Cheap (an `Arc` bump plus one
+    /// wrapper allocation); the returned snapshot stays valid and
+    /// unchanged however many appends land after it.
+    fn pin(&self) -> Arc<dyn EngineSnapshot>;
+
     /// The current snapshot of the relation this engine serves. Returned
     /// by value because engines may swap the snapshot on append.
-    fn table(&self) -> Arc<Table>;
+    fn table(&self) -> Arc<Table> {
+        self.pin().table().clone()
+    }
 
     /// Execute one canonical grouped-aggregate query, bypassing the
     /// result cache (the raw path; also what equivalence tests compare
     /// cached results against).
-    fn execute(&self, query: &SelectQuery) -> Result<ResultTable, StorageError>;
+    fn execute(&self, query: &SelectQuery) -> Result<ResultTable, StorageError> {
+        execute_recorded(self.stats(), &*self.pin(), query).map(|(rt, _)| rt)
+    }
 
     /// Execution counters.
     fn stats(&self) -> &ExecStats;
@@ -73,68 +125,73 @@ pub trait Database: Send + Sync {
     /// here; the engine-level result cache shrinks the *scans* behind
     /// them.
     ///
-    /// Per query: look up the result cache (recording a hit or miss in
-    /// [`ExecStats`]), then fan the misses across the shared pool exactly
-    /// as before — multi-query batches use one worker per query, while a
-    /// single missing query parallelizes *inside* the scan (see
-    /// `exec::aggregate_parallel`), so the hardware is saturated either
-    /// way. Fresh results are inserted under the table version observed
-    /// *before* execution: the version only ever advances, so an entry
-    /// can never be served after its snapshot is retired (see
-    /// [`crate::cache`]).
+    /// Per query: look up the result cache exactly, then via predicate
+    /// subsumption (both answered without touching a base row), then fan
+    /// the true misses across the shared pool — multi-query batches use
+    /// one worker per query, while a single missing query parallelizes
+    /// *inside* the scan (see `exec::aggregate_parallel`), so the
+    /// hardware is saturated either way. Fresh results are offered to
+    /// the cache under the pinned snapshot's version at their scan cost
+    /// (cost-based admission may decline them): the version only ever
+    /// advances, so an entry can never be served after its snapshot is
+    /// retired (see [`crate::cache`]).
     ///
-    /// Consistency: each answer is *per-query* snapshot-consistent and at
-    /// least as new as the version observed at request start. A request
-    /// racing a concurrent append may therefore mix adjacent snapshots
-    /// across the queries of one batch — the same semantics as a
-    /// non-transactional batch against a live SQL backend. Pinning one
-    /// snapshot for a whole batch is a ROADMAP follow-on.
-    fn run_request(&self, queries: &[SelectQuery]) -> Result<Vec<ResultTable>, StorageError> {
+    /// Consistency: one snapshot is pinned for the whole batch, so every
+    /// answer — hit, derived, or fresh — describes the same table
+    /// version even when appends race the request, and that version is
+    /// at least as new as the engine's state at request start.
+    ///
+    /// Results are shared `Arc`s: an exact warm hit returns the cached
+    /// allocation itself (pointer bump, zero copies).
+    fn run_request(&self, queries: &[SelectQuery]) -> Result<Vec<Arc<ResultTable>>, StorageError> {
         self.stats().record_request();
         let overhead = self.request_overhead();
         if !overhead.is_zero() {
             std::thread::sleep(overhead);
         }
+        let snap = self.pin();
         let Some(cache) = self.result_cache() else {
             return crate::parallel::try_parallel_map(queries.len(), 0, |i| {
-                self.execute(&queries[i])
+                execute_recorded(self.stats(), &*snap, &queries[i]).map(|(rt, _)| Arc::new(rt))
             });
         };
-        let version = self.table().version();
+        let version = snap.table().version();
         let engine = self.name();
         let mut results: Vec<Option<Arc<ResultTable>>> = Vec::with_capacity(queries.len());
         let mut misses: Vec<(usize, CacheKey)> = Vec::new();
         for (i, q) in queries.iter().enumerate() {
             let key = CacheKey::new(engine, version, q);
-            match cache.get(&key) {
-                Some(hit) => {
-                    self.stats().record_cache_hit();
-                    results.push(Some(hit));
+            if let Some(hit) = cache.get(&key) {
+                self.stats().record_cache_hit();
+                results.push(Some(hit));
+            } else if let Some(derived) = cache.lookup_derived(&key) {
+                self.stats().record_cache_derived_hit();
+                if !derived.insert.admitted {
+                    self.stats().record_cache_admission_reject();
                 }
-                None => {
-                    self.stats().record_cache_miss();
-                    results.push(None);
-                    misses.push((i, key));
-                }
+                self.stats().record_cache_evictions(derived.insert.evicted);
+                results.push(Some(derived.result));
+            } else {
+                self.stats().record_cache_miss();
+                results.push(None);
+                misses.push((i, key));
             }
         }
         let fresh = crate::parallel::try_parallel_map(misses.len(), 0, |j| {
-            self.execute(&queries[misses[j].0])
+            execute_recorded(self.stats(), &*snap, &queries[misses[j].0])
         })?;
-        for ((i, key), rt) in misses.into_iter().zip(fresh) {
+        for ((i, key), (rt, scanned)) in misses.into_iter().zip(fresh) {
             let rt = Arc::new(rt);
-            let evicted = cache.insert(key, Arc::clone(&rt));
-            self.stats().record_cache_evictions(evicted);
+            let outcome = cache.insert(key, Arc::clone(&rt), scanned);
+            if !outcome.admitted {
+                self.stats().record_cache_admission_reject();
+            }
+            self.stats().record_cache_evictions(outcome.evicted);
             results[i] = Some(rt);
         }
         Ok(results
             .into_iter()
-            .map(|r| {
-                let rt = r.expect("every query either hit or was executed");
-                // One deep copy at the trait boundary (its signature is
-                // by-value); cache hits never copy under the lock.
-                Arc::try_unwrap(rt).unwrap_or_else(|shared| (*shared).clone())
-            })
+            .map(|r| r.expect("every query either hit or was executed"))
             .collect())
     }
 }

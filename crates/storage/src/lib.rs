@@ -49,9 +49,9 @@ pub mod table;
 pub mod value;
 
 pub use bitmap_db::{BitmapDb, BitmapDbConfig};
-pub use cache::{CacheConfig, CacheKey, CacheStats, QueryKey, ResultCache};
+pub use cache::{CacheConfig, CacheKey, CacheStats, InsertOutcome, QueryKey, ResultCache};
 pub use column::{CatColumn, Column};
-pub use db::{Database, DynDatabase};
+pub use db::{Database, DynDatabase, EngineSnapshot};
 pub use exec::{GroupStrategy, ParallelConfig};
 pub use predicate::{Atom, CmpOp, Predicate};
 pub use query::{Agg, GroupSeries, ResultTable, SelectQuery, XSpec, YSpec};

@@ -194,10 +194,36 @@ impl Predicate {
     }
 
     pub fn num_eq(col: impl Into<String>, value: f64) -> Self {
+        Self::num_cmp(col, CmpOp::Eq, value)
+    }
+
+    pub fn num_cmp(col: impl Into<String>, op: CmpOp, value: f64) -> Self {
         Predicate::atom(Atom::NumCmp {
             col: col.into(),
-            op: CmpOp::Eq,
+            op,
             value,
+        })
+    }
+
+    pub fn num_between(col: impl Into<String>, lo: f64, hi: f64) -> Self {
+        Predicate::atom(Atom::NumBetween {
+            col: col.into(),
+            lo,
+            hi,
+        })
+    }
+
+    pub fn cat_neq(col: impl Into<String>, value: impl Into<String>) -> Self {
+        Predicate::atom(Atom::CatNeq {
+            col: col.into(),
+            value: value.into(),
+        })
+    }
+
+    pub fn str_prefix(col: impl Into<String>, prefix: impl Into<String>) -> Self {
+        Predicate::atom(Atom::StrPrefix {
+            col: col.into(),
+            prefix: prefix.into(),
         })
     }
 

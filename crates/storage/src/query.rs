@@ -182,6 +182,22 @@ impl GroupSeries {
                 .sum::<usize>()
     }
 
+    /// A copy keeping only the `(x, y…)` cells at the given ascending
+    /// positions — the cell-filter primitive behind the result cache's
+    /// derivation executor (an aggregated cell is atomic: every
+    /// aggregate stays exact when whole cells are kept or dropped).
+    pub fn select_cells(&self, keep: &[usize]) -> GroupSeries {
+        GroupSeries {
+            key: self.key.clone(),
+            xs: keep.iter().map(|&i| self.xs[i].clone()).collect(),
+            ys: self
+                .ys
+                .iter()
+                .map(|col| keep.iter().map(|&i| col[i]).collect())
+                .collect(),
+        }
+    }
+
     /// The `(x, y)` pairs of measure `measure_idx` as f64, skipping
     /// non-numeric X values.
     pub fn points(&self, measure_idx: usize) -> Vec<(f64, f64)> {

@@ -13,14 +13,14 @@
 //! cached result of the old one (see [`crate::cache`]).
 
 use crate::cache::{CacheConfig, ResultCache};
-use crate::db::Database;
+use crate::db::{Database, EngineSnapshot};
 use crate::exec::{self, compile_pred, RowSource};
 use crate::query::{ResultTable, SelectQuery};
 use crate::stats::ExecStats;
 use crate::table::{StorageError, Table};
 use crate::value::Value;
 use std::sync::{Arc, Mutex, RwLock};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Tuning knobs for [`ScanDb`].
 #[derive(Clone, Debug)]
@@ -110,6 +110,14 @@ impl ScanDb {
         self.table.read().expect("table lock poisoned").clone()
     }
 
+    fn pin_snapshot(&self) -> ScanSnapshot {
+        ScanSnapshot {
+            table: self.snapshot(),
+            dense_group_limit: self.config.dense_group_limit,
+            parallel: self.config.parallel,
+        }
+    }
+
     /// Swap in a mutated table built by `mutate`; returns its row delta.
     /// The O(n) copy-on-write runs outside the reader-visible lock —
     /// concurrent queries keep their old snapshot throughout — and
@@ -133,37 +141,52 @@ impl ScanDb {
     }
 }
 
-impl Database for ScanDb {
-    fn name(&self) -> &'static str {
-        "scan-db"
+/// A pinned [`ScanDb`] view: the table snapshot plus the execution
+/// tuning frozen at pin time.
+struct ScanSnapshot {
+    table: Arc<Table>,
+    dense_group_limit: u128,
+    parallel: exec::ParallelConfig,
+}
+
+impl EngineSnapshot for ScanSnapshot {
+    fn table(&self) -> &Arc<Table> {
+        &self.table
     }
 
-    fn table(&self) -> Arc<Table> {
-        self.snapshot()
-    }
-
-    fn execute(&self, query: &SelectQuery) -> Result<ResultTable, StorageError> {
-        let start = Instant::now();
-        let table = self.snapshot();
+    fn execute(&self, query: &SelectQuery) -> Result<(ResultTable, u64), StorageError> {
+        let table = &self.table;
         let source = if query.predicate.is_true() {
             RowSource::All(table.num_rows())
         } else {
-            let pred = compile_pred(&table, &query.predicate)?;
+            let pred = compile_pred(table, &query.predicate)?;
             RowSource::Filtered {
                 n_rows: table.num_rows(),
                 pred,
             }
         };
-        let groups = exec::group_space(&table, query)?;
-        let strategy = exec::choose_strategy(groups, self.config.dense_group_limit);
-        let threads = self.config.parallel.threads_for(source.estimated_rows());
-        let (result, scanned) = if threads > 1 {
-            exec::aggregate_parallel(&table, query, &source, strategy, threads)?
+        let groups = exec::group_space(table, query)?;
+        let strategy = exec::choose_strategy(groups, self.dense_group_limit);
+        let threads = self.parallel.threads_for(source.estimated_rows());
+        if threads > 1 {
+            exec::aggregate_parallel(table, query, &source, strategy, threads)
         } else {
-            exec::aggregate(&table, query, &source, strategy)?
-        };
-        self.stats.record_query(scanned, start.elapsed());
-        Ok(result)
+            exec::aggregate(table, query, &source, strategy)
+        }
+    }
+}
+
+impl Database for ScanDb {
+    fn name(&self) -> &'static str {
+        "scan-db"
+    }
+
+    fn pin(&self) -> Arc<dyn EngineSnapshot> {
+        Arc::new(self.pin_snapshot())
+    }
+
+    fn table(&self) -> Arc<Table> {
+        self.snapshot()
     }
 
     fn stats(&self) -> &ExecStats {
@@ -211,7 +234,15 @@ mod tests {
             b.push_row(vec![Value::Int(y), Value::str(p), Value::Float(s)])
                 .unwrap();
         }
-        ScanDb::new(b.finish_shared())
+        // The fixture is 4 rows: disable cost-based admission so the
+        // cache-behaviour tests below still exercise warm hits.
+        ScanDb::with_config(
+            b.finish_shared(),
+            ScanDbConfig {
+                cache: CacheConfig::admit_all(),
+                ..Default::default()
+            },
+        )
     }
 
     #[test]

@@ -19,10 +19,16 @@ pub struct ExecStats {
     exec_nanos: AtomicU64,
     /// Queries answered from the engine-level result cache (no scan).
     cache_hits: AtomicU64,
+    /// Queries answered by *deriving* from a cached superset result
+    /// (predicate subsumption / Z-slice extraction — no scan either).
+    cache_derived_hits: AtomicU64,
     /// Queries that missed the result cache and executed for real.
     cache_misses: AtomicU64,
     /// Entries evicted from the result cache on this engine's inserts.
     cache_evictions: AtomicU64,
+    /// Fresh results the cache declined to admit (cheaper to recompute
+    /// than a hash probe — see cost-based admission in `crate::cache`).
+    cache_admission_rejects: AtomicU64,
 }
 
 impl ExecStats {
@@ -45,12 +51,20 @@ impl ExecStats {
         self.cache_hits.fetch_add(1, Ordering::Relaxed);
     }
 
+    pub fn record_cache_derived_hit(&self) {
+        self.cache_derived_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
     pub fn record_cache_miss(&self) {
         self.cache_misses.fetch_add(1, Ordering::Relaxed);
     }
 
     pub fn record_cache_evictions(&self, n: u64) {
         self.cache_evictions.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn record_cache_admission_reject(&self) {
+        self.cache_admission_rejects.fetch_add(1, Ordering::Relaxed);
     }
 
     pub fn snapshot(&self) -> StatsSnapshot {
@@ -60,8 +74,10 @@ impl ExecStats {
             rows_scanned: self.rows_scanned.load(Ordering::Relaxed),
             exec_time: Duration::from_nanos(self.exec_nanos.load(Ordering::Relaxed)),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_derived_hits: self.cache_derived_hits.load(Ordering::Relaxed),
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
             cache_evictions: self.cache_evictions.load(Ordering::Relaxed),
+            cache_admission_rejects: self.cache_admission_rejects.load(Ordering::Relaxed),
         }
     }
 
@@ -71,8 +87,10 @@ impl ExecStats {
         self.rows_scanned.store(0, Ordering::Relaxed);
         self.exec_nanos.store(0, Ordering::Relaxed);
         self.cache_hits.store(0, Ordering::Relaxed);
+        self.cache_derived_hits.store(0, Ordering::Relaxed);
         self.cache_misses.store(0, Ordering::Relaxed);
         self.cache_evictions.store(0, Ordering::Relaxed);
+        self.cache_admission_rejects.store(0, Ordering::Relaxed);
     }
 }
 
@@ -84,8 +102,10 @@ pub struct StatsSnapshot {
     pub rows_scanned: u64,
     pub exec_time: Duration,
     pub cache_hits: u64,
+    pub cache_derived_hits: u64,
     pub cache_misses: u64,
     pub cache_evictions: u64,
+    pub cache_admission_rejects: u64,
 }
 
 impl StatsSnapshot {
@@ -97,8 +117,10 @@ impl StatsSnapshot {
             rows_scanned: self.rows_scanned - earlier.rows_scanned,
             exec_time: self.exec_time.saturating_sub(earlier.exec_time),
             cache_hits: self.cache_hits - earlier.cache_hits,
+            cache_derived_hits: self.cache_derived_hits - earlier.cache_derived_hits,
             cache_misses: self.cache_misses - earlier.cache_misses,
             cache_evictions: self.cache_evictions - earlier.cache_evictions,
+            cache_admission_rejects: self.cache_admission_rejects - earlier.cache_admission_rejects,
         }
     }
 }
@@ -114,16 +136,20 @@ mod tests {
         s.record_query(50, Duration::from_millis(1));
         s.record_request();
         s.record_cache_hit();
+        s.record_cache_derived_hit();
         s.record_cache_miss();
         s.record_cache_evictions(3);
+        s.record_cache_admission_reject();
         let snap = s.snapshot();
         assert_eq!(snap.queries, 2);
         assert_eq!(snap.requests, 1);
         assert_eq!(snap.rows_scanned, 150);
         assert_eq!(snap.exec_time, Duration::from_millis(3));
         assert_eq!(snap.cache_hits, 1);
+        assert_eq!(snap.cache_derived_hits, 1);
         assert_eq!(snap.cache_misses, 1);
         assert_eq!(snap.cache_evictions, 3);
+        assert_eq!(snap.cache_admission_rejects, 1);
     }
 
     #[test]

@@ -12,9 +12,16 @@ use proptest::prelude::*;
 use std::sync::Arc;
 use zv_storage::exec::ParallelConfig;
 use zv_storage::{
-    Agg, Atom, BitmapDb, BitmapDbConfig, CmpOp, DataType, Database, DynDatabase, Field, Predicate,
-    ScanDb, ScanDbConfig, Schema, SelectQuery, Table, TableBuilder, Value, XSpec, YSpec,
+    Agg, Atom, BitmapDb, BitmapDbConfig, CacheConfig, CmpOp, DataType, Database, DynDatabase,
+    Field, Predicate, ResultTable, ScanDb, ScanDbConfig, Schema, SelectQuery, Table, TableBuilder,
+    Value, XSpec, YSpec,
 };
+
+/// Deref a `run_request` answer (shared `Arc`s) for comparison against
+/// by-value reference results.
+fn deref_all(results: &[Arc<ResultTable>]) -> Vec<&ResultTable> {
+    results.iter().map(|r| &**r).collect()
+}
 
 fn build_table(rows: &[(i64, u8, u8, i16)]) -> Arc<Table> {
     let schema = Schema::new(vec![
@@ -52,7 +59,9 @@ fn sharded() -> ParallelConfig {
 
 /// `(label, cached engine, bypass engine)` for every engine × routing
 /// combination. The bypass engine has the cache disabled outright, so its
-/// `execute` path can never be influenced by caching.
+/// `execute` path can never be influenced by caching. The cached engines
+/// disable cost-based admission: the proptest tables are tiny, and these
+/// tests assert warm-hit bookkeeping, not admission policy.
 fn engine_pairs(table: &Arc<Table>) -> Vec<(String, DynDatabase, DynDatabase)> {
     let mut out: Vec<(String, DynDatabase, DynDatabase)> = Vec::new();
     for (routing, parallel) in [("serial", serial()), ("parallel", sharded())] {
@@ -62,6 +71,7 @@ fn engine_pairs(table: &Arc<Table>) -> Vec<(String, DynDatabase, DynDatabase)> {
                 table.clone(),
                 BitmapDbConfig {
                     parallel,
+                    cache: CacheConfig::admit_all(),
                     ..Default::default()
                 },
             )),
@@ -79,6 +89,7 @@ fn engine_pairs(table: &Arc<Table>) -> Vec<(String, DynDatabase, DynDatabase)> {
                 table.clone(),
                 ScanDbConfig {
                     parallel,
+                    cache: CacheConfig::admit_all(),
                     ..Default::default()
                 },
             )),
@@ -156,12 +167,13 @@ proptest! {
                 .iter()
                 .map(|q| bypass.execute(q).expect("bypass"))
                 .collect();
+            let expected_refs: Vec<&ResultTable> = expected.iter().collect();
             let cold = cached.run_request(&queries).expect("cold request");
-            prop_assert_eq!(&cold, &expected, "cold ≠ bypass on {}", &label);
+            prop_assert_eq!(deref_all(&cold), expected_refs.clone(), "cold ≠ bypass on {}", &label);
             let before = cached.stats().snapshot();
             let warm = cached.run_request(&queries).expect("warm request");
             let delta = cached.stats().snapshot().since(&before);
-            prop_assert_eq!(&warm, &expected, "warm ≠ bypass on {}", &label);
+            prop_assert_eq!(deref_all(&warm), expected_refs, "warm ≠ bypass on {}", &label);
             prop_assert_eq!(delta.rows_scanned, 0, "warm pass scanned rows on {}", &label);
             prop_assert_eq!(delta.queries, 0, "warm pass executed queries on {}", &label);
             prop_assert_eq!(delta.cache_hits, queries.len() as u64, "hit count on {}", &label);
@@ -179,7 +191,13 @@ proptest! {
             .and(Predicate::cat_eq("product", format!("p{p}")));
         let qa = SelectQuery::new(XSpec::raw("year"), vec![YSpec::sum("sales")]).with_predicate(a);
         let qb = SelectQuery::new(XSpec::raw("year"), vec![YSpec::sum("sales")]).with_predicate(b);
-        let db = BitmapDb::new(table.clone());
+        let db = BitmapDb::with_config(
+            table.clone(),
+            BitmapDbConfig {
+                cache: CacheConfig::admit_all(),
+                ..Default::default()
+            },
+        );
         let ra = db.run_request(std::slice::from_ref(&qa)).expect("first");
         let before = db.stats().snapshot();
         let rb = db.run_request(std::slice::from_ref(&qb)).expect("second");
@@ -191,7 +209,43 @@ proptest! {
             table,
             ScanDbConfig::uncached(),
         );
-        prop_assert_eq!(&rb[0], &bypass.execute(&qb).expect("bypass"));
+        prop_assert_eq!(&*rb[0], &bypass.execute(&qb).expect("bypass"));
+    }
+}
+
+/// Zero-copy acceptance: warm hits return the cached allocation itself.
+/// `Arc::ptr_eq` proves no deep copy happens anywhere between the cache
+/// slot and the `run_request` caller — and that the cold pass cached the
+/// very allocation it handed out.
+#[test]
+fn warm_hits_share_the_cached_allocation() {
+    let rows: Vec<(i64, u8, u8, i16)> = (0..2_000)
+        .map(|i| (2010 + (i % 6) as i64, (i % 4) as u8, (i % 3) as u8, 100))
+        .collect();
+    let table = build_table(&rows);
+    let queries = vec![
+        SelectQuery::new(XSpec::raw("year"), vec![YSpec::sum("sales")]).with_z("product"),
+        SelectQuery::new(XSpec::raw("year"), vec![YSpec::avg("sales")]),
+    ];
+    for db in [
+        Arc::new(BitmapDb::new(table.clone())) as DynDatabase,
+        Arc::new(ScanDb::new(table.clone())) as DynDatabase,
+    ] {
+        let cold = db.run_request(&queries).unwrap();
+        let warm1 = db.run_request(&queries).unwrap();
+        let warm2 = db.run_request(&queries).unwrap();
+        for i in 0..queries.len() {
+            assert!(
+                Arc::ptr_eq(&cold[i], &warm1[i]),
+                "{}: the cold pass must cache the allocation it returned",
+                db.name()
+            );
+            assert!(
+                Arc::ptr_eq(&warm1[i], &warm2[i]),
+                "{}: warm hits must be pointer bumps, not copies",
+                db.name()
+            );
+        }
     }
 }
 

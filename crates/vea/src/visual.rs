@@ -193,13 +193,23 @@ impl VisualUniverse {
     }
 
     /// Render a visual source into its visualization's data.
+    ///
+    /// Goes through [`Database::run_request`] rather than the raw
+    /// execute path, so repeated renders of the same source — algebra
+    /// operators re-materialize sources constantly — are answered by
+    /// the engine's result cache (exactly or by subsumption) as shared
+    /// `Arc`s instead of re-scanning.
     pub fn render(&self, vs: &VisualSource) -> Result<Series, StorageError> {
         let q = SelectQuery::new(
             XSpec::raw(vs.x.clone()),
             vec![YSpec::new(vs.y.clone(), Agg::Sum)],
         )
         .with_predicate(self.predicate_of(vs)?);
-        let rt = self.db.execute(&q)?;
+        let rt = self
+            .db
+            .run_request(std::slice::from_ref(&q))?
+            .pop()
+            .expect("one query yields one result");
         Ok(match rt.groups.first() {
             Some(g) => Series::new(g.points(0)),
             None => Series::default(),
