@@ -3,10 +3,10 @@
 //! The analytical toolkit behind ZQL's functional primitives (thesis
 //! §3.8) and the Chapter 8 measurement pipeline:
 //!
-//! * [`trend`] — `T(f)`: least-squares trend estimation;
+//! * [`trend()`] — `T(f)`: least-squares trend estimation;
 //! * [`distance`] — `D(f, f')`: ℓ2, DTW, KL, and Earth Mover's metrics
 //!   on aligned, normalized series;
-//! * [`kmeans`] / [`representative`] — `R(k, v, f)`: k-representative
+//! * [`kmeans()`] / [`representative`] — `R(k, v, f)`: k-representative
 //!   selection and the outlier search derived from it;
 //! * [`series`] — alignment, interpolation, resampling, normalization;
 //! * [`stats`] — ANOVA, Tukey HSD (studentized range by numerical

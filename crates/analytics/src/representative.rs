@@ -73,7 +73,7 @@ fn min_dist_to(points: &[Vec<f64>], chosen: &[usize], i: usize) -> f64 {
 
 /// Choose the number of representatives from the data itself — the
 /// thesis's §10.1 future-work item ("when the actual number of
-/// representative [trends] is different than the pre-defined k, the
+/// representative \[trends\] is different than the pre-defined k, the
 /// quality of results is poor ... automatically figure out the right
 /// number of representative trends based on data characteristics").
 ///

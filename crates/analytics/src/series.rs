@@ -3,7 +3,7 @@
 //! Distance computations (thesis §3.8, functional primitive `D`) need the
 //! two operand visualizations on a common x-grid; this module provides
 //! alignment via linear interpolation (the thesis's future-work item
-//! "use interpolation techniques to populate the missing [points] for
+//! "use interpolation techniques to populate the missing \[points\] for
 //! better comparisons" — implemented here), plus the normalizations
 //! applied before comparing shapes.
 

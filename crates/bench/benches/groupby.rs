@@ -8,7 +8,10 @@ use std::cell::Cell;
 use std::hint::black_box;
 use std::sync::Arc;
 use zv_datagen::sales::{self, product_name, SalesConfig};
-use zv_storage::exec::{aggregate, aggregate_parallel, GroupStrategy, RowSource};
+use zv_datagen::skew;
+use zv_storage::exec::{
+    aggregate, aggregate_morsel, aggregate_parallel, compile_pred, GroupStrategy, RowSource,
+};
 use zv_storage::{BitmapDb, BitmapDbConfig, Database, Predicate, SelectQuery, XSpec, YSpec};
 
 fn bench_group_strategies(c: &mut Criterion) {
@@ -144,6 +147,56 @@ fn bench_thread_scaling(c: &mut Criterion) {
     group.finish();
 }
 
+/// Static vs morsel scheduling under a skewed selective predicate at 1M
+/// rows: every matching row sits in the first eighth of the table, so a
+/// static split strands the accumulation work on one worker while morsel
+/// claiming spreads it. On a single-core host the two collapse to the
+/// same serial scan; the gap appears with real hardware threads.
+fn bench_skewed_scheduling(c: &mut Criterion) {
+    let table = skew::generate(1_000_000);
+    let q = SelectQuery::new(XSpec::raw("key"), vec![YSpec::sum("val")]);
+    let pred = skew::hot_predicate();
+    let make_src = || RowSource::Filtered {
+        n_rows: table.num_rows(),
+        pred: compile_pred(&table, &pred).unwrap(),
+    };
+
+    let mut group = c.benchmark_group("skewed_scheduling_1m");
+    group.sample_size(10);
+    for threads in [2usize, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("static", threads),
+            &threads,
+            |bencher, &t| {
+                bencher.iter(|| {
+                    black_box(
+                        aggregate_parallel(&table, &q, &make_src(), GroupStrategy::Dense, t)
+                            .unwrap(),
+                    )
+                    .0
+                    .groups
+                    .len()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("morsel", threads),
+            &threads,
+            |bencher, &t| {
+                bencher.iter(|| {
+                    black_box(
+                        aggregate_morsel(&table, &q, &make_src(), GroupStrategy::Dense, t).unwrap(),
+                    )
+                    .0
+                    .groups
+                    .len()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
 /// Engine-level result cache at 1M rows: a cold request (cache disabled,
 /// full scan every time) vs a warm request (identical query answered from
 /// the LRU without touching the table). The gap is the round-trip cost an
@@ -192,6 +245,7 @@ criterion_group!(
     bench_selection_paths,
     bench_serial_vs_parallel,
     bench_thread_scaling,
+    bench_skewed_scheduling,
     bench_cache_cold_vs_warm
 );
 criterion_main!(benches);

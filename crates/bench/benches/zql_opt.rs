@@ -111,6 +111,7 @@ fn bench_parallel_routing(c: &mut Criterion) {
             parallel: ParallelConfig {
                 threads: 1,
                 min_parallel_rows: usize::MAX,
+                ..Default::default()
             },
             ..BitmapDbConfig::uncached()
         },
@@ -121,6 +122,7 @@ fn bench_parallel_routing(c: &mut Criterion) {
             parallel: ParallelConfig {
                 threads: 0,
                 min_parallel_rows: 1 << 16,
+                ..Default::default()
             },
             ..BitmapDbConfig::uncached()
         },

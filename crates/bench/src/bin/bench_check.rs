@@ -1,0 +1,171 @@
+//! Bench regression gate: compare a freshly generated `BENCH_groupby.json`
+//! against the committed baseline and fail loudly (exit 1) when a gated
+//! latency regressed past a generous noise threshold.
+//!
+//! ```text
+//! bench_check --baseline BENCH_groupby.json --fresh fresh.json [--factor 2.5]
+//! ```
+//!
+//! Gated metrics:
+//!
+//! * `cache_warm_ms`, `derived_hit_ms` — warm/derived hits never touch
+//!   base rows, so they are row-count independent and compared directly.
+//! * `cache_cold_ms`, `derived_cold_ms`, `morsel_skew_ms`,
+//!   `morsel_skew_static_ms` — scans scale ~linearly with the table, so
+//!   they are normalized to ms-per-million-rows before comparison (CI
+//!   runs `--quick` at 200k rows against a 1M-row committed baseline).
+//!
+//! The default 2.5× threshold is deliberately generous: the baseline and
+//! the CI runner are different machines and criterion-grade rigor is not
+//! the point — catching an accidental 10× cliff on the hot path is. A
+//! metric missing from the *baseline* is skipped with a note (older
+//! baselines predate newer fields); a metric missing from the *fresh*
+//! run fails, because that means the bench stopped measuring it.
+
+use std::process::ExitCode;
+
+struct Args {
+    baseline: String,
+    fresh: String,
+    factor: f64,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        baseline: "BENCH_groupby.json".to_string(),
+        fresh: "BENCH_groupby.fresh.json".to_string(),
+        factor: 2.5,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--baseline" => args.baseline = it.next().expect("--baseline PATH"),
+            "--fresh" => args.fresh = it.next().expect("--fresh PATH"),
+            "--factor" => {
+                args.factor = it
+                    .next()
+                    .expect("--factor F")
+                    .parse()
+                    .expect("threshold factor")
+            }
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+/// Extract the first `"name": <number>` scalar from the (hand-rolled,
+/// flat-keyed) bench JSON. Good enough for the summary fields this gate
+/// reads; not a general JSON parser.
+fn field(json: &str, name: &str) -> Option<f64> {
+    let needle = format!("\"{name}\":");
+    let at = json.find(&needle)? + needle.len();
+    let rest = json[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let read = |path: &str| {
+        std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("bench_check: cannot read {path}: {e}");
+            std::process::exit(2);
+        })
+    };
+    let baseline = read(&args.baseline);
+    let fresh = read(&args.fresh);
+
+    // (metric, normalize per million rows?)
+    const GATES: [(&str, bool); 6] = [
+        ("cache_warm_ms", false),
+        ("derived_hit_ms", false),
+        ("cache_cold_ms", true),
+        ("derived_cold_ms", true),
+        ("morsel_skew_ms", true),
+        ("morsel_skew_static_ms", true),
+    ];
+
+    let per_million = |json: &str, raw: f64| -> f64 {
+        let rows = field(json, "rows").unwrap_or(1_000_000.0).max(1.0);
+        raw * 1_000_000.0 / rows
+    };
+
+    let mut compared = 0usize;
+    let mut failures: Vec<String> = Vec::new();
+    for (name, normalize) in GATES {
+        let Some(fresh_raw) = field(&fresh, name) else {
+            failures.push(format!(
+                "{name}: missing from the fresh run ({}) — the bench stopped measuring it",
+                args.fresh
+            ));
+            continue;
+        };
+        let Some(base_raw) = field(&baseline, name) else {
+            println!("  {name:<24} skipped (not in baseline {})", args.baseline);
+            continue;
+        };
+        let (fresh_v, base_v, unit) = if normalize {
+            (
+                per_million(&fresh, fresh_raw),
+                per_million(&baseline, base_raw),
+                "ms/1M rows",
+            )
+        } else {
+            (fresh_raw, base_raw, "ms")
+        };
+        compared += 1;
+        // Absolute floor: sub-0.1 ms metrics (pointer-bump warm hits, a
+        // few-microsecond probe) are dominated by timer jitter and
+        // cross-machine CPU differences — a 2.5x ratio there is noise,
+        // not a regression, so anything that fast always passes. The
+        // 10x-cliff protection this gate exists for is untouched: a real
+        // regression of a microsecond path lands well above the floor.
+        const ABSOLUTE_FLOOR_MS: f64 = 0.1;
+        let limit = (base_v * args.factor).max(ABSOLUTE_FLOOR_MS);
+        let ratio = fresh_v / base_v.max(1e-9);
+        let verdict = if fresh_v <= limit { "ok" } else { "REGRESSED" };
+        println!(
+            "  {name:<24} fresh {fresh_v:9.3} vs baseline {base_v:9.3} {unit}  \
+             ({ratio:4.2}x, limit {:.1}x)  {verdict}",
+            args.factor
+        );
+        if fresh_v > limit {
+            failures.push(format!(
+                "{name}: fresh {fresh_v:.3} {unit} is {ratio:.2}x the baseline \
+                 {base_v:.3} {unit} (allowed: {:.1}x). If this slowdown is intentional, \
+                 regenerate the committed baseline with `cargo run --release -p zv-bench \
+                 --bin bench_groupby` and commit the new {}.",
+                args.factor, args.baseline
+            ));
+        }
+    }
+
+    // Report collected failures before complaining about an empty
+    // comparison: a fresh run missing every field is a fresh-run bug,
+    // not a baseline problem.
+    if failures.is_empty() && compared == 0 {
+        eprintln!(
+            "bench_check: nothing compared — baseline {} has none of the gated fields",
+            args.baseline
+        );
+        return ExitCode::from(2);
+    }
+    if failures.is_empty() {
+        println!(
+            "bench_check: {compared} metrics within {}x of baseline",
+            args.factor
+        );
+        ExitCode::SUCCESS
+    } else {
+        for f in &failures {
+            eprintln!("bench_check FAILURE: {f}");
+        }
+        ExitCode::FAILURE
+    }
+}

@@ -1,7 +1,8 @@
 //! The ZQL execution engine (thesis Ch. 5): rows become *visual
 //! components* (n-dimensional arrays of visualizations over the
 //! Cartesian product of their axis variables), data is fetched through a
-//! [`Database`] with one of four batching levels ([`OptLevel`]), and
+//! [`Database`](zv_storage::Database) with one of four batching levels
+//! ([`OptLevel`]), and
 //! Process-column tasks filter/sort/compare components to bind output
 //! variables.
 

@@ -8,7 +8,7 @@
 //! low-cardinality integer columns (year, month, ...) because they appear
 //! as equality predicates in the canonical query.
 //!
-//! Table and indexes live together in one immutable [`BitmapState`]
+//! Table and indexes live together in one immutable `BitmapState`
 //! snapshot (shared via `Arc`), so they always describe the same data and
 //! queries scan lock-free. Appends copy-on-write the next snapshot
 //! (bumping the table version, which retires every cached result — see
@@ -47,7 +47,10 @@ pub struct BitmapDbConfig {
     pub request_overhead: Duration,
     /// Run-optimize indexes after build (RLE compression).
     pub run_optimize: bool,
-    /// Sharded-scan tuning (thread count, serial threshold).
+    /// Parallel-scan tuning (thread count, serial threshold, scheduling
+    /// mode). The default consults the `ZV_SCHED_*` environment
+    /// overrides ([`exec::ParallelConfig::from_env`]) so CI can force a
+    /// scheduling configuration across whole test suites.
     pub parallel: exec::ParallelConfig,
     /// Engine-level result cache bounds ([`CacheConfig::disabled`] turns
     /// the cache off, e.g. for raw-engine benchmarks).
@@ -61,7 +64,7 @@ impl Default for BitmapDbConfig {
             dense_group_limit: 1 << 10,
             request_overhead: Duration::ZERO,
             run_optimize: true,
-            parallel: exec::ParallelConfig::default(),
+            parallel: exec::ParallelConfig::from_env(),
             cache: CacheConfig::default(),
         }
     }
@@ -428,7 +431,9 @@ pub struct BitmapDb {
     /// on the same predecessor (readers never touch this).
     append_lock: Mutex<()>,
     config: BitmapDbConfig,
-    stats: ExecStats,
+    /// Shared with pinned snapshots, so scan telemetry recorded during
+    /// snapshot execution lands on the engine's counters.
+    stats: Arc<ExecStats>,
     cache: Option<Arc<ResultCache>>,
 }
 
@@ -460,7 +465,7 @@ impl BitmapDb {
             state: RwLock::new(Arc::new(build_state(table, &config))),
             append_lock: Mutex::new(()),
             config,
-            stats: ExecStats::new(),
+            stats: Arc::new(ExecStats::new()),
             cache,
         }
     }
@@ -525,6 +530,7 @@ struct BitmapSnapshot {
     state: Arc<BitmapState>,
     dense_group_limit: u128,
     parallel: exec::ParallelConfig,
+    stats: Arc<ExecStats>,
 }
 
 impl EngineSnapshot for BitmapSnapshot {
@@ -538,11 +544,15 @@ impl EngineSnapshot for BitmapSnapshot {
         let groups = exec::group_space(&state.table, query)?;
         let strategy = exec::choose_strategy(groups, self.dense_group_limit);
         let threads = self.parallel.threads_for(source.estimated_rows());
-        if threads > 1 {
-            exec::aggregate_parallel(&state.table, query, &source, strategy, threads)
-        } else {
-            exec::aggregate(&state.table, query, &source, strategy)
-        }
+        exec::run_scheduled(
+            &state.table,
+            query,
+            &source,
+            strategy,
+            threads,
+            &self.parallel,
+            &self.stats,
+        )
     }
 }
 
@@ -556,6 +566,7 @@ impl Database for BitmapDb {
             state: self.state(),
             dense_group_limit: self.config.dense_group_limit,
             parallel: self.config.parallel,
+            stats: Arc::clone(&self.stats),
         })
     }
 

@@ -81,10 +81,14 @@
 //! pollutes the LRU, so [`ResultCache::insert`] takes the query's
 //! estimated recompute cost in *scanned rows* and rejects entries below
 //! [`CacheConfig::min_cost_rows`] (counted as `admission_rejects`).
-//! Eviction weighs that same cost against recency: the victim is the
-//! cheapest-to-recompute entry among the [`EVICT_SAMPLE`] coldest, so a
-//! hot-but-huge scan result is not sacrificed to make room while a
-//! trivially recomputable one sits in the list.
+//! Eviction weighs that same cost against recency and size
+//! (GreedyDual-Size style): among the [`EVICT_SAMPLE`] coldest entries
+//! the victim is the one with the lowest *retention value* — recompute
+//! cost per byte held, with the cost of long-idle entries halved every
+//! [`COST_AGE_HALF_LIFE`] cache operations since their last touch. A
+//! big-but-cheap result (lots of bytes saving a small scan) goes before
+//! a small-but-expensive one, and an entry whose expensive scan stopped
+//! being asked for eventually ages out rather than squatting forever.
 //!
 //! # Bounds and concurrency
 //!
@@ -627,8 +631,14 @@ impl CacheStats {
 const NIL: usize = usize::MAX;
 
 /// How many cold-end entries the evictor weighs against each other; the
-/// cheapest-to-recompute of the sample goes.
+/// one with the lowest retention value (aged cost per byte) goes.
 pub const EVICT_SAMPLE: usize = 4;
+
+/// Cache operations (inserts + touches) an entry can sit idle before its
+/// recompute cost is halved for eviction purposes — and halved again per
+/// further interval. Keeps a once-expensive result from squatting in the
+/// cache long after the workload moved on.
+pub const COST_AGE_HALF_LIFE: u64 = 64;
 
 struct Slot {
     key: CacheKey,
@@ -637,6 +647,9 @@ struct Slot {
     /// Estimated recompute cost in scanned rows (what evicting this
     /// entry would make a future miss pay again).
     cost: u64,
+    /// Logical clock value ([`Lru::tick`]) of the last insert/touch —
+    /// ages the cost when the entry is weighed for eviction.
+    last_touch: u64,
     prev: usize,
     next: usize,
 }
@@ -653,6 +666,8 @@ struct Lru {
     head: usize,
     tail: usize,
     bytes: usize,
+    /// Logical clock: one step per insert/touch. Drives cost aging.
+    tick: u64,
 }
 
 impl Lru {
@@ -706,6 +721,9 @@ impl Lru {
     }
 
     fn touch(&mut self, i: usize) {
+        self.tick += 1;
+        let now = self.tick;
+        self.slot_mut(i).last_touch = now;
         if self.head != i {
             self.unlink(i);
             self.push_front(i);
@@ -741,11 +759,13 @@ impl Lru {
             .entry(FamilyKey::of(&key))
             .or_default()
             .push(i);
+        self.tick += 1;
         self.slots[i] = Some(Slot {
             key: key.clone(),
             value,
             bytes,
             cost,
+            last_touch: self.tick,
             prev: NIL,
             next: NIL,
         });
@@ -754,20 +774,32 @@ impl Lru {
         self.push_front(i);
     }
 
-    /// Evict one entry: the cheapest-to-recompute among the up-to-
-    /// [`EVICT_SAMPLE`] coldest (ties keep the colder one), never the
-    /// protected slot (the one just inserted or refreshed).
+    /// Retention value of slot `i`: recompute cost per byte held, with
+    /// the cost halved for every [`COST_AGE_HALF_LIFE`] cache operations
+    /// the entry has sat untouched. Low value = good eviction victim
+    /// (big but cheap, or expensive long ago).
+    fn retention(&self, i: usize) -> f64 {
+        let s = self.slot(i);
+        let idle = self.tick.saturating_sub(s.last_touch);
+        let aged_cost = s.cost >> (idle / COST_AGE_HALF_LIFE).min(63);
+        aged_cost as f64 / s.bytes.max(1) as f64
+    }
+
+    /// Evict one entry: the lowest retention value (aged cost per byte)
+    /// among the up-to-[`EVICT_SAMPLE`] coldest (ties keep the colder
+    /// one), never the protected slot (the one just inserted or
+    /// refreshed).
     fn evict_one(&mut self, protect: usize) {
         let mut victim = NIL;
-        let mut victim_cost = u64::MAX;
+        let mut victim_score = f64::INFINITY;
         let mut i = self.tail;
         let mut sampled = 0;
         while i != NIL && sampled < EVICT_SAMPLE {
             if i != protect {
-                let cost = self.slot(i).cost;
-                if cost < victim_cost {
+                let score = self.retention(i);
+                if score < victim_score {
                     victim = i;
-                    victim_cost = cost;
+                    victim_score = score;
                 }
                 sampled += 1;
             }
@@ -1263,6 +1295,91 @@ mod tests {
         );
         assert!(cache.get(&expensive_old).is_some());
         assert!(cache.get(&expensive_mid).is_some());
+    }
+
+    /// A result with `cells` x/y points — bigger `approx_bytes` than the
+    /// single-cell [`rt`] fixture.
+    fn rt_sized(tag: i64, cells: usize) -> ResultTable {
+        ResultTable {
+            z_cols: vec!["product".into()],
+            groups: vec![GroupSeries {
+                key: vec![Value::str("chair")],
+                xs: (0..cells as i64).map(|i| Value::Int(tag + i)).collect(),
+                ys: vec![vec![tag as f64; cells]],
+            }],
+        }
+    }
+
+    #[test]
+    fn eviction_weighs_bytes_per_cost() {
+        let cache = ResultCache::new(&CacheConfig {
+            max_entries: 2,
+            max_bytes: usize::MAX,
+            min_cost_rows: 0,
+        });
+        // Same recompute cost, very different sizes: the big entry saves
+        // the same scan while holding far more memory, so its retention
+        // value (cost per byte) is far lower and it must go first even
+        // though the small entry is the colder of the two.
+        let small_expensive = key(1, Predicate::cat_eq("p", "small"));
+        let big_cheap = key(1, Predicate::cat_eq("p", "big"));
+        cache.insert(small_expensive.clone(), Arc::new(rt(1)), 1_000_000);
+        cache.insert(big_cheap.clone(), Arc::new(rt_sized(2, 4096)), 1_000_000);
+        let evicted = cache
+            .insert(
+                key(1, Predicate::cat_eq("p", "c")),
+                Arc::new(rt(3)),
+                1_000_000,
+            )
+            .evicted;
+        assert_eq!(evicted, 1);
+        assert!(
+            cache.get(&big_cheap).is_none(),
+            "big-but-cheap (per byte) entry must be sacrificed first"
+        );
+        assert!(
+            cache.get(&small_expensive).is_some(),
+            "small-but-expensive entry must survive"
+        );
+    }
+
+    #[test]
+    fn eviction_ages_the_cost_of_long_idle_entries() {
+        let cache = ResultCache::new(&CacheConfig {
+            max_entries: 3,
+            max_bytes: usize::MAX,
+            min_cost_rows: 0,
+        });
+        // `ancient` is the most expensive entry in the cache, but it then
+        // sits untouched for many half-lives while its neighbours are
+        // refreshed; its aged cost drops below theirs and it becomes the
+        // victim despite the highest raw cost.
+        let ancient = key(1, Predicate::cat_eq("p", "ancient"));
+        let warm_a = key(1, Predicate::cat_eq("p", "warm_a"));
+        let warm_b = key(1, Predicate::cat_eq("p", "warm_b"));
+        cache.insert(ancient.clone(), Arc::new(rt(1)), 1 << 30);
+        cache.insert(warm_a.clone(), Arc::new(rt(2)), 1 << 20);
+        cache.insert(warm_b.clone(), Arc::new(rt(3)), 1 << 20);
+        // 20 half-lives of touches on the warm entries: ancient's cost is
+        // aged to 2³⁰ ⁻ ²⁰ = 2¹⁰, far below the warm entries' 2²⁰.
+        for _ in 0..(20 * COST_AGE_HALF_LIFE / 2) {
+            cache.get(&warm_a);
+            cache.get(&warm_b);
+        }
+        let evicted = cache
+            .insert(
+                key(1, Predicate::cat_eq("p", "d")),
+                Arc::new(rt(4)),
+                1 << 20,
+            )
+            .evicted;
+        assert_eq!(evicted, 1);
+        assert!(
+            cache.get(&ancient).is_none(),
+            "idle-aged cost must lose to recently useful entries"
+        );
+        assert!(cache.get(&warm_a).is_some());
+        assert!(cache.get(&warm_b).is_some());
     }
 
     // -----------------------------------------------------------------

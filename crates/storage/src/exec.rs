@@ -10,10 +10,10 @@
 //! 4. a finalize pass that decodes keys and sorts by `(key, x)` — the
 //!    `ORDER BY Z, X` of the canonical query.
 //!
-//! # Architecture: the chunk → shard → merge pipeline
+//! # Architecture: the chunk → morsel → ordered-merge pipeline
 //!
-//! The accumulation pass is **chunk-at-a-time and shardable** rather than
-//! row-at-a-time:
+//! The accumulation pass is **chunk-at-a-time and schedulable** rather
+//! than row-at-a-time:
 //!
 //! ```text
 //!   RowSource ──▶ qualifying row-ids, CHUNK_ROWS at a time (reused buffer)
@@ -27,36 +27,66 @@
 //!       │                 Hash   → entry-API slot lookup (one probe),
 //!       │                          per-chunk capacity reservation
 //!       │
-//!       └─ shards:        `aggregate_parallel` splits the source into
-//!                         contiguous per-worker shards (row ranges, or
-//!                         slices of the materialized bitmap), each worker
-//!                         accumulating into a private partial; partials
-//!                         are merged in worker order — Dense by slot,
-//!                         Hash by composite code — then finalized exactly
-//!                         like the serial path.
+//!       ├─ morsels:       `aggregate_morsel` (the default, see
+//!       │                 [`SchedulingMode`]) carves the source into
+//!       │                 fixed-size, chunk-aligned morsels of
+//!       │                 [`MORSEL_ROWS`] rows (row ranges, or slices of
+//!       │                 the materialized bitmap); workers *claim*
+//!       │                 morsels off a shared atomic cursor, so a worker
+//!       │                 that drew a cheap region simply claims more —
+//!       │                 skewed predicates cannot strand the scan behind
+//!       │                 one overloaded worker. Each claimed morsel is
+//!       │                 accumulated into a reusable per-worker
+//!       │                 accumulator and compacted into a partial
+//!       │                 *tagged by its morsel index*.
+//!       │
+//!       └─ ordered merge: partials are sorted by morsel index and merged
+//!                         in that order — Dense by slot, Hash by
+//!                         composite code — then finalized exactly like
+//!                         the serial path. The float reduction tree is a
+//!                         pure function of the data layout, never of
+//!                         claim timing or thread count: a morsel run is
+//!                         bit-for-bit reproducible across runs *and*
+//!                         across parallel (≥ 2 worker) thread counts
+//!                         (one worker degrades to the serial row-order
+//!                         reduction), and identical to the serial scan
+//!                         whenever measure sums are exactly
+//!                         representable (what the equivalence proptests
+//!                         assert on dyadic data).
 //! ```
 //!
-//! Sharding is static and contiguous, so results (including float
-//! rounding) are reproducible run-to-run for a fixed thread count;
-//! morsel-driven claiming is a ROADMAP follow-on.
+//! [`SchedulingMode::Static`] keeps the previous behaviour —
+//! `aggregate_parallel` splits the source into one contiguous shard per
+//! worker, merged in worker order. It is retained as a comparison
+//! baseline (benchmarks, the CI scheduling matrix) and as a fallback
+//! knob; its float rounding is reproducible only for a *fixed* thread
+//! count, whereas the morsel merge is thread-count-independent.
 //!
-//! # OptLevel × parallelism matrix
+//! # OptLevel × scheduling matrix
 //!
 //! The §5.2 batching ladder composes with this engine's parallelism along
-//! two orthogonal axes — *where queries batch* and *where threads work*:
+//! two orthogonal axes — *where queries batch* and *where threads work* —
+//! and within a query the [`SchedulingMode`] picks how row work is dealt:
 //!
-//! | OptLevel    | requests          | intra-query threads | inter-query threads |
-//! |-------------|-------------------|---------------------|---------------------|
-//! | `NoOpt`     | 1 per viz         | shard scan          | — (1 query/request) |
-//! | `IntraLine` | 1 per row         | shard scan          | across the batch    |
-//! | `IntraTask` | 1 per task prefix | shard scan          | across the batch    |
-//! | `InterTask` | fewest (lookahead)| shard scan          | across the batch    |
+//! | OptLevel    | requests          | intra-query threads   | inter-query threads |
+//! |-------------|-------------------|-----------------------|---------------------|
+//! | `NoOpt`     | 1 per viz         | morsel / static scan  | — (1 query/request) |
+//! | `IntraLine` | 1 per row         | morsel / static scan  | across the batch    |
+//! | `IntraTask` | 1 per task prefix | morsel / static scan  | across the batch    |
+//! | `InterTask` | fewest (lookahead)| morsel / static scan  | across the batch    |
 //!
 //! Inter-query fan-out happens in `Database::run_request`; intra-query
 //! fan-out here. The pool's nesting guard ([`crate::parallel`]) ensures
 //! whichever layer fans out first gets the hardware: multi-query requests
 //! parallelize across queries (each query scanning serially), single-query
-//! requests parallelize across row shards.
+//! requests parallelize across row morsels (or static shards).
+//!
+//! The scheduling knob lives on [`ParallelConfig`] and can be forced
+//! process-wide through the environment ([`ParallelConfig::from_env`],
+//! `ZV_SCHED_MODE` / `ZV_SCHED_THREADS` / `ZV_SCHED_MIN_ROWS`) — CI's
+//! scheduling matrix runs
+//! the equivalence suites under `serial`, `static`, and `morsel` so a
+//! scheduling bug cannot hide behind the default configuration.
 
 use crate::column::Column;
 use crate::parallel;
@@ -67,6 +97,7 @@ use crate::table::{StorageError, Table};
 use crate::value::Value;
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 // ---------------------------------------------------------------------
 // Compiled predicates
@@ -701,8 +732,25 @@ pub enum GroupStrategy {
     Hash,
 }
 
-/// Tuning for the sharded scan. Shared by both engines' configs.
-#[derive(Clone, Copy, Debug)]
+/// How row work is dealt to the workers of one parallel aggregation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SchedulingMode {
+    /// One contiguous shard per worker, fixed up front
+    /// ([`aggregate_parallel`]). Reproducible for a fixed thread count;
+    /// under skewed predicates a worker can finish early and idle.
+    Static,
+    /// Workers claim fixed-size chunk-aligned morsels off a shared atomic
+    /// cursor ([`aggregate_morsel`]); partials are merged in morsel-index
+    /// order, so results are reproducible across runs *and* across all
+    /// parallel (≥ 2 worker) thread counts — a one-worker run degrades
+    /// to the serial row-order reduction, which can differ in the last
+    /// ulp on inexact measures. The default.
+    #[default]
+    Morsel,
+}
+
+/// Tuning for the parallel scan. Shared by both engines' configs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ParallelConfig {
     /// Worker threads for a single aggregation; `0` = all hardware
     /// threads.
@@ -711,6 +759,13 @@ pub struct ParallelConfig {
     /// setup + merge costs a few tens of microseconds, which only pays
     /// for itself on bulk scans.
     pub min_parallel_rows: usize,
+    /// How row work is distributed once a scan goes parallel.
+    pub sched: SchedulingMode,
+    /// Rows per morsel under [`SchedulingMode::Morsel`]. The default
+    /// ([`MORSEL_ROWS`]) is the production sweet spot; tests and the CI
+    /// scheduling matrix shrink it so small tables still split into
+    /// many claimable units.
+    pub morsel_rows: usize,
 }
 
 impl Default for ParallelConfig {
@@ -718,6 +773,8 @@ impl Default for ParallelConfig {
         ParallelConfig {
             threads: 0,
             min_parallel_rows: 1 << 16,
+            sched: SchedulingMode::Morsel,
+            morsel_rows: MORSEL_ROWS,
         }
     }
 }
@@ -730,6 +787,79 @@ impl ParallelConfig {
         } else {
             parallel::effective_threads(self.threads)
         }
+    }
+
+    /// The default config with the process environment applied — what
+    /// both engines' default configs use, so CI (and operators) can force
+    /// a scheduling configuration without touching code:
+    ///
+    /// * `ZV_SCHED_MODE` ∈ {`serial`, `static`, `morsel`} — `serial`
+    ///   pins the scan to one thread; `static`/`morsel` select the
+    ///   parallel scheduler (only — the serial gate below is a separate
+    ///   knob, so pinning a scheduler never changes *when* scans go
+    ///   parallel).
+    /// * `ZV_SCHED_THREADS=N` — explicit worker count (overrides auto).
+    /// * `ZV_SCHED_MIN_ROWS=N` — the `min_parallel_rows` serial gate.
+    ///   CI's scheduling matrix sets `0` so even tiny test tables
+    ///   exercise the forced machinery.
+    /// * `ZV_SCHED_MORSEL_ROWS=N` (N ≥ 1) — morsel size. The matrix
+    ///   shrinks it so the same tiny tables split into *many* morsels
+    ///   and genuinely exercise claiming and the ordered merge.
+    ///
+    /// Invalid values **panic** with the offending value: a typo'd CI
+    /// matrix leg must fail loudly, not silently run the default
+    /// configuration and pass vacuously. Empty / whitespace-only values
+    /// count as unset (matrices pass `""` for non-overridden rows).
+    pub fn from_env() -> Self {
+        Self::from_env_spec(
+            std::env::var("ZV_SCHED_MODE").ok().as_deref(),
+            std::env::var("ZV_SCHED_THREADS").ok().as_deref(),
+            std::env::var("ZV_SCHED_MIN_ROWS").ok().as_deref(),
+            std::env::var("ZV_SCHED_MORSEL_ROWS").ok().as_deref(),
+        )
+    }
+
+    /// Testable core of [`ParallelConfig::from_env`].
+    pub fn from_env_spec(
+        mode: Option<&str>,
+        threads: Option<&str>,
+        min_rows: Option<&str>,
+        morsel_rows: Option<&str>,
+    ) -> Self {
+        fn unset(v: Option<&str>) -> Option<&str> {
+            v.map(str::trim).filter(|s| !s.is_empty())
+        }
+        let mut cfg = ParallelConfig::default();
+        if let Some(mode) = unset(mode) {
+            match mode.to_ascii_lowercase().as_str() {
+                "serial" => {
+                    cfg.threads = 1;
+                    cfg.min_parallel_rows = usize::MAX;
+                }
+                "static" => cfg.sched = SchedulingMode::Static,
+                "morsel" => cfg.sched = SchedulingMode::Morsel,
+                other => panic!(
+                    "ZV_SCHED_MODE={other:?} not recognized (expected serial, static, or morsel)"
+                ),
+            }
+        }
+        if let Some(t) = unset(threads) {
+            cfg.threads = t
+                .parse::<usize>()
+                .unwrap_or_else(|_| panic!("ZV_SCHED_THREADS={t:?} is not a thread count"));
+        }
+        if let Some(m) = unset(min_rows) {
+            cfg.min_parallel_rows = m
+                .parse::<usize>()
+                .unwrap_or_else(|_| panic!("ZV_SCHED_MIN_ROWS={m:?} is not a row count"));
+        }
+        if let Some(m) = unset(morsel_rows) {
+            cfg.morsel_rows = match m.parse::<usize>() {
+                Ok(n) if n >= 1 => n,
+                _ => panic!("ZV_SCHED_MORSEL_ROWS={m:?} is not a positive row count"),
+            };
+        }
+        cfg
     }
 }
 
@@ -771,6 +901,16 @@ impl Accumulators {
     #[inline]
     fn n_slots(&self) -> usize {
         self.counts.len()
+    }
+
+    /// Drop every slot but keep the allocations (growable accumulators
+    /// reused morsel-to-morsel).
+    #[inline]
+    fn clear(&mut self) {
+        self.sums.clear();
+        self.mins.clear();
+        self.maxs.clear();
+        self.counts.clear();
     }
 
     /// Pre-size for up to `extra` additional slots (one reservation per
@@ -935,6 +1075,44 @@ struct ChunkAccumulator<'p, 'a> {
     codes: Vec<u64>,
 }
 
+/// Encode one chunk's composite codes into `codes` (shared by the
+/// chunk-at-a-time and morsel accumulators).
+#[inline]
+fn encode_chunk(plan: &GroupPlan<'_>, rows: &[u32], codes: &mut Vec<u64>) {
+    codes.clear();
+    codes.resize(rows.len(), 0);
+    for (d, s) in plan.dims.iter().zip(&plan.strides) {
+        d.encode_acc(rows, *s, codes);
+    }
+}
+
+/// Hash-strategy accumulation of one encoded chunk (shared by the
+/// chunk-at-a-time and morsel accumulators): reserve for the worst case
+/// (all-new groups) once per chunk; the entry API makes the common case
+/// one probe.
+#[inline]
+fn hash_consume(
+    acc: &mut Accumulators,
+    slot_of: &mut HashMap<u64, u32>,
+    codes: &[u64],
+    ys: &[YCol<'_>],
+    rows: &[u32],
+) {
+    slot_of.reserve(rows.len());
+    acc.reserve(rows.len());
+    for (i, &row) in rows.iter().enumerate() {
+        let slot = match slot_of.entry(codes[i]) {
+            Entry::Occupied(e) => *e.get() as usize,
+            Entry::Vacant(e) => {
+                let s = acc.grow_one();
+                e.insert(s as u32);
+                s
+            }
+        };
+        acc.update(slot, ys, row as usize);
+    }
+}
+
 impl<'p, 'a> ChunkAccumulator<'p, 'a> {
     fn new(plan: &'p GroupPlan<'a>, strategy: GroupStrategy) -> Self {
         let n_ys = plan.ys.len().max(1);
@@ -953,12 +1131,7 @@ impl<'p, 'a> ChunkAccumulator<'p, 'a> {
 
     /// Accumulate one chunk of qualifying row ids.
     fn consume(&mut self, rows: &[u32]) {
-        let n = rows.len();
-        self.codes.clear();
-        self.codes.resize(n, 0);
-        for (d, s) in self.plan.dims.iter().zip(&self.plan.strides) {
-            d.encode_acc(rows, *s, &mut self.codes);
-        }
+        encode_chunk(self.plan, rows, &mut self.codes);
         match self.strategy {
             GroupStrategy::Dense => {
                 for (i, &row) in rows.iter().enumerate() {
@@ -966,23 +1139,13 @@ impl<'p, 'a> ChunkAccumulator<'p, 'a> {
                         .update(self.codes[i] as usize, &self.plan.ys, row as usize);
                 }
             }
-            GroupStrategy::Hash => {
-                // Reserve for the worst case (all-new groups) once per
-                // chunk; the entry API makes the common case one probe.
-                self.slot_of.reserve(n);
-                self.acc.reserve(n);
-                for (i, &row) in rows.iter().enumerate() {
-                    let slot = match self.slot_of.entry(self.codes[i]) {
-                        Entry::Occupied(e) => *e.get() as usize,
-                        Entry::Vacant(e) => {
-                            let s = self.acc.grow_one();
-                            e.insert(s as u32);
-                            s
-                        }
-                    };
-                    self.acc.update(slot, &self.plan.ys, row as usize);
-                }
-            }
+            GroupStrategy::Hash => hash_consume(
+                &mut self.acc,
+                &mut self.slot_of,
+                &self.codes,
+                &self.plan.ys,
+                rows,
+            ),
         }
     }
 
@@ -1030,13 +1193,64 @@ pub fn aggregate(
     Ok((finalize_result(query, &plan, &acc, &occupied), scanned))
 }
 
-/// Sharded variant of [`aggregate`]: splits the source into contiguous
-/// per-worker shards, accumulates per-worker partials on the shared pool,
-/// and merges them (Dense by slot, Hash by composite code) before the
-/// common finalize. `threads == 0` means auto. Produces the same
-/// `ResultTable` and scanned count as the serial path — bit-for-bit when
-/// measure sums are exactly representable, and within float merge
-/// rounding otherwise.
+/// A row source lowered to a unit-addressable form the schedulers can
+/// split: range sources keep their row interval, bitmap sources
+/// materialize their ids once and split the id array.
+enum ShardInput<'s, 'a> {
+    Rows {
+        n: usize,
+        pred: Option<&'s CompiledPred<'a>>,
+    },
+    Ids {
+        ids: Vec<u32>,
+        pred: Option<&'s CompiledPred<'a>>,
+    },
+}
+
+impl<'s, 'a> ShardInput<'s, 'a> {
+    fn of(source: &'s RowSource<'a>) -> Self {
+        match source {
+            RowSource::All(n) => ShardInput::Rows { n: *n, pred: None },
+            RowSource::Filtered { n_rows, pred } => ShardInput::Rows {
+                n: *n_rows,
+                pred: Some(pred),
+            },
+            RowSource::Bitmap(bm) => ShardInput::Ids {
+                ids: bm.to_vec(),
+                pred: None,
+            },
+            RowSource::BitmapFiltered { rows, pred } => ShardInput::Ids {
+                ids: rows.to_vec(),
+                pred: Some(pred),
+            },
+        }
+    }
+
+    fn n_units(&self) -> usize {
+        match self {
+            ShardInput::Rows { n, .. } => *n,
+            ShardInput::Ids { ids, .. } => ids.len(),
+        }
+    }
+
+    /// Scan units `start..end`, feeding chunks of qualifying row ids to
+    /// `f`; returns rows visited.
+    fn scan<F: FnMut(&[u32])>(&self, start: usize, end: usize, f: F) -> u64 {
+        match self {
+            ShardInput::Rows { pred, .. } => scan_range(start, end, *pred, f),
+            ShardInput::Ids { ids, pred } => scan_ids(&ids[start..end], *pred, f),
+        }
+    }
+}
+
+/// Statically sharded variant of [`aggregate`]: splits the source into
+/// contiguous per-worker shards, accumulates per-worker partials on the
+/// shared pool, and merges them (Dense by slot, Hash by composite code)
+/// before the common finalize. `threads == 0` means auto. Produces the
+/// same `ResultTable` and scanned count as the serial path — bit-for-bit
+/// when measure sums are exactly representable, and within float merge
+/// rounding otherwise. Kept as the [`SchedulingMode::Static`] baseline;
+/// the default scheduler is [`aggregate_morsel`].
 pub fn aggregate_parallel(
     table: &Table,
     query: &SelectQuery,
@@ -1053,38 +1267,10 @@ pub fn aggregate_parallel(
         workers = workers.min(cap);
     }
 
-    // Shard the source into contiguous pieces. Range sources shard by row
-    // interval; bitmap sources materialize their ids once and shard the
-    // id array.
-    enum ShardInput<'s, 'a> {
-        Rows {
-            n: usize,
-            pred: Option<&'s CompiledPred<'a>>,
-        },
-        Ids {
-            ids: Vec<u32>,
-            pred: Option<&'s CompiledPred<'a>>,
-        },
-    }
-    let input = match source {
-        RowSource::All(n) => ShardInput::Rows { n: *n, pred: None },
-        RowSource::Filtered { n_rows, pred } => ShardInput::Rows {
-            n: *n_rows,
-            pred: Some(pred),
-        },
-        RowSource::Bitmap(bm) => ShardInput::Ids {
-            ids: bm.to_vec(),
-            pred: None,
-        },
-        RowSource::BitmapFiltered { rows, pred } => ShardInput::Ids {
-            ids: rows.to_vec(),
-            pred: Some(pred),
-        },
-    };
-    let n_units = match &input {
-        ShardInput::Rows { n, .. } => *n,
-        ShardInput::Ids { ids, .. } => ids.len(),
-    };
+    // `estimated_rows` equals the unit count of every source shape, so
+    // the serial fallback is decided *before* a bitmap source pays the
+    // cost of materializing its id array.
+    let n_units = source.estimated_rows();
     workers = workers.min(n_units.max(1));
     if workers <= 1 {
         let mut acc = ChunkAccumulator::new(&plan, strategy);
@@ -1092,19 +1278,14 @@ pub fn aggregate_parallel(
         let (acc, occupied) = acc.into_parts();
         return Ok((finalize_result(query, &plan, &acc, &occupied), scanned));
     }
+    let input = ShardInput::of(source);
+    debug_assert_eq!(input.n_units(), n_units);
     let shards = parallel::split_ranges(n_units, workers);
 
     let partials: Vec<(ChunkAccumulatorParts, u64)> = parallel::run_workers(shards.len(), |w| {
         let (start, end) = shards[w];
         let mut acc = ChunkAccumulator::new(&plan, strategy);
-        let visited = match &input {
-            ShardInput::Rows { pred, .. } => {
-                scan_range(start, end, *pred, |rows| acc.consume(rows))
-            }
-            ShardInput::Ids { ids, pred } => {
-                scan_ids(&ids[start..end], *pred, |rows| acc.consume(rows))
-            }
-        };
+        let visited = input.scan(start, end, |rows| acc.consume(rows));
         (
             ChunkAccumulatorParts {
                 acc: acc.acc,
@@ -1185,6 +1366,339 @@ fn merge_partials(
             let slots: Vec<u32> = pairs.iter().map(|&(_, s)| s).collect();
             let occupied = pairs.into_iter().map(|(c, _)| c).collect();
             (DenseOrHash::Hash(g, slots), occupied)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Morsel-driven scheduling
+// ---------------------------------------------------------------------
+
+/// Rows per morsel: a multiple of [`CHUNK_ROWS`] (so morsel boundaries
+/// are chunk boundaries and the chunked scan never splits a buffer),
+/// small enough that a 1M-row scan yields ~60 claimable units for the
+/// skew balancing to work with, large enough that the atomic claim and
+/// per-morsel compaction are noise against the row work.
+pub const MORSEL_ROWS: usize = 4 * CHUNK_ROWS;
+
+/// Telemetry from one morsel-scheduled aggregation ([`aggregate_morsel`]):
+/// how evenly the claiming spread work across the pool.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MorselMetrics {
+    /// Workers that participated in the scan.
+    pub workers: usize,
+    /// Morsels the source was carved into.
+    pub morsels: u64,
+    /// Morsels claimed *beyond* an even `ceil(morsels / workers)` share,
+    /// summed over workers — work the dynamic claiming moved off
+    /// overloaded workers (a static split would have stranded it).
+    pub steals: u64,
+    /// Workers that claimed no morsel at all (the scan finished before
+    /// they reached the cursor).
+    pub idle_workers: u64,
+    /// Morsels claimed by each worker.
+    pub per_worker: Vec<u64>,
+}
+
+/// One morsel's accumulated groups in compact, code-tagged form: slot
+/// `j` of `acc` holds the aggregates of composite code `codes[j]`
+/// (ascending). The representation is strategy-independent, so the
+/// ordered merge is too.
+struct MorselPartial {
+    codes: Vec<u64>,
+    acc: Accumulators,
+}
+
+/// A worker's reusable accumulation state for morsel claiming: like
+/// [`ChunkAccumulator`], plus Dense-mode touch tracking so each morsel
+/// can be compacted and the accumulator reset in O(groups touched)
+/// rather than O(total key space).
+struct MorselAccumulator<'p, 'a> {
+    plan: &'p GroupPlan<'a>,
+    strategy: GroupStrategy,
+    acc: Accumulators,
+    /// Hash strategy only: composite code → slot.
+    slot_of: HashMap<u64, u32>,
+    /// Dense strategy only: codes whose count went 0 → 1 in the current
+    /// morsel.
+    touched: Vec<u64>,
+    codes: Vec<u64>,
+}
+
+impl<'p, 'a> MorselAccumulator<'p, 'a> {
+    fn new(plan: &'p GroupPlan<'a>, strategy: GroupStrategy) -> Self {
+        let n_ys = plan.ys.len().max(1);
+        let acc = match strategy {
+            GroupStrategy::Dense => Accumulators::new(plan.total as usize, n_ys, plan.need_minmax),
+            GroupStrategy::Hash => Accumulators::new(0, n_ys, plan.need_minmax),
+        };
+        MorselAccumulator {
+            plan,
+            strategy,
+            acc,
+            slot_of: HashMap::new(),
+            touched: Vec::new(),
+            codes: Vec::with_capacity(CHUNK_ROWS),
+        }
+    }
+
+    /// Accumulate one chunk of qualifying row ids of the current morsel.
+    fn consume(&mut self, rows: &[u32]) {
+        encode_chunk(self.plan, rows, &mut self.codes);
+        match self.strategy {
+            GroupStrategy::Dense => {
+                // Like the chunk accumulator's Dense arm, plus 0 → 1
+                // touch tracking so the morsel compacts in O(groups).
+                for (i, &row) in rows.iter().enumerate() {
+                    let code = self.codes[i] as usize;
+                    if self.acc.counts[code] == 0 {
+                        self.touched.push(code as u64);
+                    }
+                    self.acc.update(code, &self.plan.ys, row as usize);
+                }
+            }
+            GroupStrategy::Hash => hash_consume(
+                &mut self.acc,
+                &mut self.slot_of,
+                &self.codes,
+                &self.plan.ys,
+                rows,
+            ),
+        }
+    }
+
+    /// Compact the finished morsel into a code-tagged partial and reset
+    /// the accumulator for the next claim. Only slots the morsel actually
+    /// touched are copied and cleared.
+    fn take_partial(&mut self) -> MorselPartial {
+        let n_ys = self.plan.ys.len().max(1);
+        match self.strategy {
+            GroupStrategy::Dense => {
+                self.touched.sort_unstable();
+                let mut compact = Accumulators::new(0, n_ys, self.plan.need_minmax);
+                compact.reserve(self.touched.len());
+                for &code in &self.touched {
+                    let slot = compact.grow_one();
+                    compact.merge_slot(slot, &self.acc, code as usize);
+                    let base = code as usize * n_ys;
+                    self.acc.counts[code as usize] = 0;
+                    for j in 0..n_ys {
+                        self.acc.sums[base + j] = 0.0;
+                        if self.acc.need_minmax {
+                            self.acc.mins[base + j] = f64::INFINITY;
+                            self.acc.maxs[base + j] = f64::NEG_INFINITY;
+                        }
+                    }
+                }
+                MorselPartial {
+                    codes: std::mem::take(&mut self.touched),
+                    acc: compact,
+                }
+            }
+            GroupStrategy::Hash => {
+                let mut pairs: Vec<(u64, u32)> = self.slot_of.drain().collect();
+                pairs.sort_unstable();
+                let mut compact = Accumulators::new(0, n_ys, self.plan.need_minmax);
+                compact.reserve(pairs.len());
+                let mut codes = Vec::with_capacity(pairs.len());
+                for (code, slot) in pairs {
+                    let s = compact.grow_one();
+                    compact.merge_slot(s, &self.acc, slot as usize);
+                    codes.push(code);
+                }
+                // Keep the worker accumulator's capacity for the next
+                // claim; only the compacted copy leaves this function.
+                self.acc.clear();
+                MorselPartial {
+                    codes,
+                    acc: compact,
+                }
+            }
+        }
+    }
+}
+
+/// Merge code-tagged morsel partials **in the order given** (callers
+/// sort by morsel index first): Dense scatters into the full key space
+/// by slot, Hash grows a global slot table by composite code. Because
+/// every partial tags its values with composite codes, each code's float
+/// reduction order is exactly the morsel-index order — independent of
+/// which worker produced which partial.
+fn merge_morsel_partials(
+    plan: &GroupPlan<'_>,
+    strategy: GroupStrategy,
+    partials: impl Iterator<Item = MorselPartial>,
+) -> (DenseOrHash, Vec<u64>) {
+    let n_ys = plan.ys.len().max(1);
+    match strategy {
+        GroupStrategy::Dense => {
+            let mut g = Accumulators::new(plan.total as usize, n_ys, plan.need_minmax);
+            for part in partials {
+                for (j, &code) in part.codes.iter().enumerate() {
+                    g.merge_slot(code as usize, &part.acc, j);
+                }
+            }
+            let occupied = (0..plan.total)
+                .filter(|&code| g.counts[code as usize] > 0)
+                .collect();
+            (DenseOrHash::Dense(g), occupied)
+        }
+        GroupStrategy::Hash => {
+            let mut g = Accumulators::new(0, n_ys, plan.need_minmax);
+            let mut slot_of: HashMap<u64, u32> = HashMap::new();
+            for part in partials {
+                slot_of.reserve(part.codes.len());
+                g.reserve(part.codes.len());
+                for (j, &code) in part.codes.iter().enumerate() {
+                    let slot = match slot_of.entry(code) {
+                        Entry::Occupied(e) => *e.get() as usize,
+                        Entry::Vacant(e) => {
+                            let s = g.grow_one();
+                            e.insert(s as u32);
+                            s
+                        }
+                    };
+                    g.merge_slot(slot, &part.acc, j);
+                }
+            }
+            let mut pairs: Vec<(u64, u32)> = slot_of.into_iter().collect();
+            pairs.sort_unstable();
+            let slots: Vec<u32> = pairs.iter().map(|&(_, s)| s).collect();
+            let occupied = pairs.into_iter().map(|(c, _)| c).collect();
+            (DenseOrHash::Hash(g, slots), occupied)
+        }
+    }
+}
+
+/// Morsel-scheduled variant of [`aggregate`] — the default parallel path
+/// ([`SchedulingMode::Morsel`]). Workers pull fixed-size, chunk-aligned
+/// morsels off a shared atomic cursor, so a skew-heavy region of the
+/// table is absorbed by whichever workers are free instead of stranding
+/// one static shard; per-morsel partials are compacted, tagged by morsel
+/// index, and merged in index order, so the result (including float
+/// rounding) is reproducible across runs and across parallel (≥ 2
+/// worker) thread counts — one worker degrades to the serial row-order
+/// reduction — and identical to the serial path whenever measure sums
+/// are exactly representable. `threads == 0` means auto. Returns the
+/// ordered result,
+/// rows visited, and claim telemetry (`None` when the scan degenerated
+/// to serial).
+pub fn aggregate_morsel(
+    table: &Table,
+    query: &SelectQuery,
+    source: &RowSource<'_>,
+    strategy: GroupStrategy,
+    threads: usize,
+) -> Result<(ResultTable, u64, Option<MorselMetrics>), StorageError> {
+    aggregate_morsel_sized(table, query, source, strategy, threads, MORSEL_ROWS)
+}
+
+/// [`aggregate_morsel`] with an explicit morsel size — a hook for tests
+/// and benchmarks that need many morsels out of small inputs (claiming
+/// and the ordered merge are size-independent; [`MORSEL_ROWS`] is purely
+/// the production perf sweet spot).
+pub fn aggregate_morsel_sized(
+    table: &Table,
+    query: &SelectQuery,
+    source: &RowSource<'_>,
+    strategy: GroupStrategy,
+    threads: usize,
+    morsel_rows: usize,
+) -> Result<(ResultTable, u64, Option<MorselMetrics>), StorageError> {
+    assert!(morsel_rows >= 1, "morsel size must be positive");
+    let plan = build_plan(table, query)?;
+    let mut workers = parallel::effective_threads(threads);
+    if strategy == GroupStrategy::Dense {
+        // Each dense worker owns `total` slots; shed workers before
+        // exhausting memory on very wide key spaces.
+        let cap = (DENSE_PARALLEL_SLOT_BUDGET / plan.total.max(1)).max(1) as usize;
+        workers = workers.min(cap);
+    }
+    // `estimated_rows` equals the unit count of every source shape, so
+    // the serial fallback is decided *before* a bitmap source pays the
+    // cost of materializing its id array.
+    let n_units = source.estimated_rows();
+    let n_morsels = n_units.div_ceil(morsel_rows);
+    workers = workers.min(n_morsels.max(1));
+    if workers <= 1 {
+        let mut acc = ChunkAccumulator::new(&plan, strategy);
+        let scanned = source.for_each_chunk(|rows| acc.consume(rows));
+        let (acc, occupied) = acc.into_parts();
+        return Ok((
+            finalize_result(query, &plan, &acc, &occupied),
+            scanned,
+            None,
+        ));
+    }
+    let input = ShardInput::of(source);
+    debug_assert_eq!(input.n_units(), n_units);
+
+    let cursor = AtomicUsize::new(0);
+    let outputs: Vec<(Vec<(usize, MorselPartial)>, u64)> = parallel::run_workers(workers, |_| {
+        let mut acc = MorselAccumulator::new(&plan, strategy);
+        let mut out = Vec::new();
+        let mut visited = 0u64;
+        loop {
+            let m = cursor.fetch_add(1, Ordering::Relaxed);
+            if m >= n_morsels {
+                break;
+            }
+            let start = m * morsel_rows;
+            let end = ((m + 1) * morsel_rows).min(n_units);
+            visited += input.scan(start, end, |rows| acc.consume(rows));
+            out.push((m, acc.take_partial()));
+        }
+        (out, visited)
+    });
+
+    let per_worker: Vec<u64> = outputs.iter().map(|(o, _)| o.len() as u64).collect();
+    let scanned: u64 = outputs.iter().map(|(_, v)| *v).sum();
+    let fair = (n_morsels as u64).div_ceil(workers as u64);
+    let metrics = MorselMetrics {
+        workers,
+        morsels: n_morsels as u64,
+        steals: per_worker.iter().map(|&c| c.saturating_sub(fair)).sum(),
+        idle_workers: per_worker.iter().filter(|&&c| c == 0).count() as u64,
+        per_worker,
+    };
+
+    let mut tagged: Vec<(usize, MorselPartial)> =
+        outputs.into_iter().flat_map(|(o, _)| o).collect();
+    tagged.sort_unstable_by_key(|&(m, _)| m);
+    let (acc, occupied) =
+        merge_morsel_partials(&plan, strategy, tagged.into_iter().map(|(_, p)| p));
+    Ok((
+        finalize_result(query, &plan, &acc, &occupied),
+        scanned,
+        Some(metrics),
+    ))
+}
+
+/// Engine-facing dispatcher: run the aggregation with `threads` workers
+/// under `cfg.sched` (serial when `threads <= 1`), recording morsel
+/// claim telemetry into `stats`. Both engines' pinned snapshots route
+/// their scans through here.
+pub fn run_scheduled(
+    table: &Table,
+    query: &SelectQuery,
+    source: &RowSource<'_>,
+    strategy: GroupStrategy,
+    threads: usize,
+    cfg: &ParallelConfig,
+    stats: &crate::stats::ExecStats,
+) -> Result<(ResultTable, u64), StorageError> {
+    if threads <= 1 {
+        return aggregate(table, query, source, strategy);
+    }
+    match cfg.sched {
+        SchedulingMode::Static => aggregate_parallel(table, query, source, strategy, threads),
+        SchedulingMode::Morsel => {
+            let (rt, scanned, metrics) =
+                aggregate_morsel_sized(table, query, source, strategy, threads, cfg.morsel_rows)?;
+            if let Some(m) = &metrics {
+                stats.record_morsel(m);
+            }
+            Ok((rt, scanned))
         }
     }
 }
@@ -1340,6 +1854,12 @@ mod tests {
         let (par, par_scanned) = aggregate_parallel(&t, q, &src, strategy, 3).unwrap();
         assert_eq!(par, rt);
         assert_eq!(par_scanned, scanned);
+        // ...and so must the morsel path (which degenerates to the
+        // serial scan here: one morsel covers the whole table)
+        let (mor, mor_scanned, metrics) = aggregate_morsel(&t, q, &src, strategy, 3).unwrap();
+        assert_eq!(mor, rt);
+        assert_eq!(mor_scanned, scanned);
+        assert!(metrics.is_none(), "sub-morsel input must not fan out");
         // normalize nothing — kernel must already deliver sorted output
         rt.z_cols = q.zs.clone();
         rt
@@ -1543,10 +2063,186 @@ mod tests {
     fn parallel_config_gates_small_scans() {
         let cfg = ParallelConfig::default();
         assert_eq!(cfg.threads_for(10), 1, "tiny scans stay serial");
+        assert_eq!(cfg.sched, SchedulingMode::Morsel, "morsel is the default");
         let explicit = ParallelConfig {
             threads: 4,
             min_parallel_rows: 0,
+            ..Default::default()
         };
         assert_eq!(explicit.threads_for(10), 4);
+    }
+
+    #[test]
+    fn parallel_config_env_overrides() {
+        let serial = ParallelConfig::from_env_spec(Some("serial"), None, None, None);
+        assert_eq!(serial.threads, 1);
+        assert_eq!(serial.threads_for(usize::MAX - 1), 1);
+
+        // Pinning a scheduler does not change *when* scans go parallel…
+        let stat = ParallelConfig::from_env_spec(Some("static"), Some("2"), None, None);
+        assert_eq!(stat.sched, SchedulingMode::Static);
+        assert_eq!(stat.threads, 2);
+        assert_eq!(
+            stat.min_parallel_rows,
+            ParallelConfig::default().min_parallel_rows,
+            "mode alone must not drop the serial gate"
+        );
+        // …the gate and the morsel size are their own knobs (the CI
+        // matrix sets 0 and a small morsel so tiny tables fan out over
+        // many real claims).
+        let forced =
+            ParallelConfig::from_env_spec(Some(" MORSEL "), Some("3"), Some("0"), Some("256"));
+        assert_eq!(forced.sched, SchedulingMode::Morsel);
+        assert_eq!(forced.threads, 3);
+        assert_eq!(forced.threads_for(1), 3);
+        assert_eq!(forced.morsel_rows, 256);
+
+        // Empty strings (a CI matrix's "not overridden" row) are unset.
+        assert_eq!(
+            ParallelConfig::from_env_spec(Some(""), Some(" "), Some(""), Some("")),
+            ParallelConfig::default()
+        );
+        assert_eq!(
+            ParallelConfig::from_env_spec(None, None, None, None),
+            ParallelConfig::default()
+        );
+
+        // Typos must fail loudly, not silently run the default config.
+        for bad in [
+            std::panic::catch_unwind(|| {
+                ParallelConfig::from_env_spec(Some("bogus"), None, None, None)
+            }),
+            std::panic::catch_unwind(|| {
+                ParallelConfig::from_env_spec(None, Some("lots"), None, None)
+            }),
+            std::panic::catch_unwind(|| {
+                ParallelConfig::from_env_spec(None, None, Some("-3"), None)
+            }),
+            std::panic::catch_unwind(|| ParallelConfig::from_env_spec(None, None, None, Some("0"))),
+        ] {
+            assert!(bad.is_err(), "invalid ZV_SCHED_* values must panic");
+        }
+    }
+
+    /// A table big enough for several morsels, with values exactly
+    /// representable so bit-for-bit equality against the serial scan is
+    /// the right assertion.
+    fn wide_table(rows: usize) -> Table {
+        let schema = Schema::new(vec![
+            Field::new("key", DataType::Int),
+            Field::new("hot", DataType::Int),
+            Field::new("val", DataType::Float),
+        ]);
+        let mut b = TableBuilder::new(schema);
+        for i in 0..rows {
+            b.push_row(vec![
+                Value::Int((i % 37) as i64),
+                Value::Int(i64::from(i < rows / 8)),
+                Value::Float((i % 1013) as f64 * 0.25),
+            ])
+            .unwrap();
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn morsel_metrics_account_for_every_morsel() {
+        let rows = 3 * MORSEL_ROWS + 17;
+        let t = wide_table(rows);
+        let q = SelectQuery::new(XSpec::raw("key"), vec![YSpec::sum("val")]);
+        let src = RowSource::All(t.num_rows());
+        for strategy in [GroupStrategy::Dense, GroupStrategy::Hash] {
+            let (serial, scanned) = aggregate(&t, &q, &src, strategy).unwrap();
+            let (mor, mor_scanned, metrics) = aggregate_morsel(&t, &q, &src, strategy, 2).unwrap();
+            assert_eq!(mor, serial);
+            assert_eq!(mor_scanned, scanned);
+            let m = metrics.expect("multi-morsel scan must report telemetry");
+            assert_eq!(m.workers, 2);
+            assert_eq!(m.morsels, 4);
+            assert_eq!(m.per_worker.len(), 2);
+            assert_eq!(m.per_worker.iter().sum::<u64>(), m.morsels);
+            assert_eq!(
+                m.idle_workers,
+                m.per_worker.iter().filter(|&&c| c == 0).count() as u64
+            );
+        }
+    }
+
+    #[test]
+    fn morsel_skewed_filter_matches_serial_and_static() {
+        // All matching rows cluster in the first eighth of the table —
+        // the shape that starves a static split.
+        let rows = 4 * MORSEL_ROWS;
+        let t = wide_table(rows);
+        let q = SelectQuery::new(XSpec::raw("key"), vec![YSpec::sum("val")]);
+        let pred = Predicate::num_eq("hot", 1.0);
+        let make_src = || RowSource::Filtered {
+            n_rows: t.num_rows(),
+            pred: compile_pred(&t, &pred).unwrap(),
+        };
+        for strategy in [GroupStrategy::Dense, GroupStrategy::Hash] {
+            let (serial, scanned) = aggregate(&t, &q, &make_src(), strategy).unwrap();
+            for threads in [2usize, 3, 5] {
+                let (stat, stat_scanned) =
+                    aggregate_parallel(&t, &q, &make_src(), strategy, threads).unwrap();
+                let (mor, mor_scanned, _) =
+                    aggregate_morsel(&t, &q, &make_src(), strategy, threads).unwrap();
+                assert_eq!(stat, serial, "{strategy:?} static × {threads}");
+                assert_eq!(mor, serial, "{strategy:?} morsel × {threads}");
+                assert_eq!(stat_scanned, scanned);
+                assert_eq!(mor_scanned, scanned);
+            }
+        }
+    }
+
+    #[test]
+    fn morsel_float_sums_are_thread_count_independent() {
+        // 0.1 is not exactly representable: partial-sum boundaries would
+        // show up as last-bit drift if the merge order ever depended on
+        // claim timing or worker count. The morsel merge is ordered by
+        // morsel index, so every thread count must agree bit-for-bit
+        // with every other (serial may legitimately differ in the last
+        // ulp — it reduces row-by-row, not morsel-by-morsel).
+        let schema = Schema::new(vec![
+            Field::new("key", DataType::Int),
+            Field::new("val", DataType::Float),
+        ]);
+        let mut b = TableBuilder::new(schema);
+        for i in 0..(3 * MORSEL_ROWS + 911) {
+            b.push_row(vec![
+                Value::Int((i % 11) as i64),
+                Value::Float(0.1 + (i % 97) as f64 * 0.3),
+            ])
+            .unwrap();
+        }
+        let t = b.finish();
+        let q = SelectQuery::new(
+            XSpec::raw("key"),
+            vec![YSpec::sum("val"), YSpec::avg("val")],
+        );
+        let src = RowSource::All(t.num_rows());
+        for strategy in [GroupStrategy::Dense, GroupStrategy::Hash] {
+            let (reference, _, _) = aggregate_morsel(&t, &q, &src, strategy, 2).unwrap();
+            for threads in [2usize, 3, 5, 8] {
+                for _rep in 0..2 {
+                    let (rt, _, _) = aggregate_morsel(&t, &q, &src, strategy, threads).unwrap();
+                    assert_eq!(rt.groups.len(), reference.groups.len());
+                    for (g, gref) in rt.groups.iter().zip(&reference.groups) {
+                        assert_eq!(g.xs, gref.xs);
+                        assert_eq!(g.ys.len(), gref.ys.len());
+                        for (ys, ys_ref) in g.ys.iter().zip(&gref.ys) {
+                            assert_eq!(ys.len(), ys_ref.len());
+                            for (a, b) in ys.iter().zip(ys_ref) {
+                                assert_eq!(
+                                    a.to_bits(),
+                                    b.to_bits(),
+                                    "float drift under {strategy:?} × {threads}"
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
     }
 }

@@ -52,7 +52,7 @@ pub use bitmap_db::{BitmapDb, BitmapDbConfig};
 pub use cache::{CacheConfig, CacheKey, CacheStats, InsertOutcome, QueryKey, ResultCache};
 pub use column::{CatColumn, Column};
 pub use db::{Database, DynDatabase, EngineSnapshot};
-pub use exec::{GroupStrategy, ParallelConfig};
+pub use exec::{GroupStrategy, MorselMetrics, ParallelConfig, SchedulingMode};
 pub use predicate::{Atom, CmpOp, Predicate};
 pub use query::{Agg, GroupSeries, ResultTable, SelectQuery, XSpec, YSpec};
 pub use roaring::RoaringBitmap;
@@ -71,7 +71,7 @@ mod engine_equivalence {
     use proptest::prelude::*;
     use std::sync::Arc;
 
-    fn build_table(rows: &[(i64, u8, u8, f64)]) -> Arc<Table> {
+    fn build_table(rows: &[(i64, u8, u8, i16)]) -> Arc<Table> {
         let schema = Schema::new(vec![
             Field::new("year", DataType::Int),
             Field::new("product", DataType::Cat),
@@ -84,15 +84,19 @@ mod engine_equivalence {
                 Value::Int(y),
                 Value::str(format!("p{p}")),
                 Value::str(format!("loc{l}")),
-                Value::Float(s),
+                // Exact dyadic measures: float sums stay associative, so
+                // bit-for-bit equality holds across engines regardless of
+                // how each one shards its scan (the CI scheduling matrix
+                // forces parallel routing even on these tiny tables).
+                Value::Float(s as f64 * 0.25),
             ])
             .unwrap();
         }
         b.finish_shared()
     }
 
-    fn arb_rows() -> impl Strategy<Value = Vec<(i64, u8, u8, f64)>> {
-        prop::collection::vec((2010i64..2020, 0u8..6, 0u8..3, -100.0f64..100.0), 1..200)
+    fn arb_rows() -> impl Strategy<Value = Vec<(i64, u8, u8, i16)>> {
+        prop::collection::vec((2010i64..2020, 0u8..6, 0u8..3, -400i16..400), 1..200)
     }
 
     fn arb_pred() -> impl Strategy<Value = Predicate> {

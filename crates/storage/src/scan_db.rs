@@ -29,7 +29,10 @@ pub struct ScanDbConfig {
     pub dense_group_limit: u128,
     /// Simulated round-trip latency per request.
     pub request_overhead: Duration,
-    /// Sharded-scan tuning (thread count, serial threshold).
+    /// Parallel-scan tuning (thread count, serial threshold, scheduling
+    /// mode). The default consults the `ZV_SCHED_*` environment
+    /// overrides ([`exec::ParallelConfig::from_env`]) so CI can force a
+    /// scheduling configuration across whole test suites.
     pub parallel: exec::ParallelConfig,
     /// Engine-level result cache bounds ([`CacheConfig::disabled`] turns
     /// the cache off, e.g. for raw-engine benchmarks).
@@ -41,7 +44,7 @@ impl Default for ScanDbConfig {
         ScanDbConfig {
             dense_group_limit: 1 << 24,
             request_overhead: Duration::ZERO,
-            parallel: exec::ParallelConfig::default(),
+            parallel: exec::ParallelConfig::from_env(),
             cache: CacheConfig::default(),
         }
     }
@@ -65,7 +68,9 @@ pub struct ScanDb {
     /// on the same predecessor (readers never touch this).
     append_lock: Mutex<()>,
     config: ScanDbConfig,
-    stats: ExecStats,
+    /// Shared with pinned snapshots, so scan telemetry recorded during
+    /// snapshot execution lands on the engine's counters.
+    stats: Arc<ExecStats>,
     cache: Option<Arc<ResultCache>>,
 }
 
@@ -97,7 +102,7 @@ impl ScanDb {
             table: RwLock::new(table),
             append_lock: Mutex::new(()),
             config,
-            stats: ExecStats::new(),
+            stats: Arc::new(ExecStats::new()),
             cache,
         }
     }
@@ -115,6 +120,7 @@ impl ScanDb {
             table: self.snapshot(),
             dense_group_limit: self.config.dense_group_limit,
             parallel: self.config.parallel,
+            stats: Arc::clone(&self.stats),
         }
     }
 
@@ -147,6 +153,7 @@ struct ScanSnapshot {
     table: Arc<Table>,
     dense_group_limit: u128,
     parallel: exec::ParallelConfig,
+    stats: Arc<ExecStats>,
 }
 
 impl EngineSnapshot for ScanSnapshot {
@@ -168,11 +175,15 @@ impl EngineSnapshot for ScanSnapshot {
         let groups = exec::group_space(table, query)?;
         let strategy = exec::choose_strategy(groups, self.dense_group_limit);
         let threads = self.parallel.threads_for(source.estimated_rows());
-        if threads > 1 {
-            exec::aggregate_parallel(table, query, &source, strategy, threads)
-        } else {
-            exec::aggregate(table, query, &source, strategy)
-        }
+        exec::run_scheduled(
+            table,
+            query,
+            &source,
+            strategy,
+            threads,
+            &self.parallel,
+            &self.stats,
+        )
     }
 }
 

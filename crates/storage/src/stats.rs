@@ -29,6 +29,16 @@ pub struct ExecStats {
     /// Fresh results the cache declined to admit (cheaper to recompute
     /// than a hash probe — see cost-based admission in `crate::cache`).
     cache_admission_rejects: AtomicU64,
+    /// Scans that went parallel under morsel scheduling (see
+    /// [`crate::exec::aggregate_morsel`]).
+    morsel_scans: AtomicU64,
+    /// Morsels dispatched across those scans.
+    morsels_dispatched: AtomicU64,
+    /// Morsels claimed beyond an even per-worker share — work the
+    /// dynamic claiming rebalanced away from overloaded workers.
+    morsel_steals: AtomicU64,
+    /// Workers that claimed no morsel (scan drained before they ran).
+    morsel_idle_workers: AtomicU64,
 }
 
 impl ExecStats {
@@ -67,6 +77,17 @@ impl ExecStats {
         self.cache_admission_rejects.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Fold one morsel-scheduled scan's claim telemetry into the
+    /// counters.
+    pub fn record_morsel(&self, m: &crate::exec::MorselMetrics) {
+        self.morsel_scans.fetch_add(1, Ordering::Relaxed);
+        self.morsels_dispatched
+            .fetch_add(m.morsels, Ordering::Relaxed);
+        self.morsel_steals.fetch_add(m.steals, Ordering::Relaxed);
+        self.morsel_idle_workers
+            .fetch_add(m.idle_workers, Ordering::Relaxed);
+    }
+
     pub fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
             queries: self.queries.load(Ordering::Relaxed),
@@ -78,6 +99,10 @@ impl ExecStats {
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
             cache_evictions: self.cache_evictions.load(Ordering::Relaxed),
             cache_admission_rejects: self.cache_admission_rejects.load(Ordering::Relaxed),
+            morsel_scans: self.morsel_scans.load(Ordering::Relaxed),
+            morsels_dispatched: self.morsels_dispatched.load(Ordering::Relaxed),
+            morsel_steals: self.morsel_steals.load(Ordering::Relaxed),
+            morsel_idle_workers: self.morsel_idle_workers.load(Ordering::Relaxed),
         }
     }
 
@@ -91,6 +116,10 @@ impl ExecStats {
         self.cache_misses.store(0, Ordering::Relaxed);
         self.cache_evictions.store(0, Ordering::Relaxed);
         self.cache_admission_rejects.store(0, Ordering::Relaxed);
+        self.morsel_scans.store(0, Ordering::Relaxed);
+        self.morsels_dispatched.store(0, Ordering::Relaxed);
+        self.morsel_steals.store(0, Ordering::Relaxed);
+        self.morsel_idle_workers.store(0, Ordering::Relaxed);
     }
 }
 
@@ -106,6 +135,14 @@ pub struct StatsSnapshot {
     pub cache_misses: u64,
     pub cache_evictions: u64,
     pub cache_admission_rejects: u64,
+    /// Scans that went parallel under morsel scheduling.
+    pub morsel_scans: u64,
+    /// Morsels dispatched across those scans.
+    pub morsels_dispatched: u64,
+    /// Morsels claimed beyond an even per-worker share.
+    pub morsel_steals: u64,
+    /// Workers that claimed no morsel.
+    pub morsel_idle_workers: u64,
 }
 
 impl StatsSnapshot {
@@ -121,6 +158,10 @@ impl StatsSnapshot {
             cache_misses: self.cache_misses - earlier.cache_misses,
             cache_evictions: self.cache_evictions - earlier.cache_evictions,
             cache_admission_rejects: self.cache_admission_rejects - earlier.cache_admission_rejects,
+            morsel_scans: self.morsel_scans - earlier.morsel_scans,
+            morsels_dispatched: self.morsels_dispatched - earlier.morsels_dispatched,
+            morsel_steals: self.morsel_steals - earlier.morsel_steals,
+            morsel_idle_workers: self.morsel_idle_workers - earlier.morsel_idle_workers,
         }
     }
 }
@@ -140,6 +181,13 @@ mod tests {
         s.record_cache_miss();
         s.record_cache_evictions(3);
         s.record_cache_admission_reject();
+        s.record_morsel(&crate::exec::MorselMetrics {
+            workers: 2,
+            morsels: 8,
+            steals: 3,
+            idle_workers: 1,
+            per_worker: vec![7, 1],
+        });
         let snap = s.snapshot();
         assert_eq!(snap.queries, 2);
         assert_eq!(snap.requests, 1);
@@ -150,6 +198,10 @@ mod tests {
         assert_eq!(snap.cache_misses, 1);
         assert_eq!(snap.cache_evictions, 3);
         assert_eq!(snap.cache_admission_rejects, 1);
+        assert_eq!(snap.morsel_scans, 1);
+        assert_eq!(snap.morsels_dispatched, 8);
+        assert_eq!(snap.morsel_steals, 3);
+        assert_eq!(snap.morsel_idle_workers, 1);
     }
 
     #[test]

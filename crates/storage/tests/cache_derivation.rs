@@ -40,6 +40,7 @@ fn serial() -> ParallelConfig {
     ParallelConfig {
         threads: 1,
         min_parallel_rows: usize::MAX,
+        ..Default::default()
     }
 }
 
@@ -47,6 +48,12 @@ fn sharded() -> ParallelConfig {
     ParallelConfig {
         threads: 4,
         min_parallel_rows: 0,
+        // Tiny morsels: the proptest tables are < MORSEL_ROWS rows, and
+        // the default morsel size would silently degrade this fixture's
+        // scans to the serial fallback (losing the real-fan-out coverage
+        // this suite had when sharding was static).
+        morsel_rows: 64,
+        ..Default::default()
     }
 }
 

@@ -174,14 +174,21 @@ proptest! {
         let serial = BitmapDb::with_config(
             table.clone(),
             BitmapDbConfig {
-                parallel: ParallelConfig { threads: 1, min_parallel_rows: usize::MAX },
+                parallel: ParallelConfig { threads: 1, min_parallel_rows: usize::MAX, ..Default::default() },
                 ..Default::default()
             },
         );
         let sharded = BitmapDb::with_config(
             table.clone(),
             BitmapDbConfig {
-                parallel: ParallelConfig { threads: 4, min_parallel_rows: 0 },
+                // Tiny morsels: proptest tables are far below the default
+                // morsel size, which would silently serialize this engine.
+                parallel: ParallelConfig {
+                    threads: 4,
+                    min_parallel_rows: 0,
+                    morsel_rows: 64,
+                    ..Default::default()
+                },
                 ..Default::default()
             },
         );

@@ -11,8 +11,8 @@
 //! * **Baseline** (Figure 8.1's tool): visualizations are populated "using
 //!   an alpha-numeric sort order"; the simulated user inspects them one by
 //!   one, keeps the best-looking so far, and stops when patience runs out
-//!   — often "select[ing] suboptimal answers before browsing through the
-//!   entire list".
+//!   — often "select\[ing\] suboptimal answers before browsing through
+//!   the entire list".
 //! * **Drag-and-drop**: sketch a pattern (fast), run a *real* zenvisage
 //!   similarity query, accept a top result after brief verification.
 //! * **Custom query builder**: compose a ZQL table (slow, skill-dependent),

@@ -237,7 +237,7 @@ impl_tuple_strategy!(A, B, C, D, E, F);
 pub mod collection {
     use super::{Strategy, TestRng};
 
-    /// Length specification for [`vec`]: a fixed size or a `usize` range.
+    /// Length specification for [`vec()`]: a fixed size or a `usize` range.
     #[derive(Clone, Debug)]
     pub struct SizeRange {
         lo: usize,
