@@ -14,6 +14,10 @@
 //!   `morsel_skew_static_ms` — scans scale ~linearly with the table, so
 //!   they are normalized to ms-per-million-rows before comparison (CI
 //!   runs `--quick` at 200k rows against a 1M-row committed baseline).
+//! * `cancel_latency_ms` — wall-clock from `QueryCtx::cancel()` to the
+//!   scan returning `Cancelled`; bounded by one claim's worth of work,
+//!   not by table size, so compared directly under a generous absolute
+//!   floor (scheduler wakeup jitter dominates sub-5 ms readings).
 //!
 //! The default 2.5× threshold is deliberately generous: the baseline and
 //! the CI runner are different machines and criterion-grade rigor is not
@@ -81,14 +85,19 @@ fn main() -> ExitCode {
     let baseline = read(&args.baseline);
     let fresh = read(&args.fresh);
 
-    // (metric, normalize per million rows?)
-    const GATES: [(&str, bool); 6] = [
-        ("cache_warm_ms", false),
-        ("derived_hit_ms", false),
-        ("cache_cold_ms", true),
-        ("derived_cold_ms", true),
-        ("morsel_skew_ms", true),
-        ("morsel_skew_static_ms", true),
+    // (metric, normalize per million rows?, absolute floor in ms —
+    // fresh values at or below the floor always pass, because down
+    // there timer jitter and cross-machine CPU differences dwarf any
+    // real ratio: pointer-bump warm hits live under 0.1 ms, and cancel
+    // latency is scheduler-wakeup-dominated under ~5 ms).
+    const GATES: [(&str, bool, f64); 7] = [
+        ("cache_warm_ms", false, 0.1),
+        ("derived_hit_ms", false, 0.1),
+        ("cache_cold_ms", true, 0.1),
+        ("derived_cold_ms", true, 0.1),
+        ("morsel_skew_ms", true, 0.1),
+        ("morsel_skew_static_ms", true, 0.1),
+        ("cancel_latency_ms", false, 5.0),
     ];
 
     let per_million = |json: &str, raw: f64| -> f64 {
@@ -98,7 +107,7 @@ fn main() -> ExitCode {
 
     let mut compared = 0usize;
     let mut failures: Vec<String> = Vec::new();
-    for (name, normalize) in GATES {
+    for (name, normalize, floor_ms) in GATES {
         let Some(fresh_raw) = field(&fresh, name) else {
             failures.push(format!(
                 "{name}: missing from the fresh run ({}) — the bench stopped measuring it",
@@ -120,14 +129,7 @@ fn main() -> ExitCode {
             (fresh_raw, base_raw, "ms")
         };
         compared += 1;
-        // Absolute floor: sub-0.1 ms metrics (pointer-bump warm hits, a
-        // few-microsecond probe) are dominated by timer jitter and
-        // cross-machine CPU differences — a 2.5x ratio there is noise,
-        // not a regression, so anything that fast always passes. The
-        // 10x-cliff protection this gate exists for is untouched: a real
-        // regression of a microsecond path lands well above the floor.
-        const ABSOLUTE_FLOOR_MS: f64 = 0.1;
-        let limit = (base_v * args.factor).max(ABSOLUTE_FLOOR_MS);
+        let limit = (base_v * args.factor).max(floor_ms);
         let ratio = fresh_v / base_v.max(1e-9);
         let verdict = if fresh_v <= limit { "ok" } else { "REGRESSED" };
         println!(
@@ -142,6 +144,20 @@ fn main() -> ExitCode {
                  regenerate the committed baseline with `cargo run --release -p zv-bench \
                  --bin bench_groupby` and commit the new {}.",
                 args.factor, args.baseline
+            ));
+        }
+    }
+
+    // Observability gate: cancel_latency_ms of 0.0 with zero recorded
+    // mid-scan cancels means the cancel never took effect — at full
+    // table size that is a cancellation regression, not a fast cancel.
+    // (--quick runs at 200k rows legitimately finish scans before the
+    // cancelling thread is scheduled on small hosts, so only full-size
+    // runs are held to it.)
+    if let (Some(rows), Some(runs)) = (field(&fresh, "rows"), field(&fresh, "cancel_runs")) {
+        if rows >= 500_000.0 && runs < 1.0 {
+            failures.push(format!(
+                "cancel_runs: a full-size run ({rows:.0} rows) recorded no mid-scan                  cancellation — the cancel path stopped taking effect"
             ));
         }
     }

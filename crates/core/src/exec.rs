@@ -15,8 +15,8 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 use zv_analytics::Series;
 use zv_storage::{
-    parallel, Atom, CmpOp, Column, DynDatabase, Predicate, QueryKey, ResultTable, SelectQuery,
-    StorageError, Value, XSpec, YSpec,
+    parallel, Atom, CmpOp, Column, DynDatabase, Predicate, QueryCtx, QueryKey, ResultTable,
+    SelectQuery, StorageError, Value, XSpec, YSpec,
 };
 
 /// Process-column scoring loops below this many combinations stay serial
@@ -106,6 +106,12 @@ pub struct ExecReport {
     pub cache_derived_hits: u64,
     /// Queries that missed the engine-level result cache.
     pub cache_misses: u64,
+    /// Queries that returned `StorageError::Cancelled` during this
+    /// execution (superseded interactions, deadlines, row budgets).
+    pub queries_cancelled: u64,
+    /// Morsels left unclaimed by cancelled scans — work the
+    /// cancellation saved.
+    pub morsels_cancelled: u64,
     /// Time inside the database backend.
     pub db_time: Duration,
     /// Post-processing (task) time.
@@ -169,18 +175,43 @@ impl ZqlEngine {
         self.execute_with_inputs(query, &HashMap::new())
     }
 
+    /// Execute under an explicit lifecycle ctx: every data fetch the
+    /// query issues observes the ctx's cancellation token / deadline at
+    /// the scan's cancellation points, and a cancelled execution
+    /// surfaces as `ZqlError::Storage(StorageError::Cancelled)` — this
+    /// is the hook `zv-server`'s session supersession drives.
+    pub fn execute_ctx(&self, query: &ZqlQuery, ctx: &QueryCtx) -> Result<ZqlOutput, ZqlError> {
+        self.execute_with_inputs_ctx(query, &HashMap::new(), ctx)
+    }
+
     /// Execute, supplying user-drawn inputs for `-f…` components.
     pub fn execute_with_inputs(
         &self,
         query: &ZqlQuery,
         inputs: &HashMap<String, Series>,
     ) -> Result<ZqlOutput, ZqlError> {
-        Exec::new(self, inputs).run(query)
+        self.execute_with_inputs_ctx(query, inputs, &QueryCtx::new())
+    }
+
+    /// [`ZqlEngine::execute_with_inputs`] under an explicit lifecycle
+    /// ctx (see [`ZqlEngine::execute_ctx`]).
+    pub fn execute_with_inputs_ctx(
+        &self,
+        query: &ZqlQuery,
+        inputs: &HashMap<String, Series>,
+        ctx: &QueryCtx,
+    ) -> Result<ZqlOutput, ZqlError> {
+        Exec::new(self, inputs, ctx).run(query)
     }
 
     /// Parse and execute the textual table format.
     pub fn execute_text(&self, text: &str) -> Result<ZqlOutput, ZqlError> {
         self.execute(&parse_query(text)?)
+    }
+
+    /// Parse and execute under an explicit lifecycle ctx.
+    pub fn execute_text_ctx(&self, text: &str, ctx: &QueryCtx) -> Result<ZqlOutput, ZqlError> {
+        self.execute_ctx(&parse_query(text)?, ctx)
     }
 
     pub fn execute_text_with_inputs(
@@ -323,6 +354,9 @@ struct Consumer {
 struct Exec<'a> {
     engine: &'a ZqlEngine,
     inputs: &'a HashMap<String, Series>,
+    /// Lifecycle handle covering the whole ZQL execution: one user
+    /// interaction = one ctx, threaded into every `run_request_ctx`.
+    ctx: &'a QueryCtx,
     groups: Vec<VarGroup>,
     /// var name → (group, column)
     var_of: HashMap<String, (GroupId, usize)>,
@@ -346,10 +380,11 @@ struct Exec<'a> {
 }
 
 impl<'a> Exec<'a> {
-    fn new(engine: &'a ZqlEngine, inputs: &'a HashMap<String, Series>) -> Self {
+    fn new(engine: &'a ZqlEngine, inputs: &'a HashMap<String, Series>, ctx: &'a QueryCtx) -> Self {
         Exec {
             engine,
             inputs,
+            ctx,
             groups: Vec::new(),
             var_of: HashMap::new(),
             var_attr: HashMap::new(),
@@ -424,6 +459,8 @@ impl<'a> Exec<'a> {
                 cache_hits: db_stats.cache_hits,
                 cache_derived_hits: db_stats.cache_derived_hits,
                 cache_misses: db_stats.cache_misses,
+                queries_cancelled: db_stats.queries_cancelled,
+                morsels_cancelled: db_stats.morsels_cancelled,
                 db_time: db_stats.exec_time,
                 compute_time: self.compute_time,
                 total_time: start.elapsed(),
@@ -1522,7 +1559,7 @@ impl<'a> Exec<'a> {
                     out.push(
                         self.engine
                             .db
-                            .run_request(std::slice::from_ref(&b.query))?
+                            .run_request_ctx(std::slice::from_ref(&b.query), self.ctx)?
                             .pop()
                             .unwrap(),
                     );
@@ -1531,7 +1568,7 @@ impl<'a> Exec<'a> {
             }
             OptLevel::IntraLine => {
                 let queries: Vec<SelectQuery> = batches.iter().map(|b| b.query.clone()).collect();
-                self.engine.db.run_request(&queries)?
+                self.engine.db.run_request_ctx(&queries, self.ctx)?
             }
             OptLevel::IntraTask | OptLevel::InterTask => {
                 let mut to_run: Vec<SelectQuery> = Vec::new();
@@ -1546,7 +1583,7 @@ impl<'a> Exec<'a> {
                 let results = if to_run.is_empty() {
                     Vec::new()
                 } else {
-                    self.engine.db.run_request(&to_run)?
+                    self.engine.db.run_request_ctx(&to_run, self.ctx)?
                 };
                 for (k, rt) in run_keys.into_iter().zip(results) {
                     self.query_cache.insert(k, rt);

@@ -24,3 +24,7 @@ pub use primitives::FunctionRegistry;
 pub use qtree::{Node, QueryTree};
 pub use recommend::{recommend, recommend_auto, recommend_diverse};
 pub use tasks::{outlier_search, representative_search, similarity_search, TaskSpec};
+// Lifecycle handles are part of the public execution API (see
+// `ZqlEngine::execute_ctx`); re-exported so callers don't need a direct
+// zv-storage dependency.
+pub use zv_storage::{CancelReason, QueryCtx, QueryCtxStats};

@@ -828,3 +828,40 @@ fn engine_cache_derivation_is_transparent_across_opt_levels() {
         }
     }
 }
+
+#[test]
+fn cancelled_ctx_aborts_zql_execution() {
+    use zql::{QueryCtx, ZqlError};
+    use zv_storage::StorageError;
+
+    let eng = engine();
+    let zql = "name | x | y | z | constraints\n\
+               *f1 | 'year' | 'sales' | v1 <- 'product'.* | location='US'";
+
+    // Pre-cancelled: the execution aborts at its first data fetch and
+    // the cancellation is visible in the engine's counters.
+    let before = eng.database().stats().snapshot();
+    let ctx = QueryCtx::new();
+    ctx.cancel();
+    let err = eng.execute_text_ctx(zql, &ctx).unwrap_err();
+    assert!(
+        matches!(err, ZqlError::Storage(StorageError::Cancelled)),
+        "expected Cancelled, got {err}"
+    );
+    let delta = eng.database().stats().snapshot().since(&before);
+    assert_eq!(delta.queries_cancelled, 1);
+    assert_eq!(delta.rows_scanned, 0, "no fetch ran");
+
+    // A row budget cancels mid-execution; the same query then succeeds
+    // on a fresh ctx and reports the cancellation counters it *didn't*
+    // accumulate (its own ExecReport deltas start clean).
+    let budget = QueryCtx::new().with_row_budget(1);
+    let err = eng.execute_text_ctx(zql, &budget).unwrap_err();
+    assert!(matches!(err, ZqlError::Storage(StorageError::Cancelled)));
+    assert!(budget.stats().cancelled);
+
+    let out = eng.execute_text(zql).unwrap();
+    assert_eq!(out.visualizations.len(), 20);
+    assert_eq!(out.report.queries_cancelled, 0);
+    assert_eq!(out.report.morsels_cancelled, 0);
+}

@@ -1,0 +1,513 @@
+//! # zv-server
+//!
+//! The multi-session front-end of the zenvisage reproduction: a
+//! [`SessionManager`] that accepts ZQL queries from many concurrent
+//! user sessions and runs them on a shared [`ZqlEngine`] under the
+//! query-lifecycle subsystem (`zv_storage::lifecycle`).
+//!
+//! Interactive exploration produces a very particular workload: a user
+//! dragging a slider or refining a sketch re-issues queries faster than
+//! a bulk scan completes, so most in-flight work is *stale* the moment
+//! it starts. The manager encodes the two policies that make this cheap:
+//!
+//! * **Newest-interaction-wins supersession.** Each session has at most
+//!   one live query. Submitting a new query on a session cancels the
+//!   previous one's [`QueryCtx`] with
+//!   [`CancelReason::Superseded`]; the running scan observes the flag
+//!   at its next cancellation point (between morsel claims / chunks),
+//!   abandons its remaining work, and returns
+//!   `StorageError::Cancelled` — its partial result never touches the
+//!   result cache.
+//! * **Admission control.** At most `max_concurrent` queries execute at
+//!   once (a fixed worker pool); overflow is queued in a priority
+//!   queue (higher [`QueryCtx::priority`] first, FIFO within a
+//!   priority) bounded by `max_queued` — beyond that, submissions are
+//!   rejected outright ([`SubmitError::QueueFull`]) rather than
+//!   building unbounded backlog.
+//!
+//! Every submission is accounted for exactly once in
+//! [`SessionStats`]: an admitted query ends `completed`, `cancelled`,
+//! or `failed`; a rejected one counts `rejected` and is never admitted.
+//! `superseded` counts displacement events (a superseded query usually
+//! — but not necessarily, if it wins the race — ends `cancelled`).
+
+use std::collections::{BinaryHeap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use zql::{ZqlEngine, ZqlError, ZqlOutput, ZqlQuery};
+use zv_storage::{CancelReason, QueryCtx, StorageError};
+
+/// Identifies one user session (browser tab, notebook cell, API key…).
+pub type SessionId = u64;
+
+/// Tuning for a [`SessionManager`].
+#[derive(Clone, Copy, Debug)]
+pub struct SessionConfig {
+    /// Queries executing at once — the worker-pool size (min 1).
+    pub max_concurrent: usize,
+    /// Bound on the overflow queue; submissions beyond it are rejected.
+    pub max_queued: usize,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        SessionConfig {
+            max_concurrent: 4,
+            max_queued: 256,
+        }
+    }
+}
+
+/// Per-submission options.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SubmitOptions {
+    /// Scheduling priority: higher pops first from the overflow queue.
+    pub priority: i32,
+    /// Cancel automatically once this much wall-clock has elapsed.
+    pub deadline: Option<Duration>,
+    /// Cancel automatically once the scan has visited this many rows.
+    pub row_budget: Option<u64>,
+}
+
+/// Why a submission was not admitted.
+#[derive(Debug)]
+pub enum SubmitError {
+    /// The overflow queue is at `max_queued`.
+    QueueFull { capacity: usize },
+    /// The manager is shutting down.
+    ShuttingDown,
+    /// `submit_text` could not parse the query.
+    Parse(zql::ParseError),
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::QueueFull { capacity } => {
+                write!(f, "admission queue full ({capacity} queued)")
+            }
+            SubmitError::ShuttingDown => write!(f, "session manager is shutting down"),
+            SubmitError::Parse(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// Point-in-time counters ([`SessionManager::stats`]). Every *admitted*
+/// submission ends in exactly one of `completed` / `cancelled` /
+/// `failed`; `rejected` submissions were never admitted; `superseded`
+/// counts newest-interaction-wins displacements.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Submissions admitted (queued or started).
+    pub submitted: u64,
+    /// Older same-session queries displaced by a newer submission.
+    pub superseded: u64,
+    /// Admitted queries that finished with a result.
+    pub completed: u64,
+    /// Admitted queries that ended `StorageError::Cancelled` (superseded,
+    /// explicit cancel, deadline, or row budget) — whether they were
+    /// still queued or already mid-scan.
+    pub cancelled: u64,
+    /// Admitted queries that failed with a non-cancellation error.
+    pub failed: u64,
+    /// Submissions refused by admission control.
+    pub rejected: u64,
+    /// Queries currently waiting in the overflow queue.
+    pub queued: usize,
+    /// Sessions with a live (queued or running) query.
+    pub active_sessions: usize,
+}
+
+#[derive(Default)]
+struct Counters {
+    submitted: AtomicU64,
+    superseded: AtomicU64,
+    completed: AtomicU64,
+    cancelled: AtomicU64,
+    failed: AtomicU64,
+    rejected: AtomicU64,
+}
+
+/// Result slot a worker fills and a [`QueryHandle`] waits on.
+struct JobShared {
+    done: Mutex<Option<(Result<ZqlOutput, ZqlError>, Instant)>>,
+    cv: Condvar,
+}
+
+impl JobShared {
+    fn new() -> JobShared {
+        JobShared {
+            done: Mutex::new(None),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn complete(&self, result: Result<ZqlOutput, ZqlError>) {
+        let mut done = self.done.lock().expect("job slot poisoned");
+        debug_assert!(done.is_none(), "a job completes exactly once");
+        *done = Some((result, Instant::now()));
+        self.cv.notify_all();
+    }
+}
+
+/// Handle to one submitted query: its lifecycle ctx plus the result
+/// slot. Dropping the handle does not cancel the query.
+pub struct QueryHandle {
+    session: SessionId,
+    seq: u64,
+    ctx: QueryCtx,
+    shared: Arc<JobShared>,
+}
+
+impl QueryHandle {
+    pub fn session(&self) -> SessionId {
+        self.session
+    }
+
+    /// Monotone submission ticket (older = smaller).
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// The query's lifecycle ctx (cancel it, read progress counters).
+    pub fn ctx(&self) -> &QueryCtx {
+        &self.ctx
+    }
+
+    /// Explicitly cancel this query.
+    pub fn cancel(&self) {
+        self.ctx.cancel();
+    }
+
+    pub fn is_finished(&self) -> bool {
+        self.shared
+            .done
+            .lock()
+            .expect("job slot poisoned")
+            .is_some()
+    }
+
+    /// Block until the query finishes; returns its result (a cancelled
+    /// query yields `ZqlError::Storage(StorageError::Cancelled)`) and
+    /// the instant it completed.
+    pub fn wait_timed(self) -> (Result<ZqlOutput, ZqlError>, Instant) {
+        let mut done = self.shared.done.lock().expect("job slot poisoned");
+        loop {
+            match done.take() {
+                Some(out) => return out,
+                None => done = self.shared.cv.wait(done).expect("job slot poisoned"),
+            }
+        }
+    }
+
+    /// Block until the query finishes; returns its result.
+    pub fn wait(self) -> Result<ZqlOutput, ZqlError> {
+        self.wait_timed().0
+    }
+}
+
+/// One queued unit of work. Heap order: priority desc, then seq asc
+/// (FIFO within a priority band).
+struct PendingJob {
+    session: SessionId,
+    seq: u64,
+    priority: i32,
+    query: ZqlQuery,
+    ctx: QueryCtx,
+    shared: Arc<JobShared>,
+}
+
+impl PartialEq for PendingJob {
+    fn eq(&self, other: &Self) -> bool {
+        self.seq == other.seq
+    }
+}
+impl Eq for PendingJob {}
+impl PartialOrd for PendingJob {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for PendingJob {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.priority
+            .cmp(&other.priority)
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+
+struct Queue {
+    heap: BinaryHeap<PendingJob>,
+    shutdown: bool,
+}
+
+/// The newest query of one session (the only one not yet superseded).
+struct InFlight {
+    seq: u64,
+    ctx: QueryCtx,
+}
+
+struct Inner {
+    engine: Arc<ZqlEngine>,
+    queue: Mutex<Queue>,
+    cv: Condvar,
+    sessions: Mutex<HashMap<SessionId, InFlight>>,
+    counters: Counters,
+    max_queued: usize,
+}
+
+impl Inner {
+    fn run_job(&self, job: PendingJob) {
+        // A job superseded (or cancelled) while still queued is skipped
+        // without touching the engine — the cheapest cancel of all.
+        let result = if job.ctx.is_cancelled() {
+            Err(ZqlError::Storage(StorageError::Cancelled))
+        } else {
+            self.engine.execute_ctx(&job.query, &job.ctx)
+        };
+        match &result {
+            Ok(_) => self.counters.completed.fetch_add(1, Ordering::Relaxed),
+            Err(ZqlError::Storage(StorageError::Cancelled)) => {
+                self.counters.cancelled.fetch_add(1, Ordering::Relaxed)
+            }
+            Err(_) => self.counters.failed.fetch_add(1, Ordering::Relaxed),
+        };
+        self.release_session(&job);
+        job.shared.complete(result);
+    }
+
+    /// Drop the session registration if this job is still its newest.
+    fn release_session(&self, job: &PendingJob) {
+        let mut sessions = self.sessions.lock().expect("sessions lock poisoned");
+        if sessions.get(&job.session).is_some_and(|a| a.seq == job.seq) {
+            sessions.remove(&job.session);
+        }
+    }
+}
+
+/// Multi-session front-end over one [`ZqlEngine`]; see the
+/// [module docs](self) for the supersession and admission policies.
+pub struct SessionManager {
+    inner: Arc<Inner>,
+    workers: Vec<JoinHandle<()>>,
+    next_seq: AtomicU64,
+}
+
+impl SessionManager {
+    pub fn new(engine: Arc<ZqlEngine>, config: SessionConfig) -> SessionManager {
+        let inner = Arc::new(Inner {
+            engine,
+            queue: Mutex::new(Queue {
+                heap: BinaryHeap::new(),
+                shutdown: false,
+            }),
+            cv: Condvar::new(),
+            sessions: Mutex::new(HashMap::new()),
+            counters: Counters::default(),
+            max_queued: config.max_queued,
+        });
+        let workers = (0..config.max_concurrent.max(1))
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("zv-session-worker-{i}"))
+                    .spawn(move || worker_loop(inner))
+                    .expect("spawn session worker")
+            })
+            .collect();
+        SessionManager {
+            inner,
+            workers,
+            next_seq: AtomicU64::new(1),
+        }
+    }
+
+    pub fn engine(&self) -> &Arc<ZqlEngine> {
+        &self.inner.engine
+    }
+
+    /// Submit with default options (priority 0, no deadline).
+    pub fn submit(&self, session: SessionId, query: ZqlQuery) -> Result<QueryHandle, SubmitError> {
+        self.submit_with(session, query, SubmitOptions::default())
+    }
+
+    /// Parse the textual ZQL table format and submit it.
+    pub fn submit_text(
+        &self,
+        session: SessionId,
+        text: &str,
+        opts: SubmitOptions,
+    ) -> Result<QueryHandle, SubmitError> {
+        let query = zql::parse_query(text).map_err(SubmitError::Parse)?;
+        self.submit_with(session, query, opts)
+    }
+
+    /// Submit one query on `session`. Admission first (a full queue
+    /// rejects without touching the session), then
+    /// newest-interaction-wins: any older live query of the session is
+    /// cancelled with [`CancelReason::Superseded`].
+    pub fn submit_with(
+        &self,
+        session: SessionId,
+        query: ZqlQuery,
+        opts: SubmitOptions,
+    ) -> Result<QueryHandle, SubmitError> {
+        let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
+        let mut ctx = QueryCtx::new().with_priority(opts.priority);
+        if let Some(d) = opts.deadline {
+            ctx = ctx.with_deadline(d);
+        }
+        if let Some(b) = opts.row_budget {
+            ctx = ctx.with_row_budget(b);
+        }
+        let shared = Arc::new(JobShared::new());
+        let job = PendingJob {
+            session,
+            seq,
+            priority: opts.priority,
+            query,
+            ctx: ctx.clone(),
+            shared: Arc::clone(&shared),
+        };
+        {
+            let mut q = self.inner.queue.lock().expect("queue lock poisoned");
+            if q.shutdown {
+                return Err(SubmitError::ShuttingDown);
+            }
+            if q.heap.len() >= self.inner.max_queued {
+                self.inner.counters.rejected.fetch_add(1, Ordering::Relaxed);
+                return Err(SubmitError::QueueFull {
+                    capacity: self.inner.max_queued,
+                });
+            }
+            self.inner
+                .counters
+                .submitted
+                .fetch_add(1, Ordering::Relaxed);
+            {
+                let mut sessions = self.inner.sessions.lock().expect("sessions lock poisoned");
+                if let Some(prev) = sessions.insert(
+                    session,
+                    InFlight {
+                        seq,
+                        ctx: ctx.clone(),
+                    },
+                ) {
+                    prev.ctx.cancel_with(CancelReason::Superseded);
+                    self.inner
+                        .counters
+                        .superseded
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            q.heap.push(job);
+        }
+        self.inner.cv.notify_one();
+        Ok(QueryHandle {
+            session,
+            seq,
+            ctx,
+            shared,
+        })
+    }
+
+    /// Cancel `session`'s live query, if any. Returns whether one was
+    /// cancelled.
+    pub fn cancel_session(&self, session: SessionId) -> bool {
+        let sessions = self.inner.sessions.lock().expect("sessions lock poisoned");
+        match sessions.get(&session) {
+            Some(active) => {
+                active.ctx.cancel();
+                true
+            }
+            None => false,
+        }
+    }
+
+    pub fn stats(&self) -> SessionStats {
+        let queued = self
+            .inner
+            .queue
+            .lock()
+            .expect("queue lock poisoned")
+            .heap
+            .len();
+        let active_sessions = self
+            .inner
+            .sessions
+            .lock()
+            .expect("sessions lock poisoned")
+            .len();
+        let c = &self.inner.counters;
+        SessionStats {
+            submitted: c.submitted.load(Ordering::Relaxed),
+            superseded: c.superseded.load(Ordering::Relaxed),
+            completed: c.completed.load(Ordering::Relaxed),
+            cancelled: c.cancelled.load(Ordering::Relaxed),
+            failed: c.failed.load(Ordering::Relaxed),
+            rejected: c.rejected.load(Ordering::Relaxed),
+            queued,
+            active_sessions,
+        }
+    }
+}
+
+impl Drop for SessionManager {
+    fn drop(&mut self) {
+        // Cancel whatever is still running so workers wind down at their
+        // next cancellation point instead of finishing doomed scans.
+        {
+            let sessions = self.inner.sessions.lock().expect("sessions lock poisoned");
+            for active in sessions.values() {
+                active.ctx.cancel();
+            }
+        }
+        let drained: Vec<PendingJob> = {
+            let mut q = self.inner.queue.lock().expect("queue lock poisoned");
+            q.shutdown = true;
+            std::mem::take(&mut q.heap).into_vec()
+        };
+        self.inner.cv.notify_all();
+        for job in drained {
+            job.ctx.cancel();
+            self.inner
+                .counters
+                .cancelled
+                .fetch_add(1, Ordering::Relaxed);
+            self.inner.release_session(&job);
+            job.shared
+                .complete(Err(ZqlError::Storage(StorageError::Cancelled)));
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+fn worker_loop(inner: Arc<Inner>) {
+    loop {
+        let job = {
+            let mut q = inner.queue.lock().expect("queue lock poisoned");
+            loop {
+                if let Some(job) = q.heap.pop() {
+                    break job;
+                }
+                if q.shutdown {
+                    return;
+                }
+                q = inner.cv.wait(q).expect("queue lock poisoned");
+            }
+        };
+        inner.run_job(job);
+    }
+}
+
+// The manager is shared across request-handling threads.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<SessionManager>();
+};

@@ -1,0 +1,282 @@
+//! SessionManager behaviour under concurrency: newest-interaction-wins
+//! supersession, exact outcome bookkeeping, priority-ordered overflow,
+//! admission rejection, and deadline/explicit cancellation — all on a
+//! real engine (the scans these tests cancel are real scans, scheduled
+//! under whatever `ZV_SCHED_*` configuration CI's matrix forces).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use zql::{QueryBuilder, ZqlEngine, ZqlError, ZqlQuery};
+use zv_datagen::sales::{self, SalesConfig};
+use zv_server::{SessionConfig, SessionManager, SubmitError, SubmitOptions};
+use zv_storage::{Atom, BitmapDb, CancelReason, CmpOp, Predicate, StorageError, Value};
+
+/// One shared dataset (debug-mode generation and scans are the
+/// dominant test cost; every test builds its own engine over the shared
+/// table so stats and caches stay isolated). 60k rows keeps a debug
+/// scan orders of magnitude slower than a submit call — the only timing
+/// property the supersession tests rely on.
+fn dataset() -> Arc<zv_storage::Table> {
+    static TABLE: std::sync::OnceLock<Arc<zv_storage::Table>> = std::sync::OnceLock::new();
+    TABLE
+        .get_or_init(|| {
+            sales::generate(&SalesConfig {
+                rows: 60_000,
+                products: 50,
+                ..Default::default()
+            })
+        })
+        .clone()
+}
+
+fn engine(_rows: usize) -> Arc<ZqlEngine> {
+    Arc::new(ZqlEngine::new(Arc::new(BitmapDb::new(dataset()))))
+}
+
+/// A slider-step query: total sales per year for sales above `threshold`
+/// — each step a *different* predicate, so every step is a fresh scan
+/// (no warm cache hits hiding the work).
+fn slider_query(threshold: f64) -> ZqlQuery {
+    QueryBuilder::new()
+        .output_row("f1", |r| {
+            r.x("year")
+                .y("sales")
+                .constraint(Predicate::atom(Atom::NumCmp {
+                    col: "sales".into(),
+                    op: CmpOp::Gt,
+                    value: threshold,
+                }))
+        })
+        .build()
+}
+
+fn is_cancelled(err: &ZqlError) -> bool {
+    matches!(err, ZqlError::Storage(StorageError::Cancelled))
+}
+
+/// The acceptance scenario: a burst of queries on ONE session under ≥4
+/// worker threads. Every submission must end in exactly one outcome,
+/// the counters must match the observed outcomes exactly, and the final
+/// (newest) query must complete.
+#[test]
+fn slider_burst_supersedes_older_queries() {
+    let mgr = SessionManager::new(
+        engine(200_000),
+        SessionConfig {
+            max_concurrent: 4,
+            max_queued: 64,
+        },
+    );
+    const BURST: usize = 12;
+    let mut handles = Vec::with_capacity(BURST);
+    for step in 0..BURST {
+        let q = slider_query(step as f64 * 3.0);
+        handles.push(mgr.submit(7, q).expect("admitted"));
+    }
+    let last_seq = handles.last().unwrap().seq();
+
+    let mut completed = 0u64;
+    let mut cancelled = 0u64;
+    let mut last_result_ok = false;
+    for h in handles {
+        let seq = h.seq();
+        let ctx = h.ctx().clone();
+        match h.wait() {
+            Ok(out) => {
+                completed += 1;
+                assert!(
+                    !out.visualizations.is_empty(),
+                    "a completed slider query yields its visualization"
+                );
+                if seq == last_seq {
+                    last_result_ok = true;
+                }
+            }
+            Err(e) => {
+                assert!(is_cancelled(&e), "only cancellations expected: {e}");
+                cancelled += 1;
+                assert_eq!(
+                    ctx.cancel_reason(),
+                    Some(CancelReason::Superseded),
+                    "every cancel in this burst comes from supersession"
+                );
+            }
+        }
+    }
+    assert!(last_result_ok, "the newest interaction must win");
+    assert!(completed >= 1);
+    assert_eq!(completed + cancelled, BURST as u64);
+
+    let stats = mgr.stats();
+    assert_eq!(stats.submitted, BURST as u64);
+    assert_eq!(stats.completed, completed, "exact completion bookkeeping");
+    assert_eq!(stats.cancelled, cancelled, "exact cancel bookkeeping");
+    assert_eq!(stats.failed, 0);
+    assert_eq!(stats.rejected, 0);
+    assert_eq!(stats.queued, 0, "burst fully drained");
+    assert_eq!(stats.active_sessions, 0);
+    assert!(
+        stats.superseded >= stats.cancelled,
+        "every cancellation here was caused by a supersession \
+         (a superseded query may still win the race and complete)"
+    );
+}
+
+/// Different sessions never supersede each other.
+#[test]
+fn sessions_are_isolated() {
+    let mgr = SessionManager::new(
+        engine(50_000),
+        SessionConfig {
+            max_concurrent: 4,
+            max_queued: 64,
+        },
+    );
+    let handles: Vec<_> = (0..8)
+        .map(|s| mgr.submit(s, slider_query(s as f64)).expect("admitted"))
+        .collect();
+    for h in handles {
+        h.wait().expect("distinct sessions all complete");
+    }
+    let stats = mgr.stats();
+    assert_eq!(stats.completed, 8);
+    assert_eq!(stats.superseded, 0);
+    assert_eq!(stats.cancelled, 0);
+}
+
+/// With one worker busy, the overflow queue must pop by priority
+/// (higher first), FIFO within a band.
+#[test]
+fn overflow_queue_pops_by_priority() {
+    let mgr = SessionManager::new(
+        engine(200_000),
+        SessionConfig {
+            max_concurrent: 1,
+            max_queued: 64,
+        },
+    );
+    // Occupy the only worker…
+    let blocker = mgr.submit(1, slider_query(0.0)).expect("admitted");
+    // …then queue a low- and a high-priority query on other sessions.
+    let low = mgr
+        .submit_with(
+            2,
+            slider_query(1.0),
+            SubmitOptions {
+                priority: 0,
+                ..Default::default()
+            },
+        )
+        .expect("admitted");
+    let high = mgr
+        .submit_with(
+            3,
+            slider_query(2.0),
+            SubmitOptions {
+                priority: 5,
+                ..Default::default()
+            },
+        )
+        .expect("admitted");
+    let (_b, _) = blocker.wait_timed();
+    let (hr, high_done) = high.wait_timed();
+    let (lr, low_done) = low.wait_timed();
+    hr.expect("high-priority completes");
+    lr.expect("low-priority completes");
+    assert!(
+        high_done <= low_done,
+        "the high-priority query must be scheduled before the low-priority one"
+    );
+}
+
+/// Admission control: a full overflow queue rejects new work without
+/// disturbing the session's live query.
+#[test]
+fn full_queue_rejects_submissions() {
+    let mgr = SessionManager::new(
+        engine(200_000),
+        SessionConfig {
+            max_concurrent: 1,
+            max_queued: 1,
+        },
+    );
+    let blocker = mgr.submit(1, slider_query(0.0)).expect("admitted");
+    // Wait until the worker has *popped* the blocker (it occupies the
+    // worker, not the queue) so the next submission deterministically
+    // lands in the queue.
+    while mgr.stats().queued > 0 && !blocker.is_finished() {
+        std::thread::yield_now();
+    }
+    let queued = mgr.submit(2, slider_query(1.0)).expect("fits the queue");
+    // The queue is now full (the blocker occupies the worker, not the
+    // queue): the next submission must bounce.
+    let rejected = mgr.submit(3, slider_query(2.0));
+    assert!(
+        matches!(rejected, Err(SubmitError::QueueFull { capacity: 1 })),
+        "expected QueueFull"
+    );
+    let stats = mgr.stats();
+    assert_eq!(stats.rejected, 1);
+    assert_eq!(stats.submitted, 2, "rejected submissions are not admitted");
+    blocker.wait().expect("blocker unaffected");
+    queued.wait().expect("queued query unaffected");
+}
+
+/// Deadlines and explicit cancels surface as `StorageError::Cancelled`
+/// with the right reason.
+#[test]
+fn deadline_and_explicit_cancel() {
+    let mgr = SessionManager::new(engine(50_000), SessionConfig::default());
+    // Pre-expired deadline: cancelled before (or while) scanning.
+    let doomed = mgr
+        .submit_with(
+            1,
+            slider_query(0.0),
+            SubmitOptions {
+                deadline: Some(std::time::Duration::ZERO),
+                ..Default::default()
+            },
+        )
+        .expect("admitted");
+    let ctx = doomed.ctx().clone();
+    let err = doomed.wait().expect_err("deadline must cancel");
+    assert!(is_cancelled(&err));
+    assert_eq!(ctx.cancel_reason(), Some(CancelReason::Deadline));
+
+    // cancel_session cancels the live query of that session only.
+    let h = mgr.submit(2, slider_query(1.0)).expect("admitted");
+    let cancelled_any = mgr.cancel_session(2);
+    let r = h.wait();
+    if cancelled_any {
+        if let Err(e) = &r {
+            assert!(is_cancelled(e));
+        }
+        // (If the query finished before the cancel landed, Ok is fine.)
+    } else {
+        r.expect("already finished before cancel_session looked");
+    }
+}
+
+/// The engine stays fully usable for plain (ctx-less) execution while a
+/// manager is running — and a user-input query round-trips.
+#[test]
+fn manager_shares_engine_with_direct_callers() {
+    let eng = engine(50_000);
+    let mgr = SessionManager::new(Arc::clone(&eng), SessionConfig::default());
+    let h = mgr.submit(1, slider_query(5.0)).expect("admitted");
+    let direct = eng
+        .execute_with_inputs(&slider_query(5.0), &HashMap::new())
+        .expect("direct execution");
+    let via_mgr = h.wait().expect("managed execution");
+    assert_eq!(
+        direct.visualizations.len(),
+        via_mgr.visualizations.len(),
+        "same query, same shape, whichever door it came through"
+    );
+    // Sanity: the dataset really has a year axis to group on.
+    assert!(direct.visualizations[0]
+        .series
+        .points()
+        .iter()
+        .all(|p| Value::Float(p.1).as_f64().is_some()));
+}

@@ -22,6 +22,7 @@ use crate::cache::{CacheConfig, ResultCache};
 use crate::column::Column;
 use crate::db::{Database, EngineSnapshot};
 use crate::exec::{self, compile_pred, RowSource};
+use crate::lifecycle::QueryCtx;
 use crate::predicate::{Atom, CmpOp, Predicate};
 use crate::query::{ResultTable, SelectQuery};
 use crate::roaring::RoaringBitmap;
@@ -538,7 +539,11 @@ impl EngineSnapshot for BitmapSnapshot {
         &self.state.table
     }
 
-    fn execute(&self, query: &SelectQuery) -> Result<(ResultTable, u64), StorageError> {
+    fn execute(
+        &self,
+        query: &SelectQuery,
+        ctx: &QueryCtx,
+    ) -> Result<(ResultTable, u64), StorageError> {
         let state = &self.state;
         let source = state.row_source(&query.predicate)?;
         let groups = exec::group_space(&state.table, query)?;
@@ -552,6 +557,7 @@ impl EngineSnapshot for BitmapSnapshot {
             threads,
             &self.parallel,
             &self.stats,
+            ctx,
         )
     }
 }

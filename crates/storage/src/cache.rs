@@ -843,11 +843,15 @@ pub struct InsertOutcome {
 }
 
 /// A successful [`ResultCache::lookup_derived`]: the derived result
-/// plus the outcome of caching it under its own key (so callers can
-/// mirror evictions / admission rejects into their own counters).
+/// plus the recompute cost inherited from its source entry. The result
+/// is **not** yet cached under its own key — the caller re-inserts it
+/// (at `cost`) once its request commits, so a request aborted after the
+/// probe (e.g. a cancelled batch) leaves the cache untouched.
 pub struct DerivedHit {
     pub result: Arc<ResultTable>,
-    pub insert: InsertOutcome,
+    /// The source entry's recompute cost in rows — the weight to use
+    /// when re-inserting the derived result.
+    pub cost: u64,
 }
 
 impl ResultCache {
@@ -887,13 +891,14 @@ impl ResultCache {
 
     /// Answer an exact-key miss by deriving from a cached superset
     /// entry (predicate subsumption / per-Z-slice extraction — see the
-    /// module docs). On success the derived result is inserted under
-    /// its own key (at the source's cost), so the next identical query
-    /// is a plain hit; the returned [`DerivedHit`] carries that
-    /// insert's [`InsertOutcome`] so callers can mirror evictions and
-    /// admission rejects into their own counters. Candidate selection
-    /// and the group filter touch cached aggregates only — zero base
-    /// rows are scanned either way.
+    /// module docs). The derived result is returned together with its
+    /// source's recompute cost but **not** inserted here: the caller
+    /// re-inserts it under the miss's key once its request commits
+    /// (`Database::run_request_ctx` does, so the next identical query
+    /// is a plain hit) — deferring the insert keeps a cancelled batch
+    /// from mutating the cache after a successful probe. Candidate
+    /// selection and the group filter touch cached aggregates only —
+    /// zero base rows are scanned either way.
     pub fn lookup_derived(&self, key: &CacheKey) -> Option<DerivedHit> {
         // Plans are decided under the lock (key comparisons only, and
         // only over the miss's derivation family — entries sharing
@@ -918,13 +923,14 @@ impl ResultCache {
         candidates.sort_by_key(|(_, _, _, bytes)| *bytes);
         for (plan, src, cost, _) in candidates {
             if let Some(rt) = apply_plan(&plan, &src, key.query.zs.clone()) {
-                let rt = Arc::new(rt);
                 self.derived_hits.fetch_add(1, Ordering::Relaxed);
                 // The derived entry stands in for the scan its source
                 // saved: if both are evicted, a future miss re-pays
-                // `cost`, so that is its eviction weight too.
-                let insert = self.insert(key.clone(), Arc::clone(&rt), cost);
-                return Some(DerivedHit { result: rt, insert });
+                // `cost`, so that is its re-insertion weight too.
+                return Some(DerivedHit {
+                    result: Arc::new(rt),
+                    cost,
+                });
             }
         }
         None
@@ -1508,8 +1514,15 @@ mod tests {
         let hit = cache
             .lookup_derived(&CacheKey::new("e", 1, &slice))
             .expect("slice derives");
-        assert!(hit.insert.admitted, "derived entry must be cached");
+        assert_eq!(hit.cost, COST, "derived cost inherited from the source");
         let got = hit.result;
+        // The probe itself must not have cached anything (insertion is
+        // the committing caller's job)…
+        assert!(cache.get(&CacheKey::new("e", 1, &slice)).is_none());
+        // …re-inserting at the carried cost is what makes repeats exact
+        // hits.
+        let outcome = cache.insert(CacheKey::new("e", 1, &slice), Arc::clone(&got), hit.cost);
+        assert!(outcome.admitted, "derived entry must be cacheable");
         assert_eq!(got.z_cols, Vec::<String>::new());
         assert_eq!(got.groups.len(), 1);
         assert!(got.groups[0].key.is_empty());

@@ -26,6 +26,7 @@
 //! subsumption rules, and cost-based admission.
 
 use crate::cache::{CacheKey, ResultCache};
+use crate::lifecycle::QueryCtx;
 use crate::query::{ResultTable, SelectQuery};
 use crate::stats::ExecStats;
 use crate::table::{StorageError, Table};
@@ -44,20 +45,38 @@ pub trait EngineSnapshot: Send + Sync {
 
     /// Execute one canonical grouped-aggregate query against the pinned
     /// state, returning the result and the number of rows scanned (the
-    /// result's recompute cost, which drives cache admission).
-    fn execute(&self, query: &SelectQuery) -> Result<(ResultTable, u64), StorageError>;
+    /// result's recompute cost, which drives cache admission). The
+    /// query's [`QueryCtx`] is observed at the scan's cancellation
+    /// points (between morsel claims / between chunks); a cancelled
+    /// query returns [`StorageError::Cancelled`] and discards its
+    /// partial state.
+    fn execute(
+        &self,
+        query: &SelectQuery,
+        ctx: &QueryCtx,
+    ) -> Result<(ResultTable, u64), StorageError>;
 }
 
-/// Execute against a snapshot, recording query count / rows / latency.
+/// Execute against a snapshot, recording query count / rows / latency —
+/// or, for a cancelled query, the `queries_cancelled` counter.
 fn execute_recorded(
     stats: &ExecStats,
     snap: &dyn EngineSnapshot,
     query: &SelectQuery,
+    ctx: &QueryCtx,
 ) -> Result<(ResultTable, u64), StorageError> {
     let start = Instant::now();
-    let (result, scanned) = snap.execute(query)?;
-    stats.record_query(scanned, start.elapsed());
-    Ok((result, scanned))
+    match snap.execute(query, ctx) {
+        Ok((result, scanned)) => {
+            stats.record_query(scanned, start.elapsed());
+            Ok((result, scanned))
+        }
+        Err(StorageError::Cancelled) => {
+            stats.record_query_cancelled();
+            Err(StorageError::Cancelled)
+        }
+        Err(e) => Err(e),
+    }
 }
 
 /// A queryable backend holding one relation.
@@ -81,7 +100,18 @@ pub trait Database: Send + Sync {
     /// result cache (the raw path; also what equivalence tests compare
     /// cached results against).
     fn execute(&self, query: &SelectQuery) -> Result<ResultTable, StorageError> {
-        execute_recorded(self.stats(), &*self.pin(), query).map(|(rt, _)| rt)
+        self.execute_ctx(query, &QueryCtx::new())
+    }
+
+    /// [`Database::execute`] under an explicit lifecycle ctx: the scan
+    /// observes cancellation / deadline / row budget and returns
+    /// [`StorageError::Cancelled`] once tripped.
+    fn execute_ctx(
+        &self,
+        query: &SelectQuery,
+        ctx: &QueryCtx,
+    ) -> Result<ResultTable, StorageError> {
+        execute_recorded(self.stats(), &*self.pin(), query, ctx).map(|(rt, _)| rt)
     }
 
     /// Execution counters.
@@ -146,7 +176,27 @@ pub trait Database: Send + Sync {
     /// Results are shared `Arc`s: an exact warm hit returns the cached
     /// allocation itself (pointer bump, zero copies).
     fn run_request(&self, queries: &[SelectQuery]) -> Result<Vec<Arc<ResultTable>>, StorageError> {
+        self.run_request_ctx(queries, &QueryCtx::new())
+    }
+
+    /// [`Database::run_request`] under an explicit lifecycle ctx. One
+    /// ctx covers the whole batch (it represents one user interaction):
+    /// cancelling it aborts every in-flight scan of the batch at the
+    /// next cancellation point, the request returns
+    /// [`StorageError::Cancelled`], and **no** result of the batch —
+    /// complete or partial — is inserted into the result cache, so a
+    /// cancelled request leaves the cache bit-for-bit as if it never
+    /// ran.
+    fn run_request_ctx(
+        &self,
+        queries: &[SelectQuery],
+        ctx: &QueryCtx,
+    ) -> Result<Vec<Arc<ResultTable>>, StorageError> {
         self.stats().record_request();
+        if ctx.is_cancelled() {
+            self.stats().record_query_cancelled();
+            return Err(StorageError::Cancelled);
+        }
         let overhead = self.request_overhead();
         if !overhead.is_zero() {
             std::thread::sleep(overhead);
@@ -154,13 +204,17 @@ pub trait Database: Send + Sync {
         let snap = self.pin();
         let Some(cache) = self.result_cache() else {
             return crate::parallel::try_parallel_map(queries.len(), 0, |i| {
-                execute_recorded(self.stats(), &*snap, &queries[i]).map(|(rt, _)| Arc::new(rt))
+                execute_recorded(self.stats(), &*snap, &queries[i], ctx).map(|(rt, _)| Arc::new(rt))
             });
         };
         let version = snap.table().version();
         let engine = self.name();
         let mut results: Vec<Option<Arc<ResultTable>>> = Vec::with_capacity(queries.len());
         let mut misses: Vec<(usize, CacheKey)> = Vec::new();
+        // Derived results are re-inserted only once the whole batch has
+        // succeeded: a batch cancelled (or failed) after the probes must
+        // leave the cache exactly as it found it.
+        let mut derived_inserts: Vec<(CacheKey, Arc<ResultTable>, u64)> = Vec::new();
         for (i, q) in queries.iter().enumerate() {
             let key = CacheKey::new(engine, version, q);
             if let Some(hit) = cache.get(&key) {
@@ -168,11 +222,8 @@ pub trait Database: Send + Sync {
                 results.push(Some(hit));
             } else if let Some(derived) = cache.lookup_derived(&key) {
                 self.stats().record_cache_derived_hit();
-                if !derived.insert.admitted {
-                    self.stats().record_cache_admission_reject();
-                }
-                self.stats().record_cache_evictions(derived.insert.evicted);
-                results.push(Some(derived.result));
+                results.push(Some(Arc::clone(&derived.result)));
+                derived_inserts.push((key, derived.result, derived.cost));
             } else {
                 self.stats().record_cache_miss();
                 results.push(None);
@@ -180,16 +231,31 @@ pub trait Database: Send + Sync {
             }
         }
         let fresh = crate::parallel::try_parallel_map(misses.len(), 0, |j| {
-            execute_recorded(self.stats(), &*snap, &queries[misses[j].0])
+            execute_recorded(self.stats(), &*snap, &queries[misses[j].0], ctx)
         })?;
-        for ((i, key), (rt, scanned)) in misses.into_iter().zip(fresh) {
-            let rt = Arc::new(rt);
-            let outcome = cache.insert(key, Arc::clone(&rt), scanned);
+        // The batch committed: make derived answers exact entries (so
+        // repeats are plain hits) and offer the fresh scans to the
+        // cache at their scan cost.
+        let inserts = derived_inserts.into_iter().map(|(key, rt, cost)| {
+            let outcome = cache.insert(key, rt, cost);
+            (None, outcome)
+        });
+        let fresh_inserts = misses
+            .into_iter()
+            .zip(fresh)
+            .map(|((i, key), (rt, scanned))| {
+                let rt = Arc::new(rt);
+                let outcome = cache.insert(key, Arc::clone(&rt), scanned);
+                (Some((i, rt)), outcome)
+            });
+        for (slot, outcome) in inserts.chain(fresh_inserts) {
             if !outcome.admitted {
                 self.stats().record_cache_admission_reject();
             }
             self.stats().record_cache_evictions(outcome.evicted);
-            results[i] = Some(rt);
+            if let Some((i, rt)) = slot {
+                results[i] = Some(rt);
+            }
         }
         Ok(results
             .into_iter()

@@ -62,6 +62,42 @@
 //! knob; its float rounding is reproducible only for a *fixed* thread
 //! count, whereas the morsel merge is thread-count-independent.
 //!
+//! # The ctx → claim → cancel pipeline
+//!
+//! Every scan carries a [`QueryCtx`] — the
+//! query's lifecycle handle (cancellation token, optional deadline,
+//! priority, per-query progress counters) threaded down from
+//! `ZqlEngine::execute_ctx` through `Database::run_request_ctx` and
+//! `EngineSnapshot::execute` into [`run_scheduled`]. Interactive callers
+//! (sliders, sketch re-issues, `zv-server`'s session supersession)
+//! cancel the ctx; the scan observes it at its natural boundaries:
+//!
+//! * **morsel scheduling** — the claim loop checks the ctx *between
+//!   claims*: a worker that sees the flag stops claiming, the remaining
+//!   morsels are never scanned, and the count of abandoned morsels flows
+//!   into `ExecStats::morsels_cancelled`. With the default morsel size a
+//!   cancel is observed within ~16 K rows of scan work per worker.
+//! * **serial and static-shard scans** — checked between chunks
+//!   ([`CHUNK_ROWS`] visited rows), so even a one-thread scan abandons
+//!   work promptly.
+//!
+//! A cancelled scan returns
+//! [`StorageError::Cancelled`](crate::table::StorageError)
+//! and its partial accumulator state is dropped on the worker — partial
+//! results **never** reach the merge, the caller, or the result cache
+//! (`run_request_ctx` only inserts results of scans that ran to
+//! completion). Deadlines are checked lazily at the same boundaries, so
+//! a deadline-expired query surfaces within one chunk or claim. Rows
+//! visited (including by abandoned partial scans) are recorded on the
+//! ctx as the scan progresses, which is also what arms the
+//! deterministic row-budget cancellation hook.
+//!
+//! Workers may also claim several morsels per cursor hit
+//! ([`ParallelConfig::claim_batch`], `ZV_SCHED_CLAIM_BATCH`) to cut
+//! cursor traffic under highly selective predicates; partials stay
+//! tagged by *morsel* index, so the ordered merge — and therefore
+//! bit-for-bit reproducibility — is unchanged by the batch size.
+//!
 //! # OptLevel × scheduling matrix
 //!
 //! The §5.2 batching ladder composes with this engine's parallelism along
@@ -89,6 +125,7 @@
 //! scheduling bug cannot hide behind the default configuration.
 
 use crate::column::Column;
+use crate::lifecycle::QueryCtx;
 use crate::parallel;
 use crate::predicate::{Atom, CmpOp, Predicate};
 use crate::query::{Agg, GroupSeries, ResultTable, SelectQuery, XSpec};
@@ -362,27 +399,61 @@ impl RowSource<'_> {
 
     /// Visit qualifying rows as ascending chunks of at most [`CHUNK_ROWS`]
     /// ids; returns rows visited (same contract as [`RowSource::for_each`]).
-    pub fn for_each_chunk<F: FnMut(&[u32])>(&self, mut f: F) -> u64 {
+    /// One shared implementation with [`RowSource::for_each_chunk_ctx`]:
+    /// a fresh (never-cancelled) ctx costs one relaxed load per chunk.
+    pub fn for_each_chunk<F: FnMut(&[u32])>(&self, f: F) -> u64 {
+        self.for_each_chunk_ctx(&QueryCtx::new(), f).0
+    }
+
+    /// Cancellable variant of [`RowSource::for_each_chunk`]: records
+    /// progress on `ctx` and checks for cancellation every
+    /// [`CHUNK_ROWS`] *visited* rows (not per emitted chunk, so highly
+    /// selective filters still observe a cancel promptly). Returns rows
+    /// visited and whether the scan ran to completion — `false` means
+    /// the ctx was cancelled and the visit stopped early (a partial
+    /// trailing chunk is discarded, never handed to `f`).
+    pub fn for_each_chunk_ctx<F: FnMut(&[u32])>(&self, ctx: &QueryCtx, mut f: F) -> (u64, bool) {
         match self {
-            RowSource::All(n) => scan_range(0, *n, None, f),
-            RowSource::Filtered { n_rows, pred } => scan_range(0, *n_rows, Some(pred), f),
+            RowSource::All(n) => scan_range_ctx(0, *n, None, ctx, f),
+            RowSource::Filtered { n_rows, pred } => scan_range_ctx(0, *n_rows, Some(pred), ctx, f),
             RowSource::Bitmap(bm) => {
                 let mut buf: Vec<u32> = Vec::with_capacity(CHUNK_ROWS);
-                bm.for_each(|r| {
+                let mut visited = 0u64;
+                let mut since = 0u64;
+                for r in bm.iter() {
+                    if since == CHUNK_ROWS as u64 {
+                        ctx.record_scanned(since);
+                        since = 0;
+                        if ctx.is_cancelled() {
+                            return (visited, false);
+                        }
+                    }
                     buf.push(r);
                     if buf.len() == CHUNK_ROWS {
                         f(&buf);
                         buf.clear();
                     }
-                });
+                    visited += 1;
+                    since += 1;
+                }
+                ctx.record_scanned(since);
                 if !buf.is_empty() {
                     f(&buf);
                 }
-                bm.len()
+                (visited, true)
             }
             RowSource::BitmapFiltered { rows, pred } => {
                 let mut buf: Vec<u32> = Vec::with_capacity(CHUNK_ROWS);
-                rows.for_each(|r| {
+                let mut visited = 0u64;
+                let mut since = 0u64;
+                for r in rows.iter() {
+                    if since == CHUNK_ROWS as u64 {
+                        ctx.record_scanned(since);
+                        since = 0;
+                        if ctx.is_cancelled() {
+                            return (visited, false);
+                        }
+                    }
                     if pred.eval(r as usize) {
                         buf.push(r);
                         if buf.len() == CHUNK_ROWS {
@@ -390,39 +461,69 @@ impl RowSource<'_> {
                             buf.clear();
                         }
                     }
-                });
+                    visited += 1;
+                    since += 1;
+                }
+                ctx.record_scanned(since);
                 if !buf.is_empty() {
                     f(&buf);
                 }
-                rows.len()
+                (visited, true)
             }
         }
     }
 }
 
 /// Chunked scan over a contiguous row range with an optional residual
-/// filter. Returns rows visited.
+/// filter. Returns rows visited. Shares [`scan_range_ctx`]'s loop under
+/// a fresh (never-cancelled) ctx.
 fn scan_range<F: FnMut(&[u32])>(
     start: usize,
     end: usize,
     pred: Option<&CompiledPred<'_>>,
-    mut f: F,
+    f: F,
 ) -> u64 {
+    scan_range_ctx(start, end, pred, &QueryCtx::new(), f).0
+}
+
+/// Cancellable [`scan_range`]: records visited rows on `ctx` and checks
+/// for cancellation every [`CHUNK_ROWS`] visited rows. Returns rows
+/// visited and whether the scan completed.
+fn scan_range_ctx<F: FnMut(&[u32])>(
+    start: usize,
+    end: usize,
+    pred: Option<&CompiledPred<'_>>,
+    ctx: &QueryCtx,
+    mut f: F,
+) -> (u64, bool) {
     let mut buf: Vec<u32> = Vec::with_capacity(CHUNK_ROWS);
     match pred {
         None => {
             let mut r = start;
             while r < end {
+                if ctx.is_cancelled() {
+                    return ((r - start) as u64, false);
+                }
                 let c = (end - r).min(CHUNK_ROWS);
                 buf.clear();
                 buf.extend((r..r + c).map(|x| x as u32));
                 f(&buf);
+                ctx.record_scanned(c as u64);
                 r += c;
             }
+            ((end - start) as u64, true)
         }
-        Some(p) if p.is_true() => return scan_range(start, end, None, f),
+        Some(p) if p.is_true() => scan_range_ctx(start, end, None, ctx, f),
         Some(p) => {
+            let mut since = 0u64;
             for r in start..end {
+                if since == CHUNK_ROWS as u64 {
+                    ctx.record_scanned(since);
+                    since = 0;
+                    if ctx.is_cancelled() {
+                        return ((r - start) as u64, false);
+                    }
+                }
                 if p.eval(r) {
                     buf.push(r as u32);
                     if buf.len() == CHUNK_ROWS {
@@ -430,28 +531,49 @@ fn scan_range<F: FnMut(&[u32])>(
                         buf.clear();
                     }
                 }
+                since += 1;
             }
+            ctx.record_scanned(since);
             if !buf.is_empty() {
                 f(&buf);
             }
+            ((end - start) as u64, true)
         }
     }
-    (end - start) as u64
 }
 
-/// Chunked scan over pre-materialized row ids with an optional residual
-/// filter. Returns rows visited.
-fn scan_ids<F: FnMut(&[u32])>(ids: &[u32], pred: Option<&CompiledPred<'_>>, mut f: F) -> u64 {
+/// Cancellable [`scan_ids`]: same ctx contract as [`scan_range_ctx`].
+fn scan_ids_ctx<F: FnMut(&[u32])>(
+    ids: &[u32],
+    pred: Option<&CompiledPred<'_>>,
+    ctx: &QueryCtx,
+    mut f: F,
+) -> (u64, bool) {
     match pred {
         None => {
+            let mut done = 0usize;
             for chunk in ids.chunks(CHUNK_ROWS) {
+                if ctx.is_cancelled() {
+                    return (done as u64, false);
+                }
                 f(chunk);
+                ctx.record_scanned(chunk.len() as u64);
+                done += chunk.len();
             }
+            (ids.len() as u64, true)
         }
-        Some(p) if p.is_true() => return scan_ids(ids, None, f),
+        Some(p) if p.is_true() => scan_ids_ctx(ids, None, ctx, f),
         Some(p) => {
             let mut buf: Vec<u32> = Vec::with_capacity(CHUNK_ROWS);
-            for &r in ids {
+            let mut since = 0u64;
+            for (i, &r) in ids.iter().enumerate() {
+                if since == CHUNK_ROWS as u64 {
+                    ctx.record_scanned(since);
+                    since = 0;
+                    if ctx.is_cancelled() {
+                        return (i as u64, false);
+                    }
+                }
                 if p.eval(r as usize) {
                     buf.push(r);
                     if buf.len() == CHUNK_ROWS {
@@ -459,13 +581,22 @@ fn scan_ids<F: FnMut(&[u32])>(ids: &[u32], pred: Option<&CompiledPred<'_>>, mut 
                         buf.clear();
                     }
                 }
+                since += 1;
             }
+            ctx.record_scanned(since);
             if !buf.is_empty() {
                 f(&buf);
             }
+            (ids.len() as u64, true)
         }
     }
-    ids.len() as u64
+}
+
+/// Chunked scan over pre-materialized row ids with an optional residual
+/// filter. Returns rows visited. Shares [`scan_ids_ctx`]'s loop under a
+/// fresh (never-cancelled) ctx.
+fn scan_ids<F: FnMut(&[u32])>(ids: &[u32], pred: Option<&CompiledPred<'_>>, f: F) -> u64 {
+    scan_ids_ctx(ids, pred, &QueryCtx::new(), f).0
 }
 
 // ---------------------------------------------------------------------
@@ -766,6 +897,14 @@ pub struct ParallelConfig {
     /// scheduling matrix shrink it so small tables still split into
     /// many claimable units.
     pub morsel_rows: usize,
+    /// Morsels a worker claims per cursor hit under
+    /// [`SchedulingMode::Morsel`] (default 1). Raising it cuts atomic
+    /// cursor traffic when morsels are nearly free to scan (highly
+    /// selective predicates) at the cost of coarser load balancing and
+    /// cancellation granularity. Partials stay tagged per *morsel*, so
+    /// the ordered merge — and bit-for-bit reproducibility — does not
+    /// depend on the batch size.
+    pub claim_batch: usize,
 }
 
 impl Default for ParallelConfig {
@@ -775,6 +914,7 @@ impl Default for ParallelConfig {
             min_parallel_rows: 1 << 16,
             sched: SchedulingMode::Morsel,
             morsel_rows: MORSEL_ROWS,
+            claim_batch: 1,
         }
     }
 }
@@ -805,6 +945,8 @@ impl ParallelConfig {
     /// * `ZV_SCHED_MORSEL_ROWS=N` (N ≥ 1) — morsel size. The matrix
     ///   shrinks it so the same tiny tables split into *many* morsels
     ///   and genuinely exercise claiming and the ordered merge.
+    /// * `ZV_SCHED_CLAIM_BATCH=N` (N ≥ 1) — morsels claimed per cursor
+    ///   hit ([`ParallelConfig::claim_batch`]).
     ///
     /// Invalid values **panic** with the offending value: a typo'd CI
     /// matrix leg must fail loudly, not silently run the default
@@ -816,6 +958,7 @@ impl ParallelConfig {
             std::env::var("ZV_SCHED_THREADS").ok().as_deref(),
             std::env::var("ZV_SCHED_MIN_ROWS").ok().as_deref(),
             std::env::var("ZV_SCHED_MORSEL_ROWS").ok().as_deref(),
+            std::env::var("ZV_SCHED_CLAIM_BATCH").ok().as_deref(),
         )
     }
 
@@ -825,6 +968,7 @@ impl ParallelConfig {
         threads: Option<&str>,
         min_rows: Option<&str>,
         morsel_rows: Option<&str>,
+        claim_batch: Option<&str>,
     ) -> Self {
         fn unset(v: Option<&str>) -> Option<&str> {
             v.map(str::trim).filter(|s| !s.is_empty())
@@ -857,6 +1001,12 @@ impl ParallelConfig {
             cfg.morsel_rows = match m.parse::<usize>() {
                 Ok(n) if n >= 1 => n,
                 _ => panic!("ZV_SCHED_MORSEL_ROWS={m:?} is not a positive row count"),
+            };
+        }
+        if let Some(b) = unset(claim_batch) {
+            cfg.claim_batch = match b.parse::<usize>() {
+                Ok(n) if n >= 1 => n,
+                _ => panic!("ZV_SCHED_CLAIM_BATCH={b:?} is not a positive morsel count"),
             };
         }
         cfg
@@ -1186,9 +1336,27 @@ pub fn aggregate(
     source: &RowSource<'_>,
     strategy: GroupStrategy,
 ) -> Result<(ResultTable, u64), StorageError> {
+    aggregate_ctx(table, query, source, strategy, &QueryCtx::new())
+}
+
+/// Cancellable [`aggregate`]: the serial scan checks `ctx` between
+/// chunks and returns [`StorageError::Cancelled`] (discarding partial
+/// accumulator state) once the ctx is cancelled — explicitly, by
+/// deadline, or by row budget.
+pub fn aggregate_ctx(
+    table: &Table,
+    query: &SelectQuery,
+    source: &RowSource<'_>,
+    strategy: GroupStrategy,
+    ctx: &QueryCtx,
+) -> Result<(ResultTable, u64), StorageError> {
     let plan = build_plan(table, query)?;
+    ctx.check()?;
     let mut acc = ChunkAccumulator::new(&plan, strategy);
-    let scanned = source.for_each_chunk(|rows| acc.consume(rows));
+    let (scanned, completed) = source.for_each_chunk_ctx(ctx, |rows| acc.consume(rows));
+    if !completed || ctx.is_cancelled() {
+        return Err(StorageError::Cancelled);
+    }
     let (acc, occupied) = acc.into_parts();
     Ok((finalize_result(query, &plan, &acc, &occupied), scanned))
 }
@@ -1241,6 +1409,21 @@ impl<'s, 'a> ShardInput<'s, 'a> {
             ShardInput::Ids { ids, pred } => scan_ids(&ids[start..end], *pred, f),
         }
     }
+
+    /// Cancellable [`ShardInput::scan`]: checks `ctx` between chunks;
+    /// returns rows visited and whether the scan completed.
+    fn scan_ctx<F: FnMut(&[u32])>(
+        &self,
+        start: usize,
+        end: usize,
+        ctx: &QueryCtx,
+        f: F,
+    ) -> (u64, bool) {
+        match self {
+            ShardInput::Rows { pred, .. } => scan_range_ctx(start, end, *pred, ctx, f),
+            ShardInput::Ids { ids, pred } => scan_ids_ctx(&ids[start..end], *pred, ctx, f),
+        }
+    }
 }
 
 /// Statically sharded variant of [`aggregate`]: splits the source into
@@ -1258,7 +1441,22 @@ pub fn aggregate_parallel(
     strategy: GroupStrategy,
     threads: usize,
 ) -> Result<(ResultTable, u64), StorageError> {
+    aggregate_parallel_ctx(table, query, source, strategy, threads, &QueryCtx::new())
+}
+
+/// Cancellable [`aggregate_parallel`]: each shard's scan checks `ctx`
+/// between chunks; a cancelled scan abandons its remaining shards and
+/// returns [`StorageError::Cancelled`] without merging any partials.
+pub fn aggregate_parallel_ctx(
+    table: &Table,
+    query: &SelectQuery,
+    source: &RowSource<'_>,
+    strategy: GroupStrategy,
+    threads: usize,
+    ctx: &QueryCtx,
+) -> Result<(ResultTable, u64), StorageError> {
     let plan = build_plan(table, query)?;
+    ctx.check()?;
     let mut workers = parallel::effective_threads(threads);
     if strategy == GroupStrategy::Dense {
         // Each dense worker owns `total` slots; shed workers before
@@ -1274,7 +1472,10 @@ pub fn aggregate_parallel(
     workers = workers.min(n_units.max(1));
     if workers <= 1 {
         let mut acc = ChunkAccumulator::new(&plan, strategy);
-        let scanned = source.for_each_chunk(|rows| acc.consume(rows));
+        let (scanned, completed) = source.for_each_chunk_ctx(ctx, |rows| acc.consume(rows));
+        if !completed || ctx.is_cancelled() {
+            return Err(StorageError::Cancelled);
+        }
         let (acc, occupied) = acc.into_parts();
         return Ok((finalize_result(query, &plan, &acc, &occupied), scanned));
     }
@@ -1285,7 +1486,7 @@ pub fn aggregate_parallel(
     let partials: Vec<(ChunkAccumulatorParts, u64)> = parallel::run_workers(shards.len(), |w| {
         let (start, end) = shards[w];
         let mut acc = ChunkAccumulator::new(&plan, strategy);
-        let visited = input.scan(start, end, |rows| acc.consume(rows));
+        let (visited, _completed) = input.scan_ctx(start, end, ctx, |rows| acc.consume(rows));
         (
             ChunkAccumulatorParts {
                 acc: acc.acc,
@@ -1295,6 +1496,9 @@ pub fn aggregate_parallel(
         )
     });
 
+    if ctx.is_cancelled() {
+        return Err(StorageError::Cancelled);
+    }
     let scanned: u64 = partials.iter().map(|(_, v)| v).sum();
     let merged = merge_partials(&plan, strategy, partials.into_iter().map(|(p, _)| p));
     let (acc, occupied) = merged;
@@ -1605,8 +1809,69 @@ pub fn aggregate_morsel_sized(
     threads: usize,
     morsel_rows: usize,
 ) -> Result<(ResultTable, u64, Option<MorselMetrics>), StorageError> {
+    aggregate_morsel_ctx(
+        table,
+        query,
+        source,
+        strategy,
+        threads,
+        morsel_rows,
+        1,
+        &QueryCtx::new(),
+    )
+}
+
+/// Fully parameterized morsel aggregation: explicit morsel size, claim
+/// batch, and lifecycle ctx. Workers check `ctx` **between claims** (the
+/// scheduler's cancellation point) and, with `claim_batch > 1`, grab
+/// several consecutive morsels per cursor hit; partials remain tagged by
+/// morsel index so the ordered merge is identical for every batch size.
+/// A cancelled scan returns [`StorageError::Cancelled`], recording the
+/// abandoned morsel count on the ctx.
+#[allow(clippy::too_many_arguments)]
+pub fn aggregate_morsel_ctx(
+    table: &Table,
+    query: &SelectQuery,
+    source: &RowSource<'_>,
+    strategy: GroupStrategy,
+    threads: usize,
+    morsel_rows: usize,
+    claim_batch: usize,
+    ctx: &QueryCtx,
+) -> Result<(ResultTable, u64, Option<MorselMetrics>), StorageError> {
+    morsel_run(
+        table,
+        query,
+        source,
+        strategy,
+        threads,
+        morsel_rows,
+        claim_batch,
+        None,
+        ctx,
+    )
+}
+
+/// Shared implementation behind the morsel entry points; `stats` (when
+/// engine-routed via [`run_scheduled`]) receives the cancelled-morsel
+/// telemetry, which must be recorded even though a cancelled run
+/// returns `Err` and therefore cannot hand back a [`MorselMetrics`].
+#[allow(clippy::too_many_arguments)]
+fn morsel_run(
+    table: &Table,
+    query: &SelectQuery,
+    source: &RowSource<'_>,
+    strategy: GroupStrategy,
+    threads: usize,
+    morsel_rows: usize,
+    claim_batch: usize,
+    stats: Option<&crate::stats::ExecStats>,
+    ctx: &QueryCtx,
+) -> Result<(ResultTable, u64, Option<MorselMetrics>), StorageError> {
     assert!(morsel_rows >= 1, "morsel size must be positive");
+    assert!(claim_batch >= 1, "claim batch must be positive");
     let plan = build_plan(table, query)?;
+    ctx.check()?;
     let mut workers = parallel::effective_threads(threads);
     if strategy == GroupStrategy::Dense {
         // Each dense worker owns `total` slots; shed workers before
@@ -1622,7 +1887,10 @@ pub fn aggregate_morsel_sized(
     workers = workers.min(n_morsels.max(1));
     if workers <= 1 {
         let mut acc = ChunkAccumulator::new(&plan, strategy);
-        let scanned = source.for_each_chunk(|rows| acc.consume(rows));
+        let (scanned, completed) = source.for_each_chunk_ctx(ctx, |rows| acc.consume(rows));
+        if !completed || ctx.is_cancelled() {
+            return Err(StorageError::Cancelled);
+        }
         let (acc, occupied) = acc.into_parts();
         return Ok((
             finalize_result(query, &plan, &acc, &occupied),
@@ -1639,20 +1907,41 @@ pub fn aggregate_morsel_sized(
         let mut out = Vec::new();
         let mut visited = 0u64;
         loop {
-            let m = cursor.fetch_add(1, Ordering::Relaxed);
-            if m >= n_morsels {
+            // The claim point doubles as the cancellation point: a
+            // worker that sees the flag stops claiming, leaving the
+            // remaining morsels unscanned.
+            if ctx.is_cancelled() {
                 break;
             }
-            let start = m * morsel_rows;
-            let end = ((m + 1) * morsel_rows).min(n_units);
-            visited += input.scan(start, end, |rows| acc.consume(rows));
-            out.push((m, acc.take_partial()));
+            let m0 = cursor.fetch_add(claim_batch, Ordering::Relaxed);
+            if m0 >= n_morsels {
+                break;
+            }
+            for m in m0..(m0 + claim_batch).min(n_morsels) {
+                let start = m * morsel_rows;
+                let end = ((m + 1) * morsel_rows).min(n_units);
+                let v = input.scan(start, end, |rows| acc.consume(rows));
+                visited += v;
+                ctx.record_scanned(v);
+                ctx.record_morsel_claimed();
+                out.push((m, acc.take_partial()));
+            }
         }
         (out, visited)
     });
 
     let per_worker: Vec<u64> = outputs.iter().map(|(o, _)| o.len() as u64).collect();
     let scanned: u64 = outputs.iter().map(|(_, v)| *v).sum();
+    if ctx.is_cancelled() {
+        // Partial accumulations are dropped here — they never reach the
+        // merge, the caller, or the result cache.
+        let abandoned = (n_morsels as u64).saturating_sub(per_worker.iter().sum::<u64>());
+        ctx.record_morsels_cancelled(abandoned);
+        if let Some(s) = stats {
+            s.record_morsels_cancelled(abandoned);
+        }
+        return Err(StorageError::Cancelled);
+    }
     let fair = (n_morsels as u64).div_ceil(workers as u64);
     let metrics = MorselMetrics {
         workers,
@@ -1676,8 +1965,11 @@ pub fn aggregate_morsel_sized(
 
 /// Engine-facing dispatcher: run the aggregation with `threads` workers
 /// under `cfg.sched` (serial when `threads <= 1`), recording morsel
-/// claim telemetry into `stats`. Both engines' pinned snapshots route
-/// their scans through here.
+/// claim telemetry into `stats` and observing `ctx` at each scheduler's
+/// cancellation point (between chunks for serial/static, between claims
+/// for morsel). Both engines' pinned snapshots route their scans through
+/// here.
+#[allow(clippy::too_many_arguments)]
 pub fn run_scheduled(
     table: &Table,
     query: &SelectQuery,
@@ -1686,15 +1978,27 @@ pub fn run_scheduled(
     threads: usize,
     cfg: &ParallelConfig,
     stats: &crate::stats::ExecStats,
+    ctx: &QueryCtx,
 ) -> Result<(ResultTable, u64), StorageError> {
     if threads <= 1 {
-        return aggregate(table, query, source, strategy);
+        return aggregate_ctx(table, query, source, strategy, ctx);
     }
     match cfg.sched {
-        SchedulingMode::Static => aggregate_parallel(table, query, source, strategy, threads),
+        SchedulingMode::Static => {
+            aggregate_parallel_ctx(table, query, source, strategy, threads, ctx)
+        }
         SchedulingMode::Morsel => {
-            let (rt, scanned, metrics) =
-                aggregate_morsel_sized(table, query, source, strategy, threads, cfg.morsel_rows)?;
+            let (rt, scanned, metrics) = morsel_run(
+                table,
+                query,
+                source,
+                strategy,
+                threads,
+                cfg.morsel_rows,
+                cfg.claim_batch,
+                Some(stats),
+                ctx,
+            )?;
             if let Some(m) = &metrics {
                 stats.record_morsel(m);
             }
@@ -2074,12 +2378,12 @@ mod tests {
 
     #[test]
     fn parallel_config_env_overrides() {
-        let serial = ParallelConfig::from_env_spec(Some("serial"), None, None, None);
+        let serial = ParallelConfig::from_env_spec(Some("serial"), None, None, None, None);
         assert_eq!(serial.threads, 1);
         assert_eq!(serial.threads_for(usize::MAX - 1), 1);
 
         // Pinning a scheduler does not change *when* scans go parallel…
-        let stat = ParallelConfig::from_env_spec(Some("static"), Some("2"), None, None);
+        let stat = ParallelConfig::from_env_spec(Some("static"), Some("2"), None, None, None);
         assert_eq!(stat.sched, SchedulingMode::Static);
         assert_eq!(stat.threads, 2);
         assert_eq!(
@@ -2087,38 +2391,50 @@ mod tests {
             ParallelConfig::default().min_parallel_rows,
             "mode alone must not drop the serial gate"
         );
-        // …the gate and the morsel size are their own knobs (the CI
-        // matrix sets 0 and a small morsel so tiny tables fan out over
-        // many real claims).
-        let forced =
-            ParallelConfig::from_env_spec(Some(" MORSEL "), Some("3"), Some("0"), Some("256"));
+        // …the gate, the morsel size, and the claim batch are their own
+        // knobs (the CI matrix sets 0 and a small morsel so tiny tables
+        // fan out over many real claims).
+        let forced = ParallelConfig::from_env_spec(
+            Some(" MORSEL "),
+            Some("3"),
+            Some("0"),
+            Some("256"),
+            Some("4"),
+        );
         assert_eq!(forced.sched, SchedulingMode::Morsel);
         assert_eq!(forced.threads, 3);
         assert_eq!(forced.threads_for(1), 3);
         assert_eq!(forced.morsel_rows, 256);
+        assert_eq!(forced.claim_batch, 4);
 
         // Empty strings (a CI matrix's "not overridden" row) are unset.
         assert_eq!(
-            ParallelConfig::from_env_spec(Some(""), Some(" "), Some(""), Some("")),
+            ParallelConfig::from_env_spec(Some(""), Some(" "), Some(""), Some(""), Some("")),
             ParallelConfig::default()
         );
         assert_eq!(
-            ParallelConfig::from_env_spec(None, None, None, None),
+            ParallelConfig::from_env_spec(None, None, None, None, None),
             ParallelConfig::default()
         );
+        assert_eq!(ParallelConfig::default().claim_batch, 1);
 
         // Typos must fail loudly, not silently run the default config.
         for bad in [
             std::panic::catch_unwind(|| {
-                ParallelConfig::from_env_spec(Some("bogus"), None, None, None)
+                ParallelConfig::from_env_spec(Some("bogus"), None, None, None, None)
             }),
             std::panic::catch_unwind(|| {
-                ParallelConfig::from_env_spec(None, Some("lots"), None, None)
+                ParallelConfig::from_env_spec(None, Some("lots"), None, None, None)
             }),
             std::panic::catch_unwind(|| {
-                ParallelConfig::from_env_spec(None, None, Some("-3"), None)
+                ParallelConfig::from_env_spec(None, None, Some("-3"), None, None)
             }),
-            std::panic::catch_unwind(|| ParallelConfig::from_env_spec(None, None, None, Some("0"))),
+            std::panic::catch_unwind(|| {
+                ParallelConfig::from_env_spec(None, None, None, Some("0"), None)
+            }),
+            std::panic::catch_unwind(|| {
+                ParallelConfig::from_env_spec(None, None, None, None, Some("0"))
+            }),
         ] {
             assert!(bad.is_err(), "invalid ZV_SCHED_* values must panic");
         }
@@ -2193,6 +2509,98 @@ mod tests {
                 assert_eq!(mor_scanned, scanned);
             }
         }
+    }
+
+    #[test]
+    fn claim_batching_is_merge_transparent() {
+        // Batched claiming changes only *who* scans which morsel, never
+        // the morsel tagging — so any batch size must reproduce the
+        // unbatched result bit-for-bit (inexact floats included: the
+        // merge is ordered by morsel index either way).
+        let rows = 7 * MORSEL_ROWS + 123;
+        let t = wide_table(rows);
+        let q = SelectQuery::new(XSpec::raw("key"), vec![YSpec::sum("val")]);
+        let src = RowSource::All(t.num_rows());
+        for strategy in [GroupStrategy::Dense, GroupStrategy::Hash] {
+            let (reference, scanned, _) = aggregate_morsel(&t, &q, &src, strategy, 2).unwrap();
+            for batch in [2usize, 3, 64] {
+                for threads in [2usize, 3] {
+                    let ctx = QueryCtx::new();
+                    let (rt, b_scanned, metrics) = aggregate_morsel_ctx(
+                        &t,
+                        &q,
+                        &src,
+                        strategy,
+                        threads,
+                        MORSEL_ROWS,
+                        batch,
+                        &ctx,
+                    )
+                    .unwrap();
+                    assert_eq!(rt, reference, "{strategy:?} batch {batch} × {threads}");
+                    assert_eq!(b_scanned, scanned);
+                    let m = metrics.expect("multi-morsel scan must report telemetry");
+                    assert_eq!(m.morsels, 8);
+                    assert_eq!(m.per_worker.iter().sum::<u64>(), m.morsels);
+                    assert_eq!(ctx.stats().morsels_claimed, m.morsels);
+                    assert_eq!(ctx.stats().rows_scanned, scanned);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cancelled_ctx_stops_every_scheduler() {
+        let rows = 4 * MORSEL_ROWS;
+        let t = wide_table(rows);
+        let q = SelectQuery::new(XSpec::raw("key"), vec![YSpec::sum("val")]);
+        let src = RowSource::All(t.num_rows());
+
+        // Pre-cancelled: no scheduler may scan a single row.
+        type Run = fn(&Table, &SelectQuery, &RowSource<'_>, &QueryCtx) -> Result<(), StorageError>;
+        let runs: [Run; 3] = [
+            |t, q, src, ctx| aggregate_ctx(t, q, src, GroupStrategy::Dense, ctx).map(|_| ()),
+            |t, q, src, ctx| {
+                aggregate_parallel_ctx(t, q, src, GroupStrategy::Dense, 3, ctx).map(|_| ())
+            },
+            |t, q, src, ctx| {
+                aggregate_morsel_ctx(t, q, src, GroupStrategy::Dense, 3, MORSEL_ROWS, 1, ctx)
+                    .map(|_| ())
+            },
+        ];
+        for run in runs {
+            let ctx = QueryCtx::new();
+            ctx.cancel();
+            assert!(matches!(
+                run(&t, &q, &src, &ctx),
+                Err(StorageError::Cancelled)
+            ));
+            assert_eq!(ctx.stats().rows_scanned, 0, "pre-cancelled must not scan");
+        }
+
+        // A mid-scan row budget stops the morsel path strictly early and
+        // accounts for the abandoned morsels.
+        let ctx = QueryCtx::new().with_row_budget(MORSEL_ROWS as u64);
+        let err = aggregate_morsel_ctx(&t, &q, &src, GroupStrategy::Dense, 2, MORSEL_ROWS, 1, &ctx)
+            .unwrap_err();
+        assert_eq!(err, StorageError::Cancelled);
+        let stats = ctx.stats();
+        assert!(stats.cancelled);
+        assert_eq!(
+            stats.reason,
+            Some(crate::lifecycle::CancelReason::RowBudget)
+        );
+        assert!(
+            stats.rows_scanned < rows as u64,
+            "cancel must stop the scan early ({} of {rows})",
+            stats.rows_scanned
+        );
+        assert!(stats.morsels_cancelled > 0, "abandoned morsels recorded");
+        assert_eq!(
+            stats.morsels_claimed + stats.morsels_cancelled,
+            4,
+            "every morsel is either claimed or cancelled"
+        );
     }
 
     #[test]

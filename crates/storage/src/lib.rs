@@ -39,6 +39,7 @@ pub mod cache;
 pub mod column;
 pub mod db;
 pub mod exec;
+pub mod lifecycle;
 pub mod parallel;
 pub mod predicate;
 pub mod query;
@@ -53,6 +54,7 @@ pub use cache::{CacheConfig, CacheKey, CacheStats, InsertOutcome, QueryKey, Resu
 pub use column::{CatColumn, Column};
 pub use db::{Database, DynDatabase, EngineSnapshot};
 pub use exec::{GroupStrategy, MorselMetrics, ParallelConfig, SchedulingMode};
+pub use lifecycle::{CancelReason, QueryCtx, QueryCtxStats};
 pub use predicate::{Atom, CmpOp, Predicate};
 pub use query::{Agg, GroupSeries, ResultTable, SelectQuery, XSpec, YSpec};
 pub use roaring::RoaringBitmap;

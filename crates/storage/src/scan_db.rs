@@ -15,6 +15,7 @@
 use crate::cache::{CacheConfig, ResultCache};
 use crate::db::{Database, EngineSnapshot};
 use crate::exec::{self, compile_pred, RowSource};
+use crate::lifecycle::QueryCtx;
 use crate::query::{ResultTable, SelectQuery};
 use crate::stats::ExecStats;
 use crate::table::{StorageError, Table};
@@ -161,7 +162,11 @@ impl EngineSnapshot for ScanSnapshot {
         &self.table
     }
 
-    fn execute(&self, query: &SelectQuery) -> Result<(ResultTable, u64), StorageError> {
+    fn execute(
+        &self,
+        query: &SelectQuery,
+        ctx: &QueryCtx,
+    ) -> Result<(ResultTable, u64), StorageError> {
         let table = &self.table;
         let source = if query.predicate.is_true() {
             RowSource::All(table.num_rows())
@@ -183,6 +188,7 @@ impl EngineSnapshot for ScanSnapshot {
             threads,
             &self.parallel,
             &self.stats,
+            ctx,
         )
     }
 }

@@ -39,6 +39,12 @@ pub struct ExecStats {
     morsel_steals: AtomicU64,
     /// Workers that claimed no morsel (scan drained before they ran).
     morsel_idle_workers: AtomicU64,
+    /// Queries that returned `StorageError::Cancelled` (explicit cancel,
+    /// deadline, supersession, or row budget — see `crate::lifecycle`).
+    queries_cancelled: AtomicU64,
+    /// Morsels left unclaimed because their query was cancelled
+    /// mid-scan (work the cancellation saved).
+    morsels_cancelled: AtomicU64,
 }
 
 impl ExecStats {
@@ -77,6 +83,16 @@ impl ExecStats {
         self.cache_admission_rejects.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Record one query that ended in `StorageError::Cancelled`.
+    pub fn record_query_cancelled(&self) {
+        self.queries_cancelled.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record morsels abandoned unclaimed by a cancelled scan.
+    pub fn record_morsels_cancelled(&self, n: u64) {
+        self.morsels_cancelled.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Fold one morsel-scheduled scan's claim telemetry into the
     /// counters.
     pub fn record_morsel(&self, m: &crate::exec::MorselMetrics) {
@@ -103,6 +119,8 @@ impl ExecStats {
             morsels_dispatched: self.morsels_dispatched.load(Ordering::Relaxed),
             morsel_steals: self.morsel_steals.load(Ordering::Relaxed),
             morsel_idle_workers: self.morsel_idle_workers.load(Ordering::Relaxed),
+            queries_cancelled: self.queries_cancelled.load(Ordering::Relaxed),
+            morsels_cancelled: self.morsels_cancelled.load(Ordering::Relaxed),
         }
     }
 
@@ -120,6 +138,8 @@ impl ExecStats {
         self.morsels_dispatched.store(0, Ordering::Relaxed);
         self.morsel_steals.store(0, Ordering::Relaxed);
         self.morsel_idle_workers.store(0, Ordering::Relaxed);
+        self.queries_cancelled.store(0, Ordering::Relaxed);
+        self.morsels_cancelled.store(0, Ordering::Relaxed);
     }
 }
 
@@ -143,6 +163,10 @@ pub struct StatsSnapshot {
     pub morsel_steals: u64,
     /// Workers that claimed no morsel.
     pub morsel_idle_workers: u64,
+    /// Queries that returned `StorageError::Cancelled`.
+    pub queries_cancelled: u64,
+    /// Morsels left unclaimed by cancelled scans.
+    pub morsels_cancelled: u64,
 }
 
 impl StatsSnapshot {
@@ -162,6 +186,8 @@ impl StatsSnapshot {
             morsels_dispatched: self.morsels_dispatched - earlier.morsels_dispatched,
             morsel_steals: self.morsel_steals - earlier.morsel_steals,
             morsel_idle_workers: self.morsel_idle_workers - earlier.morsel_idle_workers,
+            queries_cancelled: self.queries_cancelled - earlier.queries_cancelled,
+            morsels_cancelled: self.morsels_cancelled - earlier.morsels_cancelled,
         }
     }
 }
@@ -181,6 +207,8 @@ mod tests {
         s.record_cache_miss();
         s.record_cache_evictions(3);
         s.record_cache_admission_reject();
+        s.record_query_cancelled();
+        s.record_morsels_cancelled(5);
         s.record_morsel(&crate::exec::MorselMetrics {
             workers: 2,
             morsels: 8,
@@ -202,6 +230,8 @@ mod tests {
         assert_eq!(snap.morsels_dispatched, 8);
         assert_eq!(snap.morsel_steals, 3);
         assert_eq!(snap.morsel_idle_workers, 1);
+        assert_eq!(snap.queries_cancelled, 1);
+        assert_eq!(snap.morsels_cancelled, 5);
     }
 
     #[test]

@@ -88,6 +88,11 @@ pub enum StorageError {
     TypeMismatch(String),
     Malformed(String),
     Unsupported(String),
+    /// The query's [`crate::lifecycle::QueryCtx`] was cancelled
+    /// (explicitly, by deadline, by supersession, or by row budget)
+    /// before the scan finished; any partial result was discarded and
+    /// never reached the result cache.
+    Cancelled,
 }
 
 impl fmt::Display for StorageError {
@@ -97,6 +102,7 @@ impl fmt::Display for StorageError {
             StorageError::TypeMismatch(m) => write!(f, "type mismatch: {m}"),
             StorageError::Malformed(m) => write!(f, "malformed input: {m}"),
             StorageError::Unsupported(m) => write!(f, "unsupported operation: {m}"),
+            StorageError::Cancelled => write!(f, "query cancelled"),
         }
     }
 }

@@ -304,7 +304,7 @@ fn engines_agree_across_scheduling_modes_under_skew() {
 /// a two-line `std::env::var` shim over this).
 #[test]
 fn scheduling_matrix_env_specs() {
-    let serial = ParallelConfig::from_env_spec(Some("serial"), None, None, None);
+    let serial = ParallelConfig::from_env_spec(Some("serial"), None, None, None, None);
     assert_eq!(serial.threads_for(usize::MAX - 1), 1);
     for (mode, sched) in [
         ("static", SchedulingMode::Static),
@@ -313,7 +313,8 @@ fn scheduling_matrix_env_specs() {
         // The matrix combines a forced scheduler with ZV_SCHED_MIN_ROWS=0
         // (tiny scans go parallel) and ZV_SCHED_MORSEL_ROWS=256 (tiny
         // tables still split into many claimable morsels).
-        let cfg = ParallelConfig::from_env_spec(Some(mode), Some("2"), Some("0"), Some("256"));
+        let cfg =
+            ParallelConfig::from_env_spec(Some(mode), Some("2"), Some("0"), Some("256"), None);
         assert_eq!(cfg.sched, sched);
         assert_eq!(cfg.threads, 2);
         assert_eq!(cfg.morsel_rows, 256);
@@ -340,5 +341,40 @@ fn production_morsel_size_multi_morsel_scan() {
         let m = metrics.expect("40k rows spans 3 production morsels");
         assert_eq!(m.morsels, 3);
         assert_eq!(m.per_worker.iter().sum::<u64>(), 3);
+    }
+}
+
+/// Batched claiming (`claim_batch > 1`) must be invisible to results:
+/// partials stay tagged per morsel, so every batch size × thread count
+/// reproduces the unbatched morsel run bit-for-bit — inexact floats
+/// included — while claim telemetry still accounts for every morsel.
+#[test]
+fn claim_batching_preserves_ordered_merge_determinism() {
+    use zv_storage::exec::aggregate_morsel_ctx;
+    use zv_storage::QueryCtx;
+
+    let table = clustered_table(9_000, 5);
+    let q = all_agg_query().with_z("product");
+    let src = RowSource::All(table.num_rows());
+    for strategy in [GroupStrategy::Dense, GroupStrategy::Hash] {
+        let (reference, scanned, _) =
+            aggregate_morsel_sized(&table, &q, &src, strategy, 2, 256).unwrap();
+        for batch in [2usize, 5, 1024] {
+            for threads in [2usize, 3, 7] {
+                let ctx = QueryCtx::new();
+                let (rt, b_scanned, metrics) =
+                    aggregate_morsel_ctx(&table, &q, &src, strategy, threads, 256, batch, &ctx)
+                        .unwrap();
+                assert_eq!(
+                    rt, reference,
+                    "batch {batch} × {threads} threads diverged under {strategy:?}"
+                );
+                assert_eq!(b_scanned, scanned);
+                let m = metrics.expect("multi-morsel scan reports telemetry");
+                assert_eq!(m.morsels, 9_000u64.div_ceil(256));
+                assert_eq!(m.per_worker.iter().sum::<u64>(), m.morsels);
+                assert_eq!(ctx.stats().morsels_claimed, m.morsels);
+            }
+        }
     }
 }

@@ -5,8 +5,8 @@
 
 use std::sync::Arc;
 use zv_storage::{
-    Agg, BitmapDb, BitmapDbConfig, DataType, Database, DynDatabase, Field, ScanDb, Schema,
-    SelectQuery, Table, TableBuilder, Value, XSpec, YSpec,
+    Agg, BitmapDb, BitmapDbConfig, DataType, Database, DynDatabase, Field, QueryCtx, ScanDb,
+    Schema, SelectQuery, Table, TableBuilder, Value, XSpec, YSpec,
 };
 
 fn build_table(n: usize) -> Arc<Table> {
@@ -43,7 +43,7 @@ fn pinned_snapshot_is_immutable_under_appends() {
     ] {
         let snap = db.pin();
         let v0 = snap.table().version();
-        let (before, _) = snap.execute(&q).unwrap();
+        let (before, _) = snap.execute(&q, &QueryCtx::new()).unwrap();
         db.append_rows(&[row(2010, 0), row(2011, 1)]).unwrap();
         assert!(
             db.table().version() > v0,
@@ -56,7 +56,7 @@ fn pinned_snapshot_is_immutable_under_appends() {
             "{}: the pin must not",
             db.name()
         );
-        let (after, _) = snap.execute(&q).unwrap();
+        let (after, _) = snap.execute(&q, &QueryCtx::new()).unwrap();
         assert_eq!(
             before,
             after,

@@ -8,7 +8,8 @@ use std::fmt;
 use std::sync::Arc;
 use zv_analytics::Series;
 use zv_storage::{
-    Agg, Column, Database, Predicate, SelectQuery, StorageError, Table, Value, XSpec, YSpec,
+    Agg, Column, Database, Predicate, QueryCtx, SelectQuery, StorageError, Table, Value, XSpec,
+    YSpec,
 };
 
 /// The wildcard-or-value of one data-source attribute: `∗` means "no
@@ -200,6 +201,14 @@ impl VisualUniverse {
     /// the engine's result cache (exactly or by subsumption) as shared
     /// `Arc`s instead of re-scanning.
     pub fn render(&self, vs: &VisualSource) -> Result<Series, StorageError> {
+        self.render_ctx(vs, &QueryCtx::new())
+    }
+
+    /// [`VisualUniverse::render`] under an explicit lifecycle ctx: an
+    /// interactive caller (algebra explorations fan out into many
+    /// renders) can cancel the whole exploration mid-scan; a cancelled
+    /// render returns [`StorageError::Cancelled`].
+    pub fn render_ctx(&self, vs: &VisualSource, ctx: &QueryCtx) -> Result<Series, StorageError> {
         let q = SelectQuery::new(
             XSpec::raw(vs.x.clone()),
             vec![YSpec::new(vs.y.clone(), Agg::Sum)],
@@ -207,7 +216,7 @@ impl VisualUniverse {
         .with_predicate(self.predicate_of(vs)?);
         let rt = self
             .db
-            .run_request(std::slice::from_ref(&q))?
+            .run_request_ctx(std::slice::from_ref(&q), ctx)?
             .pop()
             .expect("one query yields one result");
         Ok(match rt.groups.first() {
@@ -218,7 +227,17 @@ impl VisualUniverse {
 
     /// Render every source of a group, in order.
     pub fn render_group(&self, group: &VisualGroup) -> Result<Vec<Series>, StorageError> {
-        group.iter().map(|vs| self.render(vs)).collect()
+        self.render_group_ctx(group, &QueryCtx::new())
+    }
+
+    /// [`VisualUniverse::render_group`] under an explicit lifecycle ctx
+    /// shared by every render of the group.
+    pub fn render_group_ctx(
+        &self,
+        group: &VisualGroup,
+        ctx: &QueryCtx,
+    ) -> Result<Vec<Series>, StorageError> {
+        group.iter().map(|vs| self.render_ctx(vs, ctx)).collect()
     }
 }
 

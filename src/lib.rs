@@ -37,6 +37,7 @@
 //! | [`zv_vea`] | the visual exploration algebra (thesis Ch. 4) |
 //! | [`zv_datagen`] | deterministic synthetic datasets |
 //! | [`zv_study`] | the simulated Chapter 8 user study |
+//! | [`zv_server`] | multi-session front-end: supersession + admission control |
 //!
 //! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for
 //! paper-vs-measured results on every table and figure.
@@ -44,6 +45,7 @@
 pub use zql;
 pub use zv_analytics;
 pub use zv_datagen;
+pub use zv_server;
 pub use zv_storage;
 pub use zv_study;
 pub use zv_vea;
