@@ -18,6 +18,9 @@
 //!   scan returning `Cancelled`; bounded by one claim's worth of work,
 //!   not by table size, so compared directly under a generous absolute
 //!   floor (scheduler wakeup jitter dominates sub-5 ms readings).
+//! * `fault_overhead_ratio` — armed-but-silent fault hooks vs the
+//!   disabled single-branch short-circuit; already a within-run ratio,
+//!   so it is gated absolutely (≤1.5) rather than against the baseline.
 //!
 //! The default 2.5× threshold is deliberately generous: the baseline and
 //! the CI runner are different machines and criterion-grade rigor is not
@@ -40,20 +43,29 @@ fn parse_args() -> Args {
         fresh: "BENCH_groupby.fresh.json".to_string(),
         factor: 2.5,
     };
+    fn value_of(it: &mut impl Iterator<Item = String>, flag: &str, what: &str) -> String {
+        it.next().unwrap_or_else(|| {
+            eprintln!("bench_check: {flag} needs {what}");
+            std::process::exit(2);
+        })
+    }
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--baseline" => args.baseline = it.next().expect("--baseline PATH"),
-            "--fresh" => args.fresh = it.next().expect("--fresh PATH"),
+            "--baseline" => args.baseline = value_of(&mut it, "--baseline", "a PATH"),
+            "--fresh" => args.fresh = value_of(&mut it, "--fresh", "a PATH"),
             "--factor" => {
-                args.factor = it
-                    .next()
-                    .expect("--factor F")
-                    .parse()
-                    .expect("threshold factor")
+                let v = value_of(&mut it, "--factor", "a threshold factor");
+                args.factor = v.parse().unwrap_or_else(|_| {
+                    eprintln!("bench_check: --factor {v:?} is not a number");
+                    std::process::exit(2);
+                });
             }
             other => {
-                eprintln!("unknown flag {other}");
+                eprintln!(
+                    "bench_check: unknown flag {other} \
+                     (expected --baseline PATH, --fresh PATH, --factor F)"
+                );
                 std::process::exit(2);
             }
         }
@@ -61,17 +73,42 @@ fn parse_args() -> Args {
     args
 }
 
+/// Lookup outcome for one scalar in a bench summary. Missing and
+/// malformed are deliberately distinct: a *missing* baseline field is
+/// routine (older baselines predate newer metrics) while a *malformed*
+/// one means the file is damaged and silently skipping it would fake a
+/// passing gate.
+enum Field {
+    Val(f64),
+    Missing,
+    Malformed(String),
+}
+
+impl Field {
+    fn val(&self) -> Option<f64> {
+        match self {
+            Field::Val(v) => Some(*v),
+            _ => None,
+        }
+    }
+}
+
 /// Extract the first `"name": <number>` scalar from the (hand-rolled,
 /// flat-keyed) bench JSON. Good enough for the summary fields this gate
 /// reads; not a general JSON parser.
-fn field(json: &str, name: &str) -> Option<f64> {
+fn field(json: &str, name: &str) -> Field {
     let needle = format!("\"{name}\":");
-    let at = json.find(&needle)? + needle.len();
-    let rest = json[at..].trim_start();
+    let Some(at) = json.find(&needle) else {
+        return Field::Missing;
+    };
+    let rest = json[at + needle.len()..].trim_start();
     let end = rest
         .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E'))
         .unwrap_or(rest.len());
-    rest[..end].parse().ok()
+    match rest[..end].parse() {
+        Ok(v) => Field::Val(v),
+        Err(_) => Field::Malformed(rest[..end.min(24)].to_owned()),
+    }
 }
 
 fn main() -> ExitCode {
@@ -84,6 +121,36 @@ fn main() -> ExitCode {
     };
     let baseline = read(&args.baseline);
     let fresh = read(&args.fresh);
+
+    // Sanity before any comparison: both files must carry the numeric
+    // row count the normalized gates depend on — anything else means
+    // the path points at something that is not a bench_groupby summary
+    // (or at one that got truncated mid-write).
+    for (path, json) in [(&args.baseline, &baseline), (&args.fresh, &fresh)] {
+        match field(json, "rows") {
+            Field::Val(r) if r >= 1.0 => {}
+            Field::Val(r) => {
+                eprintln!("bench_check: {path} reports a nonsensical row count ({r})");
+                return ExitCode::from(2);
+            }
+            Field::Missing => {
+                eprintln!(
+                    "bench_check: {path} has no \"rows\" field — is it really a \
+                     bench_groupby summary? Regenerate it with \
+                     `cargo run --release -p zv-bench --bin bench_groupby`."
+                );
+                return ExitCode::from(2);
+            }
+            Field::Malformed(tok) => {
+                eprintln!(
+                    "bench_check: {path}: \"rows\" is not a number (got {tok:?}) — \
+                     the file is damaged; regenerate it with \
+                     `cargo run --release -p zv-bench --bin bench_groupby`."
+                );
+                return ExitCode::from(2);
+            }
+        }
+    }
 
     // (metric, normalize per million rows?, absolute floor in ms —
     // fresh values at or below the floor always pass, because down
@@ -101,23 +168,45 @@ fn main() -> ExitCode {
     ];
 
     let per_million = |json: &str, raw: f64| -> f64 {
-        let rows = field(json, "rows").unwrap_or(1_000_000.0).max(1.0);
+        let rows = field(json, "rows").val().unwrap_or(1_000_000.0).max(1.0);
         raw * 1_000_000.0 / rows
     };
 
     let mut compared = 0usize;
     let mut failures: Vec<String> = Vec::new();
     for (name, normalize, floor_ms) in GATES {
-        let Some(fresh_raw) = field(&fresh, name) else {
-            failures.push(format!(
-                "{name}: missing from the fresh run ({}) — the bench stopped measuring it",
-                args.fresh
-            ));
-            continue;
+        let fresh_raw = match field(&fresh, name) {
+            Field::Val(v) => v,
+            Field::Missing => {
+                failures.push(format!(
+                    "{name}: missing from the fresh run ({}) — the bench stopped measuring it",
+                    args.fresh
+                ));
+                continue;
+            }
+            Field::Malformed(tok) => {
+                failures.push(format!(
+                    "{name}: malformed value {tok:?} in the fresh run ({}) — the file is \
+                     damaged; rerun bench_groupby",
+                    args.fresh
+                ));
+                continue;
+            }
         };
-        let Some(base_raw) = field(&baseline, name) else {
-            println!("  {name:<24} skipped (not in baseline {})", args.baseline);
-            continue;
+        let base_raw = match field(&baseline, name) {
+            Field::Val(v) => v,
+            Field::Missing => {
+                println!("  {name:<24} skipped (not in baseline {})", args.baseline);
+                continue;
+            }
+            Field::Malformed(tok) => {
+                failures.push(format!(
+                    "{name}: malformed value {tok:?} in baseline {} — regenerate the \
+                     baseline with bench_groupby and commit it",
+                    args.baseline
+                ));
+                continue;
+            }
         };
         let (fresh_v, base_v, unit) = if normalize {
             (
@@ -148,13 +237,65 @@ fn main() -> ExitCode {
         }
     }
 
+    // Fault-hook overhead gate: `fault_overhead_ratio` compares an
+    // armed-but-silent FaultSpec (non-zero seed, rate 0) against the
+    // disabled spec's single-branch short-circuit *within one run on
+    // one machine*, so it is gated absolutely instead of against the
+    // baseline's value — the hooks are supposed to cost one branch per
+    // morsel, and anything past the limit means an injection point
+    // grew real work on the scan hot path. Skipped (with a note) when
+    // the committed baseline predates the metric.
+    const FAULT_RATIO_LIMIT: f64 = 1.5;
+    match (
+        field(&baseline, "fault_overhead_ratio"),
+        field(&fresh, "fault_overhead_ratio"),
+    ) {
+        (Field::Missing, _) => println!(
+            "  {:<24} skipped (not in baseline {})",
+            "fault_overhead_ratio", args.baseline
+        ),
+        (_, Field::Val(ratio)) => {
+            compared += 1;
+            let verdict = if ratio <= FAULT_RATIO_LIMIT {
+                "ok"
+            } else {
+                "REGRESSED"
+            };
+            println!(
+                "  {:<24} fresh {ratio:9.3} vs absolute limit {FAULT_RATIO_LIMIT:9.3} x  \
+                 {verdict}",
+                "fault_overhead_ratio"
+            );
+            if ratio > FAULT_RATIO_LIMIT {
+                failures.push(format!(
+                    "fault_overhead_ratio: armed-but-silent fault hooks cost {ratio:.2}x a \
+                     disabled-spec scan (allowed: {FAULT_RATIO_LIMIT}x) — an injection point \
+                     is doing real work on the hot path"
+                ));
+            }
+        }
+        (_, Field::Missing) => failures.push(format!(
+            "fault_overhead_ratio: missing from the fresh run ({}) — the bench stopped \
+             measuring it",
+            args.fresh
+        )),
+        (_, Field::Malformed(tok)) => failures.push(format!(
+            "fault_overhead_ratio: malformed value {tok:?} in the fresh run ({}) — the file \
+             is damaged; rerun bench_groupby",
+            args.fresh
+        )),
+    }
+
     // Observability gate: cancel_latency_ms of 0.0 with zero recorded
     // mid-scan cancels means the cancel never took effect — at full
     // table size that is a cancellation regression, not a fast cancel.
     // (--quick runs at 200k rows legitimately finish scans before the
     // cancelling thread is scheduled on small hosts, so only full-size
     // runs are held to it.)
-    if let (Some(rows), Some(runs)) = (field(&fresh, "rows"), field(&fresh, "cancel_runs")) {
+    if let (Some(rows), Some(runs)) = (
+        field(&fresh, "rows").val(),
+        field(&fresh, "cancel_runs").val(),
+    ) {
         if rows >= 500_000.0 && runs < 1.0 {
             failures.push(format!(
                 "cancel_runs: a full-size run ({rows:.0} rows) recorded no mid-scan                  cancellation — the cancel path stopped taking effect"

@@ -353,6 +353,65 @@ fn main() {
     summary.push(format!("\"derived_hit_rate\": {derived_hit_rate:.3}"));
     summary.push(format!("\"derived_speedup\": {derived_speedup:.3}"));
 
+    // Fault-injection hook overhead: every morsel scan (and cache
+    // insert) consults the engine's `FaultSpec`, so an *armed* spec
+    // that never fires (non-zero seed, rate 0) measures the cost of
+    // the hooks themselves against the disabled spec's single-branch
+    // short-circuit. The reps are interleaved like the skew A/B above
+    // so machine drift cancels instead of biasing one side. Expected
+    // ≈1.0; bench_check gates the ratio absolutely.
+    {
+        use zv_storage::fault::FaultSpec;
+        use zv_storage::{ScanDb, ScanDbConfig};
+        let scan_q = SelectQuery::new(XSpec::raw("year"), vec![YSpec::sum("sales")]);
+        let mk = |fault: FaultSpec| {
+            let mut cfg = ScanDbConfig::uncached();
+            cfg.parallel.fault = fault;
+            cfg.parallel.min_parallel_rows = 0;
+            ScanDb::with_config(table.clone(), cfg)
+        };
+        let plain = mk(FaultSpec::disabled());
+        let armed = mk(FaultSpec {
+            seed: 1,
+            rate_ppm: 0,
+            delay_us: 0,
+        });
+        let reference = plain.execute(&scan_q).expect("fault-free scan");
+        let mut plain_ms = f64::INFINITY;
+        let mut armed_ms = f64::INFINITY;
+        for _ in 0..args.reps.max(3) {
+            let start = Instant::now();
+            let p = plain.execute(&scan_q).expect("fault-free scan");
+            plain_ms = plain_ms.min(start.elapsed().as_secs_f64() * 1e3);
+            let start = Instant::now();
+            let a = armed.execute(&scan_q).expect("armed-at-zero scan");
+            armed_ms = armed_ms.min(start.elapsed().as_secs_f64() * 1e3);
+            // Outside the timed windows: armed-but-silent hooks must
+            // not perturb the result either.
+            assert_close(&p, &reference, "fault-free scan");
+            assert_close(&a, &reference, "armed-at-zero scan");
+        }
+        let fault_overhead_ratio = armed_ms / plain_ms.max(1e-6);
+        println!(
+            " fault hooks off   {plain_ms:9.2} ms | armed@0  {armed_ms:9.2} ms   \
+             overhead {fault_overhead_ratio:5.2}×"
+        );
+        entries.push(format!(
+            "    {{\"strategy\": \"fault_hooks\", \"mode\": \"disabled\", \"threads\": 0, \
+             \"best_ms\": {plain_ms:.3}}}"
+        ));
+        entries.push(format!(
+            "    {{\"strategy\": \"fault_hooks\", \"mode\": \"armed_zero\", \"threads\": 0, \
+             \"best_ms\": {armed_ms:.3}, \"speedup\": {:.3}}}",
+            1.0 / fault_overhead_ratio.max(1e-6)
+        ));
+        summary.push(format!("\"fault_disabled_ms\": {plain_ms:.3}"));
+        summary.push(format!("\"fault_armed_ms\": {armed_ms:.3}"));
+        summary.push(format!(
+            "\"fault_overhead_ratio\": {fault_overhead_ratio:.3}"
+        ));
+    }
+
     // Query-lifecycle section: how fast a cancel stops a full-table
     // scan (wall-clock from `cancel()` to the scan returning
     // `Cancelled`), plus a SessionManager slider burst recording the

@@ -112,6 +112,15 @@ pub struct ExecReport {
     /// Morsels left unclaimed by cancelled scans — work the
     /// cancellation saved.
     pub morsels_cancelled: u64,
+    /// Parallel scan attempts killed by a contained worker panic
+    /// (`StorageError::WorkerPanicked`).
+    pub worker_panics: u64,
+    /// Queries re-attempted after a transient failure (recorded by
+    /// `zv-server`'s retry policy; once per query).
+    pub queries_retried: u64,
+    /// Queries degraded to serial execution (retry ladder or breaker;
+    /// once per query).
+    pub queries_degraded: u64,
     /// Time inside the database backend.
     pub db_time: Duration,
     /// Post-processing (task) time.
@@ -461,6 +470,9 @@ impl<'a> Exec<'a> {
                 cache_misses: db_stats.cache_misses,
                 queries_cancelled: db_stats.queries_cancelled,
                 morsels_cancelled: db_stats.morsels_cancelled,
+                worker_panics: db_stats.worker_panics,
+                queries_retried: db_stats.queries_retried,
+                queries_degraded: db_stats.queries_degraded,
                 db_time: db_stats.exec_time,
                 compute_time: self.compute_time,
                 total_time: start.elapsed(),

@@ -30,13 +30,39 @@
 //! or `failed`; a rejected one counts `rejected` and is never admitted.
 //! `superseded` counts displacement events (a superseded query usually
 //! — but not necessarily, if it wins the race — ends `cancelled`).
+//!
+//! ## Fault handling
+//!
+//! The manager is also the retry/degrade layer above the engine's
+//! panic containment (`zv_storage::exec` module docs, *The failure &
+//! recovery pipeline*):
+//!
+//! * **Retries.** A [`RetryPolicy`] on [`SubmitOptions`] re-runs
+//!   *transient* failures ([`StorageError::is_transient`]: a contained
+//!   worker panic or resource exhaustion) up to `max_retries` times,
+//!   with exponential backoff and deterministic jitter. Each attempt
+//!   advances the ctx's fault epoch so deterministic fault injection
+//!   re-rolls its decisions.
+//! * **Degradation.** When parallel retries are exhausted, the query is
+//!   re-run once on the serial path (`QueryCtx::force_serial`) — no
+//!   fan-out, no injection points — before the error surfaces.
+//! * **Breaker.** `breaker_threshold` consecutive retry-exhausted
+//!   queries open a breaker that routes the next `breaker_window`
+//!   queries serial from the start, so a persistently faulty parallel
+//!   path stops burning retry budgets.
+//!
+//! All three are observable: `expired` / `retried` / `degraded` in
+//! [`SessionStats`], mirrored onto the engine's `ExecStats`.
 
+use rand::{rngs::StdRng, Rng, SeedableRng};
 use std::collections::{BinaryHeap, HashMap};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use zql::{ZqlEngine, ZqlError, ZqlOutput, ZqlQuery};
+use zv_storage::fault::{lock_recover, panic_payload_string};
 use zv_storage::{CancelReason, QueryCtx, StorageError};
 
 /// Identifies one user session (browser tab, notebook cell, API key…).
@@ -49,6 +75,12 @@ pub struct SessionConfig {
     pub max_concurrent: usize,
     /// Bound on the overflow queue; submissions beyond it are rejected.
     pub max_queued: usize,
+    /// Consecutive retry-exhausted queries before the breaker opens and
+    /// routes subsequent queries serial. `0` disables the breaker.
+    pub breaker_threshold: u32,
+    /// How many queries run serial once the breaker opens; afterwards
+    /// the parallel path gets another chance.
+    pub breaker_window: u32,
 }
 
 impl Default for SessionConfig {
@@ -56,6 +88,39 @@ impl Default for SessionConfig {
         SessionConfig {
             max_concurrent: 4,
             max_queued: 256,
+            breaker_threshold: 3,
+            breaker_window: 16,
+        }
+    }
+}
+
+/// How the manager reacts to *transient* failures
+/// ([`StorageError::is_transient`]) of one query. The default retries
+/// nothing but still degrades to a serial re-run — the cheapest "keep
+/// serving" policy.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Re-run a transient failure up to this many times (same mode).
+    pub max_retries: u32,
+    /// Backoff before retry `k` is `backoff_base * 2^k` plus jitter.
+    /// `Duration::ZERO` retries immediately (what tests want).
+    pub backoff_base: Duration,
+    /// Seed for deterministic backoff jitter; `0` means no jitter.
+    /// Jitter is uniform in `[0, backoff_base * 2^k)`, derived from
+    /// `seed ^ k` — reproducible, no wall-clock entropy.
+    pub jitter_seed: u64,
+    /// After parallel retries are exhausted, re-run once on the serial
+    /// path (no fan-out, no injection points) before failing.
+    pub serial_fallback: bool,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 0,
+            backoff_base: Duration::ZERO,
+            jitter_seed: 0,
+            serial_fallback: true,
         }
     }
 }
@@ -69,6 +134,8 @@ pub struct SubmitOptions {
     pub deadline: Option<Duration>,
     /// Cancel automatically once the scan has visited this many rows.
     pub row_budget: Option<u64>,
+    /// Retry/degrade policy for transient failures.
+    pub retry: RetryPolicy,
 }
 
 /// Why a submission was not admitted.
@@ -116,6 +183,16 @@ pub struct SessionStats {
     pub failed: u64,
     /// Submissions refused by admission control.
     pub rejected: u64,
+    /// Queries whose deadline had already expired when a worker popped
+    /// them — skipped without waking the engine. A subset of
+    /// `cancelled` (they still end `cancelled`), not a new outcome.
+    pub expired: u64,
+    /// Queries that were re-attempted at least once after a transient
+    /// failure (counted once per query, however many attempts).
+    pub retried: u64,
+    /// Queries degraded to the serial path — by serial fallback after
+    /// exhausted retries, or routed serial by an open breaker.
+    pub degraded: u64,
     /// Queries currently waiting in the overflow queue.
     pub queued: usize,
     /// Sessions with a live (queued or running) query.
@@ -130,6 +207,54 @@ struct Counters {
     cancelled: AtomicU64,
     failed: AtomicU64,
     rejected: AtomicU64,
+    expired: AtomicU64,
+    retried: AtomicU64,
+    degraded: AtomicU64,
+}
+
+/// Degradation breaker: `consecutive` counts back-to-back queries whose
+/// parallel attempts were all exhausted; reaching the threshold arms
+/// `serial_left`, and each arriving query decrements it (running
+/// serial) until the window closes.
+#[derive(Default)]
+struct Breaker {
+    consecutive: AtomicU32,
+    serial_left: AtomicU32,
+}
+
+impl Breaker {
+    /// Claim one serial slot if the breaker is open.
+    fn take_serial_slot(&self) -> bool {
+        let mut left = self.serial_left.load(Ordering::Relaxed);
+        while left > 0 {
+            match self.serial_left.compare_exchange_weak(
+                left,
+                left - 1,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return true,
+                Err(cur) => left = cur,
+            }
+        }
+        false
+    }
+
+    /// A query exhausted its parallel retries.
+    fn record_trip(&self, threshold: u32, window: u32) {
+        if threshold == 0 {
+            return;
+        }
+        if self.consecutive.fetch_add(1, Ordering::Relaxed) + 1 >= threshold {
+            self.consecutive.store(0, Ordering::Relaxed);
+            self.serial_left.store(window, Ordering::Relaxed);
+        }
+    }
+
+    /// A query succeeded on the parallel path.
+    fn record_parallel_success(&self) {
+        self.consecutive.store(0, Ordering::Relaxed);
+    }
 }
 
 /// Result slot a worker fills and a [`QueryHandle`] waits on.
@@ -147,7 +272,7 @@ impl JobShared {
     }
 
     fn complete(&self, result: Result<ZqlOutput, ZqlError>) {
-        let mut done = self.done.lock().expect("job slot poisoned");
+        let mut done = lock_recover(&self.done);
         debug_assert!(done.is_none(), "a job completes exactly once");
         *done = Some((result, Instant::now()));
         self.cv.notify_all();
@@ -184,22 +309,24 @@ impl QueryHandle {
     }
 
     pub fn is_finished(&self) -> bool {
-        self.shared
-            .done
-            .lock()
-            .expect("job slot poisoned")
-            .is_some()
+        lock_recover(&self.shared.done).is_some()
     }
 
     /// Block until the query finishes; returns its result (a cancelled
     /// query yields `ZqlError::Storage(StorageError::Cancelled)`) and
     /// the instant it completed.
     pub fn wait_timed(self) -> (Result<ZqlOutput, ZqlError>, Instant) {
-        let mut done = self.shared.done.lock().expect("job slot poisoned");
+        let mut done = lock_recover(&self.shared.done);
         loop {
             match done.take() {
                 Some(out) => return out,
-                None => done = self.shared.cv.wait(done).expect("job slot poisoned"),
+                None => {
+                    done = self
+                        .shared
+                        .cv
+                        .wait(done)
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
+                }
             }
         }
     }
@@ -218,6 +345,7 @@ struct PendingJob {
     priority: i32,
     query: ZqlQuery,
     ctx: QueryCtx,
+    retry: RetryPolicy,
     shared: Arc<JobShared>,
 }
 
@@ -258,16 +386,24 @@ struct Inner {
     sessions: Mutex<HashMap<SessionId, InFlight>>,
     counters: Counters,
     max_queued: usize,
+    breaker: Breaker,
+    breaker_threshold: u32,
+    breaker_window: u32,
 }
 
 impl Inner {
     fn run_job(&self, job: PendingJob) {
         // A job superseded (or cancelled) while still queued is skipped
-        // without touching the engine — the cheapest cancel of all.
+        // without touching the engine — the cheapest cancel of all. A
+        // deadline that expired while the job sat in the queue is the
+        // same skip, tracked separately (`expired`).
         let result = if job.ctx.is_cancelled() {
+            if job.ctx.cancel_reason() == Some(CancelReason::Deadline) {
+                self.counters.expired.fetch_add(1, Ordering::Relaxed);
+            }
             Err(ZqlError::Storage(StorageError::Cancelled))
         } else {
-            self.engine.execute_ctx(&job.query, &job.ctx)
+            self.execute_with_policy(&job)
         };
         match &result {
             Ok(_) => self.counters.completed.fetch_add(1, Ordering::Relaxed),
@@ -280,9 +416,96 @@ impl Inner {
         job.shared.complete(result);
     }
 
+    /// One engine attempt with panic containment: a panic that somehow
+    /// escapes the engine's own worker containment must not kill this
+    /// pool worker (the manager would deadlock), so it converts to the
+    /// same transient `WorkerPanicked` error.
+    fn attempt(&self, job: &PendingJob) -> Result<ZqlOutput, ZqlError> {
+        catch_unwind(AssertUnwindSafe(|| {
+            self.engine.execute_ctx(&job.query, &job.ctx)
+        }))
+        .unwrap_or_else(|payload| {
+            self.engine.database().stats().record_worker_panic();
+            Err(ZqlError::Storage(StorageError::WorkerPanicked {
+                payload: panic_payload_string(payload.as_ref()),
+                morsel: 0,
+            }))
+        })
+    }
+
+    /// Run one admitted job under its [`RetryPolicy`]: bounded
+    /// same-mode retries for transient failures, then one serial
+    /// fallback, feeding the breaker throughout. Terminates because the
+    /// serial fallback fires at most once (`serial_only` latches) and
+    /// retries are bounded by `max_retries`.
+    fn execute_with_policy(&self, job: &PendingJob) -> Result<ZqlOutput, ZqlError> {
+        let policy = job.retry;
+        let db_stats = self.engine.database().stats();
+        // An open breaker routes this query serial from the start.
+        if self.breaker.take_serial_slot() && !job.ctx.serial_only() {
+            job.ctx.force_serial();
+            self.counters.degraded.fetch_add(1, Ordering::Relaxed);
+            db_stats.record_query_degraded();
+        }
+        let mut retried = false;
+        let mut attempt: u32 = 0;
+        loop {
+            let result = self.attempt(job);
+            let transient = matches!(&result, Err(ZqlError::Storage(e)) if e.is_transient());
+            if !transient || job.ctx.is_cancelled() {
+                if result.is_ok() && !job.ctx.serial_only() {
+                    self.breaker.record_parallel_success();
+                }
+                return result;
+            }
+            // Transient failure: same-mode retries first…
+            if attempt < policy.max_retries {
+                if !retried {
+                    retried = true;
+                    self.counters.retried.fetch_add(1, Ordering::Relaxed);
+                    db_stats.record_query_retried();
+                }
+                self.backoff(&policy, attempt);
+                attempt += 1;
+                // Re-roll injected-fault decisions for the next attempt.
+                job.ctx.advance_fault_epoch();
+                continue;
+            }
+            // …then degrade: one serial re-run before surfacing.
+            if !job.ctx.serial_only() {
+                self.breaker
+                    .record_trip(self.breaker_threshold, self.breaker_window);
+                if policy.serial_fallback {
+                    job.ctx.force_serial();
+                    job.ctx.advance_fault_epoch();
+                    self.counters.degraded.fetch_add(1, Ordering::Relaxed);
+                    db_stats.record_query_degraded();
+                    continue;
+                }
+            }
+            return result;
+        }
+    }
+
+    /// Sleep `backoff_base * 2^attempt` plus deterministic jitter.
+    fn backoff(&self, policy: &RetryPolicy, attempt: u32) {
+        if policy.backoff_base.is_zero() {
+            return;
+        }
+        let base = policy.backoff_base.saturating_mul(1 << attempt.min(16));
+        let jitter = if policy.jitter_seed != 0 {
+            let mut rng = StdRng::seed_from_u64(policy.jitter_seed ^ u64::from(attempt));
+            let span = (base.as_micros() as u64).max(1);
+            Duration::from_micros(rng.gen_range(0..span))
+        } else {
+            Duration::ZERO
+        };
+        std::thread::sleep(base + jitter);
+    }
+
     /// Drop the session registration if this job is still its newest.
     fn release_session(&self, job: &PendingJob) {
-        let mut sessions = self.sessions.lock().expect("sessions lock poisoned");
+        let mut sessions = lock_recover(&self.sessions);
         if sessions.get(&job.session).is_some_and(|a| a.seq == job.seq) {
             sessions.remove(&job.session);
         }
@@ -309,6 +532,9 @@ impl SessionManager {
             sessions: Mutex::new(HashMap::new()),
             counters: Counters::default(),
             max_queued: config.max_queued,
+            breaker: Breaker::default(),
+            breaker_threshold: config.breaker_threshold,
+            breaker_window: config.breaker_window,
         });
         let workers = (0..config.max_concurrent.max(1))
             .map(|i| {
@@ -371,10 +597,11 @@ impl SessionManager {
             priority: opts.priority,
             query,
             ctx: ctx.clone(),
+            retry: opts.retry,
             shared: Arc::clone(&shared),
         };
         {
-            let mut q = self.inner.queue.lock().expect("queue lock poisoned");
+            let mut q = lock_recover(&self.inner.queue);
             if q.shutdown {
                 return Err(SubmitError::ShuttingDown);
             }
@@ -389,7 +616,7 @@ impl SessionManager {
                 .submitted
                 .fetch_add(1, Ordering::Relaxed);
             {
-                let mut sessions = self.inner.sessions.lock().expect("sessions lock poisoned");
+                let mut sessions = lock_recover(&self.inner.sessions);
                 if let Some(prev) = sessions.insert(
                     session,
                     InFlight {
@@ -418,7 +645,7 @@ impl SessionManager {
     /// Cancel `session`'s live query, if any. Returns whether one was
     /// cancelled.
     pub fn cancel_session(&self, session: SessionId) -> bool {
-        let sessions = self.inner.sessions.lock().expect("sessions lock poisoned");
+        let sessions = lock_recover(&self.inner.sessions);
         match sessions.get(&session) {
             Some(active) => {
                 active.ctx.cancel();
@@ -429,19 +656,8 @@ impl SessionManager {
     }
 
     pub fn stats(&self) -> SessionStats {
-        let queued = self
-            .inner
-            .queue
-            .lock()
-            .expect("queue lock poisoned")
-            .heap
-            .len();
-        let active_sessions = self
-            .inner
-            .sessions
-            .lock()
-            .expect("sessions lock poisoned")
-            .len();
+        let queued = lock_recover(&self.inner.queue).heap.len();
+        let active_sessions = lock_recover(&self.inner.sessions).len();
         let c = &self.inner.counters;
         SessionStats {
             submitted: c.submitted.load(Ordering::Relaxed),
@@ -450,6 +666,9 @@ impl SessionManager {
             cancelled: c.cancelled.load(Ordering::Relaxed),
             failed: c.failed.load(Ordering::Relaxed),
             rejected: c.rejected.load(Ordering::Relaxed),
+            expired: c.expired.load(Ordering::Relaxed),
+            retried: c.retried.load(Ordering::Relaxed),
+            degraded: c.degraded.load(Ordering::Relaxed),
             queued,
             active_sessions,
         }
@@ -461,13 +680,13 @@ impl Drop for SessionManager {
         // Cancel whatever is still running so workers wind down at their
         // next cancellation point instead of finishing doomed scans.
         {
-            let sessions = self.inner.sessions.lock().expect("sessions lock poisoned");
+            let sessions = lock_recover(&self.inner.sessions);
             for active in sessions.values() {
                 active.ctx.cancel();
             }
         }
         let drained: Vec<PendingJob> = {
-            let mut q = self.inner.queue.lock().expect("queue lock poisoned");
+            let mut q = lock_recover(&self.inner.queue);
             q.shutdown = true;
             std::mem::take(&mut q.heap).into_vec()
         };
@@ -491,7 +710,7 @@ impl Drop for SessionManager {
 fn worker_loop(inner: Arc<Inner>) {
     loop {
         let job = {
-            let mut q = inner.queue.lock().expect("queue lock poisoned");
+            let mut q = lock_recover(&inner.queue);
             loop {
                 if let Some(job) = q.heap.pop() {
                     break job;
@@ -499,7 +718,10 @@ fn worker_loop(inner: Arc<Inner>) {
                 if q.shutdown {
                     return;
                 }
-                q = inner.cv.wait(q).expect("queue lock poisoned");
+                q = inner
+                    .cv
+                    .wait(q)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
             }
         };
         inner.run_job(job);

@@ -65,6 +65,7 @@ fn slider_burst_supersedes_older_queries() {
         SessionConfig {
             max_concurrent: 4,
             max_queued: 64,
+            ..Default::default()
         },
     );
     const BURST: usize = 12;
@@ -130,6 +131,7 @@ fn sessions_are_isolated() {
         SessionConfig {
             max_concurrent: 4,
             max_queued: 64,
+            ..Default::default()
         },
     );
     let handles: Vec<_> = (0..8)
@@ -153,6 +155,7 @@ fn overflow_queue_pops_by_priority() {
         SessionConfig {
             max_concurrent: 1,
             max_queued: 64,
+            ..Default::default()
         },
     );
     // Occupy the only worker…
@@ -198,6 +201,7 @@ fn full_queue_rejects_submissions() {
         SessionConfig {
             max_concurrent: 1,
             max_queued: 1,
+            ..Default::default()
         },
     );
     let blocker = mgr.submit(1, slider_query(0.0)).expect("admitted");

@@ -444,10 +444,12 @@ impl BitmapDb {
     }
 
     pub fn with_config(table: Arc<Table>, config: BitmapDbConfig) -> Self {
-        let cache = config
-            .cache
-            .is_enabled()
-            .then(|| Arc::new(ResultCache::new(&config.cache)));
+        let cache = config.cache.is_enabled().then(|| {
+            Arc::new(ResultCache::with_fault(
+                &config.cache,
+                config.parallel.fault,
+            ))
+        });
         Self::build(table, config, cache)
     }
 
@@ -476,7 +478,25 @@ impl BitmapDb {
     }
 
     fn state(&self) -> Arc<BitmapState> {
-        self.state.read().expect("state lock poisoned").clone()
+        // Recover-or-proceed: the lock only ever guards an `Arc` swap,
+        // so a poisoned lock still holds an intact snapshot (either the
+        // old or the new state) — unwrapping would wedge the engine
+        // after any contained panic.
+        crate::fault::read_recover(&self.state).clone()
+    }
+
+    /// Poison the state lock by panicking while holding its write
+    /// guard — the chaos suite's hook for proving the engine recovers
+    /// (the guarded value is a plain `Arc`, so recovery is safe).
+    #[doc(hidden)]
+    pub fn poison_table_lock_for_chaos(&self) {
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = self.state.write().unwrap_or_else(|p| p.into_inner());
+            panic!(
+                "{} deliberate state-lock poisoning",
+                crate::fault::PANIC_MARKER
+            );
+        }));
     }
 
     /// Total bytes held by bitmap indexes (compression reporting).
@@ -501,7 +521,7 @@ impl BitmapDb {
         &self,
         mutate: impl FnOnce(&mut Table) -> Result<usize, StorageError>,
     ) -> Result<usize, StorageError> {
-        let _appending = self.append_lock.lock().expect("append lock poisoned");
+        let _appending = crate::fault::lock_recover(&self.append_lock);
         let current = self.state();
         let mut table = (*current.table).clone();
         let old_version = table.version();
@@ -516,7 +536,7 @@ impl BitmapDb {
             unindexable: current.unindexable.clone(),
         };
         next.refresh_indexes(old_rows, &self.config);
-        *self.state.write().expect("state lock poisoned") = Arc::new(next);
+        *crate::fault::write_recover(&self.state) = Arc::new(next);
         if let Some(cache) = &self.cache {
             cache.invalidate_table_version(old_version);
         }
@@ -548,7 +568,14 @@ impl EngineSnapshot for BitmapSnapshot {
         let source = state.row_source(&query.predicate)?;
         let groups = exec::group_space(&state.table, query)?;
         let strategy = exec::choose_strategy(groups, self.dense_group_limit);
-        let threads = self.parallel.threads_for(source.estimated_rows());
+        // A degraded query (`QueryCtx::force_serial`, set by the retry
+        // ladder or the breaker) is pinned to the injection-free serial
+        // path no matter what the config would choose.
+        let threads = if ctx.serial_only() {
+            1
+        } else {
+            self.parallel.threads_for(source.estimated_rows())
+        };
         exec::run_scheduled(
             &state.table,
             query,

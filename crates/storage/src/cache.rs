@@ -597,6 +597,13 @@ pub struct CacheStats {
     pub invalidations: u64,
     /// Fresh results rejected by cost-based admission.
     pub admission_rejects: u64,
+    /// Inserts dropped by injected cache faults ([`crate::fault`]) —
+    /// always 0 outside chaos runs.
+    pub insert_faults: u64,
+    /// Times a poisoned cache lock forced an LRU rebuild (a panic
+    /// mid-mutation can tear the intrusive list, so the store restarts
+    /// empty rather than serve corrupt bookkeeping).
+    pub poison_rebuilds: u64,
     pub entries: usize,
     pub bytes: usize,
 }
@@ -823,6 +830,12 @@ pub struct ResultCache {
     max_entries: usize,
     max_bytes: usize,
     min_cost_rows: u64,
+    /// Injected cache-insert failures ([`crate::fault`]); disabled (a
+    /// single branch per insert) outside chaos runs.
+    fault: crate::fault::FaultSpec,
+    /// Monotonic insert attempt counter — the deterministic index fed
+    /// to the fault hash.
+    insert_seq: AtomicU64,
     hits: AtomicU64,
     derived_hits: AtomicU64,
     misses: AtomicU64,
@@ -830,6 +843,8 @@ pub struct ResultCache {
     evictions: AtomicU64,
     invalidations: AtomicU64,
     admission_rejects: AtomicU64,
+    insert_faults: AtomicU64,
+    poison_rebuilds: AtomicU64,
 }
 
 /// What [`ResultCache::insert`] did with the offered entry.
@@ -856,11 +871,21 @@ pub struct DerivedHit {
 
 impl ResultCache {
     pub fn new(config: &CacheConfig) -> ResultCache {
+        ResultCache::with_fault(config, crate::fault::FaultSpec::disabled())
+    }
+
+    /// [`ResultCache::new`] with fault injection armed — how the engine
+    /// builders thread `ParallelConfig::fault` through so a chaos run
+    /// exercises [`FaultPoint::CacheInsert`](crate::fault::FaultPoint)
+    /// without widening `CacheConfig`.
+    pub fn with_fault(config: &CacheConfig, fault: crate::fault::FaultSpec) -> ResultCache {
         ResultCache {
             inner: Mutex::new(Lru::new()),
             max_entries: config.max_entries,
             max_bytes: config.max_bytes,
             min_cost_rows: config.min_cost_rows,
+            fault,
+            insert_seq: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             derived_hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
@@ -868,14 +893,47 @@ impl ResultCache {
             evictions: AtomicU64::new(0),
             invalidations: AtomicU64::new(0),
             admission_rejects: AtomicU64::new(0),
+            insert_faults: AtomicU64::new(0),
+            poison_rebuilds: AtomicU64::new(0),
         }
+    }
+
+    /// Lock the LRU, rebuilding it empty if the lock is poisoned. A
+    /// panic while a guard is held can leave the intrusive list
+    /// half-linked, so (unlike the engines' `Arc`-swap table locks,
+    /// which recover in place) the only safe recovery here is to start
+    /// from an empty store — a cache may always forget, never lie.
+    fn lock_lru(&self) -> std::sync::MutexGuard<'_, Lru> {
+        match self.inner.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => {
+                self.inner.clear_poison();
+                let mut guard = poisoned.into_inner();
+                *guard = Lru::new();
+                self.poison_rebuilds.fetch_add(1, Ordering::Relaxed);
+                guard
+            }
+        }
+    }
+
+    /// Poison the cache lock by panicking while holding it — the chaos
+    /// suite's hook for proving [`ResultCache::lock_lru`] recovery.
+    #[doc(hidden)]
+    pub fn poison_for_chaos(&self) {
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+            panic!(
+                "{} deliberate cache-lock poisoning",
+                crate::fault::PANIC_MARKER
+            );
+        }));
     }
 
     /// Look up a key, refreshing its recency on a hit. Returns a shared
     /// handle — an `Arc` bump, so the mutex is never held across a deep
     /// copy of the result.
     pub fn get(&self, key: &CacheKey) -> Option<Arc<ResultTable>> {
-        let mut lru = self.inner.lock().expect("cache poisoned");
+        let mut lru = self.lock_lru();
         match lru.map.get(key).copied() {
             Some(i) => {
                 lru.touch(i);
@@ -906,7 +964,7 @@ impl ResultCache {
         // actual group filtering runs outside it on shared `Arc`s.
         let family = FamilyKey::of(key);
         let mut candidates: Vec<(DerivePlan, Arc<ResultTable>, u64, usize)> = {
-            let lru = self.inner.lock().expect("cache poisoned");
+            let lru = self.lock_lru();
             let members = lru.families.get(&family)?;
             members
                 .iter()
@@ -955,7 +1013,19 @@ impl ResultCache {
         if bytes > self.max_bytes || self.max_entries == 0 {
             return rejected;
         }
-        let mut lru = self.inner.lock().expect("cache poisoned");
+        // Injected cache-insert failure: the entry is simply not cached
+        // (the query already succeeded), modeling a store that sheds
+        // writes under pressure. Indexed by a monotonic sequence so a
+        // chaos run's decision trail is replayable.
+        let seq = self.insert_seq.fetch_add(1, Ordering::Relaxed);
+        if self
+            .fault
+            .fires(crate::fault::FaultPoint::CacheInsert, seq, 0)
+        {
+            self.insert_faults.fetch_add(1, Ordering::Relaxed);
+            return rejected;
+        }
+        let mut lru = self.lock_lru();
         let touched = if let Some(i) = lru.map.get(&key).copied() {
             // Same key computed twice (e.g. duplicate misses in one
             // racing batch): refresh value + recency in place. A larger
@@ -989,7 +1059,7 @@ impl ResultCache {
     /// after a mutation retires that snapshot. Purely a memory-reclaim
     /// courtesy: versioned keys already make such entries unreachable.
     pub fn invalidate_table_version(&self, version: u64) {
-        let mut lru = self.inner.lock().expect("cache poisoned");
+        let mut lru = self.lock_lru();
         let stale: Vec<usize> = lru
             .map
             .iter()
@@ -1004,12 +1074,12 @@ impl ResultCache {
     }
 
     pub fn clear(&self) {
-        let mut lru = self.inner.lock().expect("cache poisoned");
+        let mut lru = self.lock_lru();
         *lru = Lru::new();
     }
 
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("cache poisoned").len()
+        self.lock_lru().len()
     }
 
     pub fn is_empty(&self) -> bool {
@@ -1017,12 +1087,12 @@ impl ResultCache {
     }
 
     pub fn bytes(&self) -> usize {
-        self.inner.lock().expect("cache poisoned").bytes
+        self.lock_lru().bytes
     }
 
     pub fn stats(&self) -> CacheStats {
         let (entries, bytes) = {
-            let lru = self.inner.lock().expect("cache poisoned");
+            let lru = self.lock_lru();
             (lru.len(), lru.bytes)
         };
         CacheStats {
@@ -1033,6 +1103,8 @@ impl ResultCache {
             evictions: self.evictions.load(Ordering::Relaxed),
             invalidations: self.invalidations.load(Ordering::Relaxed),
             admission_rejects: self.admission_rejects.load(Ordering::Relaxed),
+            insert_faults: self.insert_faults.load(Ordering::Relaxed),
+            poison_rebuilds: self.poison_rebuilds.load(Ordering::Relaxed),
             entries,
             bytes,
         }
@@ -1625,5 +1697,58 @@ mod tests {
                 .is_none(),
             "aliased i64 pins must decline, wherever the dropped column sits"
         );
+    }
+
+    #[test]
+    fn injected_insert_faults_skip_the_insert() {
+        // Every-index firing: no insert ever lands, yet the cache stays
+        // fully operational and counts each dropped write.
+        let cache = ResultCache::with_fault(
+            &CacheConfig::admit_all(),
+            crate::fault::FaultSpec::with_rate(0xFA17, 1.0),
+        );
+        for tag in 0..3 {
+            let out = cache.insert(
+                CacheKey::new("e", 1, &q(Predicate::num_eq("year", tag as f64))),
+                Arc::new(rt(tag)),
+                COST,
+            );
+            assert!(!out.admitted);
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 0);
+        assert_eq!(stats.insertions, 0);
+        assert_eq!(stats.insert_faults, 3);
+        // Disarmed spec at the same shape: inserts land normally.
+        let clean = ResultCache::new(&CacheConfig::admit_all());
+        assert!(
+            clean
+                .insert(
+                    CacheKey::new("e", 1, &q(Predicate::True)),
+                    Arc::new(rt(1)),
+                    COST
+                )
+                .admitted
+        );
+        assert_eq!(clean.stats().insert_faults, 0);
+    }
+
+    #[test]
+    fn poisoned_cache_lock_rebuilds_empty() {
+        crate::fault::silence_injected_panics();
+        let cache = ResultCache::new(&CacheConfig::admit_all());
+        let key = CacheKey::new("e", 1, &q(Predicate::True));
+        cache.insert(key.clone(), Arc::new(rt(7)), COST);
+        assert_eq!(cache.len(), 1);
+        cache.poison_for_chaos();
+        // First post-poison access rebuilds the store empty; after
+        // that the cache serves inserts and lookups as usual.
+        assert_eq!(cache.get(&key), None);
+        let stats = cache.stats();
+        assert_eq!(stats.poison_rebuilds, 1);
+        assert_eq!(stats.entries, 0);
+        assert!(cache.insert(key.clone(), Arc::new(rt(7)), COST).admitted);
+        assert!(cache.get(&key).is_some());
+        assert_eq!(cache.stats().poison_rebuilds, 1, "rebuild happens once");
     }
 }

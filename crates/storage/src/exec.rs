@@ -98,6 +98,48 @@
 //! tagged by *morsel* index, so the ordered merge — and therefore
 //! bit-for-bit reproducibility — is unchanged by the batch size.
 //!
+//! # The failure & recovery pipeline
+//!
+//! Cancellation is the *cooperative* way a scan ends early; panics are
+//! the uncooperative one, and an always-on interactive engine must
+//! survive both. Every parallel worker closure (morsel and static) runs
+//! inside `catch_unwind`:
+//!
+//! 1. **Contain** — a panicking worker (organic bug or injected by the
+//!    [`crate::fault`] harness) is caught at the worker boundary. Under
+//!    morsel scheduling it trips a shared abort flag, so siblings stop
+//!    claiming at their next claim point exactly as they would for
+//!    cancellation; under static sharding siblings simply finish their
+//!    own shard. The thread pool never sees the unwind and stays
+//!    healthy.
+//! 2. **Fail cleanly** — the panicked worker's partial accumulator is
+//!    dropped on the worker; nothing partial reaches the merge, the
+//!    caller, or the result cache (`run_request_ctx` inserts only
+//!    completed results — same guarantee cancellation relies on). The
+//!    scan surfaces
+//!    [`StorageError::WorkerPanicked`](crate::table::StorageError) with
+//!    the lowest panicked morsel/shard attributed, and the engine's
+//!    [`ExecStats`](crate::stats::ExecStats) records one
+//!    `worker_panics`.
+//! 3. **Retry / degrade** — `WorkerPanicked` (and `ResourceExhausted`)
+//!    are *transient* ([`StorageError::is_transient`](crate::table::StorageError::is_transient));
+//!    `zv-server`'s `SessionManager` retries them with bounded attempts
+//!    and deterministic backoff, advancing the ctx's *fault epoch* so an
+//!    injected fault pattern re-rolls per attempt. When parallel
+//!    attempts keep failing the query is re-run serial
+//!    (`QueryCtx::force_serial` caps it at one worker — the serial path
+//!    has no fan-out and no injection points), and a breaker routes the
+//!    next queries serial pre-emptively. Telemetry flows as
+//!    `worker_panics` / `queries_retried` / `queries_degraded` through
+//!    `ExecStats` → `StatsSnapshot` → `ExecReport` → `SessionStats`.
+//!
+//! Lock poisoning is the other half of panic fallout: shared locks in
+//! this crate are acquired through the recover-or-rebuild helpers in
+//! [`crate::fault`] (engines' table locks recover — every critical
+//! section leaves an intact `Arc`; the result cache *rebuilds* its LRU,
+//! whose intrusive links can be torn mid-insert) rather than unwrapped,
+//! so a contained panic can never wedge the engine afterwards.
+//!
 //! # OptLevel × scheduling matrix
 //!
 //! The §5.2 batching ladder composes with this engine's parallelism along
@@ -134,7 +176,7 @@ use crate::table::{StorageError, Table};
 use crate::value::Value;
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 // ---------------------------------------------------------------------
 // Compiled predicates
@@ -474,19 +516,8 @@ impl RowSource<'_> {
     }
 }
 
-/// Chunked scan over a contiguous row range with an optional residual
-/// filter. Returns rows visited. Shares [`scan_range_ctx`]'s loop under
-/// a fresh (never-cancelled) ctx.
-fn scan_range<F: FnMut(&[u32])>(
-    start: usize,
-    end: usize,
-    pred: Option<&CompiledPred<'_>>,
-    f: F,
-) -> u64 {
-    scan_range_ctx(start, end, pred, &QueryCtx::new(), f).0
-}
-
-/// Cancellable [`scan_range`]: records visited rows on `ctx` and checks
+/// Cancellable chunked scan over a contiguous row range with an
+/// optional residual filter: records visited rows on `ctx` and checks
 /// for cancellation every [`CHUNK_ROWS`] visited rows. Returns rows
 /// visited and whether the scan completed.
 fn scan_range_ctx<F: FnMut(&[u32])>(
@@ -590,13 +621,6 @@ fn scan_ids_ctx<F: FnMut(&[u32])>(
             (ids.len() as u64, true)
         }
     }
-}
-
-/// Chunked scan over pre-materialized row ids with an optional residual
-/// filter. Returns rows visited. Shares [`scan_ids_ctx`]'s loop under a
-/// fresh (never-cancelled) ctx.
-fn scan_ids<F: FnMut(&[u32])>(ids: &[u32], pred: Option<&CompiledPred<'_>>, f: F) -> u64 {
-    scan_ids_ctx(ids, pred, &QueryCtx::new(), f).0
 }
 
 // ---------------------------------------------------------------------
@@ -905,6 +929,12 @@ pub struct ParallelConfig {
     /// the ordered merge — and bit-for-bit reproducibility — does not
     /// depend on the batch size.
     pub claim_batch: usize,
+    /// Deterministic fault injection for the parallel scan and the
+    /// result cache ([`crate::fault`]). Disabled by default (a single
+    /// branch per injection point); armed by chaos tests and the CI
+    /// chaos leg via `ZV_FAULT_SEED` / `ZV_FAULT_RATE` /
+    /// `ZV_FAULT_DELAY_US` (read by [`ParallelConfig::from_env`]).
+    pub fault: crate::fault::FaultSpec,
 }
 
 impl Default for ParallelConfig {
@@ -915,6 +945,7 @@ impl Default for ParallelConfig {
             sched: SchedulingMode::Morsel,
             morsel_rows: MORSEL_ROWS,
             claim_batch: 1,
+            fault: crate::fault::FaultSpec::disabled(),
         }
     }
 }
@@ -952,14 +983,20 @@ impl ParallelConfig {
     /// matrix leg must fail loudly, not silently run the default
     /// configuration and pass vacuously. Empty / whitespace-only values
     /// count as unset (matrices pass `""` for non-overridden rows).
+    /// The fault-injection knobs (`ZV_FAULT_SEED` / `ZV_FAULT_RATE` /
+    /// `ZV_FAULT_DELAY_US`) are read here too, via
+    /// [`crate::fault::FaultSpec::from_env`], so the CI chaos leg arms
+    /// injection the same way the scheduling matrix forces schedulers.
     pub fn from_env() -> Self {
-        Self::from_env_spec(
+        let mut cfg = Self::from_env_spec(
             std::env::var("ZV_SCHED_MODE").ok().as_deref(),
             std::env::var("ZV_SCHED_THREADS").ok().as_deref(),
             std::env::var("ZV_SCHED_MIN_ROWS").ok().as_deref(),
             std::env::var("ZV_SCHED_MORSEL_ROWS").ok().as_deref(),
             std::env::var("ZV_SCHED_CLAIM_BATCH").ok().as_deref(),
-        )
+        );
+        cfg.fault = crate::fault::FaultSpec::from_env();
+        cfg
     }
 
     /// Testable core of [`ParallelConfig::from_env`].
@@ -1402,16 +1439,8 @@ impl<'s, 'a> ShardInput<'s, 'a> {
     }
 
     /// Scan units `start..end`, feeding chunks of qualifying row ids to
-    /// `f`; returns rows visited.
-    fn scan<F: FnMut(&[u32])>(&self, start: usize, end: usize, f: F) -> u64 {
-        match self {
-            ShardInput::Rows { pred, .. } => scan_range(start, end, *pred, f),
-            ShardInput::Ids { ids, pred } => scan_ids(&ids[start..end], *pred, f),
-        }
-    }
-
-    /// Cancellable [`ShardInput::scan`]: checks `ctx` between chunks;
-    /// returns rows visited and whether the scan completed.
+    /// `f`. Checks `ctx` between chunks (and records visited rows on
+    /// it); returns rows visited and whether the scan completed.
     fn scan_ctx<F: FnMut(&[u32])>(
         &self,
         start: usize,
@@ -1455,6 +1484,35 @@ pub fn aggregate_parallel_ctx(
     threads: usize,
     ctx: &QueryCtx,
 ) -> Result<(ResultTable, u64), StorageError> {
+    static_run(
+        table,
+        query,
+        source,
+        strategy,
+        threads,
+        crate::fault::FaultSpec::disabled(),
+        None,
+        ctx,
+    )
+}
+
+/// Shared implementation behind the static-shard entry points. Worker
+/// closures run inside `catch_unwind`: a panicking shard (organic or
+/// injected via `fault`) is contained, its partial is dropped, and the
+/// scan surfaces [`StorageError::WorkerPanicked`] — siblings finish
+/// their own shard (static sharding has no claim loop to abort), the
+/// pool stays healthy, and nothing reaches the merge or the cache.
+#[allow(clippy::too_many_arguments)]
+fn static_run(
+    table: &Table,
+    query: &SelectQuery,
+    source: &RowSource<'_>,
+    strategy: GroupStrategy,
+    threads: usize,
+    fault: crate::fault::FaultSpec,
+    stats: Option<&crate::stats::ExecStats>,
+    ctx: &QueryCtx,
+) -> Result<(ResultTable, u64), StorageError> {
     let plan = build_plan(table, query)?;
     ctx.check()?;
     let mut workers = parallel::effective_threads(threads);
@@ -1471,6 +1529,8 @@ pub fn aggregate_parallel_ctx(
     let n_units = source.estimated_rows();
     workers = workers.min(n_units.max(1));
     if workers <= 1 {
+        // The serial path is the degrade refuge: no fan-out, no
+        // injection points.
         let mut acc = ChunkAccumulator::new(&plan, strategy);
         let (scanned, completed) = source.for_each_chunk_ctx(ctx, |rows| acc.consume(rows));
         if !completed || ctx.is_cancelled() {
@@ -1482,26 +1542,71 @@ pub fn aggregate_parallel_ctx(
     let input = ShardInput::of(source);
     debug_assert_eq!(input.n_units(), n_units);
     let shards = parallel::split_ranges(n_units, workers);
+    let epoch = ctx.fault_epoch();
+    if fault.fires(
+        crate::fault::FaultPoint::WorkerSpawn,
+        shards.len() as u64,
+        epoch,
+    ) {
+        return Err(StorageError::ResourceExhausted(format!(
+            "injected worker-spawn failure ({} shards)",
+            shards.len()
+        )));
+    }
 
-    let partials: Vec<(ChunkAccumulatorParts, u64)> = parallel::run_workers(shards.len(), |w| {
-        let (start, end) = shards[w];
-        let mut acc = ChunkAccumulator::new(&plan, strategy);
-        let (visited, _completed) = input.scan_ctx(start, end, ctx, |rows| acc.consume(rows));
-        (
-            ChunkAccumulatorParts {
-                acc: acc.acc,
-                slot_of: acc.slot_of,
-            },
-            visited,
-        )
+    type ShardOut = Result<(ChunkAccumulatorParts, u64), (u64, String)>;
+    let partials: Vec<ShardOut> = parallel::run_workers(shards.len(), |w| {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            if fault.fires(crate::fault::FaultPoint::MorselDelay, w as u64, epoch) {
+                fault.delay();
+            }
+            if fault.fires(crate::fault::FaultPoint::ChunkScanPanic, w as u64, epoch) {
+                crate::fault::injected_panic(w as u64);
+            }
+            let (start, end) = shards[w];
+            let mut acc = ChunkAccumulator::new(&plan, strategy);
+            let (visited, _completed) = input.scan_ctx(start, end, ctx, |rows| acc.consume(rows));
+            (
+                ChunkAccumulatorParts {
+                    acc: acc.acc,
+                    slot_of: acc.slot_of,
+                },
+                visited,
+            )
+        }))
+        .map_err(|payload| {
+            (
+                w as u64,
+                crate::fault::panic_payload_string(payload.as_ref()),
+            )
+        })
     });
 
     if ctx.is_cancelled() {
         return Err(StorageError::Cancelled);
     }
-    let scanned: u64 = partials.iter().map(|(_, v)| v).sum();
-    let merged = merge_partials(&plan, strategy, partials.into_iter().map(|(p, _)| p));
-    let (acc, occupied) = merged;
+    if let Some((morsel, payload)) = partials
+        .iter()
+        .filter_map(|r| r.as_ref().err())
+        .min_by_key(|(w, _)| *w)
+    {
+        // Panicked shards drop their partials on the worker; the whole
+        // scan fails cleanly with the lowest failing shard attributed.
+        if let Some(s) = stats {
+            s.record_worker_panic();
+        }
+        return Err(StorageError::WorkerPanicked {
+            payload: payload.clone(),
+            morsel: *morsel,
+        });
+    }
+    let ok = partials.into_iter().map(|r| match r {
+        Ok(p) => p,
+        Err(_) => unreachable!("panicked shards returned above"),
+    });
+    let (parts, visits): (Vec<_>, Vec<u64>) = ok.unzip();
+    let scanned: u64 = visits.iter().sum();
+    let (acc, occupied) = merge_partials(&plan, strategy, parts.into_iter());
     Ok((finalize_result(query, &plan, &acc, &occupied), scanned))
 }
 
@@ -1847,6 +1952,7 @@ pub fn aggregate_morsel_ctx(
         threads,
         morsel_rows,
         claim_batch,
+        crate::fault::FaultSpec::disabled(),
         None,
         ctx,
     )
@@ -1854,8 +1960,15 @@ pub fn aggregate_morsel_ctx(
 
 /// Shared implementation behind the morsel entry points; `stats` (when
 /// engine-routed via [`run_scheduled`]) receives the cancelled-morsel
-/// telemetry, which must be recorded even though a cancelled run
-/// returns `Err` and therefore cannot hand back a [`MorselMetrics`].
+/// and worker-panic telemetry, which must be recorded even though such
+/// runs return `Err` and therefore cannot hand back a [`MorselMetrics`].
+///
+/// Each morsel scan runs inside `catch_unwind`: a panicking worker
+/// (organic or injected via `fault`) trips a shared abort flag so
+/// siblings stop claiming, its partial accumulator is dropped on the
+/// worker, and the scan surfaces [`StorageError::WorkerPanicked`] with
+/// the lowest panicked morsel attributed — the pool stays healthy and
+/// nothing reaches the merge or the result cache.
 #[allow(clippy::too_many_arguments)]
 fn morsel_run(
     table: &Table,
@@ -1865,6 +1978,7 @@ fn morsel_run(
     threads: usize,
     morsel_rows: usize,
     claim_batch: usize,
+    fault: crate::fault::FaultSpec,
     stats: Option<&crate::stats::ExecStats>,
     ctx: &QueryCtx,
 ) -> Result<(ResultTable, u64, Option<MorselMetrics>), StorageError> {
@@ -1900,17 +2014,32 @@ fn morsel_run(
     }
     let input = ShardInput::of(source);
     debug_assert_eq!(input.n_units(), n_units);
+    let epoch = ctx.fault_epoch();
+    if fault.fires(
+        crate::fault::FaultPoint::WorkerSpawn,
+        n_morsels as u64,
+        epoch,
+    ) {
+        return Err(StorageError::ResourceExhausted(format!(
+            "injected worker-spawn failure ({n_morsels} morsels)"
+        )));
+    }
 
     let cursor = AtomicUsize::new(0);
-    let outputs: Vec<(Vec<(usize, MorselPartial)>, u64)> = parallel::run_workers(workers, |_| {
+    // Set by the first worker whose morsel scan panics: siblings stop
+    // claiming at their next claim point, same as cancellation.
+    let abort = AtomicBool::new(false);
+    type WorkerOut = (Vec<(usize, MorselPartial)>, u64, Option<(u64, String)>);
+    let outputs: Vec<WorkerOut> = parallel::run_workers(workers, |_| {
         let mut acc = MorselAccumulator::new(&plan, strategy);
         let mut out = Vec::new();
         let mut visited = 0u64;
-        loop {
-            // The claim point doubles as the cancellation point: a
-            // worker that sees the flag stops claiming, leaving the
+        let mut panicked: Option<(u64, String)> = None;
+        'claims: loop {
+            // The claim point doubles as the cancellation/abort point: a
+            // worker that sees either flag stops claiming, leaving the
             // remaining morsels unscanned.
-            if ctx.is_cancelled() {
+            if abort.load(Ordering::Relaxed) || ctx.is_cancelled() {
                 break;
             }
             let m0 = cursor.fetch_add(claim_batch, Ordering::Relaxed);
@@ -1920,18 +2049,51 @@ fn morsel_run(
             for m in m0..(m0 + claim_batch).min(n_morsels) {
                 let start = m * morsel_rows;
                 let end = ((m + 1) * morsel_rows).min(n_units);
-                let v = input.scan(start, end, |rows| acc.consume(rows));
-                visited += v;
-                ctx.record_scanned(v);
-                ctx.record_morsel_claimed();
-                out.push((m, acc.take_partial()));
+                // `scan_ctx` checks the ctx between chunks *inside* the
+                // claimed morsel (and records scanned rows as it goes),
+                // so injected per-morsel delays or oversized morsels
+                // cannot stretch cancel latency past one chunk.
+                let scan = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    if fault.fires(crate::fault::FaultPoint::MorselDelay, m as u64, epoch) {
+                        fault.delay();
+                    }
+                    if fault.fires(crate::fault::FaultPoint::ChunkScanPanic, m as u64, epoch) {
+                        crate::fault::injected_panic(m as u64);
+                    }
+                    input.scan_ctx(start, end, ctx, |rows| acc.consume(rows))
+                }));
+                match scan {
+                    Ok((v, completed)) => {
+                        visited += v;
+                        if !completed {
+                            // Cancelled mid-morsel: the partial is
+                            // dropped and the morsel stays unaccounted
+                            // (it joins the abandoned count below).
+                            break 'claims;
+                        }
+                        ctx.record_morsel_claimed();
+                        out.push((m, acc.take_partial()));
+                    }
+                    Err(payload) => {
+                        // Contained worker panic: the accumulator state
+                        // is suspect, so this worker contributes nothing
+                        // further; siblings see `abort` at their next
+                        // claim point.
+                        abort.store(true, Ordering::Relaxed);
+                        panicked = Some((
+                            m as u64,
+                            crate::fault::panic_payload_string(payload.as_ref()),
+                        ));
+                        break 'claims;
+                    }
+                }
             }
         }
-        (out, visited)
+        (out, visited, panicked)
     });
 
-    let per_worker: Vec<u64> = outputs.iter().map(|(o, _)| o.len() as u64).collect();
-    let scanned: u64 = outputs.iter().map(|(_, v)| *v).sum();
+    let per_worker: Vec<u64> = outputs.iter().map(|(o, _, _)| o.len() as u64).collect();
+    let scanned: u64 = outputs.iter().map(|(_, v, _)| *v).sum();
     if ctx.is_cancelled() {
         // Partial accumulations are dropped here — they never reach the
         // merge, the caller, or the result cache.
@@ -1941,6 +2103,22 @@ fn morsel_run(
             s.record_morsels_cancelled(abandoned);
         }
         return Err(StorageError::Cancelled);
+    }
+    if let Some((morsel, payload)) = outputs
+        .iter()
+        .filter_map(|(_, _, p)| p.as_ref())
+        .min_by_key(|(m, _)| *m)
+    {
+        // One failed scan attempt regardless of how many workers
+        // panicked before the abort flag propagated; attribution goes to
+        // the lowest panicked morsel for determinism.
+        if let Some(s) = stats {
+            s.record_worker_panic();
+        }
+        return Err(StorageError::WorkerPanicked {
+            payload: payload.clone(),
+            morsel: *morsel,
+        });
     }
     let fair = (n_morsels as u64).div_ceil(workers as u64);
     let metrics = MorselMetrics {
@@ -1952,7 +2130,7 @@ fn morsel_run(
     };
 
     let mut tagged: Vec<(usize, MorselPartial)> =
-        outputs.into_iter().flat_map(|(o, _)| o).collect();
+        outputs.into_iter().flat_map(|(o, _, _)| o).collect();
     tagged.sort_unstable_by_key(|&(m, _)| m);
     let (acc, occupied) =
         merge_morsel_partials(&plan, strategy, tagged.into_iter().map(|(_, p)| p));
@@ -1984,9 +2162,16 @@ pub fn run_scheduled(
         return aggregate_ctx(table, query, source, strategy, ctx);
     }
     match cfg.sched {
-        SchedulingMode::Static => {
-            aggregate_parallel_ctx(table, query, source, strategy, threads, ctx)
-        }
+        SchedulingMode::Static => static_run(
+            table,
+            query,
+            source,
+            strategy,
+            threads,
+            cfg.fault,
+            Some(stats),
+            ctx,
+        ),
         SchedulingMode::Morsel => {
             let (rt, scanned, metrics) = morsel_run(
                 table,
@@ -1996,6 +2181,7 @@ pub fn run_scheduled(
                 threads,
                 cfg.morsel_rows,
                 cfg.claim_batch,
+                cfg.fault,
                 Some(stats),
                 ctx,
             )?;

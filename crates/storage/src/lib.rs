@@ -39,6 +39,7 @@ pub mod cache;
 pub mod column;
 pub mod db;
 pub mod exec;
+pub mod fault;
 pub mod lifecycle;
 pub mod parallel;
 pub mod predicate;
@@ -54,6 +55,7 @@ pub use cache::{CacheConfig, CacheKey, CacheStats, InsertOutcome, QueryKey, Resu
 pub use column::{CatColumn, Column};
 pub use db::{Database, DynDatabase, EngineSnapshot};
 pub use exec::{GroupStrategy, MorselMetrics, ParallelConfig, SchedulingMode};
+pub use fault::{FaultPoint, FaultSpec};
 pub use lifecycle::{CancelReason, QueryCtx, QueryCtxStats};
 pub use predicate::{Atom, CmpOp, Predicate};
 pub use query::{Agg, GroupSeries, ResultTable, SelectQuery, XSpec, YSpec};

@@ -98,6 +98,12 @@ struct CtxInner {
     rows_scanned: AtomicU64,
     morsels_claimed: AtomicU64,
     morsels_cancelled: AtomicU64,
+    /// Retry attempt counter fed to `FaultSpec::fires` — advancing it
+    /// re-rolls every injected-fault decision for the next attempt.
+    fault_epoch: AtomicU64,
+    /// When set, the engines cap this query at one worker (the retry
+    /// ladder's serial-degrade refuge; see `zv-server`).
+    serial_only: AtomicBool,
 }
 
 /// Per-query lifecycle handle: cancellation token + optional deadline +
@@ -128,6 +134,8 @@ impl QueryCtx {
                 rows_scanned: AtomicU64::new(0),
                 morsels_claimed: AtomicU64::new(0),
                 morsels_cancelled: AtomicU64::new(0),
+                fault_epoch: AtomicU64::new(0),
+                serial_only: AtomicBool::new(false),
             }),
         }
     }
@@ -237,6 +245,35 @@ impl QueryCtx {
         self.inner.morsels_cancelled.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Current retry epoch (0 on a fresh ctx). Every injected-fault
+    /// decision hashes this in, so each retry attempt sees an
+    /// independent — but still deterministic — fault pattern.
+    #[inline]
+    pub fn fault_epoch(&self) -> u64 {
+        self.inner.fault_epoch.load(Ordering::Relaxed)
+    }
+
+    /// Advance the retry epoch (called by `zv-server` between attempts;
+    /// safe after sharing, unlike the `with_*` builders). Returns the
+    /// new epoch.
+    pub fn advance_fault_epoch(&self) -> u64 {
+        self.inner.fault_epoch.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Restrict this query to serial execution (one worker) from now
+    /// on. Idempotent; safe after sharing. The retry ladder's last
+    /// resort: the serial path has no injection points and no fan-out,
+    /// so it cannot hit the transient parallel failure again.
+    pub fn force_serial(&self) {
+        self.inner.serial_only.store(true, Ordering::Relaxed);
+    }
+
+    /// True once [`QueryCtx::force_serial`] was called.
+    #[inline]
+    pub fn serial_only(&self) -> bool {
+        self.inner.serial_only.load(Ordering::Relaxed)
+    }
+
     /// Point-in-time copy of the progress counters.
     pub fn stats(&self) -> QueryCtxStats {
         QueryCtxStats {
@@ -314,6 +351,19 @@ mod tests {
         assert!(ctx.is_cancelled());
         assert_eq!(ctx.cancel_reason(), Some(CancelReason::Superseded));
         assert_eq!(ctx.priority(), 7);
+    }
+
+    #[test]
+    fn fault_epoch_and_serial_only_work_after_sharing() {
+        let ctx = QueryCtx::new();
+        let shared = ctx.clone();
+        assert_eq!(ctx.fault_epoch(), 0);
+        assert!(!ctx.serial_only());
+        assert_eq!(shared.advance_fault_epoch(), 1);
+        assert_eq!(shared.advance_fault_epoch(), 2);
+        assert_eq!(ctx.fault_epoch(), 2, "epoch is shared across clones");
+        shared.force_serial();
+        assert!(ctx.serial_only());
     }
 
     #[test]

@@ -104,12 +104,15 @@ where
         if r.is_err() {
             failed.store(true, Ordering::Relaxed);
         }
-        *slots[i].lock().expect("result slot poisoned") = Some(r);
+        *crate::fault::lock_recover(&slots[i]) = Some(r);
     });
     let mut out = Vec::with_capacity(n_items);
     let mut first_err: Option<E> = None;
     for slot in slots {
-        let Some(result) = slot.into_inner().expect("result slot poisoned") else {
+        // A slot writer can only poison its mutex after the assignment
+        // completed (plain `Option` store), so the recovered value is
+        // intact either way.
+        let Some(result) = slot.into_inner().unwrap_or_else(|p| p.into_inner()) else {
             // Abandoned after another item failed.
             continue;
         };

@@ -81,10 +81,12 @@ impl ScanDb {
     }
 
     pub fn with_config(table: Arc<Table>, config: ScanDbConfig) -> Self {
-        let cache = config
-            .cache
-            .is_enabled()
-            .then(|| Arc::new(ResultCache::new(&config.cache)));
+        let cache = config.cache.is_enabled().then(|| {
+            Arc::new(ResultCache::with_fault(
+                &config.cache,
+                config.parallel.fault,
+            ))
+        });
         Self::build(table, config, cache)
     }
 
@@ -113,7 +115,11 @@ impl ScanDb {
     }
 
     fn snapshot(&self) -> Arc<Table> {
-        self.table.read().expect("table lock poisoned").clone()
+        // Recover-or-proceed: the lock only ever guards an `Arc` swap,
+        // so a poisoned lock still holds an intact snapshot (either the
+        // old or the new table) — unwrapping would wedge the engine
+        // after any contained panic.
+        crate::fault::read_recover(&self.table).clone()
     }
 
     fn pin_snapshot(&self) -> ScanSnapshot {
@@ -125,6 +131,20 @@ impl ScanDb {
         }
     }
 
+    /// Poison the table lock by panicking while holding its write
+    /// guard — the chaos suite's hook for proving the engine recovers
+    /// (the guarded value is a plain `Arc`, so recovery is safe).
+    #[doc(hidden)]
+    pub fn poison_table_lock_for_chaos(&self) {
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = self.table.write().unwrap_or_else(|p| p.into_inner());
+            panic!(
+                "{} deliberate table-lock poisoning",
+                crate::fault::PANIC_MARKER
+            );
+        }));
+    }
+
     /// Swap in a mutated table built by `mutate`; returns its row delta.
     /// The O(n) copy-on-write runs outside the reader-visible lock —
     /// concurrent queries keep their old snapshot throughout — and
@@ -133,14 +153,14 @@ impl ScanDb {
         &self,
         mutate: impl FnOnce(&mut Table) -> Result<usize, StorageError>,
     ) -> Result<usize, StorageError> {
-        let _appending = self.append_lock.lock().expect("append lock poisoned");
+        let _appending = crate::fault::lock_recover(&self.append_lock);
         let mut next = (*self.snapshot()).clone();
         let old_version = next.version();
         let n = mutate(&mut next)?;
         if n == 0 && next.version() == old_version {
             return Ok(0);
         }
-        *self.table.write().expect("table lock poisoned") = Arc::new(next);
+        *crate::fault::write_recover(&self.table) = Arc::new(next);
         if let Some(cache) = &self.cache {
             cache.invalidate_table_version(old_version);
         }
@@ -179,7 +199,14 @@ impl EngineSnapshot for ScanSnapshot {
         };
         let groups = exec::group_space(table, query)?;
         let strategy = exec::choose_strategy(groups, self.dense_group_limit);
-        let threads = self.parallel.threads_for(source.estimated_rows());
+        // A degraded query (`QueryCtx::force_serial`, set by the retry
+        // ladder or the breaker) is pinned to the injection-free serial
+        // path no matter what the config would choose.
+        let threads = if ctx.serial_only() {
+            1
+        } else {
+            self.parallel.threads_for(source.estimated_rows())
+        };
         exec::run_scheduled(
             table,
             query,

@@ -45,6 +45,17 @@ pub struct ExecStats {
     /// Morsels left unclaimed because their query was cancelled
     /// mid-scan (work the cancellation saved).
     morsels_cancelled: AtomicU64,
+    /// Parallel scan attempts that failed because a worker panicked
+    /// (contained by `catch_unwind`; surfaced as
+    /// `StorageError::WorkerPanicked`).
+    worker_panics: AtomicU64,
+    /// Queries re-attempted at least once after a transient failure
+    /// (`zv-server`'s retry policy; counted once per query).
+    queries_retried: AtomicU64,
+    /// Queries routed to serial execution after parallel attempts kept
+    /// failing, or pre-emptively by an open breaker (counted once per
+    /// query).
+    queries_degraded: AtomicU64,
 }
 
 impl ExecStats {
@@ -93,6 +104,21 @@ impl ExecStats {
         self.morsels_cancelled.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Record one parallel scan attempt killed by a worker panic.
+    pub fn record_worker_panic(&self) {
+        self.worker_panics.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one query that entered the retry path (once per query).
+    pub fn record_query_retried(&self) {
+        self.queries_retried.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one query degraded to serial execution (once per query).
+    pub fn record_query_degraded(&self) {
+        self.queries_degraded.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Fold one morsel-scheduled scan's claim telemetry into the
     /// counters.
     pub fn record_morsel(&self, m: &crate::exec::MorselMetrics) {
@@ -121,6 +147,9 @@ impl ExecStats {
             morsel_idle_workers: self.morsel_idle_workers.load(Ordering::Relaxed),
             queries_cancelled: self.queries_cancelled.load(Ordering::Relaxed),
             morsels_cancelled: self.morsels_cancelled.load(Ordering::Relaxed),
+            worker_panics: self.worker_panics.load(Ordering::Relaxed),
+            queries_retried: self.queries_retried.load(Ordering::Relaxed),
+            queries_degraded: self.queries_degraded.load(Ordering::Relaxed),
         }
     }
 
@@ -140,6 +169,9 @@ impl ExecStats {
         self.morsel_idle_workers.store(0, Ordering::Relaxed);
         self.queries_cancelled.store(0, Ordering::Relaxed);
         self.morsels_cancelled.store(0, Ordering::Relaxed);
+        self.worker_panics.store(0, Ordering::Relaxed);
+        self.queries_retried.store(0, Ordering::Relaxed);
+        self.queries_degraded.store(0, Ordering::Relaxed);
     }
 }
 
@@ -167,6 +199,12 @@ pub struct StatsSnapshot {
     pub queries_cancelled: u64,
     /// Morsels left unclaimed by cancelled scans.
     pub morsels_cancelled: u64,
+    /// Parallel scan attempts killed by a contained worker panic.
+    pub worker_panics: u64,
+    /// Queries re-attempted after a transient failure (once per query).
+    pub queries_retried: u64,
+    /// Queries degraded to serial execution (once per query).
+    pub queries_degraded: u64,
 }
 
 impl StatsSnapshot {
@@ -188,6 +226,9 @@ impl StatsSnapshot {
             morsel_idle_workers: self.morsel_idle_workers - earlier.morsel_idle_workers,
             queries_cancelled: self.queries_cancelled - earlier.queries_cancelled,
             morsels_cancelled: self.morsels_cancelled - earlier.morsels_cancelled,
+            worker_panics: self.worker_panics - earlier.worker_panics,
+            queries_retried: self.queries_retried - earlier.queries_retried,
+            queries_degraded: self.queries_degraded - earlier.queries_degraded,
         }
     }
 }
@@ -209,6 +250,10 @@ mod tests {
         s.record_cache_admission_reject();
         s.record_query_cancelled();
         s.record_morsels_cancelled(5);
+        s.record_worker_panic();
+        s.record_query_retried();
+        s.record_query_retried();
+        s.record_query_degraded();
         s.record_morsel(&crate::exec::MorselMetrics {
             workers: 2,
             morsels: 8,
@@ -232,6 +277,9 @@ mod tests {
         assert_eq!(snap.morsel_idle_workers, 1);
         assert_eq!(snap.queries_cancelled, 1);
         assert_eq!(snap.morsels_cancelled, 5);
+        assert_eq!(snap.worker_panics, 1);
+        assert_eq!(snap.queries_retried, 2);
+        assert_eq!(snap.queries_degraded, 1);
     }
 
     #[test]

@@ -93,6 +93,36 @@ pub enum StorageError {
     /// before the scan finished; any partial result was discarded and
     /// never reached the result cache.
     Cancelled,
+    /// A parallel worker panicked mid-scan and was contained by the
+    /// scheduler's `catch_unwind` boundary: siblings stopped claiming,
+    /// partial accumulators were dropped before the merge, and nothing
+    /// reached the result cache. `morsel` is the lowest-indexed morsel
+    /// (or static shard) whose scan panicked; `payload` is the panic
+    /// message. Transient: `zv-server`'s retry policy may re-run the
+    /// query (parallel again, then serial).
+    WorkerPanicked {
+        /// Stringified panic payload of the first failing worker.
+        payload: String,
+        /// Morsel index (morsel scheduling) or shard index (static
+        /// scheduling) whose scan panicked.
+        morsel: u64,
+    },
+    /// A transient resource failure — e.g. worker fan-out could not
+    /// start. The query did no partial work; retrying is safe.
+    ResourceExhausted(String),
+}
+
+impl StorageError {
+    /// True for errors a retry may cure (worker panics, resource
+    /// exhaustion); false for deterministic failures (bad queries,
+    /// cancellation) where retrying would just repeat the outcome.
+    /// `zv-server`'s retry/degrade ladder keys on this split.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            StorageError::WorkerPanicked { .. } | StorageError::ResourceExhausted(_)
+        )
+    }
 }
 
 impl fmt::Display for StorageError {
@@ -103,6 +133,10 @@ impl fmt::Display for StorageError {
             StorageError::Malformed(m) => write!(f, "malformed input: {m}"),
             StorageError::Unsupported(m) => write!(f, "unsupported operation: {m}"),
             StorageError::Cancelled => write!(f, "query cancelled"),
+            StorageError::WorkerPanicked { payload, morsel } => {
+                write!(f, "worker panicked at morsel {morsel}: {payload}")
+            }
+            StorageError::ResourceExhausted(m) => write!(f, "resource exhausted: {m}"),
         }
     }
 }
