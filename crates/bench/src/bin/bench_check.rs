@@ -4,7 +4,18 @@
 //!
 //! ```text
 //! bench_check --baseline BENCH_groupby.json --fresh fresh.json [--factor 2.5]
+//! bench_check --net-baseline BENCH_net.json --net-fresh BENCH_net.fresh.json
 //! ```
+//!
+//! The second form gates the wire-latency summary written by
+//! `bench_net` (`net_p50_ms`, `net_p99_ms`) instead; when only the
+//! `--net-*` pair is given the groupby gates are skipped, so the CI
+//! net-smoke leg can run independently of the criterion leg. Net
+//! latencies are gated directly (baseline and fresh runs use the same
+//! client/query shape) under generous absolute floors — on a 1-core
+//! host 64 clients queueing on a 4-worker pool put p99 in the tens of
+//! milliseconds from queueing alone, so anything at or below the floor
+//! passes without consulting the ratio.
 //!
 //! Gated metrics:
 //!
@@ -35,6 +46,11 @@ struct Args {
     baseline: String,
     fresh: String,
     factor: f64,
+    /// Explicit `--baseline`/`--fresh` (groupby gates requested even
+    /// when `--net-*` flags are also present).
+    groupby_explicit: bool,
+    net_baseline: Option<String>,
+    net_fresh: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -42,6 +58,9 @@ fn parse_args() -> Args {
         baseline: "BENCH_groupby.json".to_string(),
         fresh: "BENCH_groupby.fresh.json".to_string(),
         factor: 2.5,
+        groupby_explicit: false,
+        net_baseline: None,
+        net_fresh: None,
     };
     fn value_of(it: &mut impl Iterator<Item = String>, flag: &str, what: &str) -> String {
         it.next().unwrap_or_else(|| {
@@ -52,8 +71,20 @@ fn parse_args() -> Args {
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--baseline" => args.baseline = value_of(&mut it, "--baseline", "a PATH"),
-            "--fresh" => args.fresh = value_of(&mut it, "--fresh", "a PATH"),
+            "--baseline" => {
+                args.baseline = value_of(&mut it, "--baseline", "a PATH");
+                args.groupby_explicit = true;
+            }
+            "--fresh" => {
+                args.fresh = value_of(&mut it, "--fresh", "a PATH");
+                args.groupby_explicit = true;
+            }
+            "--net-baseline" => {
+                args.net_baseline = Some(value_of(&mut it, "--net-baseline", "a PATH"));
+            }
+            "--net-fresh" => {
+                args.net_fresh = Some(value_of(&mut it, "--net-fresh", "a PATH"));
+            }
             "--factor" => {
                 let v = value_of(&mut it, "--factor", "a threshold factor");
                 args.factor = v.parse().unwrap_or_else(|_| {
@@ -64,7 +95,8 @@ fn parse_args() -> Args {
             other => {
                 eprintln!(
                     "bench_check: unknown flag {other} \
-                     (expected --baseline PATH, --fresh PATH, --factor F)"
+                     (expected --baseline PATH, --fresh PATH, --factor F, \
+                     --net-baseline PATH, --net-fresh PATH)"
                 );
                 std::process::exit(2);
             }
@@ -111,16 +143,23 @@ fn field(json: &str, name: &str) -> Field {
     }
 }
 
-fn main() -> ExitCode {
-    let args = parse_args();
-    let read = |path: &str| {
-        std::fs::read_to_string(path).unwrap_or_else(|e| {
-            eprintln!("bench_check: cannot read {path}: {e}");
-            std::process::exit(2);
-        })
-    };
-    let baseline = read(&args.baseline);
-    let fresh = read(&args.fresh);
+fn read_or_die(path: &str) -> String {
+    std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("bench_check: cannot read {path}: {e}");
+        std::process::exit(2);
+    })
+}
+
+/// Groupby / cache / morsel / fault gates over `bench_groupby`
+/// summaries. `Err` carries an invocation-level exit code (damaged or
+/// missing files); metric regressions accumulate in `failures`.
+fn groupby_gates(
+    args: &Args,
+    compared: &mut usize,
+    failures: &mut Vec<String>,
+) -> Result<(), ExitCode> {
+    let baseline = read_or_die(&args.baseline);
+    let fresh = read_or_die(&args.fresh);
 
     // Sanity before any comparison: both files must carry the numeric
     // row count the normalized gates depend on — anything else means
@@ -131,7 +170,7 @@ fn main() -> ExitCode {
             Field::Val(r) if r >= 1.0 => {}
             Field::Val(r) => {
                 eprintln!("bench_check: {path} reports a nonsensical row count ({r})");
-                return ExitCode::from(2);
+                return Err(ExitCode::from(2));
             }
             Field::Missing => {
                 eprintln!(
@@ -139,7 +178,7 @@ fn main() -> ExitCode {
                      bench_groupby summary? Regenerate it with \
                      `cargo run --release -p zv-bench --bin bench_groupby`."
                 );
-                return ExitCode::from(2);
+                return Err(ExitCode::from(2));
             }
             Field::Malformed(tok) => {
                 eprintln!(
@@ -147,7 +186,7 @@ fn main() -> ExitCode {
                      the file is damaged; regenerate it with \
                      `cargo run --release -p zv-bench --bin bench_groupby`."
                 );
-                return ExitCode::from(2);
+                return Err(ExitCode::from(2));
             }
         }
     }
@@ -172,8 +211,6 @@ fn main() -> ExitCode {
         raw * 1_000_000.0 / rows
     };
 
-    let mut compared = 0usize;
-    let mut failures: Vec<String> = Vec::new();
     for (name, normalize, floor_ms) in GATES {
         let fresh_raw = match field(&fresh, name) {
             Field::Val(v) => v,
@@ -217,7 +254,7 @@ fn main() -> ExitCode {
         } else {
             (fresh_raw, base_raw, "ms")
         };
-        compared += 1;
+        *compared += 1;
         let limit = (base_v * args.factor).max(floor_ms);
         let ratio = fresh_v / base_v.max(1e-9);
         let verdict = if fresh_v <= limit { "ok" } else { "REGRESSED" };
@@ -255,7 +292,7 @@ fn main() -> ExitCode {
             "fault_overhead_ratio", args.baseline
         ),
         (_, Field::Val(ratio)) => {
-            compared += 1;
+            *compared += 1;
             let verdict = if ratio <= FAULT_RATIO_LIMIT {
                 "ok"
             } else {
@@ -300,6 +337,121 @@ fn main() -> ExitCode {
             failures.push(format!(
                 "cancel_runs: a full-size run ({rows:.0} rows) recorded no mid-scan                  cancellation — the cancel path stopped taking effect"
             ));
+        }
+    }
+    Ok(())
+}
+
+/// Wire-latency gates over `bench_net` summaries (`net_p50_ms`,
+/// `net_p99_ms`). Baseline and fresh runs must use the same client
+/// count — latencies under concurrent load are queueing-dominated, so
+/// comparing a 64-client baseline to an 8-client smoke run would be
+/// meaningless. Floors are generous: on a 1-core host a 64-client run
+/// sits in the tens of milliseconds from queueing alone.
+fn net_gates(
+    args: &Args,
+    compared: &mut usize,
+    failures: &mut Vec<String>,
+) -> Result<(), ExitCode> {
+    let base_path = args
+        .net_baseline
+        .clone()
+        .unwrap_or_else(|| "BENCH_net.json".to_string());
+    let fresh_path = args
+        .net_fresh
+        .clone()
+        .unwrap_or_else(|| "BENCH_net.fresh.json".to_string());
+    let baseline = read_or_die(&base_path);
+    let fresh = read_or_die(&fresh_path);
+
+    for (path, json) in [(&base_path, &baseline), (&fresh_path, &fresh)] {
+        match field(json, "clients").val() {
+            Some(c) if c >= 1.0 => {}
+            _ => {
+                eprintln!(
+                    "bench_check: {path} has no sane \"clients\" field — is it really a \
+                     bench_net summary? Regenerate it with \
+                     `cargo run --release -p zv-bench --bin bench_net -- --json {path}`."
+                );
+                return Err(ExitCode::from(2));
+            }
+        }
+    }
+    let base_clients = field(&baseline, "clients").val().unwrap_or(0.0);
+    let fresh_clients = field(&fresh, "clients").val().unwrap_or(0.0);
+    if base_clients != fresh_clients {
+        eprintln!(
+            "bench_check: client-count mismatch ({base_clients:.0} in {base_path} vs \
+             {fresh_clients:.0} in {fresh_path}) — net latencies are queueing-dominated, \
+             rerun bench_net with --clients {base_clients:.0}"
+        );
+        return Err(ExitCode::from(2));
+    }
+
+    // (metric, absolute floor in ms). The p99 floor is sized for
+    // 1-core hosts where the whole client fleet shares the scan pool.
+    const NET_GATES: [(&str, f64); 2] = [("net_p50_ms", 25.0), ("net_p99_ms", 50.0)];
+    for (name, floor_ms) in NET_GATES {
+        let fresh_v = match field(&fresh, name) {
+            Field::Val(v) => v,
+            _ => {
+                failures.push(format!(
+                    "{name}: missing or malformed in the fresh run ({fresh_path}) — the \
+                     load generator stopped measuring it"
+                ));
+                continue;
+            }
+        };
+        let base_v = match field(&baseline, name) {
+            Field::Val(v) => v,
+            Field::Missing => {
+                println!("  {name:<24} skipped (not in baseline {base_path})");
+                continue;
+            }
+            Field::Malformed(tok) => {
+                failures.push(format!(
+                    "{name}: malformed value {tok:?} in baseline {base_path} — regenerate \
+                     it with bench_net and commit it"
+                ));
+                continue;
+            }
+        };
+        *compared += 1;
+        let limit = (base_v * args.factor).max(floor_ms);
+        let ratio = fresh_v / base_v.max(1e-9);
+        let verdict = if fresh_v <= limit { "ok" } else { "REGRESSED" };
+        println!(
+            "  {name:<24} fresh {fresh_v:9.3} vs baseline {base_v:9.3} ms  \
+             ({ratio:4.2}x, limit {:.1}x, floor {floor_ms:.0} ms)  {verdict}",
+            args.factor
+        );
+        if fresh_v > limit {
+            failures.push(format!(
+                "{name}: fresh {fresh_v:.3} ms is {ratio:.2}x the baseline {base_v:.3} ms \
+                 (allowed: {:.1}x, floor {floor_ms:.0} ms). If this slowdown is \
+                 intentional, regenerate the committed baseline with `cargo run --release \
+                 -p zv-bench --bin bench_net -- --json {base_path}` and commit it.",
+                args.factor
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let run_net = args.net_baseline.is_some() || args.net_fresh.is_some();
+    let run_groupby = args.groupby_explicit || !run_net;
+    let mut compared = 0usize;
+    let mut failures: Vec<String> = Vec::new();
+    if run_groupby {
+        if let Err(code) = groupby_gates(&args, &mut compared, &mut failures) {
+            return code;
+        }
+    }
+    if run_net {
+        if let Err(code) = net_gates(&args, &mut compared, &mut failures) {
+            return code;
         }
     }
 

@@ -3,7 +3,9 @@
 //! The multi-session front-end of the zenvisage reproduction: a
 //! [`SessionManager`] that accepts ZQL queries from many concurrent
 //! user sessions and runs them on a shared [`ZqlEngine`] under the
-//! query-lifecycle subsystem (`zv_storage::lifecycle`).
+//! query-lifecycle subsystem (`zv_storage::lifecycle`), plus the
+//! network layer ([`net`], [`proto`], [`wire`]) that exposes it over
+//! TCP to remote clients.
 //!
 //! Interactive exploration produces a very particular workload: a user
 //! dragging a slider or refining a sketch re-issues queries faster than
@@ -40,30 +42,46 @@
 //! * **Retries.** A [`RetryPolicy`] on [`SubmitOptions`] re-runs
 //!   *transient* failures ([`StorageError::is_transient`]: a contained
 //!   worker panic or resource exhaustion) up to `max_retries` times,
-//!   with exponential backoff and deterministic jitter. Each attempt
-//!   advances the ctx's fault epoch so deterministic fault injection
-//!   re-rolls its decisions.
+//!   with exponential backoff and deterministic per-job jitter. A
+//!   backoff never sleeps on a pool worker: the job is **requeued with
+//!   a not-before timestamp** and its slot immediately serves other
+//!   sessions; a worker picks the job back up once the backoff elapses.
+//!   Each attempt advances the ctx's fault epoch so deterministic fault
+//!   injection re-rolls its decisions.
 //! * **Degradation.** When parallel retries are exhausted, the query is
 //!   re-run once on the serial path (`QueryCtx::force_serial`) — no
 //!   fan-out, no injection points — before the error surfaces.
 //! * **Breaker.** `breaker_threshold` consecutive retry-exhausted
-//!   queries open a breaker that routes the next `breaker_window`
-//!   queries serial from the start, so a persistently faulty parallel
-//!   path stops burning retry budgets.
+//!   queries open a breaker that routes subsequent queries serial.
+//!   Once at least half of `breaker_window` serial queries have been
+//!   routed, the breaker **half-opens**: one trial query runs parallel
+//!   as a probe — success closes the breaker early (the pool healed),
+//!   failure re-arms a full serial window. The breaker never silently
+//!   re-closes without probe evidence; its live state is surfaced as
+//!   [`SessionStats::breaker`].
 //!
-//! All three are observable: `expired` / `retried` / `degraded` in
-//! [`SessionStats`], mirrored onto the engine's `ExecStats`.
+//! All of it is observable: `expired` / `retried` / `degraded` /
+//! `breaker` in [`SessionStats`], mirrored onto the engine's
+//! `ExecStats`.
+
+pub mod net;
+pub mod proto;
+pub mod wire;
 
 use rand::{rngs::StdRng, Rng, SeedableRng};
 use std::collections::{BinaryHeap, HashMap};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use zql::{ZqlEngine, ZqlError, ZqlOutput, ZqlQuery};
 use zv_storage::fault::{lock_recover, panic_payload_string};
 use zv_storage::{CancelReason, QueryCtx, StorageError};
+
+pub use net::{NetServer, NetServerConfig, NetStats, NetStatsSnapshot};
+pub use proto::{Request, Response, RetryWire, PROTO_VERSION};
+pub use wire::NetClient;
 
 /// Identifies one user session (browser tab, notebook cell, API key…).
 pub type SessionId = u64;
@@ -78,8 +96,10 @@ pub struct SessionConfig {
     /// Consecutive retry-exhausted queries before the breaker opens and
     /// routes subsequent queries serial. `0` disables the breaker.
     pub breaker_threshold: u32,
-    /// How many queries run serial once the breaker opens; afterwards
-    /// the parallel path gets another chance.
+    /// Size of the serial window an open breaker serves. Once half of
+    /// it has been routed serial, one trial query probes the parallel
+    /// path (half-open): success closes the breaker, failure re-arms a
+    /// full window.
     pub breaker_window: u32,
 }
 
@@ -103,11 +123,15 @@ pub struct RetryPolicy {
     /// Re-run a transient failure up to this many times (same mode).
     pub max_retries: u32,
     /// Backoff before retry `k` is `backoff_base * 2^k` plus jitter.
-    /// `Duration::ZERO` retries immediately (what tests want).
+    /// `Duration::ZERO` retries immediately (what tests want). A
+    /// non-zero backoff requeues the job with a not-before timestamp —
+    /// the pool slot serves other sessions while the backoff elapses.
     pub backoff_base: Duration,
     /// Seed for deterministic backoff jitter; `0` means no jitter.
     /// Jitter is uniform in `[0, backoff_base * 2^k)`, derived from
-    /// `seed ^ k` — reproducible, no wall-clock entropy.
+    /// `(seed, job seq, k)` — concurrently-retrying queries get
+    /// *decorrelated* delays (no synchronized retry herd), while any
+    /// single job's schedule replays exactly.
     pub jitter_seed: u64,
     /// After parallel retries are exhausted, re-run once on the serial
     /// path (no fan-out, no injection points) before failing.
@@ -163,6 +187,32 @@ impl std::fmt::Display for SubmitError {
 
 impl std::error::Error for SubmitError {}
 
+/// Live state of the degradation breaker ([`SessionStats::breaker`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BreakerView {
+    /// Parallel execution; `consecutive` counts back-to-back
+    /// retry-exhausted queries toward the threshold.
+    Closed { consecutive: u32 },
+    /// Serial routing. `serial_left` is the remaining window;
+    /// `probing` marks a half-open trial query currently running in
+    /// parallel (its success closes the breaker, its failure re-arms a
+    /// full window — the breaker never re-closes without a probe).
+    Open { serial_left: u32, probing: bool },
+}
+
+impl Default for BreakerView {
+    fn default() -> Self {
+        BreakerView::Closed { consecutive: 0 }
+    }
+}
+
+impl BreakerView {
+    /// True when queries are being routed serial.
+    pub fn is_open(&self) -> bool {
+        matches!(self, BreakerView::Open { .. })
+    }
+}
+
 /// Point-in-time counters ([`SessionManager::stats`]). Every *admitted*
 /// submission ends in exactly one of `completed` / `cancelled` /
 /// `failed`; `rejected` submissions were never admitted; `superseded`
@@ -176,8 +226,8 @@ pub struct SessionStats {
     /// Admitted queries that finished with a result.
     pub completed: u64,
     /// Admitted queries that ended `StorageError::Cancelled` (superseded,
-    /// explicit cancel, deadline, or row budget) — whether they were
-    /// still queued or already mid-scan.
+    /// explicit cancel, deadline, row budget, or a lost connection) —
+    /// whether they were still queued or already mid-scan.
     pub cancelled: u64,
     /// Admitted queries that failed with a non-cancellation error.
     pub failed: u64,
@@ -193,10 +243,13 @@ pub struct SessionStats {
     /// Queries degraded to the serial path — by serial fallback after
     /// exhausted retries, or routed serial by an open breaker.
     pub degraded: u64,
-    /// Queries currently waiting in the overflow queue.
+    /// Queries currently waiting in the overflow queue (including
+    /// requeued retries waiting out a backoff).
     pub queued: usize,
     /// Sessions with a live (queued or running) query.
     pub active_sessions: usize,
+    /// Live breaker state (closed / open / half-open probing).
+    pub breaker: BreakerView,
 }
 
 #[derive(Default)]
@@ -212,49 +265,142 @@ struct Counters {
     degraded: AtomicU64,
 }
 
-/// Degradation breaker: `consecutive` counts back-to-back queries whose
-/// parallel attempts were all exhausted; reaching the threshold arms
-/// `serial_left`, and each arriving query decrements it (running
-/// serial) until the window closes.
+/// How the breaker routes one arriving query.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Route {
+    /// Breaker closed (or disabled): normal parallel execution.
+    Parallel,
+    /// Breaker open: run serial from the start (no parallel attempt).
+    Serial,
+    /// Half-open trial: run parallel; the outcome decides the breaker.
+    Probe,
+}
+
+/// Degradation breaker (see [`BreakerView`] for the observable states).
+/// One low-contention mutex: route/trip decisions happen once per
+/// query, not per morsel.
 #[derive(Default)]
 struct Breaker {
-    consecutive: AtomicU32,
-    serial_left: AtomicU32,
+    state: Mutex<BreakerView>,
 }
 
 impl Breaker {
-    /// Claim one serial slot if the breaker is open.
-    fn take_serial_slot(&self) -> bool {
-        let mut left = self.serial_left.load(Ordering::Relaxed);
-        while left > 0 {
-            match self.serial_left.compare_exchange_weak(
-                left,
-                left - 1,
-                Ordering::Relaxed,
-                Ordering::Relaxed,
-            ) {
-                Ok(_) => return true,
-                Err(cur) => left = cur,
+    /// Route one arriving query. `threshold == 0` disables the breaker.
+    fn route(&self, threshold: u32, window: u32) -> Route {
+        if threshold == 0 {
+            return Route::Parallel;
+        }
+        let mut s = lock_recover(&self.state);
+        match *s {
+            BreakerView::Closed { .. } => Route::Parallel,
+            BreakerView::Open {
+                serial_left,
+                probing,
+            } => {
+                if !probing && serial_left * 2 <= window {
+                    // Half of the window served serial: half-open — send
+                    // one trial query down the parallel path.
+                    *s = BreakerView::Open {
+                        serial_left,
+                        probing: true,
+                    };
+                    Route::Probe
+                } else {
+                    *s = BreakerView::Open {
+                        serial_left: serial_left.saturating_sub(1),
+                        probing,
+                    };
+                    Route::Serial
+                }
             }
         }
-        false
     }
 
-    /// A query exhausted its parallel retries.
+    /// A (non-probe) query exhausted its parallel retries.
     fn record_trip(&self, threshold: u32, window: u32) {
         if threshold == 0 {
             return;
         }
-        if self.consecutive.fetch_add(1, Ordering::Relaxed) + 1 >= threshold {
-            self.consecutive.store(0, Ordering::Relaxed);
-            self.serial_left.store(window, Ordering::Relaxed);
+        let mut s = lock_recover(&self.state);
+        *s = match *s {
+            BreakerView::Closed { consecutive } if consecutive + 1 >= threshold => {
+                BreakerView::Open {
+                    serial_left: window,
+                    probing: false,
+                }
+            }
+            BreakerView::Closed { consecutive } => BreakerView::Closed {
+                consecutive: consecutive + 1,
+            },
+            // A parallel query admitted before the breaker opened can
+            // trip while it is already open: re-arm the full window.
+            BreakerView::Open { probing, .. } => BreakerView::Open {
+                serial_left: window,
+                probing,
+            },
+        };
+    }
+
+    /// A non-probe query succeeded on the parallel path.
+    fn record_parallel_success(&self) {
+        let mut s = lock_recover(&self.state);
+        if let BreakerView::Closed { .. } = *s {
+            *s = BreakerView::Closed { consecutive: 0 };
+        }
+        // While open, only the designated probe may close the breaker —
+        // a straggler admitted pre-open proves nothing about the pool.
+    }
+
+    /// The half-open probe resolved. `Some(true)`: the parallel path
+    /// served — close the breaker (early, discarding any remaining
+    /// serial window). `Some(false)`: still broken — re-arm a full
+    /// window. `None` (probe cancelled / inconclusive): free the probe
+    /// slot so a later query can try.
+    fn probe_result(&self, healthy: Option<bool>, window: u32) {
+        let mut s = lock_recover(&self.state);
+        if let BreakerView::Open { serial_left, .. } = *s {
+            *s = match healthy {
+                Some(true) => BreakerView::Closed { consecutive: 0 },
+                Some(false) => BreakerView::Open {
+                    serial_left: window,
+                    probing: false,
+                },
+                None => BreakerView::Open {
+                    serial_left,
+                    probing: false,
+                },
+            };
         }
     }
 
-    /// A query succeeded on the parallel path.
-    fn record_parallel_success(&self) {
-        self.consecutive.store(0, Ordering::Relaxed);
+    fn view(&self) -> BreakerView {
+        *lock_recover(&self.state)
     }
+}
+
+/// Deterministic backoff before retry `attempt` of job `seq`:
+/// `backoff_base * 2^attempt` plus jitter uniform in `[0, that)`.
+/// Jitter is seeded from `(jitter_seed, seq, attempt)`: two jobs
+/// retrying concurrently sleep *different* durations (mixing only
+/// `(seed, attempt)` would synchronize the whole retry herd onto one
+/// schedule — the opposite of jitter's purpose), while one job's
+/// schedule is a pure function of its seq and replays exactly.
+fn backoff_duration(policy: &RetryPolicy, seq: u64, attempt: u32) -> Duration {
+    if policy.backoff_base.is_zero() {
+        return Duration::ZERO;
+    }
+    let base = policy.backoff_base.saturating_mul(1 << attempt.min(16));
+    let jitter = if policy.jitter_seed != 0 {
+        let mixed = policy.jitter_seed
+            ^ seq.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ u64::from(attempt).wrapping_mul(0xC2B2_AE3D_27D4_EB4F);
+        let mut rng = StdRng::seed_from_u64(mixed);
+        let span = (base.as_micros() as u64).max(1);
+        Duration::from_micros(rng.gen_range(0..span))
+    } else {
+        Duration::ZERO
+    };
+    base + jitter
 }
 
 /// Result slot a worker fills and a [`QueryHandle`] waits on.
@@ -338,7 +484,8 @@ impl QueryHandle {
 }
 
 /// One queued unit of work. Heap order: priority desc, then seq asc
-/// (FIFO within a priority band).
+/// (FIFO within a priority band). Retry state rides along so a
+/// requeued backoff resumes exactly where the last attempt stopped.
 struct PendingJob {
     session: SessionId,
     seq: u64,
@@ -347,6 +494,17 @@ struct PendingJob {
     ctx: QueryCtx,
     retry: RetryPolicy,
     shared: Arc<JobShared>,
+    /// Parallel attempts already burned (0 on a fresh submission).
+    attempt: u32,
+    /// Whether the `retried` counters were already bumped for this job.
+    retried: bool,
+    /// Breaker routing happened (first attempt only).
+    routed: bool,
+    /// This job holds the breaker's half-open probe slot (unresolved).
+    probe: bool,
+    /// Earliest instant a worker may pick this job up (requeued
+    /// backoff); `None` = immediately.
+    not_before: Option<Instant>,
 }
 
 impl PartialEq for PendingJob {
@@ -369,7 +527,12 @@ impl Ord for PendingJob {
 }
 
 struct Queue {
+    /// Jobs ready to run now.
     heap: BinaryHeap<PendingJob>,
+    /// Requeued retries waiting out a backoff (`not_before` in the
+    /// future). Workers promote due entries into the heap; a handful of
+    /// entries at most, so a Vec scan beats a second ordered structure.
+    delayed: Vec<PendingJob>,
     shutdown: bool,
 }
 
@@ -377,6 +540,13 @@ struct Queue {
 struct InFlight {
     seq: u64,
     ctx: QueryCtx,
+}
+
+/// One attempt-cycle outcome: the job finished, or it must go back to
+/// the queue and wait out `Duration` (freeing this worker's slot).
+enum Step {
+    Done(Result<ZqlOutput, ZqlError>),
+    Requeue(Duration),
 }
 
 struct Inner {
@@ -392,19 +562,40 @@ struct Inner {
 }
 
 impl Inner {
-    fn run_job(&self, job: PendingJob) {
+    fn run_job(&self, mut job: PendingJob) {
         // A job superseded (or cancelled) while still queued is skipped
         // without touching the engine — the cheapest cancel of all. A
         // deadline that expired while the job sat in the queue is the
         // same skip, tracked separately (`expired`).
-        let result = if job.ctx.is_cancelled() {
+        if job.ctx.is_cancelled() {
             if job.ctx.cancel_reason() == Some(CancelReason::Deadline) {
                 self.counters.expired.fetch_add(1, Ordering::Relaxed);
             }
-            Err(ZqlError::Storage(StorageError::Cancelled))
-        } else {
-            self.execute_with_policy(&job)
-        };
+            self.finish(job, Err(ZqlError::Storage(StorageError::Cancelled)));
+            return;
+        }
+        match self.execute_with_policy(&mut job) {
+            Step::Done(result) => self.finish(job, result),
+            Step::Requeue(delay) => self.requeue(job, delay),
+        }
+    }
+
+    /// Final bookkeeping: resolve an outstanding probe, count the
+    /// outcome, release the session slot, wake the waiter.
+    fn finish(&self, job: PendingJob, result: Result<ZqlOutput, ZqlError>) {
+        if job.probe {
+            // Probe failures resolve inside the retry loop (they re-arm
+            // the window); reaching here unresolved means success (the
+            // parallel path served) or an inconclusive end (cancelled,
+            // non-transient error) that just frees the probe slot.
+            let healthy = match &result {
+                Ok(_) if !job.ctx.serial_only() => Some(true),
+                _ => None,
+            };
+            self.breaker.probe_result(healthy, self.breaker_window);
+        } else if result.is_ok() && !job.ctx.serial_only() {
+            self.breaker.record_parallel_success();
+        }
         match &result {
             Ok(_) => self.counters.completed.fetch_add(1, Ordering::Relaxed),
             Err(ZqlError::Storage(StorageError::Cancelled)) => {
@@ -414,6 +605,29 @@ impl Inner {
         };
         self.release_session(&job);
         job.shared.complete(result);
+    }
+
+    /// Put a retrying job back on the queue with a not-before stamp.
+    /// The calling worker's slot is free the moment this returns — a
+    /// backoff never pins a slot (`std::thread::sleep` here used to
+    /// starve the pool under a few flapping queries).
+    fn requeue(&self, mut job: PendingJob, delay: Duration) {
+        job.not_before = Some(Instant::now() + delay);
+        {
+            let mut q = lock_recover(&self.queue);
+            if !q.shutdown {
+                q.delayed.push(job);
+                drop(q);
+                // A worker stuck in an untimed wait must re-arm with a
+                // timeout for the new earliest due instant.
+                self.cv.notify_one();
+                return;
+            }
+        }
+        // Shutdown raced the requeue: finish the job the way the drain
+        // path finishes still-queued jobs.
+        job.ctx.cancel();
+        self.finish(job, Err(ZqlError::Storage(StorageError::Cancelled)));
     }
 
     /// One engine attempt with panic containment: a panic that somehow
@@ -433,48 +647,65 @@ impl Inner {
         })
     }
 
-    /// Run one admitted job under its [`RetryPolicy`]: bounded
-    /// same-mode retries for transient failures, then one serial
-    /// fallback, feeding the breaker throughout. Terminates because the
-    /// serial fallback fires at most once (`serial_only` latches) and
-    /// retries are bounded by `max_retries`.
-    fn execute_with_policy(&self, job: &PendingJob) -> Result<ZqlOutput, ZqlError> {
+    /// Run one attempt-cycle of an admitted job under its
+    /// [`RetryPolicy`]: breaker routing on the first attempt, bounded
+    /// same-mode retries for transient failures (zero backoff loops in
+    /// place; a real backoff returns [`Step::Requeue`] so the slot is
+    /// freed), then one serial fallback. Terminates because the serial
+    /// fallback fires at most once (`serial_only` latches) and retries
+    /// are bounded by `max_retries`.
+    fn execute_with_policy(&self, job: &mut PendingJob) -> Step {
         let policy = job.retry;
         let db_stats = self.engine.database().stats();
-        // An open breaker routes this query serial from the start.
-        if self.breaker.take_serial_slot() && !job.ctx.serial_only() {
-            job.ctx.force_serial();
-            self.counters.degraded.fetch_add(1, Ordering::Relaxed);
-            db_stats.record_query_degraded();
+        if !job.routed {
+            job.routed = true;
+            if !job.ctx.serial_only() {
+                match self
+                    .breaker
+                    .route(self.breaker_threshold, self.breaker_window)
+                {
+                    Route::Parallel => {}
+                    Route::Probe => job.probe = true,
+                    Route::Serial => {
+                        job.ctx.force_serial();
+                        self.counters.degraded.fetch_add(1, Ordering::Relaxed);
+                        db_stats.record_query_degraded();
+                    }
+                }
+            }
         }
-        let mut retried = false;
-        let mut attempt: u32 = 0;
         loop {
             let result = self.attempt(job);
             let transient = matches!(&result, Err(ZqlError::Storage(e)) if e.is_transient());
             if !transient || job.ctx.is_cancelled() {
-                if result.is_ok() && !job.ctx.serial_only() {
-                    self.breaker.record_parallel_success();
-                }
-                return result;
+                return Step::Done(result);
             }
             // Transient failure: same-mode retries first…
-            if attempt < policy.max_retries {
-                if !retried {
-                    retried = true;
+            if job.attempt < policy.max_retries {
+                if !job.retried {
+                    job.retried = true;
                     self.counters.retried.fetch_add(1, Ordering::Relaxed);
                     db_stats.record_query_retried();
                 }
-                self.backoff(&policy, attempt);
-                attempt += 1;
+                let delay = backoff_duration(&policy, job.seq, job.attempt);
+                job.attempt += 1;
                 // Re-roll injected-fault decisions for the next attempt.
                 job.ctx.advance_fault_epoch();
-                continue;
+                if delay.is_zero() {
+                    continue;
+                }
+                return Step::Requeue(delay);
             }
             // …then degrade: one serial re-run before surfacing.
             if !job.ctx.serial_only() {
-                self.breaker
-                    .record_trip(self.breaker_threshold, self.breaker_window);
+                if job.probe {
+                    // The half-open probe failed: re-arm a full window.
+                    job.probe = false;
+                    self.breaker.probe_result(Some(false), self.breaker_window);
+                } else {
+                    self.breaker
+                        .record_trip(self.breaker_threshold, self.breaker_window);
+                }
                 if policy.serial_fallback {
                     job.ctx.force_serial();
                     job.ctx.advance_fault_epoch();
@@ -483,24 +714,8 @@ impl Inner {
                     continue;
                 }
             }
-            return result;
+            return Step::Done(result);
         }
-    }
-
-    /// Sleep `backoff_base * 2^attempt` plus deterministic jitter.
-    fn backoff(&self, policy: &RetryPolicy, attempt: u32) {
-        if policy.backoff_base.is_zero() {
-            return;
-        }
-        let base = policy.backoff_base.saturating_mul(1 << attempt.min(16));
-        let jitter = if policy.jitter_seed != 0 {
-            let mut rng = StdRng::seed_from_u64(policy.jitter_seed ^ u64::from(attempt));
-            let span = (base.as_micros() as u64).max(1);
-            Duration::from_micros(rng.gen_range(0..span))
-        } else {
-            Duration::ZERO
-        };
-        std::thread::sleep(base + jitter);
     }
 
     /// Drop the session registration if this job is still its newest.
@@ -526,6 +741,7 @@ impl SessionManager {
             engine,
             queue: Mutex::new(Queue {
                 heap: BinaryHeap::new(),
+                delayed: Vec::new(),
                 shutdown: false,
             }),
             cv: Condvar::new(),
@@ -599,13 +815,18 @@ impl SessionManager {
             ctx: ctx.clone(),
             retry: opts.retry,
             shared: Arc::clone(&shared),
+            attempt: 0,
+            retried: false,
+            routed: false,
+            probe: false,
+            not_before: None,
         };
         {
             let mut q = lock_recover(&self.inner.queue);
             if q.shutdown {
                 return Err(SubmitError::ShuttingDown);
             }
-            if q.heap.len() >= self.inner.max_queued {
+            if q.heap.len() + q.delayed.len() >= self.inner.max_queued {
                 self.inner.counters.rejected.fetch_add(1, Ordering::Relaxed);
                 return Err(SubmitError::QueueFull {
                     capacity: self.inner.max_queued,
@@ -645,10 +866,17 @@ impl SessionManager {
     /// Cancel `session`'s live query, if any. Returns whether one was
     /// cancelled.
     pub fn cancel_session(&self, session: SessionId) -> bool {
+        self.cancel_session_with(session, CancelReason::Explicit)
+    }
+
+    /// [`SessionManager::cancel_session`] with an explicit
+    /// [`CancelReason`] — the network layer attributes
+    /// [`CancelReason::ConnectionLost`] when a client socket dies.
+    pub fn cancel_session_with(&self, session: SessionId, reason: CancelReason) -> bool {
         let sessions = lock_recover(&self.inner.sessions);
         match sessions.get(&session) {
             Some(active) => {
-                active.ctx.cancel();
+                active.ctx.cancel_with(reason);
                 true
             }
             None => false,
@@ -656,7 +884,10 @@ impl SessionManager {
     }
 
     pub fn stats(&self) -> SessionStats {
-        let queued = lock_recover(&self.inner.queue).heap.len();
+        let queued = {
+            let q = lock_recover(&self.inner.queue);
+            q.heap.len() + q.delayed.len()
+        };
         let active_sessions = lock_recover(&self.inner.sessions).len();
         let c = &self.inner.counters;
         SessionStats {
@@ -671,6 +902,7 @@ impl SessionManager {
             degraded: c.degraded.load(Ordering::Relaxed),
             queued,
             active_sessions,
+            breaker: self.inner.breaker.view(),
         }
     }
 }
@@ -688,7 +920,9 @@ impl Drop for SessionManager {
         let drained: Vec<PendingJob> = {
             let mut q = lock_recover(&self.inner.queue);
             q.shutdown = true;
-            std::mem::take(&mut q.heap).into_vec()
+            let mut jobs: Vec<PendingJob> = std::mem::take(&mut q.heap).into_vec();
+            jobs.append(&mut q.delayed);
+            jobs
         };
         self.inner.cv.notify_all();
         for job in drained {
@@ -712,16 +946,40 @@ fn worker_loop(inner: Arc<Inner>) {
         let job = {
             let mut q = lock_recover(&inner.queue);
             loop {
+                // Promote requeued retries whose backoff has elapsed.
+                let now = Instant::now();
+                let mut i = 0;
+                while i < q.delayed.len() {
+                    if q.delayed[i].not_before.is_none_or(|t| t <= now) {
+                        let due = q.delayed.swap_remove(i);
+                        q.heap.push(due);
+                    } else {
+                        i += 1;
+                    }
+                }
                 if let Some(job) = q.heap.pop() {
                     break job;
                 }
                 if q.shutdown {
                     return;
                 }
-                q = inner
-                    .cv
-                    .wait(q)
-                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                let next_due = q.delayed.iter().filter_map(|j| j.not_before).min();
+                q = match next_due {
+                    // A backoff is pending: sleep at most until it is
+                    // due (on this worker's *idle* time — busy workers
+                    // never wait here).
+                    Some(due) => {
+                        inner
+                            .cv
+                            .wait_timeout(q, due.saturating_duration_since(now))
+                            .unwrap_or_else(std::sync::PoisonError::into_inner)
+                            .0
+                    }
+                    None => inner
+                        .cv
+                        .wait(q)
+                        .unwrap_or_else(std::sync::PoisonError::into_inner),
+                };
             }
         };
         inner.run_job(job);
@@ -733,3 +991,141 @@ const _: fn() = || {
     fn assert_send_sync<T: Send + Sync>() {}
     assert_send_sync::<SessionManager>();
 };
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MS: Duration = Duration::from_millis(1);
+
+    fn policy(seed: u64) -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 3,
+            backoff_base: MS,
+            jitter_seed: seed,
+            serial_fallback: true,
+        }
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_and_replays_per_job() {
+        let p = policy(42);
+        let d0 = backoff_duration(&p, 7, 0);
+        let d1 = backoff_duration(&p, 7, 1);
+        let d2 = backoff_duration(&p, 7, 2);
+        assert!(d0 >= MS && d0 < 2 * MS, "base + jitter < base: {d0:?}");
+        assert!(d1 >= 2 * MS && d1 < 4 * MS);
+        assert!(d2 >= 4 * MS && d2 < 8 * MS);
+        // Same (seed, seq, attempt) → same duration, exactly.
+        assert_eq!(d0, backoff_duration(&p, 7, 0));
+        assert_eq!(d1, backoff_duration(&p, 7, 1));
+    }
+
+    #[test]
+    fn concurrent_jobs_get_decorrelated_jitter() {
+        // The PR-6 defect: jitter seeded from (seed, attempt) only made
+        // every concurrently-retrying job sleep the *identical*
+        // duration — a synchronized herd. Mixing the job seq in must
+        // spread them: across many seqs at the same attempt, the
+        // durations cannot all collapse onto one value.
+        let p = policy(42);
+        let durations: Vec<Duration> = (0..64).map(|seq| backoff_duration(&p, seq, 0)).collect();
+        let distinct = {
+            let mut d = durations.clone();
+            d.sort();
+            d.dedup();
+            d.len()
+        };
+        assert!(
+            distinct > 32,
+            "64 concurrent jobs share only {distinct} distinct backoffs — herd is back"
+        );
+        // No jitter seed: pure exponential base, identical by design.
+        let bare = RetryPolicy {
+            jitter_seed: 0,
+            ..p
+        };
+        assert!((0..8).all(|seq| backoff_duration(&bare, seq, 0) == MS));
+    }
+
+    #[test]
+    fn breaker_opens_after_threshold_and_probes_half_open() {
+        let b = Breaker::default();
+        let (t, w) = (2, 4);
+        assert_eq!(b.route(t, w), Route::Parallel);
+        b.record_trip(t, w);
+        assert_eq!(b.view(), BreakerView::Closed { consecutive: 1 });
+        assert_eq!(b.route(t, w), Route::Parallel, "one trip: still closed");
+        b.record_trip(t, w);
+        assert!(b.view().is_open(), "threshold trips open the breaker");
+        // First half of the window routes serial…
+        assert_eq!(b.route(t, w), Route::Serial);
+        assert_eq!(b.route(t, w), Route::Serial);
+        // …then one trial query probes the parallel path.
+        assert_eq!(b.route(t, w), Route::Probe);
+        assert_eq!(
+            b.view(),
+            BreakerView::Open {
+                serial_left: 2,
+                probing: true
+            }
+        );
+        // While the probe is out, everything else stays serial — even
+        // past the window (never silently re-close).
+        for _ in 0..10 {
+            assert_eq!(b.route(t, w), Route::Serial);
+        }
+        assert_eq!(
+            b.view(),
+            BreakerView::Open {
+                serial_left: 0,
+                probing: true
+            }
+        );
+        // Probe succeeds: breaker closes early, parallel resumes.
+        b.probe_result(Some(true), w);
+        assert_eq!(b.view(), BreakerView::Closed { consecutive: 0 });
+        assert_eq!(b.route(t, w), Route::Parallel);
+    }
+
+    #[test]
+    fn failed_probe_rearms_a_full_window() {
+        let b = Breaker::default();
+        let (t, w) = (1, 2);
+        b.record_trip(t, w);
+        assert_eq!(b.route(t, w), Route::Serial); // 2 → 1
+        assert_eq!(b.route(t, w), Route::Probe); // 1*2 <= 2
+        b.probe_result(Some(false), w);
+        assert_eq!(
+            b.view(),
+            BreakerView::Open {
+                serial_left: 2,
+                probing: false
+            },
+            "a failing probe re-arms the full serial window"
+        );
+        // Inconclusive probe (cancelled): slot freed, window unchanged.
+        assert_eq!(b.route(t, w), Route::Serial); // 2 → 1
+        assert_eq!(b.route(t, w), Route::Probe);
+        b.probe_result(None, w);
+        assert_eq!(
+            b.view(),
+            BreakerView::Open {
+                serial_left: 1,
+                probing: false
+            }
+        );
+        // The freed slot lets the next query probe again.
+        assert_eq!(b.route(t, w), Route::Probe);
+    }
+
+    #[test]
+    fn disabled_breaker_never_opens() {
+        let b = Breaker::default();
+        for _ in 0..10 {
+            b.record_trip(0, 0);
+            assert_eq!(b.route(0, 0), Route::Parallel);
+        }
+        assert_eq!(b.view(), BreakerView::Closed { consecutive: 0 });
+    }
+}

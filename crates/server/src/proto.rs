@@ -1,0 +1,639 @@
+//! # Wire protocol reference (version 1)
+//!
+//! The zv-server network protocol is **length-prefixed line-JSON** over
+//! a plain TCP stream — human-debuggable with `nc`, no external codec,
+//! and unambiguous framing even when a payload embeds newlines (it
+//! never does: the JSON writer emits a single line, but the length
+//! prefix means a reader never has to trust that).
+//!
+//! ## Frame layout
+//!
+//! ```text
+//! <len>\n<json>\n
+//! ```
+//!
+//! `len` is the byte length of `<json>` in ASCII decimal (no sign, no
+//! padding), followed by one `\n`, then exactly `len` bytes of
+//! single-line UTF-8 JSON, then one terminating `\n`. A frame whose
+//! body is not `len` bytes, not valid JSON, or not newline-terminated
+//! is a protocol error; the peer may close the connection. Frames
+//! larger than [`wire::MAX_FRAME`](crate::wire::MAX_FRAME) are
+//! rejected without allocation.
+//!
+//! Every message is a JSON object with a `"t"` tag naming its type.
+//! Unknown fields are ignored (forward compatibility); unknown tags
+//! are a protocol error.
+//!
+//! ## Auth handshake
+//!
+//! The first client frame MUST be `hello`:
+//!
+//! ```text
+//! {"t":"hello","v":1,"token":"<auth token>"}
+//! ```
+//!
+//! The server checks the protocol version and the token against its
+//! configured token set (an empty set accepts any token) and replies
+//! either `welcome` — which binds the connection to a fresh session id
+//! — or a terminal `error` with code `"auth"` (bad token) or `"proto"`
+//! (version mismatch), then closes. No other frame is accepted before
+//! a successful handshake.
+//!
+//! ```text
+//! {"t":"welcome","v":1,"session":<id>}
+//! ```
+//!
+//! ## Message types after the handshake
+//!
+//! Client → server:
+//!
+//! | tag      | fields                            | meaning |
+//! |----------|-----------------------------------|---------|
+//! | `query`  | `id`, `zql`, `opts`               | submit ZQL text under [`SubmitOptions`] |
+//! | `cancel` | —                                 | cancel the session's live query |
+//! | `bye`    | —                                 | graceful close (cancels any live query) |
+//!
+//! `id` is a client-chosen correlation number echoed on the matching
+//! response. `opts` carries `priority`, `deadline_ms`, `row_budget`
+//! and a `retry` object (`max_retries`, `backoff_us`, `jitter_seed`,
+//! `serial_fallback`); 64-bit values that may exceed 2^53
+//! (`jitter_seed`, `row_budget`) travel as decimal strings.
+//!
+//! Server → client (exactly one response per `query`, in submission
+//! order — the per-connection responder is FIFO):
+//!
+//! | tag         | fields                       | meaning |
+//! |-------------|------------------------------|---------|
+//! | `result`    | `id`, `tables`, `report`     | serialized result tables + execution metrics |
+//! | `cancelled` | `id`, `reason`               | the query was cancelled; `reason` attributes why |
+//! | `busy`      | `id?`, `queued`, `msg`       | admission refused — see *Busy semantics* |
+//! | `error`     | `id?`, `code`, `msg`         | `code` ∈ `auth`, `proto`, `parse`, `semantic`, `storage` |
+//!
+//! `cancelled.reason` is one of `"explicit"`, `"deadline"`,
+//! `"superseded"`, `"row_budget"`, `"connection_lost"` (or `null` when
+//! unattributed). Because a session runs **newest-interaction-wins**,
+//! pipelining a second `query` on the same connection supersedes the
+//! first: the client then receives `cancelled {reason:"superseded"}`
+//! for the old id followed by `result` for the new one.
+//!
+//! Each entry of `result.tables` is one visualization:
+//! `{"component","x","y","label","table":<ResultTable JSON>}` where the
+//! table uses [`ResultTable::to_json`]'s bit-exact encoding (floats as
+//! shortest-round-trip strings, so `NaN`/`±inf`/`-0.0` survive).
+//!
+//! ## Busy / error semantics
+//!
+//! Admission pressure always produces a **typed frame, never a hang**:
+//!
+//! * Connection limit reached → the server accepts the socket just
+//!   long enough to write `busy` (no `id`, `queued` = configured
+//!   connection cap) and closes. No handshake happens.
+//! * Session queue full → `busy` with the rejected query's `id` and
+//!   `queued` = queue capacity; the connection stays usable.
+//! * Server draining → `busy` with the query's `id`; the connection
+//!   will close once in-flight responses flush.
+//!
+//! `error` frames with code `auth`/`proto` are terminal (the server
+//! closes); `parse`/`semantic`/`storage` are per-query and leave the
+//! connection usable.
+
+use std::time::Duration;
+use zql::ExecReport;
+use zv_storage::{CancelReason, Json, ResultTable};
+
+use crate::{RetryPolicy, SubmitOptions};
+
+/// Protocol version spoken by this build (`hello.v` / `welcome.v`).
+pub const PROTO_VERSION: u64 = 1;
+
+/// Error classes carried by `error` frames.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// Handshake token rejected (terminal).
+    Auth,
+    /// Malformed frame / unknown tag / version mismatch (terminal).
+    Proto,
+    /// The ZQL text did not parse (per-query).
+    Parse,
+    /// The query parsed but is semantically invalid (per-query).
+    Semantic,
+    /// The engine failed executing the query (per-query).
+    Storage,
+}
+
+impl ErrorCode {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::Auth => "auth",
+            ErrorCode::Proto => "proto",
+            ErrorCode::Parse => "parse",
+            ErrorCode::Semantic => "semantic",
+            ErrorCode::Storage => "storage",
+        }
+    }
+
+    pub fn from_tag(s: &str) -> Option<ErrorCode> {
+        Some(match s {
+            "auth" => ErrorCode::Auth,
+            "proto" => ErrorCode::Proto,
+            "parse" => ErrorCode::Parse,
+            "semantic" => ErrorCode::Semantic,
+            "storage" => ErrorCode::Storage,
+            _ => return None,
+        })
+    }
+}
+
+/// `cancelled.reason` names (stable wire strings).
+pub fn cancel_reason_str(r: CancelReason) -> &'static str {
+    match r {
+        CancelReason::Explicit => "explicit",
+        CancelReason::Deadline => "deadline",
+        CancelReason::Superseded => "superseded",
+        CancelReason::RowBudget => "row_budget",
+        CancelReason::ConnectionLost => "connection_lost",
+    }
+}
+
+pub fn cancel_reason_from_str(s: &str) -> Option<CancelReason> {
+    Some(match s {
+        "explicit" => CancelReason::Explicit,
+        "deadline" => CancelReason::Deadline,
+        "superseded" => CancelReason::Superseded,
+        "row_budget" => CancelReason::RowBudget,
+        "connection_lost" => CancelReason::ConnectionLost,
+        _ => return None,
+    })
+}
+
+/// The wire form of a [`RetryPolicy`] (alias kept for doc clarity: the
+/// in-memory policy and its wire encoding are field-for-field the
+/// same struct).
+pub type RetryWire = RetryPolicy;
+
+/// One client → server message.
+#[derive(Clone, Debug)]
+pub enum Request {
+    /// Auth handshake; must be the first frame.
+    Hello { version: u64, token: String },
+    /// Submit ZQL text; `id` correlates the eventual response.
+    Query {
+        id: u64,
+        zql: String,
+        opts: SubmitOptions,
+    },
+    /// Cancel the session's live query (fire-and-forget: the response
+    /// arrives as the query's `cancelled` frame).
+    Cancel,
+    /// Graceful close.
+    Bye,
+}
+
+/// One visualization of a `result` frame: the component metadata plus
+/// its series re-encoded as a [`ResultTable`] (one group, X from the
+/// series' x coordinates, one measure column).
+#[derive(Clone, Debug, PartialEq)]
+pub struct VizTable {
+    pub component: String,
+    pub x: String,
+    pub y: String,
+    pub label: String,
+    pub table: ResultTable,
+}
+
+/// One server → client message.
+#[derive(Clone, Debug)]
+pub enum Response {
+    /// Successful handshake; the connection is bound to `session`.
+    Welcome { version: u64, session: u64 },
+    /// Query `id` completed.
+    Result {
+        id: u64,
+        tables: Vec<VizTable>,
+        report: ExecReport,
+    },
+    /// Query `id` was cancelled (`reason` attributes why, when known).
+    Cancelled {
+        id: u64,
+        reason: Option<CancelReason>,
+    },
+    /// Admission refused (`id` absent when the *connection* itself was
+    /// refused at the limit, before any query existed).
+    Busy {
+        id: Option<u64>,
+        queued: u64,
+        msg: String,
+    },
+    /// Handshake or query failure.
+    Error {
+        id: Option<u64>,
+        code: ErrorCode,
+        msg: String,
+    },
+}
+
+fn obj_u64(j: &Json, key: &str) -> Option<u64> {
+    j.get(key).and_then(Json::as_u64)
+}
+
+fn obj_str<'a>(j: &'a Json, key: &str) -> Option<&'a str> {
+    j.get(key).and_then(Json::as_str)
+}
+
+/// u64 that may exceed 2^53: encoded as a decimal string.
+fn u64_str(v: u64) -> Json {
+    Json::str(v.to_string())
+}
+
+fn parse_u64_str(j: &Json, key: &str) -> Option<u64> {
+    obj_str(j, key)?.parse().ok()
+}
+
+fn opts_to_json(o: &SubmitOptions) -> Json {
+    let mut fields = vec![("priority".to_string(), Json::Num(f64::from(o.priority)))];
+    if let Some(d) = o.deadline {
+        fields.push(("deadline_ms".to_string(), Json::u64(d.as_millis() as u64)));
+    }
+    if let Some(b) = o.row_budget {
+        fields.push(("row_budget".to_string(), u64_str(b)));
+    }
+    let r = &o.retry;
+    fields.push((
+        "retry".to_string(),
+        Json::Obj(vec![
+            (
+                "max_retries".to_string(),
+                Json::u64(u64::from(r.max_retries)),
+            ),
+            (
+                "backoff_us".to_string(),
+                Json::u64(r.backoff_base.as_micros() as u64),
+            ),
+            ("jitter_seed".to_string(), u64_str(r.jitter_seed)),
+            ("serial_fallback".to_string(), Json::Bool(r.serial_fallback)),
+        ]),
+    ));
+    Json::Obj(fields)
+}
+
+fn opts_from_json(j: &Json) -> Option<SubmitOptions> {
+    let mut o = SubmitOptions {
+        priority: obj_u64(j, "priority")
+            .map(|v| v as i32)
+            .or_else(|| j.get("priority").and_then(Json::as_i64).map(|v| v as i32))
+            .unwrap_or(0),
+        ..SubmitOptions::default()
+    };
+    if let Some(ms) = obj_u64(j, "deadline_ms") {
+        o.deadline = Some(Duration::from_millis(ms));
+    }
+    if let Some(b) = parse_u64_str(j, "row_budget") {
+        o.row_budget = Some(b);
+    }
+    if let Some(r) = j.get("retry") {
+        o.retry = RetryPolicy {
+            max_retries: obj_u64(r, "max_retries")? as u32,
+            backoff_base: Duration::from_micros(obj_u64(r, "backoff_us")?),
+            jitter_seed: parse_u64_str(r, "jitter_seed")?,
+            serial_fallback: r.get("serial_fallback").and_then(Json::as_bool)?,
+        };
+    }
+    Some(o)
+}
+
+impl Request {
+    pub fn to_json(&self) -> Json {
+        match self {
+            Request::Hello { version, token } => Json::Obj(vec![
+                ("t".to_string(), Json::str("hello")),
+                ("v".to_string(), Json::u64(*version)),
+                ("token".to_string(), Json::str(token.clone())),
+            ]),
+            Request::Query { id, zql, opts } => Json::Obj(vec![
+                ("t".to_string(), Json::str("query")),
+                ("id".to_string(), Json::u64(*id)),
+                ("zql".to_string(), Json::str(zql.clone())),
+                ("opts".to_string(), opts_to_json(opts)),
+            ]),
+            Request::Cancel => Json::Obj(vec![("t".to_string(), Json::str("cancel"))]),
+            Request::Bye => Json::Obj(vec![("t".to_string(), Json::str("bye"))]),
+        }
+    }
+
+    pub fn from_json(j: &Json) -> Option<Request> {
+        Some(match obj_str(j, "t")? {
+            "hello" => Request::Hello {
+                version: obj_u64(j, "v")?,
+                token: obj_str(j, "token").unwrap_or("").to_string(),
+            },
+            "query" => Request::Query {
+                id: obj_u64(j, "id")?,
+                zql: obj_str(j, "zql")?.to_string(),
+                opts: j
+                    .get("opts")
+                    .map_or_else(|| Some(SubmitOptions::default()), opts_from_json)?,
+            },
+            "cancel" => Request::Cancel,
+            "bye" => Request::Bye,
+            _ => return None,
+        })
+    }
+}
+
+fn report_to_json(r: &ExecReport) -> Json {
+    Json::Obj(vec![
+        ("sql_queries".to_string(), Json::u64(r.sql_queries)),
+        ("requests".to_string(), Json::u64(r.requests)),
+        ("rows_scanned".to_string(), Json::u64(r.rows_scanned)),
+        ("cache_hits".to_string(), Json::u64(r.cache_hits)),
+        (
+            "cache_derived_hits".to_string(),
+            Json::u64(r.cache_derived_hits),
+        ),
+        ("cache_misses".to_string(), Json::u64(r.cache_misses)),
+        (
+            "queries_cancelled".to_string(),
+            Json::u64(r.queries_cancelled),
+        ),
+        (
+            "morsels_cancelled".to_string(),
+            Json::u64(r.morsels_cancelled),
+        ),
+        ("worker_panics".to_string(), Json::u64(r.worker_panics)),
+        ("queries_retried".to_string(), Json::u64(r.queries_retried)),
+        (
+            "queries_degraded".to_string(),
+            Json::u64(r.queries_degraded),
+        ),
+        ("db_us".to_string(), Json::u64(r.db_time.as_micros() as u64)),
+        (
+            "compute_us".to_string(),
+            Json::u64(r.compute_time.as_micros() as u64),
+        ),
+        (
+            "total_us".to_string(),
+            Json::u64(r.total_time.as_micros() as u64),
+        ),
+    ])
+}
+
+fn report_from_json(j: &Json) -> Option<ExecReport> {
+    Some(ExecReport {
+        sql_queries: obj_u64(j, "sql_queries")?,
+        requests: obj_u64(j, "requests")?,
+        rows_scanned: obj_u64(j, "rows_scanned")?,
+        cache_hits: obj_u64(j, "cache_hits")?,
+        cache_derived_hits: obj_u64(j, "cache_derived_hits")?,
+        cache_misses: obj_u64(j, "cache_misses")?,
+        queries_cancelled: obj_u64(j, "queries_cancelled")?,
+        morsels_cancelled: obj_u64(j, "morsels_cancelled")?,
+        worker_panics: obj_u64(j, "worker_panics")?,
+        queries_retried: obj_u64(j, "queries_retried")?,
+        queries_degraded: obj_u64(j, "queries_degraded")?,
+        db_time: Duration::from_micros(obj_u64(j, "db_us")?),
+        compute_time: Duration::from_micros(obj_u64(j, "compute_us")?),
+        total_time: Duration::from_micros(obj_u64(j, "total_us")?),
+    })
+}
+
+fn viz_to_json(v: &VizTable) -> Json {
+    Json::Obj(vec![
+        ("component".to_string(), Json::str(v.component.clone())),
+        ("x".to_string(), Json::str(v.x.clone())),
+        ("y".to_string(), Json::str(v.y.clone())),
+        ("label".to_string(), Json::str(v.label.clone())),
+        ("table".to_string(), v.table.to_json()),
+    ])
+}
+
+fn viz_from_json(j: &Json) -> Option<VizTable> {
+    Some(VizTable {
+        component: obj_str(j, "component")?.to_string(),
+        x: obj_str(j, "x")?.to_string(),
+        y: obj_str(j, "y")?.to_string(),
+        label: obj_str(j, "label")?.to_string(),
+        table: ResultTable::from_json(j.get("table")?).ok()?,
+    })
+}
+
+impl Response {
+    pub fn to_json(&self) -> Json {
+        match self {
+            Response::Welcome { version, session } => Json::Obj(vec![
+                ("t".to_string(), Json::str("welcome")),
+                ("v".to_string(), Json::u64(*version)),
+                ("session".to_string(), u64_str(*session)),
+            ]),
+            Response::Result { id, tables, report } => Json::Obj(vec![
+                ("t".to_string(), Json::str("result")),
+                ("id".to_string(), Json::u64(*id)),
+                (
+                    "tables".to_string(),
+                    Json::Arr(tables.iter().map(viz_to_json).collect()),
+                ),
+                ("report".to_string(), report_to_json(report)),
+            ]),
+            Response::Cancelled { id, reason } => Json::Obj(vec![
+                ("t".to_string(), Json::str("cancelled")),
+                ("id".to_string(), Json::u64(*id)),
+                (
+                    "reason".to_string(),
+                    match reason {
+                        Some(r) => Json::str(cancel_reason_str(*r)),
+                        None => Json::Null,
+                    },
+                ),
+            ]),
+            Response::Busy { id, queued, msg } => Json::Obj(vec![
+                ("t".to_string(), Json::str("busy")),
+                ("id".to_string(), id.map_or(Json::Null, Json::u64)),
+                ("queued".to_string(), Json::u64(*queued)),
+                ("msg".to_string(), Json::str(msg.clone())),
+            ]),
+            Response::Error { id, code, msg } => Json::Obj(vec![
+                ("t".to_string(), Json::str("error")),
+                ("id".to_string(), id.map_or(Json::Null, Json::u64)),
+                ("code".to_string(), Json::str(code.as_str())),
+                ("msg".to_string(), Json::str(msg.clone())),
+            ]),
+        }
+    }
+
+    pub fn from_json(j: &Json) -> Option<Response> {
+        Some(match obj_str(j, "t")? {
+            "welcome" => Response::Welcome {
+                version: obj_u64(j, "v")?,
+                session: parse_u64_str(j, "session")?,
+            },
+            "result" => Response::Result {
+                id: obj_u64(j, "id")?,
+                tables: j
+                    .get("tables")?
+                    .as_arr()?
+                    .iter()
+                    .map(viz_from_json)
+                    .collect::<Option<Vec<_>>>()?,
+                report: report_from_json(j.get("report")?)?,
+            },
+            "cancelled" => Response::Cancelled {
+                id: obj_u64(j, "id")?,
+                reason: match j.get("reason") {
+                    None | Some(Json::Null) => None,
+                    Some(r) => Some(cancel_reason_from_str(r.as_str()?)?),
+                },
+            },
+            "busy" => Response::Busy {
+                id: obj_u64(j, "id"),
+                queued: obj_u64(j, "queued")?,
+                msg: obj_str(j, "msg").unwrap_or("").to_string(),
+            },
+            "error" => Response::Error {
+                id: obj_u64(j, "id"),
+                code: ErrorCode::from_tag(obj_str(j, "code")?)?,
+                msg: obj_str(j, "msg").unwrap_or("").to_string(),
+            },
+            _ => return None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zv_storage::{GroupSeries, Value};
+
+    fn roundtrip_req(r: &Request) -> Request {
+        let j = Json::parse(&r.to_json().to_string()).expect("valid json");
+        Request::from_json(&j).expect("valid request")
+    }
+
+    fn roundtrip_resp(r: &Response) -> Response {
+        let j = Json::parse(&r.to_json().to_string()).expect("valid json");
+        Response::from_json(&j).expect("valid response")
+    }
+
+    #[test]
+    fn query_request_roundtrips_options_exactly() {
+        let r = Request::Query {
+            id: 7,
+            zql: "NAME=f1 X='year' Y='sales'\n".to_string(),
+            opts: SubmitOptions {
+                priority: -3,
+                deadline: Some(Duration::from_millis(1500)),
+                row_budget: Some(u64::MAX - 1),
+                retry: RetryPolicy {
+                    max_retries: 2,
+                    backoff_base: Duration::from_micros(750),
+                    jitter_seed: u64::MAX,
+                    serial_fallback: false,
+                },
+            },
+        };
+        match roundtrip_req(&r) {
+            Request::Query { id, zql, opts } => {
+                assert_eq!(id, 7);
+                assert_eq!(zql, "NAME=f1 X='year' Y='sales'\n");
+                assert_eq!(opts.priority, -3);
+                assert_eq!(opts.deadline, Some(Duration::from_millis(1500)));
+                assert_eq!(opts.row_budget, Some(u64::MAX - 1));
+                assert_eq!(opts.retry.max_retries, 2);
+                assert_eq!(opts.retry.backoff_base, Duration::from_micros(750));
+                assert_eq!(opts.retry.jitter_seed, u64::MAX);
+                assert!(!opts.retry.serial_fallback);
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn result_response_roundtrips_tables_bit_for_bit() {
+        let table = ResultTable {
+            z_cols: vec![],
+            groups: vec![GroupSeries {
+                key: vec![],
+                xs: vec![Value::Float(2015.0), Value::Float(2016.0)],
+                ys: vec![vec![f64::NAN, -0.0]],
+            }],
+        };
+        let r = Response::Result {
+            id: 3,
+            tables: vec![VizTable {
+                component: "f1".to_string(),
+                x: "year".to_string(),
+                y: "sales".to_string(),
+                label: "product=chair".to_string(),
+                table,
+            }],
+            report: ExecReport {
+                sql_queries: 1,
+                rows_scanned: 60_000,
+                total_time: Duration::from_micros(1234),
+                ..ExecReport::default()
+            },
+        };
+        match roundtrip_resp(&r) {
+            Response::Result { id, tables, report } => {
+                assert_eq!(id, 3);
+                assert_eq!(tables.len(), 1);
+                assert_eq!(tables[0].label, "product=chair");
+                let ys = &tables[0].table.groups[0].ys[0];
+                assert!(ys[0].is_nan());
+                assert_eq!(ys[1].to_bits(), (-0.0f64).to_bits(), "-0.0 sign survives");
+                assert_eq!(report.rows_scanned, 60_000);
+                assert_eq!(report.total_time, Duration::from_micros(1234));
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cancelled_and_busy_and_error_roundtrip() {
+        for reason in [
+            None,
+            Some(CancelReason::Superseded),
+            Some(CancelReason::ConnectionLost),
+        ] {
+            match roundtrip_resp(&Response::Cancelled { id: 9, reason }) {
+                Response::Cancelled { id, reason: got } => {
+                    assert_eq!((id, got), (9, reason));
+                }
+                other => panic!("wrong variant: {other:?}"),
+            }
+        }
+        match roundtrip_resp(&Response::Busy {
+            id: None,
+            queued: 64,
+            msg: "connection limit".to_string(),
+        }) {
+            Response::Busy { id, queued, msg } => {
+                assert_eq!((id, queued), (None, 64));
+                assert_eq!(msg, "connection limit");
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+        match roundtrip_resp(&Response::Error {
+            id: Some(4),
+            code: ErrorCode::Parse,
+            msg: "ZQL: expected X=".to_string(),
+        }) {
+            Response::Error { id, code, .. } => {
+                assert_eq!((id, code), (Some(4), ErrorCode::Parse));
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_tags_and_damaged_frames_are_rejected() {
+        for bad in [
+            r#"{"t":"warez"}"#,
+            r#"{"id":1}"#,
+            r#"{"t":"query","zql":"X"}"#,
+            r#"{"t":"error","code":"nonsense","msg":""}"#,
+        ] {
+            let j = Json::parse(bad).expect("syntactically valid");
+            assert!(Request::from_json(&j).is_none(), "accepted {bad}");
+            assert!(Response::from_json(&j).is_none(), "accepted {bad}");
+        }
+    }
+}

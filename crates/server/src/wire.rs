@@ -1,0 +1,240 @@
+//! Frame I/O for the [protocol](crate::proto) plus [`NetClient`], the
+//! blocking client used by tests, the load generator, and
+//! `examples/remote_session.rs`.
+//!
+//! Framing is `<len>\n<json>\n` (see the [`proto`](crate::proto)
+//! module docs for the full layout). Reads and writes are plain
+//! blocking I/O — the protocol needs no async runtime: each side has
+//! at most one reader and one writer per connection, and unblocking on
+//! shutdown is done by shutting the socket down, not by polling.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+
+use zv_storage::Json;
+
+use crate::proto::{Request, Response, PROTO_VERSION};
+use crate::SubmitOptions;
+
+/// Upper bound on one frame's JSON body. A full-table result at the
+/// scales this repo benches is a few MB; 64 MB rejects a corrupt or
+/// hostile length prefix before allocating.
+pub const MAX_FRAME: usize = 64 << 20;
+
+fn invalid(msg: &'static str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+/// Write one frame: decimal length, newline, single-line JSON, newline.
+pub fn write_frame(w: &mut impl Write, j: &Json) -> io::Result<()> {
+    let body = j.to_string();
+    debug_assert!(!body.contains('\n'), "the JSON writer emits one line");
+    w.write_all(body.len().to_string().as_bytes())?;
+    w.write_all(b"\n")?;
+    w.write_all(body.as_bytes())?;
+    w.write_all(b"\n")?;
+    w.flush()
+}
+
+/// Read one frame. `Ok(None)` is a clean EOF *between* frames; EOF or
+/// damage inside a frame is an error (the peer vanished mid-message —
+/// exactly what [`FaultPoint::ConnDrop`](zv_storage::FaultPoint)
+/// simulates).
+pub fn read_frame(r: &mut impl BufRead) -> io::Result<Option<Json>> {
+    let mut line = String::new();
+    if r.read_line(&mut line)? == 0 {
+        return Ok(None);
+    }
+    let len: usize = line
+        .trim_end_matches('\n')
+        .parse()
+        .map_err(|_| invalid("frame length prefix is not a decimal number"))?;
+    if len > MAX_FRAME {
+        return Err(invalid("frame exceeds MAX_FRAME"));
+    }
+    let mut body = vec![0u8; len + 1];
+    r.read_exact(&mut body)
+        .map_err(|_| invalid("connection dropped mid-frame"))?;
+    if body[len] != b'\n' {
+        return Err(invalid("frame body is not newline-terminated"));
+    }
+    let text = std::str::from_utf8(&body[..len]).map_err(|_| invalid("frame is not UTF-8"))?;
+    Json::parse(text)
+        .map(Some)
+        .map_err(|_| invalid("frame is not valid JSON"))
+}
+
+/// Client connection errors surfaced with a precise cause.
+fn refused(msg: String) -> io::Error {
+    io::Error::new(io::ErrorKind::ConnectionRefused, msg)
+}
+
+/// Blocking client for one zv-server connection: performs the auth
+/// handshake on [`NetClient::connect`], then sends [`Request`]s and
+/// receives [`Response`]s. Supports pipelining — send several queries
+/// before reading; responses come back in submission order, with
+/// superseded queries answered by `cancelled` frames.
+#[derive(Debug)]
+pub struct NetClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    session: u64,
+    next_id: u64,
+}
+
+impl NetClient {
+    /// Connect and authenticate. Fails with `ConnectionRefused` when
+    /// the server is at its connection limit (typed `busy` frame) and
+    /// `PermissionDenied` when the token is rejected.
+    pub fn connect(addr: impl ToSocketAddrs, token: &str) -> io::Result<NetClient> {
+        let mut writer = TcpStream::connect(addr)?;
+        writer.set_nodelay(true)?;
+        let mut reader = BufReader::new(writer.try_clone()?);
+        write_frame(
+            &mut writer,
+            &Request::Hello {
+                version: PROTO_VERSION,
+                token: token.to_string(),
+            }
+            .to_json(),
+        )?;
+        let frame = read_frame(&mut reader)?.ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed during handshake",
+            )
+        })?;
+        match Response::from_json(&frame) {
+            Some(Response::Welcome { session, .. }) => Ok(NetClient {
+                reader,
+                writer,
+                session,
+                next_id: 1,
+            }),
+            Some(Response::Busy { msg, .. }) => Err(refused(format!("server busy: {msg}"))),
+            Some(Response::Error { code, msg, .. }) => Err(io::Error::new(
+                io::ErrorKind::PermissionDenied,
+                format!("handshake rejected ({}): {msg}", code.as_str()),
+            )),
+            _ => Err(invalid("unexpected handshake frame")),
+        }
+    }
+
+    /// The session id the server bound this connection to.
+    pub fn session(&self) -> u64 {
+        self.session
+    }
+
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.writer.local_addr()
+    }
+
+    /// Send one query without waiting; returns its correlation id.
+    /// Sending a second query before the first answers supersedes it
+    /// server-side (newest-interaction-wins).
+    pub fn send_query(&mut self, zql: &str, opts: SubmitOptions) -> io::Result<u64> {
+        let id = self.next_id;
+        self.next_id += 1;
+        write_frame(
+            &mut self.writer,
+            &Request::Query {
+                id,
+                zql: zql.to_string(),
+                opts,
+            }
+            .to_json(),
+        )?;
+        Ok(id)
+    }
+
+    /// Cancel the session's live query (fire-and-forget).
+    pub fn cancel(&mut self) -> io::Result<()> {
+        write_frame(&mut self.writer, &Request::Cancel.to_json())
+    }
+
+    /// Read the next server frame.
+    pub fn recv(&mut self) -> io::Result<Response> {
+        let frame = read_frame(&mut self.reader)?.ok_or_else(|| {
+            io::Error::new(io::ErrorKind::UnexpectedEof, "server closed the connection")
+        })?;
+        Response::from_json(&frame).ok_or_else(|| invalid("unintelligible server frame"))
+    }
+
+    /// Convenience: send one query and block for *its* response,
+    /// discarding responses to earlier (pipelined, now superseded)
+    /// queries.
+    pub fn query(&mut self, zql: &str, opts: SubmitOptions) -> io::Result<Response> {
+        let id = self.send_query(zql, opts)?;
+        loop {
+            let resp = self.recv()?;
+            let matches = match &resp {
+                Response::Result { id: got, .. } | Response::Cancelled { id: got, .. } => {
+                    *got == id
+                }
+                Response::Busy { id: got, .. } | Response::Error { id: got, .. } => {
+                    *got == Some(id)
+                }
+                Response::Welcome { .. } => false,
+            };
+            if matches {
+                return Ok(resp);
+            }
+        }
+    }
+
+    /// Graceful close: sends `bye` and shuts the socket down.
+    pub fn bye(mut self) -> io::Result<()> {
+        write_frame(&mut self.writer, &Request::Bye.to_json())?;
+        let _ = self.writer.shutdown(std::net::Shutdown::Write);
+        // Drain until the server closes so its responder never sees a
+        // reset while flushing.
+        let mut sink = Vec::new();
+        let _ = self.reader.read_to_end(&mut sink);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_roundtrip_over_a_buffer() {
+        let j = Json::parse(r#"{"t":"query","id":1,"zql":"NAME=f1 X='x' Y='y'"}"#).unwrap();
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &j).unwrap();
+        write_frame(&mut buf, &Json::Null).unwrap();
+        let mut r = io::Cursor::new(buf);
+        assert_eq!(
+            read_frame(&mut r).unwrap().unwrap().to_string(),
+            j.to_string()
+        );
+        assert!(read_frame(&mut r).unwrap().unwrap().is_null());
+        assert!(
+            read_frame(&mut r).unwrap().is_none(),
+            "clean EOF between frames"
+        );
+    }
+
+    #[test]
+    fn truncated_and_damaged_frames_error() {
+        // Truncated mid-body: the ConnDrop shape.
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &Json::str("hello")).unwrap();
+        buf.truncate(buf.len() - 4);
+        let mut r = io::Cursor::new(buf);
+        assert!(
+            read_frame(&mut r).is_err(),
+            "mid-frame EOF must error, not Ok(None)"
+        );
+        // Garbage length prefix.
+        let mut r = io::Cursor::new(b"xyz\n{}\n".to_vec());
+        assert!(read_frame(&mut r).is_err());
+        // Length prefix larger than MAX_FRAME must not allocate/hang.
+        let mut r = io::Cursor::new(format!("{}\n", usize::MAX).into_bytes());
+        assert!(read_frame(&mut r).is_err());
+        // Body shorter than advertised.
+        let mut r = io::Cursor::new(b"10\n{}\n".to_vec());
+        assert!(read_frame(&mut r).is_err());
+    }
+}

@@ -1,0 +1,218 @@
+//! Chaos suite for the wire: deterministic [`FaultPoint::ConnDrop`]
+//! injection severs a connection mid-response and the whole stack must
+//! account for it exactly — the in-flight query is cancelled with
+//! [`CancelReason::ConnectionLost`] attribution, the worker slot is
+//! reclaimed for other connections, and the result cache is bit-for-bit
+//! untouched by the severed session's cancelled work.
+//!
+//! Replay-exact style: the scenario is a pure function of its seeds, so
+//! it is run twice and every counter delta must match.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use zql::ZqlEngine;
+use zv_datagen::sales::{self, SalesConfig};
+use zv_server::{NetClient, NetServer, NetServerConfig, Response, SessionConfig, SubmitOptions};
+use zv_storage::exec::ParallelConfig;
+use zv_storage::{
+    BitmapDb, BitmapDbConfig, CacheConfig, FaultPoint, FaultSpec, SchedulingMode, Value,
+};
+
+const ROWS: usize = 30_000;
+
+/// ConnDrop decisions mix in the session id (the `epoch` argument), so
+/// a seed can sever one connection and spare another. Seed-search for
+/// the scenario's shape: the victim (session 1) loses its very first
+/// response, the survivor (session 2) keeps its only one. Pure
+/// function of the seed — identical on every run.
+fn drop_seed() -> u64 {
+    (0xD20B..)
+        .find(|&s| {
+            let spec = FaultSpec::with_rate(s, 0.5);
+            spec.fires(FaultPoint::ConnDrop, 0, 1) && !spec.fires(FaultPoint::ConnDrop, 0, 2)
+        })
+        .expect("a severing seed exists")
+}
+
+fn dataset() -> Arc<zv_storage::Table> {
+    static TABLE: std::sync::OnceLock<Arc<zv_storage::Table>> = std::sync::OnceLock::new();
+    TABLE
+        .get_or_init(|| {
+            sales::generate(&SalesConfig {
+                rows: ROWS,
+                products: 20,
+                ..Default::default()
+            })
+        })
+        .clone()
+}
+
+/// Engine with a fault-free scan path — the only injection in this
+/// suite is the *server's* ConnDrop spec, proving the two specs are
+/// independent.
+fn clean_engine() -> Arc<ZqlEngine> {
+    Arc::new(ZqlEngine::new(Arc::new(BitmapDb::with_config(
+        dataset(),
+        BitmapDbConfig {
+            parallel: ParallelConfig {
+                threads: 2,
+                min_parallel_rows: 0,
+                sched: SchedulingMode::Morsel,
+                morsel_rows: 4096,
+                ..Default::default()
+            },
+            cache: CacheConfig::admit_all(),
+            ..Default::default()
+        },
+    ))))
+}
+
+fn slider_text(threshold: f64) -> String {
+    format!("name | x | y | constraints\n*f1 | 'year' | 'sales' | sales > {threshold}")
+}
+
+/// Outcome ledger of one scenario run (everything that must replay
+/// exactly).
+#[derive(Debug, PartialEq, Eq)]
+struct Ledger {
+    conn_drops: u64,
+    sessions_lost: u64,
+    completed: u64,
+    cancelled: u64,
+    failed: u64,
+    cache_entries: u64,
+    cache_insertions: u64,
+    survivor_bits: Vec<(u64, Vec<u64>)>,
+}
+
+/// The scenario: one client pipelines two queries; the responder's
+/// first write (the old query's superseded-cancellation) fires ConnDrop
+/// at response index 0 — a truncated frame and a severed socket while
+/// the *new* query is still in flight. A second client then proves the
+/// pool and cache survived.
+fn run_scenario() -> Ledger {
+    let engine = clean_engine();
+    let srv = NetServer::start(
+        Arc::clone(&engine),
+        "127.0.0.1:0",
+        NetServerConfig {
+            session: SessionConfig {
+                max_concurrent: 1,
+                ..SessionConfig::default()
+            },
+            fault: FaultSpec::with_rate(drop_seed(), 0.5),
+            ..NetServerConfig::default()
+        },
+    )
+    .expect("bind");
+
+    let mut victim = NetClient::connect(srv.local_addr(), "").expect("connect");
+    let _old = victim
+        .send_query(&slider_text(2.0), SubmitOptions::default())
+        .expect("send");
+    let _new = victim
+        .send_query(&slider_text(3.0), SubmitOptions::default())
+        .expect("send");
+    // The old query's cancelled-superseded frame is response 0 → the
+    // connection dies mid-frame under the client.
+    let err = victim
+        .recv()
+        .expect_err("the connection was severed mid-response");
+    assert!(
+        matches!(
+            err.kind(),
+            std::io::ErrorKind::InvalidData | std::io::ErrorKind::UnexpectedEof
+        ),
+        "got {err:?}"
+    );
+
+    // Server-side: the in-flight query must settle as cancelled with
+    // ConnectionLost attribution (`sessions_lost`), never failed.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let s = srv.session_stats();
+        if s.completed + s.cancelled + s.failed == 2 && srv.stats().sessions_lost >= 1 {
+            break;
+        }
+        assert!(Instant::now() < deadline, "outcomes never settled: {s:?}");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+
+    // Slot reclaimed: a fresh connection's query completes on the same
+    // single-worker pool, and its result is the fault-free answer —
+    // the severed session's cancelled scan never polluted the cache.
+    let mut survivor = NetClient::connect(srv.local_addr(), "").expect("reconnect");
+    let resp = survivor
+        .query(&slider_text(3.0), SubmitOptions::default())
+        .expect("the pool survived the drop");
+    let Response::Result { tables, .. } = resp else {
+        panic!("expected a result, got {resp:?}");
+    };
+    let reference = clean_engine()
+        .execute_text(&slider_text(3.0))
+        .expect("reference");
+    let ref_points = reference.visualizations[0].series.points();
+    let wire = &tables[0].table.groups[0];
+    assert_eq!(wire.xs.len(), ref_points.len());
+    let survivor_bits: Vec<(u64, Vec<u64>)> = wire
+        .xs
+        .iter()
+        .zip(&wire.ys[0])
+        .map(|(x, y)| {
+            let xf = match x {
+                Value::Float(f) => *f,
+                other => panic!("non-float x: {other:?}"),
+            };
+            (xf.to_bits(), vec![y.to_bits()])
+        })
+        .collect();
+    for (i, &(x, y)) in ref_points.iter().enumerate() {
+        assert_eq!(wire.xs[i], Value::Float(x));
+        assert_eq!(
+            wire.ys[0][i].to_bits(),
+            y.to_bits(),
+            "survivor result is bit-for-bit the fault-free answer"
+        );
+    }
+    survivor.bye().expect("clean close");
+
+    let cache = engine.database().cache_stats().expect("engine has a cache");
+    let net = srv.stats();
+    let sess = srv.session_stats();
+    srv.shutdown();
+    Ledger {
+        conn_drops: net.conn_drops_injected,
+        sessions_lost: net.sessions_lost,
+        completed: sess.completed,
+        cancelled: sess.cancelled,
+        failed: sess.failed,
+        cache_entries: cache.entries as u64,
+        cache_insertions: cache.insertions,
+        survivor_bits,
+    }
+}
+
+#[test]
+fn conn_drop_severs_cleanly_and_replays_exactly() {
+    let first = run_scenario();
+    // Exactly one injected drop; the in-flight query was attributed to
+    // the lost connection; both of the victim's queries cancelled
+    // (superseded + connection-lost), the survivor's completed.
+    assert_eq!(first.conn_drops, 1);
+    assert_eq!(first.sessions_lost, 1);
+    assert_eq!(first.completed, 1, "only the survivor's query completed");
+    assert_eq!(first.cancelled, 2);
+    assert_eq!(first.failed, 0);
+    // Cache bit-for-bit untouched by the severed session: the only
+    // insertion is the survivor's completed scan.
+    assert_eq!(first.cache_entries, 1);
+    assert_eq!(first.cache_insertions, 1);
+
+    // Replay-exact: the scenario is a pure function of its seeds.
+    let second = run_scenario();
+    assert_eq!(
+        first, second,
+        "counter ledger and result bits replay exactly"
+    );
+}

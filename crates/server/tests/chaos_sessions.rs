@@ -202,12 +202,23 @@ fn breaker_routes_repeat_offenders_serial() {
     );
     let delta = engine.database().stats().snapshot().since(&db_before);
     // Queries 1–2 each burn a parallel attempt, trip the breaker
-    // (threshold 2), then succeed serially; queries 3–5 take the three
-    // breaker slots (serial only); queries 6–7 find the window spent
-    // and repeat the trip cycle. 4×2 + 3×1 = 11 attempts.
+    // (threshold 2), then succeed serially. Queries 3–4 are routed
+    // serial by the open breaker (window 3 → 2 → 1). Query 5 finds
+    // half the window served and becomes the half-open probe: its
+    // parallel attempt fails (the fault rate is still 1.0), re-arming
+    // a full window before its serial fallback. Queries 6–7 are routed
+    // serial again. 3×2 + 4×1 = 10 attempts.
     assert_eq!(
-        delta.cache_misses, 11,
-        "the breaker saved exactly 3 parallel attempts"
+        delta.cache_misses, 10,
+        "the breaker saved exactly 4 parallel attempts"
+    );
+    assert_eq!(
+        stats.breaker,
+        zv_server::BreakerView::Open {
+            serial_left: 1,
+            probing: false
+        },
+        "the failed probe re-armed a full window (3), spent by Q6–Q7"
     );
     assert_eq!(
         delta.worker_panics, 0,
@@ -303,6 +314,85 @@ fn exhausted_retries_fail_without_touching_the_cache() {
     let cache = engine.database().cache_stats().expect("engine has a cache");
     assert_eq!(cache.entries, 0, "nothing cached by failed attempts");
     assert_eq!(cache.insertions, 0);
+}
+
+/// The PR-7 slot-pinning fix: a retry backoff must never sleep on a
+/// pool worker. With ONE worker and a retrying query in a multi-second
+/// backoff, a different session's query must be served *during* the
+/// backoff — the retrying job is visible in `retried` and sits in the
+/// queue (`queued`) rather than occupying the slot.
+#[test]
+fn backoff_requeues_instead_of_pinning_the_slot() {
+    fault::silence_injected_panics();
+    let nm = n_morsels();
+    // Same seed shape as the retry test: epoch 0 panics, epoch 1 clean.
+    let seed = (1u64..)
+        .find(|&sd| {
+            let s = FaultSpec::with_rate(sd, 0.15);
+            !spawn_fires(&s, nm, 0)
+                && lowest_firing(&s, nm, 0).is_some()
+                && !attempt_fails(&s, nm, 1)
+        })
+        .unwrap();
+    let engine = chaos_engine(FaultSpec::with_rate(seed, 0.15), 2);
+    let mgr = SessionManager::new(
+        Arc::clone(&engine),
+        SessionConfig {
+            max_concurrent: 1,
+            max_queued: 16,
+            breaker_threshold: 0,
+            breaker_window: 0,
+        },
+    );
+    let t0 = std::time::Instant::now();
+    let retrying = mgr
+        .submit_with(
+            1,
+            full_scan_query(),
+            SubmitOptions {
+                retry: RetryPolicy {
+                    max_retries: 1,
+                    // Generous: the other session's scan fits inside it.
+                    backoff_base: Duration::from_secs(2),
+                    jitter_seed: 7,
+                    serial_fallback: false,
+                },
+                ..Default::default()
+            },
+        )
+        .expect("admitted");
+    // Wait until the first attempt failed and the job went back to the
+    // queue with its not-before stamp.
+    loop {
+        let s = mgr.stats();
+        if s.retried == 1 && s.queued == 1 {
+            break;
+        }
+        assert!(
+            t0.elapsed() < Duration::from_secs(30),
+            "first attempt never failed/requeued: {s:?}"
+        );
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    // The single worker slot must now be free: another session's query
+    // completes while the retrying job waits out its backoff. (Its
+    // own epoch-0 attempt fails identically — fault decisions are pure
+    // — and the default policy degrades it to a serial success.)
+    let other = mgr.submit(2, full_scan_query()).expect("admitted");
+    other.wait().expect("the freed slot serves other sessions");
+    assert!(
+        !retrying.is_finished(),
+        "the other query finished during the backoff, not after it"
+    );
+    retrying.wait().expect("the retry lands on the clean epoch");
+    assert!(
+        t0.elapsed() >= Duration::from_secs(2),
+        "the retry waited out its backoff"
+    );
+    let stats = mgr.stats();
+    assert_eq!(stats.completed, 2, "both sessions served by one slot");
+    assert_eq!(stats.retried, 1);
+    assert_eq!(stats.failed, 0);
 }
 
 proptest! {

@@ -61,6 +61,14 @@ pub enum FaultPoint {
     /// Sleep `delay_us` before scanning a morsel — stretches scans to
     /// exercise cancellation latency and queue backpressure.
     MorselDelay,
+    /// Sever a network connection mid-response (index = the
+    /// connection's response sequence number): `zv-server`'s wire
+    /// writer emits a truncated frame and shuts the socket down, so
+    /// chaos tests can replay exactly which response dies and assert
+    /// the server cancels the session's remaining work
+    /// (`CancelReason::ConnectionLost`) without leaking a pool slot or
+    /// touching the result cache.
+    ConnDrop,
 }
 
 impl FaultPoint {
@@ -70,6 +78,7 @@ impl FaultPoint {
             FaultPoint::CacheInsert => 0x5ca7_da7a_0002,
             FaultPoint::WorkerSpawn => 0x5ca7_da7a_0003,
             FaultPoint::MorselDelay => 0x5ca7_da7a_0004,
+            FaultPoint::ConnDrop => 0x5ca7_da7a_0005,
         }
     }
 }

@@ -1,0 +1,589 @@
+//! Minimal JSON tree, writer, and parser (std-only).
+//!
+//! The offline build rules out serde, and the wire protocol `zv-server`
+//! speaks (length-prefixed line-JSON frames, see the `zv-server` crate
+//! docs) needs both directions: serialize [`crate::ResultTable`]s and
+//! telemetry out, parse query frames in. This module is the shared
+//! implementation — deliberately small:
+//!
+//! * [`Json`] is a plain tree; objects are ordered `(key, value)` pairs
+//!   (wire frames are tiny, so linear [`Json::get`] beats a hash map).
+//! * The writer emits no raw control characters, so a serialized frame
+//!   is always a single line — the property the framing layer relies on.
+//! * The parser is a recursive-descent reader over bytes with a depth
+//!   limit, accepting standard JSON (and only standard JSON: `NaN` &co
+//!   are not valid tokens — exact float round-tripping for result
+//!   payloads is handled a level up by [`crate::ResultTable::to_json`],
+//!   which encodes floats as shortest-round-trip *strings*).
+
+use std::fmt;
+
+/// A parsed JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    /// All JSON numbers parse as `f64`. Protocol-level integers (ids,
+    /// counters, sizes) stay exact up to 2^53, far beyond anything the
+    /// wire carries; payload floats that must round-trip bit-for-bit
+    /// travel as strings instead (see the module docs).
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    /// Ordered key–value pairs (insertion order preserved on write).
+    Obj(Vec<(String, Json)>),
+}
+
+/// Parse failure: a byte offset and a static description.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JsonError {
+    pub at: usize,
+    pub msg: &'static str,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json error at byte {}: {}", self.at, self.msg)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+impl Json {
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// A number from anything losslessly convertible to `f64` in the
+    /// protocol's range (u32/i32/u16/usize counters and sizes).
+    pub fn num(n: impl Into<f64>) -> Json {
+        Json::Num(n.into())
+    }
+
+    /// A `u64` counter as a JSON number. Exact up to 2^53 — debug-checked
+    /// because every protocol counter lives far below that.
+    pub fn u64(n: u64) -> Json {
+        debug_assert!(n < (1 << 53), "u64 {n} does not fit a JSON number");
+        Json::Num(n as f64)
+    }
+
+    /// Field lookup on an object (first match; `None` on non-objects).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Integer view of a number (rejects fractional and out-of-range).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= (1u64 << 53) as f64 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Json::Num(n) if n.fract() == 0.0 && n.abs() <= (1u64 << 53) as f64 => Some(*n as i64),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    pub fn is_null(&self) -> bool {
+        matches!(self, Json::Null)
+    }
+
+    /// Serialize onto `out`. Single-line by construction: strings escape
+    /// every control character, and nothing else can emit a newline.
+    pub fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(true) => out.push_str("true"),
+            Json::Bool(false) => out.push_str("false"),
+            Json::Num(n) => {
+                // JSON has no NaN/Infinity tokens; a non-finite number
+                // here is a protocol-layer bug, not data (payload floats
+                // travel as strings). Emit null rather than garbage.
+                if n.is_finite() {
+                    // `{}` on f64 is the shortest exact round-trip form;
+                    // integral values get a trailing ".0"-free render.
+                    if n.fract() == 0.0 && n.abs() < 1e15 {
+                        out.push_str(&format!("{}", *n as i64));
+                    } else {
+                        out.push_str(&format!("{n}"));
+                    }
+                } else {
+                    debug_assert!(false, "non-finite number in protocol JSON");
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(k, out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Serialize to a fresh single-line string.
+    #[allow(clippy::inherent_to_string)]
+    pub fn to_string(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    /// Parse one JSON document (trailing whitespace allowed, trailing
+    /// garbage rejected).
+    pub fn parse(text: &str) -> Result<Json, JsonError> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value(0)?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing characters after document"));
+        }
+        Ok(v)
+    }
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Nesting bound: the wire's frames are a handful of levels deep; a
+/// hostile 10k-bracket frame must not overflow the parse stack.
+const MAX_DEPTH: usize = 64;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &'static str) -> JsonError {
+        JsonError { at: self.pos, msg }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8, msg: &'static str) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(msg))
+        }
+    }
+
+    fn literal(&mut self, lit: &str, msg: &'static str) -> Result<(), JsonError> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(())
+        } else {
+            Err(self.err(msg))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, JsonError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        match self.peek() {
+            Some(b'n') => self.literal("null", "expected null").map(|_| Json::Null),
+            Some(b't') => self
+                .literal("true", "expected true")
+                .map(|_| Json::Bool(true)),
+            Some(b'f') => self
+                .literal("false", "expected false")
+                .map(|_| Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(self.err("expected a value")),
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let tok = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii number token");
+        match tok.parse::<f64>() {
+            Ok(n) if n.is_finite() => Ok(Json::Num(n)),
+            _ => Err(JsonError {
+                at: start,
+                msg: "malformed number",
+            }),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"', "expected string")?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let cp = self.hex4()?;
+                            // Surrogate pair: a high surrogate must be
+                            // followed by an escaped low surrogate.
+                            let c = if (0xD800..0xDC00).contains(&cp) {
+                                self.pos += 1; // consume the 'u' below via literal
+                                self.literal("\\u", "expected low surrogate")?;
+                                self.pos -= 1; // hex4 expects pos on the 'u'
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(self.err("invalid low surrogate"));
+                                }
+                                let c = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+                                char::from_u32(c).ok_or_else(|| self.err("invalid code point"))?
+                            } else {
+                                char::from_u32(cp).ok_or_else(|| self.err("invalid code point"))?
+                            };
+                            out.push(c);
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(c) if c < 0x20 => return Err(self.err("raw control character in string")),
+                Some(_) => {
+                    // Copy one UTF-8 scalar (input is a &str, so bytes
+                    // are valid UTF-8; find the scalar's byte length).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|_| self.err("invalid utf-8"))?;
+                    let c = s.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                    continue;
+                }
+            }
+        }
+    }
+
+    /// Read `uXXXX` with `pos` on the `u`; leaves `pos` on the last hex
+    /// digit (the caller's shared `pos += 1` steps past it).
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        // pos is on 'u'
+        let start = self.pos + 1;
+        let end = start + 4;
+        if end > self.bytes.len() {
+            return Err(self.err("truncated \\u escape"));
+        }
+        let tok =
+            std::str::from_utf8(&self.bytes[start..end]).map_err(|_| self.err("bad \\u escape"))?;
+        let cp = u32::from_str_radix(tok, 16).map_err(|_| self.err("bad \\u escape"))?;
+        self.pos = end - 1;
+        Ok(cp)
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.expect(b'[', "expected array")?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.expect(b'{', "expected object")?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':', "expected ':'")?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            pairs.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(pairs));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+}
+
+/// Render an `f64` as a string that parses back bit-for-bit:
+/// `Display` for finite values (Rust's shortest-round-trip algorithm),
+/// explicit tokens for the non-finite values JSON numbers cannot carry.
+/// `-0.0` renders as `"-0"` and round-trips with its sign.
+pub fn fmt_f64(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_owned()
+    } else if v == f64::INFINITY {
+        "inf".to_owned()
+    } else if v == f64::NEG_INFINITY {
+        "-inf".to_owned()
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Inverse of [`fmt_f64`].
+pub fn parse_f64(s: &str) -> Option<f64> {
+    match s {
+        "NaN" => Some(f64::NAN),
+        "inf" => Some(f64::INFINITY),
+        "-inf" => Some(f64::NEG_INFINITY),
+        _ => s.parse().ok(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(j: &Json) -> Json {
+        Json::parse(&j.to_string()).expect("own output parses")
+    }
+
+    #[test]
+    fn scalars_roundtrip() {
+        for j in [
+            Json::Null,
+            Json::Bool(true),
+            Json::Bool(false),
+            Json::Num(0.0),
+            Json::Num(-17.0),
+            Json::Num(3.5),
+            Json::Num(1e-8),
+            Json::Str("plain".into()),
+            Json::Str("esc \" \\ \n \t \r \u{1} ünïcødé 🎉".into()),
+        ] {
+            assert_eq!(roundtrip(&j), j, "{}", j.to_string());
+        }
+    }
+
+    #[test]
+    fn containers_roundtrip_and_preserve_order() {
+        let j = Json::Obj(vec![
+            ("z".into(), Json::Arr(vec![Json::Num(1.0), Json::Null])),
+            ("a".into(), Json::Str("after z".into())),
+            (
+                "nested".into(),
+                Json::Obj(vec![("k".into(), Json::Bool(false))]),
+            ),
+        ]);
+        let back = roundtrip(&j);
+        assert_eq!(back, j);
+        assert_eq!(back.get("a").and_then(Json::as_str), Some("after z"));
+        match back {
+            Json::Obj(pairs) => assert_eq!(pairs[0].0, "z", "insertion order preserved"),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn output_is_single_line() {
+        let j = Json::Obj(vec![("k".into(), Json::Str("line1\nline2\r\t".into()))]);
+        let s = j.to_string();
+        assert!(!s.contains('\n') && !s.contains('\r'), "{s:?}");
+        assert_eq!(roundtrip(&j), j);
+    }
+
+    #[test]
+    fn accessor_views() {
+        let j = Json::parse(r#"{"n":42,"x":1.5,"s":"hi","b":true,"a":[1,2]}"#).unwrap();
+        assert_eq!(j.get("n").unwrap().as_u64(), Some(42));
+        assert_eq!(j.get("n").unwrap().as_i64(), Some(42));
+        assert_eq!(j.get("x").unwrap().as_u64(), None, "fractional is not u64");
+        assert_eq!(j.get("x").unwrap().as_f64(), Some(1.5));
+        assert_eq!(j.get("s").unwrap().as_str(), Some("hi"));
+        assert_eq!(j.get("b").unwrap().as_bool(), Some(true));
+        assert_eq!(j.get("a").unwrap().as_arr().map(<[Json]>::len), Some(2));
+        assert_eq!(j.get("missing"), None);
+    }
+
+    #[test]
+    fn malformed_inputs_error_not_panic() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"k\" 1}",
+            "nul",
+            "\"unterminated",
+            "1.2.3",
+            "[1] trailing",
+            "\"\\q\"",
+            "{\"a\":1,}",
+            "NaN",
+        ] {
+            assert!(Json::parse(bad).is_err(), "{bad:?} should fail");
+        }
+        // Depth bomb: errors, no stack overflow.
+        let bomb = "[".repeat(10_000) + &"]".repeat(10_000);
+        assert!(Json::parse(&bomb).is_err());
+    }
+
+    #[test]
+    fn unicode_escapes() {
+        assert_eq!(
+            Json::parse(r#""\u0041\u00e9""#).unwrap(),
+            Json::Str("Aé".into())
+        );
+        // Surrogate pair for 🎉 (U+1F389).
+        assert_eq!(
+            Json::parse(r#""\ud83c\udf89""#).unwrap(),
+            Json::Str("🎉".into())
+        );
+        assert!(Json::parse(r#""\ud83c""#).is_err(), "lone high surrogate");
+    }
+
+    #[test]
+    fn f64_string_forms_roundtrip_exactly() {
+        for v in [
+            0.0,
+            -0.0,
+            1.0,
+            -1.5,
+            f64::MAX,
+            f64::MIN_POSITIVE,
+            1.0 / 3.0,
+            6.02214076e23,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+        ] {
+            let back = parse_f64(&fmt_f64(v)).unwrap();
+            assert_eq!(back.to_bits(), v.to_bits(), "{v}");
+        }
+        assert!(parse_f64(&fmt_f64(f64::NAN)).unwrap().is_nan());
+        assert_eq!(parse_f64("bogus"), None);
+    }
+}

@@ -40,6 +40,7 @@ pub mod column;
 pub mod db;
 pub mod exec;
 pub mod fault;
+pub mod json;
 pub mod lifecycle;
 pub mod parallel;
 pub mod predicate;
@@ -56,6 +57,7 @@ pub use column::{CatColumn, Column};
 pub use db::{Database, DynDatabase, EngineSnapshot};
 pub use exec::{GroupStrategy, MorselMetrics, ParallelConfig, SchedulingMode};
 pub use fault::{FaultPoint, FaultSpec};
+pub use json::{Json, JsonError};
 pub use lifecycle::{CancelReason, QueryCtx, QueryCtxStats};
 pub use predicate::{Atom, CmpOp, Predicate};
 pub use query::{Agg, GroupSeries, ResultTable, SelectQuery, XSpec, YSpec};

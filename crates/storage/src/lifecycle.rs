@@ -62,6 +62,11 @@ pub enum CancelReason {
     Superseded,
     /// The scan exhausted its row budget ([`QueryCtx::with_row_budget`]).
     RowBudget,
+    /// The client connection that submitted this query dropped before
+    /// its result could be delivered (`zv-server`'s network layer
+    /// cancels a session's remaining work when its socket dies — there
+    /// is nobody left to deliver to).
+    ConnectionLost,
 }
 
 impl CancelReason {
@@ -71,6 +76,7 @@ impl CancelReason {
             2 => Some(CancelReason::Deadline),
             3 => Some(CancelReason::Superseded),
             4 => Some(CancelReason::RowBudget),
+            5 => Some(CancelReason::ConnectionLost),
             _ => None,
         }
     }
@@ -81,6 +87,7 @@ impl CancelReason {
             CancelReason::Deadline => 2,
             CancelReason::Superseded => 3,
             CancelReason::RowBudget => 4,
+            CancelReason::ConnectionLost => 5,
         }
     }
 }

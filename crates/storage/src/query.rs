@@ -10,6 +10,7 @@
 //!
 //! and its grouped result representation.
 
+use crate::json::{fmt_f64, parse_f64, Json};
 use crate::predicate::Predicate;
 use crate::value::Value;
 use std::collections::HashMap;
@@ -258,6 +259,130 @@ impl ResultTable {
                 .map(GroupSeries::approx_bytes)
                 .sum::<usize>()
     }
+
+    /// Serialize for the wire (`zv-server`'s result frames). Floats —
+    /// both [`Value::Float`] cells and the `ys` measures — travel as
+    /// shortest-round-trip *strings* ([`crate::json::fmt_f64`]), so the
+    /// decoded table is bit-for-bit the encoded one, including `NaN`,
+    /// infinities, and `-0.0` (JSON numbers cannot carry the first two
+    /// at all and drop the sign of the last in some readers). Ints are
+    /// strings too: `i64` exceeds the 2^53 exact range of JSON numbers.
+    pub fn to_json(&self) -> Json {
+        let groups = self
+            .groups
+            .iter()
+            .map(|g| {
+                Json::Obj(vec![
+                    (
+                        "k".into(),
+                        Json::Arr(g.key.iter().map(value_json).collect()),
+                    ),
+                    ("x".into(), Json::Arr(g.xs.iter().map(value_json).collect())),
+                    (
+                        "y".into(),
+                        Json::Arr(
+                            g.ys.iter()
+                                .map(|col| {
+                                    Json::Arr(col.iter().map(|&v| Json::Str(fmt_f64(v))).collect())
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect();
+        Json::Obj(vec![
+            (
+                "z".into(),
+                Json::Arr(self.z_cols.iter().map(Json::str).collect()),
+            ),
+            ("groups".into(), Json::Arr(groups)),
+        ])
+    }
+
+    /// Inverse of [`ResultTable::to_json`]; rejects anything that is not
+    /// a faithful encoding (a damaged frame must surface, not produce a
+    /// plausible-looking table).
+    pub fn from_json(j: &Json) -> Result<ResultTable, String> {
+        let z_cols = j
+            .get("z")
+            .and_then(Json::as_arr)
+            .ok_or("result table: missing \"z\" array")?
+            .iter()
+            .map(|v| v.as_str().map(str::to_owned))
+            .collect::<Option<Vec<_>>>()
+            .ok_or("result table: non-string z column")?;
+        let mut groups = Vec::new();
+        for g in j
+            .get("groups")
+            .and_then(Json::as_arr)
+            .ok_or("result table: missing \"groups\" array")?
+        {
+            let values = |field: &str| -> Result<Vec<Value>, String> {
+                g.get(field)
+                    .and_then(Json::as_arr)
+                    .ok_or_else(|| format!("result table: group missing {field:?}"))?
+                    .iter()
+                    .map(value_from_json)
+                    .collect()
+            };
+            let key = values("k")?;
+            let xs = values("x")?;
+            let mut ys = Vec::new();
+            for col in g
+                .get("y")
+                .and_then(Json::as_arr)
+                .ok_or("result table: group missing \"y\"")?
+            {
+                let col = col
+                    .as_arr()
+                    .ok_or("result table: \"y\" entry is not an array")?
+                    .iter()
+                    .map(|v| v.as_str().and_then(parse_f64))
+                    .collect::<Option<Vec<f64>>>()
+                    .ok_or("result table: unparseable measure value")?;
+                if col.len() != xs.len() {
+                    return Err("result table: measure column misaligned with xs".into());
+                }
+                ys.push(col);
+            }
+            groups.push(GroupSeries { key, xs, ys });
+        }
+        Ok(ResultTable { z_cols, groups })
+    }
+}
+
+/// One [`Value`] as wire JSON: `null`, `{"i":"<i64>"}`, `{"f":"<f64>"}`,
+/// or `{"s":"…"}` — numbers as strings for exact round-trips (see
+/// [`ResultTable::to_json`]).
+fn value_json(v: &Value) -> Json {
+    match v {
+        Value::Null => Json::Null,
+        Value::Int(i) => Json::Obj(vec![("i".into(), Json::Str(i.to_string()))]),
+        Value::Float(f) => Json::Obj(vec![("f".into(), Json::Str(fmt_f64(*f)))]),
+        Value::Str(s) => Json::Obj(vec![("s".into(), Json::str(s))]),
+    }
+}
+
+fn value_from_json(j: &Json) -> Result<Value, String> {
+    if j.is_null() {
+        return Ok(Value::Null);
+    }
+    if let Some(s) = j.get("i").and_then(Json::as_str) {
+        return s
+            .parse()
+            .map(Value::Int)
+            .map_err(|_| format!("result table: bad int {s:?}"));
+    }
+    if let Some(s) = j.get("f").and_then(Json::as_str) {
+        return parse_f64(s)
+            .map(Value::Float)
+            .ok_or_else(|| format!("result table: bad float {s:?}"));
+    }
+    if let Some(s) = j.get("s").and_then(Json::as_str) {
+        return Ok(Value::str(s));
+    }
+    Err("result table: unrecognized value encoding".into())
 }
 
 #[cfg(test)]
@@ -290,6 +415,73 @@ mod tests {
         assert_eq!(Agg::parse("sum"), Some(Agg::Sum));
         assert_eq!(Agg::parse("AVG"), Some(Agg::Avg));
         assert_eq!(Agg::parse("bogus"), None);
+    }
+
+    #[test]
+    fn result_table_json_roundtrips_bit_for_bit() {
+        let rt = ResultTable {
+            z_cols: vec!["product".into(), "loc".into()],
+            groups: vec![
+                GroupSeries {
+                    key: vec![Value::str("chair \"quoted\"\n"), Value::Null],
+                    xs: vec![Value::Int(i64::MIN), Value::Int(2015), Value::Float(-0.0)],
+                    ys: vec![
+                        vec![1.0 / 3.0, f64::NAN, f64::NEG_INFINITY],
+                        vec![0.0, -0.0, f64::MAX],
+                    ],
+                },
+                GroupSeries {
+                    key: vec![],
+                    xs: vec![],
+                    ys: vec![],
+                },
+            ],
+        };
+        let encoded = rt.to_json().to_string();
+        assert!(!encoded.contains('\n'), "wire frames are single-line");
+        let back =
+            ResultTable::from_json(&Json::parse(&encoded).expect("parses")).expect("decodes");
+        assert_eq!(back.z_cols, rt.z_cols);
+        assert_eq!(back.groups.len(), rt.groups.len());
+        for (a, b) in back.groups.iter().zip(&rt.groups) {
+            assert_eq!(a.key, b.key);
+            assert_eq!(a.xs, b.xs);
+            // Bit-level equality (PartialEq would fail on NaN and miss
+            // the -0.0 sign).
+            assert_eq!(a.ys.len(), b.ys.len());
+            for (ca, cb) in a.ys.iter().zip(&b.ys) {
+                let bits = |col: &[f64]| col.iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+                assert_eq!(bits(ca), bits(cb));
+            }
+        }
+        // A -0.0 x-value keeps its sign through the Value encoding.
+        match back.groups[0].xs[2] {
+            Value::Float(f) => assert_eq!(f.to_bits(), (-0.0f64).to_bits()),
+            ref other => panic!("expected float, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn result_table_json_rejects_damage() {
+        let rt = ResultTable {
+            z_cols: vec!["z".into()],
+            groups: vec![GroupSeries {
+                key: vec![Value::Int(1)],
+                xs: vec![Value::Int(2)],
+                ys: vec![vec![3.0]],
+            }],
+        };
+        let good = rt.to_json().to_string();
+        for bad in [
+            good.replace("\"z\"", "\"zz\""),
+            good.replace("\"groups\"", "\"grps\""),
+            good.replace("\"3\"", "\"not-a-number\""),
+            // Misaligned measure column (two ys, one x).
+            good.replace("[\"3\"]", "[\"3\",\"4\"]"),
+        ] {
+            let parsed = Json::parse(&bad).expect("still valid JSON");
+            assert!(ResultTable::from_json(&parsed).is_err(), "{bad}");
+        }
     }
 
     #[test]

@@ -1,0 +1,98 @@
+//! Remote session demo: the interactive slider drag from
+//! `interactive_session.rs`, but over TCP — a [`NetServer`] front door
+//! on one side, a [`NetClient`] speaking the length-prefixed line-JSON
+//! wire protocol on the other.
+//!
+//! The drag pipelines queries without waiting for answers, so the
+//! server supersedes each stale query remotely (newest-interaction-wins
+//! works across the wire): the client reads back a stream of
+//! `cancelled` frames and exactly one `result` — the final slider
+//! position's answer, bit-for-bit what an in-process execution returns.
+//!
+//! Run with: `cargo run --release --example remote_session`
+
+use std::sync::Arc;
+use std::time::Instant;
+use zenvisage::zql::ZqlEngine;
+use zenvisage::zv_datagen::{sales, SalesConfig};
+use zenvisage::zv_server::{NetClient, NetServer, NetServerConfig, Response, SubmitOptions};
+use zenvisage::zv_storage::BitmapDb;
+
+/// One slider position → one textual ZQL query (what a remote front-end
+/// would actually send): total sales per year above the threshold.
+fn slider_zql(threshold: f64) -> String {
+    format!("name | x | y | constraints\n*f1 | 'year' | 'sales' | sales > {threshold}")
+}
+
+fn main() {
+    let table = sales::generate(&SalesConfig {
+        rows: 500_000,
+        products: 200,
+        ..Default::default()
+    });
+    let engine = Arc::new(ZqlEngine::new(Arc::new(BitmapDb::new(table))));
+
+    // The front door: an ephemeral port on localhost, default limits.
+    let server = NetServer::start(engine, "127.0.0.1:0", NetServerConfig::default())
+        .expect("bind ephemeral port");
+    println!("zv-server listening on {}\n", server.local_addr());
+
+    let mut client = NetClient::connect(server.local_addr(), "").expect("connect + handshake");
+    println!("connected as session {}", client.session());
+
+    // The drag: 20 slider positions pipelined back-to-back. Every send
+    // supersedes the previous in-flight query server-side; the network
+    // round-trip is *not* on the keystroke path.
+    const KEYSTROKES: usize = 20;
+    let start = Instant::now();
+    let mut last_id = 0;
+    for step in 0..KEYSTROKES {
+        let threshold = step as f64 * 2.5;
+        last_id = client
+            .send_query(&slider_zql(threshold), SubmitOptions::default())
+            .expect("send");
+    }
+    println!(
+        "sent {KEYSTROKES} keystrokes in {:.2} ms; reading responses…\n",
+        start.elapsed().as_secs_f64() * 1e3
+    );
+
+    // Exactly one frame per query, in submission order: the stale ones
+    // come back `cancelled`, the final one carries the table.
+    let (mut cancelled, mut results) = (0u32, 0u32);
+    for _ in 0..KEYSTROKES {
+        match client.recv().expect("response frame") {
+            Response::Cancelled { reason, .. } => {
+                cancelled += 1;
+                let _ = reason; // CancelReason::Superseded for all of them
+            }
+            Response::Result { id, tables, report } => {
+                results += 1;
+                assert_eq!(id, last_id, "only the newest query produces a result");
+                let t = &tables[0];
+                println!(
+                    "result for query {id} ({} x={} y={}): {} points, \
+                     {} rows scanned in {:.2} ms",
+                    t.component,
+                    t.x,
+                    t.y,
+                    t.table.groups[0].xs.len(),
+                    report.rows_scanned,
+                    report.total_time.as_secs_f64() * 1e3,
+                );
+            }
+            other => panic!("unexpected frame {other:?}"),
+        }
+    }
+    println!("\n{cancelled} superseded keystrokes cancelled remotely, {results} result");
+
+    let stats = server.session_stats();
+    println!(
+        "server ledger: {} submitted, {} superseded, {} completed (breaker {:?})",
+        stats.submitted, stats.superseded, stats.completed, stats.breaker,
+    );
+
+    client.bye().expect("clean close");
+    server.shutdown();
+    println!("drained and shut down cleanly");
+}
