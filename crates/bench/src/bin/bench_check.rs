@@ -5,6 +5,7 @@
 //! ```text
 //! bench_check --baseline BENCH_groupby.json --fresh fresh.json [--factor 2.5]
 //! bench_check --net-baseline BENCH_net.json --net-fresh BENCH_net.fresh.json
+//! bench_check --persist-baseline BENCH_persist.json --persist-fresh fresh.json
 //! ```
 //!
 //! The second form gates the wire-latency summary written by
@@ -16,6 +17,14 @@
 //! host 64 clients queueing on a 4-worker pool put p99 in the tens of
 //! milliseconds from queueing alone, so anything at or below the floor
 //! passes without consulting the ratio.
+//!
+//! The third form gates the durable-storage summary written by
+//! `bench_persist`: `snapshot_write_ms` and `cold_load_ms` are
+//! normalized to ms-per-million-rows (both scale with the table);
+//! `wal_append_p50_ms` / `wal_append_p99_ms` are compared directly
+//! under generous absolute floors, because a WAL append is dominated
+//! by one fsync and fsync latency is a property of the host's disk,
+//! not of this code.
 //!
 //! Gated metrics:
 //!
@@ -51,6 +60,8 @@ struct Args {
     groupby_explicit: bool,
     net_baseline: Option<String>,
     net_fresh: Option<String>,
+    persist_baseline: Option<String>,
+    persist_fresh: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -61,6 +72,8 @@ fn parse_args() -> Args {
         groupby_explicit: false,
         net_baseline: None,
         net_fresh: None,
+        persist_baseline: None,
+        persist_fresh: None,
     };
     fn value_of(it: &mut impl Iterator<Item = String>, flag: &str, what: &str) -> String {
         it.next().unwrap_or_else(|| {
@@ -85,6 +98,12 @@ fn parse_args() -> Args {
             "--net-fresh" => {
                 args.net_fresh = Some(value_of(&mut it, "--net-fresh", "a PATH"));
             }
+            "--persist-baseline" => {
+                args.persist_baseline = Some(value_of(&mut it, "--persist-baseline", "a PATH"));
+            }
+            "--persist-fresh" => {
+                args.persist_fresh = Some(value_of(&mut it, "--persist-fresh", "a PATH"));
+            }
             "--factor" => {
                 let v = value_of(&mut it, "--factor", "a threshold factor");
                 args.factor = v.parse().unwrap_or_else(|_| {
@@ -96,7 +115,8 @@ fn parse_args() -> Args {
                 eprintln!(
                     "bench_check: unknown flag {other} \
                      (expected --baseline PATH, --fresh PATH, --factor F, \
-                     --net-baseline PATH, --net-fresh PATH)"
+                     --net-baseline PATH, --net-fresh PATH, \
+                     --persist-baseline PATH, --persist-fresh PATH)"
                 );
                 std::process::exit(2);
             }
@@ -438,10 +458,118 @@ fn net_gates(
     Ok(())
 }
 
+/// Durable-storage gates over `bench_persist` summaries. Snapshot
+/// write and cold load scale with the table, so they are normalized to
+/// ms-per-million-rows (the CI leg runs fewer rows than the committed
+/// 1M-row baseline). WAL append percentiles are one-fsync-dominated
+/// and compared directly under floors sized for a CI host's disk: an
+/// fsync on shared cloud storage can legitimately take milliseconds,
+/// so the gate exists to catch the append path growing real work (an
+/// extra sync, a full-table re-encode), not to benchmark the drive.
+fn persist_gates(
+    args: &Args,
+    compared: &mut usize,
+    failures: &mut Vec<String>,
+) -> Result<(), ExitCode> {
+    let base_path = args
+        .persist_baseline
+        .clone()
+        .unwrap_or_else(|| "BENCH_persist.json".to_string());
+    let fresh_path = args
+        .persist_fresh
+        .clone()
+        .unwrap_or_else(|| "BENCH_persist.fresh.json".to_string());
+    let baseline = read_or_die(&base_path);
+    let fresh = read_or_die(&fresh_path);
+
+    for (path, json) in [(&base_path, &baseline), (&fresh_path, &fresh)] {
+        match field(json, "rows").val() {
+            Some(r) if r >= 1.0 => {}
+            _ => {
+                eprintln!(
+                    "bench_check: {path} has no sane \"rows\" field — is it really a \
+                     bench_persist summary? Regenerate it with \
+                     `cargo run --release -p zv-bench --bin bench_persist -- --json {path}`."
+                );
+                return Err(ExitCode::from(2));
+            }
+        }
+    }
+
+    // (metric, normalize per million rows?, absolute floor in ms).
+    const PERSIST_GATES: [(&str, bool, f64); 4] = [
+        ("snapshot_write_ms", true, 50.0),
+        ("cold_load_ms", true, 50.0),
+        ("wal_append_p50_ms", false, 5.0),
+        ("wal_append_p99_ms", false, 20.0),
+    ];
+    let per_million = |json: &str, raw: f64| -> f64 {
+        let rows = field(json, "rows").val().unwrap_or(1_000_000.0).max(1.0);
+        raw * 1_000_000.0 / rows
+    };
+
+    for (name, normalize, floor_ms) in PERSIST_GATES {
+        let fresh_raw = match field(&fresh, name) {
+            Field::Val(v) => v,
+            _ => {
+                failures.push(format!(
+                    "{name}: missing or malformed in the fresh run ({fresh_path}) — the \
+                     bench stopped measuring it"
+                ));
+                continue;
+            }
+        };
+        let base_raw = match field(&baseline, name) {
+            Field::Val(v) => v,
+            Field::Missing => {
+                println!("  {name:<24} skipped (not in baseline {base_path})");
+                continue;
+            }
+            Field::Malformed(tok) => {
+                failures.push(format!(
+                    "{name}: malformed value {tok:?} in baseline {base_path} — regenerate \
+                     it with bench_persist and commit it"
+                ));
+                continue;
+            }
+        };
+        let (fresh_v, base_v, unit) = if normalize {
+            (
+                per_million(&fresh, fresh_raw),
+                per_million(&baseline, base_raw),
+                "ms/1M rows",
+            )
+        } else {
+            (fresh_raw, base_raw, "ms")
+        };
+        *compared += 1;
+        let limit = (base_v * args.factor).max(floor_ms);
+        let ratio = fresh_v / base_v.max(1e-9);
+        let verdict = if fresh_v <= limit { "ok" } else { "REGRESSED" };
+        println!(
+            "  {name:<24} fresh {fresh_v:9.3} vs baseline {base_v:9.3} {unit}  \
+             ({ratio:4.2}x, limit {:.1}x, floor {floor_ms:.0} ms)  {verdict}",
+            args.factor
+        );
+        if fresh_v > limit {
+            failures.push(format!(
+                "{name}: fresh {fresh_v:.3} {unit} is {ratio:.2}x the baseline \
+                 {base_v:.3} {unit} (allowed: {:.1}x, floor {floor_ms:.0} ms). If this \
+                 slowdown is intentional, regenerate the committed baseline with \
+                 `cargo run --release -p zv-bench --bin bench_persist -- --json \
+                 {base_path}` and commit it.",
+                args.factor
+            ));
+        }
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args = parse_args();
     let run_net = args.net_baseline.is_some() || args.net_fresh.is_some();
-    let run_groupby = args.groupby_explicit || !run_net;
+    let run_persist = args.persist_baseline.is_some() || args.persist_fresh.is_some();
+    let run_groupby = args.groupby_explicit || (!run_net && !run_persist);
     let mut compared = 0usize;
     let mut failures: Vec<String> = Vec::new();
     if run_groupby {
@@ -451,6 +579,11 @@ fn main() -> ExitCode {
     }
     if run_net {
         if let Err(code) = net_gates(&args, &mut compared, &mut failures) {
+            return code;
+        }
+    }
+    if run_persist {
+        if let Err(code) = persist_gates(&args, &mut compared, &mut failures) {
             return code;
         }
     }

@@ -1,0 +1,214 @@
+//! `bench_persist` — durable-storage latency summary.
+//!
+//! Measures the three costs `zv-serve --data-dir` pays for crash
+//! safety (see [`zv_storage::persist`] for the on-disk format):
+//!
+//! * `snapshot_write_ms` — one full checkpoint of the table (encode +
+//!   write + fsync + rename + dir sync);
+//! * `wal_append_p50_ms` / `wal_append_p99_ms` — per-batch WAL append
+//!   latency, fsync included (the cost every committed append adds);
+//! * `cold_load_ms` — cold-start recovery: decode the snapshot, verify
+//!   every CRC, replay the WAL tail.
+//!
+//! ```text
+//! bench_persist [--rows N] [--batches B] [--batch-rows R] [--json PATH]
+//! ```
+//!
+//! Writes a flat JSON summary that `bench_check --persist-baseline /
+//! --persist-fresh` gates against the committed `BENCH_persist.json`.
+//! Recovery correctness is asserted, not sampled: the reloaded table
+//! must match the committed row count and version exactly or the run
+//! exits nonzero.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use zv_datagen::sales::{self, SalesConfig};
+use zv_storage::{Database, FaultSpec, PersistOptions, Persistence, ScanDb, ScanDbConfig, Value};
+
+struct Args {
+    rows: usize,
+    batches: usize,
+    batch_rows: usize,
+    json: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        rows: 1_000_000,
+        batches: 256,
+        batch_rows: 8,
+        json: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("bench_persist: {name} needs a value");
+                std::process::exit(2);
+            })
+        };
+        let parse = |name: &str, v: String| -> usize {
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("bench_persist: {name} {v:?} is not a number");
+                std::process::exit(2);
+            })
+        };
+        match flag.as_str() {
+            "--rows" => args.rows = parse("--rows", value("--rows")),
+            "--batches" => args.batches = parse("--batches", value("--batches")),
+            "--batch-rows" => args.batch_rows = parse("--batch-rows", value("--batch-rows")),
+            "--json" => args.json = Some(value("--json")),
+            other => {
+                eprintln!("bench_persist: unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+/// Nearest-rank percentile over a sorted sample.
+fn percentile_ms(sorted_us: &[u64], p: f64) -> f64 {
+    if sorted_us.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p / 100.0) * sorted_us.len() as f64).ceil() as usize;
+    sorted_us[rank.clamp(1, sorted_us.len()) - 1] as f64 / 1e3
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let dir = std::env::temp_dir().join(format!("zv-bench-persist-{}", std::process::id()));
+    if dir.exists() {
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    let table = sales::generate(&SalesConfig {
+        rows: args.rows,
+        products: 50,
+        ..Default::default()
+    });
+    let schema = table.schema().clone();
+
+    // Snapshot write: one full checkpoint of the synthetic table.
+    let (persist, recovered) =
+        Persistence::open(&dir, PersistOptions::default()).unwrap_or_else(|e| {
+            eprintln!("bench_persist: open {} failed: {e}", dir.display());
+            std::process::exit(2);
+        });
+    assert!(recovered.is_none(), "bench dir must start fresh");
+    let start = Instant::now();
+    persist.checkpoint(&table).unwrap_or_else(|e| {
+        eprintln!("bench_persist: checkpoint failed: {e}");
+        std::process::exit(2);
+    });
+    let snapshot_write_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    // WAL appends: the per-commit fsync cost, measured per batch. The
+    // version only has to ascend for replay; the bench is not an engine.
+    let mut append_us: Vec<u64> = Vec::with_capacity(args.batches);
+    let mut version = table.version();
+    let mut appended_rows = 0usize;
+    for b in 0..args.batches {
+        // Re-append copies of existing rows: schema-agnostic, and every
+        // column type takes the encode path.
+        let rows: Vec<Vec<Value>> = (0..args.batch_rows)
+            .map(|r| table.row((b * args.batch_rows + r) % table.num_rows()))
+            .collect();
+        version += 1;
+        let start = Instant::now();
+        persist
+            .log_append(version, &schema, &rows)
+            .unwrap_or_else(|e| {
+                eprintln!("bench_persist: append {b} failed: {e}");
+                std::process::exit(2);
+            });
+        append_us.push(start.elapsed().as_micros() as u64);
+        appended_rows += rows.len();
+    }
+    let committed_version = version;
+    drop(persist);
+
+    // Cold start: decode + CRC-verify the snapshot, replay the WAL.
+    let start = Instant::now();
+    let (persist, reloaded) =
+        Persistence::open(&dir, PersistOptions::default()).unwrap_or_else(|e| {
+            eprintln!("bench_persist: cold open failed: {e}");
+            std::process::exit(2);
+        });
+    let cold_load_ms = start.elapsed().as_secs_f64() * 1e3;
+    let reloaded = reloaded.expect("snapshot written above");
+    let report = persist.recovery_report();
+    let mut failures: Vec<String> = Vec::new();
+    if reloaded.num_rows() != args.rows + appended_rows {
+        failures.push(format!(
+            "cold start lost rows: {} reloaded, {} committed",
+            reloaded.num_rows(),
+            args.rows + appended_rows
+        ));
+    }
+    if reloaded.version() != committed_version {
+        failures.push(format!(
+            "cold start landed on version {} instead of the committed {committed_version}",
+            reloaded.version()
+        ));
+    }
+    if report.frames_replayed != args.batches as u64 {
+        failures.push(format!(
+            "cold start replayed {} frames, expected {}",
+            report.frames_replayed, args.batches
+        ));
+    }
+    drop(persist);
+
+    // The durable engine path must agree with the raw handle.
+    let mut cfg = ScanDbConfig::uncached();
+    cfg.parallel.fault = FaultSpec::disabled();
+    let db = ScanDb::open_durable(&dir, cfg, || unreachable!("dir is seeded")).unwrap();
+    if Database::table(&db).num_rows() != args.rows + appended_rows {
+        failures.push("engine cold start disagrees with raw recovery".to_string());
+    }
+    drop(db);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    append_us.sort_unstable();
+    let p50 = percentile_ms(&append_us, 50.0);
+    let p99 = percentile_ms(&append_us, 99.0);
+    println!(
+        " snapshot write {snapshot_write_ms:8.2} ms   ({} rows)",
+        args.rows
+    );
+    println!(
+        " wal append     p50 {p50:8.3} ms   p99 {p99:8.3} ms   ({} batches x {} rows, fsync each)",
+        args.batches, args.batch_rows
+    );
+    println!(
+        " cold load      {cold_load_ms:8.2} ms   ({} rows + {} WAL frames)",
+        args.rows, args.batches
+    );
+
+    if let Some(path) = &args.json {
+        let json = format!(
+            "{{\n  \"rows\": {},\n  \"batches\": {},\n  \"batch_rows\": {},\n  \
+             \"snapshot_write_ms\": {snapshot_write_ms:.3},\n  \
+             \"wal_append_p50_ms\": {p50:.4},\n  \"wal_append_p99_ms\": {p99:.4},\n  \
+             \"cold_load_ms\": {cold_load_ms:.3}\n}}\n",
+            args.rows, args.batches, args.batch_rows,
+        );
+        std::fs::write(path, &json).unwrap_or_else(|e| {
+            eprintln!("bench_persist: cannot write {path}: {e}");
+            std::process::exit(2);
+        });
+        eprintln!("wrote {path}");
+    }
+
+    if failures.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        for f in &failures {
+            eprintln!("bench_persist FAILURE: {f}");
+        }
+        ExitCode::FAILURE
+    }
+}

@@ -21,6 +21,9 @@
 //! * `--workers N` — session worker pool (default 4)
 //! * `--token T` — require this auth token (repeatable; default open)
 //! * `--drop-seed S --drop-rate R` — arm ConnDrop injection
+//! * `--data-dir PATH` — durable storage: recover the table from PATH
+//!   on boot (or seed it with the synthetic dataset on first run), WAL
+//!   every append, checkpoint on drain
 
 use std::io::Read;
 use std::process::ExitCode;
@@ -31,7 +34,7 @@ use zql::ZqlEngine;
 use zv_datagen::sales::{self, SalesConfig};
 use zv_server::{NetServer, NetServerConfig, SessionConfig};
 use zv_storage::exec::ParallelConfig;
-use zv_storage::{BitmapDb, BitmapDbConfig, FaultSpec, SchedulingMode};
+use zv_storage::{BitmapDb, BitmapDbConfig, Database, FaultSpec, SchedulingMode};
 
 struct Args {
     addr: String,
@@ -42,6 +45,7 @@ struct Args {
     tokens: Vec<String>,
     drop_seed: u64,
     drop_rate: f64,
+    data_dir: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -54,6 +58,7 @@ fn parse_args() -> Result<Args, String> {
         tokens: Vec::new(),
         drop_seed: 0,
         drop_rate: 0.0,
+        data_dir: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -91,6 +96,7 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--drop-rate: {e}"))?
             }
+            "--data-dir" => args.data_dir = Some(value("--data-dir")?),
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -105,22 +111,52 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let table = sales::generate(&SalesConfig {
-        rows: args.rows,
-        products: 50,
-        ..Default::default()
-    });
-    let engine = Arc::new(ZqlEngine::new(Arc::new(BitmapDb::with_config(
-        table,
-        BitmapDbConfig {
-            parallel: ParallelConfig {
-                threads: args.threads,
-                sched: SchedulingMode::Morsel,
-                ..Default::default()
-            },
+    let db_config = BitmapDbConfig {
+        parallel: ParallelConfig {
+            threads: args.threads,
+            sched: SchedulingMode::Morsel,
             ..Default::default()
         },
-    ))));
+        ..Default::default()
+    };
+    let gen_table = || {
+        sales::generate(&SalesConfig {
+            rows: args.rows,
+            products: 50,
+            ..Default::default()
+        })
+    };
+    // Keep a concrete handle for the checkpoint on drain; the engine
+    // only exposes the erased `DynDatabase`.
+    let db: Arc<BitmapDb> = match &args.data_dir {
+        Some(dir) => match BitmapDb::open_durable(dir, db_config, gen_table) {
+            Ok(db) => {
+                let report = db
+                    .persistence()
+                    .expect("open_durable always attaches persistence")
+                    .recovery_report();
+                match report.recovered_version {
+                    Some(v) => eprintln!(
+                        "zv-serve: recovered {} rows at version {v} from {dir} ({} WAL frames replayed, {} torn bytes truncated)",
+                        db.table().num_rows(),
+                        report.frames_replayed,
+                        report.torn_bytes_truncated,
+                    ),
+                    None => eprintln!(
+                        "zv-serve: initialized {dir} with {} synthetic rows",
+                        db.table().num_rows()
+                    ),
+                }
+                Arc::new(db)
+            }
+            Err(e) => {
+                eprintln!("zv-serve: open {dir} failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => Arc::new(BitmapDb::with_config(gen_table(), db_config)),
+    };
+    let engine = Arc::new(ZqlEngine::new(db.clone()));
     let config = NetServerConfig {
         max_connections: args.max_conns,
         session: SessionConfig {
@@ -134,6 +170,7 @@ fn main() -> ExitCode {
         } else {
             FaultSpec::disabled()
         },
+        ..Default::default()
     };
     let server = match NetServer::start(engine, &args.addr, config) {
         Ok(s) => s,
@@ -156,6 +193,16 @@ fn main() -> ExitCode {
     let net = server.stats();
     let sess = server.session_stats();
     server.shutdown();
+    if args.data_dir.is_some() {
+        match db.checkpoint() {
+            Ok(path) => eprintln!(
+                "zv-serve: checkpointed version {} to {}",
+                db.table().version(),
+                path.display()
+            ),
+            Err(e) => eprintln!("zv-serve: checkpoint on drain failed: {e}"),
+        }
+    }
     eprintln!(
         "zv-serve: drained. accepted={} rejected={} queries={} results={} cancelled={} busy={} errors={} drops={} | submitted={} completed={} cancelled={} failed={} rejected={}",
         net.accepted,

@@ -40,13 +40,27 @@
 //! in-flight work to [`CancelReason::ConnectionLost`] — the chaos
 //! suite's handle on "the client vanished mid-response".
 //!
+//! ## Slow-read defense
+//!
+//! Every reader socket carries a `read_deadline` (SO_RCVTIMEO). The
+//! deadline distinguishes two kinds of quiet peer via
+//! [`FrameRead`]: an **idle** client (deadline
+//! expired with zero bytes of the next frame consumed) is healthy and
+//! keeps its connection indefinitely, while a **stalled** client
+//! (deadline expired mid-frame — it trickled half a length prefix or
+//! body and went silent, the classic slowloris shape) is counted in
+//! `read_stalls`, its in-flight work cancelled as a lost connection,
+//! and its slot freed. The stream position is unrecoverable after a
+//! mid-frame timeout, which is exactly why stalled connections are
+//! dropped rather than retried.
+//!
 //! ## Graceful drain
 //!
 //! [`NetServer::shutdown`] stops accepting, waits (bounded by
 //! `drain_timeout`) for queued responses to flush, then cancels
 //! remaining sessions and severs the sockets. Readers blocked on idle
-//! clients unblock via the socket shutdown, not read-timeout polling —
-//! a timeout mid-frame would corrupt the stream position.
+//! clients unblock via the socket shutdown — idle timeouts merely
+//! re-arm the read, they never tear a connection down.
 
 use std::io::{self, BufReader, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
@@ -63,7 +77,7 @@ use zv_storage::{
 };
 
 use crate::proto::{ErrorCode, Request, Response, VizTable, PROTO_VERSION};
-use crate::wire::{read_frame, write_frame};
+use crate::wire::{read_frame, read_frame_deadline, write_frame, FrameRead};
 use crate::{QueryHandle, SessionConfig, SessionManager, SessionStats, SubmitError};
 
 /// Tuning for a [`NetServer`].
@@ -83,6 +97,12 @@ pub struct NetServerConfig {
     /// The server's own fault spec ([`FaultPoint::ConnDrop`]) —
     /// independent of the engine's scan-level injection.
     pub fault: FaultSpec,
+    /// Per-read deadline on client sockets. A client that stalls
+    /// *mid-frame* for this long is dropped and its connection slot
+    /// freed (see the module docs on slow-read defense); clients idle
+    /// *between* frames are never reaped. `None` disables the defense
+    /// (readers block until EOF/shutdown).
+    pub read_deadline: Option<Duration>,
 }
 
 impl Default for NetServerConfig {
@@ -93,6 +113,7 @@ impl Default for NetServerConfig {
             auth_tokens: Vec::new(),
             drain_timeout: Duration::from_secs(5),
             fault: FaultSpec::disabled(),
+            read_deadline: Some(Duration::from_secs(30)),
         }
     }
 }
@@ -115,6 +136,9 @@ pub struct NetStats {
     /// Sessions whose in-flight query was cancelled with
     /// [`CancelReason::ConnectionLost`] (client vanished or ConnDrop).
     pub sessions_lost: AtomicU64,
+    /// Connections dropped because the client stalled mid-frame past
+    /// the read deadline (slow-read defense).
+    pub read_stalls: AtomicU64,
     pub active_connections: AtomicUsize,
 }
 
@@ -131,6 +155,7 @@ pub struct NetStatsSnapshot {
     pub errors_sent: u64,
     pub conn_drops_injected: u64,
     pub sessions_lost: u64,
+    pub read_stalls: u64,
     pub active_connections: usize,
 }
 
@@ -147,6 +172,7 @@ impl NetStats {
             errors_sent: self.errors_sent.load(Ordering::Relaxed),
             conn_drops_injected: self.conn_drops_injected.load(Ordering::Relaxed),
             sessions_lost: self.sessions_lost.load(Ordering::Relaxed),
+            read_stalls: self.read_stalls.load(Ordering::Relaxed),
             active_connections: self.active_connections.load(Ordering::Relaxed),
         }
     }
@@ -157,6 +183,7 @@ struct Shared {
     max_connections: usize,
     auth_tokens: Vec<String>,
     fault: FaultSpec,
+    read_deadline: Option<Duration>,
     stats: NetStats,
     draining: AtomicBool,
     /// Pending query responses not yet written (drain waits on this).
@@ -210,6 +237,7 @@ impl NetServer {
             max_connections: config.max_connections.max(1),
             auth_tokens: config.auth_tokens,
             fault: config.fault,
+            read_deadline: config.read_deadline,
             stats: NetStats::default(),
             draining: AtomicBool::new(false),
             unflushed: AtomicUsize::new(0),
@@ -350,6 +378,10 @@ fn handle_conn(stream: TcpStream, shared: &Arc<Shared>) {
     let Ok(reader_stream) = stream.try_clone() else {
         return;
     };
+    // Arm the slow-read defense before the handshake: a client that
+    // trickles half its hello and stalls errors out of `read_frame`
+    // (TimedOut) and frees the slot just like a post-handshake staller.
+    let _ = reader_stream.set_read_timeout(shared.read_deadline);
     let mut reader = BufReader::new(reader_stream);
     let mut writer = stream;
 
@@ -460,10 +492,20 @@ fn reader_loop(
     tx: &Sender<Outgoing>,
 ) -> bool {
     loop {
-        let frame = match read_frame(reader) {
-            Ok(Some(frame)) => frame,
-            Ok(None) => return false,
-            Err(_) => return false,
+        let frame = match read_frame_deadline(reader) {
+            Ok(FrameRead::Frame(frame)) => frame,
+            // Idle between frames: healthy — re-arm the read. (Drain
+            // unblocks idle readers by severing the socket, which
+            // surfaces as EOF, not a timeout.)
+            Ok(FrameRead::Idle) => continue,
+            // Stalled mid-frame: the slow-read defense. The stream
+            // position is unrecoverable; count it and drop the client,
+            // freeing its connection slot.
+            Ok(FrameRead::Stalled) => {
+                shared.stats.read_stalls.fetch_add(1, Ordering::Relaxed);
+                return false;
+            }
+            Ok(FrameRead::Eof) | Err(_) => return false,
         };
         match Request::from_json(&frame) {
             Some(Request::Query { id, zql, opts }) => {

@@ -36,32 +36,114 @@ pub fn write_frame(w: &mut impl Write, j: &Json) -> io::Result<()> {
     w.flush()
 }
 
-/// Read one frame. `Ok(None)` is a clean EOF *between* frames; EOF or
-/// damage inside a frame is an error (the peer vanished mid-message —
-/// exactly what [`FaultPoint::ConnDrop`](zv_storage::FaultPoint)
-/// simulates).
-pub fn read_frame(r: &mut impl BufRead) -> io::Result<Option<Json>> {
-    let mut line = String::new();
-    if r.read_line(&mut line)? == 0 {
-        return Ok(None);
+/// One [`read_frame_deadline`] outcome. The two timeout variants are
+/// the load-bearing distinction for the server's slow-read defense: an
+/// *idle* peer (no frame in flight) is healthy and may keep its
+/// connection as long as it likes, while a *stalled* peer (deadline
+/// expired with a frame half-delivered) is either broken or trickling
+/// on purpose and must not pin a connection slot.
+#[derive(Debug)]
+pub enum FrameRead {
+    /// A complete, parsed frame.
+    Frame(Json),
+    /// Clean EOF between frames.
+    Eof,
+    /// The read timeout expired with **zero** bytes of the next frame
+    /// consumed — the peer is merely quiet. Only possible when the
+    /// stream has a read timeout set.
+    Idle,
+    /// The read timeout expired **mid-frame**: the peer sent part of a
+    /// length prefix or body and then went silent. The stream position
+    /// is now unusable (partial bytes were consumed), so the caller
+    /// must drop the connection.
+    Stalled,
+}
+
+fn is_timeout(e: &io::Error) -> bool {
+    // Unix reports an expired SO_RCVTIMEO as WouldBlock, Windows as
+    // TimedOut.
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+/// Read one frame, classifying read-timeout expiry as [`FrameRead::Idle`]
+/// (nothing consumed — safe to retry) or [`FrameRead::Stalled`]
+/// (mid-frame — the connection is beyond saving). EOF or damage inside
+/// a frame is an error, exactly as in [`read_frame`].
+pub fn read_frame_deadline(r: &mut impl BufRead) -> io::Result<FrameRead> {
+    // Length line. `read_until` appends whatever it consumed before an
+    // error, so on timeout the buffer tells idle (empty — no byte of
+    // this frame was ever consumed) apart from stalled (partial line).
+    let mut line = Vec::new();
+    match r.read_until(b'\n', &mut line) {
+        Ok(0) => return Ok(FrameRead::Eof),
+        Ok(_) if line.last() != Some(&b'\n') => {
+            return Err(invalid("connection dropped mid-frame"));
+        }
+        Ok(_) => {}
+        Err(e) if is_timeout(&e) => {
+            return Ok(if line.is_empty() {
+                FrameRead::Idle
+            } else {
+                FrameRead::Stalled
+            });
+        }
+        Err(e) => return Err(e),
     }
-    let len: usize = line
-        .trim_end_matches('\n')
-        .parse()
-        .map_err(|_| invalid("frame length prefix is not a decimal number"))?;
+    line.pop();
+    let len: usize = std::str::from_utf8(&line)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| invalid("frame length prefix is not a decimal number"))?;
     if len > MAX_FRAME {
         return Err(invalid("frame exceeds MAX_FRAME"));
     }
+    // Body + trailing newline, hand-looped: `read_exact` leaves the
+    // buffer contents unspecified on error, which would conflate a
+    // timeout with corruption.
     let mut body = vec![0u8; len + 1];
-    r.read_exact(&mut body)
-        .map_err(|_| invalid("connection dropped mid-frame"))?;
+    let mut filled = 0;
+    while filled < body.len() {
+        match r.read(&mut body[filled..]) {
+            Ok(0) => return Err(invalid("connection dropped mid-frame")),
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) if is_timeout(&e) => return Ok(FrameRead::Stalled),
+            Err(e) => return Err(e),
+        }
+    }
     if body[len] != b'\n' {
         return Err(invalid("frame body is not newline-terminated"));
     }
     let text = std::str::from_utf8(&body[..len]).map_err(|_| invalid("frame is not UTF-8"))?;
     Json::parse(text)
-        .map(Some)
+        .map(FrameRead::Frame)
         .map_err(|_| invalid("frame is not valid JSON"))
+}
+
+/// Read one frame. `Ok(None)` is a clean EOF *between* frames; EOF or
+/// damage inside a frame is an error (the peer vanished mid-message —
+/// exactly what [`FaultPoint::ConnDrop`](zv_storage::FaultPoint)
+/// simulates). On a stream with a read timeout, idle waits are
+/// retried transparently and a mid-frame stall surfaces as
+/// `TimedOut` — callers that need to treat the two differently use
+/// [`read_frame_deadline`] directly.
+pub fn read_frame(r: &mut impl BufRead) -> io::Result<Option<Json>> {
+    loop {
+        match read_frame_deadline(r)? {
+            FrameRead::Frame(j) => return Ok(Some(j)),
+            FrameRead::Eof => return Ok(None),
+            FrameRead::Idle => continue,
+            FrameRead::Stalled => {
+                return Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    "peer stalled mid-frame",
+                ))
+            }
+        }
+    }
 }
 
 /// Client connection errors surfaced with a precise cause.
@@ -214,6 +296,54 @@ mod tests {
             read_frame(&mut r).unwrap().is_none(),
             "clean EOF between frames"
         );
+    }
+
+    /// Yields its bytes, then fails like an expired `SO_RCVTIMEO`.
+    struct Trickle(io::Cursor<Vec<u8>>);
+
+    impl Read for Trickle {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            match self.0.read(buf) {
+                Ok(0) => Err(io::Error::new(io::ErrorKind::WouldBlock, "timeout")),
+                other => other,
+            }
+        }
+    }
+
+    fn trickle(bytes: &[u8]) -> BufReader<Trickle> {
+        BufReader::new(Trickle(io::Cursor::new(bytes.to_vec())))
+    }
+
+    #[test]
+    fn deadline_expiry_is_idle_between_frames_and_stalled_inside_them() {
+        // Nothing consumed: the peer is merely quiet.
+        assert!(matches!(
+            read_frame_deadline(&mut trickle(b"")).unwrap(),
+            FrameRead::Idle
+        ));
+        // Partial length prefix: mid-frame, the stream is unusable.
+        assert!(matches!(
+            read_frame_deadline(&mut trickle(b"12")).unwrap(),
+            FrameRead::Stalled
+        ));
+        // Complete prefix, half a body: also stalled.
+        assert!(matches!(
+            read_frame_deadline(&mut trickle(b"2\n{")).unwrap(),
+            FrameRead::Stalled
+        ));
+        // A whole frame followed by silence still parses first.
+        let mut r = trickle(b"2\n{}\n");
+        assert!(matches!(
+            read_frame_deadline(&mut r).unwrap(),
+            FrameRead::Frame(_)
+        ));
+        assert!(matches!(
+            read_frame_deadline(&mut r).unwrap(),
+            FrameRead::Idle
+        ));
+        // The retrying wrapper turns a mid-frame stall into TimedOut.
+        let err = read_frame(&mut trickle(b"12")).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut);
     }
 
     #[test]

@@ -216,3 +216,203 @@ fn conn_drop_severs_cleanly_and_replays_exactly() {
         "counter ledger and result bits replay exactly"
     );
 }
+
+// ---------------------------------------------------------------------
+// Slow-read defense (satellite): a client that trickles half a frame
+// and stalls must hit the read deadline and free its connection slot.
+// ---------------------------------------------------------------------
+
+/// Which of the chaos driver's connections trickle-and-stall. The
+/// server never consults [`FaultPoint::ReadStall`] — the *load driver*
+/// does, FaultPoint-style, so the stall pattern is a deterministic pure
+/// function of the seed (replayed by the assertions below).
+fn stall_spec() -> FaultSpec {
+    // Seed-search for a mixed population: some stallers, some healthy.
+    (0x51A1..)
+        .map(|s| FaultSpec::with_rate(s, 0.5))
+        .find(|spec| {
+            let fires: Vec<bool> = (0..6)
+                .map(|i| spec.fires(FaultPoint::ReadStall, i, 0))
+                .collect();
+            fires.iter().filter(|&&f| f).count() >= 2 && fires.iter().filter(|&&f| !f).count() >= 2
+        })
+        .expect("a mixed stall seed exists")
+}
+
+/// Complete the handshake by hand on a raw socket, then trickle half a
+/// query frame and go silent. Returns the stream with the server now
+/// owing us a read-deadline reaping.
+fn handshake_then_stall(addr: std::net::SocketAddr) -> std::net::TcpStream {
+    use std::io::{BufReader, Write};
+    use zv_server::wire::{read_frame, write_frame};
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    write_frame(
+        &mut stream,
+        &zv_server::Request::Hello {
+            version: zv_server::PROTO_VERSION,
+            token: String::new(),
+        }
+        .to_json(),
+    )
+    .expect("hello");
+    let welcome = read_frame(&mut reader).expect("welcome").expect("frame");
+    assert!(
+        matches!(
+            zv_server::Response::from_json(&welcome),
+            Some(zv_server::Response::Welcome { .. })
+        ),
+        "staller authenticated before stalling"
+    );
+    // Trickle: a valid length prefix and *half* the body, then silence.
+    // The reader is now mid-frame — the idle defense must not apply.
+    let body = br#"{"t":"query","id":1,"zql":"x"}"#;
+    stream
+        .write_all(format!("{}\n", body.len()).as_bytes())
+        .expect("len prefix");
+    stream
+        .write_all(&body[..body.len() / 2])
+        .expect("half body");
+    stream.flush().expect("flush");
+    stream
+}
+
+/// Deterministic slow-read chaos: the seeded stall pattern drives raw
+/// clients; every staller is reaped within the deadline (counted in
+/// `read_stalls`, slot freed), every healthy client completes, and the
+/// ledger replays exactly across two runs of the same seed.
+#[test]
+fn stalled_readers_hit_the_deadline_and_free_their_slots() {
+    const DEADLINE: Duration = Duration::from_millis(150);
+    const CONNS: u64 = 6;
+    let spec = stall_spec();
+
+    let run = || {
+        let srv = NetServer::start(
+            clean_engine(),
+            "127.0.0.1:0",
+            NetServerConfig {
+                read_deadline: Some(DEADLINE),
+                ..NetServerConfig::default()
+            },
+        )
+        .expect("bind");
+        let mut stallers = Vec::new();
+        let mut healthy_results = Vec::new();
+        for i in 0..CONNS {
+            if spec.fires(FaultPoint::ReadStall, i, 0) {
+                stallers.push(handshake_then_stall(srv.local_addr()));
+            } else {
+                let mut client = NetClient::connect(srv.local_addr(), "").expect("connect");
+                let resp = client
+                    .query(&slider_text(3.0), SubmitOptions::default())
+                    .expect("healthy query");
+                // Ledger the answer payload only — ExecReport carries
+                // wall-clock timings that legitimately vary run to run.
+                let Response::Result { id, tables, .. } = &resp else {
+                    panic!("healthy query must answer with a result, got {resp:?}");
+                };
+                healthy_results.push(format!("id={id} tables={tables:?}"));
+                client.bye().expect("bye");
+            }
+        }
+        let n_stalled = stallers.len() as u64;
+
+        // Every staller must observe the server dropping it: EOF on its
+        // socket, bounded by the deadline plus a generous CI margin.
+        let reap_started = Instant::now();
+        for stream in &stallers {
+            use std::io::Read;
+            stream
+                .set_read_timeout(Some(DEADLINE * 40))
+                .expect("client timeout");
+            let mut sink = [0u8; 64];
+            let mut conn = stream.try_clone().expect("clone");
+            loop {
+                match conn.read(&mut sink) {
+                    Ok(0) => break, // the reaping we were owed
+                    Ok(_) => continue,
+                    Err(e) => panic!("expected EOF from reaped connection, got {e}"),
+                }
+            }
+        }
+        let reap_elapsed = reap_started.elapsed();
+        assert!(
+            reap_elapsed < DEADLINE * 40,
+            "reaping took {reap_elapsed:?} — the deadline never fired"
+        );
+
+        // Exact bookkeeping: one read_stall per staller, no slot leaked.
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            let stats = srv.stats();
+            if stats.active_connections == 0 && stats.read_stalls == n_stalled {
+                break;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "slots never freed / stalls miscounted: {stats:?}"
+            );
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let stats = srv.stats();
+        assert_eq!(stats.accepted, CONNS);
+        assert_eq!(stats.rejected, 0, "stallers must not block admission");
+        srv.shutdown();
+        (n_stalled, stats.read_stalls, healthy_results)
+    };
+
+    let first = run();
+    assert!(first.0 >= 2, "seed search guaranteed ≥2 stallers");
+    let second = run();
+    assert_eq!(first, second, "stall ledger replays exactly");
+}
+
+/// The freed slot is genuinely reusable: with `max_connections: 1`, a
+/// staller pins the only slot until the deadline reaps it, after which
+/// a fresh client connects and completes.
+#[test]
+fn reaped_stall_slot_admits_the_next_client() {
+    const DEADLINE: Duration = Duration::from_millis(150);
+    let srv = NetServer::start(
+        clean_engine(),
+        "127.0.0.1:0",
+        NetServerConfig {
+            max_connections: 1,
+            read_deadline: Some(DEADLINE),
+            ..NetServerConfig::default()
+        },
+    )
+    .expect("bind");
+    let staller = handshake_then_stall(srv.local_addr());
+
+    // While the staller holds the only slot, the front door is full.
+    let refused = NetClient::connect(srv.local_addr(), "").expect_err("refused while stalled");
+    assert_eq!(refused.kind(), std::io::ErrorKind::ConnectionRefused);
+
+    // After the deadline reaps the staller, the slot admits a fresh
+    // client that runs a real query end to end.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let mut client = loop {
+        match NetClient::connect(srv.local_addr(), "") {
+            Ok(c) => break c,
+            Err(_) => {
+                assert!(Instant::now() < deadline, "slot never freed");
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        }
+    };
+    let resp = client
+        .query(&slider_text(3.0), SubmitOptions::default())
+        .expect("query on reclaimed slot");
+    assert!(matches!(resp, Response::Result { .. }));
+    client.bye().expect("bye");
+    drop(staller);
+    let stats = srv.stats();
+    assert_eq!(stats.read_stalls, 1);
+    // The retry loop above polls while the staller pins the slot, so
+    // each poll is one refusal — at least the first probe was refused.
+    assert!(stats.rejected >= 1, "the pinned slot never refused anyone");
+    srv.shutdown();
+}

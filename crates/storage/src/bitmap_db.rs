@@ -23,6 +23,7 @@ use crate::column::Column;
 use crate::db::{Database, EngineSnapshot};
 use crate::exec::{self, compile_pred, RowSource};
 use crate::lifecycle::QueryCtx;
+use crate::persist::{PersistOptions, Persistence};
 use crate::predicate::{Atom, CmpOp, Predicate};
 use crate::query::{ResultTable, SelectQuery};
 use crate::roaring::RoaringBitmap;
@@ -30,6 +31,7 @@ use crate::stats::ExecStats;
 use crate::table::{StorageError, Table};
 use crate::value::Value;
 use std::collections::{HashMap, HashSet};
+use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::Duration;
 
@@ -436,6 +438,9 @@ pub struct BitmapDb {
     /// snapshot execution lands on the engine's counters.
     stats: Arc<ExecStats>,
     cache: Option<Arc<ResultCache>>,
+    /// Durable-storage handle ([`BitmapDb::open_durable`]); `None` for
+    /// memory-only engines.
+    persist: Option<Arc<Persistence>>,
 }
 
 impl BitmapDb {
@@ -470,7 +475,58 @@ impl BitmapDb {
             config,
             stats: Arc::new(ExecStats::new()),
             cache,
+            persist: None,
         }
+    }
+
+    /// Open a durable engine on `dir`: recover the newest valid
+    /// snapshot plus the WAL tail (crash-exact — see [`crate::persist`]),
+    /// or seed a fresh directory with `init()` and checkpoint it. Every
+    /// committed append is WAL-logged and fsynced *before* it becomes
+    /// visible to queries, so the in-memory table version is always a
+    /// durable version. Bitmap indexes are rebuilt from the recovered
+    /// table — they are derived state and never hit the disk.
+    pub fn open_durable(
+        dir: impl AsRef<Path>,
+        config: BitmapDbConfig,
+        init: impl FnOnce() -> Arc<Table>,
+    ) -> Result<Self, StorageError> {
+        let (persistence, recovered) = Persistence::open(
+            dir,
+            PersistOptions {
+                fault: config.parallel.fault,
+            },
+        )?;
+        let table = match recovered {
+            Some(t) => Arc::new(t),
+            None => {
+                let t = init();
+                persistence.checkpoint(&t)?;
+                t
+            }
+        };
+        let mut db = Self::with_config(table, config);
+        db.persist = Some(Arc::new(persistence));
+        Ok(db)
+    }
+
+    /// The durable-storage handle, when this engine was opened with
+    /// [`BitmapDb::open_durable`].
+    pub fn persistence(&self) -> Option<&Persistence> {
+        self.persist.as_deref()
+    }
+
+    /// Write a full snapshot of the current table and reset the WAL.
+    /// Serialized against appends, so no committed batch can be lost
+    /// between the snapshot and the WAL reset.
+    pub fn checkpoint(&self) -> Result<PathBuf, StorageError> {
+        let persist = self
+            .persist
+            .as_ref()
+            .ok_or_else(|| StorageError::Io("engine has no data directory".into()))?;
+        let _appending = crate::fault::lock_recover(&self.append_lock);
+        let table = self.state().table.clone();
+        persist.checkpoint(&table)
     }
 
     pub fn config(&self) -> &BitmapDbConfig {
@@ -520,6 +576,7 @@ impl BitmapDb {
     fn mutate_table(
         &self,
         mutate: impl FnOnce(&mut Table) -> Result<usize, StorageError>,
+        wal_rows: impl FnOnce() -> Vec<Vec<Value>>,
     ) -> Result<usize, StorageError> {
         let _appending = crate::fault::lock_recover(&self.append_lock);
         let current = self.state();
@@ -529,6 +586,11 @@ impl BitmapDb {
         let n = mutate(&mut table)?;
         if n == 0 && table.version() == old_version {
             return Ok(0);
+        }
+        // Durability before visibility: the batch must reach the WAL
+        // (fsynced) before any reader can observe the new snapshot.
+        if let Some(persist) = &self.persist {
+            persist.log_append(table.version(), table.schema(), &wal_rows())?;
         }
         let mut next = BitmapState {
             table: Arc::new(table),
@@ -616,11 +678,14 @@ impl Database for BitmapDb {
     }
 
     fn append_rows(&self, rows: &[Vec<Value>]) -> Result<usize, StorageError> {
-        self.mutate_table(|t| t.append_rows(rows))
+        self.mutate_table(|t| t.append_rows(rows), || rows.to_vec())
     }
 
     fn append_table(&self, other: &Table) -> Result<usize, StorageError> {
-        self.mutate_table(|t| t.append_table(other))
+        self.mutate_table(
+            |t| t.append_table(other),
+            || (0..other.num_rows()).map(|i| other.row(i)).collect(),
+        )
     }
 
     fn request_overhead(&self) -> Duration {

@@ -600,6 +600,10 @@ pub struct CacheStats {
     /// Inserts dropped by injected cache faults ([`crate::fault`]) —
     /// always 0 outside chaos runs.
     pub insert_faults: u64,
+    /// Derivations abandoned mid-plan by injected cache faults — the
+    /// probe reports a plain miss and the query falls back to a real
+    /// scan, cache state bit-untouched. Always 0 outside chaos runs.
+    pub derive_faults: u64,
     /// Times a poisoned cache lock forced an LRU rebuild (a panic
     /// mid-mutation can tear the intrusive list, so the store restarts
     /// empty rather than serve corrupt bookkeeping).
@@ -836,6 +840,9 @@ pub struct ResultCache {
     /// Monotonic insert attempt counter — the deterministic index fed
     /// to the fault hash.
     insert_seq: AtomicU64,
+    /// Monotonic derivation attempt counter — the index for injected
+    /// [`FaultPoint::CacheDerive`](crate::fault::FaultPoint) failures.
+    derive_seq: AtomicU64,
     hits: AtomicU64,
     derived_hits: AtomicU64,
     misses: AtomicU64,
@@ -844,6 +851,7 @@ pub struct ResultCache {
     invalidations: AtomicU64,
     admission_rejects: AtomicU64,
     insert_faults: AtomicU64,
+    derive_faults: AtomicU64,
     poison_rebuilds: AtomicU64,
 }
 
@@ -886,6 +894,7 @@ impl ResultCache {
             min_cost_rows: config.min_cost_rows,
             fault,
             insert_seq: AtomicU64::new(0),
+            derive_seq: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             derived_hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
@@ -894,6 +903,7 @@ impl ResultCache {
             invalidations: AtomicU64::new(0),
             admission_rejects: AtomicU64::new(0),
             insert_faults: AtomicU64::new(0),
+            derive_faults: AtomicU64::new(0),
             poison_rebuilds: AtomicU64::new(0),
         }
     }
@@ -976,6 +986,24 @@ impl ResultCache {
                 })
                 .collect()
         };
+        // Injected mid-derive failure: the probe found derivable
+        // sources but abandons the plan and reports a plain miss, so
+        // the query falls back to a real scan. Nothing was touched
+        // under the lock beyond reads — the cache is bit-identical to
+        // before the probe. Indexed by a monotonic attempt counter so
+        // a chaos run's decision trail is replayable; the counter only
+        // advances when there was a plan to abandon, keeping the index
+        // stream independent of unrelated cache traffic.
+        if !candidates.is_empty() {
+            let seq = self.derive_seq.fetch_add(1, Ordering::Relaxed);
+            if self
+                .fault
+                .fires(crate::fault::FaultPoint::CacheDerive, seq, 0)
+            {
+                self.derive_faults.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+        }
         // Smallest source first: least filter work, and ties in
         // derivability always exist (any superset of a superset works).
         candidates.sort_by_key(|(_, _, _, bytes)| *bytes);
@@ -1104,6 +1132,7 @@ impl ResultCache {
             invalidations: self.invalidations.load(Ordering::Relaxed),
             admission_rejects: self.admission_rejects.load(Ordering::Relaxed),
             insert_faults: self.insert_faults.load(Ordering::Relaxed),
+            derive_faults: self.derive_faults.load(Ordering::Relaxed),
             poison_rebuilds: self.poison_rebuilds.load(Ordering::Relaxed),
             entries,
             bytes,
@@ -1731,6 +1760,61 @@ mod tests {
                 .admitted
         );
         assert_eq!(clean.stats().insert_faults, 0);
+    }
+
+    #[test]
+    fn injected_derive_faults_report_a_plain_miss_and_leave_the_cache_untouched() {
+        // A seed where the first derivation attempt fails but the
+        // source insert (CacheInsert index 0) lands — the per-point
+        // salts make the two decision streams independent, so such
+        // seeds are dense.
+        let spec = (0..10_000u64)
+            .map(|seed| crate::fault::FaultSpec::with_rate(seed, 0.5))
+            .find(|s| {
+                s.fires(crate::fault::FaultPoint::CacheDerive, 0, 0)
+                    && !s.fires(crate::fault::FaultPoint::CacheInsert, 0, 0)
+            })
+            .expect("a derive-fails/insert-lands seed exists");
+        let cache = ResultCache::with_fault(&CacheConfig::admit_all(), spec);
+        let src = ResultTable {
+            z_cols: vec!["product".into()],
+            groups: vec![GroupSeries {
+                key: vec![Value::str("chair")],
+                xs: vec![Value::Int(2014)],
+                ys: vec![vec![1.0]],
+            }],
+        };
+        assert!(
+            cache
+                .insert(CacheKey::new("e", 1, &base_q()), Arc::new(src), COST)
+                .admitted
+        );
+        let slice = SelectQuery::new(XSpec::raw("year"), vec![YSpec::sum("sales")])
+            .with_predicate(Predicate::cat_eq("product", "chair"));
+        let before = cache.stats();
+        assert!(
+            cache
+                .lookup_derived(&CacheKey::new("e", 1, &slice))
+                .is_none(),
+            "the abandoned derivation must look like a plain miss"
+        );
+        let after = cache.stats();
+        assert_eq!(after.derive_faults, 1);
+        assert_eq!(
+            CacheStats {
+                derive_faults: 0,
+                ..after
+            },
+            before,
+            "every other counter — and entries/bytes — must be bit-identical"
+        );
+        // The derivation counter only advances when candidates exist:
+        // a family-less probe on the same cache leaves it alone.
+        let other_family = SelectQuery::new(XSpec::raw("month"), vec![YSpec::sum("sales")]);
+        assert!(cache
+            .lookup_derived(&CacheKey::new("e", 1, &other_family))
+            .is_none());
+        assert_eq!(cache.stats().derive_faults, 1);
     }
 
     #[test]

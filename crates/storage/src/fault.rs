@@ -69,6 +69,41 @@ pub enum FaultPoint {
     /// (`CancelReason::ConnectionLost`) without leaking a pool slot or
     /// touching the result cache.
     ConnDrop,
+    /// Fail a snapshot-file write short (index = the persistence
+    /// layer's disk-write sequence number): only a prefix of the bytes
+    /// reaches the temp file before the write errors, modeling ENOSPC
+    /// or a dying disk. Recovery ignores the damaged temp file — the
+    /// previous snapshot (plus the WAL) stays authoritative.
+    DiskWriteFail,
+    /// Fail an `fsync` (index = the persistence layer's fsync sequence
+    /// number). A WAL append whose fsync fails is rolled back (the
+    /// frame is truncated away) and reported failed — disk and memory
+    /// agree the batch never committed; a snapshot fsync failure
+    /// aborts the checkpoint before the rename.
+    FsyncFail,
+    /// Crash between writing a complete, fsynced snapshot temp file
+    /// and renaming it into place (index = the persistence layer's
+    /// checkpoint sequence number). The `.tmp` file is left behind;
+    /// recovery must ignore it and serve the previous snapshot plus
+    /// the full WAL.
+    CrashBeforeRename,
+    /// Tear the tail of a WAL append at an arbitrary byte (index = the
+    /// persistence layer's WAL append sequence number; the torn offset
+    /// is [`crate::persist::wal_tear_offset`]). The torn bytes stay on
+    /// disk and the log is poisoned fail-stop — recovery truncates the
+    /// tail at the last CRC-valid frame boundary.
+    WalTearTail,
+    /// Abandon a result-cache derivation mid-plan (index = the cache's
+    /// derivation attempt sequence number): `lookup_derived` returns
+    /// `None` as if no superset candidate existed, so the query falls
+    /// back to a real scan and the cache is left bit-untouched.
+    CacheDerive,
+    /// A client that trickles half a frame and then stalls (index =
+    /// the chaos driver's connection index). Consulted by test load
+    /// drivers — not the server — to decide deterministically which
+    /// connections misbehave; the server side under test is the
+    /// reader deadline (`NetServerConfig::read_deadline`).
+    ReadStall,
 }
 
 impl FaultPoint {
@@ -79,6 +114,12 @@ impl FaultPoint {
             FaultPoint::WorkerSpawn => 0x5ca7_da7a_0003,
             FaultPoint::MorselDelay => 0x5ca7_da7a_0004,
             FaultPoint::ConnDrop => 0x5ca7_da7a_0005,
+            FaultPoint::DiskWriteFail => 0x5ca7_da7a_0006,
+            FaultPoint::FsyncFail => 0x5ca7_da7a_0007,
+            FaultPoint::CrashBeforeRename => 0x5ca7_da7a_0008,
+            FaultPoint::WalTearTail => 0x5ca7_da7a_0009,
+            FaultPoint::CacheDerive => 0x5ca7_da7a_000a,
+            FaultPoint::ReadStall => 0x5ca7_da7a_000b,
         }
     }
 }

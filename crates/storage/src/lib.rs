@@ -43,6 +43,7 @@ pub mod fault;
 pub mod json;
 pub mod lifecycle;
 pub mod parallel;
+pub mod persist;
 pub mod predicate;
 pub mod query;
 pub mod roaring;
@@ -59,6 +60,7 @@ pub use exec::{GroupStrategy, MorselMetrics, ParallelConfig, SchedulingMode};
 pub use fault::{FaultPoint, FaultSpec};
 pub use json::{Json, JsonError};
 pub use lifecycle::{CancelReason, QueryCtx, QueryCtxStats};
+pub use persist::{PersistOptions, PersistStats, Persistence, RecoveryReport};
 pub use predicate::{Atom, CmpOp, Predicate};
 pub use query::{Agg, GroupSeries, ResultTable, SelectQuery, XSpec, YSpec};
 pub use roaring::RoaringBitmap;

@@ -16,10 +16,12 @@ use crate::cache::{CacheConfig, ResultCache};
 use crate::db::{Database, EngineSnapshot};
 use crate::exec::{self, compile_pred, RowSource};
 use crate::lifecycle::QueryCtx;
+use crate::persist::{PersistOptions, Persistence};
 use crate::query::{ResultTable, SelectQuery};
 use crate::stats::ExecStats;
 use crate::table::{StorageError, Table};
 use crate::value::Value;
+use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::Duration;
 
@@ -73,6 +75,9 @@ pub struct ScanDb {
     /// snapshot execution lands on the engine's counters.
     stats: Arc<ExecStats>,
     cache: Option<Arc<ResultCache>>,
+    /// Durable-storage handle ([`ScanDb::open_durable`]); `None` for
+    /// memory-only engines.
+    persist: Option<Arc<Persistence>>,
 }
 
 impl ScanDb {
@@ -107,7 +112,57 @@ impl ScanDb {
             config,
             stats: Arc::new(ExecStats::new()),
             cache,
+            persist: None,
         }
+    }
+
+    /// Open a durable engine on `dir`: recover the newest valid
+    /// snapshot plus the WAL tail (crash-exact — see [`crate::persist`]),
+    /// or seed a fresh directory with `init()` and checkpoint it. Every
+    /// committed append is WAL-logged and fsynced *before* it becomes
+    /// visible to queries, so the in-memory table version is always a
+    /// durable version.
+    pub fn open_durable(
+        dir: impl AsRef<Path>,
+        config: ScanDbConfig,
+        init: impl FnOnce() -> Arc<Table>,
+    ) -> Result<Self, StorageError> {
+        let (persistence, recovered) = Persistence::open(
+            dir,
+            PersistOptions {
+                fault: config.parallel.fault,
+            },
+        )?;
+        let table = match recovered {
+            Some(t) => Arc::new(t),
+            None => {
+                let t = init();
+                persistence.checkpoint(&t)?;
+                t
+            }
+        };
+        let mut db = Self::with_config(table, config);
+        db.persist = Some(Arc::new(persistence));
+        Ok(db)
+    }
+
+    /// The durable-storage handle, when this engine was opened with
+    /// [`ScanDb::open_durable`].
+    pub fn persistence(&self) -> Option<&Persistence> {
+        self.persist.as_deref()
+    }
+
+    /// Write a full snapshot of the current table and reset the WAL.
+    /// Serialized against appends, so no committed batch can be lost
+    /// between the snapshot and the WAL reset.
+    pub fn checkpoint(&self) -> Result<PathBuf, StorageError> {
+        let persist = self
+            .persist
+            .as_ref()
+            .ok_or_else(|| StorageError::Io("engine has no data directory".into()))?;
+        let _appending = crate::fault::lock_recover(&self.append_lock);
+        let table = self.snapshot();
+        persist.checkpoint(&table)
     }
 
     pub fn config(&self) -> &ScanDbConfig {
@@ -148,10 +203,14 @@ impl ScanDb {
     /// Swap in a mutated table built by `mutate`; returns its row delta.
     /// The O(n) copy-on-write runs outside the reader-visible lock —
     /// concurrent queries keep their old snapshot throughout — and
-    /// appends serialize on `append_lock`.
+    /// appends serialize on `append_lock`. On a durable engine the
+    /// batch (`wal_rows`, materialized lazily) is WAL-logged and
+    /// fsynced first; a disk failure aborts the whole mutation, so
+    /// nothing ever becomes visible that isn't durable.
     fn mutate_table(
         &self,
         mutate: impl FnOnce(&mut Table) -> Result<usize, StorageError>,
+        wal_rows: impl FnOnce() -> Vec<Vec<Value>>,
     ) -> Result<usize, StorageError> {
         let _appending = crate::fault::lock_recover(&self.append_lock);
         let mut next = (*self.snapshot()).clone();
@@ -159,6 +218,9 @@ impl ScanDb {
         let n = mutate(&mut next)?;
         if n == 0 && next.version() == old_version {
             return Ok(0);
+        }
+        if let Some(persist) = &self.persist {
+            persist.log_append(next.version(), next.schema(), &wal_rows())?;
         }
         *crate::fault::write_recover(&self.table) = Arc::new(next);
         if let Some(cache) = &self.cache {
@@ -242,11 +304,14 @@ impl Database for ScanDb {
     }
 
     fn append_rows(&self, rows: &[Vec<Value>]) -> Result<usize, StorageError> {
-        self.mutate_table(|t| t.append_rows(rows))
+        self.mutate_table(|t| t.append_rows(rows), || rows.to_vec())
     }
 
     fn append_table(&self, other: &Table) -> Result<usize, StorageError> {
-        self.mutate_table(|t| t.append_table(other))
+        self.mutate_table(
+            |t| t.append_table(other),
+            || (0..other.num_rows()).map(|i| other.row(i)).collect(),
+        )
     }
 
     fn request_overhead(&self) -> Duration {

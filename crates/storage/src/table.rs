@@ -110,6 +110,12 @@ pub enum StorageError {
     /// A transient resource failure — e.g. worker fan-out could not
     /// start. The query did no partial work; retrying is safe.
     ResourceExhausted(String),
+    /// A durable-storage failure (snapshot/WAL I/O, CRC mismatch, or
+    /// an unusable data directory). Not transient: the persistence
+    /// layer is fail-stop — a failed WAL append leaves the in-memory
+    /// table unchanged, and repair goes through `checkpoint` or a
+    /// restart-time recovery, never a blind retry.
+    Io(String),
 }
 
 impl StorageError {
@@ -137,6 +143,7 @@ impl fmt::Display for StorageError {
                 write!(f, "worker panicked at morsel {morsel}: {payload}")
             }
             StorageError::ResourceExhausted(m) => write!(f, "resource exhausted: {m}"),
+            StorageError::Io(m) => write!(f, "storage i/o: {m}"),
         }
     }
 }
@@ -204,6 +211,17 @@ impl Table {
     /// [`crate::cache`] for how engines key result caches on it.
     pub fn version(&self) -> u64 {
         self.version
+    }
+
+    /// Restore a durable snapshot version recorded by the persistence
+    /// layer (`crate::persist` recovery only). Overwrites the freshly
+    /// drawn version *and* advances the process-wide counter past it,
+    /// so every version minted after a recovery is still unique and
+    /// strictly greater — cached results keyed under restored versions
+    /// keep their meaning across restarts.
+    pub(crate) fn restore_version(&mut self, version: u64) {
+        self.version = version;
+        NEXT_VERSION.fetch_max(version + 1, Ordering::Relaxed);
     }
 
     /// Append rows (each a full-width `Vec<Value>`) and bump the version.

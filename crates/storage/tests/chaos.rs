@@ -350,6 +350,100 @@ fn injected_cache_faults_fail_inserts_not_queries() {
     assert_eq!(cache.insert_faults, 2, "both inserts dropped by injection");
 }
 
+/// Satellite: injected mid-derive failures (the carried-over ROADMAP
+/// chaos item). A probe that *would* have answered an exact miss by
+/// deriving from a cached superset abandons the plan instead: the
+/// direct probe leaves the cache bit-untouched, and the full request
+/// path falls back to a real scan and still returns the exact
+/// reference answer.
+#[test]
+fn injected_derive_faults_fall_back_to_a_real_scan() {
+    // Replayable decision stream: both derivation attempts below (the
+    // direct probe at index 0, the request-path probe at index 1) must
+    // fault, while the superset's CacheInsert at index 0 must land —
+    // the per-point salts make such seeds dense.
+    let spec = (0..10_000u64)
+        .map(|sd| FaultSpec::with_rate(sd, 0.5))
+        .find(|s| {
+            s.fires(FaultPoint::CacheDerive, 0, 0)
+                && s.fires(FaultPoint::CacheDerive, 1, 0)
+                && !s.fires(FaultPoint::CacheInsert, 0, 0)
+        })
+        .expect("a derive-fails/insert-lands seed exists");
+    let db = ScanDb::with_config(
+        small_table(),
+        ScanDbConfig {
+            // Serial scans only (no scan injection points): the spec
+            // reaches the cache alone.
+            parallel: ParallelConfig {
+                threads: 1,
+                min_parallel_rows: usize::MAX,
+                fault: spec,
+                ..Default::default()
+            },
+            cache: CacheConfig::admit_all(),
+            ..Default::default()
+        },
+    );
+    let slice = groupby().with_predicate(zv_storage::Predicate::num_eq("key", 3.0));
+    let reference = reference_db(db.table()).execute(&slice).unwrap();
+    let rows = db.table().num_rows() as u64;
+
+    // Warm the superset entry the slice would derive from.
+    db.run_request(std::slice::from_ref(&groupby())).unwrap();
+    let cache = db.result_cache().expect("cache enabled");
+    assert_eq!(cache.stats().entries, 1, "superset insert must land");
+
+    // Direct probe: the derivation is abandoned mid-plan — a plain
+    // miss, and the cache is bit-identical apart from the fault count.
+    let key = zv_storage::CacheKey::new(db.name(), db.table().version(), &slice);
+    let before = cache.stats();
+    assert!(cache.lookup_derived(&key).is_none());
+    let after = cache.stats();
+    assert_eq!(after.derive_faults, 1);
+    assert_eq!(
+        CacheStats {
+            derive_faults: before.derive_faults,
+            ..after
+        },
+        before,
+        "an abandoned derivation must leave the cache bit-untouched"
+    );
+
+    // Full request path: same abandoned derivation, so the query pays
+    // a real scan — and still returns the exact reference answer.
+    let scanned_before = db.stats().snapshot();
+    let out = db.run_request(std::slice::from_ref(&slice)).unwrap();
+    assert_eq!(*out[0], reference);
+    let delta = db.stats().snapshot().since(&scanned_before);
+    assert_eq!(delta.rows_scanned, rows, "fallback is a full real scan");
+    assert_eq!(delta.cache_hits, 0);
+    assert_eq!(cache.stats().derive_faults, 2);
+
+    // Same shape, injection disarmed: the slice is answered by
+    // derivation without scanning a row.
+    let clean = ScanDb::with_config(
+        small_table(),
+        ScanDbConfig {
+            parallel: ParallelConfig {
+                threads: 1,
+                min_parallel_rows: usize::MAX,
+                fault: FaultSpec::disabled(),
+                ..Default::default()
+            },
+            cache: CacheConfig::admit_all(),
+            ..Default::default()
+        },
+    );
+    clean.run_request(std::slice::from_ref(&groupby())).unwrap();
+    let scanned_before = clean.stats().snapshot();
+    let out = clean.run_request(std::slice::from_ref(&slice)).unwrap();
+    assert_eq!(*out[0], reference);
+    let delta = clean.stats().snapshot().since(&scanned_before);
+    assert_eq!(delta.rows_scanned, 0, "disarmed probe derives scan-free");
+    assert_eq!(clean.cache_stats().unwrap().derived_hits, 1);
+}
+
 /// Injected per-morsel delays stretch the scan but never change its
 /// result.
 #[test]

@@ -56,4 +56,10 @@ fn main() {
     for viz in &similar.visualizations {
         println!("  {}", render::describe(viz));
     }
+
+    // 6. Everything above is memory-only and forgets on exit. To keep a
+    //    table across restarts, open the engine durably — snapshots +
+    //    an append WAL recover the exact pre-crash state (see
+    //    `examples/durable_restart.rs`, or run the server with
+    //    `zv-serve --data-dir PATH`).
 }
