@@ -42,9 +42,9 @@
 //!
 //! ## Slow-read defense
 //!
-//! Every reader socket carries a `read_deadline` (SO_RCVTIMEO). The
-//! deadline distinguishes two kinds of quiet peer via
-//! [`FrameRead`]: an **idle** client (deadline
+//! Every reader socket carries a `read_deadline` (SO_RCVTIMEO). After
+//! the handshake, the deadline distinguishes two kinds of quiet peer
+//! via [`FrameRead`]: an **idle** client (deadline
 //! expired with zero bytes of the next frame consumed) is healthy and
 //! keeps its connection indefinitely, while a **stalled** client
 //! (deadline expired mid-frame — it trickled half a length prefix or
@@ -52,7 +52,11 @@
 //! `read_stalls`, its in-flight work cancelled as a lost connection,
 //! and its slot freed. The stream position is unrecoverable after a
 //! mid-frame timeout, which is exactly why stalled connections are
-//! dropped rather than retried.
+//! dropped rather than retried. **Before** the handshake there is no
+//! idle grace at all: a client that connects and sends nothing for one
+//! whole deadline window is reaped (`handshake_timeouts`) — it has not
+//! authenticated, so it does not get to pin one of `max_connections`
+//! slots by staying silent.
 //!
 //! ## Graceful drain
 //!
@@ -99,9 +103,11 @@ pub struct NetServerConfig {
     pub fault: FaultSpec,
     /// Per-read deadline on client sockets. A client that stalls
     /// *mid-frame* for this long is dropped and its connection slot
-    /// freed (see the module docs on slow-read defense); clients idle
-    /// *between* frames are never reaped. `None` disables the defense
-    /// (readers block until EOF/shutdown).
+    /// freed, and a client that lets this long pass *before completing
+    /// its hello* is reaped unauthenticated (see the module docs on
+    /// slow-read defense); established clients idle *between* frames
+    /// are never reaped. `None` disables the defense (readers block
+    /// until EOF/shutdown).
     pub read_deadline: Option<Duration>,
 }
 
@@ -139,6 +145,10 @@ pub struct NetStats {
     /// Connections dropped because the client stalled mid-frame past
     /// the read deadline (slow-read defense).
     pub read_stalls: AtomicU64,
+    /// Connections reaped because the client sat out a whole read
+    /// deadline without completing its hello — pre-auth sockets get no
+    /// idle grace, so silent connects can't pin connection slots.
+    pub handshake_timeouts: AtomicU64,
     pub active_connections: AtomicUsize,
 }
 
@@ -156,6 +166,7 @@ pub struct NetStatsSnapshot {
     pub conn_drops_injected: u64,
     pub sessions_lost: u64,
     pub read_stalls: u64,
+    pub handshake_timeouts: u64,
     pub active_connections: usize,
 }
 
@@ -173,6 +184,7 @@ impl NetStats {
             conn_drops_injected: self.conn_drops_injected.load(Ordering::Relaxed),
             sessions_lost: self.sessions_lost.load(Ordering::Relaxed),
             read_stalls: self.read_stalls.load(Ordering::Relaxed),
+            handshake_timeouts: self.handshake_timeouts.load(Ordering::Relaxed),
             active_connections: self.active_connections.load(Ordering::Relaxed),
         }
     }
@@ -378,17 +390,29 @@ fn handle_conn(stream: TcpStream, shared: &Arc<Shared>) {
     let Ok(reader_stream) = stream.try_clone() else {
         return;
     };
-    // Arm the slow-read defense before the handshake: a client that
-    // trickles half its hello and stalls errors out of `read_frame`
-    // (TimedOut) and frees the slot just like a post-handshake staller.
+    // Arm the slow-read defense before the handshake; the handshake
+    // read below treats any timeout — trickled hello or dead silence —
+    // as grounds to reap the unauthenticated connection.
     let _ = reader_stream.set_read_timeout(shared.read_deadline);
     let mut reader = BufReader::new(reader_stream);
     let mut writer = stream;
 
     // ---- Handshake (this thread is the only writer until it ends).
-    let hello = match read_frame(&mut reader) {
-        Ok(Some(frame)) => Request::from_json(&frame),
-        _ => return,
+    // No idle grace before authentication: a client that connects and
+    // lets a whole deadline window pass without completing its hello is
+    // reaped — otherwise N silent sockets exhaust `max_connections`
+    // without ever authenticating. (Established sessions may idle
+    // between frames indefinitely; see `reader_loop`.)
+    let hello = match read_frame_deadline(&mut reader) {
+        Ok(FrameRead::Frame(frame)) => Request::from_json(&frame),
+        Ok(FrameRead::Idle | FrameRead::Stalled) => {
+            shared
+                .stats
+                .handshake_timeouts
+                .fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        Ok(FrameRead::Eof) | Err(_) => return,
     };
     let token = match hello {
         Some(Request::Hello { version, token }) if version == PROTO_VERSION => token,

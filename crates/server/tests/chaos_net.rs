@@ -416,3 +416,73 @@ fn reaped_stall_slot_admits_the_next_client() {
     assert!(stats.rejected >= 1, "the pinned slot never refused anyone");
     srv.shutdown();
 }
+
+/// Pre-handshake sockets get no idle grace: a client that connects and
+/// never sends a byte must be reaped after one deadline window
+/// (`handshake_timeouts`) and give its slot back — otherwise N silent
+/// connects exhaust `max_connections` without ever authenticating.
+/// Established sessions keep unlimited between-frame idling (the
+/// healthy client below outlives several deadline windows).
+#[test]
+fn silent_pre_handshake_connection_is_reaped_and_frees_its_slot() {
+    const DEADLINE: Duration = Duration::from_millis(150);
+    let srv = NetServer::start(
+        clean_engine(),
+        "127.0.0.1:0",
+        NetServerConfig {
+            max_connections: 1,
+            read_deadline: Some(DEADLINE),
+            ..NetServerConfig::default()
+        },
+    )
+    .expect("bind");
+
+    // Connect, send nothing. The only slot is now pinned by an
+    // unauthenticated socket.
+    let silent = std::net::TcpStream::connect(srv.local_addr()).expect("connect");
+
+    // The server must hang up on it within the deadline (plus CI
+    // margin): EOF on our side, not silence.
+    {
+        use std::io::Read;
+        silent
+            .set_read_timeout(Some(DEADLINE * 40))
+            .expect("client timeout");
+        let mut conn = silent.try_clone().expect("clone");
+        let mut sink = [0u8; 64];
+        loop {
+            match conn.read(&mut sink) {
+                Ok(0) => break, // reaped
+                Ok(_) => continue,
+                Err(e) => panic!("expected EOF from reaped silent connection, got {e}"),
+            }
+        }
+    }
+
+    // The freed slot admits a real client end to end, and an
+    // authenticated session idling across several deadline windows is
+    // NOT reaped — only the pre-handshake phase lost its grace.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let mut client = loop {
+        match NetClient::connect(srv.local_addr(), "") {
+            Ok(c) => break c,
+            Err(_) => {
+                assert!(Instant::now() < deadline, "slot never freed");
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        }
+    };
+    std::thread::sleep(DEADLINE * 3);
+    let resp = client
+        .query(&slider_text(3.0), SubmitOptions::default())
+        .expect("query after idling past the deadline");
+    assert!(matches!(resp, Response::Result { .. }));
+    client.bye().expect("bye");
+    drop(silent);
+
+    let stats = srv.stats();
+    assert_eq!(stats.handshake_timeouts, 1);
+    assert_eq!(stats.read_stalls, 0, "no frame was ever in flight");
+    assert_eq!(stats.auth_failures, 0, "the silent socket never reached auth");
+    srv.shutdown();
+}

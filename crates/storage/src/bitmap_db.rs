@@ -576,7 +576,7 @@ impl BitmapDb {
     fn mutate_table(
         &self,
         mutate: impl FnOnce(&mut Table) -> Result<usize, StorageError>,
-        wal_rows: impl FnOnce() -> Vec<Vec<Value>>,
+        log: impl FnOnce(&Persistence, &Table) -> Result<(), StorageError>,
     ) -> Result<usize, StorageError> {
         let _appending = crate::fault::lock_recover(&self.append_lock);
         let current = self.state();
@@ -588,9 +588,10 @@ impl BitmapDb {
             return Ok(0);
         }
         // Durability before visibility: the batch must reach the WAL
-        // (fsynced) before any reader can observe the new snapshot.
+        // (fsynced, encoded straight from the caller's borrowed batch)
+        // before any reader can observe the new snapshot.
         if let Some(persist) = &self.persist {
-            persist.log_append(table.version(), table.schema(), &wal_rows())?;
+            log(persist, &table)?;
         }
         let mut next = BitmapState {
             table: Arc::new(table),
@@ -678,13 +679,16 @@ impl Database for BitmapDb {
     }
 
     fn append_rows(&self, rows: &[Vec<Value>]) -> Result<usize, StorageError> {
-        self.mutate_table(|t| t.append_rows(rows), || rows.to_vec())
+        self.mutate_table(
+            |t| t.append_rows(rows),
+            |p, t| p.log_append(t.version(), t.schema(), rows),
+        )
     }
 
     fn append_table(&self, other: &Table) -> Result<usize, StorageError> {
         self.mutate_table(
             |t| t.append_table(other),
-            || (0..other.num_rows()).map(|i| other.row(i)).collect(),
+            |p, t| p.log_append_table(t.version(), other),
         )
     }
 

@@ -64,6 +64,10 @@
 //!        dtype: Int → i64, Float → f64 bits, Cat → u32 length + UTF-8
 //! ```
 //!
+//! A frame body never exceeds [`MAX_WAL_FRAME`]: the write path rejects
+//! larger batches (the append fails, nothing is committed), which is
+//! what lets recovery treat any larger length field as torn garbage.
+//!
 //! ## Recovery
 //!
 //! [`Persistence::open`] = load the **newest CRC-valid snapshot**
@@ -103,8 +107,13 @@ use crate::value::{DataType, Value};
 pub const SNAPSHOT_MAGIC: [u8; 4] = *b"ZVSN";
 /// On-disk format version written into every snapshot header.
 pub const FORMAT_VERSION: u32 = 1;
-/// Upper bound on one WAL frame's length field — rejects a corrupt
-/// length before allocating (same rationale as the wire's `MAX_FRAME`).
+/// Upper bound on one WAL frame's body, enforced on **both** sides of
+/// the log: replay rejects a larger length field as torn garbage
+/// before allocating (same rationale as the wire's `MAX_FRAME`), and
+/// [`Persistence::log_append`] refuses to write a batch that encodes
+/// past it — otherwise the oversized frame would be fsynced and acked,
+/// then silently truncated (with everything after it) on the next
+/// open. Callers split bulk loads into sub-cap batches.
 pub const MAX_WAL_FRAME: usize = 64 << 20;
 
 const WAL_FILE: &str = "wal.log";
@@ -440,10 +449,39 @@ pub fn decode_snapshot(bytes: &[u8]) -> Result<Table, StorageError> {
 // WAL encode/decode
 // ---------------------------------------------------------------------
 
+/// The error an append batch gets when its encoded body would exceed
+/// [`MAX_WAL_FRAME`]. Enforced on the **write** path: replay treats any
+/// length above the cap as torn garbage and truncates there, so a
+/// larger frame, once written and acked, would be silently dropped on
+/// the next open together with everything after it — the batch must
+/// fail *now* instead.
+fn oversized_batch(encoded: usize) -> StorageError {
+    StorageError::Malformed(format!(
+        "append batch encodes to over {encoded} bytes, above the {MAX_WAL_FRAME}-byte \
+         WAL frame cap — split it into smaller appends"
+    ))
+}
+
+/// Wrap an encoded body into a full frame (`[len | body | CRC]`),
+/// rejecting bodies over [`MAX_WAL_FRAME`] so no unrecoverable frame
+/// can ever reach the log.
+fn seal_wal_frame(body: Vec<u8>) -> Result<Vec<u8>, StorageError> {
+    if body.len() > MAX_WAL_FRAME {
+        return Err(oversized_batch(body.len()));
+    }
+    let mut frame = Vec::with_capacity(body.len() + 8);
+    put_u32(&mut frame, body.len() as u32);
+    frame.extend_from_slice(&body);
+    put_u32(&mut frame, crc32(&body));
+    Ok(frame)
+}
+
 /// Encode one committed append batch as a full WAL frame
 /// (`[len | version | payload | CRC]`). Values are coerced to the
 /// schema dtype exactly as [`Table::append_rows`] stores them, so
-/// replay reconstructs the identical column bytes.
+/// replay reconstructs the identical column bytes. Batches whose body
+/// would exceed [`MAX_WAL_FRAME`] are rejected (checked per row, so an
+/// absurd batch fails fast instead of encoding gigabytes first).
 pub fn encode_wal_frame(
     version: u64,
     schema: &Schema,
@@ -480,12 +518,38 @@ pub fn encode_wal_frame(
                 }
             }
         }
+        if body.len() > MAX_WAL_FRAME {
+            return Err(oversized_batch(body.len()));
+        }
     }
-    let mut frame = Vec::with_capacity(body.len() + 8);
-    put_u32(&mut frame, body.len() as u32);
-    frame.extend_from_slice(&body);
-    put_u32(&mut frame, crc32(&body));
-    Ok(frame)
+    seal_wal_frame(body)
+}
+
+/// Encode an `append_table` batch as a WAL frame straight from the
+/// source table's columns — byte-identical to [`encode_wal_frame`]
+/// over `src`'s rows, without materializing a `Value` per cell (an
+/// engine-level bulk append would otherwise hold a row-major copy of
+/// the whole table while blocking every other append).
+pub fn encode_wal_frame_from_table(version: u64, src: &Table) -> Result<Vec<u8>, StorageError> {
+    let cols = (0..src.schema().len())
+        .map(|i| src.column_at(i))
+        .collect::<Vec<_>>();
+    let mut body = Vec::new();
+    put_u64(&mut body, version);
+    put_u32(&mut body, src.num_rows() as u32);
+    for row in 0..src.num_rows() {
+        for col in &cols {
+            match col {
+                Column::Int(v) => body.extend_from_slice(&v[row].to_le_bytes()),
+                Column::Float(v) => body.extend_from_slice(&v[row].to_bits().to_le_bytes()),
+                Column::Cat(c) => put_str(&mut body, &c.dict()[c.codes()[row] as usize]),
+            }
+        }
+        if body.len() > MAX_WAL_FRAME {
+            return Err(oversized_batch(body.len()));
+        }
+    }
+    seal_wal_frame(body)
 }
 
 /// Decode a CRC-verified frame body (`version` + payload, i.e. the
@@ -544,8 +608,8 @@ pub struct RecoveryReport {
     pub stale_frames_skipped: u64,
     /// Torn/corrupt tail bytes truncated off the WAL (never served).
     pub torn_bytes_truncated: u64,
-    /// Snapshot files rejected by CRC/format verification and skipped
-    /// in favour of an older one.
+    /// Snapshot files rejected by CRC/format verification — or
+    /// unreadable outright — and skipped in favour of an older one.
     pub corrupt_snapshots_skipped: u64,
     /// `.tmp` leftovers of interrupted checkpoints deleted.
     pub tmp_files_removed: u64,
@@ -635,8 +699,14 @@ impl Persistence {
         snapshots.sort_by_key(|s| std::cmp::Reverse(s.0));
         let mut table: Option<Table> = None;
         for (_, path) in &snapshots {
-            let bytes = fs::read(path).map_err(|e| io_err("read snapshot", e))?;
-            match decode_snapshot(&bytes) {
+            // An unreadable candidate (I/O error, permissions) is the
+            // same damaged-newest-snapshot situation as a CRC failure:
+            // count it and fall back to the next-older snapshot rather
+            // than aborting recovery outright.
+            let decoded = fs::read(path)
+                .map_err(|e| io_err("read snapshot", e))
+                .and_then(|bytes| decode_snapshot(&bytes));
+            match decoded {
                 Ok(t) => {
                     report.snapshot_version = Some(t.version());
                     table = Some(t);
@@ -795,7 +865,10 @@ impl Persistence {
     /// failure the frame is rolled back (or the log poisoned when
     /// torn bytes are already on disk) and the caller must abort the
     /// in-memory mutation, so disk and memory always agree on the
-    /// durable history.
+    /// durable history. A batch that encodes past [`MAX_WAL_FRAME`]
+    /// fails here, before any byte is written — replay would truncate
+    /// a larger frame as torn garbage, silently dropping acknowledged
+    /// data.
     pub fn log_append(
         &self,
         version: u64,
@@ -805,13 +878,48 @@ impl Persistence {
         if rows.is_empty() {
             return Ok(());
         }
+        self.ensure_wal_alive()?;
+        let frame = self.encode_counted(|| encode_wal_frame(version, schema, rows))?;
+        self.log_frame(frame)
+    }
+
+    /// [`Persistence::log_append`] for an `append_table` batch: the
+    /// frame is encoded straight from `src`'s columns (see
+    /// [`encode_wal_frame_from_table`]), so bulk appends don't triple
+    /// their peak memory materializing per-row `Value`s under the
+    /// engine's append lock.
+    pub fn log_append_table(&self, version: u64, src: &Table) -> Result<(), StorageError> {
+        if src.num_rows() == 0 {
+            return Ok(());
+        }
+        self.ensure_wal_alive()?;
+        let frame = self.encode_counted(|| encode_wal_frame_from_table(version, src))?;
+        self.log_frame(frame)
+    }
+
+    fn ensure_wal_alive(&self) -> Result<(), StorageError> {
         if self.wal_dead.load(Ordering::SeqCst) {
             self.wal_append_failures.fetch_add(1, Ordering::Relaxed);
             return Err(StorageError::Io(
                 "WAL tail is poisoned by an earlier disk fault; checkpoint to reset it".into(),
             ));
         }
-        let frame = encode_wal_frame(version, schema, rows)?;
+        Ok(())
+    }
+
+    /// Run a frame encoder, booking a rejected batch (oversized, type
+    /// mismatch) as an append failure — the in-memory table stays
+    /// unchanged, exactly like an I/O failure.
+    fn encode_counted(
+        &self,
+        encode: impl FnOnce() -> Result<Vec<u8>, StorageError>,
+    ) -> Result<Vec<u8>, StorageError> {
+        encode().inspect_err(|_| {
+            self.wal_append_failures.fetch_add(1, Ordering::Relaxed);
+        })
+    }
+
+    fn log_frame(&self, frame: Vec<u8>) -> Result<(), StorageError> {
         let mut wal = lock_recover(&self.wal);
         let seq = self.append_seq.fetch_add(1, Ordering::Relaxed);
         if self.fault.fires(FaultPoint::WalTearTail, seq, 0) {
@@ -1178,6 +1286,92 @@ mod tests {
         )
         .unwrap();
         drop(p);
+        let (p2, recovered) = Persistence::open(&dir, PersistOptions::default()).unwrap();
+        assert_tables_identical(&t, &recovered.unwrap());
+        assert_eq!(p2.recovery_report().corrupt_snapshots_skipped, 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn oversized_batch_fails_the_append_instead_of_poisoning_recovery() {
+        let dir = temp_dir("oversized");
+        let t = sample_table();
+        let (p, _) = Persistence::open(&dir, PersistOptions::default()).unwrap();
+        p.checkpoint(&t).unwrap();
+        let mut live = t.clone();
+
+        // One row whose Cat value alone blows past MAX_WAL_FRAME. If
+        // this frame reached the log, it would be fsynced and acked,
+        // then truncated as torn garbage on the next open — silent loss
+        // of acknowledged data. It must fail the append instead.
+        let giant = vec![vec![
+            Value::Int(2021),
+            Value::Str("x".repeat(MAX_WAL_FRAME + 1)),
+            Value::Float(1.0),
+        ]];
+        let err = p
+            .log_append(live.version() + 1, live.schema(), &giant)
+            .expect_err("oversized batch must be rejected");
+        assert!(matches!(err, StorageError::Malformed(_)), "got {err:?}");
+        assert_eq!(p.stats().wal_append_failures, 1);
+        assert_eq!(
+            fs::metadata(p.wal_path()).unwrap().len(),
+            0,
+            "no byte of the rejected batch may reach the log"
+        );
+        assert!(!p.wal_poisoned(), "a rejected encode never touched disk");
+
+        // The log keeps working: a normal append after the rejection is
+        // durable and recovery lands on it exactly.
+        let batch = vec![vec![Value::Int(2022), Value::str("desk"), Value::Float(0.5)]];
+        live.append_rows(&batch).unwrap();
+        p.log_append(live.version(), live.schema(), &batch).unwrap();
+        drop(p);
+        let (p2, recovered) = Persistence::open(&dir, PersistOptions::default()).unwrap();
+        assert_tables_identical(&live, &recovered.unwrap());
+        assert_eq!(p2.recovery_report().torn_bytes_truncated, 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn wal_frame_encoders_agree_and_both_enforce_the_cap() {
+        let t = sample_table();
+        let rows: Vec<Vec<Value>> = (0..t.num_rows()).map(|i| t.row(i)).collect();
+        // The columnar encoder must be byte-identical to the row one —
+        // replay can't tell which path logged a frame.
+        assert_eq!(
+            encode_wal_frame_from_table(7, &t).unwrap(),
+            encode_wal_frame(7, t.schema(), &rows).unwrap()
+        );
+        let mut giant = TableBuilder::new(t.schema().clone());
+        giant
+            .push_row(vec![
+                Value::Int(1),
+                Value::Str("y".repeat(MAX_WAL_FRAME + 1)),
+                Value::Float(0.0),
+            ])
+            .unwrap();
+        let giant = giant.finish();
+        assert!(encode_wal_frame_from_table(7, &giant).is_err());
+        let giant_rows = vec![giant.row(0)];
+        assert!(encode_wal_frame(7, t.schema(), &giant_rows).is_err());
+    }
+
+    #[test]
+    fn unreadable_newest_snapshot_falls_back_to_older() {
+        let dir = temp_dir("unreadable");
+        let t = sample_table();
+        let (p, _) = Persistence::open(&dir, PersistOptions::default()).unwrap();
+        p.checkpoint(&t).unwrap();
+        drop(p);
+        // A "newer" snapshot whose fs::read fails outright (it's a
+        // directory) — the same damaged-newest situation as a CRC
+        // failure, and it must fall back the same way.
+        fs::create_dir(dir.join(format!(
+            "{SNAPSHOT_PREFIX}{:020}{SNAPSHOT_SUFFIX}",
+            u64::MAX
+        )))
+        .unwrap();
         let (p2, recovered) = Persistence::open(&dir, PersistOptions::default()).unwrap();
         assert_tables_identical(&t, &recovered.unwrap());
         assert_eq!(p2.recovery_report().corrupt_snapshots_skipped, 1);

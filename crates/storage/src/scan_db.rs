@@ -203,14 +203,15 @@ impl ScanDb {
     /// Swap in a mutated table built by `mutate`; returns its row delta.
     /// The O(n) copy-on-write runs outside the reader-visible lock —
     /// concurrent queries keep their old snapshot throughout — and
-    /// appends serialize on `append_lock`. On a durable engine the
-    /// batch (`wal_rows`, materialized lazily) is WAL-logged and
-    /// fsynced first; a disk failure aborts the whole mutation, so
-    /// nothing ever becomes visible that isn't durable.
+    /// appends serialize on `append_lock`. On a durable engine `log`
+    /// WAL-logs and fsyncs the batch first (straight from the caller's
+    /// borrowed rows/columns — no extra copy); a disk failure aborts
+    /// the whole mutation, so nothing ever becomes visible that isn't
+    /// durable.
     fn mutate_table(
         &self,
         mutate: impl FnOnce(&mut Table) -> Result<usize, StorageError>,
-        wal_rows: impl FnOnce() -> Vec<Vec<Value>>,
+        log: impl FnOnce(&Persistence, &Table) -> Result<(), StorageError>,
     ) -> Result<usize, StorageError> {
         let _appending = crate::fault::lock_recover(&self.append_lock);
         let mut next = (*self.snapshot()).clone();
@@ -220,7 +221,7 @@ impl ScanDb {
             return Ok(0);
         }
         if let Some(persist) = &self.persist {
-            persist.log_append(next.version(), next.schema(), &wal_rows())?;
+            log(persist, &next)?;
         }
         *crate::fault::write_recover(&self.table) = Arc::new(next);
         if let Some(cache) = &self.cache {
@@ -304,13 +305,16 @@ impl Database for ScanDb {
     }
 
     fn append_rows(&self, rows: &[Vec<Value>]) -> Result<usize, StorageError> {
-        self.mutate_table(|t| t.append_rows(rows), || rows.to_vec())
+        self.mutate_table(
+            |t| t.append_rows(rows),
+            |p, t| p.log_append(t.version(), t.schema(), rows),
+        )
     }
 
     fn append_table(&self, other: &Table) -> Result<usize, StorageError> {
         self.mutate_table(
             |t| t.append_table(other),
-            || (0..other.num_rows()).map(|i| other.row(i)).collect(),
+            |p, t| p.log_append_table(t.version(), other),
         )
     }
 

@@ -219,6 +219,52 @@ fn every_wal_byte_boundary_recovers_the_exact_durable_prefix() {
     std::fs::remove_dir_all(&src).unwrap();
 }
 
+/// `append_table` WAL-logs its batch straight from the source table's
+/// columns (no per-row `Value` materialization under the append lock —
+/// see `Persistence::log_append_table`). The columnar frame must be
+/// indistinguishable from the row path on replay: a directory holding
+/// interleaved bulk and row appends recovers bit-for-bit.
+#[test]
+fn bulk_append_table_is_durable_and_recovers_exactly() {
+    let dir = temp_dir("bulk-append");
+    let db = ScanDb::open_durable(&dir, plain_config(), base_table).unwrap();
+
+    // The bulk batch brings a dictionary entry the base table has never
+    // seen, negative ints, and exact dyadic floats.
+    let mut products = zv_storage::CatColumn::new();
+    for name in ["ottoman", "chair", "ottoman"] {
+        let code = products.intern(name);
+        products.push_code(code);
+    }
+    let bulk = Table::from_columns(
+        base_schema(),
+        vec![
+            Column::Int(vec![-3, 2030, 2031]),
+            Column::Cat(products),
+            Column::Float(vec![0.75, -12.5, 1024.0]),
+        ],
+    )
+    .unwrap();
+
+    assert_eq!(db.append_table(&bulk).unwrap(), 3);
+    db.append_rows(&batch(0)).unwrap();
+    assert_eq!(db.append_table(&bulk).unwrap(), 3);
+    let committed = Database::table(&db);
+    drop(db);
+
+    let db = ScanDb::open_durable(&dir, plain_config(), || {
+        unreachable!("recovery must not re-seed")
+    })
+    .unwrap();
+    assert_tables_identical(
+        &Database::table(&db),
+        &committed,
+        "bulk + row appends recover",
+    );
+    drop(db);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
 /// Crash in the snapshot rename window: the checkpoint wrote and
 /// fsynced the temp file but never renamed it. Recovery must ignore
 /// (and remove) the orphan, serve the previous snapshot plus the full
