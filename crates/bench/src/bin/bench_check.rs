@@ -6,6 +6,7 @@
 //! bench_check --baseline BENCH_groupby.json --fresh fresh.json [--factor 2.5]
 //! bench_check --net-baseline BENCH_net.json --net-fresh BENCH_net.fresh.json
 //! bench_check --persist-baseline BENCH_persist.json --persist-fresh fresh.json
+//! bench_check --ivm-baseline BENCH_ivm.json --ivm-fresh BENCH_ivm.fresh.json
 //! ```
 //!
 //! The second form gates the wire-latency summary written by
@@ -62,6 +63,8 @@ struct Args {
     net_fresh: Option<String>,
     persist_baseline: Option<String>,
     persist_fresh: Option<String>,
+    ivm_baseline: Option<String>,
+    ivm_fresh: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -74,6 +77,8 @@ fn parse_args() -> Args {
         net_fresh: None,
         persist_baseline: None,
         persist_fresh: None,
+        ivm_baseline: None,
+        ivm_fresh: None,
     };
     fn value_of(it: &mut impl Iterator<Item = String>, flag: &str, what: &str) -> String {
         it.next().unwrap_or_else(|| {
@@ -104,6 +109,12 @@ fn parse_args() -> Args {
             "--persist-fresh" => {
                 args.persist_fresh = Some(value_of(&mut it, "--persist-fresh", "a PATH"));
             }
+            "--ivm-baseline" => {
+                args.ivm_baseline = Some(value_of(&mut it, "--ivm-baseline", "a PATH"));
+            }
+            "--ivm-fresh" => {
+                args.ivm_fresh = Some(value_of(&mut it, "--ivm-fresh", "a PATH"));
+            }
             "--factor" => {
                 let v = value_of(&mut it, "--factor", "a threshold factor");
                 args.factor = v.parse().unwrap_or_else(|_| {
@@ -116,7 +127,8 @@ fn parse_args() -> Args {
                     "bench_check: unknown flag {other} \
                      (expected --baseline PATH, --fresh PATH, --factor F, \
                      --net-baseline PATH, --net-fresh PATH, \
-                     --persist-baseline PATH, --persist-fresh PATH)"
+                     --persist-baseline PATH, --persist-fresh PATH, \
+                     --ivm-baseline PATH, --ivm-fresh PATH)"
                 );
                 std::process::exit(2);
             }
@@ -170,6 +182,27 @@ fn read_or_die(path: &str) -> String {
     })
 }
 
+/// Like [`read_or_die`], but for committed *baseline* files: a missing
+/// baseline is the one failure a contributor hits on a fresh branch
+/// (new gate, no committed JSON yet), so the error names the exact
+/// command that regenerates it instead of a bare ENOENT.
+fn read_baseline_or_die(path: &str, regen: &str) -> String {
+    match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            eprintln!(
+                "bench_check: baseline {path} does not exist — generate it with \
+                 `{regen}` and commit the result"
+            );
+            std::process::exit(2);
+        }
+        Err(e) => {
+            eprintln!("bench_check: cannot read baseline {path}: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
 /// Groupby / cache / morsel / fault gates over `bench_groupby`
 /// summaries. `Err` carries an invocation-level exit code (damaged or
 /// missing files); metric regressions accumulate in `failures`.
@@ -178,7 +211,10 @@ fn groupby_gates(
     compared: &mut usize,
     failures: &mut Vec<String>,
 ) -> Result<(), ExitCode> {
-    let baseline = read_or_die(&args.baseline);
+    let baseline = read_baseline_or_die(
+        &args.baseline,
+        "cargo run --release -p zv-bench --bin bench_groupby",
+    );
     let fresh = read_or_die(&args.fresh);
 
     // Sanity before any comparison: both files must carry the numeric
@@ -381,7 +417,10 @@ fn net_gates(
         .net_fresh
         .clone()
         .unwrap_or_else(|| "BENCH_net.fresh.json".to_string());
-    let baseline = read_or_die(&base_path);
+    let baseline = read_baseline_or_die(
+        &base_path,
+        &format!("cargo run --release -p zv-bench --bin bench_net -- --json {base_path}"),
+    );
     let fresh = read_or_die(&fresh_path);
 
     for (path, json) in [(&base_path, &baseline), (&fresh_path, &fresh)] {
@@ -479,7 +518,10 @@ fn persist_gates(
         .persist_fresh
         .clone()
         .unwrap_or_else(|| "BENCH_persist.fresh.json".to_string());
-    let baseline = read_or_die(&base_path);
+    let baseline = read_baseline_or_die(
+        &base_path,
+        &format!("cargo run --release -p zv-bench --bin bench_persist -- --json {base_path}"),
+    );
     let fresh = read_or_die(&fresh_path);
 
     for (path, json) in [(&base_path, &baseline), (&fresh_path, &fresh)] {
@@ -565,11 +607,175 @@ fn persist_gates(
     Ok(())
 }
 
+/// Incremental-view-maintenance gates over `bench_ivm` summaries. The
+/// warm tick answers from a cached result plus a delta scan bounded by
+/// the appended batch, so it is table-size independent and compared
+/// directly under a generous floor; the cold tick is a full recompute
+/// and normalized to ms-per-million-rows. Two gates are absolute,
+/// within-run invariants rather than baseline comparisons:
+/// `ivm_speedup` must stay at or above `IVM_SPEEDUP_FLOOR` (the whole
+/// point of the delta path is a ~order-of-magnitude win over recompute
+/// at dashboard tick sizes), and `ivm_rows_per_tick` must not exceed
+/// the configured `tick_rows` (scanning past the appended batch means
+/// the delta path silently degraded to something table-sized).
+fn ivm_gates(
+    args: &Args,
+    compared: &mut usize,
+    failures: &mut Vec<String>,
+) -> Result<(), ExitCode> {
+    let base_path = args
+        .ivm_baseline
+        .clone()
+        .unwrap_or_else(|| "BENCH_ivm.json".to_string());
+    let fresh_path = args
+        .ivm_fresh
+        .clone()
+        .unwrap_or_else(|| "BENCH_ivm.fresh.json".to_string());
+    let baseline = read_baseline_or_die(
+        &base_path,
+        &format!("cargo run --release -p zv-bench --bin bench_ivm -- --json {base_path}"),
+    );
+    let fresh = read_or_die(&fresh_path);
+
+    for (path, json) in [(&base_path, &baseline), (&fresh_path, &fresh)] {
+        match field(json, "rows").val() {
+            Some(r) if r >= 1.0 => {}
+            _ => {
+                eprintln!(
+                    "bench_check: {path} has no sane \"rows\" field — is it really a \
+                     bench_ivm summary? Regenerate it with \
+                     `cargo run --release -p zv-bench --bin bench_ivm -- --json {path}`."
+                );
+                return Err(ExitCode::from(2));
+            }
+        }
+    }
+
+    // (metric, normalize per million rows?, absolute floor in ms). The
+    // warm floor is generous: a delta merge is a ~1k-row scan plus a
+    // group-wise fold, which lands in the tens of microseconds on any
+    // host — 5 ms of headroom is pure scheduler noise allowance.
+    const IVM_GATES: [(&str, bool, f64); 2] = [
+        ("warm_tick_p50_ms", false, 5.0),
+        ("cold_tick_p50_ms", true, 50.0),
+    ];
+    let per_million = |json: &str, raw: f64| -> f64 {
+        let rows = field(json, "rows").val().unwrap_or(1_000_000.0).max(1.0);
+        raw * 1_000_000.0 / rows
+    };
+
+    for (name, normalize, floor_ms) in IVM_GATES {
+        let fresh_raw = match field(&fresh, name) {
+            Field::Val(v) => v,
+            _ => {
+                failures.push(format!(
+                    "{name}: missing or malformed in the fresh run ({fresh_path}) — the \
+                     bench stopped measuring it"
+                ));
+                continue;
+            }
+        };
+        let base_raw = match field(&baseline, name) {
+            Field::Val(v) => v,
+            Field::Missing => {
+                println!("  {name:<24} skipped (not in baseline {base_path})");
+                continue;
+            }
+            Field::Malformed(tok) => {
+                failures.push(format!(
+                    "{name}: malformed value {tok:?} in baseline {base_path} — regenerate \
+                     it with bench_ivm and commit it"
+                ));
+                continue;
+            }
+        };
+        let (fresh_v, base_v, unit) = if normalize {
+            (
+                per_million(&fresh, fresh_raw),
+                per_million(&baseline, base_raw),
+                "ms/1M rows",
+            )
+        } else {
+            (fresh_raw, base_raw, "ms")
+        };
+        *compared += 1;
+        let limit = (base_v * args.factor).max(floor_ms);
+        let ratio = fresh_v / base_v.max(1e-9);
+        let verdict = if fresh_v <= limit { "ok" } else { "REGRESSED" };
+        println!(
+            "  {name:<24} fresh {fresh_v:9.3} vs baseline {base_v:9.3} {unit}  \
+             ({ratio:4.2}x, limit {:.1}x, floor {floor_ms:.0} ms)  {verdict}",
+            args.factor
+        );
+        if fresh_v > limit {
+            failures.push(format!(
+                "{name}: fresh {fresh_v:.3} {unit} is {ratio:.2}x the baseline \
+                 {base_v:.3} {unit} (allowed: {:.1}x, floor {floor_ms:.0} ms). If this \
+                 slowdown is intentional, regenerate the committed baseline with \
+                 `cargo run --release -p zv-bench --bin bench_ivm -- --json {base_path}` \
+                 and commit it.",
+                args.factor
+            ));
+        }
+    }
+
+    // Speedup gate: absolute, not baseline-relative — both percentiles
+    // come from the same run on the same host, so the ratio is immune
+    // to machine differences. Falling under the floor means warm ticks
+    // grew table-sized work (a full-column pass on the delta path, a
+    // declined merge, a cache regression).
+    const IVM_SPEEDUP_FLOOR: f64 = 10.0;
+    match field(&fresh, "ivm_speedup") {
+        Field::Val(speedup) => {
+            *compared += 1;
+            let verdict = if speedup >= IVM_SPEEDUP_FLOOR {
+                "ok"
+            } else {
+                "REGRESSED"
+            };
+            println!(
+                "  {:<24} fresh {speedup:9.3} vs absolute floor {IVM_SPEEDUP_FLOOR:9.3} x  \
+                 {verdict}",
+                "ivm_speedup"
+            );
+            if speedup < IVM_SPEEDUP_FLOOR {
+                failures.push(format!(
+                    "ivm_speedup: delta-merged ticks are only {speedup:.2}x faster than \
+                     full recompute (required: {IVM_SPEEDUP_FLOOR}x) — the IVM path is \
+                     doing table-sized work per tick"
+                ));
+            }
+        }
+        _ => failures.push(format!(
+            "ivm_speedup: missing or malformed in the fresh run ({fresh_path}) — the \
+             bench stopped measuring it"
+        )),
+    }
+
+    // Delta-boundedness gate: the warm tick must scan only the appended
+    // batch. `bench_ivm` exits nonzero if any single tick over-scanned,
+    // but gate the summary too so a tampered or stale JSON cannot pass.
+    if let (Some(scanned), Some(tick_rows)) = (
+        field(&fresh, "ivm_rows_per_tick").val(),
+        field(&fresh, "tick_rows").val(),
+    ) {
+        *compared += 1;
+        if scanned > tick_rows {
+            failures.push(format!(
+                "ivm_rows_per_tick: warm ticks scanned up to {scanned:.0} rows for \
+                 {tick_rows:.0}-row appends — the delta path is reading past the batch"
+            ));
+        }
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args = parse_args();
     let run_net = args.net_baseline.is_some() || args.net_fresh.is_some();
     let run_persist = args.persist_baseline.is_some() || args.persist_fresh.is_some();
-    let run_groupby = args.groupby_explicit || (!run_net && !run_persist);
+    let run_ivm = args.ivm_baseline.is_some() || args.ivm_fresh.is_some();
+    let run_groupby = args.groupby_explicit || (!run_net && !run_persist && !run_ivm);
     let mut compared = 0usize;
     let mut failures: Vec<String> = Vec::new();
     if run_groupby {
@@ -584,6 +790,11 @@ fn main() -> ExitCode {
     }
     if run_persist {
         if let Err(code) = persist_gates(&args, &mut compared, &mut failures) {
+            return code;
+        }
+    }
+    if run_ivm {
+        if let Err(code) = ivm_gates(&args, &mut compared, &mut failures) {
             return code;
         }
     }

@@ -106,6 +106,13 @@ pub struct ExecReport {
     pub cache_derived_hits: u64,
     /// Queries that missed the engine-level result cache.
     pub cache_misses: u64,
+    /// Queries answered by incremental view maintenance: an
+    /// appended-range delta scan merged into a cached ancestor-version
+    /// result (bounded scan instead of a full recompute).
+    pub ivm_hits: u64,
+    /// Rows visited by IVM delta scans — appended rows only, kept out
+    /// of `rows_scanned`.
+    pub ivm_rows_scanned: u64,
     /// Queries that returned `StorageError::Cancelled` during this
     /// execution (superseded interactions, deadlines, row budgets).
     pub queries_cancelled: u64,
@@ -468,6 +475,8 @@ impl<'a> Exec<'a> {
                 cache_hits: db_stats.cache_hits,
                 cache_derived_hits: db_stats.cache_derived_hits,
                 cache_misses: db_stats.cache_misses,
+                ivm_hits: db_stats.ivm_hits,
+                ivm_rows_scanned: db_stats.ivm_rows_scanned,
                 queries_cancelled: db_stats.queries_cancelled,
                 morsels_cancelled: db_stats.morsels_cancelled,
                 worker_panics: db_stats.worker_panics,

@@ -351,6 +351,11 @@ fn report_to_json(r: &ExecReport) -> Json {
             Json::u64(r.cache_derived_hits),
         ),
         ("cache_misses".to_string(), Json::u64(r.cache_misses)),
+        ("ivm_hits".to_string(), Json::u64(r.ivm_hits)),
+        (
+            "ivm_rows_scanned".to_string(),
+            Json::u64(r.ivm_rows_scanned),
+        ),
         (
             "queries_cancelled".to_string(),
             Json::u64(r.queries_cancelled),
@@ -385,6 +390,8 @@ fn report_from_json(j: &Json) -> Option<ExecReport> {
         cache_hits: obj_u64(j, "cache_hits")?,
         cache_derived_hits: obj_u64(j, "cache_derived_hits")?,
         cache_misses: obj_u64(j, "cache_misses")?,
+        ivm_hits: obj_u64(j, "ivm_hits")?,
+        ivm_rows_scanned: obj_u64(j, "ivm_rows_scanned")?,
         queries_cancelled: obj_u64(j, "queries_cancelled")?,
         morsels_cancelled: obj_u64(j, "morsels_cancelled")?,
         worker_panics: obj_u64(j, "worker_panics")?,

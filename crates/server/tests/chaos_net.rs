@@ -483,6 +483,9 @@ fn silent_pre_handshake_connection_is_reaped_and_frees_its_slot() {
     let stats = srv.stats();
     assert_eq!(stats.handshake_timeouts, 1);
     assert_eq!(stats.read_stalls, 0, "no frame was ever in flight");
-    assert_eq!(stats.auth_failures, 0, "the silent socket never reached auth");
+    assert_eq!(
+        stats.auth_failures, 0,
+        "the silent socket never reached auth"
+    );
     srv.shutdown();
 }

@@ -10,7 +10,10 @@ use zql::ZqlEngine;
 use zv_datagen::sales::{self, SalesConfig};
 use zv_server::{NetClient, NetServer, NetServerConfig, Response, SessionConfig, SubmitOptions};
 use zv_storage::exec::ParallelConfig;
-use zv_storage::{BitmapDb, BitmapDbConfig, CacheConfig, CancelReason, SchedulingMode, Value};
+use zv_storage::{
+    BitmapDb, BitmapDbConfig, CacheConfig, CancelReason, ScanDb, ScanDbConfig, SchedulingMode,
+    Value,
+};
 
 const ROWS: usize = 30_000;
 
@@ -46,6 +49,25 @@ fn engine() -> Arc<ZqlEngine> {
 
 fn server(config: NetServerConfig) -> NetServer {
     NetServer::start(engine(), "127.0.0.1:0", config).expect("bind ephemeral port")
+}
+
+/// A server whose queries reliably outlive a localhost TCP round trip:
+/// the admission-pressure test needs query `a` to still be occupying
+/// the worker while `b` and `c` arrive over the wire, and a 30k-row
+/// scan can finish before a freshly written frame is even read. The
+/// engine's simulated per-request latency pins every execution to a
+/// floor that dwarfs sub-millisecond loopback delivery, independent of
+/// build profile or machine speed.
+fn slow_server(config: NetServerConfig) -> NetServer {
+    let engine = Arc::new(ZqlEngine::new(Arc::new(ScanDb::with_config(
+        dataset(),
+        ScanDbConfig {
+            request_overhead: Duration::from_millis(150),
+            cache: CacheConfig::admit_all(),
+            ..ScanDbConfig::default()
+        },
+    ))));
+    NetServer::start(engine, "127.0.0.1:0", config).expect("bind ephemeral port")
 }
 
 /// A full-scan "slider step": distinct thresholds make distinct
@@ -144,7 +166,7 @@ fn pipelined_queries_supersede_over_the_wire() {
 #[test]
 fn full_queue_and_full_server_send_typed_busy_frames() {
     // Session-layer pressure: one worker, queue of one.
-    let srv = server(NetServerConfig {
+    let srv = slow_server(NetServerConfig {
         session: SessionConfig {
             max_concurrent: 1,
             max_queued: 1,

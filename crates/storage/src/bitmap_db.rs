@@ -600,9 +600,10 @@ impl BitmapDb {
         };
         next.refresh_indexes(old_rows, &self.config);
         *crate::fault::write_recover(&self.state) = Arc::new(next);
-        if let Some(cache) = &self.cache {
-            cache.invalidate_table_version(old_version);
-        }
+        // The old version's cache entries are deliberately *kept*: they
+        // are unreachable for exact lookups (versioned keys) but serve
+        // as IVM merge ancestors for post-append queries; the LRU
+        // reclaims them once the workload moves on.
         Ok(n)
     }
 }
@@ -641,6 +642,43 @@ impl EngineSnapshot for BitmapSnapshot {
         };
         exec::run_scheduled(
             &state.table,
+            query,
+            &source,
+            strategy,
+            threads,
+            &self.parallel,
+            &self.stats,
+            ctx,
+        )
+    }
+
+    fn execute_range(
+        &self,
+        query: &SelectQuery,
+        ctx: &QueryCtx,
+        start: usize,
+        end: usize,
+    ) -> Result<(ResultTable, u64), StorageError> {
+        // A bounded delta range doesn't profit from bitmap algebra (the
+        // index covers the whole table, not the tail); compile the
+        // predicate as a residual filter like the scan engine does.
+        let table = &self.state.table;
+        debug_assert!(start <= end && end <= table.num_rows());
+        let pred = if query.predicate.is_true() {
+            None
+        } else {
+            Some(compile_pred(table, &query.predicate)?)
+        };
+        let source = RowSource::Range { start, end, pred };
+        let groups = exec::group_space_over(table, query, Some((start, end)))?;
+        let strategy = exec::choose_strategy(groups, self.dense_group_limit);
+        let threads = if ctx.serial_only() {
+            1
+        } else {
+            self.parallel.threads_for(source.estimated_rows())
+        };
+        exec::run_scheduled(
+            table,
             query,
             &source,
             strategy,

@@ -75,6 +75,44 @@
 //! entry's cost — see below), so a repeated slice query becomes a pure
 //! pointer-bump hit from then on.
 //!
+//! # Incremental view maintenance (append delta merging)
+//!
+//! An append bumps the table version, so every cached entry misses at
+//! the new version — but for a *pure append*, the old result is not
+//! wrong, merely incomplete. When an exact-key miss at version `v_new`
+//! finds an entry for the same engine and [`QueryKey`] at an ancestor
+//! version `v_old` ([`ResultCache::ivm_sources`]), and the table proves
+//! the versions are connected by appends alone
+//! ([`crate::Table::ancestor_rows`]), the engine scans **only** the
+//! appended row range `[rows(v_old), rows(v_new))` — with the query's
+//! own predicate applied as a residual — and group-merges the delta
+//! aggregate into the cached result ([`ResultCache::try_ivm_merge`]).
+//! The merged table is inserted under `v_new` like any fresh result, so
+//! it both answers the next repeat exactly and serves as the ancestor
+//! for the *next* tick: a live dashboard pays one bounded delta scan
+//! per append instead of a full recompute.
+//!
+//! Delta-able vs declined, per measure and situation:
+//!
+//! | case                                   | handling                                    |
+//! |----------------------------------------|---------------------------------------------|
+//! | `SUM`, `COUNT`                         | delta-able: cell values add                 |
+//! | `MIN`, `MAX`                           | delta-able: cell values fold (`min`/`max`)  |
+//! | `AVG`                                  | delta-able via companion state: rewritten to `SUM` plus one trailing `COUNT(*)` ([`ivm_form`]), merged, then finalized as `sum / count` ([`ivm_finalize`]) |
+//! | predicate on appended rows             | fine — the delta scan evaluates it          |
+//! | group/x value unseen before the append | fine — the merge inserts the new cell       |
+//! | no cached ancestor for the `QueryKey`  | decline: full recompute                     |
+//! | lineage not provable (aged out of [`crate::Table`]'s bounded chain, or severed by recovery/`restore_version`) | decline: deletions or rebuilt dictionaries may hide behind the version gap |
+//! | injected [`FaultPoint::IvmMerge`](crate::fault::FaultPoint) fault  | decline mid-merge: cache bit-untouched, silent fallback to a full scan |
+//!
+//! Merging finalized cells by *decoded* group values is sound across
+//! appends because every dimension decode is table-state independent:
+//! dictionary codes are append-stable, integer offsets/ranks decode to
+//! the actual value, and bin codes decode to absolute bin lower bounds.
+//! Bit-for-bit equality with a full recompute holds whenever cell sums
+//! are exactly representable (the same condition the morsel merge
+//! already documents); counts are exact integers either way.
+//!
 //! # Cost-based admission and eviction
 //!
 //! Caching a result that is cheaper to recompute than a hash probe only
@@ -357,6 +395,25 @@ impl FamilyKey {
     }
 }
 
+/// Index key for IVM ancestor lookups: every cached version of one
+/// engine's result for one canonical query. Unlike [`FamilyKey`] the
+/// table version is deliberately *absent* — crossing versions is the
+/// whole point.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+struct IvmFamilyKey {
+    engine: &'static str,
+    query: QueryKey,
+}
+
+impl IvmFamilyKey {
+    fn of(key: &CacheKey) -> IvmFamilyKey {
+        IvmFamilyKey {
+            engine: key.engine,
+            query: key.query.clone(),
+        }
+    }
+}
+
 // ---------------------------------------------------------------------
 // Predicate subsumption and result derivation
 // ---------------------------------------------------------------------
@@ -530,6 +587,226 @@ fn apply_plan(plan: &DerivePlan, src: &ResultTable, z_cols: Vec<String>) -> Opti
 }
 
 // ---------------------------------------------------------------------
+// Incremental view maintenance: delta merging
+// ---------------------------------------------------------------------
+
+/// The delta-mergeable *state* form of a query (see the module docs'
+/// IVM section): `SUM`/`COUNT`/`MIN`/`MAX` merge as-is, while `AVG`
+/// needs its numerator and denominator kept separately.
+pub struct IvmForm {
+    /// The query whose result is the mergeable state: each `AVG`
+    /// measure rewritten to `SUM`, plus one trailing `COUNT(*)`
+    /// companion — or the user query verbatim when no `AVG` is present.
+    pub state_query: SelectQuery,
+    /// Whether `state_query` differs from the user query; the merged
+    /// state then needs [`ivm_finalize`] before it is user-visible.
+    pub augmented: bool,
+}
+
+/// Compute the IVM state form of `q`, or `None` when some measure is
+/// not delta-mergeable. All current aggregates are; the exhaustive
+/// match makes a future non-distributive aggregate decline here rather
+/// than merge wrongly.
+pub fn ivm_form(q: &SelectQuery) -> Option<IvmForm> {
+    let mut has_avg = false;
+    for y in &q.ys {
+        match y.agg {
+            Agg::Sum | Agg::Count | Agg::Min | Agg::Max => {}
+            Agg::Avg => has_avg = true,
+        }
+    }
+    if !has_avg {
+        return Some(IvmForm {
+            state_query: q.clone(),
+            augmented: false,
+        });
+    }
+    let mut state_query = q.clone();
+    for y in &mut state_query.ys {
+        if y.agg == Agg::Avg {
+            y.agg = Agg::Sum;
+        }
+    }
+    // One companion is enough for every AVG measure: the kernel keeps a
+    // single per-cell row count, shared by all of them.
+    state_query
+        .ys
+        .push(crate::query::YSpec::new("*", Agg::Count));
+    Some(IvmForm {
+        state_query,
+        augmented: true,
+    })
+}
+
+/// Turn a merged *state* table back into the user-visible result: each
+/// `AVG` position becomes `state_sum / count` (the trailing `COUNT(*)`
+/// companion), and the companion column is dropped. The division is the
+/// same `sum / n` the kernel's finalize performs, so on exact sums the
+/// result is bit-identical to a full recompute.
+pub fn ivm_finalize(state: &ResultTable, user: &SelectQuery) -> ResultTable {
+    let n_user = user.ys.len();
+    let groups = state
+        .groups
+        .iter()
+        .map(|g| {
+            let counts = &g.ys[n_user];
+            let ys = user
+                .ys
+                .iter()
+                .enumerate()
+                .map(|(k, y)| {
+                    if y.agg == Agg::Avg {
+                        g.ys[k].iter().zip(counts).map(|(&s, &n)| s / n).collect()
+                    } else {
+                        g.ys[k].clone()
+                    }
+                })
+                .collect();
+            GroupSeries {
+                key: g.key.clone(),
+                xs: g.xs.clone(),
+                ys,
+            }
+        })
+        .collect();
+    ResultTable {
+        z_cols: state.z_cols.clone(),
+        groups,
+    }
+}
+
+/// Merge one cell's measures; `Min`/`Max` mirror the kernel's partial
+/// merge (`<` / `>` folds), `Sum`/`Count` add.
+fn merge_cell(
+    aggs: &[Agg],
+    out: &mut [Vec<f64>],
+    a: &GroupSeries,
+    i: usize,
+    b: &GroupSeries,
+    j: usize,
+) {
+    for (k, series) in out.iter_mut().enumerate() {
+        let (x, y) = (a.ys[k][i], b.ys[k][j]);
+        series.push(match aggs[k] {
+            Agg::Sum | Agg::Count => x + y,
+            Agg::Min => {
+                if y < x {
+                    y
+                } else {
+                    x
+                }
+            }
+            Agg::Max => {
+                if y > x {
+                    y
+                } else {
+                    x
+                }
+            }
+            Agg::Avg => unreachable!("IVM state queries carry no AVG measure"),
+        });
+    }
+}
+
+/// Copy one side's cell unchanged (a group/x value the other side never
+/// saw — every measure's identity is "the other range had no rows").
+fn copy_cell(out: &mut [Vec<f64>], g: &GroupSeries, i: usize) {
+    for (k, series) in out.iter_mut().enumerate() {
+        series.push(g.ys[k][i]);
+    }
+}
+
+/// Merge two same-shape group series sharing a key: sorted two-pointer
+/// walk over the x cells (both sides come out of finalize sorted by
+/// decoded value).
+fn merge_group(a: &GroupSeries, b: &GroupSeries, aggs: &[Agg]) -> GroupSeries {
+    let cap = a.xs.len() + b.xs.len();
+    let mut xs: Vec<Value> = Vec::with_capacity(cap);
+    let mut ys: Vec<Vec<f64>> = vec![Vec::with_capacity(cap); aggs.len()];
+    let (mut i, mut j) = (0, 0);
+    while i < a.xs.len() && j < b.xs.len() {
+        match a.xs[i].cmp(&b.xs[j]) {
+            std::cmp::Ordering::Less => {
+                xs.push(a.xs[i].clone());
+                copy_cell(&mut ys, a, i);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                xs.push(b.xs[j].clone());
+                copy_cell(&mut ys, b, j);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                xs.push(a.xs[i].clone());
+                merge_cell(aggs, &mut ys, a, i, b, j);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    while i < a.xs.len() {
+        xs.push(a.xs[i].clone());
+        copy_cell(&mut ys, a, i);
+        i += 1;
+    }
+    while j < b.xs.len() {
+        xs.push(b.xs[j].clone());
+        copy_cell(&mut ys, b, j);
+        j += 1;
+    }
+    GroupSeries {
+        key: a.key.clone(),
+        xs,
+        ys,
+    }
+}
+
+/// Group-wise merge of a delta aggregate into a cached ancestor state.
+/// Both inputs come out of the kernel's finalize sorted by decoded key
+/// then x, so a two-pointer merge preserves result order. `aggs` is the
+/// *state* query's measure list (no `AVG` — see [`ivm_form`]).
+fn merge_ivm_state(cached: &ResultTable, delta: &ResultTable, aggs: &[Agg]) -> ResultTable {
+    let mut groups: Vec<GroupSeries> = Vec::with_capacity(cached.groups.len() + delta.groups.len());
+    let (mut i, mut j) = (0, 0);
+    while i < cached.groups.len() && j < delta.groups.len() {
+        match cached.groups[i].key.cmp(&delta.groups[j].key) {
+            std::cmp::Ordering::Less => {
+                groups.push(cached.groups[i].clone());
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                groups.push(delta.groups[j].clone());
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                groups.push(merge_group(&cached.groups[i], &delta.groups[j], aggs));
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    groups.extend(cached.groups[i..].iter().cloned());
+    groups.extend(delta.groups[j..].iter().cloned());
+    ResultTable {
+        z_cols: cached.z_cols.clone(),
+        groups,
+    }
+}
+
+/// An IVM merge candidate: a cached state entry for the same engine and
+/// canonical query at an older table version.
+pub struct IvmSource {
+    /// The table version the cached state describes; the caller must
+    /// prove `[version, v_new]` is pure-append via
+    /// [`crate::Table::ancestor_rows`] before scanning a delta.
+    pub version: u64,
+    pub state: Arc<ResultTable>,
+    /// The source entry's recompute cost in rows; the merged result is
+    /// re-inserted at this plus the delta's scanned rows.
+    pub cost: u64,
+}
+
+// ---------------------------------------------------------------------
 // Configuration
 // ---------------------------------------------------------------------
 
@@ -595,6 +872,15 @@ pub struct CacheStats {
     pub insertions: u64,
     pub evictions: u64,
     pub invalidations: u64,
+    /// Exact-key misses answered by merging an appended-range delta
+    /// into a cached ancestor-version result (see the module docs' IVM
+    /// section). Like `derived_hits`, always ≤ `misses`.
+    pub ivm_hits: u64,
+    /// IVM merges abandoned mid-flight by an injected
+    /// [`FaultPoint::IvmMerge`](crate::fault::FaultPoint) fault — the
+    /// query silently fell back to a full recompute, cache state
+    /// bit-untouched. Always 0 outside chaos runs.
+    pub ivm_merge_faults: u64,
     /// Fresh results rejected by cost-based admission.
     pub admission_rejects: u64,
     /// Inserts dropped by injected cache faults ([`crate::fault`]) —
@@ -672,6 +958,10 @@ struct Lru {
     /// Derivation-family index: slots sharing `(engine, version, x, ys)`,
     /// the candidates `lookup_derived` has to consider for a miss.
     families: HashMap<FamilyKey, Vec<usize>>,
+    /// IVM-family index: slots sharing `(engine, canonical query)`
+    /// across *all* table versions — the ancestor candidates
+    /// `ivm_sources` consults on a version-bumped miss.
+    ivm_families: HashMap<IvmFamilyKey, Vec<usize>>,
     slots: Vec<Option<Slot>>,
     free: Vec<usize>,
     head: usize,
@@ -753,6 +1043,13 @@ impl Lru {
                 self.families.remove(&family);
             }
         }
+        let ivm_family = IvmFamilyKey::of(&slot.key);
+        if let Some(members) = self.ivm_families.get_mut(&ivm_family) {
+            members.retain(|&j| j != i);
+            if members.is_empty() {
+                self.ivm_families.remove(&ivm_family);
+            }
+        }
         self.free.push(i);
         self.bytes -= slot.bytes;
         slot.bytes
@@ -768,6 +1065,10 @@ impl Lru {
         };
         self.families
             .entry(FamilyKey::of(&key))
+            .or_default()
+            .push(i);
+        self.ivm_families
+            .entry(IvmFamilyKey::of(&key))
             .or_default()
             .push(i);
         self.tick += 1;
@@ -843,8 +1144,13 @@ pub struct ResultCache {
     /// Monotonic derivation attempt counter — the index for injected
     /// [`FaultPoint::CacheDerive`](crate::fault::FaultPoint) failures.
     derive_seq: AtomicU64,
+    /// Monotonic IVM merge attempt counter — the index for injected
+    /// [`FaultPoint::IvmMerge`](crate::fault::FaultPoint) failures.
+    ivm_seq: AtomicU64,
     hits: AtomicU64,
     derived_hits: AtomicU64,
+    ivm_hits: AtomicU64,
+    ivm_merge_faults: AtomicU64,
     misses: AtomicU64,
     insertions: AtomicU64,
     evictions: AtomicU64,
@@ -895,8 +1201,11 @@ impl ResultCache {
             fault,
             insert_seq: AtomicU64::new(0),
             derive_seq: AtomicU64::new(0),
+            ivm_seq: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             derived_hits: AtomicU64::new(0),
+            ivm_hits: AtomicU64::new(0),
+            ivm_merge_faults: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             insertions: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
@@ -1022,6 +1331,71 @@ impl ResultCache {
         None
     }
 
+    /// Ancestor-version entries for `query` under `engine`: the IVM
+    /// merge candidates for an exact-key miss at `v_new`, newest first
+    /// (so the caller pays the smallest provable delta). The cache
+    /// knows versions, not append history — proving the gap is
+    /// pure-append is the caller's job, via
+    /// [`crate::Table::ancestor_rows`] on the pinned snapshot. Recency
+    /// is deliberately *not* refreshed here: the merged result is
+    /// inserted as a fresh entry, and the superseded ancestor should
+    /// age out rather than squat.
+    pub fn ivm_sources(
+        &self,
+        engine: &'static str,
+        query: &QueryKey,
+        v_new: u64,
+    ) -> Vec<IvmSource> {
+        let fam = IvmFamilyKey {
+            engine,
+            query: query.clone(),
+        };
+        let lru = self.lock_lru();
+        let mut out: Vec<IvmSource> = lru
+            .ivm_families
+            .get(&fam)
+            .map(|members| {
+                members
+                    .iter()
+                    .map(|&i| lru.slot(i))
+                    .filter(|s| s.key.table_version < v_new)
+                    .map(|s| IvmSource {
+                        version: s.key.table_version,
+                        state: Arc::clone(&s.value),
+                        cost: s.cost,
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        out.sort_by_key(|s| std::cmp::Reverse(s.version));
+        out
+    }
+
+    /// Merge a delta aggregate (the appended row range, freshly
+    /// scanned) into a cached ancestor state, under the
+    /// [`FaultPoint::IvmMerge`](crate::fault::FaultPoint) chaos point:
+    /// `None` means an injected fault abandoned the merge before
+    /// anything was built — the cache is bit-untouched (this method
+    /// never takes the lock) and the caller silently falls back to a
+    /// full recompute. `aggs` is the *state* query's measure list. The
+    /// merged table is returned, not inserted: the caller defers the
+    /// insert until its batch commits, exactly like derived results.
+    pub fn try_ivm_merge(
+        &self,
+        cached: &ResultTable,
+        delta: &ResultTable,
+        aggs: &[Agg],
+    ) -> Option<ResultTable> {
+        let seq = self.ivm_seq.fetch_add(1, Ordering::Relaxed);
+        if self.fault.fires(crate::fault::FaultPoint::IvmMerge, seq, 0) {
+            self.ivm_merge_faults.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        let merged = merge_ivm_state(cached, delta, aggs);
+        self.ivm_hits.fetch_add(1, Ordering::Relaxed);
+        Some(merged)
+    }
+
     /// Insert (or refresh) an entry, evicting from the cold end until
     /// both bounds hold again. `cost_rows` is the estimated recompute
     /// cost (rows the producing scan visited): entries cheaper than the
@@ -1126,6 +1500,8 @@ impl ResultCache {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             derived_hits: self.derived_hits.load(Ordering::Relaxed),
+            ivm_hits: self.ivm_hits.load(Ordering::Relaxed),
+            ivm_merge_faults: self.ivm_merge_faults.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             insertions: self.insertions.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
@@ -1834,5 +2210,185 @@ mod tests {
         assert!(cache.insert(key.clone(), Arc::new(rt(7)), COST).admitted);
         assert!(cache.get(&key).is_some());
         assert_eq!(cache.stats().poison_rebuilds, 1, "rebuild happens once");
+    }
+
+    // ---- Incremental view maintenance helpers ----
+
+    fn series(key: &[i64], xs: &[i64], ys: &[&[f64]]) -> GroupSeries {
+        GroupSeries {
+            key: key.iter().map(|&k| Value::Int(k)).collect(),
+            xs: xs.iter().map(|&x| Value::Int(x)).collect(),
+            ys: ys.iter().map(|col| col.to_vec()).collect(),
+        }
+    }
+
+    #[test]
+    fn ivm_form_is_identity_without_avg_and_rewrites_avg_once() {
+        let plain = SelectQuery::new(
+            XSpec::raw("year"),
+            vec![
+                YSpec::sum("sales"),
+                YSpec::new("sales", Agg::Min),
+                YSpec::new("*", Agg::Count),
+            ],
+        );
+        let f = ivm_form(&plain).expect("all aggregates delta-able");
+        assert!(!f.augmented);
+        assert_eq!(QueryKey::of(&f.state_query), QueryKey::of(&plain));
+
+        // Two AVGs: both rewritten to SUM, but only ONE trailing
+        // COUNT(*) companion is appended — the per-cell count is shared.
+        let avg = SelectQuery::new(
+            XSpec::raw("year"),
+            vec![
+                YSpec::avg("sales"),
+                YSpec::sum("sales"),
+                YSpec::avg("profit"),
+            ],
+        )
+        .with_z("product")
+        .with_predicate(Predicate::cat_eq("location", "US"));
+        let f = ivm_form(&avg).expect("avg is delta-able via its companion");
+        assert!(f.augmented);
+        assert_eq!(f.state_query.ys.len(), avg.ys.len() + 1);
+        assert_eq!(f.state_query.ys[0].agg, Agg::Sum);
+        assert_eq!(f.state_query.ys[0].col, "sales");
+        assert_eq!(f.state_query.ys[1].agg, Agg::Sum);
+        assert_eq!(f.state_query.ys[2].agg, Agg::Sum);
+        assert_eq!(f.state_query.ys[2].col, "profit");
+        assert_eq!(f.state_query.ys[3].agg, Agg::Count);
+        // Predicate, axes, and slicing carry over untouched.
+        assert_eq!(f.state_query.predicate, avg.predicate);
+        assert_eq!(f.state_query.zs, avg.zs);
+    }
+
+    #[test]
+    fn ivm_finalize_divides_each_avg_by_the_shared_count() {
+        let user = SelectQuery::new(
+            XSpec::raw("year"),
+            vec![YSpec::sum("sales"), YSpec::avg("sales")],
+        );
+        // State layout: [sum, sum(avg's), trailing count].
+        let state = ResultTable {
+            z_cols: vec![],
+            groups: vec![series(
+                &[],
+                &[2014, 2015],
+                &[&[10.0, -3.0], &[10.0, -3.0], &[4.0, 2.0]],
+            )],
+        };
+        let out = ivm_finalize(&state, &user);
+        assert_eq!(out.groups.len(), 1);
+        assert_eq!(out.groups[0].ys.len(), 2, "companion column dropped");
+        assert_eq!(out.groups[0].ys[0], vec![10.0, -3.0], "sum untouched");
+        assert_eq!(out.groups[0].ys[1], vec![2.5, -1.5], "avg = sum / n");
+        assert_eq!(out.groups[0].xs, state.groups[0].xs);
+    }
+
+    #[test]
+    fn merge_ivm_state_folds_cells_and_interleaves_groups() {
+        let aggs = [Agg::Sum, Agg::Min, Agg::Max, Agg::Count];
+        let cached = ResultTable {
+            z_cols: vec!["product".into()],
+            groups: vec![
+                series(
+                    &[1],
+                    &[2014, 2016],
+                    &[&[10.0, 20.0], &[-1.0, 2.0], &[5.0, 8.0], &[3.0, 4.0]],
+                ),
+                series(&[3], &[2014], &[&[7.0], &[7.0], &[7.0], &[1.0]]),
+            ],
+        };
+        let delta = ResultTable {
+            z_cols: vec!["product".into()],
+            groups: vec![
+                // Overlaps group [1]: one shared x (2016), one new (2015).
+                series(
+                    &[1],
+                    &[2015, 2016],
+                    &[&[100.0, 1.0], &[0.0, -9.0], &[0.0, 6.0], &[1.0, 2.0]],
+                ),
+                // Brand-new group, sorts between [1] and [3].
+                series(&[2], &[2020], &[&[50.0], &[50.0], &[50.0], &[1.0]]),
+            ],
+        };
+        let out = merge_ivm_state(&cached, &delta, &aggs);
+        assert_eq!(out.z_cols, cached.z_cols);
+        assert_eq!(out.groups.len(), 3, "groups interleave by key order");
+        assert_eq!(out.groups[0].key, vec![Value::Int(1)]);
+        assert_eq!(out.groups[1].key, vec![Value::Int(2)]);
+        assert_eq!(out.groups[2].key, vec![Value::Int(3)]);
+
+        let g = &out.groups[0];
+        assert_eq!(
+            g.xs,
+            vec![Value::Int(2014), Value::Int(2015), Value::Int(2016)],
+            "xs interleave in ascending order"
+        );
+        assert_eq!(g.ys[0], vec![10.0, 100.0, 21.0], "sum adds on shared x");
+        assert_eq!(g.ys[1], vec![-1.0, 0.0, -9.0], "min folds down");
+        assert_eq!(g.ys[2], vec![5.0, 0.0, 8.0], "max folds up");
+        assert_eq!(g.ys[3], vec![3.0, 1.0, 6.0], "count adds");
+        // One-sided groups pass through bit-identically.
+        assert_eq!(out.groups[1], delta.groups[1]);
+        assert_eq!(out.groups[2], cached.groups[1]);
+    }
+
+    #[test]
+    fn ivm_sources_returns_only_older_versions_newest_first() {
+        let cache = ResultCache::new(&CacheConfig::admit_all());
+        let query = q(Predicate::True);
+        for v in [3u64, 7, 5] {
+            cache.insert(
+                CacheKey::new("test-engine", v, &query),
+                Arc::new(rt(v as i64)),
+                COST + v,
+            );
+        }
+        // A different family and a different engine must not leak in.
+        cache.insert(
+            CacheKey::new("test-engine", 4, &q(Predicate::cat_eq("p", "x"))),
+            Arc::new(rt(4)),
+            COST,
+        );
+        cache.insert(
+            CacheKey::new("other-engine", 4, &query),
+            Arc::new(rt(4)),
+            COST,
+        );
+        let sources = cache.ivm_sources("test-engine", &QueryKey::of(&query), 6);
+        let versions: Vec<u64> = sources.iter().map(|s| s.version).collect();
+        assert_eq!(versions, vec![5, 3], "strictly older, newest first");
+        assert_eq!(sources[0].cost, COST + 5, "cost rides along");
+        assert_eq!(&*sources[0].state, &rt(5));
+    }
+
+    #[test]
+    fn try_ivm_merge_fault_declines_and_counts_then_recovers() {
+        let spec = (0u64..)
+            .map(|seed| crate::fault::FaultSpec::with_rate(seed, 0.5))
+            .find(|s| {
+                s.fires(crate::fault::FaultPoint::IvmMerge, 0, 0)
+                    && !s.fires(crate::fault::FaultPoint::IvmMerge, 1, 0)
+            })
+            .unwrap();
+        let cache = ResultCache::with_fault(&CacheConfig::admit_all(), spec);
+        let cached = rt(1);
+        let delta = rt(2);
+        assert!(
+            cache.try_ivm_merge(&cached, &delta, &[Agg::Sum]).is_none(),
+            "the first merge faults"
+        );
+        let stats = cache.stats();
+        assert_eq!(stats.ivm_merge_faults, 1);
+        assert_eq!(stats.ivm_hits, 0);
+        assert_eq!((stats.entries, stats.bytes), (0, 0), "cache untouched");
+
+        let merged = cache
+            .try_ivm_merge(&cached, &delta, &[Agg::Sum])
+            .expect("the second merge is clean");
+        assert_eq!(merged.groups[0].xs, vec![Value::Int(1), Value::Int(2)]);
+        assert_eq!(cache.stats().ivm_hits, 1);
+        assert_eq!(cache.stats().ivm_merge_faults, 1);
     }
 }

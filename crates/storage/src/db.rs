@@ -20,14 +20,18 @@
 //! any scan, and an exact-key miss is offered to the subsumption-based
 //! derivation path ([`crate::cache::ResultCache::lookup_derived`]) which
 //! answers subset-predicate and per-Z-slice queries by post-filtering a
-//! cached superset result. Results flow as `Arc<ResultTable>` end to
-//! end: a warm hit is a pointer bump, never a deep copy. See
+//! cached superset result. A miss that still has a cached result at an
+//! *ancestor* table version — the table proving the gap is pure appends
+//! — is answered by incremental view maintenance: scan only the
+//! appended rows ([`EngineSnapshot::execute_range`]) and merge the
+//! delta into the cached aggregate. Results flow as `Arc<ResultTable>`
+//! end to end: a warm hit is a pointer bump, never a deep copy. See
 //! [`crate::cache`] for the version-key invalidation scheme, the
-//! subsumption rules, and cost-based admission.
+//! subsumption rules, the IVM rules table, and cost-based admission.
 
-use crate::cache::{CacheKey, ResultCache};
+use crate::cache::{CacheKey, QueryKey, ResultCache};
 use crate::lifecycle::QueryCtx;
-use crate::query::{ResultTable, SelectQuery};
+use crate::query::{Agg, ResultTable, SelectQuery};
 use crate::stats::ExecStats;
 use crate::table::{StorageError, Table};
 use crate::value::Value;
@@ -55,6 +59,117 @@ pub trait EngineSnapshot: Send + Sync {
         query: &SelectQuery,
         ctx: &QueryCtx,
     ) -> Result<(ResultTable, u64), StorageError>;
+
+    /// Execute `query` over only the contiguous row range `[start, end)`
+    /// of the pinned table — the IVM delta scan over rows appended
+    /// between two versions (see [`crate::cache`]'s IVM section). The
+    /// query's predicate is applied as a residual inside the range; the
+    /// returned scanned count is `end - start`. Engines that cannot
+    /// scan a sub-range decline with [`StorageError::Unsupported`] and
+    /// the caller falls back to a full recompute.
+    fn execute_range(
+        &self,
+        _query: &SelectQuery,
+        _ctx: &QueryCtx,
+        _start: usize,
+        _end: usize,
+    ) -> Result<(ResultTable, u64), StorageError> {
+        Err(StorageError::Unsupported(
+            "this engine cannot scan a row sub-range".into(),
+        ))
+    }
+}
+
+/// One committed IVM answer: the user-visible result plus the cache
+/// inserts (state and, for AVG queries, the finalized result) to apply
+/// once the whole batch commits.
+struct IvmAnswer {
+    result: Arc<ResultTable>,
+    inserts: Vec<(CacheKey, Arc<ResultTable>, u64)>,
+}
+
+/// Try to answer an exact-key miss at `version` by delta-merging the
+/// appended row range into a cached ancestor-version result. `Ok(None)`
+/// declines (no mergeable form, no provable ancestor, engine cannot
+/// range-scan, or an injected merge fault) and the caller falls back to
+/// a full scan; only cancellation is an error. On success the delta's
+/// visited rows are recorded as `ivm_rows_scanned` — deliberately *not*
+/// as `rows_scanned` or a query, so full-scan ledgers stay exact.
+fn try_ivm(
+    stats: &ExecStats,
+    cache: &ResultCache,
+    snap: &dyn EngineSnapshot,
+    engine: &'static str,
+    version: u64,
+    query: &SelectQuery,
+    ctx: &QueryCtx,
+) -> Result<Option<IvmAnswer>, StorageError> {
+    let Some(form) = crate::cache::ivm_form(query) else {
+        return Ok(None);
+    };
+    let state_key = QueryKey::of(&form.state_query);
+    let sources = cache.ivm_sources(engine, &state_key, version);
+    if sources.is_empty() {
+        return Ok(None);
+    }
+    let table = snap.table();
+    let new_rows = table.num_rows();
+    for src in sources {
+        // The lineage proof: the table remembers the row count it had
+        // at `src.version` only if every step since was a pure append.
+        let Some(old_rows) = table.ancestor_rows(src.version) else {
+            continue;
+        };
+        let (delta, scanned) = match snap.execute_range(&form.state_query, ctx, old_rows, new_rows)
+        {
+            Ok(out) => out,
+            Err(StorageError::Cancelled) => {
+                stats.record_query_cancelled();
+                return Err(StorageError::Cancelled);
+            }
+            Err(_) => return Ok(None),
+        };
+        let aggs: Vec<Agg> = form.state_query.ys.iter().map(|y| y.agg).collect();
+        let Some(merged) = cache.try_ivm_merge(&src.state, &delta, &aggs) else {
+            // Injected merge fault: silent fallback to the full scan.
+            return Ok(None);
+        };
+        // The merged entry stands in for a full recompute at `version`:
+        // its cost is everything the chain has scanned so far.
+        let cost = src.cost.saturating_add(scanned);
+        let merged = Arc::new(merged);
+        let mut inserts = Vec::with_capacity(2);
+        let result = if form.augmented {
+            let user = Arc::new(crate::cache::ivm_finalize(&merged, query));
+            // The state entry is what the *next* tick merges into; the
+            // finalized entry is what exact repeats hit.
+            inserts.push((
+                CacheKey {
+                    engine,
+                    table_version: version,
+                    query: state_key,
+                },
+                Arc::clone(&merged),
+                cost,
+            ));
+            inserts.push((
+                CacheKey::new(engine, version, query),
+                Arc::clone(&user),
+                cost,
+            ));
+            user
+        } else {
+            inserts.push((
+                CacheKey::new(engine, version, query),
+                Arc::clone(&merged),
+                cost,
+            ));
+            merged
+        };
+        stats.record_ivm_hit(scanned);
+        return Ok(Some(IvmAnswer { result, inserts }));
+    }
+    Ok(None)
 }
 
 /// Execute against a snapshot, recording query count / rows / latency —
@@ -210,7 +325,7 @@ pub trait Database: Send + Sync {
         let version = snap.table().version();
         let engine = self.name();
         let mut results: Vec<Option<Arc<ResultTable>>> = Vec::with_capacity(queries.len());
-        let mut misses: Vec<(usize, CacheKey)> = Vec::new();
+        let mut misses: Vec<(usize, CacheKey, Option<crate::cache::IvmForm>)> = Vec::new();
         // Derived results are re-inserted only once the whole batch has
         // succeeded: a batch cancelled (or failed) after the probes must
         // leave the cache exactly as it found it.
@@ -224,14 +339,37 @@ pub trait Database: Send + Sync {
                 self.stats().record_cache_derived_hit();
                 results.push(Some(Arc::clone(&derived.result)));
                 derived_inserts.push((key, derived.result, derived.cost));
+            } else if let Some(ivm) = try_ivm(self.stats(), cache, &*snap, engine, version, q, ctx)?
+            {
+                results.push(Some(Arc::clone(&ivm.result)));
+                derived_inserts.extend(ivm.inserts);
             } else {
                 self.stats().record_cache_miss();
                 results.push(None);
-                misses.push((i, key));
+                // An AVG query's miss executes its IVM *state* form
+                // (AVG→SUM plus a COUNT(*) companion — the same
+                // accumulators the kernel keeps anyway) so the state
+                // gets cached alongside the finalized result and the
+                // next append can delta-merge instead of rescanning.
+                let form = crate::cache::ivm_form(q).filter(|f| f.augmented);
+                misses.push((i, key, form));
             }
         }
         let fresh = crate::parallel::try_parallel_map(misses.len(), 0, |j| {
-            execute_recorded(self.stats(), &*snap, &queries[misses[j].0], ctx)
+            let (i, _, form) = &misses[j];
+            match form {
+                Some(f) => execute_recorded(self.stats(), &*snap, &f.state_query, ctx).map(
+                    |(state, scanned)| {
+                        // `sum / n` on the very values the kernel's own
+                        // finalize divides — bit-identical to executing
+                        // the user query directly.
+                        let user = crate::cache::ivm_finalize(&state, &queries[*i]);
+                        (user, Some(state), scanned)
+                    },
+                ),
+                None => execute_recorded(self.stats(), &*snap, &queries[*i], ctx)
+                    .map(|(rt, scanned)| (rt, None, scanned)),
+            }
         })?;
         // The batch committed: make derived answers exact entries (so
         // repeats are plain hits) and offer the fresh scans to the
@@ -240,14 +378,27 @@ pub trait Database: Send + Sync {
             let outcome = cache.insert(key, rt, cost);
             (None, outcome)
         });
-        let fresh_inserts = misses
-            .into_iter()
-            .zip(fresh)
-            .map(|((i, key), (rt, scanned))| {
-                let rt = Arc::new(rt);
-                let outcome = cache.insert(key, Arc::clone(&rt), scanned);
-                (Some((i, rt)), outcome)
-            });
+        let fresh_inserts =
+            misses
+                .into_iter()
+                .zip(fresh)
+                .flat_map(|((i, key, form), (rt, state, scanned))| {
+                    let rt = Arc::new(rt);
+                    let mut out = Vec::with_capacity(2);
+                    if let (Some(f), Some(state)) = (form, state) {
+                        let state_key = CacheKey {
+                            engine,
+                            table_version: version,
+                            query: QueryKey::of(&f.state_query),
+                        };
+                        out.push((None, cache.insert(state_key, Arc::new(state), scanned)));
+                    }
+                    out.push((
+                        Some((i, rt.clone())),
+                        cache.insert(key, Arc::clone(&rt), scanned),
+                    ));
+                    out
+                });
         for (slot, outcome) in inserts.chain(fresh_inserts) {
             if !outcome.admitted {
                 self.stats().record_cache_admission_reject();

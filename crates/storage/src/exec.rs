@@ -391,6 +391,14 @@ pub enum RowSource<'a> {
         rows: RoaringBitmap,
         pred: CompiledPred<'a>,
     },
+    /// A contiguous row interval `[start, end)` with the query predicate
+    /// applied as a residual — the incremental-view-maintenance delta
+    /// scan over rows appended between two table versions.
+    Range {
+        start: usize,
+        end: usize,
+        pred: Option<CompiledPred<'a>>,
+    },
 }
 
 impl RowSource<'_> {
@@ -425,6 +433,14 @@ impl RowSource<'_> {
                 });
                 rows.len()
             }
+            RowSource::Range { start, end, pred } => {
+                for r in *start..*end {
+                    if pred.as_ref().is_none_or(|p| p.eval(r)) {
+                        f(r);
+                    }
+                }
+                (*end - *start) as u64
+            }
         }
     }
 
@@ -436,6 +452,20 @@ impl RowSource<'_> {
             RowSource::Bitmap(bm) => bm.len() as usize,
             RowSource::Filtered { n_rows, .. } => *n_rows,
             RowSource::BitmapFiltered { rows, .. } => rows.len() as usize,
+            RowSource::Range { start, end, .. } => *end - *start,
+        }
+    }
+
+    /// The row interval dimension statistics may be restricted to
+    /// (see [`build_dim`]'s range-aware variant): a bounded range scan
+    /// never encodes a row outside `[start, end)`, so its group-axis
+    /// min/max/distinct passes can cover just the range instead of the
+    /// whole column. `None` means "whole column" for every other source
+    /// (a predicate-filtered scan may still touch any row).
+    pub fn stat_rows(&self) -> Option<(usize, usize)> {
+        match self {
+            RowSource::Range { start, end, .. } => Some((*start, *end)),
+            _ => None,
         }
     }
 
@@ -458,6 +488,9 @@ impl RowSource<'_> {
         match self {
             RowSource::All(n) => scan_range_ctx(0, *n, None, ctx, f),
             RowSource::Filtered { n_rows, pred } => scan_range_ctx(0, *n_rows, Some(pred), ctx, f),
+            RowSource::Range { start, end, pred } => {
+                scan_range_ctx(*start, *end, pred.as_ref(), ctx, f)
+            }
             RowSource::Bitmap(bm) => {
                 let mut buf: Vec<u32> = Vec::with_capacity(CHUNK_ROWS);
                 let mut visited = 0u64;
@@ -764,7 +797,30 @@ impl DimEncoder<'_> {
 const INT_OFFSET_MAX_RANGE: i64 = 1 << 22;
 
 pub fn build_dim<'a>(table: &'a Table, spec: &XSpec) -> Result<DimEncoder<'a>, StorageError> {
+    build_dim_over(table, spec, None)
+}
+
+/// [`build_dim`] with the dimension *statistics* (min/max, distinct
+/// values) computed over only the row range `rows` instead of the whole
+/// column. Row *indexing* still uses the full column slice, so codes
+/// are valid for any row inside the range. This is what makes the IVM
+/// delta scan O(delta): a [`RowSource::Range`] visits only `[start,
+/// end)`, and an encoder whose stats cover exactly those rows encodes
+/// them correctly — the full-column min/max pass (~the whole table for
+/// a 1k-row delta) is skipped. Results are decoded to values before any
+/// cross-version merge, so a range-local encoding is sound.
+fn build_dim_over<'a>(
+    table: &'a Table,
+    spec: &XSpec,
+    rows: Option<(usize, usize)>,
+) -> Result<DimEncoder<'a>, StorageError> {
     let col = table.column(&spec.col)?;
+    let stat = |len: usize| -> (usize, usize) {
+        match rows {
+            Some((s, e)) => (s.min(len), e.min(len)),
+            None => (0, len),
+        }
+    };
     if let Some(width) = spec.bin {
         if width <= 0.0 {
             return Err(StorageError::Malformed(format!(
@@ -773,7 +829,16 @@ pub fn build_dim<'a>(table: &'a Table, spec: &XSpec) -> Result<DimEncoder<'a>, S
         }
         return match col {
             Column::Int(v) => {
-                let (lo, hi) = minmax_i(v);
+                let (s, e) = stat(v.len());
+                if s >= e {
+                    return Ok(DimEncoder::BinnedI {
+                        vals: v,
+                        width,
+                        min_bin: 0,
+                        card: 0,
+                    });
+                }
+                let (lo, hi) = minmax_i(&v[s..e]);
                 let min_bin = (lo as f64 / width).floor() as i64;
                 let max_bin = (hi as f64 / width).floor() as i64;
                 Ok(DimEncoder::BinnedI {
@@ -784,7 +849,16 @@ pub fn build_dim<'a>(table: &'a Table, spec: &XSpec) -> Result<DimEncoder<'a>, S
                 })
             }
             Column::Float(v) => {
-                let (lo, hi) = minmax_f(v);
+                let (s, e) = stat(v.len());
+                if s >= e {
+                    return Ok(DimEncoder::BinnedF {
+                        vals: v,
+                        width,
+                        min_bin: 0,
+                        card: 0,
+                    });
+                }
+                let (lo, hi) = minmax_f(&v[s..e]);
                 let min_bin = (lo / width).floor() as i64;
                 let max_bin = (hi / width).floor() as i64;
                 Ok(DimEncoder::BinnedF {
@@ -801,19 +875,22 @@ pub fn build_dim<'a>(table: &'a Table, spec: &XSpec) -> Result<DimEncoder<'a>, S
         };
     }
     match col {
+        // Dictionary cardinality is a stored property, not a column
+        // pass — the full dict stays correct (and cheap) for any range.
         Column::Cat(c) => Ok(DimEncoder::Cat {
             codes: c.codes(),
             dict: c.dict(),
         }),
         Column::Int(v) => {
-            if v.is_empty() {
+            let (s, e) = stat(v.len());
+            if s >= e {
                 return Ok(DimEncoder::IntOffset {
                     vals: v,
                     min: 0,
                     card: 0,
                 });
             }
-            let (lo, hi) = minmax_i(v);
+            let (lo, hi) = minmax_i(&v[s..e]);
             if hi - lo < INT_OFFSET_MAX_RANGE {
                 Ok(DimEncoder::IntOffset {
                     vals: v,
@@ -821,7 +898,7 @@ pub fn build_dim<'a>(table: &'a Table, spec: &XSpec) -> Result<DimEncoder<'a>, S
                     card: (hi - lo + 1) as usize,
                 })
             } else {
-                let mut distinct = v.clone();
+                let mut distinct = v[s..e].to_vec();
                 distinct.sort_unstable();
                 distinct.dedup();
                 Ok(DimEncoder::IntRank { vals: v, distinct })
@@ -1194,13 +1271,17 @@ struct GroupPlan<'a> {
     need_minmax: bool,
 }
 
-fn build_plan<'a>(table: &'a Table, query: &SelectQuery) -> Result<GroupPlan<'a>, StorageError> {
+fn build_plan<'a>(
+    table: &'a Table,
+    query: &SelectQuery,
+    rows: Option<(usize, usize)>,
+) -> Result<GroupPlan<'a>, StorageError> {
     // Dimension order: z₁..z_k, then x innermost (stride 1).
     let mut dims: Vec<DimEncoder<'a>> = Vec::with_capacity(query.zs.len() + 1);
     for z in &query.zs {
-        dims.push(build_dim(table, &XSpec::raw(z.clone()))?);
+        dims.push(build_dim_over(table, &XSpec::raw(z.clone()), rows)?);
     }
-    dims.push(build_dim(table, &query.x)?);
+    dims.push(build_dim_over(table, &query.x, rows)?);
 
     let mut ys: Vec<YCol<'a>> = Vec::with_capacity(query.ys.len());
     let mut aggs: Vec<Agg> = Vec::with_capacity(query.ys.len());
@@ -1387,7 +1468,7 @@ pub fn aggregate_ctx(
     strategy: GroupStrategy,
     ctx: &QueryCtx,
 ) -> Result<(ResultTable, u64), StorageError> {
-    let plan = build_plan(table, query)?;
+    let plan = build_plan(table, query, source.stat_rows())?;
     ctx.check()?;
     let mut acc = ChunkAccumulator::new(&plan, strategy);
     let (scanned, completed) = source.for_each_chunk_ctx(ctx, |rows| acc.consume(rows));
@@ -1403,6 +1484,9 @@ pub fn aggregate_ctx(
 /// materialize their ids once and split the id array.
 enum ShardInput<'s, 'a> {
     Rows {
+        /// First physical row of the interval; unit `u` maps to row
+        /// `base + u` (non-zero only for [`RowSource::Range`]).
+        base: usize,
         n: usize,
         pred: Option<&'s CompiledPred<'a>>,
     },
@@ -1415,8 +1499,13 @@ enum ShardInput<'s, 'a> {
 impl<'s, 'a> ShardInput<'s, 'a> {
     fn of(source: &'s RowSource<'a>) -> Self {
         match source {
-            RowSource::All(n) => ShardInput::Rows { n: *n, pred: None },
+            RowSource::All(n) => ShardInput::Rows {
+                base: 0,
+                n: *n,
+                pred: None,
+            },
             RowSource::Filtered { n_rows, pred } => ShardInput::Rows {
+                base: 0,
                 n: *n_rows,
                 pred: Some(pred),
             },
@@ -1427,6 +1516,11 @@ impl<'s, 'a> ShardInput<'s, 'a> {
             RowSource::BitmapFiltered { rows, pred } => ShardInput::Ids {
                 ids: rows.to_vec(),
                 pred: Some(pred),
+            },
+            RowSource::Range { start, end, pred } => ShardInput::Rows {
+                base: *start,
+                n: *end - *start,
+                pred: pred.as_ref(),
             },
         }
     }
@@ -1449,7 +1543,9 @@ impl<'s, 'a> ShardInput<'s, 'a> {
         f: F,
     ) -> (u64, bool) {
         match self {
-            ShardInput::Rows { pred, .. } => scan_range_ctx(start, end, *pred, ctx, f),
+            ShardInput::Rows { base, pred, .. } => {
+                scan_range_ctx(base + start, base + end, *pred, ctx, f)
+            }
             ShardInput::Ids { ids, pred } => scan_ids_ctx(&ids[start..end], *pred, ctx, f),
         }
     }
@@ -1513,7 +1609,7 @@ fn static_run(
     stats: Option<&crate::stats::ExecStats>,
     ctx: &QueryCtx,
 ) -> Result<(ResultTable, u64), StorageError> {
-    let plan = build_plan(table, query)?;
+    let plan = build_plan(table, query, source.stat_rows())?;
     ctx.check()?;
     let mut workers = parallel::effective_threads(threads);
     if strategy == GroupStrategy::Dense {
@@ -1984,7 +2080,7 @@ fn morsel_run(
 ) -> Result<(ResultTable, u64, Option<MorselMetrics>), StorageError> {
     assert!(morsel_rows >= 1, "morsel size must be positive");
     assert!(claim_batch >= 1, "claim batch must be positive");
-    let plan = build_plan(table, query)?;
+    let plan = build_plan(table, query, source.stat_rows())?;
     ctx.check()?;
     let mut workers = parallel::effective_threads(threads);
     if strategy == GroupStrategy::Dense {
@@ -2290,13 +2386,24 @@ pub fn choose_strategy(total_groups: u128, dense_limit: u128) -> GroupStrategy {
 
 /// Total composite-key cardinality for a query (used for strategy choice).
 pub fn group_space(table: &Table, query: &SelectQuery) -> Result<u128, StorageError> {
+    group_space_over(table, query, None)
+}
+
+/// [`group_space`] with dimension statistics restricted to a row range,
+/// so sub-range scans (the IVM delta path) pay for the rows they visit,
+/// not the whole column.
+pub fn group_space_over(
+    table: &Table,
+    query: &SelectQuery,
+    rows: Option<(usize, usize)>,
+) -> Result<u128, StorageError> {
     let mut total: u128 = 1;
     for z in &query.zs {
-        total *= build_dim(table, &XSpec::raw(z.clone()))?
+        total *= build_dim_over(table, &XSpec::raw(z.clone()), rows)?
             .cardinality()
             .max(1) as u128;
     }
-    total *= build_dim(table, &query.x)?.cardinality().max(1) as u128;
+    total *= build_dim_over(table, &query.x, rows)?.cardinality().max(1) as u128;
     Ok(total)
 }
 
@@ -2429,6 +2536,55 @@ mod tests {
         let src = RowSource::Bitmap(bm);
         let (rt, scanned) = aggregate(&t, &q, &src, GroupStrategy::Hash).unwrap();
         assert_eq!(scanned, 2);
+        assert_eq!(rt.groups[0].ys[0], vec![20.0]);
+    }
+
+    #[test]
+    fn range_source_scans_only_the_interval() {
+        let t = sales_table();
+        let q = SelectQuery::new(XSpec::raw("year"), vec![YSpec::sum("sales")]);
+        // The IVM delta shape: rows [3, 6) are "appended" after a
+        // cached result covered rows [0, 3).
+        let src = RowSource::Range {
+            start: 3,
+            end: 6,
+            pred: None,
+        };
+        let (rt, scanned) = aggregate(&t, &q, &src, GroupStrategy::Dense).unwrap();
+        assert_eq!(scanned, 3);
+        let g = &rt.groups[0];
+        assert_eq!(g.xs, vec![Value::Int(2014), Value::Int(2015)]);
+        assert_eq!(g.ys[0], vec![7.0, 20.0]); // desk@2014 + (desk+chair)@2015
+                                              // Sharded and morsel paths must agree on the offset interval.
+        for threads in [2, 3] {
+            let make = || RowSource::Range {
+                start: 3,
+                end: 6,
+                pred: None,
+            };
+            let (par, n) =
+                aggregate_parallel(&t, &q, &make(), GroupStrategy::Dense, threads).unwrap();
+            assert_eq!((par, n), (rt.clone(), scanned));
+            let (mor, n, _) =
+                aggregate_morsel(&t, &q, &make(), GroupStrategy::Dense, threads).unwrap();
+            assert_eq!((mor, n), (rt.clone(), scanned));
+        }
+    }
+
+    #[test]
+    fn range_source_applies_residual_predicate() {
+        let t = sales_table();
+        let q = SelectQuery::new(XSpec::raw("year"), vec![YSpec::sum("sales")]);
+        let pred = compile_pred(&t, &Predicate::cat_eq("location", "UK")).unwrap();
+        let src = RowSource::Range {
+            start: 2,
+            end: 6,
+            pred: Some(pred),
+        };
+        // Visits all four interval rows but only the two UK rows qualify.
+        let (rt, scanned) = aggregate(&t, &q, &src, GroupStrategy::Hash).unwrap();
+        assert_eq!(scanned, 4);
+        assert_eq!(rt.groups[0].xs, vec![Value::Int(2015)]);
         assert_eq!(rt.groups[0].ys[0], vec![20.0]);
     }
 

@@ -104,6 +104,12 @@ pub enum FaultPoint {
     /// connections misbehave; the server side under test is the
     /// reader deadline (`NetServerConfig::read_deadline`).
     ReadStall,
+    /// Abandon an incremental-view-maintenance delta merge mid-flight
+    /// (index = the cache's IVM merge attempt sequence number): the
+    /// merged result is discarded before anything is published, the
+    /// cache is left bit-untouched, and the query silently falls back
+    /// to a full recompute — correct, just slower.
+    IvmMerge,
 }
 
 impl FaultPoint {
@@ -120,6 +126,7 @@ impl FaultPoint {
             FaultPoint::WalTearTail => 0x5ca7_da7a_0009,
             FaultPoint::CacheDerive => 0x5ca7_da7a_000a,
             FaultPoint::ReadStall => 0x5ca7_da7a_000b,
+            FaultPoint::IvmMerge => 0x5ca7_da7a_000c,
         }
     }
 }

@@ -53,7 +53,10 @@ pub mod table;
 pub mod value;
 
 pub use bitmap_db::{BitmapDb, BitmapDbConfig};
-pub use cache::{CacheConfig, CacheKey, CacheStats, InsertOutcome, QueryKey, ResultCache};
+pub use cache::{
+    ivm_finalize, ivm_form, CacheConfig, CacheKey, CacheStats, InsertOutcome, IvmForm, IvmSource,
+    QueryKey, ResultCache,
+};
 pub use column::{CatColumn, Column};
 pub use db::{Database, DynDatabase, EngineSnapshot};
 pub use exec::{GroupStrategy, MorselMetrics, ParallelConfig, SchedulingMode};

@@ -1323,7 +1323,11 @@ mod tests {
 
         // The log keeps working: a normal append after the rejection is
         // durable and recovery lands on it exactly.
-        let batch = vec![vec![Value::Int(2022), Value::str("desk"), Value::Float(0.5)]];
+        let batch = vec![vec![
+            Value::Int(2022),
+            Value::str("desk"),
+            Value::Float(0.5),
+        ]];
         live.append_rows(&batch).unwrap();
         p.log_append(live.version(), live.schema(), &batch).unwrap();
         drop(p);

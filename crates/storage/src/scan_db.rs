@@ -224,9 +224,10 @@ impl ScanDb {
             log(persist, &next)?;
         }
         *crate::fault::write_recover(&self.table) = Arc::new(next);
-        if let Some(cache) = &self.cache {
-            cache.invalidate_table_version(old_version);
-        }
+        // The old version's cache entries are deliberately *kept*: they
+        // are unreachable for exact lookups (versioned keys) but serve
+        // as IVM merge ancestors for post-append queries; the LRU
+        // reclaims them once the workload moves on.
         Ok(n)
     }
 }
@@ -265,6 +266,40 @@ impl EngineSnapshot for ScanSnapshot {
         // A degraded query (`QueryCtx::force_serial`, set by the retry
         // ladder or the breaker) is pinned to the injection-free serial
         // path no matter what the config would choose.
+        let threads = if ctx.serial_only() {
+            1
+        } else {
+            self.parallel.threads_for(source.estimated_rows())
+        };
+        exec::run_scheduled(
+            table,
+            query,
+            &source,
+            strategy,
+            threads,
+            &self.parallel,
+            &self.stats,
+            ctx,
+        )
+    }
+
+    fn execute_range(
+        &self,
+        query: &SelectQuery,
+        ctx: &QueryCtx,
+        start: usize,
+        end: usize,
+    ) -> Result<(ResultTable, u64), StorageError> {
+        let table = &self.table;
+        debug_assert!(start <= end && end <= table.num_rows());
+        let pred = if query.predicate.is_true() {
+            None
+        } else {
+            Some(compile_pred(table, &query.predicate)?)
+        };
+        let source = RowSource::Range { start, end, pred };
+        let groups = exec::group_space_over(table, query, Some((start, end)))?;
+        let strategy = exec::choose_strategy(groups, self.dense_group_limit);
         let threads = if ctx.serial_only() {
             1
         } else {

@@ -22,6 +22,14 @@ pub struct ExecStats {
     /// Queries answered by *deriving* from a cached superset result
     /// (predicate subsumption / Z-slice extraction — no scan either).
     cache_derived_hits: AtomicU64,
+    /// Queries answered by *delta-merging* appended rows into a cached
+    /// ancestor result (incremental view maintenance — only the appended
+    /// range was scanned; see `crate::cache`).
+    ivm_hits: AtomicU64,
+    /// Appended rows scanned by those delta merges. Deliberately kept
+    /// out of `rows_scanned` so "warm tick touched only the delta" is
+    /// directly assertable from a snapshot.
+    ivm_rows_scanned: AtomicU64,
     /// Queries that missed the result cache and executed for real.
     cache_misses: AtomicU64,
     /// Entries evicted from the result cache on this engine's inserts.
@@ -82,6 +90,14 @@ impl ExecStats {
         self.cache_derived_hits.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Record one query answered by an IVM delta merge that scanned
+    /// `delta_rows` appended rows.
+    pub fn record_ivm_hit(&self, delta_rows: u64) {
+        self.ivm_hits.fetch_add(1, Ordering::Relaxed);
+        self.ivm_rows_scanned
+            .fetch_add(delta_rows, Ordering::Relaxed);
+    }
+
     pub fn record_cache_miss(&self) {
         self.cache_misses.fetch_add(1, Ordering::Relaxed);
     }
@@ -138,6 +154,8 @@ impl ExecStats {
             exec_time: Duration::from_nanos(self.exec_nanos.load(Ordering::Relaxed)),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             cache_derived_hits: self.cache_derived_hits.load(Ordering::Relaxed),
+            ivm_hits: self.ivm_hits.load(Ordering::Relaxed),
+            ivm_rows_scanned: self.ivm_rows_scanned.load(Ordering::Relaxed),
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
             cache_evictions: self.cache_evictions.load(Ordering::Relaxed),
             cache_admission_rejects: self.cache_admission_rejects.load(Ordering::Relaxed),
@@ -160,6 +178,8 @@ impl ExecStats {
         self.exec_nanos.store(0, Ordering::Relaxed);
         self.cache_hits.store(0, Ordering::Relaxed);
         self.cache_derived_hits.store(0, Ordering::Relaxed);
+        self.ivm_hits.store(0, Ordering::Relaxed);
+        self.ivm_rows_scanned.store(0, Ordering::Relaxed);
         self.cache_misses.store(0, Ordering::Relaxed);
         self.cache_evictions.store(0, Ordering::Relaxed);
         self.cache_admission_rejects.store(0, Ordering::Relaxed);
@@ -184,6 +204,10 @@ pub struct StatsSnapshot {
     pub exec_time: Duration,
     pub cache_hits: u64,
     pub cache_derived_hits: u64,
+    /// Queries answered by an IVM delta merge (appended range only).
+    pub ivm_hits: u64,
+    /// Appended rows scanned by IVM delta merges (not in `rows_scanned`).
+    pub ivm_rows_scanned: u64,
     pub cache_misses: u64,
     pub cache_evictions: u64,
     pub cache_admission_rejects: u64,
@@ -217,6 +241,8 @@ impl StatsSnapshot {
             exec_time: self.exec_time.saturating_sub(earlier.exec_time),
             cache_hits: self.cache_hits - earlier.cache_hits,
             cache_derived_hits: self.cache_derived_hits - earlier.cache_derived_hits,
+            ivm_hits: self.ivm_hits - earlier.ivm_hits,
+            ivm_rows_scanned: self.ivm_rows_scanned - earlier.ivm_rows_scanned,
             cache_misses: self.cache_misses - earlier.cache_misses,
             cache_evictions: self.cache_evictions - earlier.cache_evictions,
             cache_admission_rejects: self.cache_admission_rejects - earlier.cache_admission_rejects,
@@ -245,6 +271,7 @@ mod tests {
         s.record_request();
         s.record_cache_hit();
         s.record_cache_derived_hit();
+        s.record_ivm_hit(40);
         s.record_cache_miss();
         s.record_cache_evictions(3);
         s.record_cache_admission_reject();
@@ -268,6 +295,8 @@ mod tests {
         assert_eq!(snap.exec_time, Duration::from_millis(3));
         assert_eq!(snap.cache_hits, 1);
         assert_eq!(snap.cache_derived_hits, 1);
+        assert_eq!(snap.ivm_hits, 1);
+        assert_eq!(snap.ivm_rows_scanned, 40);
         assert_eq!(snap.cache_misses, 1);
         assert_eq!(snap.cache_evictions, 3);
         assert_eq!(snap.cache_admission_rejects, 1);

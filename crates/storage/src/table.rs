@@ -150,18 +150,35 @@ impl fmt::Display for StorageError {
 
 impl std::error::Error for StorageError {}
 
+/// Ancestor snapshots remembered per table for incremental view
+/// maintenance ([`Table::ancestor_rows`]). Old entries age out oldest
+/// first; a version that fell off the chain simply stops being provable
+/// as a pure-append ancestor, so IVM declines and recomputes — never a
+/// correctness hazard.
+const LINEAGE_CAP: usize = 64;
+
 /// An in-memory relation: schema + columns + a snapshot version.
 ///
 /// A `Table` is immutable through shared references; owners can grow it
 /// with [`Table::append_rows`] / [`Table::append_table`], each of which
 /// bumps [`Table::version`] to a fresh process-unique value. Engines use
 /// the version as the invalidation half of their result-cache keys.
+///
+/// Every version-bumping append also records `(old version, old row
+/// count)` on an in-table lineage chain, which is what lets the result
+/// cache *prove* "this snapshot is the ancestor plus appended rows
+/// `[rows(v_old), rows(v_new))` and nothing else" — the precondition for
+/// delta-merging a cached result instead of rescanning the table
+/// ([`crate::cache`]'s incremental view maintenance).
 #[derive(Clone, Debug)]
 pub struct Table {
     schema: Schema,
     columns: Vec<Column>,
     rows: usize,
     version: u64,
+    /// `(version, rows)` of ancestor snapshots, oldest first. Appends are
+    /// the only writers, so membership proves pure-append reachability.
+    lineage: Vec<(u64, usize)>,
 }
 
 impl Table {
@@ -195,6 +212,7 @@ impl Table {
             columns,
             rows,
             version: next_version(),
+            lineage: Vec::new(),
         })
     }
 
@@ -221,7 +239,38 @@ impl Table {
     /// keep their meaning across restarts.
     pub(crate) fn restore_version(&mut self, version: u64) {
         self.version = version;
+        // Replayed appends recorded temporary versions no cached result
+        // was ever keyed under; recovery is not a provable pure append
+        // from anything cached, so the chain restarts empty.
+        self.lineage.clear();
         NEXT_VERSION.fetch_max(version + 1, Ordering::Relaxed);
+    }
+
+    /// The row count this table had at ancestor snapshot `version`, or
+    /// `None` if that version is not on the pure-append lineage chain
+    /// (too old, from another table, or severed by recovery). The current
+    /// version answers with the current row count. `Some(r)` is a proof
+    /// that rows `0..r` of this table are bit-for-bit the rows of
+    /// `version` — appends only ever push — which is the soundness
+    /// condition for the cache's delta maintenance.
+    pub fn ancestor_rows(&self, version: u64) -> Option<usize> {
+        if version == self.version {
+            return Some(self.rows);
+        }
+        self.lineage
+            .iter()
+            .rev()
+            .find(|&&(v, _)| v == version)
+            .map(|&(_, r)| r)
+    }
+
+    /// Record the retiring snapshot on the lineage chain (append paths
+    /// only — callers bump the version right after).
+    fn push_lineage(&mut self) {
+        if self.lineage.len() == LINEAGE_CAP {
+            self.lineage.remove(0);
+        }
+        self.lineage.push((self.version, self.rows));
     }
 
     /// Append rows (each a full-width `Vec<Value>`) and bump the version.
@@ -253,6 +302,7 @@ impl Table {
                 }
             }
         }
+        self.push_lineage();
         for row in rows {
             for (col, v) in self.columns.iter_mut().zip(row) {
                 col.push(v).map_err(StorageError::TypeMismatch)?;
@@ -279,6 +329,7 @@ impl Table {
             // No-op append: keep the version (and cached results) intact.
             return Ok(0);
         }
+        self.push_lineage();
         for (col, oc) in self.columns.iter_mut().zip(&other.columns) {
             col.append(oc).map_err(StorageError::TypeMismatch)?;
         }
@@ -452,6 +503,7 @@ impl TableBuilder {
             columns: self.columns,
             rows: self.rows,
             version: next_version(),
+            lineage: Vec::new(),
         }
     }
 
@@ -590,6 +642,64 @@ mod tests {
         let empty = TableBuilder::new(t.schema().clone()).finish();
         assert_eq!(t.append_table(&empty).unwrap(), 0);
         assert_eq!(t.version(), v);
+    }
+
+    #[test]
+    fn lineage_proves_pure_append_ancestry() {
+        let mut t = sample();
+        let v0 = t.version();
+        assert_eq!(t.ancestor_rows(v0), Some(2), "current version is trivial");
+        t.append_rows(&[vec![
+            Value::Int(2017),
+            Value::str("lamp"),
+            Value::Float(3.5),
+        ]])
+        .unwrap();
+        let v1 = t.version();
+        assert_eq!(t.ancestor_rows(v0), Some(2), "v0 had two rows");
+        assert_eq!(t.ancestor_rows(v1), Some(3));
+        let other = sample();
+        assert_eq!(
+            t.ancestor_rows(other.version()),
+            None,
+            "foreign versions are not ancestors"
+        );
+        // Failed and empty appends leave the chain untouched.
+        assert!(t
+            .append_rows(&[vec![Value::Int(1), Value::Float(2.0), Value::Float(3.0)]])
+            .is_err());
+        assert_eq!(t.append_rows(&[]).unwrap(), 0);
+        assert_eq!(t.ancestor_rows(v0), Some(2));
+        assert_eq!(t.version(), v1);
+    }
+
+    #[test]
+    fn lineage_ages_out_oldest_first() {
+        let mut t = sample();
+        let v0 = t.version();
+        for i in 0..super::LINEAGE_CAP as i64 {
+            t.append_rows(&[vec![
+                Value::Int(2020 + i),
+                Value::str("x"),
+                Value::Float(1.0),
+            ]])
+            .unwrap();
+        }
+        // The chain holds exactly LINEAGE_CAP entries, v0 still among
+        // them; the next append pushes it out.
+        assert_eq!(t.ancestor_rows(v0), Some(2));
+        t.append_rows(&[vec![Value::Int(1), Value::str("y"), Value::Float(1.0)]])
+            .unwrap();
+        assert_eq!(
+            t.ancestor_rows(v0),
+            None,
+            "the original snapshot fell off the capped chain"
+        );
+        // The most recent retirees are still provable.
+        let vn = t.version();
+        t.append_rows(&[vec![Value::Int(1), Value::str("y"), Value::Float(1.0)]])
+            .unwrap();
+        assert_eq!(t.ancestor_rows(vn), Some(3 + super::LINEAGE_CAP));
     }
 
     #[test]

@@ -8,8 +8,8 @@ use proptest::prelude::*;
 use std::sync::Arc;
 use zv_storage::{
     BitmapDb, BitmapDbConfig, CacheConfig, DataType, Database, DynDatabase, Field, Predicate,
-    ResultCache, ScanDb, ScanDbConfig, Schema, SelectQuery, Table, TableBuilder, Value, XSpec,
-    YSpec,
+    ResultCache, ResultTable, ScanDb, ScanDbConfig, Schema, SelectQuery, Table, TableBuilder,
+    Value, XSpec, YSpec,
 };
 
 fn build_table(rows: &[(i64, u8, i16)]) -> Arc<Table> {
@@ -201,7 +201,9 @@ fn concurrent_hammering_is_deterministic_and_counted() {
         snap.cache_hits + snap.cache_derived_hits
     );
     let cache = db.cache_stats().expect("default engine carries a cache");
-    assert_eq!(cache.entries, queries.len());
+    // One entry per distinct query, plus one IVM companion-state entry
+    // (SUM + COUNT(*)) for the single AVG query in the mix.
+    assert_eq!(cache.entries, queries.len() + 1);
 }
 
 /// Readers racing an append must only ever observe the pre-append or the
@@ -332,5 +334,128 @@ fn shared_cache_across_engines_keeps_entries_apart() {
         let delta = db.stats().snapshot().since(&before);
         assert_eq!(delta.cache_hits, 1, "{}", db.name());
         assert_eq!(delta.rows_scanned, 0, "{}", db.name());
+    }
+}
+
+/// Appends racing IVM lookups: readers hammer a query whose every warm
+/// tick is answered by delta-merging, while a writer lands appends
+/// mid-merge. An append landing mid-merge must never let the reader
+/// publish a merged result under a stale version — every observed result
+/// must equal the full recompute of *some* table state that actually
+/// existed (pre-append, or after a whole number of batches), and the
+/// ledger must balance exactly afterwards.
+#[test]
+fn concurrent_appends_racing_ivm_lookups_never_publish_stale_merges() {
+    const BATCHES: usize = 8;
+    const READERS: usize = 4;
+    const ITERS: usize = 40;
+    let initial: Vec<(i64, u8, i16)> = (0..2_000)
+        .map(|i| (2010 + i % 5, (i % 4) as u8, ((i * 13 % 257) as i16) - 128))
+        .collect();
+    let batches: Vec<Vec<(i64, u8, i16)>> = (0..BATCHES)
+        .map(|b| {
+            (0..5)
+                .map(|j| {
+                    (
+                        2010 + ((b + j) % 6) as i64,
+                        ((b * 2 + j) % 5) as u8,
+                        ((b * 37 + j * 11) % 97) as i16 - 48,
+                    )
+                })
+                .collect()
+        })
+        .collect();
+    let queries = vec![sum_by_year().with_z("product"), {
+        SelectQuery::new(XSpec::raw("year"), vec![YSpec::avg("sales")])
+    }];
+
+    // Every table state that will ever exist, and its exact expected
+    // answers — computed up front on independently built tables so the
+    // readers can assert against a closed set.
+    let mut expected: Vec<Vec<ResultTable>> = Vec::with_capacity(BATCHES + 1);
+    let mut rows_so_far = initial.clone();
+    let bypass = ScanDb::with_config(build_table(&rows_so_far), ScanDbConfig::uncached());
+    expected.push(queries.iter().map(|q| bypass.execute(q).unwrap()).collect());
+    for batch in &batches {
+        rows_so_far.extend(batch.iter().copied());
+        let bypass = ScanDb::with_config(build_table(&rows_so_far), ScanDbConfig::uncached());
+        expected.push(queries.iter().map(|q| bypass.execute(q).unwrap()).collect());
+    }
+
+    for engine in ["bitmap", "scan"] {
+        let table = build_table(&initial);
+        let db: DynDatabase = match engine {
+            "bitmap" => Arc::new(BitmapDb::with_config(
+                table,
+                BitmapDbConfig {
+                    cache: CacheConfig::admit_all(),
+                    ..Default::default()
+                },
+            )),
+            _ => Arc::new(ScanDb::with_config(
+                table,
+                ScanDbConfig {
+                    cache: CacheConfig::admit_all(),
+                    ..Default::default()
+                },
+            )),
+        };
+        // Warm the cache so the racing ticks take the IVM path.
+        db.run_request(&queries).unwrap();
+        let submitted = std::sync::atomic::AtomicU64::new(queries.len() as u64);
+
+        std::thread::scope(|s| {
+            for _ in 0..READERS {
+                let db = Arc::clone(&db);
+                let queries = &queries;
+                let expected = &expected;
+                let submitted = &submitted;
+                s.spawn(move || {
+                    for _ in 0..ITERS {
+                        let results = db.run_request(queries).unwrap();
+                        submitted
+                            .fetch_add(queries.len() as u64, std::sync::atomic::Ordering::Relaxed);
+                        // The whole batch must come from one table state
+                        // (run_request pins a snapshot), and that state
+                        // must be one that actually existed.
+                        let state = expected
+                            .iter()
+                            .position(|exp| exp.iter().zip(&results).all(|(e, r)| e == &**r));
+                        assert!(
+                            state.is_some(),
+                            "{engine}: observed a result set matching no real table state \
+                             — a merged result was published under a stale version"
+                        );
+                    }
+                });
+            }
+            let db = Arc::clone(&db);
+            let batches = &batches;
+            s.spawn(move || {
+                for batch in batches {
+                    let rows: Vec<Vec<Value>> =
+                        batch.iter().map(|&(y, p, s)| row(y, p, s)).collect();
+                    db.append_rows(&rows).unwrap();
+                    std::thread::yield_now();
+                }
+            });
+        });
+
+        // Settled state: one more tick must see the final table exactly.
+        let fin = db.run_request(&queries).unwrap();
+        submitted.fetch_add(queries.len() as u64, std::sync::atomic::Ordering::Relaxed);
+        for (e, r) in expected[BATCHES].iter().zip(&fin) {
+            assert_eq!(e, &**r, "{engine}: settled tick must see every batch");
+        }
+        let snap = db.stats().snapshot();
+        assert_eq!(
+            snap.cache_hits + snap.cache_derived_hits + snap.ivm_hits + snap.cache_misses,
+            submitted.load(std::sync::atomic::Ordering::Relaxed),
+            "{engine}: every query is exactly one hit, derived hit, IVM hit, or miss"
+        );
+        assert!(
+            snap.ivm_hits > 0,
+            "{engine}: the race must actually exercise the IVM path"
+        );
     }
 }

@@ -1,0 +1,236 @@
+//! IVM chaos: deterministic fault injection against the
+//! [`FaultPoint::IvmMerge`] chaos point.
+//!
+//! The invariant under test (ISSUE: tentpole correctness bar): a fault
+//! injected mid-merge must leave the cache bit-for-bit untouched and the
+//! query silently falls back to a full scan — the answer is still exact,
+//! the tick is booked as an ordinary miss (never an `ivm_hit`), the
+//! fault is counted in `CacheStats::ivm_merge_faults`, and the engine
+//! recovers on the very next tick (the fallback's fresh entry serves as
+//! the new ancestor).
+//!
+//! Like the scan chaos suite, every test replays the pure
+//! [`FaultSpec::fires`] decision the cache is about to make, so outcomes
+//! are asserted exactly — no flakes. Scans run serial (the serial path
+//! carries no scan injection points), isolating the merge fault.
+//!
+//! CI's `ivm-live` leg re-runs this suite with `ZV_FAULT_SEED` /
+//! `ZV_FAULT_RATE` armed; [`env_or_default_spec`] picks those up.
+
+use std::sync::Arc;
+use zv_storage::exec::ParallelConfig;
+use zv_storage::fault::{FaultPoint, FaultSpec};
+use zv_storage::{
+    CacheConfig, DataType, Database, Field, ScanDb, ScanDbConfig, Schema, SelectQuery, Table,
+    TableBuilder, Value, XSpec, YSpec,
+};
+
+fn build_table(rows: &[(i64, i16)]) -> Arc<Table> {
+    let schema = Schema::new(vec![
+        Field::new("year", DataType::Int),
+        Field::new("sales", DataType::Float),
+    ]);
+    let mut b = TableBuilder::new(schema);
+    for &(y, s) in rows {
+        b.push_row(row(y, s)).unwrap();
+    }
+    b.finish_shared()
+}
+
+fn row(y: i64, s: i16) -> Vec<Value> {
+    vec![Value::Int(y), Value::Float(s as f64 * 0.25)]
+}
+
+fn initial_rows() -> Vec<(i64, i16)> {
+    (0..2_000)
+        .map(|i| (2010 + i % 6, ((i * 31 % 401) as i16) - 200))
+        .collect()
+}
+
+fn sum_by_year() -> SelectQuery {
+    SelectQuery::new(XSpec::raw("year"), vec![YSpec::sum("sales")])
+}
+
+/// Serial scans + the given fault spec: the only reachable injection
+/// points are the cache's own (`CacheInsert`, `CacheDerive`, `IvmMerge`).
+fn chaos_db(table: Arc<Table>, spec: FaultSpec) -> ScanDb {
+    ScanDb::with_config(
+        table,
+        ScanDbConfig {
+            parallel: ParallelConfig {
+                threads: 1,
+                min_parallel_rows: usize::MAX,
+                fault: spec,
+                ..Default::default()
+            },
+            cache: CacheConfig::admit_all(),
+            ..Default::default()
+        },
+    )
+}
+
+fn reference(table: Arc<Table>, q: &SelectQuery) -> zv_storage::ResultTable {
+    let mut cfg = ScanDbConfig::uncached();
+    cfg.parallel.fault = FaultSpec::disabled();
+    ScanDb::with_config(table, cfg).execute(q).unwrap()
+}
+
+/// The spec CI's chaos leg forces via the environment, or a fixed-seed
+/// default so the suite is chaotic even in a plain `cargo test`.
+fn env_or_default_spec() -> FaultSpec {
+    let env = FaultSpec::from_env();
+    if env.is_enabled() {
+        env
+    } else {
+        FaultSpec::with_rate(0xC0FFEE, 0.5)
+    }
+}
+
+/// The acceptance scenario, fully choreographed: pick a seed whose spec
+/// faults the *first* merge but not the second and never drops a cache
+/// insert. Tick 1 faults mid-merge → exact answer via full-scan
+/// fallback, cache untouched by the merge; tick 2 delta-merges off the
+/// fallback's entry → the engine healed itself.
+#[test]
+fn merge_fault_falls_back_cleanly_and_next_tick_recovers() {
+    let spec = (0u64..)
+        .map(|seed| FaultSpec::with_rate(seed, 0.5))
+        .find(|s| {
+            s.fires(FaultPoint::IvmMerge, 0, 0)
+                && !s.fires(FaultPoint::IvmMerge, 1, 0)
+                && (0..8).all(|i| !s.fires(FaultPoint::CacheInsert, i, 0))
+        })
+        .expect("a choreographed seed exists");
+    let initial = initial_rows();
+    let db = chaos_db(build_table(&initial), spec);
+    let q = sum_by_year();
+    db.run_request(std::slice::from_ref(&q)).unwrap();
+
+    // ---- Tick 1: the merge faults. ----
+    db.append_rows(&[row(2011, 40), row(2016, -8), row(2013, 0)])
+        .unwrap();
+    let cache_before = db.cache_stats().unwrap();
+    let before = db.stats().snapshot();
+    let got = db
+        .run_request(std::slice::from_ref(&q))
+        .unwrap()
+        .pop()
+        .unwrap();
+    let delta = db.stats().snapshot().since(&before);
+    assert_eq!(
+        &*got,
+        &reference(db.table(), &q),
+        "faulted tick still answers exactly (full-scan fallback)"
+    );
+    assert_eq!(delta.ivm_hits, 0, "a faulted merge is not an IVM hit");
+    assert_eq!(delta.ivm_rows_scanned, 0);
+    assert_eq!(delta.cache_misses, 1, "booked as an ordinary miss");
+    assert_eq!(delta.queries, 1, "the fallback executed in full");
+    assert_eq!(delta.rows_scanned, (initial.len() + 3) as u64);
+
+    let cache_after = db.cache_stats().unwrap();
+    assert_eq!(cache_after.ivm_merge_faults, 1, "the fault was counted");
+    assert_eq!(cache_after.ivm_hits, 0);
+    // The merge itself left the cache untouched: no eviction, no
+    // invalidation, and exactly one new entry — the fallback's own
+    // insert under the new version. The pre-append ancestor survives.
+    assert_eq!(cache_after.entries, cache_before.entries + 1);
+    assert_eq!(cache_after.insertions, cache_before.insertions + 1);
+    assert_eq!(cache_after.evictions, cache_before.evictions);
+    assert_eq!(cache_after.invalidations, cache_before.invalidations);
+
+    // ---- Tick 2: the next merge is clean — silent recovery. ----
+    db.append_rows(&[row(2010, 100), row(2015, 8)]).unwrap();
+    let before = db.stats().snapshot();
+    let got = db
+        .run_request(std::slice::from_ref(&q))
+        .unwrap()
+        .pop()
+        .unwrap();
+    let delta = db.stats().snapshot().since(&before);
+    assert_eq!(&*got, &reference(db.table(), &q));
+    assert_eq!(
+        delta.ivm_hits, 1,
+        "tick 2 delta-merges off the fallback entry"
+    );
+    assert_eq!(delta.ivm_rows_scanned, 2, "only tick 2's appended rows");
+    assert_eq!(delta.rows_scanned, 0);
+    assert_eq!(
+        db.cache_stats().unwrap().ivm_merge_faults,
+        1,
+        "no new fault"
+    );
+}
+
+/// Whatever spec the environment armed (CI's chaos leg) or the default:
+/// replay each tick's merge decision and assert the exact outcome —
+/// faulted ticks are misses with the fault counted, clean ticks are IVM
+/// hits scanning only the delta, and every tick answers bit-exactly.
+#[test]
+fn armed_spec_replay_every_tick_exact() {
+    let spec = env_or_default_spec();
+    let initial = initial_rows();
+    let db = chaos_db(build_table(&initial), spec);
+    let q = sum_by_year();
+    db.run_request(std::slice::from_ref(&q)).unwrap();
+
+    let mut expected_faults = 0u64;
+    let mut merge_seq = 0u64;
+    let mut table_rows = initial.len();
+    for t in 0i64..6 {
+        let batch: Vec<Vec<Value>> = (0..(1 + t % 3))
+            .map(|j| row(2010 + (t + j) % 7, (8 * (t - 2) + j) as i16))
+            .collect();
+        db.append_rows(&batch).unwrap();
+        table_rows += batch.len();
+
+        // Replay the decision the cache will make. Inserts may be
+        // dropped by `CacheInsert` faults, in which case no ancestor is
+        // cached and the tick can't even attempt a merge. (Only one
+        // query family exists here, so any entry is an ancestor.)
+        let will_attempt = db.cache_stats().unwrap().entries > 0;
+        let will_fault = will_attempt && spec.fires(FaultPoint::IvmMerge, merge_seq, 0);
+
+        let before = db.stats().snapshot();
+        let got = db
+            .run_request(std::slice::from_ref(&q))
+            .unwrap()
+            .pop()
+            .unwrap();
+        let delta = db.stats().snapshot().since(&before);
+        assert_eq!(
+            &*got,
+            &reference(db.table(), &q),
+            "tick {t}: exact under chaos"
+        );
+        if will_attempt {
+            merge_seq += 1;
+            if will_fault {
+                expected_faults += 1;
+                assert_eq!(delta.ivm_hits, 0, "tick {t}: faulted merge is a miss");
+                assert_eq!(delta.cache_misses, 1, "tick {t}");
+                assert_eq!(delta.rows_scanned, table_rows as u64, "tick {t}");
+            } else {
+                assert_eq!(delta.ivm_hits, 1, "tick {t}: clean merge is an IVM hit");
+                // `CacheInsert` faults may have dropped intermediate
+                // entries, making the newest surviving ancestor a few
+                // batches old — the delta then spans those batches, but
+                // never reaches back into the initial table.
+                assert!(
+                    delta.ivm_rows_scanned >= batch.len() as u64
+                        && delta.ivm_rows_scanned <= (table_rows - initial.len()) as u64,
+                    "tick {t}: delta scan {} outside [{}, {}]",
+                    delta.ivm_rows_scanned,
+                    batch.len(),
+                    table_rows - initial.len()
+                );
+                assert_eq!(delta.rows_scanned, 0, "tick {t}");
+            }
+        }
+        assert_eq!(
+            db.cache_stats().unwrap().ivm_merge_faults,
+            expected_faults,
+            "tick {t}: fault ledger exact"
+        );
+    }
+}

@@ -62,4 +62,9 @@ fn main() {
     //    an append WAL recover the exact pre-crash state (see
     //    `examples/durable_restart.rs`, or run the server with
     //    `zv-serve --data-dir PATH`).
+
+    // 7. Live data? Appends don't orphan the result cache: cached
+    //    group-bys are delta-merged forward, scanning only the new rows
+    //    (see `examples/live_dashboard.rs` — 20 dashboard refreshes on
+    //    1M rows, 19 answered incrementally).
 }
