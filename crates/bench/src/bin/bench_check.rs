@@ -42,6 +42,11 @@
 //! * `fault_overhead_ratio` — armed-but-silent fault hooks vs the
 //!   disabled single-branch short-circuit; already a within-run ratio,
 //!   so it is gated absolutely (≤1.5) rather than against the baseline.
+//! * `encoded_scan_ratio`, `compression_ratio`, `scan_gb_s` — the
+//!   compressed-column section's within-run invariants: encoded scans
+//!   within 1.15x of plain, the low-cardinality fixture shrinking ≥4x,
+//!   and ≥0.5 logical GB/s on the encoded stress table. All absolute,
+//!   sized for a 1-core CI host.
 //!
 //! The default 2.5× threshold is deliberately generous: the baseline and
 //! the CI runner are different machines and criterion-grade rigor is not
@@ -320,11 +325,20 @@ fn groupby_gates(
             args.factor
         );
         if fresh_v > limit {
+            // Normalized gates report the raw readings too: deciding
+            // whether to re-baseline needs the actual wall-clock numbers,
+            // not just ms-per-million, and re-running the bench by hand
+            // to recover them wastes a CI round trip.
+            let raw = if normalize {
+                format!(" [raw: fresh {fresh_raw:.3} ms, baseline {base_raw:.3} ms]")
+            } else {
+                String::new()
+            };
             failures.push(format!(
                 "{name}: fresh {fresh_v:.3} {unit} is {ratio:.2}x the baseline \
-                 {base_v:.3} {unit} (allowed: {:.1}x). If this slowdown is intentional, \
-                 regenerate the committed baseline with `cargo run --release -p zv-bench \
-                 --bin bench_groupby` and commit the new {}.",
+                 {base_v:.3} {unit} (allowed: {:.1}x){raw}. If this slowdown is \
+                 intentional, regenerate the committed baseline with `cargo run --release \
+                 -p zv-bench --bin bench_groupby` and commit the new {}.",
                 args.factor, args.baseline
             ));
         }
@@ -377,6 +391,73 @@ fn groupby_gates(
              is damaged; rerun bench_groupby",
             args.fresh
         )),
+    }
+
+    // Compression gates: all three are within-run invariants of the
+    // encoded-vs-plain A/B fixture (same machine, same kernel, same
+    // data), so like `fault_overhead_ratio` they are gated absolutely
+    // rather than against the baseline's value, and skipped with a note
+    // when the committed baseline predates the compression section.
+    //
+    // * `encoded_scan_ratio` ≤ 1.15 — scanning packed chunks in place
+    //   must not slow the group-by past noise; anything above means a
+    //   decode crept onto the hot path (a materializing gather, a
+    //   per-row branch in the packed kernel).
+    // * `compression_ratio` ≥ 4.0 — the low-cardinality fixture must
+    //   shrink at least 4x or chunk selection stopped picking the
+    //   encodings it was built for.
+    // * `scan_gb_s` ≥ 0.25 — logical bytes per wall-clock second on the
+    //   encoded-only stress table; the floor is sized for a busy 1-core
+    //   CI host (the dev box clears it ~2x; real hardware far more).
+    const COMPRESSION_GATES: [(&str, bool, f64, &str); 3] = [
+        (
+            "encoded_scan_ratio",
+            false,
+            1.15,
+            "encoded scans are slower than plain past the in-place-scan budget — a \
+             decode crept onto the hot path",
+        ),
+        (
+            "compression_ratio",
+            true,
+            4.0,
+            "the low-cardinality fixture stopped compressing — chunk selection is no \
+             longer picking dictionary/bit-packed/RLE where they win",
+        ),
+        (
+            "scan_gb_s",
+            true,
+            0.25,
+            "encoded scan throughput collapsed on the stress table",
+        ),
+    ];
+    for (name, at_least, limit, why) in COMPRESSION_GATES {
+        match (field(&baseline, name), field(&fresh, name)) {
+            (Field::Missing, _) => {
+                println!("  {name:<24} skipped (not in baseline {})", args.baseline);
+            }
+            (_, Field::Val(v)) => {
+                *compared += 1;
+                let ok = if at_least { v >= limit } else { v <= limit };
+                let bound = if at_least { "floor" } else { "limit" };
+                let verdict = if ok { "ok" } else { "REGRESSED" };
+                println!("  {name:<24} fresh {v:9.3} vs absolute {bound} {limit:9.3}    {verdict}");
+                if !ok {
+                    failures.push(format!(
+                        "{name}: {v:.3} violates the absolute {bound} of {limit} — {why}"
+                    ));
+                }
+            }
+            (_, Field::Missing) => failures.push(format!(
+                "{name}: missing from the fresh run ({}) — the bench stopped measuring it",
+                args.fresh
+            )),
+            (_, Field::Malformed(tok)) => failures.push(format!(
+                "{name}: malformed value {tok:?} in the fresh run ({}) — the file is \
+                 damaged; rerun bench_groupby",
+                args.fresh
+            )),
+        }
     }
 
     // Observability gate: cancel_latency_ms of 0.0 with zero recorded
@@ -594,10 +675,15 @@ fn persist_gates(
             args.factor
         );
         if fresh_v > limit {
+            let raw = if normalize {
+                format!(" [raw: fresh {fresh_raw:.3} ms, baseline {base_raw:.3} ms]")
+            } else {
+                String::new()
+            };
             failures.push(format!(
                 "{name}: fresh {fresh_v:.3} {unit} is {ratio:.2}x the baseline \
-                 {base_v:.3} {unit} (allowed: {:.1}x, floor {floor_ms:.0} ms). If this \
-                 slowdown is intentional, regenerate the committed baseline with \
+                 {base_v:.3} {unit} (allowed: {:.1}x, floor {floor_ms:.0} ms){raw}. If \
+                 this slowdown is intentional, regenerate the committed baseline with \
                  `cargo run --release -p zv-bench --bin bench_persist -- --json \
                  {base_path}` and commit it.",
                 args.factor
@@ -708,10 +794,15 @@ fn ivm_gates(
             args.factor
         );
         if fresh_v > limit {
+            let raw = if normalize {
+                format!(" [raw: fresh {fresh_raw:.3} ms, baseline {base_raw:.3} ms]")
+            } else {
+                String::new()
+            };
             failures.push(format!(
                 "{name}: fresh {fresh_v:.3} {unit} is {ratio:.2}x the baseline \
-                 {base_v:.3} {unit} (allowed: {:.1}x, floor {floor_ms:.0} ms). If this \
-                 slowdown is intentional, regenerate the committed baseline with \
+                 {base_v:.3} {unit} (allowed: {:.1}x, floor {floor_ms:.0} ms){raw}. If \
+                 this slowdown is intentional, regenerate the committed baseline with \
                  `cargo run --release -p zv-bench --bin bench_ivm -- --json {base_path}` \
                  and commit it.",
                 args.factor

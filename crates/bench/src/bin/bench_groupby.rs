@@ -6,6 +6,7 @@
 //!
 //! ```text
 //! bench_groupby [--rows N] [--threads 1,2,4,8] [--reps K] [--json PATH]
+//!               [--mega-rows N]
 //! ```
 //!
 //! Writes `BENCH_groupby.json` (override with `--json`) so successive
@@ -24,6 +25,9 @@ use zv_storage::{BitmapDb, BitmapDbConfig, Database, Predicate, SelectQuery, XSp
 
 struct Args {
     rows: usize,
+    /// Rows for the encoded-only compression stress table (dict/RLE
+    /// chunks keep it resident: ~0.5 bytes/row instead of 16).
+    mega_rows: usize,
     threads: Vec<usize>,
     reps: usize,
     json: String,
@@ -32,6 +36,7 @@ struct Args {
 fn parse_args() -> Args {
     let mut args = Args {
         rows: 1_000_000,
+        mega_rows: 100_000_000,
         threads: vec![1, 2, 4, 8],
         reps: 5,
         json: "BENCH_groupby.json".to_string(),
@@ -40,6 +45,13 @@ fn parse_args() -> Args {
     while let Some(a) = it.next() {
         match a.as_str() {
             "--rows" => args.rows = it.next().expect("--rows N").parse().expect("row count"),
+            "--mega-rows" => {
+                args.mega_rows = it
+                    .next()
+                    .expect("--mega-rows N")
+                    .parse()
+                    .expect("mega row count")
+            }
             "--threads" => {
                 args.threads = it
                     .next()
@@ -52,6 +64,7 @@ fn parse_args() -> Args {
             "--json" => args.json = it.next().expect("--json PATH"),
             "--quick" => {
                 args.rows = args.rows.min(200_000);
+                args.mega_rows = args.mega_rows.min(2_000_000);
                 args.reps = 2;
             }
             other => {
@@ -410,6 +423,144 @@ fn main() {
         summary.push(format!(
             "\"fault_overhead_ratio\": {fault_overhead_ratio:.3}"
         ));
+    }
+
+    // Compressed-column section. Two fixtures, both low-cardinality and
+    // clustered the way the encodings want: `key = (i >> 10) % 100` seals
+    // as RLE (1024-row runs inside every 4096-row chunk) and
+    // `val = i % 16` bit-packs to 4-bit lanes.
+    //
+    // 1. An A/B pair at `--rows` scale built with explicit off/auto
+    //    policies (immune to `ZV_ENCODING`): same data, plain vs encoded
+    //    chunks, scanned by the identical serial kernel. Feeds the
+    //    `compression_ratio` (bytes_per_row must drop ≥4x on this
+    //    fixture) and `encoded_scan_ratio` (packed scans must stay
+    //    within 1.15x of plain) gates, plus per-encoding chunk counts.
+    // 2. An encoded-only stress table at `--mega-rows` (default 100M):
+    //    at ~0.5 bytes/row it stays resident where the plain layout
+    //    (16 B/row) would not, and its group-by feeds `scan_gb_s` —
+    //    logical (uncompressed) bytes per second of wall clock.
+    {
+        use std::sync::Arc;
+        use zv_storage::{Column, DataType, EncodePolicy, Field, IntColumn, Schema, Table};
+
+        let lowcard = |rows: usize, policy: EncodePolicy| -> Arc<Table> {
+            let schema = Schema::new(vec![
+                Field::new("key", DataType::Int),
+                Field::new("val", DataType::Int),
+            ]);
+            let mut key = IntColumn::new(policy);
+            let mut val = IntColumn::new(policy);
+            for i in 0..rows {
+                key.push(((i >> 10) % 100) as i64);
+                val.push((i % 16) as i64);
+            }
+            Arc::new(
+                Table::from_columns(schema, vec![Column::Int(key), Column::Int(val)])
+                    .expect("lowcard fixture schema is consistent"),
+            )
+        };
+        let heap_bytes = |t: &Table| -> usize {
+            (0..t.schema().len())
+                .map(|i| t.column_at(i).heap_bytes())
+                .sum()
+        };
+        let comp_q = SelectQuery::new(
+            XSpec::raw("key"),
+            vec![YSpec::sum("val"), YSpec::new("*", zv_storage::Agg::Count)],
+        );
+        let scan_ms = |t: &Arc<Table>, reps: usize| -> f64 {
+            best_ms(reps, || {
+                let src = RowSource::All(t.num_rows());
+                aggregate(t, &comp_q, &src, GroupStrategy::Dense)
+                    .unwrap()
+                    .0
+                    .groups
+                    .len()
+            })
+            .0
+        };
+
+        // The A/B stays at 1M rows even under --quick: the 1.15x scan
+        // ratio gate needs a scan long enough (tens of ms) that per-call
+        // overhead and timer noise don't dominate — a 200k-row scan
+        // finishes in ~2 ms and flaps past the gate on an idle box.
+        let comp_rows = args.rows.max(1_000_000);
+        let plain_t = lowcard(comp_rows, EncodePolicy::off());
+        let enc_t = lowcard(comp_rows, EncodePolicy::auto());
+        // Bit-for-bit equivalence outside the timed windows: integer
+        // sums are exact in f64 at this scale, and both sides run the
+        // same serial dense kernel, so assert_eq — not assert_close.
+        {
+            let src = RowSource::All(comp_rows);
+            let a = aggregate(&plain_t, &comp_q, &src, GroupStrategy::Dense)
+                .unwrap()
+                .0;
+            let b = aggregate(&enc_t, &comp_q, &src, GroupStrategy::Dense)
+                .unwrap()
+                .0;
+            assert_eq!(a, b, "encoded scan diverged from plain");
+        }
+        let plain_scan_ms = scan_ms(&plain_t, args.reps.max(3));
+        let encoded_scan_ms = scan_ms(&enc_t, args.reps.max(3));
+        let encoded_scan_ratio = encoded_scan_ms / plain_scan_ms.max(1e-6);
+        let bytes_per_row_plain = heap_bytes(&plain_t) as f64 / comp_rows.max(1) as f64;
+        let bytes_per_row_encoded = heap_bytes(&enc_t) as f64 / comp_rows.max(1) as f64;
+        let compression_ratio = bytes_per_row_plain / bytes_per_row_encoded.max(1e-9);
+        let mut counts = zv_storage::EncodingCounts::default();
+        for i in 0..enc_t.schema().len() {
+            if let Some(c) = enc_t.column_at(i).encoding_counts() {
+                counts.merge(&c);
+            }
+        }
+        println!(
+            " compression       {bytes_per_row_plain:6.2} -> {bytes_per_row_encoded:5.2} B/row \
+             ({compression_ratio:5.1}x; {} packed / {} rle / {} plain chunks, {} tail rows)",
+            counts.packed, counts.rle, counts.plain, counts.tail_rows
+        );
+        println!(
+            " scan plain        {plain_scan_ms:9.2} ms | encoded  {encoded_scan_ms:9.2} ms   \
+             ratio {encoded_scan_ratio:5.2}x"
+        );
+        entries.push(format!(
+            "    {{\"strategy\": \"compression\", \"mode\": \"plain\", \"threads\": 1, \
+             \"best_ms\": {plain_scan_ms:.3}}}"
+        ));
+        entries.push(format!(
+            "    {{\"strategy\": \"compression\", \"mode\": \"encoded\", \"threads\": 1, \
+             \"best_ms\": {encoded_scan_ms:.3}, \"speedup\": {:.3}}}",
+            1.0 / encoded_scan_ratio.max(1e-6)
+        ));
+        summary.push(format!("\"bytes_per_row_plain\": {bytes_per_row_plain:.3}"));
+        summary.push(format!(
+            "\"bytes_per_row_encoded\": {bytes_per_row_encoded:.3}"
+        ));
+        summary.push(format!("\"compression_ratio\": {compression_ratio:.3}"));
+        summary.push(format!("\"plain_scan_ms\": {plain_scan_ms:.3}"));
+        summary.push(format!("\"encoded_scan_ms\": {encoded_scan_ms:.3}"));
+        summary.push(format!("\"encoded_scan_ratio\": {encoded_scan_ratio:.3}"));
+        summary.push(format!("\"enc_chunks_plain\": {}", counts.plain));
+        summary.push(format!("\"enc_chunks_packed\": {}", counts.packed));
+        summary.push(format!("\"enc_chunks_rle\": {}", counts.rle));
+        summary.push(format!("\"enc_tail_rows\": {}", counts.tail_rows));
+
+        // Encoded-only stress table: logical width is 16 B/row (two
+        // i64 columns), so scan_gb_s credits the scan with the bytes it
+        // *would* have read from the plain layout.
+        eprintln!("building {}-row encoded stress table…", args.mega_rows);
+        let mega_t = lowcard(args.mega_rows, EncodePolicy::auto());
+        let mega_bytes_per_row = heap_bytes(&mega_t) as f64 / args.mega_rows.max(1) as f64;
+        let mega_scan_ms = scan_ms(&mega_t, args.reps.clamp(2, 3));
+        let scan_gb_s = (args.mega_rows as f64 * 16.0) / (mega_scan_ms.max(1e-6) / 1e3) / 1e9;
+        println!(
+            " mega scan         {mega_scan_ms:9.2} ms   ({} rows at {mega_bytes_per_row:.2} \
+             B/row, {scan_gb_s:5.2} logical GB/s)",
+            args.mega_rows
+        );
+        summary.push(format!("\"mega_rows\": {}", args.mega_rows));
+        summary.push(format!("\"mega_bytes_per_row\": {mega_bytes_per_row:.3}"));
+        summary.push(format!("\"mega_scan_ms\": {mega_scan_ms:.3}"));
+        summary.push(format!("\"scan_gb_s\": {scan_gb_s:.3}"));
     }
 
     // Query-lifecycle section: how fast a cancel stops a full-table

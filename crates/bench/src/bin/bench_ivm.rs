@@ -13,6 +13,11 @@
 //! * `ivm_speedup` — cold p50 / warm p50;
 //! * `ivm_rows_per_tick` — rows the warm tick actually scanned, which
 //!   must equal the appended batch exactly or the run exits nonzero.
+//! * `dim_stat_rows_per_tick` — rows decoded to refresh full-column
+//!   dimension stats after an append. Sealed chunks answer min/max from
+//!   stats gathered at seal time, so only the unsealed tail is decoded;
+//!   a value at or past one chunk means append cost regressed to O(n)
+//!   and the run exits nonzero.
 //!
 //! ```text
 //! bench_ivm [--rows N] [--ticks T] [--tick-rows R] [--json PATH]
@@ -147,6 +152,7 @@ fn main() -> ExitCode {
     let mut warm_us: Vec<u64> = Vec::with_capacity(args.ticks);
     let mut cold_us: Vec<u64> = Vec::with_capacity(args.ticks);
     let mut ivm_rows_per_tick = 0u64;
+    let mut dim_stat_rows_per_tick = 0u64;
     let mut ivm_hits = 0u64;
 
     for t in 0..args.ticks {
@@ -179,6 +185,21 @@ fn main() -> ExitCode {
             failures.push(format!(
                 "tick {t}: IVM scanned {} rows for a {}-row append",
                 delta.ivm_rows_scanned, args.tick_rows
+            ));
+        }
+        // O(delta) append cost: re-deriving full-column dim stats after
+        // the append must fold sealed-chunk stats and decode at most the
+        // unsealed tail — never rescan the whole (growing) column.
+        let stat_rows = match warm_db.table().column("year").unwrap() {
+            zv_storage::Column::Int(v) => v.stat_scan_rows(0, v.len()),
+            _ => unreachable!("sales.year is an int column"),
+        };
+        dim_stat_rows_per_tick = dim_stat_rows_per_tick.max(stat_rows as u64);
+        if stat_rows >= zv_storage::column::ENC_CHUNK_ROWS {
+            failures.push(format!(
+                "tick {t}: dim-stat recompute decoded {stat_rows} rows \
+                 (tail must stay under one {}-row chunk)",
+                zv_storage::column::ENC_CHUNK_ROWS
             ));
         }
 
@@ -222,6 +243,7 @@ fn main() -> ExitCode {
              \"warm_tick_p50_ms\": {warm_p50:.4},\n  \"warm_tick_p99_ms\": {warm_p99:.4},\n  \
              \"cold_tick_p50_ms\": {cold_p50:.4},\n  \"cold_tick_p99_ms\": {cold_p99:.4},\n  \
              \"ivm_speedup\": {speedup:.2},\n  \"ivm_rows_per_tick\": {ivm_rows_per_tick},\n  \
+             \"dim_stat_rows_per_tick\": {dim_stat_rows_per_tick},\n  \
              \"ivm_hits\": {ivm_hits}\n}}\n",
             args.rows, args.ticks, args.tick_rows,
         );

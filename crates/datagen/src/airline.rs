@@ -195,15 +195,15 @@ pub fn generate(cfg: &AirlineConfig) -> Arc<Table> {
         Column::Cat(origin),
         Column::Cat(dest),
         Column::Cat(carrier),
-        Column::Int(years),
-        Column::Int(months),
-        Column::Int(days),
+        Column::Int(years.into()),
+        Column::Int(months.into()),
+        Column::Int(days.into()),
         Column::Float(dep_delay),
         Column::Float(arr_delay),
         Column::Float(weather_delay),
         Column::Float(distance),
         Column::Float(air_time),
-        Column::Int(cancelled),
+        Column::Int(cancelled.into()),
     ];
     Arc::new(Table::from_columns(schema, columns).expect("generator schema is consistent"))
 }

@@ -113,8 +113,8 @@ pub fn generate(cfg: &CensusConfig) -> Arc<Table> {
     fields.push(Field::new("capital_gains", DataType::Float));
 
     let mut columns: Vec<Column> = cats.into_iter().map(Column::Cat).collect();
-    columns.push(Column::Int(ages));
-    columns.push(Column::Int(hours));
+    columns.push(Column::Int(ages.into()));
+    columns.push(Column::Int(hours.into()));
     columns.push(Column::Float(wages));
     columns.push(Column::Float(gains));
 
@@ -157,7 +157,7 @@ mod tests {
         });
         let c = t.column("native_country").unwrap().as_cat().unwrap();
         let mut counts = vec![0usize; c.cardinality()];
-        for &code in c.codes() {
+        for code in c.codes().to_vec() {
             counts[code as usize] += 1;
         }
         // The first value should be far more common than the last.

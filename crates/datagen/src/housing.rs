@@ -194,16 +194,16 @@ pub fn generate(cfg: &HousingConfig) -> Arc<Table> {
         Column::Cat(county),
         Column::Cat(city),
         Column::Cat(zip),
-        Column::Int(years),
-        Column::Int(months),
-        Column::Int(quarters),
+        Column::Int(years.into()),
+        Column::Int(months.into()),
+        Column::Int(quarters.into()),
         Column::Float(sold),
         Column::Float(listing),
         Column::Float(turnover),
         Column::Float(foreclosure),
         Column::Float(inventory),
         Column::Float(dom),
-        Column::Int(num_sold),
+        Column::Int(num_sold.into()),
         Column::Float(ppsf),
     ];
     Arc::new(Table::from_columns(schema, columns).expect("consistent schema"))

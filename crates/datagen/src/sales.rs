@@ -263,8 +263,8 @@ pub fn generate(cfg: &SalesConfig) -> Arc<Table> {
         Column::Cat(location),
         Column::Cat(city),
         Column::Cat(size),
-        Column::Int(years),
-        Column::Int(months),
+        Column::Int(years.into()),
+        Column::Int(months.into()),
         Column::Float(weights),
         Column::Float(sales),
         Column::Float(profits),

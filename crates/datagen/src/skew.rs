@@ -51,7 +51,7 @@ mod tests {
         let t = generate(8000);
         assert_eq!(t.num_rows(), 8000);
         let hot = match t.column("hot").unwrap() {
-            Column::Int(v) => v,
+            Column::Int(v) => v.to_vec(),
             _ => panic!("hot is an int column"),
         };
         assert!(hot[..1000].iter().all(|&h| h == 1));

@@ -127,9 +127,9 @@ struct BitmapState {
 fn build_cat_index(c: &crate::column::CatColumn, run_optimize: bool) -> ColumnIndex {
     let mut bitmaps: Vec<RoaringBitmap> =
         (0..c.cardinality()).map(|_| RoaringBitmap::new()).collect();
-    for (row, &code) in c.codes().iter().enumerate() {
+    c.codes().for_each_range(0, c.len(), |row, code| {
         bitmaps[code as usize].push_ascending(row as u32);
-    }
+    });
     if run_optimize {
         for bm in &mut bitmaps {
             bm.run_optimize();
@@ -142,12 +142,9 @@ fn build_cat_index(c: &crate::column::CatColumn, run_optimize: bool) -> ColumnIn
     }
 }
 
-fn build_int_index(v: &[i64], config: &BitmapDbConfig) -> Option<ColumnIndex> {
-    if v.is_empty() {
-        return None;
-    }
-    let lo = *v.iter().min().unwrap();
-    let hi = *v.iter().max().unwrap();
+fn build_int_index(v: &crate::column::IntColumn, config: &BitmapDbConfig) -> Option<ColumnIndex> {
+    // Chunk-stat fold: O(chunks + tail), not a full O(n) value scan.
+    let (lo, hi) = v.minmax(0, v.len())?;
     // i128 arithmetic: the value range can exceed i64 (e.g. a sentinel
     // near i64::MAX next to negative values).
     let card = (hi as i128 - lo as i128 + 1) as u128;
@@ -156,9 +153,9 @@ fn build_int_index(v: &[i64], config: &BitmapDbConfig) -> Option<ColumnIndex> {
     }
     let mut bitmaps: Vec<RoaringBitmap> =
         (0..card as usize).map(|_| RoaringBitmap::new()).collect();
-    for (row, &val) in v.iter().enumerate() {
+    v.for_each_range(0, v.len(), |row, val| {
         bitmaps[(val - lo) as usize].push_ascending(row as u32);
-    }
+    });
     if config.run_optimize {
         for bm in &mut bitmaps {
             bm.run_optimize();
@@ -230,13 +227,15 @@ impl BitmapState {
                     while ix.bitmaps.len() < c.cardinality() {
                         ix.bitmaps.push(RoaringBitmap::new());
                     }
-                    for (row, &code) in c.codes().iter().enumerate().skip(old_rows) {
+                    let mut batch: Vec<usize> = Vec::new();
+                    c.codes().for_each_range(old_rows, c.len(), |row, code| {
                         ix.bitmaps[code as usize].push_ascending(row as u32);
-                    }
+                        batch.push(code as usize);
+                    });
                     if config.run_optimize {
                         // Appends devolve run containers; re-compress
                         // each bitmap this batch touched, once.
-                        for code in dedup_codes(c.codes()[old_rows..].iter().map(|&c| c as usize)) {
+                        for code in dedup_codes(batch.into_iter()) {
                             ix.bitmaps[code].run_optimize();
                         }
                     }
@@ -253,19 +252,22 @@ impl BitmapState {
                         // checked_sub: the offset can overflow i64 for
                         // extreme appended values; overflow means
                         // out-of-range, never a panic.
-                        let in_range = v[old_rows..].iter().all(
-                            |&x| matches!(x.checked_sub(int_min), Some(o) if (0..len).contains(&o)),
-                        );
+                        let mut in_range = true;
+                        v.for_each_range(old_rows, v.len(), |_, x| {
+                            in_range &= matches!(
+                                x.checked_sub(int_min), Some(o) if (0..len).contains(&o)
+                            );
+                        });
                         if in_range {
-                            for (row, &val) in v.iter().enumerate().skip(old_rows) {
-                                ix.bitmaps[(val - ix.int_min) as usize].push_ascending(row as u32);
-                            }
+                            let mut batch: Vec<usize> = Vec::new();
+                            v.for_each_range(old_rows, v.len(), |row, val| {
+                                ix.bitmaps[(val - int_min) as usize].push_ascending(row as u32);
+                                batch.push((val - int_min) as usize);
+                            });
                             if config.run_optimize {
                                 // Appends devolve run containers;
                                 // re-compress each touched bitmap, once.
-                                let codes =
-                                    v[old_rows..].iter().map(|&val| (val - int_min) as usize);
-                                for code in dedup_codes(codes) {
+                                for code in dedup_codes(batch.into_iter()) {
                                     ix.bitmaps[code].run_optimize();
                                 }
                             }

@@ -1,22 +1,691 @@
 //! Typed columnar storage. Categorical columns are dictionary-encoded, as
 //! in the zenvisage storage model (thesis §6.2): "we follow a column
 //! oriented storage model".
+//!
+//! # Chunked lightweight encodings
+//!
+//! Integer columns and the dictionary codes of categorical columns are
+//! stored as a sequence of *sealed chunks* (4096 rows each by default)
+//! plus a plain mutable tail. When a chunk fills, one pass gathers its
+//! stats (min, max, run count) and seals it under the cheapest encoding
+//! ([`ChunkEncoding`]):
+//!
+//! | Encoding | Payload | Picked when |
+//! |----------|---------|-------------|
+//! | `Rle`    | `runs × (value + u16 end)`          | sorted/clustered data: fewest bytes of the three |
+//! | `Packed` | `rows × width(max−min) bits`        | low-cardinality / narrow-range data: beats RLE and plain |
+//! | `Plain`  | `rows × sizeof(T)`                  | neither encoding strictly shrinks the chunk (fallback — nothing ever regresses) |
+//!
+//! `Packed` is frame-of-reference bit-packing: each value is stored as
+//! `value − chunk_min` in exactly `ceil(log2(max − min + 1))` bits, so
+//! dictionary codes pack to the observed code width and dense integer
+//! keys (years, ids) pack to their range. Selection is by strict byte
+//! cost: in `Auto` mode an encoding is used only when its payload is
+//! smaller than plain, so pathological data degrades to the plain layout
+//! rather than growing. Per-chunk `(min, max)` stats are kept for every
+//! sealed chunk; scans use them to short-circuit whole chunks and
+//! `minmax` folds them instead of re-reading the data.
+//!
+//! The `ZV_ENCODING` environment knob overrides the policy process-wide
+//! (read at column construction): `auto` (default) selects by cost,
+//! `off`/`plain` disables sealing entirely, and `force` always seals to
+//! the cheaper of RLE/packed *and* shrinks chunks to 64 rows so even
+//! tiny proptest tables exercise the encoded paths. Invalid values panic
+//! loudly rather than silently testing the default, mirroring
+//! `ZV_SCHED_*`. Floats are always stored plain: measures are consumed
+//! bit-for-bit by the aggregation kernels and gain little from integer
+//! encodings.
 
 use crate::value::{DataType, Value};
 use std::collections::HashMap;
 
-/// A dictionary-encoded string column.
-#[derive(Clone, Debug, Default)]
+/// Rows per sealed chunk under the default (`Auto`/`Off`) policy. A
+/// power of two so row→chunk mapping is a shift; equal to the scan
+/// chunk size in `exec` so full-chunk kernels usually see whole
+/// segments, though nothing requires the two to stay aligned.
+pub const ENC_CHUNK_ROWS: usize = 4096;
+
+/// Rows per sealed chunk under [`EncodingMode::Force`] — small enough
+/// that the 1..200-row proptest tables still seal encoded chunks.
+pub const FORCE_CHUNK_ROWS: usize = 64;
+
+/// How a column picks encodings at chunk-seal time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EncodingMode {
+    /// Per-chunk byte-cost comparison; plain wherever nothing shrinks.
+    Auto,
+    /// Never encode — every chunk stays plain (the PR-9-and-earlier
+    /// layout, byte for byte).
+    Off,
+    /// Always seal to the cheaper of RLE/packed, even when plain would
+    /// be smaller — for tests that must exercise encoded paths on
+    /// arbitrary data.
+    Force,
+}
+
+/// Per-column encoding policy: the mode plus the sealed-chunk size
+/// (always a power of two).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EncodePolicy {
+    pub mode: EncodingMode,
+    /// log2 of rows per sealed chunk.
+    pub shift: u32,
+}
+
+impl EncodePolicy {
+    pub fn auto() -> Self {
+        EncodePolicy {
+            mode: EncodingMode::Auto,
+            shift: ENC_CHUNK_ROWS.trailing_zeros(),
+        }
+    }
+
+    pub fn off() -> Self {
+        EncodePolicy {
+            mode: EncodingMode::Off,
+            shift: ENC_CHUNK_ROWS.trailing_zeros(),
+        }
+    }
+
+    pub fn force() -> Self {
+        EncodePolicy {
+            mode: EncodingMode::Force,
+            shift: FORCE_CHUNK_ROWS.trailing_zeros(),
+        }
+    }
+
+    /// Resolve the process-wide policy from `ZV_ENCODING`. Unset /
+    /// empty / `auto` → [`EncodePolicy::auto`]; `off` or `plain` →
+    /// [`EncodePolicy::off`]; `force` → [`EncodePolicy::force`].
+    /// Anything else panics loudly — a typo'd CI leg must fail, not
+    /// silently test the default (same contract as `ZV_SCHED_*`).
+    pub fn from_env() -> Self {
+        match std::env::var("ZV_ENCODING") {
+            Ok(raw) => Self::from_spec(&raw),
+            Err(_) => Self::auto(),
+        }
+    }
+
+    fn from_spec(raw: &str) -> Self {
+        match raw.trim().to_ascii_lowercase().as_str() {
+            "" | "auto" => Self::auto(),
+            "off" | "plain" => Self::off(),
+            "force" => Self::force(),
+            other => panic!(
+                "ZV_ENCODING={other:?} is not a valid encoding mode \
+                 (expected auto, off, plain, or force)"
+            ),
+        }
+    }
+}
+
+/// Values storable in a [`Chunked`] store: fixed-width integers with a
+/// frame-of-reference delta representation.
+pub trait Coded: Copy + Ord + std::fmt::Debug + Send + Sync + 'static {
+    /// Bytes per value in the plain layout.
+    const WIDTH_BYTES: usize;
+    /// `self − min` as an unsigned delta (callers guarantee `min ≤ self`).
+    fn delta(self, min: Self) -> u64;
+    /// Inverse of [`Coded::delta`].
+    fn from_delta(min: Self, d: u64) -> Self;
+}
+
+impl Coded for i64 {
+    const WIDTH_BYTES: usize = 8;
+    #[inline(always)]
+    fn delta(self, min: Self) -> u64 {
+        self.wrapping_sub(min) as u64
+    }
+    #[inline(always)]
+    fn from_delta(min: Self, d: u64) -> Self {
+        min.wrapping_add(d as i64)
+    }
+}
+
+impl Coded for u32 {
+    const WIDTH_BYTES: usize = 4;
+    #[inline(always)]
+    fn delta(self, min: Self) -> u64 {
+        (self - min) as u64
+    }
+    #[inline(always)]
+    fn from_delta(min: Self, d: u64) -> Self {
+        min + d as u32
+    }
+}
+
+/// One sealed chunk under a chosen [`ChunkEncoding`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum EncChunk<T> {
+    /// Uncompressed values (the fallback layout).
+    Plain(Vec<T>),
+    /// Frame-of-reference bit-packing: value `i` is
+    /// `min + bits[i·width .. (i+1)·width]`. `width == 0` encodes a
+    /// constant chunk with no payload words at all.
+    Packed { min: T, width: u32, words: Vec<u64> },
+    /// Run-length encoding: `(value, exclusive end offset)` with ends
+    /// strictly increasing and the last end equal to the chunk length.
+    Rle(Vec<(T, u16)>),
+}
+
+/// Discriminant-only view of a chunk's encoding, for reporting.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChunkEncoding {
+    Plain,
+    Packed,
+    Rle,
+}
+
+/// Per-encoding chunk census of one column (compression reporting).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EncodingCounts {
+    pub plain: usize,
+    pub packed: usize,
+    pub rle: usize,
+    /// Rows still in the mutable plain tail (not yet sealed).
+    pub tail_rows: usize,
+}
+
+impl EncodingCounts {
+    pub fn merge(&mut self, other: &EncodingCounts) {
+        self.plain += other.plain;
+        self.packed += other.packed;
+        self.rle += other.rle;
+        self.tail_rows += other.tail_rows;
+    }
+}
+
+/// Borrowed view of one storage segment (a sealed chunk or the tail).
+#[derive(Clone, Copy, Debug)]
+pub enum SegRef<'a, T> {
+    Plain(&'a [T]),
+    Packed {
+        min: T,
+        width: u32,
+        words: &'a [u64],
+    },
+    Rle(&'a [(T, u16)]),
+}
+
+/// One storage segment located by row id: its base row, row count,
+/// sealed-time stats (`None` for the mutable tail), and data view.
+#[derive(Clone, Copy, Debug)]
+pub struct Segment<'a, T> {
+    pub base: usize,
+    pub len: usize,
+    /// `(min, max)` gathered when the chunk was sealed; `None` for the
+    /// tail (scan kernels skip stat short-circuits there).
+    pub stat: Option<(T, T)>,
+    pub data: SegRef<'a, T>,
+}
+
+/// Extract packed value `i` (the delta, before adding `min`) from a
+/// frame-of-reference bit-packed word array. Values span at most two
+/// words because `width ≤ 64`.
+#[inline(always)]
+pub fn packed_delta(words: &[u64], width: u32, i: usize) -> u64 {
+    debug_assert!(width > 0);
+    let bit = i * width as usize;
+    let w = bit >> 6;
+    let off = (bit & 63) as u32;
+    let mut d = words[w] >> off;
+    if off + width > 64 {
+        d |= words[w + 1] << (64 - off);
+    }
+    if width < 64 {
+        d &= (1u64 << width) - 1;
+    }
+    d
+}
+
+/// A chunked, per-chunk-encoded store of fixed-width values: sealed
+/// chunks (encoded at seal time by byte cost) plus a plain mutable
+/// tail. Append-only — the `Table` mutation model never truncates.
+#[derive(Clone, Debug)]
+pub struct Chunked<T: Coded> {
+    /// log2 of rows per sealed chunk.
+    shift: u32,
+    mode: EncodingMode,
+    chunks: Vec<EncChunk<T>>,
+    /// `(min, max)` per sealed chunk, parallel to `chunks`.
+    stats: Vec<(T, T)>,
+    tail: Vec<T>,
+}
+
+pub type IntColumn = Chunked<i64>;
+pub type CodeColumn = Chunked<u32>;
+
+/// Borrowed view of a [`Chunked`] store's serialized parts: `(shift,
+/// sealed chunks, per-chunk stats, plain tail)` — see [`Chunked::parts`].
+pub type ChunkedParts<'a, T> = (u32, &'a [EncChunk<T>], &'a [(T, T)], &'a [T]);
+
+impl<T: Coded> Chunked<T> {
+    pub fn new(policy: EncodePolicy) -> Self {
+        Chunked {
+            shift: policy.shift,
+            mode: policy.mode,
+            chunks: Vec::new(),
+            stats: Vec::new(),
+            tail: Vec::new(),
+        }
+    }
+
+    pub fn with_env_policy() -> Self {
+        Self::new(EncodePolicy::from_env())
+    }
+
+    pub fn from_vec(vals: Vec<T>, policy: EncodePolicy) -> Self {
+        let mut c = Self::new(policy);
+        c.extend(vals);
+        c
+    }
+
+    /// Reassemble a store from its serialized parts (snapshot load).
+    /// The caller has already structurally validated the chunks; chunk
+    /// sizes must match `1 << shift` except that no chunk may be empty.
+    pub fn from_parts(
+        shift: u32,
+        mode: EncodingMode,
+        chunks: Vec<EncChunk<T>>,
+        stats: Vec<(T, T)>,
+        tail: Vec<T>,
+    ) -> Self {
+        debug_assert_eq!(chunks.len(), stats.len());
+        Chunked {
+            shift,
+            mode,
+            chunks,
+            stats,
+            tail,
+        }
+    }
+
+    /// The serialized parts: `(shift, sealed chunks, per-chunk stats,
+    /// plain tail)` — what `persist` writes verbatim.
+    pub fn parts(&self) -> ChunkedParts<'_, T> {
+        (self.shift, &self.chunks, &self.stats, &self.tail)
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        (self.chunks.len() << self.shift) + self.tail.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.chunks.is_empty() && self.tail.is_empty()
+    }
+
+    #[inline]
+    fn chunk_rows(&self) -> usize {
+        1usize << self.shift
+    }
+
+    #[inline]
+    fn sealed_rows(&self) -> usize {
+        self.chunks.len() << self.shift
+    }
+
+    pub fn push(&mut self, v: T) {
+        self.tail.push(v);
+        if self.tail.len() == self.chunk_rows() {
+            self.seal_tail();
+        }
+    }
+
+    pub fn extend(&mut self, vals: impl IntoIterator<Item = T>) {
+        for v in vals {
+            self.push(v);
+        }
+    }
+
+    /// Append every value of `other`. When both stores share a shift
+    /// and this tail is empty, `other`'s sealed chunks are copied
+    /// verbatim (no re-encode) — the common bulk-append case.
+    pub fn append_from(&mut self, other: &Chunked<T>) {
+        if self.tail.is_empty() && self.shift == other.shift {
+            self.chunks.extend(other.chunks.iter().cloned());
+            self.stats.extend(other.stats.iter().copied());
+            self.tail.extend_from_slice(&other.tail);
+            if self.tail.len() == self.chunk_rows() {
+                self.seal_tail();
+            }
+            return;
+        }
+        other.for_each_range(0, other.len(), |_, v| self.push(v));
+    }
+
+    fn seal_tail(&mut self) {
+        debug_assert_eq!(self.tail.len(), self.chunk_rows());
+        let vals = &self.tail;
+        let mut min = vals[0];
+        let mut max = vals[0];
+        let mut runs = 1usize;
+        for w in vals.windows(2) {
+            if w[1] < min {
+                min = w[1];
+            }
+            if w[1] > max {
+                max = w[1];
+            }
+            if w[1] != w[0] {
+                runs += 1;
+            }
+        }
+        let chunk = encode_chunk(vals, min, max, runs, self.mode);
+        self.chunks.push(chunk);
+        self.stats.push((min, max));
+        self.tail.clear();
+    }
+
+    /// Random access. Sealed packed chunks pay a two-word bit extract,
+    /// RLE chunks a binary search on run ends.
+    #[inline]
+    pub fn get(&self, row: usize) -> T {
+        let chunk = row >> self.shift;
+        if chunk >= self.chunks.len() {
+            return self.tail[row - self.sealed_rows()];
+        }
+        let off = row & (self.chunk_rows() - 1);
+        match &self.chunks[chunk] {
+            EncChunk::Plain(v) => v[off],
+            EncChunk::Packed { min, width, words } => {
+                if *width == 0 {
+                    *min
+                } else {
+                    T::from_delta(*min, packed_delta(words, *width, off))
+                }
+            }
+            EncChunk::Rle(runs) => {
+                let i = runs.partition_point(|&(_, end)| (end as usize) <= off);
+                runs[i].0
+            }
+        }
+    }
+
+    /// The storage segment containing `row` (sealed chunk or tail).
+    #[inline]
+    pub fn segment(&self, row: usize) -> Segment<'_, T> {
+        let chunk = row >> self.shift;
+        if chunk >= self.chunks.len() {
+            return Segment {
+                base: self.sealed_rows(),
+                len: self.tail.len(),
+                stat: None,
+                data: SegRef::Plain(&self.tail),
+            };
+        }
+        let data = match &self.chunks[chunk] {
+            EncChunk::Plain(v) => SegRef::Plain(v),
+            EncChunk::Packed { min, width, words } => SegRef::Packed {
+                min: *min,
+                width: *width,
+                words,
+            },
+            EncChunk::Rle(runs) => SegRef::Rle(runs),
+        };
+        Segment {
+            base: chunk << self.shift,
+            len: self.chunk_rows(),
+            stat: Some(self.stats[chunk]),
+            data,
+        }
+    }
+
+    /// Sequential decode of rows `start..end`, run- and word-aware.
+    pub fn for_each_range(&self, start: usize, end: usize, mut f: impl FnMut(usize, T)) {
+        debug_assert!(start <= end && end <= self.len());
+        let mut row = start;
+        while row < end {
+            let seg = self.segment(row);
+            let stop = end.min(seg.base + seg.len);
+            match seg.data {
+                SegRef::Plain(v) => {
+                    for r in row..stop {
+                        f(r, v[r - seg.base]);
+                    }
+                }
+                SegRef::Packed { min, width, words } => {
+                    if width == 0 {
+                        for r in row..stop {
+                            f(r, min);
+                        }
+                    } else {
+                        for r in row..stop {
+                            f(
+                                r,
+                                T::from_delta(min, packed_delta(words, width, r - seg.base)),
+                            );
+                        }
+                    }
+                }
+                SegRef::Rle(runs) => {
+                    let mut off = row - seg.base;
+                    let mut i = runs.partition_point(|&(_, end)| (end as usize) <= off);
+                    while off < stop - seg.base {
+                        let (v, run_end) = runs[i];
+                        let run_stop = (run_end as usize).min(stop - seg.base);
+                        for o in off..run_stop {
+                            f(seg.base + o, v);
+                        }
+                        off = run_stop;
+                        i += 1;
+                    }
+                }
+            }
+            row = stop;
+        }
+    }
+
+    pub fn to_vec(&self) -> Vec<T> {
+        let mut out = Vec::with_capacity(self.len());
+        self.for_each_range(0, self.len(), |_, v| out.push(v));
+        out
+    }
+
+    /// `(min, max)` over rows `start..end`, folding sealed-chunk stats
+    /// for fully covered chunks and scanning only the partial edges —
+    /// O(chunks + edge rows), not O(rows).
+    pub fn minmax(&self, start: usize, end: usize) -> Option<(T, T)> {
+        if start >= end {
+            return None;
+        }
+        let mut acc: Option<(T, T)> = None;
+        let mut fold = |lo: T, hi: T| {
+            acc = Some(match acc {
+                None => (lo, hi),
+                Some((a, b)) => (a.min(lo), b.max(hi)),
+            });
+        };
+        let mut row = start;
+        while row < end {
+            let seg = self.segment(row);
+            let stop = end.min(seg.base + seg.len);
+            match seg.stat {
+                Some((lo, hi)) if row == seg.base && stop == seg.base + seg.len => fold(lo, hi),
+                _ => {
+                    let mut lo: Option<(T, T)> = None;
+                    self.for_each_range(row, stop, |_, v| {
+                        lo = Some(match lo {
+                            None => (v, v),
+                            Some((a, b)) => (a.min(v), b.max(v)),
+                        });
+                    });
+                    if let Some((a, b)) = lo {
+                        fold(a, b);
+                    }
+                }
+            }
+            row = stop;
+        }
+        acc
+    }
+
+    /// Rows [`Chunked::minmax`] would actually *decode* for
+    /// `[start, end)` — partial edge chunks plus the tail; fully covered
+    /// sealed chunks answer from their stored stats and cost zero. This
+    /// is the accounting behind the O(delta) append guarantee: a
+    /// full-column stat recompute after a batch append decodes at most
+    /// one chunk of tail rows no matter how large the table has grown,
+    /// and the IVM bench asserts exactly that.
+    pub fn stat_scan_rows(&self, start: usize, end: usize) -> usize {
+        let mut rows = 0;
+        let mut row = start.min(self.len());
+        let end = end.min(self.len());
+        while row < end {
+            let seg = self.segment(row);
+            let stop = end.min(seg.base + seg.len);
+            match seg.stat {
+                Some(_) if row == seg.base && stop == seg.base + seg.len => {}
+                _ => rows += stop - row,
+            }
+            row = stop;
+        }
+        rows
+    }
+
+    /// Heap bytes held by the encoded payloads (compression reporting).
+    pub fn heap_bytes(&self) -> usize {
+        let chunk_bytes: usize = self
+            .chunks
+            .iter()
+            .map(|c| match c {
+                EncChunk::Plain(v) => v.len() * T::WIDTH_BYTES,
+                EncChunk::Packed { words, .. } => words.len() * 8,
+                EncChunk::Rle(runs) => runs.len() * (T::WIDTH_BYTES + 2),
+            })
+            .sum();
+        chunk_bytes + self.tail.len() * T::WIDTH_BYTES + self.stats.len() * 2 * T::WIDTH_BYTES
+    }
+
+    pub fn encoding_counts(&self) -> EncodingCounts {
+        let mut counts = EncodingCounts {
+            tail_rows: self.tail.len(),
+            ..Default::default()
+        };
+        for c in &self.chunks {
+            match c {
+                EncChunk::Plain(_) => counts.plain += 1,
+                EncChunk::Packed { .. } => counts.packed += 1,
+                EncChunk::Rle(_) => counts.rle += 1,
+            }
+        }
+        counts
+    }
+}
+
+/// Value equality — two stores are equal when they hold the same rows,
+/// regardless of how each one chunked or encoded them.
+impl<T: Coded> PartialEq for Chunked<T> {
+    fn eq(&self, other: &Self) -> bool {
+        if self.len() != other.len() {
+            return false;
+        }
+        let mut eq = true;
+        self.for_each_range(0, self.len(), |row, v| {
+            if eq && other.get(row) != v {
+                eq = false;
+            }
+        });
+        eq
+    }
+}
+
+impl<T: Coded> FromIterator<T> for Chunked<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let mut c = Self::with_env_policy();
+        c.extend(iter);
+        c
+    }
+}
+
+impl<T: Coded> From<Vec<T>> for Chunked<T> {
+    fn from(vals: Vec<T>) -> Self {
+        Self::from_vec(vals, EncodePolicy::from_env())
+    }
+}
+
+/// Seal one full chunk under the policy's selection rule (see the
+/// module docs for the cost table).
+fn encode_chunk<T: Coded>(
+    vals: &[T],
+    min: T,
+    max: T,
+    runs: usize,
+    mode: EncodingMode,
+) -> EncChunk<T> {
+    if mode == EncodingMode::Off {
+        return EncChunk::Plain(vals.to_vec());
+    }
+    let range = max.delta(min);
+    let width = 64 - range.leading_zeros();
+    let cost_packed = (vals.len() * width as usize).div_ceil(64) * 8;
+    let cost_rle = runs * (T::WIDTH_BYTES + 2);
+    let cost_plain = vals.len() * T::WIDTH_BYTES;
+    let best_encoded = cost_rle.min(cost_packed);
+    if mode == EncodingMode::Auto && best_encoded >= cost_plain {
+        return EncChunk::Plain(vals.to_vec());
+    }
+    if cost_rle < cost_packed {
+        let mut runs_out: Vec<(T, u16)> = Vec::with_capacity(runs);
+        for (i, &v) in vals.iter().enumerate() {
+            match runs_out.last_mut() {
+                Some(last) if last.0 == v => last.1 = (i + 1) as u16,
+                _ => runs_out.push((v, (i + 1) as u16)),
+            }
+        }
+        EncChunk::Rle(runs_out)
+    } else if width == 0 {
+        EncChunk::Packed {
+            min,
+            width: 0,
+            words: Vec::new(),
+        }
+    } else {
+        let mut words = vec![0u64; (vals.len() * width as usize).div_ceil(64)];
+        let mut bit = 0usize;
+        for &v in vals {
+            let d = v.delta(min);
+            let w = bit >> 6;
+            let off = (bit & 63) as u32;
+            words[w] |= d << off;
+            if off + width > 64 {
+                words[w + 1] = d >> (64 - off);
+            }
+            bit += width as usize;
+        }
+        EncChunk::Packed { min, width, words }
+    }
+}
+
+/// A dictionary-encoded string column. Codes live in a chunked,
+/// per-chunk-encoded store ([`CodeColumn`]), bit-packed to the observed
+/// dictionary width (or run-length encoded when values cluster).
+#[derive(Clone, Debug)]
 pub struct CatColumn {
     /// Distinct values, in first-seen order; code `i` means `dict[i]`.
     dict: Vec<String>,
     lookup: HashMap<String, u32>,
-    codes: Vec<u32>,
+    codes: CodeColumn,
+}
+
+impl Default for CatColumn {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl CatColumn {
     pub fn new() -> Self {
-        Self::default()
+        Self::with_policy(EncodePolicy::from_env())
+    }
+
+    pub fn with_policy(policy: EncodePolicy) -> Self {
+        CatColumn {
+            dict: Vec::new(),
+            lookup: HashMap::new(),
+            codes: CodeColumn::new(policy),
+        }
     }
 
     pub fn push(&mut self, v: &str) {
@@ -53,8 +722,29 @@ impl CatColumn {
         &self.dict[code as usize]
     }
 
-    pub fn codes(&self) -> &[u32] {
+    /// The chunked code store.
+    pub fn codes(&self) -> &CodeColumn {
         &self.codes
+    }
+
+    /// The dictionary code at `row`.
+    #[inline]
+    pub fn code_at(&self, row: usize) -> u32 {
+        self.codes.get(row)
+    }
+
+    /// Rebuild from serialized parts (snapshot load).
+    pub fn from_parts(dict: Vec<String>, codes: CodeColumn) -> Self {
+        let lookup = dict
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.clone(), i as u32))
+            .collect();
+        CatColumn {
+            dict,
+            lookup,
+            codes,
+        }
     }
 
     pub fn dict(&self) -> &[String] {
@@ -78,17 +768,23 @@ impl CatColumn {
 /// One column of a [`crate::table::Table`].
 #[derive(Clone, Debug)]
 pub enum Column {
-    Int(Vec<i64>),
+    Int(IntColumn),
     Float(Vec<f64>),
     Cat(CatColumn),
 }
 
 impl Column {
     pub fn new(dtype: DataType) -> Self {
+        Self::with_policy(dtype, EncodePolicy::from_env())
+    }
+
+    /// Construct with an explicit encoding policy (tests compare
+    /// per-policy stores without racing on the environment).
+    pub fn with_policy(dtype: DataType, policy: EncodePolicy) -> Self {
         match dtype {
-            DataType::Int => Column::Int(Vec::new()),
+            DataType::Int => Column::Int(IntColumn::new(policy)),
             DataType::Float => Column::Float(Vec::new()),
-            DataType::Cat => Column::Cat(CatColumn::new()),
+            DataType::Cat => Column::Cat(CatColumn::with_policy(policy)),
         }
     }
 
@@ -124,16 +820,22 @@ impl Column {
     }
 
     /// Append every row of `other` onto this column. Numeric columns
-    /// extend slice-at-a-time; categorical columns remap the other
-    /// dictionary's codes through a translation table built once per call.
+    /// extend value-at-a-time (sealed chunks copy verbatim when the
+    /// layouts line up); categorical columns remap the other
+    /// dictionary's codes through a translation table built once per
+    /// call (an identity remap also copies chunks verbatim).
     pub fn append(&mut self, other: &Column) -> Result<(), String> {
         match (self, other) {
-            (Column::Int(a), Column::Int(b)) => a.extend_from_slice(b),
+            (Column::Int(a), Column::Int(b)) => a.append_from(b),
             (Column::Float(a), Column::Float(b)) => a.extend_from_slice(b),
             (Column::Cat(a), Column::Cat(b)) => {
                 let remap: Vec<u32> = b.dict().iter().map(|s| a.intern(s)).collect();
-                for &code in b.codes() {
-                    a.push_code(remap[code as usize]);
+                if remap.iter().enumerate().all(|(i, &c)| i as u32 == c) {
+                    a.codes.append_from(&b.codes);
+                } else {
+                    b.codes.for_each_range(0, b.len(), |_, code| {
+                        a.codes.push(remap[code as usize]);
+                    });
                 }
             }
             (a, b) => {
@@ -166,9 +868,9 @@ impl Column {
 
     pub fn get(&self, row: usize) -> Value {
         match self {
-            Column::Int(v) => Value::Int(v[row]),
+            Column::Int(v) => Value::Int(v.get(row)),
             Column::Float(v) => Value::Float(v[row]),
-            Column::Cat(c) => Value::Str(c.decode(c.codes()[row]).to_string()),
+            Column::Cat(c) => Value::Str(c.decode(c.code_at(row)).to_string()),
         }
     }
 
@@ -176,7 +878,7 @@ impl Column {
     #[inline]
     pub fn get_f64(&self, row: usize) -> Option<f64> {
         match self {
-            Column::Int(v) => Some(v[row] as f64),
+            Column::Int(v) => Some(v.get(row) as f64),
             Column::Float(v) => Some(v[row]),
             Column::Cat(_) => None,
         }
@@ -189,7 +891,7 @@ impl Column {
         }
     }
 
-    pub fn as_int(&self) -> Option<&[i64]> {
+    pub fn as_int(&self) -> Option<&IntColumn> {
         match self {
             Column::Int(v) => Some(v),
             _ => None,
@@ -209,7 +911,7 @@ impl Column {
         match self {
             Column::Cat(c) => c.dict().iter().map(|s| Value::str(s.clone())).collect(),
             Column::Int(v) => {
-                let mut d: Vec<i64> = v.clone();
+                let mut d: Vec<i64> = v.to_vec();
                 d.sort_unstable();
                 d.dedup();
                 d.into_iter().map(Value::Int).collect()
@@ -230,6 +932,27 @@ impl Column {
             _ => self.distinct_values().len(),
         }
     }
+
+    /// Heap bytes held by this column's data payloads.
+    pub fn heap_bytes(&self) -> usize {
+        match self {
+            Column::Int(v) => v.heap_bytes(),
+            Column::Float(v) => v.len() * 8,
+            Column::Cat(c) => {
+                c.codes().heap_bytes() + c.dict().iter().map(|s| s.len() + 24).sum::<usize>()
+            }
+        }
+    }
+
+    /// Per-encoding chunk census for Int/Cat columns (`None` for
+    /// floats, which are always plain).
+    pub fn encoding_counts(&self) -> Option<EncodingCounts> {
+        match self {
+            Column::Int(v) => Some(v.encoding_counts()),
+            Column::Cat(c) => Some(c.codes().encoding_counts()),
+            Column::Float(_) => None,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -244,7 +967,7 @@ mod tests {
         c.push("US");
         assert_eq!(c.len(), 3);
         assert_eq!(c.cardinality(), 2);
-        assert_eq!(c.codes(), &[0, 1, 0]);
+        assert_eq!(c.codes().to_vec(), vec![0, 1, 0]);
         assert_eq!(c.decode(1), "UK");
         assert_eq!(c.code_of("US"), Some(0));
         assert_eq!(c.code_of("FR"), None);
@@ -277,7 +1000,7 @@ mod tests {
         assert_eq!(a.cardinality(), 3);
 
         let mut ints = Column::new(DataType::Int);
-        ints.append(&Column::Int(vec![1, 2])).unwrap();
+        ints.append(&Column::Int(vec![1, 2].into())).unwrap();
         assert_eq!(ints.len(), 2);
         assert!(ints.append(&b).is_err());
         assert!(ints.accepts(&Value::Int(1)));
@@ -303,5 +1026,148 @@ mod tests {
         // first-seen dictionary order, not alphabetical
         assert_eq!(c.distinct_values(), vec![Value::str("b"), Value::str("a")]);
         assert_eq!(c.cardinality(), 2);
+    }
+
+    /// Reference data generator: a mix of constant stretches (RLE bait),
+    /// a narrow modular range (packing bait), and spikes (plain bait).
+    fn mixed_vals(n: usize) -> Vec<i64> {
+        (0..n)
+            .map(|i| match i / 700 % 3 {
+                0 => 42,
+                1 => (i % 37) as i64,
+                _ => (i as i64).wrapping_mul(0x9e37_79b9_7f4a_7c15u64 as i64),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn chunked_roundtrips_under_every_policy() {
+        let vals = mixed_vals(10_000);
+        for policy in [
+            EncodePolicy::auto(),
+            EncodePolicy::off(),
+            EncodePolicy::force(),
+        ] {
+            let c = IntColumn::from_vec(vals.clone(), policy);
+            assert_eq!(c.len(), vals.len());
+            assert_eq!(c.to_vec(), vals, "sequential decode ({policy:?})");
+            for &row in &[0usize, 1, 63, 64, 699, 700, 4095, 4096, 9000, 9999] {
+                assert_eq!(
+                    c.get(row),
+                    vals[row],
+                    "random access row {row} ({policy:?})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn auto_policy_picks_each_encoding_where_it_wins() {
+        let n = ENC_CHUNK_ROWS;
+        let constant = IntColumn::from_vec(vec![7i64; n], EncodePolicy::auto());
+        assert_eq!(
+            constant.encoding_counts().packed,
+            1,
+            "constant chunk → width-0 packing (zero payload beats RLE)"
+        );
+        let sorted = IntColumn::from_vec(
+            (0..n).map(|i| (i / 512) as i64).collect(),
+            EncodePolicy::auto(),
+        );
+        assert_eq!(sorted.encoding_counts().rle, 1, "long runs → RLE");
+        let narrow = IntColumn::from_vec(
+            (0..n).map(|i| (i % 37) as i64).collect(),
+            EncodePolicy::auto(),
+        );
+        assert_eq!(narrow.encoding_counts().packed, 1, "narrow range → packed");
+        let wild = IntColumn::from_vec(
+            (0..n)
+                .map(|i| (i as i64).wrapping_mul(0x9e37_79b9_7f4a_7c15u64 as i64))
+                .collect(),
+            EncodePolicy::auto(),
+        );
+        assert_eq!(
+            wild.encoding_counts().plain,
+            1,
+            "wide random → plain fallback"
+        );
+    }
+
+    #[test]
+    fn off_policy_never_encodes_and_force_always_does() {
+        let n = 3 * ENC_CHUNK_ROWS;
+        let vals: Vec<i64> = (0..n).map(|i| (i % 5) as i64).collect();
+        let off = IntColumn::from_vec(vals.clone(), EncodePolicy::off());
+        let counts = off.encoding_counts();
+        assert_eq!((counts.plain, counts.packed, counts.rle), (3, 0, 0));
+        let force = IntColumn::from_vec(vals.clone(), EncodePolicy::force());
+        let counts = force.encoding_counts();
+        assert_eq!(counts.plain, 0, "force never leaves a sealed chunk plain");
+        assert_eq!(off.to_vec(), force.to_vec());
+        assert_eq!(off, force, "value equality ignores encoding");
+    }
+
+    #[test]
+    fn minmax_folds_chunk_stats_and_edge_scans() {
+        let vals = mixed_vals(10_000);
+        let c = IntColumn::from_vec(vals.clone(), EncodePolicy::auto());
+        for (s, e) in [
+            (0, 10_000),
+            (100, 200),
+            (4000, 5000),
+            (0, 1),
+            (9998, 10_000),
+        ] {
+            let expect = vals[s..e]
+                .iter()
+                .fold(None, |acc: Option<(i64, i64)>, &v| match acc {
+                    None => Some((v, v)),
+                    Some((a, b)) => Some((a.min(v), b.max(v))),
+                });
+            assert_eq!(c.minmax(s, e), expect, "range {s}..{e}");
+        }
+        assert_eq!(c.minmax(5, 5), None);
+    }
+
+    #[test]
+    fn append_from_copies_sealed_chunks_verbatim() {
+        let a_vals = mixed_vals(2 * ENC_CHUNK_ROWS);
+        let b_vals = mixed_vals(ENC_CHUNK_ROWS + 17);
+        let mut a = IntColumn::from_vec(a_vals.clone(), EncodePolicy::auto());
+        let b = IntColumn::from_vec(b_vals.clone(), EncodePolicy::auto());
+        a.append_from(&b);
+        let mut expect = a_vals;
+        expect.extend_from_slice(&b_vals);
+        assert_eq!(a.to_vec(), expect);
+        // Mismatched shifts fall back to the per-value path, same rows.
+        let mut c = IntColumn::from_vec(expect[..100].to_vec(), EncodePolicy::force());
+        c.append_from(&b);
+        assert_eq!(c.len(), 100 + b_vals.len());
+        assert_eq!(c.get(100), b_vals[0]);
+    }
+
+    #[test]
+    fn env_spec_parses_and_rejects() {
+        assert_eq!(EncodePolicy::from_spec("auto"), EncodePolicy::auto());
+        assert_eq!(EncodePolicy::from_spec(" "), EncodePolicy::auto());
+        assert_eq!(EncodePolicy::from_spec("OFF"), EncodePolicy::off());
+        assert_eq!(EncodePolicy::from_spec("plain"), EncodePolicy::off());
+        assert_eq!(EncodePolicy::from_spec("force"), EncodePolicy::force());
+        assert!(std::panic::catch_unwind(|| EncodePolicy::from_spec("fast")).is_err());
+    }
+
+    #[test]
+    fn packed_extraction_handles_word_straddles() {
+        // width 13 over 4096 rows: values straddle word boundaries.
+        let n = ENC_CHUNK_ROWS;
+        let vals: Vec<i64> = (0..n)
+            .map(|i| 1000 + ((i * 2654435761) % 8000) as i64)
+            .collect();
+        let c = IntColumn::from_vec(vals.clone(), EncodePolicy::auto());
+        let counts = c.encoding_counts();
+        assert_eq!(counts.packed, 1);
+        for (row, &v) in vals.iter().enumerate() {
+            assert_eq!(c.get(row), v, "row {row}");
+        }
     }
 }

@@ -166,7 +166,7 @@
 //! the equivalence suites under `serial`, `static`, and `morsel` so a
 //! scheduling bug cannot hide behind the default configuration.
 
-use crate::column::Column;
+use crate::column::{packed_delta, Chunked, CodeColumn, Coded, Column, IntColumn, SegRef};
 use crate::lifecycle::QueryCtx;
 use crate::parallel;
 use crate::predicate::{Atom, CmpOp, Predicate};
@@ -184,23 +184,28 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 /// A predicate atom specialized against concrete column storage, so the
 /// per-row check is branch-light (no string comparisons, no hash lookups).
+/// Atoms over encoded columns hold the chunked store itself: the per-row
+/// [`CAtom::eval`] decodes on demand, and the vectorized
+/// `CAtom::and_mask` path evaluates sealed chunks in place (RLE runs
+/// decided once per run, bit-packed lanes unpacked inside 64-lane word
+/// kernels) with per-chunk min/max short-circuits.
 pub enum CAtom<'a> {
     ConstBool(bool),
     CatEqCode {
-        codes: &'a [u32],
+        codes: &'a CodeColumn,
         code: u32,
     },
     CatNeqCode {
-        codes: &'a [u32],
+        codes: &'a CodeColumn,
         code: u32,
     },
     /// `IN` / `LIKE 'p%'` compile to a per-dictionary-code truth table.
     CatCodeSet {
-        codes: &'a [u32],
+        codes: &'a CodeColumn,
         member: Vec<bool>,
     },
     NumCmpI {
-        vals: &'a [i64],
+        vals: &'a IntColumn,
         op: CmpOp,
         value: f64,
     },
@@ -210,7 +215,7 @@ pub enum CAtom<'a> {
         value: f64,
     },
     BetweenI {
-        vals: &'a [i64],
+        vals: &'a IntColumn,
         lo: f64,
         hi: f64,
     },
@@ -226,16 +231,305 @@ impl CAtom<'_> {
     pub fn eval(&self, row: usize) -> bool {
         match self {
             CAtom::ConstBool(b) => *b,
-            CAtom::CatEqCode { codes, code } => codes[row] == *code,
-            CAtom::CatNeqCode { codes, code } => codes[row] != *code,
-            CAtom::CatCodeSet { codes, member } => member[codes[row] as usize],
-            CAtom::NumCmpI { vals, op, value } => op.eval_f64(vals[row] as f64, *value),
+            CAtom::CatEqCode { codes, code } => codes.get(row) == *code,
+            CAtom::CatNeqCode { codes, code } => codes.get(row) != *code,
+            CAtom::CatCodeSet { codes, member } => member[codes.get(row) as usize],
+            CAtom::NumCmpI { vals, op, value } => op.eval_f64(vals.get(row) as f64, *value),
             CAtom::NumCmpF { vals, op, value } => op.eval_f64(vals[row], *value),
             CAtom::BetweenI { vals, lo, hi } => {
-                let v = vals[row] as f64;
+                let v = vals.get(row) as f64;
                 v >= *lo && v <= *hi
             }
             CAtom::BetweenF { vals, lo, hi } => vals[row] >= *lo && vals[row] <= *hi,
+        }
+    }
+
+    /// AND this atom's truth over rows `start..end` into `mask` (bit `i`
+    /// of `mask` ↔ row `start + i`). Sealed chunks are evaluated in
+    /// place: chunk `(min, max)` stats decide whole chunks without
+    /// touching data where possible, RLE runs are decided once per run,
+    /// and plain/bit-packed payloads go through [`and_lanes`]'s 64-lane
+    /// word kernel.
+    fn and_mask(&self, start: usize, end: usize, mask: &mut [u64]) {
+        match self {
+            CAtom::ConstBool(true) => {}
+            CAtom::ConstBool(false) => clear_bits(mask, 0, end - start),
+            CAtom::CatEqCode { codes, code } => {
+                let code = *code;
+                and_mask_col(
+                    codes,
+                    start,
+                    end,
+                    mask,
+                    |lo, hi| {
+                        if code < lo || code > hi {
+                            Some(false)
+                        } else if lo == hi {
+                            Some(true)
+                        } else {
+                            None
+                        }
+                    },
+                    |v| v == code,
+                );
+            }
+            CAtom::CatNeqCode { codes, code } => {
+                let code = *code;
+                and_mask_col(
+                    codes,
+                    start,
+                    end,
+                    mask,
+                    |lo, hi| {
+                        if code < lo || code > hi {
+                            Some(true)
+                        } else if lo == hi {
+                            Some(false)
+                        } else {
+                            None
+                        }
+                    },
+                    |v| v != code,
+                );
+            }
+            CAtom::CatCodeSet { codes, member } => {
+                and_mask_col(
+                    codes,
+                    start,
+                    end,
+                    mask,
+                    |lo, hi| {
+                        if lo == hi {
+                            Some(member[lo as usize])
+                        } else {
+                            None
+                        }
+                    },
+                    |v| member[v as usize],
+                );
+            }
+            CAtom::NumCmpI { vals, op, value } => {
+                let (op, value) = (*op, *value);
+                and_mask_col(
+                    vals,
+                    start,
+                    end,
+                    mask,
+                    // `as f64` is monotone over i64, so a chunk's cast
+                    // values stay inside [lo as f64, hi as f64] and the
+                    // endpoint verdicts bound the whole chunk.
+                    |lo, hi| {
+                        let (tl, th) =
+                            (op.eval_f64(lo as f64, value), op.eval_f64(hi as f64, value));
+                        if lo == hi {
+                            return Some(tl);
+                        }
+                        match op {
+                            CmpOp::Lt | CmpOp::Le => match (tl, th) {
+                                (_, true) => Some(true),
+                                (false, _) => Some(false),
+                                _ => None,
+                            },
+                            CmpOp::Gt | CmpOp::Ge => match (tl, th) {
+                                (true, _) => Some(true),
+                                (_, false) => Some(false),
+                                _ => None,
+                            },
+                            CmpOp::Eq => {
+                                if value < lo as f64 || value > hi as f64 {
+                                    Some(false)
+                                } else {
+                                    None
+                                }
+                            }
+                            CmpOp::Neq => {
+                                if value < lo as f64 || value > hi as f64 {
+                                    Some(true)
+                                } else {
+                                    None
+                                }
+                            }
+                        }
+                    },
+                    |v| op.eval_f64(v as f64, value),
+                );
+            }
+            CAtom::NumCmpF { vals, op, value } => {
+                let (op, value) = (*op, *value);
+                and_lanes(mask, 0, end - start, |i| {
+                    op.eval_f64(vals[start + i], value)
+                });
+            }
+            CAtom::BetweenI { vals, lo, hi } => {
+                let (plo, phi) = (*lo, *hi);
+                and_mask_col(
+                    vals,
+                    start,
+                    end,
+                    mask,
+                    |lo, hi| {
+                        if (lo as f64) >= plo && (hi as f64) <= phi {
+                            Some(true)
+                        } else if (hi as f64) < plo || (lo as f64) > phi {
+                            Some(false)
+                        } else {
+                            None
+                        }
+                    },
+                    |v| {
+                        let v = v as f64;
+                        v >= plo && v <= phi
+                    },
+                );
+            }
+            CAtom::BetweenF { vals, lo, hi } => {
+                let (plo, phi) = (*lo, *hi);
+                and_lanes(mask, 0, end - start, |i| {
+                    let v = vals[start + i];
+                    v >= plo && v <= phi
+                });
+            }
+        }
+    }
+}
+
+/// Clear `len` bits of `mask` starting at bit `from`.
+#[inline]
+fn clear_bits(mask: &mut [u64], from: usize, len: usize) {
+    if len == 0 {
+        return;
+    }
+    let end = from + len;
+    let (fw, lw) = (from >> 6, (end - 1) >> 6);
+    let head = !0u64 << (from & 63);
+    let tail = !0u64 >> (63 - ((end - 1) & 63));
+    if fw == lw {
+        mask[fw] &= !(head & tail);
+    } else {
+        mask[fw] &= !head;
+        for w in &mut mask[fw + 1..lw] {
+            *w = 0;
+        }
+        mask[lw] &= !tail;
+    }
+}
+
+/// AND a per-lane test over bits `p0..p0 + len` of `mask`. The aligned
+/// body builds each 64-bit verdict word in a branchless lane loop (the
+/// u64-wide kernel the scan path vectorizes on) and ANDs it in with one
+/// store; ragged edges go bit by bit. The test receives the lane index
+/// relative to `p0`.
+#[inline]
+fn and_lanes(mask: &mut [u64], p0: usize, len: usize, mut test: impl FnMut(usize) -> bool) {
+    let end = p0 + len;
+    let mut p = p0;
+    while p < end && (p & 63) != 0 {
+        if !test(p - p0) {
+            mask[p >> 6] &= !(1u64 << (p & 63));
+        }
+        p += 1;
+    }
+    while p + 64 <= end {
+        let base = p - p0;
+        let mut w = 0u64;
+        for b in 0..64 {
+            w |= (test(base + b) as u64) << b;
+        }
+        mask[p >> 6] &= w;
+        p += 64;
+    }
+    while p < end {
+        if !test(p - p0) {
+            mask[p >> 6] &= !(1u64 << (p & 63));
+        }
+        p += 1;
+    }
+}
+
+/// Walk the storage segments covering rows `start..end` of a chunked
+/// column and AND a value test into `mask`. `stat` gives the whole-chunk
+/// verdict from sealed `(min, max)` stats: `Some(true)` leaves the
+/// chunk's bits untouched, `Some(false)` clears them, `None` evaluates
+/// values — plain and packed payloads lane-wise, RLE payloads once per
+/// run.
+fn and_mask_col<T: Coded>(
+    col: &Chunked<T>,
+    start: usize,
+    end: usize,
+    mask: &mut [u64],
+    stat: impl Fn(T, T) -> Option<bool>,
+    test: impl Fn(T) -> bool,
+) {
+    let mut row = start;
+    while row < end {
+        let seg = col.segment(row);
+        let stop = end.min(seg.base + seg.len);
+        let (p0, n) = (row - start, stop - row);
+        let base_off = row - seg.base;
+        if let Some((lo, hi)) = seg.stat {
+            match stat(lo, hi) {
+                Some(true) => {
+                    row = stop;
+                    continue;
+                }
+                Some(false) => {
+                    clear_bits(mask, p0, n);
+                    row = stop;
+                    continue;
+                }
+                None => {}
+            }
+        }
+        match seg.data {
+            SegRef::Plain(v) => and_lanes(mask, p0, n, |i| test(v[base_off + i])),
+            SegRef::Packed { min, width, words } => {
+                if width == 0 {
+                    if !test(min) {
+                        clear_bits(mask, p0, n);
+                    }
+                } else {
+                    and_lanes(mask, p0, n, |i| {
+                        test(T::from_delta(min, packed_delta(words, width, base_off + i)))
+                    });
+                }
+            }
+            SegRef::Rle(runs) => {
+                let mut off = base_off;
+                let mut i = runs.partition_point(|&(_, e)| (e as usize) <= off);
+                while off < base_off + n {
+                    let (v, run_end) = runs[i];
+                    let run_stop = (run_end as usize).min(base_off + n);
+                    if !test(v) {
+                        clear_bits(mask, p0 + (off - base_off), run_stop - off);
+                    }
+                    off = run_stop;
+                    i += 1;
+                }
+            }
+        }
+        row = stop;
+    }
+}
+
+/// Reusable buffers for the vectorized mask evaluation: the AND
+/// accumulator and (for OR predicates) the per-conjunction scratch word
+/// array. Sized for [`CHUNK_ROWS`]-row windows.
+pub struct MaskScratch {
+    acc: Vec<u64>,
+    tmp: Vec<u64>,
+}
+
+impl Default for MaskScratch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MaskScratch {
+    pub fn new() -> Self {
+        MaskScratch {
+            acc: vec![0; CHUNK_ROWS.div_ceil(64)],
+            tmp: vec![0; CHUNK_ROWS.div_ceil(64)],
         }
     }
 }
@@ -259,6 +553,66 @@ impl CompiledPred<'_> {
 
     pub fn is_true(&self) -> bool {
         matches!(self, CompiledPred::True)
+    }
+
+    /// Vectorized range evaluation: append the qualifying row ids of
+    /// `start..end` (at most [`CHUNK_ROWS`] rows) to `out`, in ascending
+    /// order. Builds a bitmask window — all-ones ANDed down per atom for
+    /// a conjunction, per-conjunction masks ORed together for a
+    /// disjunction — then extracts set bits. Equivalent to calling
+    /// [`CompiledPred::eval`] on every row, but sealed chunks are
+    /// consumed in place via `CAtom::and_mask`.
+    pub fn collect_range(
+        &self,
+        start: usize,
+        end: usize,
+        scratch: &mut MaskScratch,
+        out: &mut Vec<u32>,
+    ) {
+        debug_assert!(end - start <= CHUNK_ROWS);
+        let n = end - start;
+        if n == 0 {
+            return;
+        }
+        let words = n.div_ceil(64);
+        let fill_ones = |m: &mut Vec<u64>| {
+            m[..words].fill(!0u64);
+            if n & 63 != 0 {
+                m[words - 1] = !0u64 >> (64 - (n & 63));
+            }
+        };
+        match self {
+            CompiledPred::True => {
+                out.extend((start..end).map(|r| r as u32));
+                return;
+            }
+            CompiledPred::And(atoms) => {
+                fill_ones(&mut scratch.acc);
+                for a in atoms {
+                    a.and_mask(start, end, &mut scratch.acc[..words]);
+                }
+            }
+            CompiledPred::Or(disj) => {
+                scratch.acc[..words].fill(0);
+                for conj in disj {
+                    fill_ones(&mut scratch.tmp);
+                    for a in conj {
+                        a.and_mask(start, end, &mut scratch.tmp[..words]);
+                    }
+                    for (acc, t) in scratch.acc[..words].iter_mut().zip(&scratch.tmp[..words]) {
+                        *acc |= *t;
+                    }
+                }
+            }
+        }
+        for (wi, &word) in scratch.acc[..words].iter().enumerate() {
+            let mut w = word;
+            while w != 0 {
+                let b = w.trailing_zeros() as usize;
+                out.push((start + (wi << 6) + b) as u32);
+                w &= w - 1;
+            }
+        }
     }
 }
 
@@ -579,27 +933,28 @@ fn scan_range_ctx<F: FnMut(&[u32])>(
         }
         Some(p) if p.is_true() => scan_range_ctx(start, end, None, ctx, f),
         Some(p) => {
-            let mut since = 0u64;
-            for r in start..end {
-                if since == CHUNK_ROWS as u64 {
-                    ctx.record_scanned(since);
-                    since = 0;
-                    if ctx.is_cancelled() {
-                        return ((r - start) as u64, false);
-                    }
+            // Vectorized filter: evaluate a CHUNK_ROWS-row mask window
+            // per iteration (encoded chunks consumed in place — see
+            // `CAtom::and_mask`) and emit the window's qualifying ids as
+            // one chunk. Emitted chunk sizes differ from the row-at-a-
+            // time path (which buffered to exactly CHUNK_ROWS ids), but
+            // chunk boundaries are not observable in results: rows stay
+            // ascending, group slots are first-seen ordered, and morsel
+            // partials merge by index — bit-for-bit identical output.
+            let mut scratch = MaskScratch::new();
+            let mut r = start;
+            while r < end {
+                if ctx.is_cancelled() {
+                    return ((r - start) as u64, false);
                 }
-                if p.eval(r) {
-                    buf.push(r as u32);
-                    if buf.len() == CHUNK_ROWS {
-                        f(&buf);
-                        buf.clear();
-                    }
+                let c = (end - r).min(CHUNK_ROWS);
+                buf.clear();
+                p.collect_range(r, r + c, &mut scratch, &mut buf);
+                if !buf.is_empty() {
+                    f(&buf);
                 }
-                since += 1;
-            }
-            ctx.record_scanned(since);
-            if !buf.is_empty() {
-                f(&buf);
+                ctx.record_scanned(c as u64);
+                r += c;
             }
             ((end - start) as u64, true)
         }
@@ -665,20 +1020,23 @@ fn scan_ids_ctx<F: FnMut(&[u32])>(
 pub enum DimEncoder<'a> {
     /// Dictionary-encoded categorical column: the dict code *is* the key.
     Cat {
-        codes: &'a [u32],
+        codes: &'a CodeColumn,
         dict: &'a [String],
     },
     /// Integer column with a narrow value range: `code = v - min`.
     IntOffset {
-        vals: &'a [i64],
+        vals: &'a IntColumn,
         min: i64,
         card: usize,
     },
     /// Integer column with a wide range: code = rank in sorted distincts.
-    IntRank { vals: &'a [i64], distinct: Vec<i64> },
+    IntRank {
+        vals: &'a IntColumn,
+        distinct: Vec<i64>,
+    },
     /// Binned numeric axis: `code = floor(v/width) - min_bin`.
     BinnedI {
-        vals: &'a [i64],
+        vals: &'a IntColumn,
         width: f64,
         min_bin: i64,
         card: usize,
@@ -691,14 +1049,87 @@ pub enum DimEncoder<'a> {
     },
 }
 
+/// Walk the storage segments spanned by an ascending row-id chunk:
+/// calls `f(i, j, seg)` for each maximal id subrange `rows[i..j]` that
+/// falls inside one segment. The row-id contract of
+/// [`RowSource::for_each_chunk`] (ascending ids) is what makes this a
+/// forward walk — one segment lookup plus one partition point per
+/// segment touched, not per row.
+#[inline]
+fn for_spans<'a, T: Coded>(
+    col: &'a Chunked<T>,
+    rows: &[u32],
+    mut f: impl FnMut(usize, usize, crate::column::Segment<'a, T>),
+) {
+    let mut i = 0;
+    while i < rows.len() {
+        let seg = col.segment(rows[i] as usize);
+        let seg_end = seg.base + seg.len;
+        let j = i + rows[i..].partition_point(|&r| (r as usize) < seg_end);
+        f(i, j, seg);
+        i = j;
+    }
+}
+
+/// Gather `code_of(value) * stride` into `out` for each id in `rows`,
+/// straight from the encoded segments: plain slices index directly,
+/// bit-packed chunks unpack lanes from the packed words (constant
+/// chunks hoist one code for the whole span), and RLE runs compute
+/// `code_of` once per run — the run cursor only ever moves forward
+/// because ids are ascending.
+#[inline]
+fn gather_acc<T: Coded>(
+    col: &Chunked<T>,
+    rows: &[u32],
+    stride: u64,
+    out: &mut [u64],
+    mut code_of: impl FnMut(T) -> u64,
+) {
+    for_spans(col, rows, |i, j, seg| match seg.data {
+        SegRef::Plain(v) => {
+            for k in i..j {
+                out[k] += code_of(v[rows[k] as usize - seg.base]) * stride;
+            }
+        }
+        SegRef::Packed { min, width, words } => {
+            if width == 0 {
+                let add = code_of(min) * stride;
+                for o in &mut out[i..j] {
+                    *o += add;
+                }
+            } else {
+                for k in i..j {
+                    let d = packed_delta(words, width, rows[k] as usize - seg.base);
+                    out[k] += code_of(T::from_delta(min, d)) * stride;
+                }
+            }
+        }
+        SegRef::Rle(runs) => {
+            let mut ri =
+                runs.partition_point(|&(_, e)| (e as usize) <= rows[i] as usize - seg.base);
+            let mut cached = code_of(runs[ri].0) * stride;
+            for k in i..j {
+                let off = rows[k] as usize - seg.base;
+                if (runs[ri].1 as usize) <= off {
+                    while (runs[ri].1 as usize) <= off {
+                        ri += 1;
+                    }
+                    cached = code_of(runs[ri].0) * stride;
+                }
+                out[k] += cached;
+            }
+        }
+    });
+}
+
 impl DimEncoder<'_> {
     #[inline]
     pub fn encode(&self, row: usize) -> u64 {
         match self {
-            DimEncoder::Cat { codes, .. } => codes[row] as u64,
-            DimEncoder::IntOffset { vals, min, .. } => (vals[row] - min) as u64,
+            DimEncoder::Cat { codes, .. } => codes.get(row) as u64,
+            DimEncoder::IntOffset { vals, min, .. } => (vals.get(row) - min) as u64,
             DimEncoder::IntRank { vals, distinct } => distinct
-                .binary_search(&vals[row])
+                .binary_search(&vals.get(row))
                 .expect("value seen during build")
                 as u64,
             DimEncoder::BinnedI {
@@ -706,7 +1137,7 @@ impl DimEncoder<'_> {
                 width,
                 min_bin,
                 ..
-            } => ((vals[row] as f64 / width).floor() as i64 - min_bin) as u64,
+            } => ((vals.get(row) as f64 / width).floor() as i64 - min_bin) as u64,
             DimEncoder::BinnedF {
                 vals,
                 width,
@@ -719,29 +1150,26 @@ impl DimEncoder<'_> {
     /// Columnar batch encode: add `encode(row) * stride` into `out` for
     /// every row of the chunk. One variant dispatch per chunk per
     /// dimension instead of one per row — the inner loops are tight
-    /// gather-multiply-accumulate over primitive slices (and a natural
-    /// SIMD target later).
+    /// gather-multiply-accumulate passes that read encoded chunks in
+    /// place (`gather_acc`): packed words are unpacked lane by lane
+    /// without materializing the chunk, and per-value transforms (the
+    /// rank binary search, the binned floor-divide) collapse to once per
+    /// RLE run.
     #[inline]
     pub fn encode_acc(&self, rows: &[u32], stride: u64, out: &mut [u64]) {
         debug_assert_eq!(rows.len(), out.len());
         match self {
             DimEncoder::Cat { codes, .. } => {
-                for (o, &r) in out.iter_mut().zip(rows) {
-                    *o += codes[r as usize] as u64 * stride;
-                }
+                gather_acc(codes, rows, stride, out, |v| v as u64);
             }
             DimEncoder::IntOffset { vals, min, .. } => {
-                for (o, &r) in out.iter_mut().zip(rows) {
-                    *o += (vals[r as usize] - min) as u64 * stride;
-                }
+                let min = *min;
+                gather_acc(vals, rows, stride, out, |v| (v - min) as u64);
             }
             DimEncoder::IntRank { vals, distinct } => {
-                for (o, &r) in out.iter_mut().zip(rows) {
-                    let code = distinct
-                        .binary_search(&vals[r as usize])
-                        .expect("value seen during build") as u64;
-                    *o += code * stride;
-                }
+                gather_acc(vals, rows, stride, out, |v| {
+                    distinct.binary_search(&v).expect("value seen during build") as u64
+                });
             }
             DimEncoder::BinnedI {
                 vals,
@@ -749,10 +1177,10 @@ impl DimEncoder<'_> {
                 min_bin,
                 ..
             } => {
-                for (o, &r) in out.iter_mut().zip(rows) {
-                    let code = ((vals[r as usize] as f64 / width).floor() as i64 - min_bin) as u64;
-                    *o += code * stride;
-                }
+                let (width, min_bin) = (*width, *min_bin);
+                gather_acc(vals, rows, stride, out, |v| {
+                    ((v as f64 / width).floor() as i64 - min_bin) as u64
+                });
             }
             DimEncoder::BinnedF {
                 vals,
@@ -838,7 +1266,9 @@ fn build_dim_over<'a>(
                         card: 0,
                     });
                 }
-                let (lo, hi) = minmax_i(&v[s..e]);
+                // Chunk-stat fold (O(chunks + edge rows)) — the delta
+                // scan's O(delta) append guarantee depends on this.
+                let (lo, hi) = v.minmax(s, e).expect("nonempty range");
                 let min_bin = (lo as f64 / width).floor() as i64;
                 let max_bin = (hi as f64 / width).floor() as i64;
                 Ok(DimEncoder::BinnedI {
@@ -890,7 +1320,7 @@ fn build_dim_over<'a>(
                     card: 0,
                 });
             }
-            let (lo, hi) = minmax_i(&v[s..e]);
+            let (lo, hi) = v.minmax(s, e).expect("nonempty range");
             if hi - lo < INT_OFFSET_MAX_RANGE {
                 Ok(DimEncoder::IntOffset {
                     vals: v,
@@ -898,7 +1328,8 @@ fn build_dim_over<'a>(
                     card: (hi - lo + 1) as usize,
                 })
             } else {
-                let mut distinct = v[s..e].to_vec();
+                let mut distinct = Vec::with_capacity(e - s);
+                v.for_each_range(s, e, |_, x| distinct.push(x));
                 distinct.sort_unstable();
                 distinct.dedup();
                 Ok(DimEncoder::IntRank { vals: v, distinct })
@@ -909,16 +1340,6 @@ fn build_dim_over<'a>(
             spec.col
         ))),
     }
-}
-
-fn minmax_i(v: &[i64]) -> (i64, i64) {
-    let mut lo = i64::MAX;
-    let mut hi = i64::MIN;
-    for &x in v {
-        lo = lo.min(x);
-        hi = hi.max(x);
-    }
-    (lo, hi)
 }
 
 fn minmax_f(v: &[f64]) -> (f64, f64) {
@@ -938,7 +1359,7 @@ fn minmax_f(v: &[f64]) -> (f64, f64) {
 /// Numeric measure access.
 #[derive(Clone, Copy)]
 pub enum YCol<'a> {
-    I(&'a [i64]),
+    I(&'a IntColumn),
     F(&'a [f64]),
     /// COUNT(*) needs no column.
     Unit,
@@ -948,7 +1369,7 @@ impl YCol<'_> {
     #[inline]
     fn get(&self, row: usize) -> f64 {
         match self {
-            YCol::I(v) => v[row] as f64,
+            YCol::I(v) => v.get(row) as f64,
             YCol::F(v) => v[row],
             YCol::Unit => 1.0,
         }

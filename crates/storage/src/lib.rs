@@ -57,7 +57,10 @@ pub use cache::{
     ivm_finalize, ivm_form, CacheConfig, CacheKey, CacheStats, InsertOutcome, IvmForm, IvmSource,
     QueryKey, ResultCache,
 };
-pub use column::{CatColumn, Column};
+pub use column::{
+    CatColumn, ChunkEncoding, CodeColumn, Column, EncodePolicy, EncodingCounts, EncodingMode,
+    IntColumn,
+};
 pub use db::{Database, DynDatabase, EngineSnapshot};
 pub use exec::{GroupStrategy, MorselMetrics, ParallelConfig, SchedulingMode};
 pub use fault::{FaultPoint, FaultSpec};

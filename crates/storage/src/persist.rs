@@ -24,7 +24,7 @@
 //!
 //! ```text
 //! [0..4)    magic  b"ZVSN"
-//! [4..8)    u32    format version (currently 1)
+//! [4..8)    u32    format version (currently 2; v1 still loads)
 //! [8..12)   u32    meta-block length M
 //! [12..12+M)       meta block (see below)
 //! [..+4)    u32    CRC32 of the meta block
@@ -38,13 +38,39 @@
 //!          u64 segment length, u32 segment CRC32 }
 //! ```
 //!
-//! Column segments (lengths and CRCs live in the directory above):
+//! Column segments (lengths and CRCs live in the directory above).
+//! Format 2 writes `Int` and `Cat` code payloads in the in-memory
+//! chunked-encoding layout (see [`crate::column`]) **verbatim** — no
+//! re-encode on save, no re-encode on load:
 //!
-//! * `Int`   — row count × `i64`
-//! * `Float` — row count × `f64` bit patterns (exact round-trip)
+//! * `Float` — row count × `f64` bit patterns (exact round-trip),
+//!   unchanged from v1
+//! * `Int`   — a *packed chunk store* (below) of `i64` values
 //! * `Cat`   — `u64` dictionary length, then per entry `u32` length +
-//!   UTF-8 bytes (first-seen order, so codes survive verbatim), then
-//!   row count × `u32` codes
+//!   UTF-8 bytes (first-seen order, so codes survive verbatim), then a
+//!   packed chunk store of `u32` codes
+//!
+//! ```text
+//! packed chunk store (T = i64 or u32):
+//!   u32  chunk shift S (rows per sealed chunk = 1 << S, S ≤ 12)
+//!   u32  sealed chunk count N
+//!   N ×  { u8 encoding tag, T stat_min, T stat_max, payload }
+//!     tag 0 Plain :  (1 << S) × T
+//!     tag 1 Packed:  T frame-of-reference min, u32 bit width W (≤ 64),
+//!                    u32 word count (= ceil((1 << S)·W / 64)), words × u64
+//!     tag 2 Rle   :  u32 run count R, R × { T value, u16 exclusive end }
+//!                    (ends strictly increasing, last = 1 << S)
+//!   u32  tail length (< 1 << S)
+//!   tail × T
+//! ```
+//!
+//! Decoding validates structure exhaustively (length accounting, width
+//! and word-count bounds, run monotonicity, dictionary-code bounds —
+//! packed code chunks are bounds-scanned without materializing), so a
+//! CRC-valid but malformed segment is rejected whole. Format 1
+//! snapshots (plain `row count × value` segments) still load; their
+//! columns are re-chunked under the current [`crate::column`] encoding
+//! policy at load time.
 //!
 //! ## WAL (`wal.log`)
 //!
@@ -98,15 +124,21 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
 
-use crate::column::{CatColumn, Column};
+use crate::column::{
+    packed_delta, CatColumn, Chunked, Coded, Column, EncChunk, EncodePolicy, IntColumn,
+};
 use crate::fault::{lock_recover, FaultPoint, FaultSpec};
 use crate::table::{Field, Schema, StorageError, Table};
 use crate::value::{DataType, Value};
 
 /// Snapshot file magic.
 pub const SNAPSHOT_MAGIC: [u8; 4] = *b"ZVSN";
-/// On-disk format version written into every snapshot header.
-pub const FORMAT_VERSION: u32 = 1;
+/// On-disk format version written into every snapshot header. Version
+/// 2 stores Int/Cat segments in the chunked-encoding layout verbatim;
+/// version 1 (plain value arrays) is still accepted on load.
+pub const FORMAT_VERSION: u32 = 2;
+/// Oldest snapshot format version [`decode_snapshot`] still accepts.
+pub const MIN_FORMAT_VERSION: u32 = 1;
 /// Upper bound on one WAL frame's body, enforced on **both** sides of
 /// the log: replay rejects a larger length field as torn garbage
 /// before allocating (same rationale as the wire's `MAX_FRAME`), and
@@ -270,15 +302,183 @@ fn tag_dtype(t: u8) -> Result<DataType, StorageError> {
 // Snapshot encode/decode
 // ---------------------------------------------------------------------
 
+/// Serialization hooks for one [`Chunked`] value type.
+trait PersistCoded: Coded {
+    fn put(buf: &mut Vec<u8>, v: Self);
+    fn take(c: &mut Cursor<'_>) -> Result<Self, StorageError>;
+}
+
+impl PersistCoded for i64 {
+    fn put(buf: &mut Vec<u8>, v: Self) {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn take(c: &mut Cursor<'_>) -> Result<Self, StorageError> {
+        c.i64()
+    }
+}
+
+impl PersistCoded for u32 {
+    fn put(buf: &mut Vec<u8>, v: Self) {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn take(c: &mut Cursor<'_>) -> Result<Self, StorageError> {
+        c.u32()
+    }
+}
+
+/// Serialize a chunked store in its in-memory layout, verbatim — sealed
+/// chunks (with their stats) keep their encodings; no re-encode.
+fn put_chunked<T: PersistCoded>(seg: &mut Vec<u8>, col: &Chunked<T>) {
+    let (shift, chunks, stats, tail) = col.parts();
+    put_u32(seg, shift);
+    put_u32(seg, chunks.len() as u32);
+    for (chunk, &(lo, hi)) in chunks.iter().zip(stats) {
+        match chunk {
+            EncChunk::Plain(v) => {
+                seg.push(0);
+                T::put(seg, lo);
+                T::put(seg, hi);
+                for &x in v {
+                    T::put(seg, x);
+                }
+            }
+            EncChunk::Packed { min, width, words } => {
+                seg.push(1);
+                T::put(seg, lo);
+                T::put(seg, hi);
+                T::put(seg, *min);
+                put_u32(seg, *width);
+                put_u32(seg, words.len() as u32);
+                for &w in words {
+                    put_u64(seg, w);
+                }
+            }
+            EncChunk::Rle(runs) => {
+                seg.push(2);
+                T::put(seg, lo);
+                T::put(seg, hi);
+                put_u32(seg, runs.len() as u32);
+                for &(v, e) in runs {
+                    T::put(seg, v);
+                    seg.extend_from_slice(&e.to_le_bytes());
+                }
+            }
+        }
+    }
+    put_u32(seg, tail.len() as u32);
+    for &x in tail {
+        T::put(seg, x);
+    }
+}
+
+/// Decode a packed chunk store of exactly `rows` values, validating
+/// structure exhaustively (see the module docs). `check` bounds every
+/// stored value (dictionary codes); packed chunks are bounds-scanned
+/// via delta extraction without materializing.
+fn take_chunked<T: PersistCoded>(
+    c: &mut Cursor<'_>,
+    rows: usize,
+    check: impl Fn(T) -> bool,
+) -> Result<Chunked<T>, StorageError> {
+    let shift = c.u32()?;
+    if shift > 12 {
+        return Err(malformed(format!("chunk shift {shift} out of range")));
+    }
+    let chunk_rows = 1usize << shift;
+    let n_chunks = c.u32()? as usize;
+    let checked = |v: T| {
+        if check(v) {
+            Ok(v)
+        } else {
+            Err(malformed(format!("column value {v:?} out of range")))
+        }
+    };
+    let mut chunks = Vec::with_capacity(n_chunks);
+    let mut stats = Vec::with_capacity(n_chunks);
+    for _ in 0..n_chunks {
+        let tag = c.u8()?;
+        let lo = T::take(c)?;
+        let hi = T::take(c)?;
+        let chunk = match tag {
+            0 => {
+                let mut v = Vec::with_capacity(chunk_rows);
+                for _ in 0..chunk_rows {
+                    v.push(checked(T::take(c)?)?);
+                }
+                EncChunk::Plain(v)
+            }
+            1 => {
+                let min = T::take(c)?;
+                let width = c.u32()?;
+                let n_words = c.u32()? as usize;
+                if width > 64 || n_words != (chunk_rows * width as usize).div_ceil(64) {
+                    return Err(malformed(format!(
+                        "packed chunk geometry invalid (width {width}, {n_words} words)"
+                    )));
+                }
+                let mut words = Vec::with_capacity(n_words);
+                for _ in 0..n_words {
+                    words.push(c.u64()?);
+                }
+                if width == 0 {
+                    checked(min)?;
+                } else {
+                    for i in 0..chunk_rows {
+                        checked(T::from_delta(min, packed_delta(&words, width, i)))?;
+                    }
+                }
+                EncChunk::Packed { min, width, words }
+            }
+            2 => {
+                let n_runs = c.u32()? as usize;
+                if n_runs == 0 || n_runs > chunk_rows {
+                    return Err(malformed(format!("RLE run count {n_runs} invalid")));
+                }
+                let mut runs: Vec<(T, u16)> = Vec::with_capacity(n_runs);
+                let mut prev_end = 0usize;
+                for _ in 0..n_runs {
+                    let v = checked(T::take(c)?)?;
+                    let end = u16::from_le_bytes(c.take(2)?.try_into().unwrap());
+                    if (end as usize) <= prev_end || (end as usize) > chunk_rows {
+                        return Err(malformed("RLE run ends not strictly increasing"));
+                    }
+                    prev_end = end as usize;
+                    runs.push((v, end));
+                }
+                if prev_end != chunk_rows {
+                    return Err(malformed("RLE runs do not cover the chunk"));
+                }
+                EncChunk::Rle(runs)
+            }
+            other => return Err(malformed(format!("unknown chunk encoding tag {other}"))),
+        };
+        chunks.push(chunk);
+        stats.push((lo, hi));
+    }
+    let tail_len = c.u32()? as usize;
+    if tail_len >= chunk_rows || (n_chunks << shift) + tail_len != rows {
+        return Err(malformed(format!(
+            "chunk store rows ({} sealed + {tail_len} tail) disagree with row count {rows}",
+            n_chunks << shift
+        )));
+    }
+    let mut tail = Vec::with_capacity(tail_len);
+    for _ in 0..tail_len {
+        tail.push(checked(T::take(c)?)?);
+    }
+    Ok(Chunked::from_parts(
+        shift,
+        EncodePolicy::from_env().mode,
+        chunks,
+        stats,
+        tail,
+    ))
+}
+
 fn encode_segment(col: &Column) -> Vec<u8> {
     let mut seg = Vec::new();
     match col {
-        Column::Int(v) => {
-            seg.reserve(v.len() * 8);
-            for &x in v {
-                seg.extend_from_slice(&x.to_le_bytes());
-            }
-        }
+        Column::Int(v) => put_chunked(&mut seg, v),
         Column::Float(v) => {
             seg.reserve(v.len() * 8);
             for &x in v {
@@ -290,25 +490,44 @@ fn encode_segment(col: &Column) -> Vec<u8> {
             for s in c.dict() {
                 put_str(&mut seg, s);
             }
-            seg.reserve(c.codes().len() * 4);
-            for &code in c.codes() {
-                seg.extend_from_slice(&code.to_le_bytes());
-            }
+            put_chunked(&mut seg, c.codes());
         }
     }
     seg
 }
 
-fn decode_segment(bytes: &[u8], dtype: DataType, rows: usize) -> Result<Column, StorageError> {
+/// Decode the dictionary block of a Cat segment (shared by v1 and v2).
+fn take_dict(c: &mut Cursor<'_>) -> Result<(Vec<String>, CatColumn), StorageError> {
+    let dict_len = c.u64()? as usize;
+    let mut cat = CatColumn::new();
+    let mut dict = Vec::with_capacity(dict_len);
+    for i in 0..dict_len {
+        let s = c.str()?;
+        if cat.intern(s) as usize != i {
+            return Err(malformed(format!("duplicate dictionary entry {s:?}")));
+        }
+        dict.push(s.to_string());
+    }
+    Ok((dict, cat))
+}
+
+fn decode_segment(
+    bytes: &[u8],
+    dtype: DataType,
+    rows: usize,
+    fmt: u32,
+) -> Result<Column, StorageError> {
     let mut c = Cursor::new(bytes);
     let col = match dtype {
-        DataType::Int => {
+        DataType::Int if fmt == 1 => {
+            // v1: plain value array, re-chunked under the current policy.
             let mut v = Vec::with_capacity(rows);
             for _ in 0..rows {
                 v.push(c.i64()?);
             }
-            Column::Int(v)
+            Column::Int(IntColumn::from_vec(v, EncodePolicy::from_env()))
         }
+        DataType::Int => Column::Int(take_chunked(&mut c, rows, |_| true)?),
         DataType::Float => {
             let mut v = Vec::with_capacity(rows);
             for _ in 0..rows {
@@ -316,15 +535,9 @@ fn decode_segment(bytes: &[u8], dtype: DataType, rows: usize) -> Result<Column, 
             }
             Column::Float(v)
         }
-        DataType::Cat => {
-            let dict_len = c.u64()? as usize;
-            let mut cat = CatColumn::new();
-            for i in 0..dict_len {
-                let s = c.str()?;
-                if cat.intern(s) as usize != i {
-                    return Err(malformed(format!("duplicate dictionary entry {s:?}")));
-                }
-            }
+        DataType::Cat if fmt == 1 => {
+            let (_, mut cat) = take_dict(&mut c)?;
+            let dict_len = cat.cardinality();
             for _ in 0..rows {
                 let code = c.u32()?;
                 if code as usize >= dict_len {
@@ -335,6 +548,12 @@ fn decode_segment(bytes: &[u8], dtype: DataType, rows: usize) -> Result<Column, 
                 cat.push_code(code);
             }
             Column::Cat(cat)
+        }
+        DataType::Cat => {
+            let (dict, _) = take_dict(&mut c)?;
+            let dict_len = dict.len();
+            let codes = take_chunked(&mut c, rows, |code: u32| (code as usize) < dict_len)?;
+            Column::Cat(CatColumn::from_parts(dict, codes))
         }
     };
     if !c.done() {
@@ -384,9 +603,9 @@ pub fn decode_snapshot(bytes: &[u8]) -> Result<Table, StorageError> {
     }
     let mut head = Cursor::new(&bytes[4..12]);
     let fmt = head.u32()?;
-    if fmt != FORMAT_VERSION {
+    if !(MIN_FORMAT_VERSION..=FORMAT_VERSION).contains(&fmt) {
         return Err(malformed(format!(
-            "snapshot format {fmt} unsupported (want {FORMAT_VERSION})"
+            "snapshot format {fmt} unsupported (want {MIN_FORMAT_VERSION}..={FORMAT_VERSION})"
         )));
     }
     let meta_len = head.u32()? as usize;
@@ -430,7 +649,7 @@ pub fn decode_snapshot(bytes: &[u8]) -> Result<Table, StorageError> {
                 f.name
             )));
         }
-        columns.push(decode_segment(seg, f.dtype, rows)?);
+        columns.push(decode_segment(seg, f.dtype, rows, fmt)?);
         offset = end;
     }
     if offset != bytes.len() {
@@ -540,9 +759,9 @@ pub fn encode_wal_frame_from_table(version: u64, src: &Table) -> Result<Vec<u8>,
     for row in 0..src.num_rows() {
         for col in &cols {
             match col {
-                Column::Int(v) => body.extend_from_slice(&v[row].to_le_bytes()),
+                Column::Int(v) => body.extend_from_slice(&v.get(row).to_le_bytes()),
                 Column::Float(v) => body.extend_from_slice(&v[row].to_bits().to_le_bytes()),
-                Column::Cat(c) => put_str(&mut body, &c.dict()[c.codes()[row] as usize]),
+                Column::Cat(c) => put_str(&mut body, &c.dict()[c.code_at(row) as usize]),
             }
         }
         if body.len() > MAX_WAL_FRAME {

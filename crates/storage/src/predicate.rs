@@ -87,20 +87,20 @@ impl Atom {
             Atom::CatEq { value, .. } => {
                 let c = col.as_cat().ok_or_else(|| type_err(self))?;
                 match c.code_of(value) {
-                    Some(code) => c.codes()[row] == code,
+                    Some(code) => c.code_at(row) == code,
                     None => false,
                 }
             }
             Atom::CatNeq { value, .. } => {
                 let c = col.as_cat().ok_or_else(|| type_err(self))?;
                 match c.code_of(value) {
-                    Some(code) => c.codes()[row] != code,
+                    Some(code) => c.code_at(row) != code,
                     None => true,
                 }
             }
             Atom::CatIn { values, .. } => {
                 let c = col.as_cat().ok_or_else(|| type_err(self))?;
-                let code = c.codes()[row];
+                let code = c.code_at(row);
                 values.iter().any(|v| c.code_of(v) == Some(code))
             }
             Atom::NumCmp { op, value, .. } => {
@@ -113,7 +113,7 @@ impl Atom {
             }
             Atom::StrPrefix { prefix, .. } => {
                 let c = col.as_cat().ok_or_else(|| type_err(self))?;
-                c.decode(c.codes()[row]).starts_with(prefix.as_str())
+                c.decode(c.code_at(row)).starts_with(prefix.as_str())
             }
         })
     }

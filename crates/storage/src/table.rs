@@ -465,11 +465,20 @@ pub struct TableBuilder {
 }
 
 impl TableBuilder {
+    /// Columns encode under the process-wide `ZV_ENCODING` policy (see
+    /// [`crate::column::EncodePolicy::from_env`]).
     pub fn new(schema: Schema) -> Self {
+        Self::with_encoding(schema, crate::column::EncodePolicy::from_env())
+    }
+
+    /// Like [`TableBuilder::new`] but with an explicit per-chunk
+    /// encoding policy, so one process can build encoded and plain
+    /// twins of the same table without racing on the environment.
+    pub fn with_encoding(schema: Schema, policy: crate::column::EncodePolicy) -> Self {
         let columns = schema
             .fields()
             .iter()
-            .map(|f| Column::new(f.dtype))
+            .map(|f| Column::with_policy(f.dtype, policy))
             .collect();
         TableBuilder {
             schema,

@@ -61,7 +61,7 @@ fn base_table() -> Arc<Table> {
         Table::from_columns(
             base_schema(),
             vec![
-                Column::Int(years),
+                Column::Int(years.into()),
                 Column::Cat(products),
                 Column::Float(sales),
             ],
@@ -239,7 +239,7 @@ fn bulk_append_table_is_durable_and_recovers_exactly() {
     let bulk = Table::from_columns(
         base_schema(),
         vec![
-            Column::Int(vec![-3, 2030, 2031]),
+            Column::Int(vec![-3, 2030, 2031].into()),
             Column::Cat(products),
             Column::Float(vec![0.75, -12.5, 1024.0]),
         ],
